@@ -1,0 +1,94 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation; these quantify the cost structure behind
+its qualitative statements:
+
+* the equality test's cost grows with the node's fan-out (section 6.3),
+* the B-tree indexes on pre/post/parent are what make the structural
+  navigation cheap (section 5.1),
+* the client/server split pays a per-call serialisation cost (section 5.2),
+* regenerating client shares from the PRG is the client's dominant
+  per-evaluation cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_record
+from repro.experiments.ablations import (
+    run_equality_cost_ablation,
+    run_index_ablation,
+    run_rmi_overhead_ablation,
+)
+from repro.experiments.workloads import bench_scale, build_database, build_document
+from repro.xmldoc.dtd import XMARK_DTD
+from repro.core.database import EncryptedXMLDatabase
+
+
+@pytest.fixture(scope="module")
+def ablation_records(bench_database):
+    records = [
+        run_equality_cost_ablation(database=bench_database),
+        run_index_ablation(scale=min(bench_scale(0.02), 0.05)),
+        run_rmi_overhead_ablation(scale=min(bench_scale(0.02), 0.05)),
+    ]
+    for record in records:
+        register_record(record)
+    return records
+
+
+def test_containment_test_cost(benchmark, bench_database, ablation_records):
+    """Cost of a single containment test (one shared evaluation)."""
+    client = bench_database.client_filter
+    root = client.root_pre()
+    benchmark(lambda: client.contains(root, "person"))
+
+
+def test_equality_test_cost_at_root(benchmark, bench_database, ablation_records):
+    """Cost of a single equality test on the root (fan-out 6)."""
+    client = bench_database.client_filter
+    root = client.root_pre()
+    benchmark(lambda: client.equals(root, "site"))
+
+
+def test_equality_test_cost_at_leaf(benchmark, bench_database, ablation_records):
+    """Cost of a single equality test on a leaf (fan-out 0)."""
+    client = bench_database.client_filter
+    leaf = bench_database.plaintext_query("//city")[0]
+    benchmark(lambda: client.equals(leaf, "city"))
+
+
+def test_client_share_regeneration_cost(benchmark, bench_database):
+    """Cost of regenerating one client share from the seed."""
+    sharing = bench_database.encoded.sharing
+    benchmark(lambda: sharing.client_share(17))
+
+
+def test_indexed_vs_unindexed_navigation(benchmark):
+    """Parent-index lookups against a full-scan fallback."""
+    document = build_document(min(bench_scale(0.02), 0.05))
+    database = EncryptedXMLDatabase.from_document(
+        document,
+        tag_names=XMARK_DTD.element_names(),
+        seed=b"bench-ablation-seed-000000000000",
+        p=83,
+        use_rmi=False,
+        index_columns=[],
+    )
+    server = database.server_filter
+    root = server.root_pre()
+    benchmark(lambda: server.children_of(root))
+
+
+def test_rmi_call_overhead(benchmark, bench_database):
+    """Round-trip cost of one remote structural call through the codec."""
+    client = bench_database.client_filter
+    root = client.root_pre()
+    benchmark(lambda: client.children_of(root))
+
+
+def test_equality_cost_tracks_fanout(ablation_records):
+    equality_record = ablation_records[0]
+    for measurement in equality_record.measurements:
+        assert measurement.extra["reconstructions"] == measurement.extra["fanout"] + 1

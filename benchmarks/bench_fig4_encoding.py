@@ -1,0 +1,65 @@
+"""Figure 4 — encoding cost: output size, index size and time vs input size.
+
+Benchmarks the encoder itself (time per encode at increasing document sizes)
+and prints the same series the paper plots: input size, encoded output size,
+index size and encoding time, plus the storage-breakdown claims of section
+6.1 (≈17% structure overhead, payload ≈1.5× the input).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_record
+from repro.encode.encoder import Encoder
+from repro.encode.tagmap import TagMap
+from repro.experiments.encoding import run_encoding_experiment, summarize_linearity
+from repro.experiments.workloads import DEFAULT_ENCODING_SEED, bench_scale
+from repro.gf.factory import make_field
+from repro.xmark.generator import generate_document
+from repro.xmldoc.dtd import XMARK_DTD
+from repro.xmldoc.serializer import serialize
+
+_UNIT = bench_scale(0.01)
+_SWEEP_STEPS = (1, 2, 4, 6, 8, 10)
+
+
+@pytest.fixture(scope="module")
+def tag_map():
+    return TagMap.from_names(XMARK_DTD.element_names(), field=make_field(83))
+
+
+@pytest.fixture(scope="module")
+def figure4_record():
+    """Run the full figure-4 sweep once and register its report."""
+    record = run_encoding_experiment(scales=[_UNIT * step for step in _SWEEP_STEPS])
+    record.parameters["linearity"] = summarize_linearity(record)
+    register_record(record)
+    return record
+
+
+@pytest.mark.parametrize("step", _SWEEP_STEPS)
+def test_encode_document(benchmark, tag_map, figure4_record, step):
+    """Time one full encode (parse → polynomials → shares → indexed rows)."""
+    xml_text = serialize(generate_document(scale=_UNIT * step))
+
+    def encode():
+        return Encoder(tag_map, DEFAULT_ENCODING_SEED).encode_text(xml_text)
+
+    encoded = benchmark(encode)
+    stats = encoded.stats
+    benchmark.extra_info["input_bytes"] = stats.input_bytes
+    benchmark.extra_info["output_bytes"] = stats.output_bytes
+    benchmark.extra_info["index_bytes"] = stats.index_bytes
+    benchmark.extra_info["nodes"] = stats.node_count
+    benchmark.extra_info["structure_fraction"] = round(stats.structure_fraction, 4)
+    benchmark.extra_info["expansion_ratio"] = round(stats.expansion_ratio, 4)
+    assert stats.node_count > 0
+    assert stats.output_bytes > stats.structure_bytes
+
+
+def test_encoding_is_linear_in_input_size(figure4_record):
+    """The paper: storage space and encoding time are strictly linear."""
+    fits = figure4_record.parameters["linearity"]
+    assert fits["output_mb"]["r_squared"] > 0.95
+    assert fits["time_s"]["r_squared"] > 0.8

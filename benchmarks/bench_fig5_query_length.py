@@ -1,0 +1,42 @@
+"""Figure 5 + Table 1 — evaluations vs query length, simple vs advanced.
+
+Benchmarks each of the nine table-1 queries on both engines (containment
+test, as in the paper's first experiment) and prints the per-query evaluation
+counts and result sizes — the series plotted in figure 5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_record
+from repro.experiments.query_length import run_query_length_experiment
+from repro.experiments.workloads import TABLE1_QUERIES
+
+
+@pytest.fixture(scope="module")
+def figure5_record(bench_database):
+    record = run_query_length_experiment(database=bench_database)
+    register_record(record)
+    return record
+
+
+@pytest.mark.parametrize("query_number", range(1, len(TABLE1_QUERIES) + 1))
+@pytest.mark.parametrize("engine", ["simple", "advanced"])
+def test_query_length(benchmark, bench_database, figure5_record, engine, query_number):
+    """Time one table-1 query under the containment test."""
+    query = TABLE1_QUERIES[query_number - 1]
+    result = benchmark(lambda: bench_database.query(query, engine=engine, strict=False))
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["evaluations"] = result.evaluations
+    benchmark.extra_info["result_size"] = result.result_size
+
+
+def test_engines_differ_by_at_most_a_constant_factor(figure5_record):
+    """The paper's figure-5 finding for the table-1 worst-case queries."""
+    for number in range(1, len(TABLE1_QUERIES) + 1):
+        pair = [m for m in figure5_record.measurements if m.extra["query_number"] == number]
+        simple = next(m for m in pair if m.engine == "simple")
+        advanced = next(m for m in pair if m.engine == "advanced")
+        if simple.evaluations:
+            assert advanced.evaluations / simple.evaluations < 12

@@ -1,0 +1,71 @@
+"""Figure 6 + Table 2 — execution time, strict vs non-strict, both engines.
+
+Benchmarks every table-2 query in all four configurations of the paper's
+strictness experiment ({simple, advanced} × {containment, equality}) and
+prints the per-configuration execution times and result sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_record
+from repro.experiments.strictness import run_strictness_experiment
+from repro.experiments.workloads import TABLE2_QUERIES
+
+_CONFIGURATIONS = [
+    ("simple", False),
+    ("simple", True),
+    ("advanced", False),
+    ("advanced", True),
+]
+
+
+@pytest.fixture(scope="module")
+def figure6_record(bench_database):
+    record = run_strictness_experiment(database=bench_database)
+    register_record(record)
+    return record
+
+
+@pytest.mark.parametrize("query_number", range(1, len(TABLE2_QUERIES) + 1))
+@pytest.mark.parametrize("engine,strict", _CONFIGURATIONS)
+def test_strictness(benchmark, bench_database, figure6_record, engine, strict, query_number):
+    """Time one table-2 query in one of the four configurations."""
+    query = TABLE2_QUERIES[query_number - 1]
+    result = benchmark(lambda: bench_database.query(query, engine=engine, strict=strict))
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["configuration"] = "%s/%s" % ("strict" if strict else "non-strict", engine)
+    benchmark.extra_info["result_size"] = result.result_size
+    benchmark.extra_info["evaluations"] = result.evaluations
+    benchmark.extra_info["equality_tests"] = result.equality_tests
+
+
+def test_advanced_beats_simple_on_descendant_queries(figure6_record):
+    """The paper: the advanced algorithm outperforms the simple algorithm."""
+    for query in TABLE2_QUERIES:
+        if "//" not in query:
+            continue
+        simple = next(
+            m for m in figure6_record.measurements
+            if m.query == query and m.extra["configuration"] == "non-strict/simple"
+        )
+        advanced = next(
+            m for m in figure6_record.measurements
+            if m.query == query and m.extra["configuration"] == "non-strict/advanced"
+        )
+        assert advanced.evaluations <= simple.evaluations
+
+
+def test_strict_checking_shrinks_result_sets(figure6_record):
+    """Equality results are never larger than containment results."""
+    for query in TABLE2_QUERIES:
+        strict = next(
+            m for m in figure6_record.measurements
+            if m.query == query and m.extra["configuration"] == "strict/advanced"
+        )
+        loose = next(
+            m for m in figure6_record.measurements
+            if m.query == query and m.extra["configuration"] == "non-strict/advanced"
+        )
+        assert strict.result_size <= loose.result_size

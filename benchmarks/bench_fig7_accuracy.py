@@ -1,0 +1,52 @@
+"""Figure 7 — accuracy of the containment test (E/C per table-2 query).
+
+Accuracy itself is not a timing quantity; the benchmark times the pair of
+query executions (equality + containment) that produce one accuracy point,
+and the printed record reports the E, C and accuracy values of figure 7.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_record
+from repro.experiments.accuracy import run_accuracy_experiment
+from repro.experiments.workloads import TABLE2_QUERIES
+
+
+@pytest.fixture(scope="module")
+def figure7_record(bench_database):
+    record = run_accuracy_experiment(database=bench_database)
+    register_record(record)
+    return record
+
+
+@pytest.mark.parametrize("query_number", range(1, len(TABLE2_QUERIES) + 1))
+def test_accuracy_measurement(benchmark, bench_database, figure7_record, query_number):
+    """Time the E and C measurements for one table-2 query."""
+    query = TABLE2_QUERIES[query_number - 1]
+
+    def measure():
+        exact = bench_database.query(query, engine="advanced", strict=True)
+        loose = bench_database.query(query, engine="advanced", strict=False)
+        return exact, loose
+
+    exact, loose = benchmark(measure)
+    accuracy = 100.0 * len(exact.matches) / len(loose.matches) if loose.matches else 100.0
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["equality_size"] = len(exact.matches)
+    benchmark.extra_info["containment_size"] = len(loose.matches)
+    benchmark.extra_info["accuracy_percent"] = round(accuracy, 2)
+    assert set(exact.matches) <= set(loose.matches)
+
+
+def test_absolute_queries_reach_100_percent(figure7_record):
+    """Figure 7: queries without // have containment accuracy 100%."""
+    for measurement in figure7_record.measurements:
+        if measurement.extra["descendant_steps"] == 0:
+            assert measurement.extra["accuracy_percent"] == 100.0
+
+
+def test_accuracy_is_bounded(figure7_record):
+    for measurement in figure7_record.measurements:
+        assert 0 < measurement.extra["accuracy_percent"] <= 100.0

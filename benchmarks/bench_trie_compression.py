@@ -1,0 +1,60 @@
+"""Section 4 — trie compression of text content.
+
+Benchmarks the trie transform on a synthetic corpus and prints the size
+claims of section 4: duplicate-word removal ≈50%, compressed trie ≈75–80%,
+and ≈3.5–4.5 encoded bytes per original letter at p = 29.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import register_record
+from repro.experiments.trie_compression import build_corpus, run_trie_compression_experiment
+from repro.trie.stats import measure_text_compression
+from repro.trie.transform import TrieTransformer
+from repro.xmldoc.nodes import XMLDocument, XMLElement
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus()
+
+
+@pytest.fixture(scope="module")
+def section4_record(corpus):
+    record = run_trie_compression_experiment(texts=corpus)
+    register_record(record)
+    return record
+
+
+def test_measure_compression(benchmark, corpus, section4_record):
+    """Time the full corpus measurement (tokenise + trie build + accounting)."""
+    report = benchmark(lambda: measure_text_compression(corpus, p=29))
+    benchmark.extra_info["dedup_reduction"] = round(report.dedup_reduction, 3)
+    benchmark.extra_info["trie_reduction"] = round(report.trie_reduction, 3)
+    benchmark.extra_info["bytes_per_letter"] = round(report.encoded_bytes_per_original_letter, 3)
+
+
+def test_document_transform(benchmark, corpus):
+    """Time rewriting a text-heavy document into its compressed trie form."""
+    root = XMLElement("people")
+    for index, text in enumerate(corpus[:50]):
+        person = root.make_child("person")
+        person.make_child("name", text="Person %d" % index)
+        person.make_child("description", text=text)
+    document = XMLDocument(root)
+    transformer = TrieTransformer(compressed=True)
+
+    transformed = benchmark(lambda: transformer.transform_document(document))
+    benchmark.extra_info["input_elements"] = document.element_count()
+    benchmark.extra_info["output_elements"] = transformed.element_count()
+    assert transformed.element_count() > document.element_count()
+
+
+def test_paper_claims(section4_record):
+    """The three quantitative claims of section 4 hold on the synthetic corpus."""
+    series = section4_record.series
+    assert 40 <= series["dedup_reduction_percent"][0] <= 70
+    assert 70 <= series["trie_reduction_percent"][0] <= 90
+    assert 3.0 <= series["encoded_bytes_per_letter"][0] <= 5.5

@@ -1,0 +1,58 @@
+"""Shared fixtures and reporting for the benchmark harness.
+
+Every ``bench_*`` module corresponds to one table or figure of the paper.
+pytest-benchmark measures the timing of the underlying operations; in
+addition each module builds the corresponding
+:class:`repro.metrics.records.ExperimentRecord` once and registers it here so
+the rows/series the paper reports are printed at the end of the run (and are
+therefore captured in ``bench_output.txt``).
+
+Scale: benchmarks default to small documents so the suite stays fast.  Set
+``REPRO_BENCH_SCALE`` (≈ megabytes of XMark input, e.g. ``1`` or ``10``) to
+run paper-sized workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import render_record
+from repro.experiments.workloads import bench_scale, build_database
+
+#: experiment records registered by the bench modules, printed at session end
+_RECORDS = []
+
+
+def register_record(record) -> None:
+    """Register an experiment record for the end-of-run report."""
+    _RECORDS.append(record)
+
+
+def registered_records():
+    """Records registered so far (used by tests of the harness itself)."""
+    return list(_RECORDS)
+
+
+@pytest.fixture(scope="session")
+def bench_scale_value() -> float:
+    """Document scale used by the query benchmarks."""
+    return bench_scale(0.02)
+
+
+@pytest.fixture(scope="session")
+def bench_database(bench_scale_value):
+    """One encoded database shared by all query benchmarks."""
+    return build_database(scale=bench_scale_value)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every registered experiment record after the benchmark tables."""
+    if not _RECORDS:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("paper figures / tables reproduced by this run")
+    for record in _RECORDS:
+        terminalreporter.write_line("")
+        for line in render_record(record).splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

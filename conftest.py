@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The canonical workflow is ``pip install -e .``; this fallback lets the test
+and benchmark suites run from a plain checkout (e.g. on offline CI machines
+where editable installs are awkward).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,56 @@
+"""Reproduce every table and figure of the paper's evaluation in one run.
+
+Run with::
+
+    python examples/reproduce_paper.py [scale]
+
+``scale`` is the document scale (≈ MB of XMark XML) used by the query
+experiments; the encoding experiment sweeps ten sizes derived from it.  The
+default (0.02) finishes in well under a minute; ``scale 1`` approximates the
+smallest document of the paper.  The same runners back the pytest-benchmark
+targets under ``benchmarks/``.
+"""
+
+import sys
+
+from repro.experiments import (
+    render_record,
+    run_accuracy_experiment,
+    run_encoding_experiment,
+    run_query_length_experiment,
+    run_strictness_experiment,
+    run_trie_compression_experiment,
+)
+from repro.experiments.encoding import summarize_linearity
+from repro.experiments.workloads import build_database
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+
+    print("== Figure 4: encoding ==")
+    encoding_record = run_encoding_experiment(scales=[scale * step for step in range(1, 11)])
+    print(render_record(encoding_record))
+    print("\nLinearity fits:", summarize_linearity(encoding_record))
+    print()
+
+    database = build_database(scale=scale)
+
+    print("== Figure 5 / Table 1: query length ==")
+    print(render_record(run_query_length_experiment(database=database)))
+    print()
+
+    print("== Figure 6 / Table 2: strictness ==")
+    print(render_record(run_strictness_experiment(database=database)))
+    print()
+
+    print("== Figure 7: accuracy ==")
+    print(render_record(run_accuracy_experiment(database=database)))
+    print()
+
+    print("== Section 4: trie compression ==")
+    print(render_record(run_trie_compression_experiment()))
+
+
+if __name__ == "__main__":
+    main()

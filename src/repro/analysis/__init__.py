@@ -1,0 +1,40 @@
+"""Leakage analysis of the secret-sharing scheme (honest-but-curious server).
+
+The paper treats the server as untrusted storage and argues that, because it
+only ever holds one additive share of each polynomial, it "cannot learn the
+data".  Later literature showed the *query protocol* leaks much more than the
+stored shares: every containment test sends the mapped tag value in the clear
+as the evaluation point, and the engine's subsequent navigation reveals which
+nodes matched.  This package makes that leakage concrete and measurable:
+
+* :class:`~repro.analysis.observer.ObservingServerFilter` — a drop-in wrapper
+  around :class:`repro.filters.server.ServerFilter` that records everything
+  the server sees (structural requests, share fetches and the evaluation
+  points of every containment test).
+* :mod:`~repro.analysis.attacks` — an access-pattern analysis that
+  reconstructs, per observed evaluation point, the set of nodes whose
+  subtrees contain the queried (still unnamed) tag, and a frequency attack
+  that matches those observations against public document statistics (e.g.
+  the XMark DTD) to recover the secret tag map.
+
+The module exists to *document* the scheme's weakness as part of the
+reproduction; it is not an endorsement of using the scheme for real data.
+"""
+
+from repro.analysis.attacks import (
+    AttackReport,
+    frequency_attack,
+    infer_containment_sets,
+    tag_frequency_profile,
+)
+from repro.analysis.observer import ObservedCall, ObservingServerFilter, ServerView
+
+__all__ = [
+    "ObservingServerFilter",
+    "ObservedCall",
+    "ServerView",
+    "infer_containment_sets",
+    "tag_frequency_profile",
+    "frequency_attack",
+    "AttackReport",
+]

@@ -1,0 +1,158 @@
+"""Access-pattern attacks against the query protocol.
+
+What the server can combine:
+
+1. **Evaluation points are plaintext map values.**  A containment test asks
+   the server to evaluate a stored share at ``map(tag)``; the point itself is
+   the secret mapping's output.  Distinct queried tags are therefore
+   distinguishable immediately, and equal tags across queries are linkable.
+2. **Navigation reveals the matching nodes.**  After the client combines the
+   two share evaluations it either prunes a branch (no further requests) or
+   continues below it (children/descendant requests, further evaluations).
+   The server therefore learns, per evaluation point, which subtrees contain
+   the queried tag.
+3. **Public structure statistics identify the tag.**  The pre/post/parent
+   numbers are stored in the clear, so the server knows the exact tree shape;
+   with a public DTD (or any rough knowledge of tag frequencies) it can match
+   the observed containment sets against expected tag frequencies and recover
+   the map — and hence the queries and, progressively, the document labels.
+
+:func:`frequency_attack` implements point 3 as a simple best-match assignment
+and reports how much of the secret map it recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.observer import ServerView
+from repro.xmldoc.nodes import XMLDocument
+from repro.xmldoc.numbering import PrePostNumbering
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Outcome of a frequency attack over an observation log."""
+
+    #: evaluation point -> guessed tag name
+    guesses: Dict[int, str]
+    #: evaluation point -> true tag name (when ground truth was supplied)
+    ground_truth: Dict[int, str]
+    #: fraction of observed points whose tag was guessed correctly
+    recovery_rate: float
+    #: evaluation point -> number of distinct nodes it was tested on
+    observations_per_point: Dict[int, int]
+
+    @property
+    def recovered_points(self) -> List[int]:
+        """Observed points whose tag name was recovered exactly."""
+        return [
+            point
+            for point, guess in self.guesses.items()
+            if self.ground_truth.get(point) == guess
+        ]
+
+
+def infer_containment_sets(view: ServerView) -> Dict[int, List[int]]:
+    """Per evaluation point, the nodes the server believes matched.
+
+    A node counts as a *match* for point ``v`` if, after being evaluated at
+    ``v``, the client asked for its children or descendants, or fetched its
+    share — i.e. the query clearly continued below it.  This is exactly the
+    signal a passive server can extract without knowing any tag name.
+    """
+    evaluations = view.evaluations_by_point()
+    continued = set(view.expanded_nodes()) | set(view.fetched_shares())
+    matches: Dict[int, List[int]] = {}
+    for point, pres in evaluations.items():
+        matched = [pre for pre in dict.fromkeys(pres) if pre in continued]
+        matches[point] = matched
+    return matches
+
+
+def tag_frequency_profile(document: XMLDocument) -> Dict[str, int]:
+    """Public knowledge model: how many subtrees contain each tag.
+
+    For every tag name, counts the number of nodes whose subtree (including
+    the node itself) contains that tag.  In a real attack this profile comes
+    from the DTD plus published corpus statistics; for the reproduction we
+    compute it from a reference document with the same schema, which plays
+    the role of the attacker's auxiliary knowledge.
+    """
+    numbering = PrePostNumbering(document)
+    profile: Dict[str, int] = {}
+    for node in numbering:
+        tags_below = {node.tag} | {d.tag for d in numbering.descendants_of(node.pre)}
+        for tag in tags_below:
+            profile[tag] = profile.get(tag, 0) + 1
+    return profile
+
+
+def frequency_attack(
+    view: ServerView,
+    reference_profile: Dict[str, int],
+    true_map: Optional[Dict[str, int]] = None,
+) -> AttackReport:
+    """Match observed containment-set sizes against a public tag profile.
+
+    For every observed evaluation point the attacker knows how many distinct
+    nodes were *tested* and how many of those *matched* (the query continued
+    below them).  The candidate tag whose public frequency is closest to the
+    observed match count — among tags not yet assigned — is guessed.  With
+    ``true_map`` (tag name → field value) supplied, the report also scores
+    the recovery rate.
+    """
+    containment_sets = infer_containment_sets(view)
+    observations = {point: len(set(pres)) for point, pres in view.evaluations_by_point().items()}
+
+    # Greedy best-match assignment: most-observed points first so frequent
+    # query targets (usually structural tags like 'site') are matched before
+    # rare ones.
+    unassigned = dict(reference_profile)
+    guesses: Dict[int, str] = {}
+    for point in sorted(containment_sets, key=lambda p: -len(containment_sets[p])):
+        matched_count = len(containment_sets[point])
+        if not unassigned:
+            break
+        best_tag = min(unassigned, key=lambda tag: (abs(unassigned[tag] - matched_count), tag))
+        guesses[point] = best_tag
+        del unassigned[best_tag]
+
+    ground_truth: Dict[int, str] = {}
+    if true_map:
+        inverse = {value: name for name, value in true_map.items()}
+        for point in containment_sets:
+            if point in inverse:
+                ground_truth[point] = inverse[point]
+
+    if ground_truth:
+        correct = sum(1 for point, tag in guesses.items() if ground_truth.get(point) == tag)
+        recovery_rate = correct / len(ground_truth)
+    else:
+        recovery_rate = 0.0
+
+    return AttackReport(
+        guesses=guesses,
+        ground_truth=ground_truth,
+        recovery_rate=recovery_rate,
+        observations_per_point=observations,
+    )
+
+
+def linkability_report(view: ServerView) -> Dict[str, float]:
+    """Quantify how linkable queries are from the server's viewpoint.
+
+    Returns summary statistics a passive server obtains for free: the number
+    of distinct evaluation points seen (== distinct tags queried), the total
+    number of evaluations, and the average number of nodes tested per point.
+    """
+    by_point = view.evaluations_by_point()
+    total_evaluations = sum(len(pres) for pres in by_point.values())
+    distinct_points = len(by_point)
+    return {
+        "distinct_points": float(distinct_points),
+        "total_evaluations": float(total_evaluations),
+        "avg_nodes_per_point": (total_evaluations / distinct_points) if distinct_points else 0.0,
+        "expanded_nodes": float(len(view.expanded_nodes())),
+    }

@@ -1,0 +1,21 @@
+"""Command-line interface mirroring the prototype's tooling.
+
+The original prototype was driven by small command-line programs
+(``MySQLEncode`` plus the query engines); this package provides the same
+workflow for the reproduction::
+
+    python -m repro.cli genxmark  --scale 0.05 --output auction.xml
+    python -m repro.cli makemap   --dtd xmark --p 83 --output tags.map
+    python -m repro.cli makeseed  --output secret.seed
+    python -m repro.cli encode    --map tags.map --seed secret.seed \
+                                  --xml auction.xml --output server-db.json
+    python -m repro.cli query     --db server-db.json --map tags.map \
+                                  --seed secret.seed "/site/regions/europe/item"
+    python -m repro.cli experiments --figure 5
+
+Every command is importable and unit-testable via :func:`repro.cli.main`.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["main", "build_parser"]

@@ -1,0 +1,228 @@
+"""Implementations of the CLI subcommands.
+
+Each ``cmd_*`` function takes the parsed ``argparse`` namespace and returns a
+process exit code.  They print human-readable summaries to stdout and raise
+:class:`CommandError` for user-facing failures (missing files, malformed
+inputs), which the dispatcher turns into exit code 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.encode.encoder import Encoder, NODE_TABLE_NAME
+from repro.encode.tagmap import TagMap, TagMapError
+from repro.engines.advanced import AdvancedQueryEngine
+from repro.engines.simple import SimpleQueryEngine
+from repro.experiments import (
+    render_record,
+    run_accuracy_experiment,
+    run_encoding_experiment,
+    run_query_length_experiment,
+    run_strictness_experiment,
+    run_trie_compression_experiment,
+)
+from repro.experiments.workloads import build_database
+from repro.filters.client import ClientFilter
+from repro.filters.interface import MatchRule
+from repro.filters.server import ServerFilter
+from repro.gf.factory import field_for_alphabet, make_field
+from repro.poly.ring import QuotientRing
+from repro.prg.generator import KeyedPRG
+from repro.prg.seed import SeedFile
+from repro.secretshare.additive import AdditiveSharing
+from repro.storage.database import Database
+from repro.trie.transform import TrieTransformer
+from repro.xmark.generator import generate_document
+from repro.xmldoc.dtd import XMARK_DTD
+from repro.xmldoc.parser import parse_document, parse_string
+from repro.xmldoc.serializer import serialize
+from repro.xpath.parser import parse_query
+from repro.xpath.rewrite import rewrite_for_trie
+
+
+class CommandError(Exception):
+    """A user-facing CLI failure (bad arguments, missing files, …)."""
+
+
+def _require_file(path: str, description: str) -> str:
+    if not os.path.exists(path):
+        raise CommandError("%s not found: %s" % (description, path))
+    return path
+
+
+# ----------------------------------------------------------------------
+# genxmark
+# ----------------------------------------------------------------------
+
+
+def cmd_genxmark(args: argparse.Namespace) -> int:
+    """Generate a synthetic auction document and write it to disk."""
+    if args.scale <= 0:
+        raise CommandError("--scale must be positive, got %r" % args.scale)
+    document = generate_document(scale=args.scale, seed=args.seed)
+    text = serialize(document)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(
+        "wrote %s: %d elements, %d bytes (scale %.3f, seed %d)"
+        % (args.output, document.element_count(), len(text.encode("utf-8")), args.scale, args.seed)
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# makemap / makeseed
+# ----------------------------------------------------------------------
+
+
+def cmd_makemap(args: argparse.Namespace) -> int:
+    """Create a tag map file from a DTD or a sample document."""
+    if args.dtd is None and args.xml is None:
+        raise CommandError("makemap needs --dtd or --xml to define the tag alphabet")
+    names = []
+    if args.dtd == "xmark":
+        names.extend(XMARK_DTD.element_names())
+    if args.xml is not None:
+        document = parse_document(_require_file(args.xml, "XML document"))
+        for tag in sorted(document.distinct_tags()):
+            if tag not in names:
+                names.append(tag)
+    if args.trie:
+        for tag in TrieTransformer().tag_alphabet():
+            if tag not in names:
+                names.append(tag)
+    field = None
+    if args.p is not None:
+        field = make_field(args.p, args.e)
+    try:
+        tag_map = TagMap.from_names(names, field=field, shuffle_seed=args.shuffle_seed)
+    except TagMapError as error:
+        raise CommandError(str(error)) from error
+    tag_map.save(args.output)
+    print("wrote %s: %d tags over F_%d" % (args.output, len(tag_map), tag_map.field.order))
+    return 0
+
+
+def cmd_makeseed(args: argparse.Namespace) -> int:
+    """Generate a fresh seed file (the encryption key)."""
+    try:
+        seed = SeedFile.generate(args.num_bytes)
+    except ValueError as error:
+        raise CommandError(str(error)) from error
+    seed.save(args.output)
+    print("wrote %s: %d random bytes — keep this file secret" % (args.output, args.num_bytes))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# encode
+# ----------------------------------------------------------------------
+
+
+def _load_map(args: argparse.Namespace) -> TagMap:
+    try:
+        return TagMap.load(_require_file(args.map_path, "map file"), p=args.p, e=args.e)
+    except TagMapError as error:
+        raise CommandError(str(error)) from error
+
+
+def _load_seed(args: argparse.Namespace) -> bytes:
+    try:
+        return SeedFile.load(_require_file(args.seed_path, "seed file")).seed
+    except ValueError as error:
+        raise CommandError(str(error)) from error
+
+
+def cmd_encode(args: argparse.Namespace) -> int:
+    """Encode a plaintext document into the secret-shared server database."""
+    tag_map = _load_map(args)
+    seed = _load_seed(args)
+    with open(_require_file(args.xml_path, "XML document"), "r", encoding="utf-8") as handle:
+        xml_text = handle.read()
+    if args.trie:
+        document = parse_string(xml_text)
+        document = TrieTransformer().transform_document(document)
+        xml_text = serialize(document)
+    try:
+        encoded = Encoder(tag_map, seed).encode_text(xml_text)
+    except TagMapError as error:
+        raise CommandError(
+            "%s — regenerate the map file so it covers every tag of the document" % error
+        ) from error
+    encoded.database.save(args.output)
+    stats = encoded.stats
+    print("wrote %s" % args.output)
+    print("  nodes           : %d" % stats.node_count)
+    print("  input size      : %d bytes" % stats.input_bytes)
+    print("  output size     : %d bytes (%.2fx input)" % (stats.output_bytes, stats.expansion_ratio))
+    print("  index size      : %d bytes" % stats.index_bytes)
+    print("  structure share : %.1f%%" % (stats.structure_fraction * 100.0))
+    print("  encode time     : %.3f s" % stats.encoding_seconds)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# query
+# ----------------------------------------------------------------------
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Run one query against a previously encoded server database."""
+    tag_map = _load_map(args)
+    seed = _load_seed(args)
+    database = Database.load(_require_file(args.db_path, "server database"))
+    if NODE_TABLE_NAME not in database:
+        raise CommandError("%s does not contain a node table" % args.db_path)
+
+    ring = QuotientRing(tag_map.field)
+    server = ServerFilter(database.table(NODE_TABLE_NAME), ring)
+    sharing = AdditiveSharing(ring, KeyedPRG(seed, tag_map.field))
+    client = ClientFilter(server, sharing, tag_map)
+    engine = SimpleQueryEngine(client) if args.engine == "simple" else AdvancedQueryEngine(client)
+
+    parsed = parse_query(args.xpath)
+    if args.trie:
+        parsed = rewrite_for_trie(parsed)
+    rule = MatchRule.from_strict_flag(args.strict)
+    result = engine.execute(parsed, rule=rule)
+
+    print("query        : %s" % args.xpath)
+    print("engine       : %s   test: %s" % (args.engine, rule.value))
+    print("matches      : %d node(s)" % result.result_size)
+    if result.matches:
+        print("pre numbers  : %s" % ", ".join(str(pre) for pre in result.matches))
+    print("evaluations  : %d" % result.evaluations)
+    print("equality     : %d" % result.equality_tests)
+    print("elapsed      : %.4f s" % result.elapsed_seconds)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# experiments
+# ----------------------------------------------------------------------
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Re-run the requested paper figure(s) and print their tables."""
+    if args.scale <= 0:
+        raise CommandError("--scale must be positive, got %r" % args.scale)
+    selection = args.figure
+    records = []
+    if selection in ("4", "all"):
+        records.append(run_encoding_experiment(scales=[args.scale * step for step in range(1, 11)]))
+    if selection in ("5", "6", "7", "all"):
+        database = build_database(scale=args.scale)
+        if selection in ("5", "all"):
+            records.append(run_query_length_experiment(database=database))
+        if selection in ("6", "all"):
+            records.append(run_strictness_experiment(database=database))
+        if selection in ("7", "all"):
+            records.append(run_accuracy_experiment(database=database))
+    if selection in ("trie", "all"):
+        records.append(run_trie_compression_experiment())
+    for record in records:
+        print(render_record(record))
+        print()
+    return 0

@@ -1,0 +1,118 @@
+"""Argument parsing and command dispatch for the ``repro`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cli import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level parser with one subcommand per tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Encrypted XML database using secret sharing — reproduction of "
+            "Brinkman et al., SDM@VLDB 2005."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # ------------------------------------------------------------------
+    # genxmark
+    # ------------------------------------------------------------------
+    genxmark = subparsers.add_parser(
+        "genxmark", help="generate a synthetic XMark-style auction document"
+    )
+    genxmark.add_argument("--scale", type=float, default=0.05, help="document scale (~MB of XML)")
+    genxmark.add_argument("--seed", type=int, default=20050905, help="generator seed")
+    genxmark.add_argument("--output", required=True, help="path of the XML file to write")
+    genxmark.set_defaults(handler=commands.cmd_genxmark)
+
+    # ------------------------------------------------------------------
+    # makemap
+    # ------------------------------------------------------------------
+    makemap = subparsers.add_parser(
+        "makemap", help="create a tag map file (name = field value per line)"
+    )
+    makemap.add_argument(
+        "--dtd",
+        choices=["xmark"],
+        default=None,
+        help="derive the tag alphabet from a built-in DTD",
+    )
+    makemap.add_argument("--xml", default=None, help="derive the tag alphabet from an XML document")
+    makemap.add_argument("--p", type=int, default=None, help="field characteristic (default: smallest safe prime)")
+    makemap.add_argument("--e", type=int, default=1, help="field extension degree")
+    makemap.add_argument("--shuffle-seed", type=int, default=None, help="randomise the value assignment")
+    makemap.add_argument("--trie", action="store_true", help="include the trie character alphabet")
+    makemap.add_argument("--output", required=True, help="path of the map file to write")
+    makemap.set_defaults(handler=commands.cmd_makemap)
+
+    # ------------------------------------------------------------------
+    # makeseed
+    # ------------------------------------------------------------------
+    makeseed = subparsers.add_parser("makeseed", help="generate a fresh secret seed file")
+    makeseed.add_argument("--bytes", type=int, default=32, dest="num_bytes", help="seed length in bytes")
+    makeseed.add_argument("--output", required=True, help="path of the seed file to write")
+    makeseed.set_defaults(handler=commands.cmd_makeseed)
+
+    # ------------------------------------------------------------------
+    # encode
+    # ------------------------------------------------------------------
+    encode = subparsers.add_parser(
+        "encode", help="encode an XML document into a secret-shared server database"
+    )
+    encode.add_argument("--map", required=True, dest="map_path", help="tag map file")
+    encode.add_argument("--seed", required=True, dest="seed_path", help="seed file")
+    encode.add_argument("--xml", required=True, dest="xml_path", help="plaintext XML document")
+    encode.add_argument("--p", type=int, default=None, help="field characteristic of the map")
+    encode.add_argument("--e", type=int, default=1, help="field extension degree")
+    encode.add_argument("--trie", action="store_true", help="apply the trie transform to text content")
+    encode.add_argument("--output", required=True, help="path of the server database (JSON)")
+    encode.set_defaults(handler=commands.cmd_encode)
+
+    # ------------------------------------------------------------------
+    # query
+    # ------------------------------------------------------------------
+    query = subparsers.add_parser("query", help="run an XPath query against an encoded database")
+    query.add_argument("xpath", help="the query, e.g. /site/regions/europe/item")
+    query.add_argument("--db", required=True, dest="db_path", help="server database (JSON)")
+    query.add_argument("--map", required=True, dest="map_path", help="tag map file")
+    query.add_argument("--seed", required=True, dest="seed_path", help="seed file")
+    query.add_argument("--p", type=int, default=None, help="field characteristic of the map")
+    query.add_argument("--e", type=int, default=1, help="field extension degree")
+    query.add_argument("--engine", choices=["simple", "advanced"], default="advanced")
+    query.add_argument("--strict", action="store_true", help="use the equality test (exact results)")
+    query.add_argument("--trie", action="store_true", help="rewrite contains(text(), …) predicates for the trie")
+    query.set_defaults(handler=commands.cmd_query)
+
+    # ------------------------------------------------------------------
+    # experiments
+    # ------------------------------------------------------------------
+    experiments = subparsers.add_parser(
+        "experiments", help="re-run the paper's evaluation figures and print their tables"
+    )
+    experiments.add_argument(
+        "--figure",
+        choices=["4", "5", "6", "7", "trie", "all"],
+        default="all",
+        help="which figure to reproduce",
+    )
+    experiments.add_argument("--scale", type=float, default=0.02, help="document scale (~MB of XML)")
+    experiments.set_defaults(handler=commands.cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except commands.CommandError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2

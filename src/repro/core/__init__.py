@@ -1,0 +1,21 @@
+"""Public facade of the library.
+
+:class:`~repro.core.database.EncryptedXMLDatabase` ties every substrate
+together: it encodes a document into the secret-shared store, stands up the
+client/server filter pair (optionally behind the simulated RMI boundary) and
+exposes the two query engines and two matching rules through one call.
+
+Typical use::
+
+    from repro import EncryptedXMLDatabase
+    from repro.xmark import generate_document
+
+    document = generate_document(scale=0.02)
+    database = EncryptedXMLDatabase.from_document(document)
+    result = database.query("/site/regions/europe/item", engine="advanced", strict=True)
+    print(result.matches, result.evaluations)
+"""
+
+from repro.core.database import EncryptedXMLDatabase, QueryConfigError
+
+__all__ = ["EncryptedXMLDatabase", "QueryConfigError"]

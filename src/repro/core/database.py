@@ -1,0 +1,270 @@
+"""The ``EncryptedXMLDatabase`` facade."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.encode.encoder import EncodedDatabase, Encoder
+from repro.encode.tagmap import TagMap
+from repro.engines.advanced import AdvancedQueryEngine
+from repro.engines.base import QueryResult
+from repro.engines.plaintext import PlaintextEngine
+from repro.engines.simple import SimpleQueryEngine
+from repro.filters.client import ClientFilter
+from repro.filters.interface import MatchRule
+from repro.filters.server import ServerFilter
+from repro.gf.factory import make_field
+from repro.metrics.counters import EvaluationCounters
+from repro.prg.seed import SeedFile, generate_seed
+from repro.rmi.proxy import Registry
+from repro.rmi.stats import CallStats
+from repro.rmi.transport import SimulatedTransport
+from repro.trie.transform import TrieTransformer
+from repro.xmldoc.nodes import XMLDocument
+from repro.xmldoc.parser import parse_string
+from repro.xpath.ast import Query
+from repro.xpath.parser import parse_query
+from repro.xpath.rewrite import rewrite_for_trie
+
+
+class QueryConfigError(ValueError):
+    """Raised for invalid engine/rule selections or unusable configurations."""
+
+
+class EncryptedXMLDatabase:
+    """A queryable, secret-shared encoding of one XML document.
+
+    Construction encodes the document; afterwards the instance holds
+
+    * the *server side*: the relational node table and the
+      :class:`~repro.filters.server.ServerFilter` operating on it,
+    * the *client side*: tag map, seed/PRG, the
+      :class:`~repro.filters.client.ClientFilter` and the two query engines,
+    * optionally the plaintext document and a
+      :class:`~repro.engines.plaintext.PlaintextEngine` used as ground truth
+      by the accuracy experiments (a real deployment would discard it).
+    """
+
+    def __init__(
+        self,
+        encoded: EncodedDatabase,
+        document: Optional[XMLDocument],
+        use_rmi: bool,
+        transport: SimulatedTransport,
+        counters: EvaluationCounters,
+        trie_transformer: Optional[TrieTransformer],
+    ):
+        self.encoded = encoded
+        self.document = document
+        self.counters = counters
+        self.transport = transport
+        self._trie_transformer = trie_transformer
+
+        server_filter = ServerFilter(encoded.node_table, encoded.ring)
+        self.server_filter = server_filter
+        if use_rmi:
+            registry = Registry(transport)
+            registry.bind("ServerFilter", server_filter)
+            server_endpoint = registry.lookup("ServerFilter")
+        else:
+            server_endpoint = server_filter
+        self.client_filter = ClientFilter(
+            server_endpoint, encoded.sharing, encoded.tag_map, counters=counters
+        )
+        self._engines = {
+            "simple": SimpleQueryEngine(self.client_filter),
+            "advanced": AdvancedQueryEngine(self.client_filter),
+        }
+        self._plaintext = PlaintextEngine(document) if document is not None else None
+        self._statistics = None
+        self._cost_model = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_document(
+        cls,
+        document: XMLDocument,
+        tag_names: Optional[Iterable[str]] = None,
+        seed: Optional[bytes] = None,
+        p: Optional[int] = None,
+        e: int = 1,
+        use_trie: bool = False,
+        trie_compressed: bool = True,
+        use_rmi: bool = True,
+        per_call_latency: float = 0.0,
+        per_byte_latency: float = 0.0,
+        keep_plaintext: bool = True,
+        map_shuffle_seed: Optional[int] = None,
+        btree_order: int = 64,
+        index_columns: Optional[List[str]] = None,
+    ) -> "EncryptedXMLDatabase":
+        """Encode an in-memory document.
+
+        ``tag_names`` supplies the map alphabet (e.g. the DTD's element
+        names); when omitted it is derived from the document itself.  ``p``
+        and ``e`` pin the field to ``F_{p^e}`` (the paper uses ``p=83, e=1``
+        for XMark); when omitted the smallest prime able to hold the alphabet
+        is chosen.  With ``use_trie=True`` every text payload is rewritten
+        into trie elements before encoding so ``contains(text(), …)`` queries
+        work, and the map alphabet is extended with the trie characters.
+        """
+        trie_transformer = None
+        if use_trie:
+            trie_transformer = TrieTransformer(compressed=trie_compressed)
+            document = trie_transformer.transform_document(document)
+
+        if tag_names is None:
+            names: List[str] = sorted(document.distinct_tags())
+        else:
+            names = list(dict.fromkeys(tag_names))
+            missing = document.distinct_tags() - set(names)
+            if missing:
+                names.extend(sorted(missing))
+        if trie_transformer is not None:
+            for extra in trie_transformer.tag_alphabet():
+                if extra not in names:
+                    names.append(extra)
+
+        field = make_field(p, e) if p is not None else None
+        tag_map = TagMap.from_names(names, field=field, shuffle_seed=map_shuffle_seed)
+        seed = seed if seed is not None else generate_seed()
+        encoder = Encoder(tag_map, seed, btree_order=btree_order, index_columns=index_columns)
+        encoded = encoder.encode_document(document)
+
+        counters = EvaluationCounters()
+        transport = SimulatedTransport(
+            per_call_latency=per_call_latency,
+            per_byte_latency=per_byte_latency,
+            stats=CallStats(),
+        )
+        return cls(
+            encoded=encoded,
+            document=document if keep_plaintext else None,
+            use_rmi=use_rmi,
+            transport=transport,
+            counters=counters,
+            trie_transformer=trie_transformer,
+        )
+
+    @classmethod
+    def from_text(cls, xml_text: str, **kwargs) -> "EncryptedXMLDatabase":
+        """Encode XML text (see :meth:`from_document` for keyword options)."""
+        return cls.from_document(parse_string(xml_text), **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str, encoding: str = "utf-8", **kwargs) -> "EncryptedXMLDatabase":
+        """Encode an XML file (see :meth:`from_document` for keyword options)."""
+        with open(path, "r", encoding=encoding) as handle:
+            return cls.from_text(handle.read(), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        xpath: Union[str, Query],
+        engine: str = "advanced",
+        strict: bool = False,
+    ) -> QueryResult:
+        """Run an XPath query against the encrypted store.
+
+        ``engine`` selects ``"simple"``, ``"advanced"`` or ``"auto"`` (pick
+        per query using the client-side cost model); ``strict`` selects the
+        equality test (exact results) over the containment test (cheap,
+        possibly over-approximate results).
+        """
+        if engine == "auto":
+            engine = self.recommend_engine(xpath)
+        selected = self._engines.get(engine)
+        if selected is None:
+            raise QueryConfigError(
+                "unknown engine %r; expected one of %s" % (engine, sorted(self._engines) + ["auto"])
+            )
+        parsed = parse_query(xpath) if isinstance(xpath, str) else xpath
+        if self._trie_transformer is not None:
+            parsed = rewrite_for_trie(parsed, self._trie_transformer)
+        elif parsed.has_predicates():
+            # Without the trie representation contains() cannot be answered;
+            # path predicates over tags are still fine.
+            parsed = parsed
+        rule = MatchRule.from_strict_flag(strict)
+        return selected.execute(parsed, rule=rule)
+
+    def plaintext_query(self, xpath: Union[str, Query]) -> List[int]:
+        """Ground-truth evaluation on the retained plaintext document.
+
+        When the database was built with the trie transform, the retained
+        document is the *transformed* one, so text predicates are rewritten
+        into trie paths here as well — both sides then answer the same query
+        over the same tree and the results are directly comparable.
+        """
+        if self._plaintext is None:
+            raise QueryConfigError(
+                "the plaintext document was not retained (keep_plaintext=False)"
+            )
+        parsed = parse_query(xpath) if isinstance(xpath, str) else xpath
+        if self._trie_transformer is not None:
+            parsed = rewrite_for_trie(parsed, self._trie_transformer)
+        return self._plaintext.execute(parsed)
+
+    def recommend_engine(self, xpath: Union[str, Query]) -> str:
+        """Pick an engine for ``xpath`` using the client-side cost model.
+
+        The model needs the structural statistics collected from the
+        plaintext document at encoding time; when the plaintext was not
+        retained the advanced engine is recommended (it is the safer default
+        on the descendant-heavy queries where the choice matters).
+        """
+        from repro.engines.costmodel import DocumentStatistics, EngineCostModel
+
+        if self.document is None:
+            return "advanced"
+        if self._cost_model is None:
+            self._statistics = DocumentStatistics.from_document(self.document)
+            self._cost_model = EngineCostModel(self._statistics)
+        parsed = parse_query(xpath) if isinstance(xpath, str) else xpath
+        if self._trie_transformer is not None:
+            parsed = rewrite_for_trie(parsed, self._trie_transformer)
+        return self._cost_model.choose_engine(parsed)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def encoding_stats(self):
+        """Size and time accounting of the encoding run."""
+        return self.encoded.stats
+
+    @property
+    def transport_stats(self) -> CallStats:
+        """Remote-call statistics of the simulated RMI transport."""
+        return self.transport.stats
+
+    @property
+    def node_count(self) -> int:
+        """Number of encoded element nodes."""
+        return len(self.encoded.node_table)
+
+    @property
+    def field_order(self) -> int:
+        """Order of the finite field used by the encoding."""
+        return self.encoded.ring.field.order
+
+    def tag_of(self, pre: int) -> Optional[str]:
+        """Tag name of a node (requires the retained plaintext document)."""
+        if self._plaintext is None:
+            return None
+        node = self._plaintext.numbering.by_pre(pre)
+        return node.tag if node else None
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "EncryptedXMLDatabase(nodes=%d, field=F_%d, rmi=%s)" % (
+            self.node_count,
+            self.field_order,
+            self.transport is not None,
+        )

@@ -1,0 +1,30 @@
+"""Encoding pipeline: plaintext XML → secret-shared polynomial rows.
+
+This is the Python equivalent of the prototype's ``MySQLEncode`` (section
+5.1).  It consumes three inputs —
+
+1. a **map file** assigning every tag name a non-zero field value,
+2. a **seed file** (the effective encryption key),
+3. the **XML document** —
+
+and fills the server's node table with one row per element::
+
+    (pre, post, parent, server-share coefficients)
+
+The encoder is streaming: it processes SAX events and keeps only one stack
+frame per open element (holding the running product of completed children),
+so memory is proportional to the document depth, matching the "thin client"
+design of the prototype.
+"""
+
+from repro.encode.encoder import EncodedDatabase, Encoder, EncodingStats, NODE_TABLE_NAME
+from repro.encode.tagmap import TagMap, TagMapError
+
+__all__ = [
+    "Encoder",
+    "EncodedDatabase",
+    "EncodingStats",
+    "NODE_TABLE_NAME",
+    "TagMap",
+    "TagMapError",
+]

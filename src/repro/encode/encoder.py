@@ -1,0 +1,245 @@
+"""The streaming encoder: XML events → secret-shared node rows.
+
+Equivalent of the prototype's ``MySQLEncode``.  The encoder walks the
+document with SAX-style events and maintains one frame per open element.
+Each frame accumulates the product of the polynomials of its already-closed
+children, so when an element closes its polynomial is a single ring
+multiplication away:
+
+    f(node) = (x − map(tag)) · Π f(child)
+
+The polynomial is then split additively — the client share is produced by the
+keyed PRG from ``(seed, pre)`` and discarded, the server share is stored in
+the node table together with the pre/post/parent numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.encode.tagmap import TagMap
+from repro.metrics.timer import Stopwatch
+from repro.poly.ring import QuotientRing, RingPolynomial
+from repro.prg.generator import KeyedPRG
+from repro.secretshare.additive import AdditiveSharing
+from repro.storage.database import Database
+from repro.storage.schema import Column, ColumnType, TableSchema
+from repro.storage.table import Table
+from repro.xmldoc.nodes import XMLDocument
+from repro.xmldoc.parser import ContentHandler, StreamingParser
+from repro.xmldoc.serializer import serialize
+
+#: name of the server-side node table
+NODE_TABLE_NAME = "nodes"
+
+#: byte width charged per pre/post/parent integer (MySQL INT)
+STRUCTURE_INT_BYTES = 4
+
+
+def node_table_schema() -> TableSchema:
+    """The relational schema of the server's node table."""
+    return TableSchema(
+        NODE_TABLE_NAME,
+        [
+            Column("pre", ColumnType.INTEGER),
+            Column("post", ColumnType.INTEGER),
+            Column("parent", ColumnType.INTEGER),
+            Column("share", ColumnType.INT_LIST),
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class EncodingStats:
+    """Size and time accounting for one encoding run (figure 4's rows)."""
+
+    #: number of element nodes encoded
+    node_count: int
+    #: serialised size of the input XML in bytes
+    input_bytes: int
+    #: bytes of polynomial share payload stored on the server
+    payload_bytes: int
+    #: bytes of pre/post/parent structure columns
+    structure_bytes: int
+    #: bytes of the B-tree indexes on pre/post/parent
+    index_bytes: int
+    #: wall-clock encoding time in seconds
+    encoding_seconds: float
+
+    @property
+    def output_bytes(self) -> int:
+        """Total stored bytes excluding indexes (the paper's "output size")."""
+        return self.payload_bytes + self.structure_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Stored bytes including indexes."""
+        return self.output_bytes + self.index_bytes
+
+    @property
+    def structure_fraction(self) -> float:
+        """Fraction of the output caused by pre/post/parent (paper: ≈17%)."""
+        if self.output_bytes == 0:
+            return 0.0
+        return self.structure_bytes / self.output_bytes
+
+    @property
+    def expansion_ratio(self) -> float:
+        """Output size over input size (paper: ≈1.5× for the payload)."""
+        if self.input_bytes == 0:
+            return 0.0
+        return self.output_bytes / self.input_bytes
+
+
+class EncodedDatabase:
+    """The result of encoding: the server database plus client-side context.
+
+    Only ``database`` lives on the server.  The tag map, seed/PRG and ring
+    stay with the client — they are exactly the secret material needed to
+    query.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        ring: QuotientRing,
+        tag_map: TagMap,
+        prg: KeyedPRG,
+        stats: EncodingStats,
+    ):
+        self.database = database
+        self.ring = ring
+        self.tag_map = tag_map
+        self.prg = prg
+        self.stats = stats
+
+    @property
+    def node_table(self) -> Table:
+        """The server's node table."""
+        return self.database.table(NODE_TABLE_NAME)
+
+    @property
+    def sharing(self) -> AdditiveSharing:
+        """An :class:`AdditiveSharing` bound to this database's ring and PRG."""
+        return AdditiveSharing(self.ring, self.prg)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "EncodedDatabase(nodes=%d, field=F_%d)" % (
+            len(self.node_table),
+            self.ring.field.order,
+        )
+
+
+class _EncodingHandler(ContentHandler):
+    """SAX handler performing the actual streaming encode."""
+
+    def __init__(self, encoder: "Encoder", table: Table):
+        self._encoder = encoder
+        self._table = table
+        self._ring = encoder.ring
+        self._sharing = encoder.sharing
+        self._tag_map = encoder.tag_map
+        # One frame per open element: [pre, tag_value, running_child_product]
+        self._stack: List[List] = []
+        self._pre_counter = 0
+        self._post_counter = 0
+        self.node_count = 0
+
+    def start_element(self, tag: str, attributes: Dict[str, str]) -> None:
+        self._pre_counter += 1
+        tag_value = self._tag_map.value(tag)
+        parent_pre = self._stack[-1][0] if self._stack else 0
+        self._stack.append([self._pre_counter, tag_value, self._ring.one(), parent_pre])
+
+    def end_element(self, tag: str) -> None:
+        self._post_counter += 1
+        pre, tag_value, child_product, parent_pre = self._stack.pop()
+        polynomial = self._ring.mul(self._ring.linear_factor(tag_value), child_product)
+        server_share = self._sharing.server_share(polynomial, pre)
+        self._table.insert(
+            {
+                "pre": pre,
+                "post": self._post_counter,
+                "parent": parent_pre,
+                "share": list(server_share.coeffs),
+            }
+        )
+        self.node_count += 1
+        if self._stack:
+            parent_frame = self._stack[-1]
+            parent_frame[2] = self._ring.mul(parent_frame[2], polynomial)
+
+    def characters(self, text: str) -> None:
+        # Text content is ignored by the tag-name encoding; the trie
+        # transform rewrites it into elements *before* encoding when data
+        # search is wanted.
+        return None
+
+
+class Encoder:
+    """Encodes XML documents into a server database of secret-shared rows."""
+
+    def __init__(
+        self,
+        tag_map: TagMap,
+        seed: bytes,
+        btree_order: int = 64,
+        index_columns: Optional[List[str]] = None,
+    ):
+        self.tag_map = tag_map
+        self.field = tag_map.field
+        self.ring = QuotientRing(self.field)
+        self.prg = KeyedPRG(seed, self.field)
+        self.sharing = AdditiveSharing(self.ring, self.prg)
+        self._btree_order = btree_order
+        self._index_columns = index_columns if index_columns is not None else ["pre", "post", "parent"]
+
+    # ------------------------------------------------------------------
+    # Encoding entry points
+    # ------------------------------------------------------------------
+
+    def encode_document(
+        self, document: XMLDocument, database: Optional[Database] = None
+    ) -> EncodedDatabase:
+        """Encode an in-memory document (convenience around the streaming path)."""
+        return self.encode_text(serialize(document), database=database)
+
+    def encode_text(self, xml_text: str, database: Optional[Database] = None) -> EncodedDatabase:
+        """Encode XML text, streaming through the SAX parser."""
+        database = database or Database()
+        table = database.create_table(node_table_schema(), btree_order=self._btree_order)
+        handler = _EncodingHandler(self, table)
+        watch = Stopwatch().start()
+        StreamingParser(handler).parse_string(xml_text)
+        for column in self._index_columns:
+            table.create_index(column, unique=(column in ("pre", "post")))
+        elapsed = watch.stop()
+        stats = self._build_stats(table, len(xml_text.encode("utf-8")), handler.node_count, elapsed)
+        return EncodedDatabase(database, self.ring, self.tag_map, self.prg, stats)
+
+    def encode_file(self, path: str, database: Optional[Database] = None, encoding: str = "utf-8") -> EncodedDatabase:
+        """Encode an XML file from disk."""
+        with open(path, "r", encoding=encoding) as handle:
+            return self.encode_text(handle.read(), database=database)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _build_stats(self, table: Table, input_bytes: int, node_count: int, elapsed: float) -> EncodingStats:
+        element_bytes = max(1, (self.field.element_bits + 7) // 8)
+        payload_bytes = table.column_bytes("share", element_bytes=element_bytes)
+        structure_bytes = sum(
+            table.column_bytes(column, int_width=STRUCTURE_INT_BYTES)
+            for column in ("pre", "post", "parent")
+        )
+        index_bytes = table.index_bytes()
+        return EncodingStats(
+            node_count=node_count,
+            input_bytes=input_bytes,
+            payload_bytes=payload_bytes,
+            structure_bytes=structure_bytes,
+            index_bytes=index_bytes,
+            encoding_seconds=elapsed,
+        )

@@ -1,0 +1,174 @@
+"""Tag maps: the private mapping from tag names to field values.
+
+The map file of the prototype is "a property file where each line is of the
+form ``name = value``, where name is one of the tag-names as specified by the
+DTD or XML schema and value ∈ F_{p^e}" (section 5.1).  The map is private to
+the client: the server only ever sees field values through polynomial shares.
+
+Values must be non-zero (evaluation at zero is undefined on the quotient
+ring) and distinct (two tags sharing a value would be indistinguishable to
+queries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.gf.base import Field
+from repro.gf.factory import field_for_alphabet, make_field
+from repro.prg.generator import SplitMix64
+
+
+class TagMapError(ValueError):
+    """Raised for invalid tag maps (duplicates, zero values, unknown tags)."""
+
+
+class TagMap:
+    """An injective mapping ``tag name → non-zero field value``."""
+
+    def __init__(self, field: Field, mapping: Dict[str, int]):
+        self.field = field
+        validated: Dict[str, int] = {}
+        seen_values: Dict[int, str] = {}
+        for name, value in mapping.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TagMapError("value for tag %r must be an int, got %r" % (name, value))
+            canonical = field.from_int(value)
+            if canonical == 0:
+                raise TagMapError(
+                    "tag %r maps to zero; zero is reserved (ring evaluation at 0 is undefined)" % name
+                )
+            if canonical in seen_values:
+                raise TagMapError(
+                    "tags %r and %r map to the same value %d" % (seen_values[canonical], name, canonical)
+                )
+            seen_values[canonical] = name
+            validated[name] = canonical
+        self._mapping = validated
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_names(
+        cls,
+        names: Iterable[str],
+        field: Optional[Field] = None,
+        shuffle_seed: Optional[int] = None,
+    ) -> "TagMap":
+        """Build a map for an alphabet of tag names.
+
+        When no field is given, the smallest suitable prime-power field is
+        selected automatically (77 XMark tags → ``F_83``, exactly the paper's
+        choice).  ``shuffle_seed`` optionally permutes the value assignment so
+        the mapping is not the trivial enumeration order — the mapping is part
+        of the client's secret material.
+        """
+        name_list = list(dict.fromkeys(names))
+        if not name_list:
+            raise TagMapError("cannot build a tag map from an empty name list")
+        if field is None:
+            field = field_for_alphabet(len(name_list))
+        # q - 1 must strictly exceed the alphabet size: if every non-zero
+        # field value can occur as a root, a subtree covering the whole
+        # alphabet collapses to the zero polynomial in the quotient ring and
+        # both matching tests lose their selectivity on it.
+        if len(name_list) >= field.order - 1:
+            raise TagMapError(
+                "field F_%d is too small for %d tag names (need at least %d elements)"
+                % (field.order, len(name_list), len(name_list) + 2)
+            )
+        values = list(range(1, len(name_list) + 1))
+        if shuffle_seed is not None:
+            values = _shuffle(values, shuffle_seed, field.order)
+        return cls(field, dict(zip(name_list, values)))
+
+    @classmethod
+    def load(cls, path: str, p: Optional[int] = None, e: int = 1) -> "TagMap":
+        """Load a ``name = value`` property file.
+
+        When ``p`` is omitted the field is sized from the largest value in
+        the file (next prime power above it).
+        """
+        mapping: Dict[str, int] = {}
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, raw_line in enumerate(handle, start=1):
+                line = raw_line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if "=" not in line:
+                    raise TagMapError("malformed map line %d: %r" % (line_number, raw_line))
+                name, _, value_text = line.partition("=")
+                name = name.strip()
+                try:
+                    value = int(value_text.strip())
+                except ValueError as error:
+                    raise TagMapError(
+                        "map line %d has a non-integer value: %r" % (line_number, raw_line)
+                    ) from error
+                if name in mapping:
+                    raise TagMapError("tag %r appears twice in %s" % (name, path))
+                mapping[name] = value
+        if not mapping:
+            raise TagMapError("map file %s is empty" % path)
+        if p is None:
+            field = field_for_alphabet(max(mapping.values()))
+        else:
+            field = make_field(p, e)
+        return cls(field, mapping)
+
+    def save(self, path: str) -> None:
+        """Write the map in the prototype's property-file format."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("# tag map over F_%d\n" % self.field.order)
+            for name in sorted(self._mapping):
+                handle.write("%s = %d\n" % (name, self._mapping[name]))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def value(self, name: str) -> int:
+        """The field value of a tag name (raises for unknown tags)."""
+        value = self._mapping.get(name)
+        if value is None:
+            raise TagMapError("tag %r is not present in the map" % name)
+        return value
+
+    def get(self, name: str) -> Optional[int]:
+        """The field value of a tag name, or ``None`` when unmapped."""
+        return self._mapping.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def names(self) -> List[str]:
+        """All mapped tag names."""
+        return list(self._mapping)
+
+    def items(self):
+        """Iterate ``(name, value)`` pairs."""
+        return self._mapping.items()
+
+    def inverse(self) -> Dict[int, str]:
+        """Value → name dictionary (used by tests and debugging tools)."""
+        return {value: name for name, value in self._mapping.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "TagMap(%d tags over F_%d)" % (len(self._mapping), self.field.order)
+
+
+def _shuffle(values: List[int], seed: int, field_order: int) -> List[int]:
+    """Deterministic Fisher–Yates shuffle of candidate values."""
+    # Draw candidate values from the full non-zero range of the field so the
+    # mapping does not reveal the number of tags through its maximum value.
+    rng = SplitMix64(seed)
+    pool = list(range(1, field_order))
+    for i in range(len(pool) - 1, 0, -1):
+        j = rng.next_below(i + 1)
+        pool[i], pool[j] = pool[j], pool[i]
+    return pool[: len(values)]

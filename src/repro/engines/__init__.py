@@ -1,0 +1,35 @@
+"""Query engines: SimpleQuery, AdvancedQuery and the plaintext reference.
+
+Section 5.3 of the paper describes two search strategies over the encrypted
+store:
+
+* **SimpleQuery** parses the XPath expression left to right.  Each step
+  expands the current result set along its axis (children or descendants,
+  fetched from the server) and filters the candidates with a single test per
+  node against the step's tag.
+* **AdvancedQuery** walks the tree from the root downwards.  At every node it
+  evaluates the node's polynomial at *all* remaining query tags — exploiting
+  the fact that a node's polynomial knows its whole subtree — so dead
+  branches are pruned early, at the price of more evaluations per node.
+
+Both engines run with either matching rule
+(:class:`~repro.filters.interface.MatchRule`): the cheap containment test
+(non-strict) or the exact equality test (strict).
+
+:class:`~repro.engines.plaintext.PlaintextEngine` evaluates the same query
+subset directly on the unencrypted document and is the ground truth used for
+correctness tests and for the accuracy measurements of figure 7.
+"""
+
+from repro.engines.advanced import AdvancedQueryEngine
+from repro.engines.base import EncryptedQueryEngine, QueryResult
+from repro.engines.plaintext import PlaintextEngine
+from repro.engines.simple import SimpleQueryEngine
+
+__all__ = [
+    "EncryptedQueryEngine",
+    "QueryResult",
+    "SimpleQueryEngine",
+    "AdvancedQueryEngine",
+    "PlaintextEngine",
+]

@@ -1,0 +1,158 @@
+"""The AdvancedQuery engine: root-to-leaf traversal with look-ahead pruning.
+
+Section 5.3: "In contrast to the SimpleQuery the AdvancedQuery takes the tree
+as the starting point and parses it from root to leaf nodes.  At each step
+the whole remaining query is taken into account.  We take advantage of the
+fact that nodes have knowledge of all descendants.  This way it is possible
+to identify dead branches early in the search process at the cost of more
+evaluations for each node."
+
+Concretely (matching the paper's worked example for ``/site/*/person//city``):
+
+1. Start with the root as the candidate for the first step and evaluate its
+   polynomial at *every* tag name occurring in the query; any non-zero sum
+   kills the query immediately.
+2. Consuming a child step means descending to the candidates' children; every
+   new candidate is evaluated against all tag names of the *remaining* query
+   (which includes the next step's own tag), pruning subtrees that cannot
+   possibly produce a result.
+3. A descendant step walks downwards from the current candidates, descending
+   only while the subtree still contains the step's tag, and collecting every
+   node that passes the test.
+4. Under strict checking the candidates of a named step are additionally
+   verified with the equality test; under non-strict checking the containment
+   evaluation performed by the look-ahead is all the filtering a named step
+   gets (the paper: "The implementation does not check if the node is a
+   person but if it contains it").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.engines.base import EncryptedQueryEngine
+from repro.filters.interface import MatchRule
+from repro.xpath.ast import Axis, Query, Step
+
+
+class AdvancedQueryEngine(EncryptedQueryEngine):
+    """Root-to-leaf evaluation with whole-remaining-query look-ahead."""
+
+    name = "advanced"
+
+    def _execute_steps(self, query: Query, rule: MatchRule) -> List[int]:
+        steps = query.steps
+        root = self.filter.root_pre()
+
+        # Candidates for the first step.
+        if steps[0].axis is Axis.CHILD:
+            candidates = [root]
+        else:
+            candidates = self._descendant_walk([root], steps[0], include_anchors=True)
+        candidates = self._lookahead_filter(candidates, query, 0, skip_tag=None)
+
+        for index, step in enumerate(steps):
+            is_last = index == len(steps) - 1
+
+            if step.is_parent:
+                # '..' maps the candidate nodes to their distinct parents;
+                # there is no node test to evaluate.
+                matched = self._parents_of_set(candidates)
+            else:
+                # Matching of the step's own tag: the containment look-ahead
+                # has already covered it for the non-strict rule; strict
+                # checking adds the expensive equality test on every
+                # surviving candidate.
+                matched = candidates
+                if step.is_name_test and rule is MatchRule.EQUALITY:
+                    matched = [pre for pre in matched if self.filter.equals(pre, step.test)]
+            if step.predicates:
+                matched = [pre for pre in matched if self._predicates_hold(pre, step, rule)]
+            if not matched:
+                return []
+            if is_last:
+                return matched
+
+            # Build the candidate set for the next step.
+            next_step = steps[index + 1]
+            if next_step.is_parent:
+                # A '..' step operates on the nodes just matched; no descent
+                # and no look-ahead here — the parent-step branch above maps
+                # to the parents and applies the look-ahead afterwards
+                # (matched nodes need not contain the tags their *parents*
+                # will be checked against).
+                candidates = list(matched)
+            else:
+                if next_step.axis is Axis.CHILD:
+                    candidates = self._children_of_set(matched)
+                    skip_tag = None
+                else:
+                    candidates = self._descendant_walk(matched, next_step, include_anchors=False)
+                    # The walk already evaluated the next step's own tag on
+                    # every collected node; do not evaluate it again.
+                    skip_tag = next_step.test if next_step.is_name_test else None
+                candidates = self._lookahead_filter(candidates, query, index + 1, skip_tag=skip_tag)
+                if not candidates:
+                    return []
+
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Look-ahead
+    # ------------------------------------------------------------------
+
+    def _lookahead_filter(
+        self, candidates: Sequence[int], query: Query, from_step: int, skip_tag
+    ) -> List[int]:
+        """Keep candidates whose subtree contains every remaining query tag.
+
+        ``from_step`` is the index of the step the candidates are meant for;
+        the filter evaluates every distinct tag name from that step onwards.
+        ``skip_tag`` suppresses a tag that the caller has already evaluated on
+        these candidates (avoids double-counting evaluations).
+        """
+        tags = [tag for tag in query.name_tests(from_step) if tag != skip_tag]
+        if not tags:
+            return sorted(set(candidates))
+        surviving = []
+        for pre in candidates:
+            if all(self.filter.contains(pre, tag) for tag in tags):
+                surviving.append(pre)
+        return sorted(set(surviving))
+
+    # ------------------------------------------------------------------
+    # Descendant steps
+    # ------------------------------------------------------------------
+
+    def _descendant_walk(
+        self, anchors: Sequence[int], step: Step, include_anchors: bool
+    ) -> List[int]:
+        """Pruned downward walk implementing a ``//tag`` step.
+
+        Starting from the anchors (or their children when the anchors
+        themselves already matched the previous step), the walk visits a node,
+        evaluates its polynomial at the step's tag and — because a zero sum
+        means the tag occurs somewhere below — descends further only on a
+        match.  Every matching node is collected; the wildcard ``//*`` form
+        collects every descendant without evaluations.
+        """
+        collected: List[int] = []
+        seen = set()
+        if include_anchors:
+            frontier = [pre for pre in anchors]
+        else:
+            frontier = self._children_of_set(anchors)
+        stack = list(frontier)
+        while stack:
+            pre = stack.pop()
+            if pre in seen:
+                continue
+            seen.add(pre)
+            if step.is_wildcard:
+                collected.append(pre)
+                stack.extend(self.filter.children_of(pre))
+                continue
+            if self.filter.contains(pre, step.test):
+                collected.append(pre)
+                stack.extend(self.filter.children_of(pre))
+        return sorted(collected)

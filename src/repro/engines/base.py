@@ -1,0 +1,177 @@
+"""Shared machinery of the encrypted query engines."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.filters.client import ClientFilter
+from repro.filters.interface import MatchRule
+from repro.metrics.timer import Stopwatch
+from repro.xpath.ast import (
+    Axis,
+    ContainsTextPredicate,
+    PathPredicate,
+    Query,
+    Step,
+    XPathError,
+)
+from repro.xpath.parser import parse_query
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The outcome of one query execution."""
+
+    #: the query as executed
+    query: str
+    #: engine name ("simple" or "advanced")
+    engine: str
+    #: matching rule used
+    rule: MatchRule
+    #: matching node ``pre`` numbers, sorted
+    matches: tuple
+    #: counter snapshot covering just this execution
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: wall-clock execution time in seconds
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    @property
+    def result_size(self) -> int:
+        """Number of matching nodes."""
+        return len(self.matches)
+
+    @property
+    def evaluations(self) -> int:
+        """Containment evaluations performed for this query."""
+        return self.counters.get("evaluations", 0)
+
+    @property
+    def equality_tests(self) -> int:
+        """Equality tests performed for this query."""
+        return self.counters.get("equality_tests", 0)
+
+
+class EncryptedQueryEngine(ABC):
+    """Base class of the two encrypted query engines.
+
+    Handles query parsing, the strict/non-strict rule selection, the
+    per-query counter bookkeeping and predicate evaluation; subclasses
+    implement :meth:`_execute_steps` with their search strategy.
+    """
+
+    #: engine name used in reports ("simple" / "advanced")
+    name = "abstract"
+
+    def __init__(self, client_filter: ClientFilter, rule: MatchRule = MatchRule.CONTAINMENT):
+        self.filter = client_filter
+        self.rule = rule
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(self, query: Union[str, Query], rule: Optional[MatchRule] = None) -> QueryResult:
+        """Run ``query`` and return the matching nodes plus measurements."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        active_rule = rule or self.rule
+        before = self.filter.counters.snapshot()
+        watch = Stopwatch().start()
+        matches = self._execute_steps(parsed, active_rule)
+        elapsed = watch.stop()
+        after = self.filter.counters.snapshot()
+        delta = {key: after.get(key, 0) - before.get(key, 0) for key in after}
+        return QueryResult(
+            query=parsed.to_string(),
+            engine=self.name,
+            rule=active_rule,
+            matches=tuple(sorted(set(matches))),
+            counters=delta,
+            elapsed_seconds=elapsed,
+        )
+
+    @abstractmethod
+    def _execute_steps(self, query: Query, rule: MatchRule) -> List[int]:
+        """Strategy-specific evaluation returning matching ``pre`` numbers."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _children_of_set(self, pres: Sequence[int]) -> List[int]:
+        """Union of the children of every node in ``pres`` (document order)."""
+        children: List[int] = []
+        seen = set()
+        for pre in pres:
+            for child in self.filter.children_of(pre):
+                if child not in seen:
+                    seen.add(child)
+                    children.append(child)
+        return sorted(children)
+
+    def _descendants_of_set(self, pres: Sequence[int]) -> List[int]:
+        """Union of the proper descendants of every node in ``pres``."""
+        descendants = set()
+        for pre in pres:
+            descendants.update(self.filter.descendants_of(pre))
+        return sorted(descendants)
+
+    def _parents_of_set(self, pres: Sequence[int]) -> List[int]:
+        """Distinct parents of the nodes in ``pres`` (the root's parent is dropped)."""
+        parents = set()
+        for pre in pres:
+            parent = self.filter.parent_of(pre)
+            if parent != 0:
+                parents.add(parent)
+        return sorted(parents)
+
+    def _matches_step(self, pre: int, step: Step, rule: MatchRule) -> bool:
+        """Test one candidate against one step's node test under ``rule``."""
+        if step.is_wildcard:
+            return True
+        if step.is_parent:
+            raise XPathError("'..' is handled structurally, not as a node test")
+        return self.filter.matches(pre, step.test, rule)
+
+    def _predicates_hold(self, pre: int, step: Step, rule: MatchRule) -> bool:
+        """Evaluate every predicate of ``step`` anchored at node ``pre``."""
+        for predicate in step.predicates:
+            if isinstance(predicate, ContainsTextPredicate):
+                raise XPathError(
+                    "contains(text(), …) must be rewritten for the trie representation "
+                    "before execution (see repro.xpath.rewrite.rewrite_for_trie)"
+                )
+            if isinstance(predicate, PathPredicate):
+                if not self._relative_path_exists(pre, predicate.path, rule):
+                    return False
+        return True
+
+    def _relative_path_exists(self, anchor: int, path: Query, rule: MatchRule) -> bool:
+        """Existence check of a relative path below ``anchor``.
+
+        Predicates are evaluated with the left-to-right strategy regardless of
+        the engine (they are short character paths after the trie rewriting),
+        with the same matching rule as the main query.
+        """
+        current = [anchor]
+        for step in path.steps:
+            if not current:
+                return False
+            if step.is_parent:
+                current = self._parents_of_set(current)
+                continue
+            if step.axis is Axis.CHILD:
+                candidates = self._children_of_set(current)
+            else:
+                candidates = self._descendants_of_set(current)
+            if step.is_wildcard:
+                current = candidates
+            else:
+                current = [pre for pre in candidates if self._matches_step(pre, step, rule)]
+            if step.predicates:
+                current = [pre for pre in current if self._predicates_hold(pre, step, rule)]
+        return bool(current)

@@ -1,0 +1,212 @@
+"""Client-side cost model and automatic engine selection.
+
+The paper's motivation for building two engines was that "it was not a priori
+clear which search strategy is the best" — the experiments then showed that
+the answer depends on the query: the advanced engine wins whenever ``//``
+steps appear (figure 6), while for short absolute paths the simple engine is
+marginally cheaper (figure 5).  This module captures that trade-off in a small
+analytical cost model so a client can pick the engine per query.
+
+The statistics the model needs (tag counts, average fan-out, subtree
+containment counts) are computed *client-side at encoding time* from the
+plaintext document, i.e. before it is discarded — nothing is requested from
+or revealed to the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.xmldoc.nodes import XMLDocument
+from repro.xmldoc.numbering import PrePostNumbering
+from repro.xpath.ast import Axis, Query
+from repro.xpath.parser import parse_query
+
+
+@dataclass(frozen=True)
+class DocumentStatistics:
+    """Aggregate structural statistics retained by the client.
+
+    ``tag_counts``        — number of nodes per tag name,
+    ``containing_counts`` — number of nodes whose subtree contains the tag,
+    ``node_count``        — total element count,
+    ``average_fanout``    — mean number of children per node,
+    ``height``            — tree height.
+    """
+
+    node_count: int
+    average_fanout: float
+    height: int
+    tag_counts: Dict[str, int] = field(default_factory=dict)
+    containing_counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_document(cls, document: XMLDocument) -> "DocumentStatistics":
+        """Scan the plaintext document once and collect the statistics."""
+        numbering = PrePostNumbering(document)
+        tag_counts: Dict[str, int] = {}
+        containing_counts: Dict[str, int] = {}
+        total_children = 0
+        for node in numbering:
+            tag_counts[node.tag] = tag_counts.get(node.tag, 0) + 1
+            total_children += len(node.element.children)
+            subtree_tags = {node.tag} | {d.tag for d in numbering.descendants_of(node.pre)}
+            for tag in subtree_tags:
+                containing_counts[tag] = containing_counts.get(tag, 0) + 1
+        count = len(numbering)
+        return cls(
+            node_count=count,
+            average_fanout=(total_children / count) if count else 0.0,
+            height=document.height(),
+            tag_counts=tag_counts,
+            containing_counts=containing_counts,
+        )
+
+    def count_of(self, tag: str) -> int:
+        """Number of nodes labelled ``tag`` (0 for unknown tags)."""
+        return self.tag_counts.get(tag, 0)
+
+    def containing(self, tag: str) -> int:
+        """Number of nodes whose subtree contains ``tag``."""
+        return self.containing_counts.get(tag, 0)
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted evaluation counts for one query."""
+
+    simple_evaluations: float
+    advanced_evaluations: float
+
+    @property
+    def recommended_engine(self) -> str:
+        """The engine with the lower predicted cost (ties go to 'simple')."""
+        if self.advanced_evaluations < self.simple_evaluations:
+            return "advanced"
+        return "simple"
+
+
+class EngineCostModel:
+    """Analytical estimate of the work each engine performs for a query.
+
+    The model tracks, step by step, the expected size of the candidate set:
+
+    * the **simple** engine pays one evaluation per candidate per named step;
+      a ``//`` step inflates the candidate set to the descendants of the
+      current result set,
+    * the **advanced** engine pays one evaluation per *remaining* query tag
+      per candidate, but its candidate set stays close to the true result
+      because subtrees that cannot contain the remaining tags are pruned.
+
+    The estimates are deliberately coarse — they only need to rank the two
+    engines, and the experiments show the gap is large exactly when it
+    matters (descendant-heavy queries).
+    """
+
+    def __init__(self, statistics: DocumentStatistics):
+        self.statistics = statistics
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def estimate(self, query: Union[str, Query]) -> CostEstimate:
+        """Predict evaluation counts for both engines."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return CostEstimate(
+            simple_evaluations=self._estimate_simple(parsed),
+            advanced_evaluations=self._estimate_advanced(parsed),
+        )
+
+    def choose_engine(self, query: Union[str, Query]) -> str:
+        """The engine the model recommends for ``query``."""
+        return self.estimate(query).recommended_engine
+
+    # ------------------------------------------------------------------
+    # Per-engine models
+    # ------------------------------------------------------------------
+
+    def _estimate_simple(self, query: Query) -> float:
+        stats = self.statistics
+        evaluations = 0.0
+        current = 1.0  # virtual document root
+        for index, step in enumerate(query.steps):
+            if step.is_parent:
+                continue
+            if step.axis is Axis.CHILD:
+                candidates = 1.0 if index == 0 else current * max(stats.average_fanout, 1.0)
+            else:
+                # Descendant step: all nodes below the current set.  Approximate
+                # by the share of the document dominated by the current nodes.
+                candidates = max(current, 1.0) * self._average_subtree_size()
+                candidates = min(candidates, float(stats.node_count))
+            if step.is_wildcard:
+                current = candidates
+                continue
+            evaluations += candidates
+            current = float(self._selectivity(step, candidates))
+            if current == 0.0:
+                break
+        return evaluations
+
+    def _estimate_advanced(self, query: Query) -> float:
+        stats = self.statistics
+        evaluations = 0.0
+        remaining_tags = len(query.name_tests(0))
+        current = 1.0
+        evaluations += remaining_tags  # root look-ahead
+        for index, step in enumerate(query.steps[:-1]):
+            next_step = query.steps[index + 1]
+            remaining = max(len(query.name_tests(index + 1)), 1)
+            if next_step.axis is Axis.CHILD or next_step.is_parent:
+                candidates = current * max(stats.average_fanout, 1.0)
+            else:
+                # Pruned walk: proportional to the true number of nodes that
+                # contain the target tag under the current set, not to the
+                # whole subtree.
+                target = next_step.test if next_step.is_name_test else None
+                containing = stats.containing(target) if target else stats.node_count
+                candidates = min(float(containing) + current * max(stats.average_fanout, 1.0) * 0.5,
+                                 float(stats.node_count))
+            evaluations += candidates * remaining
+            current = float(self._selectivity(next_step, candidates))
+            if current == 0.0:
+                break
+        return evaluations
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _average_subtree_size(self) -> float:
+        stats = self.statistics
+        if stats.height <= 1:
+            return 1.0
+        # A node halfway down the tree dominates roughly node_count / 2^depth
+        # nodes; use a middle-of-the-tree approximation.
+        return max(stats.node_count / max(2.0, stats.average_fanout + 1.0), 1.0)
+
+    def _selectivity(self, step, candidates: float) -> float:
+        stats = self.statistics
+        if step.is_wildcard or step.is_parent:
+            return candidates
+        count = stats.count_of(step.test)
+        if step.axis is Axis.DESCENDANT:
+            count = stats.containing(step.test)
+        return min(float(count), candidates)
+
+
+def recommend_engine(
+    query: Union[str, Query], document: Optional[XMLDocument] = None, statistics: Optional[DocumentStatistics] = None
+) -> str:
+    """One-shot convenience: recommend an engine for ``query``.
+
+    Either a plaintext document (statistics are computed on the fly) or
+    pre-computed :class:`DocumentStatistics` must be supplied.
+    """
+    if statistics is None:
+        if document is None:
+            raise ValueError("recommend_engine needs a document or pre-computed statistics")
+        statistics = DocumentStatistics.from_document(document)
+    return EngineCostModel(statistics).choose_engine(query)

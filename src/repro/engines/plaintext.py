@@ -1,0 +1,132 @@
+"""Plaintext reference engine: exact XPath-subset evaluation on the document.
+
+This engine never touches the encrypted store.  It evaluates the same query
+subset directly against the original :class:`~repro.xmldoc.nodes.XMLDocument`
+using the pre/post/parent numbering, so its results are the ground truth:
+
+* correctness tests assert that both encrypted engines under the *equality*
+  rule return exactly these results,
+* the accuracy experiment (figure 7) uses it to size ``E`` (the exact result)
+  against ``C`` (the containment result).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.xmldoc.nodes import XMLDocument
+from repro.xmldoc.numbering import PrePostNumbering
+from repro.xpath.ast import (
+    Axis,
+    ContainsTextPredicate,
+    PathPredicate,
+    Query,
+    Step,
+    XPathError,
+)
+from repro.xpath.parser import parse_query
+
+
+class PlaintextEngine:
+    """Evaluates the XPath subset on an unencrypted document."""
+
+    name = "plaintext"
+
+    def __init__(self, document: XMLDocument):
+        self.document = document
+        self.numbering = PrePostNumbering(document)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(self, query: Union[str, Query]) -> List[int]:
+        """Run ``query`` and return the sorted ``pre`` numbers of the matches."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return self._evaluate(parsed, context=None)
+
+    def execute_tags(self, query: Union[str, Query]) -> List[str]:
+        """Like :meth:`execute` but returning the matched tag names."""
+        return [self.numbering.by_pre(pre).tag for pre in self.execute(query)]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, query: Query, context) -> List[int]:
+        current: List[int] = list(context) if context is not None else []
+        at_document_root = context is None
+
+        for step in query.steps:
+            if step.is_parent:
+                if at_document_root:
+                    return []
+                current = self._parents(current)
+                continue
+
+            if step.axis is Axis.CHILD:
+                if at_document_root:
+                    candidates = [self.numbering.root.pre]
+                else:
+                    candidates = self._children(current)
+            else:
+                if at_document_root:
+                    root_pre = self.numbering.root.pre
+                    candidates = sorted(
+                        {root_pre, *(node.pre for node in self.numbering.descendants_of(root_pre))}
+                    )
+                else:
+                    candidates = self._descendants(current)
+            at_document_root = False
+
+            if step.is_wildcard:
+                current = candidates
+            else:
+                current = [
+                    pre for pre in candidates if self.numbering.by_pre(pre).tag == step.test
+                ]
+
+            if step.predicates:
+                current = [pre for pre in current if self._predicates_hold(pre, step)]
+
+            if not current:
+                return []
+
+        return sorted(set(current))
+
+    def _predicates_hold(self, pre: int, step: Step) -> bool:
+        for predicate in step.predicates:
+            if isinstance(predicate, ContainsTextPredicate):
+                element = self.numbering.by_pre(pre).element
+                if predicate.literal.lower() not in element.text_content().lower():
+                    return False
+            elif isinstance(predicate, PathPredicate):
+                if not self._evaluate(predicate.path, context=[pre]):
+                    return False
+            else:  # pragma: no cover - defensive
+                raise XPathError("unsupported predicate %r" % (predicate,))
+        return True
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+
+    def _children(self, pres: Sequence[int]) -> List[int]:
+        children = set()
+        for pre in pres:
+            children.update(node.pre for node in self.numbering.children_of(pre))
+        return sorted(children)
+
+    def _descendants(self, pres: Sequence[int]) -> List[int]:
+        descendants = set()
+        for pre in pres:
+            descendants.update(node.pre for node in self.numbering.descendants_of(pre))
+        return sorted(descendants)
+
+    def _parents(self, pres: Sequence[int]) -> List[int]:
+        parents = set()
+        for pre in pres:
+            node = self.numbering.parent_of(pre)
+            if node is not None:
+                parents.add(node.pre)
+        return sorted(parents)

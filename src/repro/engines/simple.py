@@ -1,0 +1,66 @@
+"""The SimpleQuery engine: left-to-right step evaluation.
+
+Section 5.3: "The most simple search strategy parses the XPath query into
+steps where each step consists of a direction (child (/) or descendant (//))
+and a tag name."  Each step expands the current result set along its axis and
+filters the candidates with one test per node against the step's own tag —
+no look-ahead, so descendant steps can blow the candidate set up considerably
+(the paper's ``//city`` example).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engines.base import EncryptedQueryEngine
+from repro.filters.interface import MatchRule
+from repro.xpath.ast import Axis, Query
+
+
+class SimpleQueryEngine(EncryptedQueryEngine):
+    """Left-to-right evaluation with a single test per candidate node."""
+
+    name = "simple"
+
+    def _execute_steps(self, query: Query, rule: MatchRule) -> List[int]:
+        # ``current`` is the set of nodes matching the steps consumed so far.
+        # ``at_document_root`` marks the virtual context before the first
+        # step: "/x" starts at the document root whose only child is the root
+        # element, "//x" may match any node of the document.
+        current: List[int] = []
+        at_document_root = True
+
+        for step in query.steps:
+            if step.is_parent:
+                if at_document_root:
+                    return []
+                current = self._parents_of_set(current)
+                continue
+
+            if step.axis is Axis.CHILD:
+                if at_document_root:
+                    candidates = [self.filter.root_pre()]
+                else:
+                    candidates = self._children_of_set(current)
+            else:  # descendant axis
+                if at_document_root:
+                    root = self.filter.root_pre()
+                    candidates = sorted({root, *self.filter.descendants_of(root)})
+                else:
+                    candidates = self._descendants_of_set(current)
+            at_document_root = False
+
+            if step.is_wildcard:
+                # "The * reduces the workload because no additional filtering
+                # is needed" — every candidate survives without an evaluation.
+                current = candidates
+            else:
+                current = [pre for pre in candidates if self._matches_step(pre, step, rule)]
+
+            if step.predicates:
+                current = [pre for pre in current if self._predicates_hold(pre, step, rule)]
+
+            if not current:
+                return []
+
+        return current

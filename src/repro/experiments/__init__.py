@@ -1,0 +1,49 @@
+"""Experiment harness: one runner per table/figure of the paper's evaluation.
+
+| Paper reference        | Runner                                             |
+|------------------------|----------------------------------------------------|
+| Figure 4 (§6.1)        | :func:`repro.experiments.encoding.run_encoding_experiment` |
+| Figure 5 + Table 1     | :func:`repro.experiments.query_length.run_query_length_experiment` |
+| Figure 6 + Table 2     | :func:`repro.experiments.strictness.run_strictness_experiment` |
+| Figure 7               | :func:`repro.experiments.accuracy.run_accuracy_experiment` |
+| §4 trie size claims    | :func:`repro.experiments.trie_compression.run_trie_compression_experiment` |
+| Design-choice ablations| :mod:`repro.experiments.ablations` |
+
+Each runner returns an :class:`repro.metrics.records.ExperimentRecord`; the
+:mod:`repro.experiments.reporting` module renders records as the text tables
+the benchmark harness prints and EXPERIMENTS.md reproduces.
+
+Scale knobs: every runner takes an explicit ``scale`` (≈ megabytes of XMark
+input).  The benchmarks default to small scales so the suite is laptop-fast
+and honour the ``REPRO_BENCH_SCALE`` environment variable for paper-sized
+runs (``REPRO_BENCH_SCALE=1.0`` ≈ the paper's smallest document).
+"""
+
+from repro.experiments.accuracy import run_accuracy_experiment
+from repro.experiments.encoding import run_encoding_experiment
+from repro.experiments.query_length import run_query_length_experiment
+from repro.experiments.reporting import render_record, render_table
+from repro.experiments.strictness import run_strictness_experiment
+from repro.experiments.trie_compression import run_trie_compression_experiment
+from repro.experiments.workloads import (
+    TABLE1_QUERIES,
+    TABLE2_QUERIES,
+    build_database,
+    build_document,
+    bench_scale,
+)
+
+__all__ = [
+    "run_encoding_experiment",
+    "run_query_length_experiment",
+    "run_strictness_experiment",
+    "run_accuracy_experiment",
+    "run_trie_compression_experiment",
+    "render_record",
+    "render_table",
+    "TABLE1_QUERIES",
+    "TABLE2_QUERIES",
+    "build_document",
+    "build_database",
+    "bench_scale",
+]

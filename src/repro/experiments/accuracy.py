@@ -1,0 +1,63 @@
+"""Figure 7 — accuracy of the containment test.
+
+Accuracy is defined as ``E / C`` where ``E`` is the result-set size under the
+equality test and ``C`` the result-set size under the containment test for
+the same query.  The paper observes that accuracy drops with every ``//`` in
+the query and reaches 100% for absolute queries without ``//``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.database import EncryptedXMLDatabase
+from repro.experiments.workloads import TABLE2_QUERIES, bench_scale, build_database
+from repro.metrics.records import ExperimentRecord, QueryMeasurement
+from repro.xpath.parser import parse_query
+
+
+def run_accuracy_experiment(
+    database: Optional[EncryptedXMLDatabase] = None,
+    queries: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+    engine: str = "advanced",
+) -> ExperimentRecord:
+    """Measure containment-test accuracy (E/C) for each table-2 query."""
+    if database is None:
+        database = build_database(scale=scale if scale is not None else bench_scale())
+    queries = list(queries) if queries is not None else list(TABLE2_QUERIES)
+
+    record = ExperimentRecord(
+        experiment_id="figure-7",
+        title="Accuracy of the containment test (E/C)",
+        parameters={"engine": engine, "queries": queries, "nodes": database.node_count},
+    )
+
+    for index, query in enumerate(queries, start=1):
+        equality_result = database.query(query, engine=engine, strict=True)
+        containment_result = database.query(query, engine=engine, strict=False)
+        exact = len(equality_result.matches)
+        loose = len(containment_result.matches)
+        accuracy = (exact / loose * 100.0) if loose else 100.0
+        descendant_steps = parse_query(query).descendant_step_count()
+        record.add(
+            QueryMeasurement(
+                query=query,
+                engine=engine,
+                test="accuracy",
+                result_size=exact,
+                evaluations=containment_result.evaluations,
+                equality_tests=equality_result.equality_tests,
+                elapsed_seconds=equality_result.elapsed_seconds + containment_result.elapsed_seconds,
+                extra={
+                    "query_number": index,
+                    "equality_size": exact,
+                    "containment_size": loose,
+                    "accuracy_percent": accuracy,
+                    "descendant_steps": descendant_steps,
+                },
+            )
+        )
+        record.add_series_point("accuracy_percent", accuracy)
+        record.add_series_point("descendant_steps", descendant_steps)
+    return record

@@ -1,0 +1,106 @@
+"""Figure 4 — encoding cost: output size, index size and time vs input size.
+
+The paper encodes XMark documents of 1–10 MB and plots (i) the encoded
+database size, (ii) the size of the B-tree indices on pre/post/parent and
+(iii) the encoding time, all against the input XML size.  The reported
+findings: both storage and time are strictly linear in the input; roughly
+17% of the output is the pre/post/parent bookkeeping; the remainder is about
+1.5× the input size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.encode.encoder import Encoder
+from repro.encode.tagmap import TagMap
+from repro.experiments.workloads import (
+    DEFAULT_DOCUMENT_SEED,
+    DEFAULT_ENCODING_SEED,
+    PAPER_E,
+    PAPER_P,
+    bench_scale,
+)
+from repro.gf.factory import make_field
+from repro.metrics.records import ExperimentRecord
+from repro.xmark.generator import generate_document
+from repro.xmldoc.dtd import XMARK_DTD
+from repro.xmldoc.serializer import serialize
+
+
+def run_encoding_experiment(
+    scales: Optional[Sequence[float]] = None,
+    p: int = PAPER_P,
+    e: int = PAPER_E,
+    document_seed: int = DEFAULT_DOCUMENT_SEED,
+    encoding_seed: bytes = DEFAULT_ENCODING_SEED,
+) -> ExperimentRecord:
+    """Encode documents of increasing size and record the figure-4 series.
+
+    ``scales`` is the list of document scales (≈ MB).  When omitted, a sweep
+    of ten sizes is derived from :func:`repro.experiments.workloads.bench_scale`
+    so the paper's 1–10 MB sweep is reproduced at ``REPRO_BENCH_SCALE=1``.
+    """
+    if scales is None:
+        unit = bench_scale(0.01)
+        scales = [unit * step for step in range(1, 11)]
+
+    field = make_field(p, e)
+    tag_map = TagMap.from_names(XMARK_DTD.element_names(), field=field)
+    record = ExperimentRecord(
+        experiment_id="figure-4",
+        title="Encoding: output size, index size and time vs input size",
+        parameters={"p": p, "e": e, "scales": list(scales)},
+    )
+
+    for scale in scales:
+        document = generate_document(scale=scale, seed=document_seed)
+        xml_text = serialize(document)
+        encoder = Encoder(tag_map, encoding_seed)
+        encoded = encoder.encode_text(xml_text)
+        stats = encoded.stats
+        record.add_series_point("input_mb", stats.input_bytes / 1_000_000.0)
+        record.add_series_point("output_mb", stats.output_bytes / 1_000_000.0)
+        record.add_series_point("index_mb", stats.index_bytes / 1_000_000.0)
+        record.add_series_point("time_s", stats.encoding_seconds)
+        record.add_series_point("nodes", stats.node_count)
+        record.add_series_point("structure_fraction", stats.structure_fraction)
+        record.add_series_point("expansion_ratio", stats.expansion_ratio)
+    return record
+
+
+def summarize_linearity(record: ExperimentRecord) -> dict:
+    """Least-squares slopes of output size and time against input size.
+
+    The paper's claim is strict linearity; the harness reports the slope and
+    the coefficient of determination so EXPERIMENTS.md can quote them.
+    """
+    inputs = record.series.get("input_mb", [])
+    summary = {}
+    for series_name in ("output_mb", "time_s", "index_mb"):
+        values = record.series.get(series_name, [])
+        if len(inputs) >= 2 and len(values) == len(inputs):
+            slope, intercept, r_squared = _least_squares(inputs, values)
+            summary[series_name] = {
+                "slope": slope,
+                "intercept": intercept,
+                "r_squared": r_squared,
+            }
+    return summary
+
+
+def _least_squares(xs: List[float], ys: List[float]):
+    """Simple one-dimensional least squares fit returning (slope, intercept, R^2)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    variance = sum((x - mean_x) ** 2 for x in xs)
+    if variance == 0:
+        return 0.0, mean_y, 0.0
+    slope = covariance / variance
+    intercept = mean_y - slope * mean_x
+    residual = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    total = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return slope, intercept, r_squared

@@ -1,0 +1,62 @@
+"""Figure 5 + Table 1 — evaluations vs query length, simple vs advanced.
+
+The paper runs the nine prefix queries of table 1 (chosen so the advanced
+engine's look-ahead cannot prune anything — the DTD already guarantees every
+containment) and plots, per query, the result-set size and the number of
+polynomial evaluations of each engine.  The finding: the two engines are
+comparable, differing by at most a constant factor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.database import EncryptedXMLDatabase
+from repro.experiments.workloads import TABLE1_QUERIES, bench_scale, build_database
+from repro.filters.interface import MatchRule
+from repro.metrics.records import ExperimentRecord, QueryMeasurement
+
+
+def run_query_length_experiment(
+    database: Optional[EncryptedXMLDatabase] = None,
+    queries: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+    rule: MatchRule = MatchRule.CONTAINMENT,
+) -> ExperimentRecord:
+    """Run the table-1 queries on both engines and collect evaluation counts."""
+    if database is None:
+        database = build_database(scale=scale if scale is not None else bench_scale())
+    queries = list(queries) if queries is not None else list(TABLE1_QUERIES)
+
+    record = ExperimentRecord(
+        experiment_id="figure-5",
+        title="Varying the query length: evaluations, simple vs advanced",
+        parameters={
+            "rule": rule.value,
+            "queries": queries,
+            "nodes": database.node_count,
+            "field": database.field_order,
+        },
+    )
+
+    for index, query in enumerate(queries, start=1):
+        for engine in ("simple", "advanced"):
+            before_calls = database.transport_stats.calls
+            before_bytes = database.transport_stats.total_bytes
+            result = database.query(query, engine=engine, strict=rule.is_strict)
+            record.add(
+                QueryMeasurement(
+                    query=query,
+                    engine=engine,
+                    test=rule.value,
+                    result_size=result.result_size,
+                    evaluations=result.evaluations,
+                    equality_tests=result.equality_tests,
+                    elapsed_seconds=result.elapsed_seconds,
+                    remote_calls=database.transport_stats.calls - before_calls,
+                    remote_bytes=database.transport_stats.total_bytes - before_bytes,
+                    extra={"query_number": index, "query_length": len(query.strip("/").split("/"))},
+                )
+            )
+        record.add_series_point("output_size", record.measurements[-1].result_size)
+    return record

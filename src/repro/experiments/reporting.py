@@ -1,0 +1,147 @@
+"""Plain-text rendering of experiment records.
+
+The benchmark harness prints these tables so the rows/series of every paper
+figure can be compared side by side with the published plots; the same
+renderer produced the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.metrics.records import ExperimentRecord
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an ASCII table with right-padded columns."""
+    columns = [list(map(_format_cell, column)) for column in zip(*([headers] + [list(r) for r in rows]))] if rows else [[_format_cell(h)] for h in headers]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(map(_format_cell, headers), widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_format_cell(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return "%.4g" % value
+        return "%.3f" % value
+    return str(value)
+
+
+def render_record(record: ExperimentRecord) -> str:
+    """Render one experiment record as a titled text report."""
+    renderer = _RENDERERS.get(record.experiment_id, _render_generic)
+    body = renderer(record)
+    title = "%s — %s" % (record.experiment_id, record.title)
+    return "%s\n%s\n%s" % (title, "=" * len(title), body)
+
+
+# ----------------------------------------------------------------------
+# Per-experiment renderers
+# ----------------------------------------------------------------------
+
+
+def _render_encoding(record: ExperimentRecord) -> str:
+    headers = ["input (MB)", "output (MB)", "index (MB)", "time (s)", "nodes", "struct %", "output/input"]
+    rows = []
+    series = record.series
+    for i in range(len(series.get("input_mb", []))):
+        rows.append(
+            [
+                series["input_mb"][i],
+                series["output_mb"][i],
+                series["index_mb"][i],
+                series["time_s"][i],
+                series["nodes"][i],
+                series["structure_fraction"][i] * 100.0,
+                series["expansion_ratio"][i],
+            ]
+        )
+    return render_table(headers, rows)
+
+
+def _render_query_length(record: ExperimentRecord) -> str:
+    headers = ["#", "query", "engine", "result size", "evaluations", "equality tests", "time (s)"]
+    rows = []
+    for measurement in record.measurements:
+        rows.append(
+            [
+                measurement.extra.get("query_number", ""),
+                measurement.query,
+                measurement.engine,
+                measurement.result_size,
+                measurement.evaluations,
+                measurement.equality_tests,
+                measurement.elapsed_seconds,
+            ]
+        )
+    return render_table(headers, rows)
+
+
+def _render_strictness(record: ExperimentRecord) -> str:
+    headers = ["#", "query", "configuration", "result size", "evaluations", "equality tests", "time (s)"]
+    rows = []
+    for measurement in record.measurements:
+        rows.append(
+            [
+                measurement.extra.get("query_number", ""),
+                measurement.query,
+                measurement.extra.get("configuration", ""),
+                measurement.result_size,
+                measurement.evaluations,
+                measurement.equality_tests,
+                measurement.elapsed_seconds,
+            ]
+        )
+    return render_table(headers, rows)
+
+
+def _render_accuracy(record: ExperimentRecord) -> str:
+    headers = ["#", "query", "// steps", "equality size (E)", "containment size (C)", "accuracy %"]
+    rows = []
+    for measurement in record.measurements:
+        rows.append(
+            [
+                measurement.extra.get("query_number", ""),
+                measurement.query,
+                measurement.extra.get("descendant_steps", ""),
+                measurement.extra.get("equality_size", ""),
+                measurement.extra.get("containment_size", ""),
+                measurement.extra.get("accuracy_percent", ""),
+            ]
+        )
+    return render_table(headers, rows)
+
+
+def _render_trie(record: ExperimentRecord) -> str:
+    rows = [[name, values[0] if values else ""] for name, values in record.series.items()]
+    return render_table(["metric", "value"], rows)
+
+
+def _render_generic(record: ExperimentRecord) -> str:
+    parts: List[str] = []
+    if record.series:
+        rows = [[name, ", ".join(_format_cell(v) for v in values)] for name, values in record.series.items()]
+        parts.append(render_table(["series", "values"], rows))
+    if record.measurements:
+        headers = ["query", "engine", "test", "result size", "evaluations", "time (s)"]
+        rows = [
+            [m.query, m.engine, m.test, m.result_size, m.evaluations, m.elapsed_seconds]
+            for m in record.measurements
+        ]
+        parts.append(render_table(headers, rows))
+    return "\n\n".join(parts) if parts else "(empty record)"
+
+
+_RENDERERS = {
+    "figure-4": _render_encoding,
+    "figure-5": _render_query_length,
+    "figure-6": _render_strictness,
+    "figure-7": _render_accuracy,
+    "section-4-trie": _render_trie,
+}

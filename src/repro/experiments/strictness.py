@@ -1,0 +1,74 @@
+"""Figure 6 + Table 2 — strict vs non-strict checking on both engines.
+
+For each of the five table-2 queries the paper runs four configurations —
+{simple, advanced} × {equality (strict), containment (non-strict)} — and
+plots the execution time.  Findings: the advanced algorithm outperforms the
+simple one on every query; strict checking sometimes costs a little and
+sometimes helps a lot (it shrinks the intermediate result sets).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.database import EncryptedXMLDatabase
+from repro.experiments.workloads import TABLE2_QUERIES, bench_scale, build_database
+from repro.metrics.records import ExperimentRecord, QueryMeasurement
+
+_CONFIGURATIONS = (
+    ("simple", False, "non-strict/simple"),
+    ("simple", True, "strict/simple"),
+    ("advanced", False, "non-strict/advanced"),
+    ("advanced", True, "strict/advanced"),
+)
+
+
+def run_strictness_experiment(
+    database: Optional[EncryptedXMLDatabase] = None,
+    queries: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+) -> ExperimentRecord:
+    """Run every table-2 query in all four engine/test configurations."""
+    if database is None:
+        database = build_database(scale=scale if scale is not None else bench_scale())
+    queries = list(queries) if queries is not None else list(TABLE2_QUERIES)
+
+    record = ExperimentRecord(
+        experiment_id="figure-6",
+        title="Strictness: equality test versus containment test",
+        parameters={
+            "queries": queries,
+            "nodes": database.node_count,
+            "field": database.field_order,
+        },
+    )
+
+    for index, query in enumerate(queries, start=1):
+        for engine, strict, label in _CONFIGURATIONS:
+            before_calls = database.transport_stats.calls
+            before_bytes = database.transport_stats.total_bytes
+            result = database.query(query, engine=engine, strict=strict)
+            record.add(
+                QueryMeasurement(
+                    query=query,
+                    engine=engine,
+                    test="equality" if strict else "containment",
+                    result_size=result.result_size,
+                    evaluations=result.evaluations,
+                    equality_tests=result.equality_tests,
+                    elapsed_seconds=result.elapsed_seconds,
+                    remote_calls=database.transport_stats.calls - before_calls,
+                    remote_bytes=database.transport_stats.total_bytes - before_bytes,
+                    extra={"query_number": index, "configuration": label},
+                )
+            )
+    return record
+
+
+def configuration_times(record: ExperimentRecord) -> dict:
+    """Per-configuration list of execution times, keyed like the figure legend."""
+    times: dict = {}
+    for measurement in record.measurements:
+        label = measurement.extra.get("configuration", "%s/%s" % (measurement.test, measurement.engine))
+        times.setdefault(label, []).append(measurement.elapsed_seconds)
+    return times

@@ -1,0 +1,97 @@
+"""Shared workload definitions: queries, documents, database construction.
+
+The queries are transcribed verbatim from the paper:
+
+* **Table 1** — nine prefix queries of increasing length along the path
+  ``/site/regions/europe/item/description/parlist/listitem/text/keyword``
+  (the worst case for the advanced engine: the DTD already guarantees every
+  containment the look-ahead checks).
+* **Table 2** — five queries mixing ``//`` and ``*`` used by the strictness
+  (figure 6) and accuracy (figure 7) experiments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.core.database import EncryptedXMLDatabase
+from repro.xmark.generator import generate_document
+from repro.xmldoc.dtd import XMARK_DTD
+from repro.xmldoc.nodes import XMLDocument
+
+#: Table 1: queries with increasing length (figure 5's x-axis).
+TABLE1_QUERIES: List[str] = [
+    "/site",
+    "/site/regions",
+    "/site/regions/europe",
+    "/site/regions/europe/item",
+    "/site/regions/europe/item/description",
+    "/site/regions/europe/item/description/parlist",
+    "/site/regions/europe/item/description/parlist/listitem",
+    "/site/regions/europe/item/description/parlist/listitem/text",
+    "/site/regions/europe/item/description/parlist/listitem/text/keyword",
+]
+
+#: Table 2: queries for the strictness and accuracy checks (figures 6 and 7).
+TABLE2_QUERIES: List[str] = [
+    "/site//europe/item",
+    "/site//europe//item",
+    "/site/*/person//city",
+    "/*/*/open_auction/bidder/date",
+    "//bidder/date",
+]
+
+#: the paper's field configuration for XMark documents
+PAPER_P = 83
+PAPER_E = 1
+
+#: deterministic seed material used by the experiment harness
+DEFAULT_DOCUMENT_SEED = 20050905
+DEFAULT_ENCODING_SEED = b"sdm-2005-brinkman-reproduction-seed!"
+
+
+def bench_scale(default: float = 0.02) -> float:
+    """Document scale for benchmarks, overridable via ``REPRO_BENCH_SCALE``.
+
+    ``scale`` ≈ megabytes of XMark XML.  The default keeps CI runs fast;
+    ``REPRO_BENCH_SCALE=1`` reproduces the smallest paper-sized document and
+    ``REPRO_BENCH_SCALE=10`` the largest.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALE")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError as error:
+        raise ValueError("REPRO_BENCH_SCALE must be a number, got %r" % raw) from error
+    if value <= 0:
+        raise ValueError("REPRO_BENCH_SCALE must be positive, got %r" % raw)
+    return value
+
+
+def build_document(scale: float, seed: int = DEFAULT_DOCUMENT_SEED) -> XMLDocument:
+    """Generate the XMark-style document used by the query experiments."""
+    return generate_document(scale=scale, seed=seed)
+
+
+def build_database(
+    scale: float = 0.02,
+    document: Optional[XMLDocument] = None,
+    use_rmi: bool = True,
+    seed: bytes = DEFAULT_ENCODING_SEED,
+    p: int = PAPER_P,
+    e: int = PAPER_E,
+) -> EncryptedXMLDatabase:
+    """Encode a document with the paper's configuration (``F_83``, XMark DTD map)."""
+    if document is None:
+        document = build_document(scale)
+    return EncryptedXMLDatabase.from_document(
+        document,
+        tag_names=XMARK_DTD.element_names(),
+        seed=seed,
+        p=p,
+        e=e,
+        use_rmi=use_rmi,
+        keep_plaintext=True,
+    )

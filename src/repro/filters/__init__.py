@@ -1,0 +1,23 @@
+"""The distributed filter: basic operations shared by both query engines.
+
+Section 5.2 of the paper: *"Each different query engine will use the same set
+of basic operations.  These operations are offered by ServerFilter and
+ClientFilter.  Both classes implement a common interface Filter but are
+adapted to work on the server site respectively the client site."*
+
+* :class:`~repro.filters.interface.Filter` — the common interface.
+* :class:`~repro.filters.server.ServerFilter` — runs "on the server": answers
+  structural queries from the indexed node table, evaluates stored shares,
+  and buffers intermediate result queues so the thin client only ever holds
+  one node at a time (the ``next_node`` pipeline).
+* :class:`~repro.filters.client.ClientFilter` — runs "on the client": holds
+  the secret seed and tag map, regenerates client shares, combines them with
+  server results, and exposes the two matching rules (containment test and
+  equality test) to the query engines.
+"""
+
+from repro.filters.client import ClientFilter
+from repro.filters.interface import Filter, MatchRule
+from repro.filters.server import ServerFilter
+
+__all__ = ["Filter", "MatchRule", "ServerFilter", "ClientFilter"]

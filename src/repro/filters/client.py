@@ -1,0 +1,188 @@
+"""Client-side filter: share regeneration, containment and equality tests.
+
+The client holds the secret material (seed → PRG, tag map) and talks to the
+server filter — directly or through an RMI-style proxy.  Its job per node is:
+
+* **containment test**: ask the server to evaluate its stored share at the
+  mapped tag value, evaluate the regenerated client share at the same point,
+  add the two results; zero means the tag occurs somewhere in the subtree.
+* **equality test**: fetch the node's share and all of its children's
+  shares, reconstruct the full polynomials, and check that the node's own
+  factor (after taking out the product of the children) is exactly
+  ``x − map(tag)``.
+
+Every primitive updates the shared :class:`~repro.metrics.counters.EvaluationCounters`
+so the experiment harness can report the same numbers the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.encode.tagmap import TagMap
+from repro.filters.interface import Filter, MatchRule
+from repro.metrics.counters import EvaluationCounters
+from repro.poly.ring import QuotientRing, RingPolynomial
+from repro.secretshare.additive import AdditiveSharing
+
+
+class ClientFilter(Filter):
+    """The trusted half of the filter pair."""
+
+    def __init__(
+        self,
+        server,
+        sharing: AdditiveSharing,
+        tag_map: TagMap,
+        counters: Optional[EvaluationCounters] = None,
+    ):
+        """``server`` is a :class:`ServerFilter` or a proxy exposing its methods."""
+        self._server = server
+        self._sharing = sharing
+        self._ring: QuotientRing = sharing.ring
+        self._tag_map = tag_map
+        self.counters = counters or EvaluationCounters()
+
+    # ------------------------------------------------------------------
+    # Structure passthrough (counted as server fetches)
+    # ------------------------------------------------------------------
+
+    def root_pre(self) -> int:
+        """Locate the root node on the server."""
+        self.counters.count_fetch()
+        return self._server.root_pre()
+
+    def children_of(self, pre: int) -> List[int]:
+        """Direct children of ``pre`` (document order)."""
+        self.counters.count_fetch()
+        return list(self._server.children_of(pre))
+
+    def descendants_of(self, pre: int) -> List[int]:
+        """All proper descendants of ``pre``."""
+        self.counters.count_fetch()
+        return list(self._server.descendants_of(pre))
+
+    def parent_of(self, pre: int) -> int:
+        """Parent of ``pre`` (0 for the root)."""
+        self.counters.count_fetch()
+        return self._server.parent_of(pre)
+
+    def node_count(self) -> int:
+        """Total number of nodes stored on the server."""
+        return self._server.node_count()
+
+    # ------------------------------------------------------------------
+    # Pipeline passthrough
+    # ------------------------------------------------------------------
+
+    def open_queue(self, pres: List[int]) -> int:
+        """Buffer an explicit list of candidate nodes on the server."""
+        return self._server.open_queue(list(pres))
+
+    def open_children_queue(self, pres: List[int]) -> int:
+        """Buffer the children of all ``pres`` on the server."""
+        self.counters.count_fetch(len(pres))
+        return self._server.open_children_queue(list(pres))
+
+    def open_descendants_queue(self, pres: List[int]) -> int:
+        """Buffer the descendants of all ``pres`` on the server."""
+        self.counters.count_fetch(len(pres))
+        return self._server.open_descendants_queue(list(pres))
+
+    def next_node(self, queue_id: int) -> Optional[int]:
+        """Pull the next buffered node (``None`` when exhausted)."""
+        result = self._server.next_node(queue_id)
+        return None if result == -1 else result
+
+    def close_queue(self, queue_id: int) -> None:
+        """Discard a server-side queue."""
+        self._server.close_queue(queue_id)
+
+    # ------------------------------------------------------------------
+    # Share primitives
+    # ------------------------------------------------------------------
+
+    def evaluate(self, pre: int, point: int) -> int:
+        """Evaluate the regenerated *client* share of node ``pre`` at ``point``."""
+        self.counters.count_regeneration()
+        client_share = self._sharing.client_share(pre)
+        return self._ring.evaluate(client_share, point)
+
+    def shared_evaluation(self, pre: int, point: int) -> int:
+        """Combined evaluation: server share + client share at ``point``."""
+        server_value = self._server.evaluate(pre, point)
+        client_value = self.evaluate(pre, point)
+        self.counters.count_evaluation()
+        return self._ring.field.add(server_value, client_value)
+
+    def reconstruct(self, pre: int) -> RingPolynomial:
+        """Reconstruct the full node polynomial from both shares."""
+        server_coeffs = self._server.fetch_share(pre)
+        server_share = RingPolynomial(self._ring, server_coeffs)
+        self.counters.count_fetch()
+        self.counters.count_regeneration()
+        self.counters.count_reconstruction()
+        return self._sharing.reconstruct(server_share, pre)
+
+    # ------------------------------------------------------------------
+    # Matching rules
+    # ------------------------------------------------------------------
+
+    def tag_value(self, tag: str) -> int:
+        """Map a tag name to its secret field value."""
+        return self._tag_map.value(tag)
+
+    def knows_tag(self, tag: str) -> bool:
+        """Whether ``tag`` is present in the client's map.
+
+        Tags outside the map cannot occur in the encoded document, so both
+        matching rules treat them as matching nothing (rather than failing) —
+        mirroring how the prototype simply finds no hits for a tag the map
+        file never assigned a value to.
+        """
+        return tag in self._tag_map
+
+    def contains_value(self, pre: int, value: int) -> bool:
+        """Containment test against an already-mapped field value."""
+        return self.shared_evaluation(pre, value) == 0
+
+    def contains(self, pre: int, tag: str) -> bool:
+        """Containment test: does ``tag`` occur anywhere in ``pre``'s subtree?"""
+        if not self.knows_tag(tag):
+            return False
+        return self.contains_value(pre, self.tag_value(tag))
+
+    def equals_value(self, pre: int, value: int) -> bool:
+        """Equality test against an already-mapped field value.
+
+        Reconstructs the node's polynomial and the product of all its direct
+        children's polynomials, then checks that the remaining factor is
+        exactly ``x − value``.  The cost grows with the number of children
+        (each child share must be fetched, regenerated and multiplied in),
+        which is why the paper calls this the expensive test.
+        """
+        node_poly = self.reconstruct(pre)
+        children = self.children_of(pre)
+        product = self._ring.one()
+        for child_pre in children:
+            product = self._ring.mul(product, self.reconstruct(child_pre))
+        self.counters.count_equality_test(len(children))
+        return self._ring.divides_cleanly(node_poly, product, value)
+
+    def equals(self, pre: int, tag: str) -> bool:
+        """Equality test: is node ``pre`` itself labelled ``tag``?"""
+        if not self.knows_tag(tag):
+            return False
+        return self.equals_value(pre, self.tag_value(tag))
+
+    def matches(self, pre: int, tag: str, rule: MatchRule) -> bool:
+        """Dispatch on the matching rule chosen for the query."""
+        if rule is MatchRule.EQUALITY:
+            return self.equals(pre, tag)
+        return self.contains(pre, tag)
+
+    def matches_value(self, pre: int, value: int, rule: MatchRule) -> bool:
+        """Rule dispatch when the value has already been mapped."""
+        if rule is MatchRule.EQUALITY:
+            return self.equals_value(pre, value)
+        return self.contains_value(pre, value)

@@ -1,0 +1,65 @@
+"""The common ``Filter`` interface and the matching-rule enumeration."""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+
+class MatchRule(enum.Enum):
+    """The two matching rules compared throughout section 6.
+
+    * ``CONTAINMENT`` (non-strict): a single shared evaluation at the mapped
+      tag value; zero means the tag occurs *somewhere in the node's subtree*.
+    * ``EQUALITY`` (strict): reconstruct the node and all of its children and
+      check that the node's own factor is exactly ``x − map(tag)``.
+    """
+
+    CONTAINMENT = "containment"
+    EQUALITY = "equality"
+
+    @property
+    def is_strict(self) -> bool:
+        """Strict checking corresponds to the equality test."""
+        return self is MatchRule.EQUALITY
+
+    @classmethod
+    def from_strict_flag(cls, strict: bool) -> "MatchRule":
+        """Map the paper's strict / non-strict terminology onto a rule."""
+        return cls.EQUALITY if strict else cls.CONTAINMENT
+
+
+class Filter(ABC):
+    """Basic tree-structure and polynomial operations.
+
+    Implemented by :class:`~repro.filters.server.ServerFilter` (operating on
+    the stored shares) and :class:`~repro.filters.client.ClientFilter`
+    (operating on regenerated shares and combining both sides).  All node
+    references are ``pre`` numbers, which is what the relational encoding
+    keys everything by.
+    """
+
+    @abstractmethod
+    def root_pre(self) -> int:
+        """The ``pre`` number of the document root."""
+
+    @abstractmethod
+    def children_of(self, pre: int) -> List[int]:
+        """``pre`` numbers of the direct children of a node, document order."""
+
+    @abstractmethod
+    def descendants_of(self, pre: int) -> List[int]:
+        """``pre`` numbers of all proper descendants of a node."""
+
+    @abstractmethod
+    def parent_of(self, pre: int) -> int:
+        """``pre`` number of the parent (0 for the root)."""
+
+    @abstractmethod
+    def evaluate(self, pre: int, point: int) -> int:
+        """Evaluate this side's share of node ``pre`` at ``point``."""
+
+    @abstractmethod
+    def node_count(self) -> int:
+        """Total number of stored nodes."""

@@ -1,0 +1,156 @@
+"""Server-side filter: structural queries, share evaluation, result buffering.
+
+The server is untrusted: it sees only pre/post/parent numbers and share
+coefficient vectors.  Every method of this class takes and returns plain
+serialisable values (ints, lists, dicts) so it can sit behind the
+:class:`~repro.rmi.proxy.RemoteProxy` boundary exactly like the prototype's
+RMI ``ServerFilter``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.filters.interface import Filter
+from repro.poly.ring import QuotientRing, RingPolynomial
+from repro.storage.table import Table
+
+
+class ServerFilter(Filter):
+    """Answers structural and share-evaluation requests from the node table."""
+
+    def __init__(self, table: Table, ring: QuotientRing):
+        self._table = table
+        self._ring = ring
+        # Result queues for the next_node() pipeline: the big server buffers
+        # intermediate result sets so the thin client holds one node at a time.
+        self._queues: Dict[int, List[int]] = {}
+        self._next_queue_id = 1
+
+    # ------------------------------------------------------------------
+    # Structural queries (all via the indexed access paths)
+    # ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        """Total number of stored nodes."""
+        return len(self._table)
+
+    def root_pre(self) -> int:
+        """Locate the root: the only node with ``parent == 0`` (indexed)."""
+        rows = self._table.lookup("parent", 0)
+        if not rows:
+            raise LookupError("node table contains no root (parent = 0) row")
+        if len(rows) > 1:
+            raise LookupError("node table contains %d root rows" % len(rows))
+        return rows[0]["pre"]
+
+    def node_info(self, pre: int) -> Optional[Dict[str, int]]:
+        """pre/post/parent of one node, or ``None`` when absent."""
+        rows = self._table.lookup("pre", pre)
+        if not rows:
+            return None
+        row = rows[0]
+        return {"pre": row["pre"], "post": row["post"], "parent": row["parent"]}
+
+    def children_of(self, pre: int) -> List[int]:
+        """Direct children via the ``parent`` index, in document order."""
+        rows = self._table.lookup("parent", pre)
+        return sorted(row["pre"] for row in rows)
+
+    def descendants_of(self, pre: int) -> List[int]:
+        """All proper descendants via a ``pre`` range scan filtered on ``post``."""
+        anchor_rows = self._table.lookup("pre", pre)
+        if not anchor_rows:
+            return []
+        anchor = anchor_rows[0]
+        result = []
+        for row in self._table.range_lookup("pre", low=anchor["pre"], include_low=False):
+            if row["post"] < anchor["post"]:
+                result.append(row["pre"])
+        return result
+
+    def parent_of(self, pre: int) -> int:
+        """Parent ``pre`` number (0 for the root; raises for unknown nodes)."""
+        rows = self._table.lookup("pre", pre)
+        if not rows:
+            raise LookupError("no node with pre=%d" % pre)
+        return rows[0]["parent"]
+
+    # ------------------------------------------------------------------
+    # Share access
+    # ------------------------------------------------------------------
+
+    def evaluate(self, pre: int, point: int) -> int:
+        """Evaluate the *stored server share* of node ``pre`` at ``point``."""
+        share = self._share_polynomial(pre)
+        return self._ring.evaluate(share, point)
+
+    def evaluate_many(self, pres: List[int], point: int) -> List[int]:
+        """Batch variant of :meth:`evaluate` (one remote call, many results)."""
+        return [self.evaluate(pre, point) for pre in pres]
+
+    def fetch_share(self, pre: int) -> List[int]:
+        """The raw server-share coefficients of node ``pre``.
+
+        Needed by the client for the equality test, which must reconstruct
+        whole polynomials rather than just evaluations.
+        """
+        return list(self._share_row(pre)["share"])
+
+    def fetch_shares(self, pres: List[int]) -> List[List[int]]:
+        """Batch variant of :meth:`fetch_share`."""
+        return [self.fetch_share(pre) for pre in pres]
+
+    def _share_row(self, pre: int) -> Dict:
+        rows = self._table.lookup("pre", pre)
+        if not rows:
+            raise LookupError("no node with pre=%d" % pre)
+        return rows[0]
+
+    def _share_polynomial(self, pre: int) -> RingPolynomial:
+        return RingPolynomial(self._ring, self._share_row(pre)["share"])
+
+    # ------------------------------------------------------------------
+    # next_node() pipeline — server-side buffering of intermediate results
+    # ------------------------------------------------------------------
+
+    def open_queue(self, pres: List[int]) -> int:
+        """Create a buffered result queue and return its id."""
+        queue_id = self._next_queue_id
+        self._next_queue_id += 1
+        self._queues[queue_id] = list(pres)
+        return queue_id
+
+    def open_children_queue(self, pres: List[int]) -> int:
+        """Create a queue holding the children of every node in ``pres``."""
+        children: List[int] = []
+        for pre in pres:
+            children.extend(self.children_of(pre))
+        return self.open_queue(children)
+
+    def open_descendants_queue(self, pres: List[int]) -> int:
+        """Create a queue holding the descendants of every node in ``pres``."""
+        descendants: List[int] = []
+        for pre in pres:
+            descendants.extend(self.descendants_of(pre))
+        return self.open_queue(descendants)
+
+    def next_node(self, queue_id: int) -> int:
+        """Pop the next buffered node (``-1`` once the queue is exhausted)."""
+        queue = self._queues.get(queue_id)
+        if queue is None:
+            raise LookupError("unknown queue id %d" % queue_id)
+        if not queue:
+            return -1
+        return queue.pop(0)
+
+    def queue_size(self, queue_id: int) -> int:
+        """Number of nodes still buffered in a queue."""
+        queue = self._queues.get(queue_id)
+        if queue is None:
+            raise LookupError("unknown queue id %d" % queue_id)
+        return len(queue)
+
+    def close_queue(self, queue_id: int) -> bool:
+        """Discard a queue; returns whether it existed."""
+        return self._queues.pop(queue_id, None) is not None

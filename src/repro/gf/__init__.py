@@ -1,0 +1,41 @@
+"""Finite field arithmetic for the secret-sharing encoding.
+
+The paper encodes every XML node as a polynomial over a finite field
+``F_{p^e}`` where ``p^e`` is a prime power larger than the number of distinct
+tag names (section 3, step 1).  The experiments use ``p = 83, e = 1`` for tag
+names and suggest ``p = 29`` for the trie-of-characters representation
+(section 4).
+
+This package provides:
+
+* :class:`~repro.gf.prime.PrimeField` — the field ``F_p`` of integers modulo a
+  prime, with elements represented as :class:`~repro.gf.element.FieldElement`.
+* :class:`~repro.gf.extension.ExtensionField` — the field ``F_{p^e}`` built as
+  ``F_p[t]/(m(t))`` for a monic irreducible polynomial ``m``.
+* :func:`~repro.gf.factory.make_field` — convenience constructor selecting the
+  right implementation from ``(p, e)``.
+* Primality and irreducibility testing utilities used by the constructors.
+
+All fields share the :class:`~repro.gf.base.Field` interface so the polynomial
+ring and the secret-sharing layers are generic in the underlying field.
+"""
+
+from repro.gf.base import Field, FieldError
+from repro.gf.element import FieldElement
+from repro.gf.extension import ExtensionField
+from repro.gf.factory import make_field
+from repro.gf.prime import PrimeField
+from repro.gf.primes import is_prime, is_prime_power, next_prime, prime_power_decomposition
+
+__all__ = [
+    "Field",
+    "FieldElement",
+    "FieldError",
+    "PrimeField",
+    "ExtensionField",
+    "make_field",
+    "is_prime",
+    "is_prime_power",
+    "next_prime",
+    "prime_power_decomposition",
+]

@@ -1,0 +1,185 @@
+"""Abstract field interface shared by prime and extension fields."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Sequence
+
+
+class FieldError(ValueError):
+    """Raised for invalid field constructions or operations.
+
+    Examples include constructing a field with a non-prime characteristic,
+    inverting zero, or mixing elements of different fields.
+    """
+
+
+class Field(ABC):
+    """A finite field ``F_q`` with ``q = p^e`` elements.
+
+    Concrete subclasses are :class:`repro.gf.prime.PrimeField` (``e == 1``)
+    and :class:`repro.gf.extension.ExtensionField` (``e > 1``).  Elements are
+    represented canonically as integers in ``range(q)``; the field object
+    itself implements the arithmetic.  A thin object wrapper,
+    :class:`repro.gf.element.FieldElement`, is available for ergonomic operator
+    syntax, but the hot paths (polynomial multiplication during encoding)
+    operate on raw integers through the ``add``/``mul``/... methods to avoid
+    per-element object overhead.
+    """
+
+    #: characteristic p of the field
+    characteristic: int
+    #: extension degree e
+    degree: int
+    #: number of elements q = p**e
+    order: int
+
+    # ------------------------------------------------------------------
+    # Canonical representation
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def validate(self, value: int) -> int:
+        """Return the canonical representative of ``value``.
+
+        Raises :class:`FieldError` if ``value`` is not an ``int``.
+        """
+
+    @abstractmethod
+    def add(self, a: int, b: int) -> int:
+        """Return ``a + b`` in the field."""
+
+    @abstractmethod
+    def sub(self, a: int, b: int) -> int:
+        """Return ``a - b`` in the field."""
+
+    @abstractmethod
+    def neg(self, a: int) -> int:
+        """Return ``-a`` in the field."""
+
+    @abstractmethod
+    def mul(self, a: int, b: int) -> int:
+        """Return ``a * b`` in the field."""
+
+    @abstractmethod
+    def inv(self, a: int) -> int:
+        """Return the multiplicative inverse of ``a``.
+
+        Raises :class:`FieldError` when ``a`` is zero.
+        """
+
+    def div(self, a: int, b: int) -> int:
+        """Return ``a / b`` in the field (``b`` must be non-zero)."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        """Return ``a ** exponent`` using square-and-multiply.
+
+        Negative exponents are supported for non-zero ``a``.
+        """
+        if exponent < 0:
+            a = self.inv(a)
+            exponent = -exponent
+        result = self.one
+        base = self.validate(a)
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            exponent >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Constants and element construction
+    # ------------------------------------------------------------------
+
+    @property
+    def zero(self) -> int:
+        """The additive identity."""
+        return 0
+
+    @property
+    @abstractmethod
+    def one(self) -> int:
+        """The multiplicative identity (canonical integer form)."""
+
+    @abstractmethod
+    def from_int(self, value: int) -> int:
+        """Embed an arbitrary Python integer into the field.
+
+        For prime fields this is reduction modulo ``p``; for extension fields
+        the integer is interpreted in base ``p`` as coefficients of the
+        polynomial representation, then reduced.
+        """
+
+    def element(self, value: int) -> "FieldElement":
+        """Wrap ``value`` into a :class:`FieldElement` bound to this field."""
+        from repro.gf.element import FieldElement
+
+        return FieldElement(self, self.from_int(value))
+
+    def elements(self) -> Iterator[int]:
+        """Iterate over every canonical element of the field (0 .. q-1)."""
+        return iter(range(self.order))
+
+    # ------------------------------------------------------------------
+    # Bulk helpers used by the polynomial layer
+    # ------------------------------------------------------------------
+
+    def sum(self, values: Iterable[int]) -> int:
+        """Sum an iterable of canonical elements."""
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    def product(self, values: Iterable[int]) -> int:
+        """Multiply an iterable of canonical elements."""
+        total = self.one
+        for value in values:
+            total = self.mul(total, value)
+        return total
+
+    def dot(self, left: Sequence[int], right: Sequence[int]) -> int:
+        """Inner product of two equal-length coefficient vectors."""
+        if len(left) != len(right):
+            raise FieldError(
+                "dot product requires equal lengths, got %d and %d" % (len(left), len(right))
+            )
+        total = self.zero
+        for a, b in zip(left, right):
+            total = self.add(total, self.mul(a, b))
+        return total
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, int) and 0 <= value < self.order
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Field):
+            return NotImplemented
+        return (
+            self.characteristic == other.characteristic
+            and self.degree == other.degree
+            and self.order == other.order
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.characteristic, self.degree, self.order))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        if self.degree == 1:
+            return "%s(p=%d)" % (type(self).__name__, self.characteristic)
+        return "%s(p=%d, e=%d)" % (type(self).__name__, self.characteristic, self.degree)
+
+    @property
+    def element_bits(self) -> int:
+        """Number of bits needed to store one canonical element.
+
+        Used by the storage-size accounting in the experiments: the paper
+        states each polynomial takes ``(p^e - 1) * log2(p^e)`` bits.
+        """
+        return max(1, (self.order - 1).bit_length())

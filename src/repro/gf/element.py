@@ -1,0 +1,120 @@
+"""Object wrapper for field elements with operator overloading.
+
+The hot encoding paths use the raw-integer API on :class:`repro.gf.base.Field`
+directly; :class:`FieldElement` exists for readability in user code, examples
+and tests (``a + b`` instead of ``field.add(a, b)``).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.gf.base import Field, FieldError
+
+_Other = Union["FieldElement", int]
+
+
+class FieldElement:
+    """An element of a finite field, bound to its :class:`Field`.
+
+    Instances are immutable and hashable; arithmetic between elements of
+    different fields raises :class:`FieldError`.
+    """
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: Field, value: int):
+        self.field = field
+        self.value = field.validate(value)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _coerce(self, other: _Other) -> int:
+        if isinstance(other, FieldElement):
+            if other.field != self.field:
+                raise FieldError(
+                    "cannot mix elements of %r and %r" % (self.field, other.field)
+                )
+            return other.value
+        if isinstance(other, int):
+            return self.field.from_int(other)
+        return NotImplemented  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: _Other) -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.add(self.value, value))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _Other) -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.sub(self.value, value))
+
+    def __rsub__(self, other: _Other) -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.sub(value, self.value))
+
+    def __neg__(self) -> "FieldElement":
+        return FieldElement(self.field, self.field.neg(self.value))
+
+    def __mul__(self, other: _Other) -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.mul(self.value, value))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _Other) -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.div(self.value, value))
+
+    def __rtruediv__(self, other: _Other) -> "FieldElement":
+        value = self._coerce(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.div(value, self.value))
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        return FieldElement(self.field, self.field.pow(self.value, exponent))
+
+    def inverse(self) -> "FieldElement":
+        """Multiplicative inverse (raises :class:`FieldError` on zero)."""
+        return FieldElement(self.field, self.field.inv(self.value))
+
+    # ------------------------------------------------------------------
+    # Comparison / hashing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldElement):
+            return self.field == other.field and self.value == other.value
+        if isinstance(other, int):
+            return self.value == self.field.from_int(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.value))
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "FieldElement(%d mod %d)" % (self.value, self.field.order)

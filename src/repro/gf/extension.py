@@ -1,0 +1,158 @@
+"""Extension fields ``F_{p^e}`` represented as ``F_p[t]/(m(t))``.
+
+Elements are packed into a single canonical integer by writing the polynomial
+coefficients in base ``p`` (little-endian), so the rest of the library can
+treat prime and extension field elements uniformly as ``int`` in
+``range(p**e)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.gf.base import Field, FieldError
+from repro.gf.irreducible import find_irreducible, is_irreducible
+from repro.gf.prime import PrimeField
+from repro.gf.primes import is_prime
+
+
+class ExtensionField(Field):
+    """The finite field with ``p^e`` elements (``e >= 1``).
+
+    Arithmetic is polynomial arithmetic over ``F_p`` modulo a monic
+    irreducible polynomial of degree ``e``.  When no modulus is supplied the
+    lexicographically-smallest irreducible polynomial is used, giving a
+    deterministic field representation for any ``(p, e)``.
+    """
+
+    def __init__(self, p: int, e: int, modulus: Optional[Sequence[int]] = None):
+        if not is_prime(p):
+            raise FieldError("characteristic %r is not prime" % (p,))
+        if e < 1:
+            raise FieldError("extension degree must be >= 1, got %r" % (e,))
+        self.characteristic = p
+        self.degree = e
+        self.order = p ** e
+        self._base = PrimeField(p)
+        if modulus is None:
+            modulus = find_irreducible(p, e)
+        modulus = [self._base.from_int(c) for c in modulus]
+        if len(modulus) != e + 1 or modulus[-1] != 1:
+            raise FieldError(
+                "modulus must be monic of degree %d, got coefficients %r" % (e, modulus)
+            )
+        if e > 1 and not is_irreducible(modulus, p):
+            raise FieldError("modulus %r is reducible over F_%d" % (modulus, p))
+        self.modulus = tuple(modulus)
+        self._inverse_cache = {}
+
+    # ------------------------------------------------------------------
+    # Packing between canonical ints and coefficient vectors
+    # ------------------------------------------------------------------
+
+    def to_coeffs(self, value: int) -> List[int]:
+        """Unpack a canonical element into ``e`` base-``p`` coefficients."""
+        value = self.validate(value)
+        p = self.characteristic
+        coeffs = []
+        for _ in range(self.degree):
+            coeffs.append(value % p)
+            value //= p
+        return coeffs
+
+    def from_coeffs(self, coeffs: Sequence[int]) -> int:
+        """Pack a coefficient vector (length <= ``e``) into a canonical int."""
+        if len(coeffs) > self.degree:
+            raise FieldError(
+                "coefficient vector longer than degree %d: %r" % (self.degree, coeffs)
+            )
+        p = self.characteristic
+        value = 0
+        for coeff in reversed(list(coeffs)):
+            value = value * p + (coeff % p)
+        return value
+
+    # ------------------------------------------------------------------
+    # Field interface
+    # ------------------------------------------------------------------
+
+    def validate(self, value: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise FieldError("field elements must be ints, got %r" % (value,))
+        if 0 <= value < self.order:
+            return value
+        return value % self.order
+
+    def from_int(self, value: int) -> int:
+        return self.validate(value)
+
+    @property
+    def one(self) -> int:
+        return 1 % self.order
+
+    def add(self, a: int, b: int) -> int:
+        if self.degree == 1:
+            result = a + b
+            return result - self.order if result >= self.order else result
+        ca, cb = self.to_coeffs(a), self.to_coeffs(b)
+        return self.from_coeffs([self._base.add(x, y) for x, y in zip(ca, cb)])
+
+    def sub(self, a: int, b: int) -> int:
+        if self.degree == 1:
+            result = a - b
+            return result + self.order if result < 0 else result
+        ca, cb = self.to_coeffs(a), self.to_coeffs(b)
+        return self.from_coeffs([self._base.sub(x, y) for x, y in zip(ca, cb)])
+
+    def neg(self, a: int) -> int:
+        if self.degree == 1:
+            return 0 if a == 0 else self.order - a
+        return self.from_coeffs([self._base.neg(x) for x in self.to_coeffs(a)])
+
+    def mul(self, a: int, b: int) -> int:
+        if self.degree == 1:
+            return (a * b) % self.order
+        ca, cb = self.to_coeffs(a), self.to_coeffs(b)
+        product = [0] * (2 * self.degree - 1)
+        base = self._base
+        for i, x in enumerate(ca):
+            if x == 0:
+                continue
+            for j, y in enumerate(cb):
+                if y == 0:
+                    continue
+                product[i + j] = base.add(product[i + j], base.mul(x, y))
+        return self.from_coeffs(self._reduce(product))
+
+    def inv(self, a: int) -> int:
+        a = self.validate(a)
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse in F_%d" % self.order)
+        cached = self._inverse_cache.get(a)
+        if cached is not None:
+            return cached
+        # Lagrange: a^(q-2) is the inverse in F_q.
+        inverse = self.pow(a, self.order - 2)
+        if len(self._inverse_cache) < 4096:
+            self._inverse_cache[a] = inverse
+        return inverse
+
+    # ------------------------------------------------------------------
+    # Internal reduction
+    # ------------------------------------------------------------------
+
+    def _reduce(self, coeffs: List[int]) -> List[int]:
+        """Reduce a coefficient vector modulo the field's irreducible modulus."""
+        base = self._base
+        modulus = self.modulus
+        degree = self.degree
+        coeffs = list(coeffs)
+        for i in range(len(coeffs) - 1, degree - 1, -1):
+            lead = coeffs[i]
+            if lead == 0:
+                continue
+            coeffs[i] = 0
+            shift = i - degree
+            for j in range(degree):
+                coeffs[shift + j] = base.sub(coeffs[shift + j], base.mul(lead, modulus[j]))
+        return coeffs[:degree]

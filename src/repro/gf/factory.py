@@ -1,0 +1,53 @@
+"""Convenience constructors for finite fields."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gf.base import Field, FieldError
+from repro.gf.extension import ExtensionField
+from repro.gf.prime import PrimeField
+from repro.gf.primes import next_prime
+
+_FIELD_CACHE = {}
+
+
+def make_field(p: int, e: int = 1, modulus: Optional[Sequence[int]] = None) -> Field:
+    """Build ``F_{p^e}``, choosing the cheapest implementation.
+
+    ``e == 1`` yields a :class:`PrimeField`; larger degrees yield an
+    :class:`ExtensionField`.  Results for the default modulus are cached so
+    repeated calls (encoder, filters, experiments) share one field object and
+    its inverse cache.
+    """
+    if modulus is None:
+        key = (p, e)
+        cached = _FIELD_CACHE.get(key)
+        if cached is not None:
+            return cached
+    if e == 1:
+        field: Field = PrimeField(p)
+    else:
+        field = ExtensionField(p, e, modulus=modulus)
+    if modulus is None:
+        _FIELD_CACHE[(p, e)] = field
+    return field
+
+
+def field_for_alphabet(size: int) -> Field:
+    """Pick the smallest prime field that safely maps ``size`` symbols.
+
+    The paper requires ``p^e`` larger than the number of different tag names;
+    additionally the encoding ring ``F_q[x]/(x^{q-1} - 1)`` needs ``q - 1``
+    to *strictly exceed* the alphabet size — otherwise a subtree containing
+    every mapped value at least once has a polynomial divisible by
+    ``x^{q-1} - 1``, i.e. identically zero, and both matching tests lose all
+    selectivity on it.  The chosen field is therefore the smallest prime
+    ``q >= size + 2``: ``F_29`` for the 27-symbol trie alphabet and ``F_79``
+    for the 77-element XMark DTD (the paper rounds the latter up to ``F_83``,
+    which also satisfies the condition and remains available via
+    :func:`make_field`).
+    """
+    if size < 1:
+        raise FieldError("alphabet size must be positive, got %d" % size)
+    return make_field(next_prime(size + 1), 1)

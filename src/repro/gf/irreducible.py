@@ -1,0 +1,177 @@
+"""Irreducible polynomial search over prime fields.
+
+Extension fields ``F_{p^e}`` are built as ``F_p[t]/(m(t))`` for a monic
+irreducible polynomial ``m`` of degree ``e``.  This module finds such a
+polynomial deterministically (smallest in lexicographic coefficient order) so
+that a given ``(p, e)`` always yields the same field representation — a
+requirement for the encode/query sides to agree without exchanging the field
+definition explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.gf.base import FieldError
+from repro.gf.prime import PrimeField
+
+
+def _poly_mod(dividend: List[int], divisor: Sequence[int], fp: PrimeField) -> List[int]:
+    """Remainder of ``dividend`` by monic ``divisor`` over ``F_p``.
+
+    Coefficient lists are little-endian (index == power of t).
+    """
+    remainder = list(dividend)
+    dlen = len(divisor)
+    while len(remainder) >= dlen:
+        lead = remainder[-1]
+        if lead == 0:
+            remainder.pop()
+            continue
+        shift = len(remainder) - dlen
+        for i, coeff in enumerate(divisor):
+            remainder[shift + i] = fp.sub(remainder[shift + i], fp.mul(lead, coeff))
+        while remainder and remainder[-1] == 0:
+            remainder.pop()
+    return remainder
+
+
+def _poly_mul_mod(a: Sequence[int], b: Sequence[int], modulus: Sequence[int], fp: PrimeField) -> List[int]:
+    """Multiply two polynomials modulo ``modulus`` over ``F_p``."""
+    if not a or not b:
+        return []
+    product = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            if cb == 0:
+                continue
+            product[i + j] = fp.add(product[i + j], fp.mul(ca, cb))
+    return _poly_mod(product, modulus, fp)
+
+
+def _poly_pow_mod(base: Sequence[int], exponent: int, modulus: Sequence[int], fp: PrimeField) -> List[int]:
+    """Compute ``base ** exponent mod modulus`` over ``F_p``."""
+    result: List[int] = [1]
+    current = list(base)
+    while exponent:
+        if exponent & 1:
+            result = _poly_mul_mod(result, current, modulus, fp)
+        current = _poly_mul_mod(current, current, modulus, fp)
+        exponent >>= 1
+    return result
+
+
+def _poly_gcd(a: List[int], b: List[int], fp: PrimeField) -> List[int]:
+    """Monic greatest common divisor of two polynomials over ``F_p``."""
+    a, b = list(a), list(b)
+    while b:
+        a, b = b, _poly_mod(a, _make_monic(b, fp), fp)
+        # note: remainder by the monic version of b keeps degrees shrinking
+    return _make_monic(a, fp) if a else []
+
+
+def _make_monic(poly: List[int], fp: PrimeField) -> List[int]:
+    """Scale ``poly`` so its leading coefficient is one."""
+    if not poly:
+        return []
+    lead = poly[-1]
+    if lead == 1:
+        return list(poly)
+    inv = fp.inv(lead)
+    return [fp.mul(c, inv) for c in poly]
+
+
+def is_irreducible(coeffs: Sequence[int], p: int) -> bool:
+    """Rabin irreducibility test for a monic polynomial over ``F_p``.
+
+    ``coeffs`` is little-endian and must have a leading coefficient of one.
+    A degree-``e`` monic polynomial ``m`` is irreducible over ``F_p`` iff
+
+    * ``t^(p^e) == t (mod m)``, and
+    * ``gcd(t^(p^(e/r)) - t, m) == 1`` for every prime divisor ``r`` of ``e``.
+    """
+    fp = PrimeField(p)
+    coeffs = list(coeffs)
+    degree = len(coeffs) - 1
+    if degree < 1:
+        return False
+    if coeffs[-1] != 1:
+        raise FieldError("irreducibility test requires a monic polynomial")
+    if degree == 1:
+        return True
+
+    t = [0, 1]
+    # Condition 1: t^(p^degree) == t  (mod m)
+    power = _poly_pow_mod(t, p ** degree, coeffs, fp)
+    reduced_t = _poly_mod(list(t), coeffs, fp)
+    if power != reduced_t:
+        return False
+    # Condition 2: for each prime divisor r of degree, gcd(t^(p^(degree/r)) - t, m) == 1
+    for r in _prime_divisors(degree):
+        sub_power = _poly_pow_mod(t, p ** (degree // r), coeffs, fp)
+        difference = _poly_sub(sub_power, reduced_t, fp)
+        gcd = _poly_gcd(list(coeffs), difference, fp)
+        if len(gcd) - 1 != 0:
+            return False
+    return True
+
+
+def _poly_sub(a: Sequence[int], b: Sequence[int], fp: PrimeField) -> List[int]:
+    """Subtract coefficient lists, trimming trailing zeros."""
+    length = max(len(a), len(b))
+    result = []
+    for i in range(length):
+        ca = a[i] if i < len(a) else 0
+        cb = b[i] if i < len(b) else 0
+        result.append(fp.sub(ca, cb))
+    while result and result[-1] == 0:
+        result.pop()
+    return result
+
+
+def _prime_divisors(n: int) -> List[int]:
+    """Distinct prime divisors of ``n`` in increasing order."""
+    divisors = []
+    candidate = 2
+    while candidate * candidate <= n:
+        if n % candidate == 0:
+            divisors.append(candidate)
+            while n % candidate == 0:
+                n //= candidate
+        candidate += 1
+    if n > 1:
+        divisors.append(n)
+    return divisors
+
+
+def find_irreducible(p: int, e: int) -> List[int]:
+    """Return the lexicographically-smallest monic irreducible of degree ``e``.
+
+    The search enumerates the ``p^e`` monic candidates in order of their
+    constant-first coefficient vector, so the result is deterministic: both
+    the encoding client and any verification tooling derive the same field.
+    """
+    if e < 1:
+        raise FieldError("extension degree must be >= 1, got %d" % e)
+    if e == 1:
+        return [0, 1]
+    total = p ** e
+    for packed in range(total):
+        coeffs = _unpack_base_p(packed, p, e) + [1]
+        if coeffs[0] == 0:
+            # A zero constant term means t divides the polynomial: reducible.
+            continue
+        if is_irreducible(coeffs, p):
+            return coeffs
+    raise FieldError("no irreducible polynomial found for p=%d, e=%d" % (p, e))
+
+
+def _unpack_base_p(value: int, p: int, length: int) -> List[int]:
+    """Expand ``value`` into ``length`` base-``p`` digits, little-endian."""
+    digits = []
+    for _ in range(length):
+        digits.append(value % p)
+        value //= p
+    return digits

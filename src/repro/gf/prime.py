@@ -1,0 +1,83 @@
+"""Prime fields ``F_p``.
+
+The paper's main experiments run with ``F_83`` (83 is the smallest prime
+exceeding the XMark DTD's 77 element names) and the trie discussion uses
+``F_29`` (29 > 26 letters + separator).
+"""
+
+from __future__ import annotations
+
+from repro.gf.base import Field, FieldError
+from repro.gf.primes import is_prime
+
+
+class PrimeField(Field):
+    """The field of integers modulo a prime ``p``.
+
+    Elements are canonical integers in ``range(p)``.  Inverses are computed
+    with the extended Euclidean algorithm and cached lazily per element for
+    small fields, because the equality test in the filters divides polynomials
+    repeatedly by the same leading coefficients.
+    """
+
+    def __init__(self, p: int):
+        if not isinstance(p, int):
+            raise FieldError("field characteristic must be an int, got %r" % (p,))
+        if not is_prime(p):
+            raise FieldError("%d is not prime; use ExtensionField for prime powers" % p)
+        self.characteristic = p
+        self.degree = 1
+        self.order = p
+        self._inverse_cache = {}
+
+    # ------------------------------------------------------------------
+    # Field interface
+    # ------------------------------------------------------------------
+
+    def validate(self, value: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise FieldError("field elements must be ints, got %r" % (value,))
+        if 0 <= value < self.order:
+            return value
+        return value % self.order
+
+    def from_int(self, value: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise FieldError("field elements must be ints, got %r" % (value,))
+        return value % self.order
+
+    @property
+    def one(self) -> int:
+        return 1 % self.order
+
+    def add(self, a: int, b: int) -> int:
+        result = a + b
+        if result >= self.order:
+            result -= self.order
+        return result
+
+    def sub(self, a: int, b: int) -> int:
+        result = a - b
+        if result < 0:
+            result += self.order
+        return result
+
+    def neg(self, a: int) -> int:
+        if a == 0:
+            return 0
+        return self.order - a
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.order
+
+    def inv(self, a: int) -> int:
+        a %= self.order
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse in F_%d" % self.order)
+        cached = self._inverse_cache.get(a)
+        if cached is not None:
+            return cached
+        inverse = pow(a, self.order - 2, self.order)
+        if len(self._inverse_cache) < 4096:
+            self._inverse_cache[a] = inverse
+        return inverse

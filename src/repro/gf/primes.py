@@ -1,0 +1,129 @@
+"""Primality and prime-power utilities.
+
+The encoding scheme needs a prime power ``p^e`` that exceeds the number of
+distinct tag names (the XMark DTD has 77 elements, so the paper uses
+``p = 83``).  These helpers validate field parameters and let callers pick a
+suitable field size automatically from an alphabet size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+# Deterministic Miller-Rabin witnesses valid for all 64-bit integers.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Return ``True`` when ``n`` is a prime number.
+
+    Uses trial division by a table of small primes followed by a
+    deterministic Miller-Rabin test (exact for every integer below 3.3e24,
+    far beyond any field size this library constructs).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in _MR_WITNESSES:
+        x = pow(witness, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = max(2, n + 1)
+    if candidate == 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def prime_power_decomposition(q: int) -> Optional[Tuple[int, int]]:
+    """Decompose ``q`` as ``(p, e)`` with ``p`` prime, or ``None``.
+
+    >>> prime_power_decomposition(83)
+    (83, 1)
+    >>> prime_power_decomposition(27)
+    (3, 3)
+    >>> prime_power_decomposition(12) is None
+    True
+    """
+    if q < 2:
+        return None
+    if is_prime(q):
+        return (q, 1)
+    # q = p^e with e >= 2 implies p <= sqrt(q); find the smallest prime divisor.
+    p = _smallest_prime_factor(q)
+    if p is None:
+        return None
+    e = 0
+    remaining = q
+    while remaining % p == 0:
+        remaining //= p
+        e += 1
+    if remaining != 1:
+        return None
+    return (p, e)
+
+
+def is_prime_power(q: int) -> bool:
+    """Return ``True`` when ``q`` is a prime power ``p^e`` with ``e >= 1``."""
+    return prime_power_decomposition(q) is not None
+
+
+def smallest_prime_power_at_least(n: int) -> Tuple[int, int]:
+    """Return ``(p, e)`` for the smallest prime power ``>= n``.
+
+    Used to pick a field automatically from a tag alphabet size.  Preference
+    is given to plain primes (``e = 1``) because prime-field arithmetic is
+    cheaper, matching the paper's choice of ``p = 83`` for 77 tags.
+    """
+    if n < 2:
+        return (2, 1)
+    candidate = n
+    while True:
+        decomposition = prime_power_decomposition(candidate)
+        if decomposition is not None:
+            return decomposition
+        candidate += 1
+
+
+def _smallest_prime_factor(n: int) -> Optional[int]:
+    """Return the smallest prime factor of ``n`` (or ``None`` for n < 2)."""
+    if n < 2:
+        return None
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return p
+    f = _SMALL_PRIMES[-1] + 2
+    while f * f <= n:
+        if n % f == 0:
+            return f
+        f += 2
+    return n

@@ -1,0 +1,20 @@
+"""Instrumentation: evaluation counters, timers and experiment records.
+
+The paper's primary comparison metric is the *number of polynomial
+evaluations* a query engine performs (figure 5) together with wall-clock
+execution time (figure 6) and result-set accuracy (figure 7).  Every filter
+and engine in this library reports through a shared
+:class:`~repro.metrics.counters.EvaluationCounters` instance so the
+experiment harness can read the same quantities the paper plots.
+"""
+
+from repro.metrics.counters import EvaluationCounters
+from repro.metrics.records import ExperimentRecord, QueryMeasurement
+from repro.metrics.timer import Stopwatch
+
+__all__ = [
+    "EvaluationCounters",
+    "Stopwatch",
+    "ExperimentRecord",
+    "QueryMeasurement",
+]

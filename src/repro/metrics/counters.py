@@ -1,0 +1,100 @@
+"""Counters shared by the filters and query engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EvaluationCounters:
+    """Counts of the primitive operations a query performs.
+
+    ``evaluations`` is the headline number of figure 5: one unit per
+    polynomial evaluation *pair* (server share + regenerated client share,
+    summed).  Equality tests are counted separately because their cost is
+    proportional to the number of children involved (section 6.3), and the
+    harness reports both.
+    """
+
+    #: containment-style evaluations (one per (node, value) pair tested)
+    evaluations: int = 0
+    #: equality tests performed (each involves reconstructing the node and all children)
+    equality_tests: int = 0
+    #: polynomials reconstructed from shares (client + server addition of full vectors)
+    reconstructions: int = 0
+    #: nodes fetched from the server store
+    nodes_fetched: int = 0
+    #: client-share regenerations from the PRG
+    client_regenerations: int = 0
+    #: per-label counts for ad-hoc instrumentation
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def count_evaluation(self, amount: int = 1) -> None:
+        """Record ``amount`` containment evaluations."""
+        self.evaluations += amount
+
+    def count_equality_test(self, children: int) -> None:
+        """Record one equality test involving ``children`` child polynomials."""
+        self.equality_tests += 1
+        self.extra["equality_children"] = self.extra.get("equality_children", 0) + children
+
+    def count_reconstruction(self, amount: int = 1) -> None:
+        """Record ``amount`` full polynomial reconstructions."""
+        self.reconstructions += amount
+
+    def count_fetch(self, amount: int = 1) -> None:
+        """Record ``amount`` node rows fetched from the server."""
+        self.nodes_fetched += amount
+
+    def count_regeneration(self, amount: int = 1) -> None:
+        """Record ``amount`` client-share regenerations."""
+        self.client_regenerations += amount
+
+    def bump(self, label: str, amount: int = 1) -> None:
+        """Record an ad-hoc labelled count."""
+        self.extra[label] = self.extra.get(label, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.evaluations = 0
+        self.equality_tests = 0
+        self.reconstructions = 0
+        self.nodes_fetched = 0
+        self.client_regenerations = 0
+        self.extra.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy (extra labels flattened in)."""
+        result = {
+            "evaluations": self.evaluations,
+            "equality_tests": self.equality_tests,
+            "reconstructions": self.reconstructions,
+            "nodes_fetched": self.nodes_fetched,
+            "client_regenerations": self.client_regenerations,
+        }
+        result.update(self.extra)
+        return result
+
+    @property
+    def total_work(self) -> int:
+        """A single scalar combining evaluations and equality tests.
+
+        Used for coarse comparisons in ablation benchmarks; the per-figure
+        harnesses report the individual counters instead.
+        """
+        return self.evaluations + self.equality_tests + self.reconstructions
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            "EvaluationCounters(evaluations=%d, equality_tests=%d, reconstructions=%d, fetched=%d)"
+            % (self.evaluations, self.equality_tests, self.reconstructions, self.nodes_fetched)
+        )

@@ -1,0 +1,94 @@
+"""Result records produced by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class QueryMeasurement:
+    """One measured query execution.
+
+    The experiment runners build one of these per (query, engine, test)
+    combination; the report printers turn lists of them into the rows/series
+    of the corresponding paper figure.
+    """
+
+    #: the XPath query text
+    query: str
+    #: "simple" or "advanced"
+    engine: str
+    #: "containment" (non-strict) or "equality" (strict)
+    test: str
+    #: number of result nodes returned
+    result_size: int
+    #: polynomial evaluations performed (figure 5's y-axis)
+    evaluations: int
+    #: equality tests performed
+    equality_tests: int
+    #: wall-clock seconds (figure 6's y-axis)
+    elapsed_seconds: float
+    #: remote calls made, when the client/server transport was used
+    remote_calls: int = 0
+    #: bytes across the simulated network
+    remote_bytes: int = 0
+    #: any additional counters worth keeping
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentRecord:
+    """A named experiment with its collected measurements and metadata."""
+
+    #: experiment identifier, e.g. "figure-5"
+    experiment_id: str
+    #: human-readable title
+    title: str
+    #: free-form parameters (document scale, field size, …)
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    #: the collected measurements
+    measurements: List[QueryMeasurement] = field(default_factory=list)
+    #: non-query series (e.g. figure 4's sizes) keyed by row label
+    series: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def add(self, measurement: QueryMeasurement) -> None:
+        """Append one measurement."""
+        self.measurements.append(measurement)
+
+    def add_series_point(self, series_name: str, value: Any) -> None:
+        """Append a point to a named series."""
+        self.series.setdefault(series_name, []).append(value)
+
+    def measurements_for(self, engine: Optional[str] = None, test: Optional[str] = None) -> List[QueryMeasurement]:
+        """Filter measurements by engine and/or test."""
+        selected = self.measurements
+        if engine is not None:
+            selected = [m for m in selected if m.engine == engine]
+        if test is not None:
+            selected = [m for m in selected if m.test == test]
+        return selected
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable representation (used by the report writers)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "parameters": dict(self.parameters),
+            "series": {name: list(values) for name, values in self.series.items()},
+            "measurements": [
+                {
+                    "query": m.query,
+                    "engine": m.engine,
+                    "test": m.test,
+                    "result_size": m.result_size,
+                    "evaluations": m.evaluations,
+                    "equality_tests": m.equality_tests,
+                    "elapsed_seconds": m.elapsed_seconds,
+                    "remote_calls": m.remote_calls,
+                    "remote_bytes": m.remote_bytes,
+                    "extra": dict(m.extra),
+                }
+                for m in self.measurements
+            ],
+        }

@@ -1,0 +1,58 @@
+"""A small stopwatch for the timing columns of the experiment reports."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """Measures wall-clock durations with ``perf_counter`` precision.
+
+    Usable either imperatively (``start`` / ``stop``) or as a context
+    manager::
+
+        with Stopwatch() as watch:
+            run_query()
+        print(watch.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) timing."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("stopwatch was not started")
+        self._elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently timing."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Accumulated seconds (including the current run when running)."""
+        if self._start is not None:
+            return self._elapsed + (time.perf_counter() - self._start)
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()

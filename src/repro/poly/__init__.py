@@ -1,0 +1,29 @@
+"""Polynomials over finite fields and the quotient ring used by the encoding.
+
+Section 3 of the paper encodes an XML tree into a tree of polynomials in the
+ring ``F_{p^e}[x] / (x^{p^e - 1} - 1)``:
+
+* leaves become the monomial ``x - map(node)``,
+* internal nodes become ``(x - map(node)) * Π f(child)``.
+
+The *containment test* evaluates a node polynomial at ``map(N)`` and checks
+for zero; the *equality test* divides a node polynomial by the product of its
+children and checks that the quotient is the monomial ``x - map(N)``.
+
+:class:`~repro.poly.dense.Polynomial` implements ordinary dense polynomials
+over a :class:`~repro.gf.base.Field` (used for plain ``F_p[x]`` work such as
+irreducibility checks and exact division), while
+:class:`~repro.poly.ring.QuotientRing` implements the cyclic quotient ring the
+encoding actually lives in, including the factor-extraction routine backing
+the equality test.
+"""
+
+from repro.poly.dense import Polynomial, PolynomialError
+from repro.poly.ring import QuotientRing, RingPolynomial
+
+__all__ = [
+    "Polynomial",
+    "PolynomialError",
+    "QuotientRing",
+    "RingPolynomial",
+]

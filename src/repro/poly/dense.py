@@ -1,0 +1,290 @@
+"""Dense univariate polynomials over a finite field.
+
+Coefficients are stored little-endian (``coeffs[i]`` multiplies ``x**i``) as
+canonical field integers.  Instances are immutable; arithmetic returns new
+objects.  The zero polynomial is represented by an empty coefficient tuple and
+reports degree ``-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.gf.base import Field, FieldError
+
+
+class PolynomialError(ValueError):
+    """Raised for invalid polynomial operations (e.g. division by zero)."""
+
+
+class Polynomial:
+    """A dense polynomial over a finite field.
+
+    Supports the usual ring operations plus Euclidean division, evaluation
+    (Horner's rule), gcd, and construction helpers for the ``x - value``
+    monomials that the encoding is built from.
+    """
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: Field, coeffs: Iterable[int] = ()):  # noqa: D401
+        self.field = field
+        trimmed: List[int] = [field.validate(c) for c in coeffs]
+        while trimmed and trimmed[-1] == 0:
+            trimmed.pop()
+        self.coeffs: Tuple[int, ...] = tuple(trimmed)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zero(cls, field: Field) -> "Polynomial":
+        """The zero polynomial."""
+        return cls(field, ())
+
+    @classmethod
+    def one(cls, field: Field) -> "Polynomial":
+        """The constant polynomial 1."""
+        return cls(field, (field.one,))
+
+    @classmethod
+    def constant(cls, field: Field, value: int) -> "Polynomial":
+        """The constant polynomial ``value``."""
+        return cls(field, (field.from_int(value),))
+
+    @classmethod
+    def x(cls, field: Field) -> "Polynomial":
+        """The identity polynomial ``x``."""
+        return cls(field, (0, field.one))
+
+    @classmethod
+    def linear_factor(cls, field: Field, root: int) -> "Polynomial":
+        """The monomial ``x - root``, the building block of the encoding."""
+        return cls(field, (field.neg(field.from_int(root)), field.one))
+
+    @classmethod
+    def from_roots(cls, field: Field, roots: Sequence[int]) -> "Polynomial":
+        """The monic polynomial with the given roots (with multiplicity)."""
+        result = cls.one(field)
+        for root in roots:
+            result = result * cls.linear_factor(field, root)
+        return result
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; ``-1`` for the zero polynomial."""
+        return len(self.coeffs) - 1
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this is the zero polynomial."""
+        return not self.coeffs
+
+    @property
+    def is_monic(self) -> bool:
+        """True when the leading coefficient is one."""
+        return bool(self.coeffs) and self.coeffs[-1] == self.field.one
+
+    @property
+    def leading_coefficient(self) -> int:
+        """Leading coefficient (zero for the zero polynomial)."""
+        return self.coeffs[-1] if self.coeffs else 0
+
+    def coefficient(self, power: int) -> int:
+        """Coefficient of ``x**power`` (zero when beyond the degree)."""
+        if 0 <= power < len(self.coeffs):
+            return self.coeffs[power]
+        return 0
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def _check_same_field(self, other: "Polynomial") -> None:
+        if self.field != other.field:
+            raise FieldError(
+                "cannot combine polynomials over %r and %r" % (self.field, other.field)
+            )
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_same_field(other)
+        field = self.field
+        length = max(len(self.coeffs), len(other.coeffs))
+        coeffs = [
+            field.add(self.coefficient(i), other.coefficient(i)) for i in range(length)
+        ]
+        return Polynomial(field, coeffs)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_same_field(other)
+        field = self.field
+        length = max(len(self.coeffs), len(other.coeffs))
+        coeffs = [
+            field.sub(self.coefficient(i), other.coefficient(i)) for i in range(length)
+        ]
+        return Polynomial(field, coeffs)
+
+    def __neg__(self) -> "Polynomial":
+        field = self.field
+        return Polynomial(field, [field.neg(c) for c in self.coeffs])
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_same_field(other)
+        if self.is_zero or other.is_zero:
+            return Polynomial.zero(self.field)
+        field = self.field
+        product = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                if b == 0:
+                    continue
+                product[i + j] = field.add(product[i + j], field.mul(a, b))
+        return Polynomial(field, product)
+
+    def scale(self, scalar: int) -> "Polynomial":
+        """Multiply every coefficient by a field scalar."""
+        field = self.field
+        scalar = field.from_int(scalar)
+        return Polynomial(field, [field.mul(c, scalar) for c in self.coeffs])
+
+    def __divmod__(self, divisor: "Polynomial") -> Tuple["Polynomial", "Polynomial"]:
+        if not isinstance(divisor, Polynomial):
+            return NotImplemented
+        self._check_same_field(divisor)
+        if divisor.is_zero:
+            raise PolynomialError("polynomial division by zero")
+        field = self.field
+        remainder = list(self.coeffs)
+        quotient = [0] * max(0, len(remainder) - len(divisor.coeffs) + 1)
+        inv_lead = field.inv(divisor.leading_coefficient)
+        dlen = len(divisor.coeffs)
+        while len(remainder) >= dlen:
+            lead = remainder[-1]
+            if lead == 0:
+                remainder.pop()
+                continue
+            factor = field.mul(lead, inv_lead)
+            shift = len(remainder) - dlen
+            quotient[shift] = factor
+            for i, dc in enumerate(divisor.coeffs):
+                remainder[shift + i] = field.sub(remainder[shift + i], field.mul(factor, dc))
+            while remainder and remainder[-1] == 0:
+                remainder.pop()
+        return Polynomial(field, quotient), Polynomial(field, remainder)
+
+    def __floordiv__(self, divisor: "Polynomial") -> "Polynomial":
+        quotient, _ = divmod(self, divisor)
+        return quotient
+
+    def __mod__(self, divisor: "Polynomial") -> "Polynomial":
+        _, remainder = divmod(self, divisor)
+        return remainder
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if exponent < 0:
+            raise PolynomialError("negative polynomial exponents are not supported")
+        result = Polynomial.one(self.field)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base * base
+            exponent >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def evaluate(self, point: int) -> int:
+        """Evaluate at ``point`` using Horner's rule; returns a field int."""
+        field = self.field
+        point = field.from_int(point)
+        accumulator = 0
+        for coefficient in reversed(self.coeffs):
+            accumulator = field.add(field.mul(accumulator, point), coefficient)
+        return accumulator
+
+    def roots(self) -> List[int]:
+        """All field elements at which the polynomial evaluates to zero.
+
+        Brute force over the field; fine for the small fields the encoding
+        uses (``q <= a few hundred``).
+        """
+        if self.is_zero:
+            return list(self.field.elements())
+        return [a for a in self.field.elements() if self.evaluate(a) == 0]
+
+    def monic(self) -> "Polynomial":
+        """Return the monic scalar multiple of this polynomial."""
+        if self.is_zero:
+            return self
+        return self.scale(self.field.inv(self.leading_coefficient))
+
+    def gcd(self, other: "Polynomial") -> "Polynomial":
+        """Monic greatest common divisor via the Euclidean algorithm."""
+        self._check_same_field(other)
+        a, b = self, other
+        while not b.is_zero:
+            a, b = b, a % b
+        return a.monic() if not a.is_zero else a
+
+    def derivative(self) -> "Polynomial":
+        """Formal derivative."""
+        field = self.field
+        coeffs = [
+            field.mul(field.from_int(i), c) for i, c in enumerate(self.coeffs) if i > 0
+        ]
+        return Polynomial(field, coeffs)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.field == other.field and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.coeffs))
+
+    def __bool__(self) -> bool:
+        return bool(self.coeffs)
+
+    def __len__(self) -> int:
+        return len(self.coeffs)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "Polynomial(%s)" % self.format()
+
+    def format(self, variable: str = "x") -> str:
+        """Human-readable rendering, highest power first (as in the paper)."""
+        if self.is_zero:
+            return "0"
+        terms = []
+        for power in range(self.degree, -1, -1):
+            coefficient = self.coefficient(power)
+            if coefficient == 0:
+                continue
+            if power == 0:
+                terms.append(str(coefficient))
+            elif power == 1:
+                terms.append(variable if coefficient == 1 else "%d%s" % (coefficient, variable))
+            else:
+                base = "%s^%d" % (variable, power)
+                terms.append(base if coefficient == 1 else "%d%s" % (coefficient, base))
+        return " + ".join(terms)

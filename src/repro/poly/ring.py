@@ -1,0 +1,296 @@
+"""The cyclic quotient ring ``F_q[x] / (x^{q-1} - 1)`` of the encoding.
+
+Every node polynomial produced by the paper's encoding lives in this ring:
+high powers of ``x`` wrap around because ``x^{q-1} ≡ 1``.  Reducing to the
+ring is what keeps the storage per node bounded at ``(q - 1) * log2(q)`` bits
+regardless of subtree size.
+
+Ring elements are fixed-length coefficient vectors (length ``q - 1``), which
+makes additive secret sharing trivial: the client and server shares are two
+vectors of the same shape that sum component-wise to the real polynomial.
+
+Evaluation is only meaningful at *non-zero* field points: every non-zero
+``a`` satisfies ``a^{q-1} = 1`` so the evaluation map is well defined on the
+quotient; at ``a = 0`` different representatives disagree.  The tag-name map
+therefore never assigns the value zero (see :mod:`repro.encode.tagmap`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.gf.base import Field, FieldError
+from repro.poly.dense import Polynomial, PolynomialError
+
+
+class RingPolynomial:
+    """An element of ``F_q[x]/(x^{q-1} - 1)`` as a fixed-length vector.
+
+    Instances are created by a :class:`QuotientRing` and carry a reference to
+    it; arithmetic is delegated to the ring so all elements stay in canonical
+    (fully reduced, fixed-length) form.
+    """
+
+    __slots__ = ("ring", "coeffs")
+
+    def __init__(self, ring: "QuotientRing", coeffs: Sequence[int]):
+        if len(coeffs) != ring.length:
+            raise PolynomialError(
+                "ring polynomial needs exactly %d coefficients, got %d"
+                % (ring.length, len(coeffs))
+            )
+        self.ring = ring
+        self.coeffs: Tuple[int, ...] = tuple(ring.field.validate(c) for c in coeffs)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (delegating to the ring)
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "RingPolynomial") -> "RingPolynomial":
+        return self.ring.add(self, other)
+
+    def __sub__(self, other: "RingPolynomial") -> "RingPolynomial":
+        return self.ring.sub(self, other)
+
+    def __neg__(self) -> "RingPolynomial":
+        return self.ring.neg(self)
+
+    def __mul__(self, other: "RingPolynomial") -> "RingPolynomial":
+        return self.ring.mul(self, other)
+
+    def evaluate(self, point: int) -> int:
+        """Evaluate at a non-zero field point (see module docstring)."""
+        return self.ring.evaluate(self, point)
+
+    def to_polynomial(self) -> Polynomial:
+        """Convert to a plain :class:`Polynomial` (the canonical representative)."""
+        return Polynomial(self.ring.field, self.coeffs)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when every coefficient is zero."""
+        return all(c == 0 for c in self.coeffs)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RingPolynomial):
+            return NotImplemented
+        return self.ring == other.ring and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash((id(self.ring), self.coeffs))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "RingPolynomial(%s)" % self.to_polynomial().format()
+
+
+class QuotientRing:
+    """Factory and arithmetic context for :class:`RingPolynomial` values.
+
+    ``QuotientRing(field)`` models ``field[x] / (x^{field.order - 1} - 1)``.
+    """
+
+    def __init__(self, field: Field):
+        if field.order < 3:
+            raise FieldError(
+                "the encoding ring needs a field with at least 3 elements, got order %d"
+                % field.order
+            )
+        self.field = field
+        #: number of stored coefficients per ring element (q - 1)
+        self.length = field.order - 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def zero(self) -> RingPolynomial:
+        """The zero element."""
+        return RingPolynomial(self, [0] * self.length)
+
+    def one(self) -> RingPolynomial:
+        """The multiplicative identity."""
+        coeffs = [0] * self.length
+        coeffs[0] = self.field.one
+        return RingPolynomial(self, coeffs)
+
+    def from_coeffs(self, coeffs: Iterable[int]) -> RingPolynomial:
+        """Build a ring element from little-endian coefficients of any length.
+
+        Coefficients of ``x^i`` with ``i >= q - 1`` are folded onto
+        ``x^(i mod (q-1))``, implementing the quotient by ``x^{q-1} - 1``.
+        """
+        field = self.field
+        folded = [0] * self.length
+        for i, coefficient in enumerate(coeffs):
+            slot = i % self.length
+            folded[slot] = field.add(folded[slot], field.validate(coefficient))
+        return RingPolynomial(self, folded)
+
+    def from_polynomial(self, poly: Polynomial) -> RingPolynomial:
+        """Reduce a plain polynomial into the ring."""
+        if poly.field != self.field:
+            raise FieldError("polynomial field %r does not match ring field %r" % (poly.field, self.field))
+        return self.from_coeffs(poly.coeffs)
+
+    def linear_factor(self, root: int) -> RingPolynomial:
+        """The encoding monomial ``x - root``."""
+        field = self.field
+        coeffs = [0] * self.length
+        coeffs[0] = field.neg(field.from_int(root))
+        if self.length > 1:
+            coeffs[1] = field.one
+        else:  # degenerate q = 2 ring collapses x onto the constant term
+            coeffs[0] = field.add(coeffs[0], field.one)
+        return RingPolynomial(self, coeffs)
+
+    def from_root_multiset(self, roots: Sequence[int]) -> RingPolynomial:
+        """Product of ``x - root`` over ``roots`` (with multiplicity), reduced."""
+        result = self.one()
+        for root in roots:
+            result = self.mul(result, self.linear_factor(root))
+        return result
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def _check(self, value: RingPolynomial) -> None:
+        if value.ring is not self and value.ring != self:
+            raise FieldError("ring polynomial belongs to a different ring")
+
+    def add(self, a: RingPolynomial, b: RingPolynomial) -> RingPolynomial:
+        """Component-wise sum."""
+        self._check(a)
+        self._check(b)
+        field = self.field
+        return RingPolynomial(self, [field.add(x, y) for x, y in zip(a.coeffs, b.coeffs)])
+
+    def sub(self, a: RingPolynomial, b: RingPolynomial) -> RingPolynomial:
+        """Component-wise difference."""
+        self._check(a)
+        self._check(b)
+        field = self.field
+        return RingPolynomial(self, [field.sub(x, y) for x, y in zip(a.coeffs, b.coeffs)])
+
+    def neg(self, a: RingPolynomial) -> RingPolynomial:
+        """Component-wise negation."""
+        self._check(a)
+        field = self.field
+        return RingPolynomial(self, [field.neg(x) for x in a.coeffs])
+
+    def mul(self, a: RingPolynomial, b: RingPolynomial) -> RingPolynomial:
+        """Cyclic convolution (multiplication modulo ``x^{q-1} - 1``)."""
+        self._check(a)
+        self._check(b)
+        field = self.field
+        n = self.length
+        result = [0] * n
+        for i, x in enumerate(a.coeffs):
+            if x == 0:
+                continue
+            for j, y in enumerate(b.coeffs):
+                if y == 0:
+                    continue
+                slot = i + j
+                if slot >= n:
+                    slot -= n
+                result[slot] = field.add(result[slot], field.mul(x, y))
+        return RingPolynomial(self, result)
+
+    def evaluate(self, a: RingPolynomial, point: int) -> int:
+        """Evaluate a ring element at a non-zero field point."""
+        self._check(a)
+        field = self.field
+        point = field.from_int(point)
+        if point == 0:
+            raise PolynomialError(
+                "evaluation at 0 is not well defined on the quotient ring; "
+                "tag map values must be non-zero"
+            )
+        accumulator = 0
+        for coefficient in reversed(a.coeffs):
+            accumulator = field.add(field.mul(accumulator, point), coefficient)
+        return accumulator
+
+    # ------------------------------------------------------------------
+    # Equality-test support
+    # ------------------------------------------------------------------
+
+    def extract_linear_factor(
+        self, node_poly: RingPolynomial, children_product: RingPolynomial
+    ) -> Optional[int]:
+        """Recover ``t`` such that ``node_poly == (x - t) * children_product``.
+
+        This is the paper's *equality test* primitive: after reconstructing a
+        node's polynomial and the product of all its direct children's
+        polynomials, dividing the former by the latter must leave the monomial
+        ``x - t`` where ``t`` is the node's own mapped tag value.
+
+        Returns the root ``t`` when such a factorisation exists, otherwise
+        ``None`` (which the filters interpret as "tag not equal").
+
+        The algorithm avoids true division in the quotient ring (which is not
+        an integral domain) by solving for ``t`` from one evaluation point
+        where the children product does not vanish and then verifying the
+        candidate with a full ring multiplication.
+        """
+        self._check(node_poly)
+        self._check(children_product)
+        field = self.field
+        candidate: Optional[int] = None
+        for point in range(1, field.order):
+            denominator = self.evaluate(children_product, point)
+            if denominator == 0:
+                continue
+            numerator = self.evaluate(node_poly, point)
+            # node(a) = (a - t) * children(a)  =>  t = a - node(a)/children(a)
+            candidate = field.sub(point, field.div(numerator, denominator))
+            break
+        if candidate is None:
+            # The children product vanishes everywhere on F_q^*; no unique
+            # linear factor can be recovered.
+            return None
+        reconstructed = self.mul(self.linear_factor(candidate), children_product)
+        if reconstructed == node_poly:
+            return candidate
+        return None
+
+    def divides_cleanly(
+        self, node_poly: RingPolynomial, children_product: RingPolynomial, tag_value: int
+    ) -> bool:
+        """Check ``node_poly == (x - tag_value) * children_product`` exactly."""
+        expected = self.mul(self.linear_factor(tag_value), children_product)
+        return expected == node_poly
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def element_bits(self) -> int:
+        """Storage bits per ring element: ``(q - 1) * ceil(log2 q)``.
+
+        This is the quantity the paper uses for its storage-cost discussion
+        (section 4: "each polynomial takes ``(p^e − 1) log2 p^e`` bits").
+        """
+        return self.length * self.field.element_bits
+
+    @property
+    def element_bytes(self) -> int:
+        """Storage bytes per ring element, rounded up."""
+        return (self.element_bits + 7) // 8
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuotientRing):
+            return NotImplemented
+        return self.field == other.field
+
+    def __hash__(self) -> int:
+        return hash(("QuotientRing", self.field))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "QuotientRing(F_%d[x]/(x^%d - 1))" % (self.field.order, self.length)

@@ -1,0 +1,17 @@
+"""Deterministic pseudorandom generation of client shares.
+
+The client tree of secret shares is never stored: it is regenerated on demand
+from a secret *seed* and the node's *pre* position (section 5.2 of the paper:
+"ClientFilter first regenerates the client polynomial by using the
+pseudorandom generator with the secret seed and the pre location of the
+polynomial").
+
+:class:`~repro.prg.generator.KeyedPRG` provides exactly that interface: a
+stream of field elements deterministically derived from ``(seed, pre)``, plus
+seed-file handling mirroring the prototype's ``seed`` command-line file.
+"""
+
+from repro.prg.generator import KeyedPRG, SplitMix64
+from repro.prg.seed import SeedFile, generate_seed
+
+__all__ = ["KeyedPRG", "SplitMix64", "SeedFile", "generate_seed"]

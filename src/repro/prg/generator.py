@@ -1,0 +1,131 @@
+"""Keyed pseudorandom generator producing finite-field elements.
+
+The Java prototype used a seeded ``java.util.Random``; any deterministic PRG
+keyed on ``(seed, node position)`` reproduces the same semantics.  We use a
+SplitMix64 core (a well-studied 64-bit mixing function) seeded from a stable
+hash of the seed bytes and the node's pre number, and map its output to field
+elements with rejection sampling so the distribution over ``F_q`` is uniform.
+
+This module is *not* a cryptographic guarantee — neither was the original
+prototype's — but it is deterministic, portable and uniform, which is what
+the experiments require.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, List, Sequence
+
+from repro.gf.base import Field
+
+_MASK64 = (1 << 64) - 1
+
+
+class SplitMix64:
+    """The SplitMix64 sequence generator.
+
+    Produces a deterministic stream of 64-bit integers from a 64-bit state.
+    Used as the mixing core of :class:`KeyedPRG` and as a light-weight
+    deterministic random source for the synthetic XMark generator.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int):
+        self.state = seed & _MASK64
+
+    def next_uint64(self) -> int:
+        """Advance the state and return the next 64-bit output."""
+        self.state = (self.state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self.state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return (z ^ (z >> 31)) & _MASK64
+
+    def next_below(self, bound: int) -> int:
+        """Uniform integer in ``range(bound)`` using rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive, got %d" % bound)
+        if bound == 1:
+            return 0
+        # Largest multiple of bound below 2**64; values above it are rejected
+        # so the result is exactly uniform.
+        limit = (1 << 64) - ((1 << 64) % bound)
+        while True:
+            value = self.next_uint64()
+            if value < limit:
+                return value % bound
+
+    def next_float(self) -> float:
+        """Uniform float in [0, 1) with 53 bits of precision."""
+        return (self.next_uint64() >> 11) / float(1 << 53)
+
+    def choice(self, items: Sequence):
+        """Pick one item of a non-empty sequence uniformly."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.next_below(len(items))]
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        if high < low:
+            raise ValueError("empty range [%d, %d]" % (low, high))
+        return low + self.next_below(high - low + 1)
+
+
+class KeyedPRG:
+    """Derives per-node streams of field elements from a secret seed.
+
+    The stream for a given node is identified by its ``pre`` number (the
+    document-order position used as primary key in the server's table), so
+    the client can regenerate exactly the share that was subtracted from the
+    node's polynomial at encoding time, in any order and as many times as
+    needed.
+    """
+
+    def __init__(self, seed: bytes, field: Field):
+        if not isinstance(seed, (bytes, bytearray)):
+            raise TypeError("seed must be bytes, got %r" % type(seed).__name__)
+        if len(seed) == 0:
+            raise ValueError("seed must not be empty")
+        self.seed = bytes(seed)
+        self.field = field
+        # Pre-hash the seed once; per-node states mix in the pre number.
+        self._seed_digest = hashlib.sha256(self.seed).digest()
+
+    def _node_state(self, pre: int, lane: int = 0) -> int:
+        """Derive the 64-bit SplitMix state for node ``pre`` and stream ``lane``."""
+        payload = self._seed_digest + pre.to_bytes(8, "big", signed=False) + lane.to_bytes(4, "big")
+        digest = hashlib.sha256(payload).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def stream(self, pre: int, lane: int = 0) -> Iterator[int]:
+        """Infinite stream of uniform field elements for node ``pre``."""
+        core = SplitMix64(self._node_state(pre, lane))
+        order = self.field.order
+        while True:
+            yield core.next_below(order)
+
+    def elements(self, pre: int, count: int, lane: int = 0) -> List[int]:
+        """The first ``count`` field elements of node ``pre``'s stream.
+
+        This is the call used to regenerate a client share: ``count`` equals
+        the ring length ``q - 1`` and the returned list is the coefficient
+        vector of the client polynomial.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative, got %d" % count)
+        core = SplitMix64(self._node_state(pre, lane))
+        order = self.field.order
+        return [core.next_below(order) for _ in range(count)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KeyedPRG):
+            return NotImplemented
+        return self.seed == other.seed and self.field == other.field
+
+    def __hash__(self) -> int:
+        return hash((self.seed, self.field))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "KeyedPRG(seed=%d bytes, field=%r)" % (len(self.seed), self.field)

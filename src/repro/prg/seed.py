@@ -1,0 +1,65 @@
+"""Seed files — the encryption key of the scheme.
+
+The prototype's ``MySQLEncode`` takes a seed file on the command line; the
+seed is the only secret the client must retain ("The seed file acts as the
+encryption key and should therefore be kept secure", section 5.1).  This
+module provides a small container with read/write helpers and a generator of
+fresh random seeds.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from typing import Union
+
+_PathLike = Union[str, "os.PathLike[str]"]
+
+DEFAULT_SEED_BYTES = 32
+
+
+def generate_seed(num_bytes: int = DEFAULT_SEED_BYTES) -> bytes:
+    """Generate a fresh random seed of ``num_bytes`` bytes."""
+    if num_bytes < 16:
+        raise ValueError("seeds shorter than 16 bytes are too weak; got %d" % num_bytes)
+    return secrets.token_bytes(num_bytes)
+
+
+class SeedFile:
+    """A seed value with optional on-disk persistence (hex encoded)."""
+
+    def __init__(self, seed: bytes):
+        if not isinstance(seed, (bytes, bytearray)) or len(seed) == 0:
+            raise ValueError("seed must be non-empty bytes")
+        self.seed = bytes(seed)
+
+    @classmethod
+    def generate(cls, num_bytes: int = DEFAULT_SEED_BYTES) -> "SeedFile":
+        """Create a fresh random seed."""
+        return cls(generate_seed(num_bytes))
+
+    @classmethod
+    def load(cls, path: _PathLike) -> "SeedFile":
+        """Load a hex-encoded seed from ``path``."""
+        with open(path, "r", encoding="ascii") as handle:
+            text = handle.read().strip()
+        if not text:
+            raise ValueError("seed file %s is empty" % path)
+        return cls(bytes.fromhex(text))
+
+    def save(self, path: _PathLike) -> None:
+        """Write the seed to ``path`` as a single hex line."""
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(self.seed.hex())
+            handle.write("\n")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SeedFile):
+            return NotImplemented
+        return self.seed == other.seed
+
+    def __hash__(self) -> int:
+        return hash(self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "SeedFile(%d bytes)" % len(self.seed)

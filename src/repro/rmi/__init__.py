@@ -1,0 +1,36 @@
+"""Client/server remote-invocation substrate (the prototype's Java RMI stand-in).
+
+The prototype splits the filter across a thin client and a big server that
+talk over Java RMI (section 5.2).  Rebuilding a JVM RMI stack is neither
+possible offline nor necessary: what the experiments depend on is the *call
+boundary* — every filter operation is one remote round trip whose arguments
+and results must be serialisable, and whose count/byte volume determine the
+communication cost of a query.
+
+This package provides that boundary in-process:
+
+* :class:`~repro.rmi.codec.Codec` — a small, self-contained binary
+  serialisation format for the value types the filters exchange,
+* :class:`~repro.rmi.transport.SimulatedTransport` — a channel that counts
+  calls and bytes and can model per-call latency,
+* :class:`~repro.rmi.proxy.RemoteProxy` / :class:`~repro.rmi.proxy.Registry`
+  — RMI-style stubs: the client holds a proxy, every method call is encoded,
+  shipped through the transport, executed on the server object and the result
+  shipped back,
+* :class:`~repro.rmi.stats.CallStats` — the per-session accounting the
+  benchmark harness reads out.
+"""
+
+from repro.rmi.codec import Codec, CodecError
+from repro.rmi.proxy import Registry, RemoteProxy
+from repro.rmi.stats import CallStats
+from repro.rmi.transport import SimulatedTransport
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "SimulatedTransport",
+    "RemoteProxy",
+    "Registry",
+    "CallStats",
+]

@@ -1,0 +1,144 @@
+"""Binary serialisation for remote calls.
+
+A deliberately small, dependency-free, length-prefixed format covering the
+value types the filters exchange: ``None``, booleans, integers, floats,
+strings, bytes, lists/tuples and string-keyed dictionaries.  Arbitrary
+objects are rejected — exactly the discipline a real remote boundary imposes,
+which keeps the filter interfaces honest (no accidental passing of live
+Python objects between "client" and "server").
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_DICT = b"M"
+
+
+class CodecError(ValueError):
+    """Raised when a value cannot be serialised or a payload is malformed."""
+
+
+class Codec:
+    """Encoder/decoder for the remote-call payload format."""
+
+    def encode(self, value: Any) -> bytes:
+        """Serialise ``value`` to bytes."""
+        parts: List[bytes] = []
+        self._encode_into(value, parts)
+        return b"".join(parts)
+
+    def decode(self, payload: bytes) -> Any:
+        """Deserialise bytes produced by :meth:`encode`."""
+        value, offset = self._decode_from(payload, 0)
+        if offset != len(payload):
+            raise CodecError("trailing bytes after payload (%d of %d consumed)" % (offset, len(payload)))
+        return value
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def _encode_into(self, value: Any, parts: List[bytes]) -> None:
+        if value is None:
+            parts.append(_TAG_NONE)
+        elif value is True:
+            parts.append(_TAG_TRUE)
+        elif value is False:
+            parts.append(_TAG_FALSE)
+        elif isinstance(value, int):
+            encoded = str(value).encode("ascii")
+            parts.append(_TAG_INT + _length(encoded) + encoded)
+        elif isinstance(value, float):
+            encoded = repr(value).encode("ascii")
+            parts.append(_TAG_FLOAT + _length(encoded) + encoded)
+        elif isinstance(value, str):
+            encoded = value.encode("utf-8")
+            parts.append(_TAG_STR + _length(encoded) + encoded)
+        elif isinstance(value, (bytes, bytearray)):
+            encoded = bytes(value)
+            parts.append(_TAG_BYTES + _length(encoded) + encoded)
+        elif isinstance(value, (list, tuple)):
+            parts.append(_TAG_LIST + _length_int(len(value)))
+            for item in value:
+                self._encode_into(item, parts)
+        elif isinstance(value, dict):
+            parts.append(_TAG_DICT + _length_int(len(value)))
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise CodecError("dictionary keys must be strings, got %r" % (key,))
+                self._encode_into(key, parts)
+                self._encode_into(item, parts)
+        else:
+            raise CodecError(
+                "value of type %s cannot cross the remote boundary: %r"
+                % (type(value).__name__, value)
+            )
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def _decode_from(self, payload: bytes, offset: int) -> Tuple[Any, int]:
+        if offset >= len(payload):
+            raise CodecError("truncated payload")
+        tag = payload[offset : offset + 1]
+        offset += 1
+        if tag == _TAG_NONE:
+            return None, offset
+        if tag == _TAG_TRUE:
+            return True, offset
+        if tag == _TAG_FALSE:
+            return False, offset
+        if tag in (_TAG_INT, _TAG_FLOAT, _TAG_STR, _TAG_BYTES):
+            size, offset = _read_length(payload, offset)
+            raw = payload[offset : offset + size]
+            if len(raw) != size:
+                raise CodecError("truncated payload body")
+            offset += size
+            if tag == _TAG_INT:
+                return int(raw.decode("ascii")), offset
+            if tag == _TAG_FLOAT:
+                return float(raw.decode("ascii")), offset
+            if tag == _TAG_STR:
+                return raw.decode("utf-8"), offset
+            return raw, offset
+        if tag == _TAG_LIST:
+            count, offset = _read_length(payload, offset)
+            items = []
+            for _ in range(count):
+                item, offset = self._decode_from(payload, offset)
+                items.append(item)
+            return items, offset
+        if tag == _TAG_DICT:
+            count, offset = _read_length(payload, offset)
+            result = {}
+            for _ in range(count):
+                key, offset = self._decode_from(payload, offset)
+                value, offset = self._decode_from(payload, offset)
+                result[key] = value
+            return result, offset
+        raise CodecError("unknown type tag %r at offset %d" % (tag, offset - 1))
+
+
+def _length(encoded: bytes) -> bytes:
+    return _length_int(len(encoded))
+
+
+def _length_int(value: int) -> bytes:
+    return value.to_bytes(4, "big")
+
+
+def _read_length(payload: bytes, offset: int) -> Tuple[int, int]:
+    raw = payload[offset : offset + 4]
+    if len(raw) != 4:
+        raise CodecError("truncated length field")
+    return int.from_bytes(raw, "big"), offset + 4

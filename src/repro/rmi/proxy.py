@@ -1,0 +1,76 @@
+"""RMI-style remote proxies and a name registry."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.rmi.transport import SimulatedTransport
+
+
+class RemoteProxy:
+    """Client-side stub for a server object.
+
+    Attribute access produces a callable that routes the invocation through
+    the transport, so client code reads exactly as if it held the real
+    object — the same transparency RMI stubs give — while every call is
+    counted and its payload serialised.
+    """
+
+    def __init__(self, target: Any, transport: SimulatedTransport):
+        # Double-underscore attributes avoid clashes with proxied method names.
+        object.__setattr__(self, "_RemoteProxy__target", target)
+        object.__setattr__(self, "_RemoteProxy__transport", transport)
+
+    def __getattr__(self, name: str) -> Callable[..., Any]:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        target = object.__getattribute__(self, "_RemoteProxy__target")
+        transport = object.__getattribute__(self, "_RemoteProxy__transport")
+        if not hasattr(target, name):
+            raise AttributeError(
+                "remote object %r has no method %r" % (type(target).__name__, name)
+            )
+
+        def remote_call(*args: Any, **kwargs: Any) -> Any:
+            return transport.invoke(target, name, args, kwargs)
+
+        remote_call.__name__ = name
+        return remote_call
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        target = object.__getattribute__(self, "_RemoteProxy__target")
+        return "RemoteProxy(%s)" % type(target).__name__
+
+
+class Registry:
+    """A minimal RMI registry: bind server objects to names, look up stubs."""
+
+    def __init__(self, transport: Optional[SimulatedTransport] = None):
+        self.transport = transport or SimulatedTransport()
+        self._bindings: Dict[str, Any] = {}
+
+    def bind(self, name: str, target: Any) -> None:
+        """Register a server object under ``name`` (error when taken)."""
+        if name in self._bindings:
+            raise KeyError("name %r is already bound" % name)
+        self._bindings[name] = target
+
+    def rebind(self, name: str, target: Any) -> None:
+        """Register or replace a binding."""
+        self._bindings[name] = target
+
+    def lookup(self, name: str) -> RemoteProxy:
+        """Return a stub for the object bound under ``name``."""
+        if name not in self._bindings:
+            raise KeyError("nothing bound under %r" % name)
+        return RemoteProxy(self._bindings[name], self.transport)
+
+    def unbind(self, name: str) -> None:
+        """Remove a binding."""
+        if name not in self._bindings:
+            raise KeyError("nothing bound under %r" % name)
+        del self._bindings[name]
+
+    def names(self):
+        """All bound names."""
+        return list(self._bindings)

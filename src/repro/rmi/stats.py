@@ -1,0 +1,65 @@
+"""Accounting of remote calls: counts, bytes, simulated latency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CallStats:
+    """Mutable accumulator of remote-invocation statistics.
+
+    One instance is attached to a :class:`~repro.rmi.transport.SimulatedTransport`
+    and read out by the experiment harness after each query to report the
+    communication cost alongside the evaluation counts.
+    """
+
+    #: total number of remote method invocations
+    calls: int = 0
+    #: bytes of encoded request payloads (client → server)
+    bytes_sent: int = 0
+    #: bytes of encoded response payloads (server → client)
+    bytes_received: int = 0
+    #: accumulated simulated network latency in seconds
+    simulated_latency: float = 0.0
+    #: per-method invocation counts
+    calls_by_method: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, method: str, request_bytes: int, response_bytes: int, latency: float) -> None:
+        """Record one completed remote call."""
+        self.calls += 1
+        self.bytes_sent += request_bytes
+        self.bytes_received += response_bytes
+        self.simulated_latency += latency
+        self.calls_by_method[method] = self.calls_by_method.get(method, 0) + 1
+
+    def reset(self) -> None:
+        """Zero all counters (used between experiment runs)."""
+        self.calls = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.simulated_latency = 0.0
+        self.calls_by_method.clear()
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes in both directions."""
+        return self.bytes_sent + self.bytes_received
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy for report printing."""
+        return {
+            "calls": self.calls,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "total_bytes": self.total_bytes,
+            "simulated_latency": self.simulated_latency,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "CallStats(calls=%d, bytes=%d, latency=%.4fs)" % (
+            self.calls,
+            self.total_bytes,
+            self.simulated_latency,
+        )

@@ -1,0 +1,12 @@
+"""Additive secret sharing of ring polynomials.
+
+Step 3 of the encoding (section 3): the tree of node polynomials is split into
+a *client* tree and a *server* tree of the same shape.  The client polynomials
+come from a pseudorandom generator; the server polynomials are chosen so that
+``client + server == original`` coefficient-wise.  Only the server tree is
+stored (publicly); the client tree is regenerated from the PRG seed.
+"""
+
+from repro.secretshare.additive import AdditiveSharing, SharePair
+
+__all__ = ["AdditiveSharing", "SharePair"]

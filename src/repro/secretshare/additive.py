@@ -1,0 +1,99 @@
+"""Two-party additive sharing of polynomials in the encoding ring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.poly.ring import QuotientRing, RingPolynomial
+from repro.prg.generator import KeyedPRG
+
+
+@dataclass(frozen=True)
+class SharePair:
+    """The two additive shares of one node polynomial.
+
+    ``client`` is the pseudorandom share (regenerable from the seed),
+    ``server`` is the stored share.  ``client + server`` equals the original
+    node polynomial.
+    """
+
+    client: RingPolynomial
+    server: RingPolynomial
+
+    def reconstruct(self) -> RingPolynomial:
+        """Recombine the shares into the original polynomial."""
+        return self.client + self.server
+
+
+class AdditiveSharing:
+    """Splits and recombines node polynomials using a :class:`KeyedPRG`.
+
+    The client share of the node at position ``pre`` is defined as the first
+    ``q - 1`` elements of the PRG stream for ``pre``; the server share is the
+    component-wise difference ``original - client``.  Because the client share
+    depends only on ``(seed, pre)`` it never needs to be stored: both the
+    encoder and the query-time :class:`repro.filters.client.ClientFilter`
+    derive it independently.
+    """
+
+    def __init__(self, ring: QuotientRing, prg: KeyedPRG):
+        if prg.field != ring.field:
+            raise ValueError(
+                "PRG field %r does not match ring field %r" % (prg.field, ring.field)
+            )
+        self.ring = ring
+        self.prg = prg
+
+    # ------------------------------------------------------------------
+    # Sharing
+    # ------------------------------------------------------------------
+
+    def client_share(self, pre: int) -> RingPolynomial:
+        """Regenerate the pseudorandom client share for node ``pre``."""
+        coefficients = self.prg.elements(pre, self.ring.length)
+        return RingPolynomial(self.ring, coefficients)
+
+    def split(self, polynomial: RingPolynomial, pre: int) -> SharePair:
+        """Split ``polynomial`` into its client/server share pair for ``pre``."""
+        client = self.client_share(pre)
+        server = polynomial - client
+        return SharePair(client=client, server=server)
+
+    def server_share(self, polynomial: RingPolynomial, pre: int) -> RingPolynomial:
+        """Compute only the server share (what actually gets stored)."""
+        return polynomial - self.client_share(pre)
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+
+    def reconstruct(self, server_share: RingPolynomial, pre: int) -> RingPolynomial:
+        """Recombine a stored server share with the regenerated client share."""
+        return self.client_share(pre) + server_share
+
+    def evaluate_shared(self, server_share: RingPolynomial, pre: int, point: int) -> int:
+        """Evaluate the underlying polynomial at ``point`` via its shares.
+
+        This mirrors the distributed containment test: the server evaluates
+        its share, the client evaluates its regenerated share, and the two
+        results are added.  Returns the combined field value (zero means the
+        tag occurs in the node's subtree).
+        """
+        server_value = self.ring.evaluate(server_share, point)
+        client_value = self.ring.evaluate(self.client_share(pre), point)
+        return self.ring.field.add(server_value, client_value)
+
+    # ------------------------------------------------------------------
+    # Batch helpers
+    # ------------------------------------------------------------------
+
+    def split_many(
+        self, polynomials: Sequence[RingPolynomial], pres: Sequence[int]
+    ) -> list:
+        """Split a batch of polynomials; ``pres`` supplies their positions."""
+        if len(polynomials) != len(pres):
+            raise ValueError(
+                "got %d polynomials but %d pre positions" % (len(polynomials), len(pres))
+            )
+        return [self.split(poly, pre) for poly, pre in zip(polynomials, pres)]

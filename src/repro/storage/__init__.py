@@ -1,0 +1,39 @@
+"""Relational storage substrate (the prototype's MySQL replacement).
+
+The prototype stores one row per XML node in a MySQL table::
+
+    (pre, post, parent, polynomial-coefficients)
+
+with B-tree indices on ``pre``, ``post`` and ``parent`` "in order to speed up
+the search process" (section 5.1).  This package is a from-scratch,
+pure-Python stand-in providing the same capabilities:
+
+* :class:`~repro.storage.schema.TableSchema` / :class:`~repro.storage.schema.Column`
+  — column definitions and row validation,
+* :class:`~repro.storage.btree.BPlusTree` — an order-configurable B+-tree with
+  point and range lookups (duplicate keys supported),
+* :class:`~repro.storage.table.Table` — a heap table with secondary B+-tree
+  indexes, scans, and size accounting used by the encoding experiment,
+* :class:`~repro.storage.database.Database` — a named catalog of tables with
+  optional on-disk persistence.
+
+The query layer only ever touches indexed access paths (point lookup on
+``parent``, point lookup on ``pre``, range scan on ``pre``/``post``), which is
+exactly what the MySQL schema gave the original prototype.
+"""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.database import Database
+from repro.storage.errors import StorageError
+from repro.storage.schema import Column, ColumnType, TableSchema
+from repro.storage.table import Table
+
+__all__ = [
+    "BPlusTree",
+    "Database",
+    "StorageError",
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "Table",
+]

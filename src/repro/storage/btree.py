@@ -1,0 +1,278 @@
+"""A B+-tree index supporting point and range lookups with duplicate keys.
+
+This is the index structure behind the ``pre``, ``post`` and ``parent``
+columns of the node table.  Keys are integers (or any totally ordered,
+hashable values); values are opaque row identifiers.  Duplicate keys are
+allowed (many nodes share the same ``parent``), each key slot holding a list
+of row ids in insertion order.
+
+The implementation is a textbook B+-tree: internal nodes hold separator keys
+and child pointers, leaves hold (key, [row ids]) pairs and are linked left to
+right so range scans stream without re-descending.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _LeafNode:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[List[Any]] = []
+        self.next: Optional["_LeafNode"] = None
+
+
+class _InternalNode:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.children: List[Any] = []
+
+
+class BPlusTree:
+    """B+-tree keyed index with duplicate support.
+
+    ``order`` is the maximum number of children of an internal node; leaves
+    hold at most ``order - 1`` distinct keys.  The default (64) keeps the tree
+    shallow for the node counts the experiments use while still exercising
+    real splits in the unit tests (which use tiny orders).
+    """
+
+    def __init__(self, order: int = 64):
+        if order < 3:
+            raise ValueError("B+-tree order must be at least 3, got %d" % order)
+        self.order = order
+        self._root: Any = _LeafNode()
+        self._size = 0
+        self._key_count = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of stored (key, value) pairs (duplicates counted)."""
+        return self._size
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct keys currently stored."""
+        return self._key_count
+
+    @property
+    def height(self) -> int:
+        """Height of the tree (a single leaf has height 1)."""
+        return self._height
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert one (key, value) pair; duplicate keys accumulate values."""
+        result = self._insert_into(self._root, key, value)
+        if result is not None:
+            separator, right = result
+            new_root = _InternalNode()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+        self._size += 1
+
+    def _insert_into(self, node: Any, key: Any, value: Any):
+        if isinstance(node, _LeafNode):
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(value)
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, [value])
+            self._key_count += 1
+            if len(node.keys) >= self.order:
+                return self._split_leaf(node)
+            return None
+        # Internal node: descend into the proper child.
+        index = _upper_bound(node.keys, key)
+        result = self._insert_into(node.children[index], key, value)
+        if result is None:
+            return None
+        separator, right = result
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.children) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _LeafNode) -> Tuple[Any, _LeafNode]:
+        middle = len(node.keys) // 2
+        right = _LeafNode()
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _InternalNode) -> Tuple[Any, _InternalNode]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _InternalNode()
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _LeafNode:
+        node = self._root
+        while isinstance(node, _InternalNode):
+            index = _upper_bound(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def search(self, key: Any) -> List[Any]:
+        """All values stored under ``key`` (empty list when absent)."""
+        leaf = self._find_leaf(key)
+        index = _lower_bound(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def contains(self, key: Any) -> bool:
+        """Whether any value is stored under ``key``."""
+        leaf = self._find_leaf(key)
+        index = _lower_bound(leaf.keys, key)
+        return index < len(leaf.keys) and leaf.keys[index] == key
+
+    def range(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Iterate (key, value) pairs with ``low <= key <= high`` in key order.
+
+        ``None`` bounds are open-ended.  Inclusive flags control whether the
+        endpoints themselves are produced.
+        """
+        if low is None:
+            leaf = self._leftmost_leaf()
+            index = 0
+        else:
+            leaf = self._find_leaf(low)
+            index = _lower_bound(leaf.keys, low)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if low is not None:
+                    if key < low or (key == low and not include_low):
+                        index += 1
+                        continue
+                if high is not None:
+                    if key > high or (key == high and not include_high):
+                        return
+                for value in leaf.values[index]:
+                    yield key, value
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All (key, value) pairs in key order."""
+        return self.range()
+
+    def keys(self) -> Iterator[Any]:
+        """All distinct keys in order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            for key in leaf.keys:
+                yield key
+            leaf = leaf.next
+
+    def _leftmost_leaf(self) -> _LeafNode:
+        node = self._root
+        while isinstance(node, _InternalNode):
+            node = node.children[0]
+        return node
+
+    def minimum(self) -> Optional[Any]:
+        """Smallest key, or ``None`` when empty."""
+        leaf = self._leftmost_leaf()
+        return leaf.keys[0] if leaf.keys else None
+
+    def maximum(self) -> Optional[Any]:
+        """Largest key, or ``None`` when empty."""
+        node = self._root
+        while isinstance(node, _InternalNode):
+            node = node.children[-1]
+        return node.keys[-1] if node.keys else None
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        """Total number of tree nodes (internal + leaf)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, _InternalNode):
+                stack.extend(node.children)
+        return count
+
+    def estimated_bytes(self, key_bytes: int = 8, pointer_bytes: int = 8) -> int:
+        """Rough on-disk size estimate of the index.
+
+        Every key costs ``key_bytes``, every child/row pointer costs
+        ``pointer_bytes``; node headers are ignored.  This feeds the "index
+        size" series of the figure-4 reproduction.
+        """
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _InternalNode):
+                total += len(node.keys) * key_bytes + len(node.children) * pointer_bytes
+                stack.extend(node.children)
+            else:
+                total += len(node.keys) * key_bytes
+                total += sum(len(values) for values in node.values) * pointer_bytes
+        return total
+
+
+def _lower_bound(keys: List[Any], key: Any) -> int:
+    """First index whose key is >= ``key`` (binary search)."""
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        if keys[mid] < key:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def _upper_bound(keys: List[Any], key: Any) -> int:
+    """First index whose key is > ``key`` (binary search)."""
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        if keys[mid] <= key:
+            low = mid + 1
+        else:
+            high = mid
+    return low

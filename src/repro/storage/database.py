@@ -1,0 +1,147 @@
+"""Database catalog: named tables plus optional JSON persistence."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.storage.errors import StorageError, UnknownTableError
+from repro.storage.schema import Column, ColumnType, TableSchema
+from repro.storage.table import Table
+
+
+class Database:
+    """A named collection of tables — the server-side "MySQL" of the prototype.
+
+    The database is deliberately unencrypted and considered publicly readable,
+    exactly like the paper's server store: all confidentiality comes from the
+    secret-shared polynomial column, not from the storage layer.
+    """
+
+    def __init__(self, name: str = "encrypted_xml"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog operations
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, btree_order: int = 64) -> Table:
+        """Create a table from a schema (error if the name is taken)."""
+        if schema.name in self._tables:
+            raise StorageError("table %r already exists" % schema.name)
+        table = Table(schema, btree_order=btree_order)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table (error if missing)."""
+        if name not in self._tables:
+            raise UnknownTableError("no such table: %r" % name)
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Fetch a table by name."""
+        table = self._tables.get(name)
+        if table is None:
+            raise UnknownTableError("no such table: %r" % name)
+        return table
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        """All table names in creation order."""
+        return list(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Persistence (JSON) — optional convenience for examples
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Serialise the whole database to a JSON file."""
+        payload: Dict[str, Any] = {"name": self.name, "tables": {}}
+        for name, table in self._tables.items():
+            payload["tables"][name] = {
+                "columns": [
+                    {"name": c.name, "type": c.type.value, "nullable": c.nullable}
+                    for c in table.schema.columns
+                ],
+                "indexes": [
+                    {"column": column, "unique": table._unique.get(column, False)}
+                    for column in table.indexed_columns()
+                ],
+                "rows": [_encode_row(row) for row in table],
+            }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "Database":
+        """Load a database previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        database = cls(payload.get("name", "encrypted_xml"))
+        for table_name, table_payload in payload.get("tables", {}).items():
+            columns = [
+                Column(
+                    name=column["name"],
+                    type=ColumnType(column["type"]),
+                    nullable=column.get("nullable", False),
+                )
+                for column in table_payload["columns"]
+            ]
+            table = database.create_table(TableSchema(table_name, columns))
+            for index in table_payload.get("indexes", []):
+                table.create_index(index["column"], unique=index.get("unique", False))
+            for row in table_payload.get("rows", []):
+                table.insert(_decode_row(row, columns))
+        return database
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def total_data_bytes(self, element_bytes: int = 1) -> int:
+        """Approximate payload bytes across all tables."""
+        return sum(table.data_bytes(element_bytes=element_bytes) for table in self)
+
+    def total_index_bytes(self) -> int:
+        """Approximate index bytes across all tables."""
+        return sum(table.index_bytes() for table in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "Database(%s, tables=%s)" % (self.name, self.table_names())
+
+
+def _encode_row(row: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-encode one row (bytes → hex, tuples → lists)."""
+    encoded = {}
+    for key, value in row.items():
+        if isinstance(value, bytes):
+            encoded[key] = {"__bytes__": value.hex()}
+        elif isinstance(value, tuple):
+            encoded[key] = list(value)
+        else:
+            encoded[key] = value
+    return encoded
+
+
+def _decode_row(row: Dict[str, Any], columns: Sequence[Column]) -> Dict[str, Any]:
+    """Inverse of :func:`_encode_row`."""
+    types = {column.name: column.type for column in columns}
+    decoded: Dict[str, Any] = {}
+    for key, value in row.items():
+        if isinstance(value, dict) and "__bytes__" in value:
+            decoded[key] = bytes.fromhex(value["__bytes__"])
+        elif types.get(key) is ColumnType.INT_LIST and isinstance(value, list):
+            decoded[key] = tuple(value)
+        else:
+            decoded[key] = value
+    return decoded

@@ -1,0 +1,21 @@
+"""Exception hierarchy of the storage substrate."""
+
+
+class StorageError(Exception):
+    """Base class for storage-layer failures."""
+
+
+class SchemaError(StorageError):
+    """A row or column definition violates the table schema."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert violated a unique-key constraint."""
+
+
+class UnknownTableError(StorageError):
+    """A referenced table does not exist in the database catalog."""
+
+
+class UnknownIndexError(StorageError):
+    """A referenced index does not exist on the table."""

@@ -1,0 +1,130 @@
+"""Table schemas: typed columns and row validation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.storage.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    The node table needs integers (``pre``, ``post``, ``parent``), a blob for
+    the packed polynomial coefficients, and text for auxiliary tables used by
+    examples.  ``INT_LIST`` stores a tuple of integers natively — convenient
+    for the coefficient vector while still letting the size accounting charge
+    it like the packed byte string MySQL would store.
+    """
+
+    INTEGER = "integer"
+    TEXT = "text"
+    BLOB = "blob"
+    INT_LIST = "int_list"
+    FLOAT = "float"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def validate(self, value: Any) -> Any:
+        """Check (and lightly coerce) one value against this column."""
+        if value is None:
+            if self.nullable:
+                return None
+            raise SchemaError("column %r is not nullable" % self.name)
+        if self.type is ColumnType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError("column %r expects an integer, got %r" % (self.name, value))
+            return value
+        if self.type is ColumnType.TEXT:
+            if not isinstance(value, str):
+                raise SchemaError("column %r expects text, got %r" % (self.name, value))
+            return value
+        if self.type is ColumnType.BLOB:
+            if not isinstance(value, (bytes, bytearray)):
+                raise SchemaError("column %r expects bytes, got %r" % (self.name, value))
+            return bytes(value)
+        if self.type is ColumnType.INT_LIST:
+            if not isinstance(value, (list, tuple)):
+                raise SchemaError("column %r expects a sequence of ints, got %r" % (self.name, value))
+            coerced = tuple(value)
+            if not all(isinstance(item, int) and not isinstance(item, bool) for item in coerced):
+                raise SchemaError("column %r expects only integers, got %r" % (self.name, value))
+            return coerced
+        if self.type is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError("column %r expects a number, got %r" % (self.name, value))
+            return float(value)
+        raise SchemaError("unsupported column type %r" % self.type)  # pragma: no cover
+
+    def estimated_bytes(self, value: Any, int_width: int = 4, element_bytes: int = 1) -> int:
+        """Approximate storage size of one value.
+
+        ``element_bytes`` is the per-element width used for ``INT_LIST``
+        columns (the coefficient vector is charged ``ceil(log2 q)/8`` bytes
+        per coefficient by the caller, matching the paper's accounting).
+        """
+        if value is None:
+            return 0
+        if self.type is ColumnType.INTEGER:
+            return int_width
+        if self.type is ColumnType.TEXT:
+            return len(value.encode("utf-8"))
+        if self.type is ColumnType.BLOB:
+            return len(value)
+        if self.type is ColumnType.INT_LIST:
+            return len(value) * element_bytes
+        if self.type is ColumnType.FLOAT:
+            return 8
+        return 0  # pragma: no cover
+
+
+class TableSchema:
+    """An ordered collection of columns with validation helpers."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not name:
+            raise SchemaError("table name must not be empty")
+        if not columns:
+            raise SchemaError("table %r needs at least one column" % name)
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate column names in table %r: %r" % (name, names))
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name: Dict[str, Column] = {column.name: column for column in columns}
+
+    def column_names(self) -> List[str]:
+        """Column names in declaration order."""
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name (raises :class:`SchemaError` if missing)."""
+        column = self._by_name.get(name)
+        if column is None:
+            raise SchemaError("table %r has no column %r" % (self.name, name))
+        return column
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def validate_row(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate a row dict: unknown keys rejected, missing keys must be nullable."""
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError("unknown columns for table %r: %r" % (self.name, sorted(unknown)))
+        validated: Dict[str, Any] = {}
+        for column in self.columns:
+            validated[column.name] = column.validate(row.get(column.name))
+        return validated
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "TableSchema(%s: %s)" % (self.name, ", ".join(self.column_names()))

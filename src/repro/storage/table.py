@@ -1,0 +1,192 @@
+"""Heap tables with secondary B+-tree indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.storage.btree import BPlusTree
+from repro.storage.errors import DuplicateKeyError, SchemaError, UnknownIndexError
+from repro.storage.schema import ColumnType, TableSchema
+
+
+class Table:
+    """A heap of rows with optional unique and non-unique B+-tree indexes.
+
+    Rows are dictionaries validated against the table's
+    :class:`~repro.storage.schema.TableSchema`; each row receives a stable
+    integer row id.  Index maintenance happens on insert (the workload is
+    bulk-load-then-query, like the prototype's encode step followed by the
+    query engines, so updates/deletes are deliberately out of scope).
+    """
+
+    def __init__(self, schema: TableSchema, btree_order: int = 64):
+        self.schema = schema
+        self._rows: List[Dict[str, Any]] = []
+        self._indexes: Dict[str, BPlusTree] = {}
+        self._unique: Dict[str, bool] = {}
+        self._btree_order = btree_order
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_index(self, column: str, unique: bool = False) -> None:
+        """Create a B+-tree index on ``column`` (backfills existing rows)."""
+        self.schema.column(column)  # raises SchemaError for unknown columns
+        if column in self._indexes:
+            return
+        tree = BPlusTree(order=self._btree_order)
+        for row_id, row in enumerate(self._rows):
+            key = row[column]
+            if unique and tree.contains(key):
+                raise DuplicateKeyError(
+                    "cannot build unique index on %s.%s: duplicate key %r"
+                    % (self.schema.name, column, key)
+                )
+            tree.insert(key, row_id)
+        self._indexes[column] = tree
+        self._unique[column] = unique
+
+    def has_index(self, column: str) -> bool:
+        """Whether an index exists on ``column``."""
+        return column in self._indexes
+
+    def index(self, column: str) -> BPlusTree:
+        """The index on ``column`` (raises when missing)."""
+        tree = self._indexes.get(column)
+        if tree is None:
+            raise UnknownIndexError(
+                "table %s has no index on column %r" % (self.schema.name, column)
+            )
+        return tree
+
+    def indexed_columns(self) -> List[str]:
+        """Names of indexed columns."""
+        return sorted(self._indexes)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def insert(self, row: Dict[str, Any]) -> int:
+        """Insert one row, maintaining all indexes; returns the row id."""
+        validated = self.schema.validate_row(row)
+        row_id = len(self._rows)
+        for column, tree in self._indexes.items():
+            key = validated[column]
+            if self._unique.get(column) and tree.contains(key):
+                raise DuplicateKeyError(
+                    "duplicate key %r for unique index %s.%s" % (key, self.schema.name, column)
+                )
+        self._rows.append(validated)
+        for column, tree in self._indexes.items():
+            tree.insert(validated[column], row_id)
+        return row_id
+
+    def insert_many(self, rows: Iterator[Dict[str, Any]]) -> int:
+        """Insert many rows; returns how many were inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+
+    def row(self, row_id: int) -> Dict[str, Any]:
+        """Fetch one row by its row id."""
+        return self._rows[row_id]
+
+    def scan(self, predicate: Optional[Callable[[Dict[str, Any]], bool]] = None) -> Iterator[Dict[str, Any]]:
+        """Full table scan, optionally filtered by ``predicate``."""
+        for row in self._rows:
+            if predicate is None or predicate(row):
+                yield row
+
+    def lookup(self, column: str, value: Any) -> List[Dict[str, Any]]:
+        """Point lookup: all rows with ``row[column] == value``.
+
+        Uses the index when one exists, otherwise falls back to a scan (so
+        the index-ablation benchmark can quantify what the B-trees buy).
+        """
+        tree = self._indexes.get(column)
+        if tree is not None:
+            return [self._rows[row_id] for row_id in tree.search(value)]
+        self.schema.column(column)
+        return [row for row in self._rows if row[column] == value]
+
+    def range_lookup(
+        self,
+        column: str,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Dict[str, Any]]:
+        """Range scan on ``column`` (indexed when possible), in key order."""
+        tree = self._indexes.get(column)
+        if tree is not None:
+            for _, row_id in tree.range(low, high, include_low, include_high):
+                yield self._rows[row_id]
+            return
+        self.schema.column(column)
+        matching = []
+        for row in self._rows:
+            value = row[column]
+            if low is not None and (value < low or (value == low and not include_low)):
+                continue
+            if high is not None and (value > high or (value == high and not include_high)):
+                continue
+            matching.append(row)
+        matching.sort(key=lambda row: row[column])
+        for row in matching:
+            yield row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._rows)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def data_bytes(self, int_width: int = 4, element_bytes: int = 1) -> int:
+        """Approximate payload size of all rows.
+
+        ``element_bytes`` is applied to ``INT_LIST`` columns (the coefficient
+        vectors); integer columns cost ``int_width`` bytes each, mirroring how
+        the MySQL schema stored pre/post/parent as 32-bit integers.
+        """
+        total = 0
+        for row in self._rows:
+            for column in self.schema.columns:
+                total += column.estimated_bytes(
+                    row[column.name], int_width=int_width, element_bytes=element_bytes
+                )
+        return total
+
+    def column_bytes(self, column_name: str, int_width: int = 4, element_bytes: int = 1) -> int:
+        """Approximate payload size contributed by a single column."""
+        column = self.schema.column(column_name)
+        return sum(
+            column.estimated_bytes(row[column_name], int_width=int_width, element_bytes=element_bytes)
+            for row in self._rows
+        )
+
+    def index_bytes(self, key_bytes: int = 8, pointer_bytes: int = 8) -> int:
+        """Approximate total size of all secondary indexes."""
+        return sum(
+            tree.estimated_bytes(key_bytes=key_bytes, pointer_bytes=pointer_bytes)
+            for tree in self._indexes.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "Table(%s, rows=%d, indexes=%s)" % (
+            self.schema.name,
+            len(self._rows),
+            self.indexed_columns(),
+        )

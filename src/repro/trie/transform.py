@@ -1,0 +1,157 @@
+"""Transforming XML text content into trie sub-elements.
+
+Figure 2 of the paper: the data string ``"Joan Johnson"`` under ``<name>``
+becomes either
+
+* a **compressed trie** — one path per *distinct* word, shared prefixes merged
+  (order and cardinality of the words are lost), or
+* an **uncompressed trie** — one path per word occurrence, in order, which
+  preserves exactly the information of the original string.
+
+Every character becomes an element whose tag is the character itself, and
+every word path ends with a terminator element (``⊥`` in the paper, ``_``
+here so it is a legal XML name).  The resulting document can be encoded with
+the ordinary tag-name scheme using a small field (``p = 29`` covers the
+26-letter alphabet plus the terminator).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.trie.trie import TERMINATOR, CharacterTrie
+from repro.xmldoc.nodes import XMLDocument, XMLElement
+
+
+def tokenize_words(text: str, alphabet: Optional[str] = None) -> List[str]:
+    """Split text into lowercase words restricted to the trie alphabet.
+
+    Characters outside the alphabet act as separators (the paper splits "a
+    string into words, represented by paths, and then each path is split into
+    several characters"; our normalisation keeps the alphabet at 26 letters so
+    ``p = 29`` works exactly as in section 4).
+    """
+    allowed = set(alphabet or "abcdefghijklmnopqrstuvwxyz")
+    words: List[str] = []
+    current: List[str] = []
+    for char in text.lower():
+        if char in allowed:
+            current.append(char)
+        elif current:
+            words.append("".join(current))
+            current = []
+    if current:
+        words.append("".join(current))
+    return words
+
+
+class TrieTransformer:
+    """Rewrites documents (and query literals) into their trie representation."""
+
+    def __init__(
+        self,
+        compressed: bool = True,
+        alphabet: str = "abcdefghijklmnopqrstuvwxyz",
+        terminator: str = TERMINATOR,
+        keep_original_text: bool = False,
+    ):
+        if not alphabet:
+            raise ValueError("trie alphabet must not be empty")
+        if terminator in alphabet:
+            raise ValueError("terminator %r collides with the alphabet" % terminator)
+        self.compressed = compressed
+        self.alphabet = alphabet
+        self.terminator = terminator
+        #: when True the original data string is kept in the element's text
+        #: (the paper notes "an encryption of the data string may be added to
+        #: the node" when order/cardinality must survive compression)
+        self.keep_original_text = keep_original_text
+
+    # ------------------------------------------------------------------
+    # Alphabet
+    # ------------------------------------------------------------------
+
+    def tag_alphabet(self) -> List[str]:
+        """All element names a trie can introduce (characters + terminator)."""
+        return list(self.alphabet) + [self.terminator]
+
+    # ------------------------------------------------------------------
+    # Document transformation
+    # ------------------------------------------------------------------
+
+    def transform_document(self, document: XMLDocument) -> XMLDocument:
+        """Return a new document with every text payload rewritten as a trie.
+
+        The input document is not modified.  Elements keep their tags and
+        children; their text content (and children's tails) is replaced by
+        trie sub-elements appended after the original children.
+        """
+        new_root = self._transform_element(document.root)
+        return XMLDocument(new_root)
+
+    def _transform_element(self, element: XMLElement) -> XMLElement:
+        clone = XMLElement(element.tag, attributes=dict(element.attributes))
+        collected_text = [element.text]
+        for child in element.children:
+            clone.append(self._transform_element(child))
+            collected_text.append(child.tail)
+        text = "".join(collected_text)
+        words = tokenize_words(text, self.alphabet)
+        if words:
+            if self.keep_original_text:
+                clone.text = element.text
+            for trie_child in self.build_trie_elements(words):
+                clone.append(trie_child)
+        return clone
+
+    def build_trie_elements(self, words: Iterable[str]) -> List[XMLElement]:
+        """Build the trie element forest for a list of words."""
+        if self.compressed:
+            trie = CharacterTrie()
+            trie.insert_all(words)
+            return self._compressed_forest(trie)
+        return [self._word_path(word) for word in words if word]
+
+    def _word_path(self, word: str) -> XMLElement:
+        """One uncompressed path: w[0]/w[1]/…/terminator."""
+        top = XMLElement(word[0])
+        node = top
+        for char in word[1:]:
+            node = node.make_child(char)
+        node.make_child(self.terminator)
+        return top
+
+    def _compressed_forest(self, trie: CharacterTrie) -> List[XMLElement]:
+        """Convert a :class:`CharacterTrie` into XML elements."""
+        forest: List[XMLElement] = []
+        root = trie._root  # forest conversion is the trie's natural companion
+        for char in sorted(root.children):
+            forest.append(self._convert_node(char, root.children[char]))
+        return forest
+
+    def _convert_node(self, char: str, node) -> XMLElement:
+        element = XMLElement(char)
+        if node.terminal:
+            element.make_child(self.terminator)
+        for child_char in sorted(node.children):
+            element.append(self._convert_node(child_char, node.children[child_char]))
+        return element
+
+    # ------------------------------------------------------------------
+    # Query rewriting
+    # ------------------------------------------------------------------
+
+    def literal_to_steps(self, literal: str) -> List[str]:
+        """Rewrite a search literal into the per-character step names.
+
+        ``"Joan" → ["j", "o", "a", "n"]`` (normalised to the trie alphabet).
+        The XPath layer turns this into ``//j/o/a/n`` below the element that
+        carried the predicate, exactly as section 4 describes.
+        """
+        words = tokenize_words(literal, self.alphabet)
+        if len(words) != 1:
+            raise ValueError(
+                "contains() literals must normalise to exactly one word, got %r -> %r"
+                % (literal, words)
+            )
+        return list(words[0])

@@ -1,0 +1,148 @@
+"""Compressed character trie (Fredkin-style) over a small alphabet."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Tag name used for the end-of-word marker (the paper draws it as ``⊥``).
+#: It must be a legal XML element name because trie nodes become elements.
+TERMINATOR = "_"
+
+
+class _TrieNode:
+    """Internal node: children keyed by character, with an end-of-word flag."""
+
+    __slots__ = ("children", "terminal", "count")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_TrieNode"] = {}
+        self.terminal = False
+        #: number of inserted words ending here (compressed tries lose the
+        #: cardinality when serialised, but keeping the count lets the stats
+        #: module quantify exactly what is lost).
+        self.count = 0
+
+
+class CharacterTrie:
+    """A set-of-words trie with per-character edges.
+
+    The compressed trie the paper describes "loses the order and cardinality
+    of the words" — it represents the *set* of words.  Duplicated insertions
+    are tracked only in the internal ``count`` fields used for statistics.
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._word_count = 0
+        self._distinct_count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, word: str) -> None:
+        """Insert one word (empty words are ignored)."""
+        if not word:
+            return
+        node = self._root
+        for char in word:
+            child = node.children.get(char)
+            if child is None:
+                child = _TrieNode()
+                node.children[char] = child
+            node = child
+        if not node.terminal:
+            self._distinct_count += 1
+        node.terminal = True
+        node.count += 1
+        self._word_count += 1
+
+    def insert_all(self, words) -> None:
+        """Insert every word of an iterable."""
+        for word in words:
+            self.insert(word)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, word: str) -> bool:
+        node = self._find(word)
+        return node is not None and node.terminal
+
+    def has_prefix(self, prefix: str) -> bool:
+        """Whether any stored word starts with ``prefix``."""
+        return self._find(prefix) is not None
+
+    def _find(self, word: str) -> Optional[_TrieNode]:
+        node = self._root
+        for char in word:
+            node = node.children.get(char)
+            if node is None:
+                return None
+        return node
+
+    def words(self) -> Iterator[str]:
+        """Iterate all stored words in lexicographic order."""
+        stack: List[Tuple[_TrieNode, str]] = [(self._root, "")]
+        while stack:
+            node, prefix = stack.pop()
+            if node.terminal:
+                yield prefix
+            for char in sorted(node.children, reverse=True):
+                stack.append((node.children[char], prefix + char))
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+
+    @property
+    def word_count(self) -> int:
+        """Total number of insertions (including duplicates)."""
+        return self._word_count
+
+    @property
+    def distinct_word_count(self) -> int:
+        """Number of distinct stored words."""
+        return self._distinct_count
+
+    def node_count(self, include_terminators: bool = True) -> int:
+        """Number of trie nodes.
+
+        With ``include_terminators`` every terminal node contributes one
+        extra node for its ``⊥`` marker, matching how the trie is embedded
+        into the XML tree (figure 2(b)): each stored word ends in an explicit
+        terminator element.
+        """
+        count = 0
+        stack = [self._root]
+        terminators = 0
+        while stack:
+            node = stack.pop()
+            for child in node.children.values():
+                count += 1
+                stack.append(child)
+            if node.terminal:
+                terminators += 1
+        return count + (terminators if include_terminators else 0)
+
+    def alphabet(self) -> set:
+        """The set of characters used by stored words."""
+        chars = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for char, child in node.children.items():
+                chars.add(char)
+                stack.append(child)
+        return chars
+
+    def __len__(self) -> int:
+        return self._distinct_count
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "CharacterTrie(words=%d, distinct=%d, nodes=%d)" % (
+            self._word_count,
+            self._distinct_count,
+            self.node_count(),
+        )

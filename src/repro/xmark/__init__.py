@@ -1,0 +1,27 @@
+"""Synthetic XMark-style auction documents.
+
+The paper's experiments run against documents produced by the XMark benchmark
+generator (Schmidt et al., CWI 2001).  The original ``xmlgen`` is a C program
+seeded with Shakespeare text; it is not available offline, so this package
+provides a deterministic Python substitute that follows the auction DTD from
+the paper's appendix A (see :data:`repro.xmldoc.dtd.XMARK_DTD`).
+
+The generator reproduces what the experiments actually depend on:
+
+* the 77-element tag alphabet and parent/child relationships of the DTD,
+* the characteristic fan-out (regions → continents → items, people → person,
+  open/closed auctions) that the example queries traverse,
+* document sizes tunable from a few kilobytes to paper-scale megabytes via a
+  single ``scale`` knob (``scale=1.0`` ≈ 1 MB of XML text),
+* full determinism from an integer seed, so experiments are repeatable.
+"""
+
+from repro.xmark.config import XMarkConfig
+from repro.xmark.generator import XMarkGenerator, generate_document, generate_document_of_size
+
+__all__ = [
+    "XMarkConfig",
+    "XMarkGenerator",
+    "generate_document",
+    "generate_document_of_size",
+]

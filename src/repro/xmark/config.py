@@ -1,0 +1,74 @@
+"""Sizing configuration for the synthetic XMark generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class XMarkConfig:
+    """Entity counts for one generated document.
+
+    The defaults correspond to ``scale == 1.0`` which produces roughly one
+    megabyte of XML text; :meth:`scaled` multiplies every count by a factor,
+    mirroring how the original benchmark's scaling factor works.  Counts are
+    kept in the same rough proportions as XMark (items dominate, then people,
+    then auctions, then categories).
+    """
+
+    #: number of <category> elements under <categories>
+    categories: int = 25
+    #: number of <item> elements per continent under <regions>
+    items_per_region: int = 55
+    #: number of <person> elements under <people>
+    people: int = 140
+    #: number of <open_auction> elements
+    open_auctions: int = 65
+    #: number of <closed_auction> elements
+    closed_auctions: int = 50
+    #: number of <edge> elements under <catgraph>
+    catgraph_edges: int = 25
+    #: maximum <bidder> elements per open auction
+    max_bidders: int = 5
+    #: maximum <mail> elements per item mailbox
+    max_mails: int = 2
+    #: maximum <watch> elements per person watches container
+    max_watches: int = 4
+    #: maximum <interest> elements per profile
+    max_interests: int = 3
+    #: maximum nesting depth of description parlists
+    max_parlist_depth: int = 2
+
+    @classmethod
+    def scaled(cls, scale: float) -> "XMarkConfig":
+        """A configuration whose entity counts are multiplied by ``scale``.
+
+        ``scale=1.0`` ≈ 1 MB of serialised XML; the paper's figure 4 sweeps
+        1–10 MB, i.e. ``scale`` 1–10.  Counts are floored at 1 so even tiny
+        scales produce a structurally complete document (every DTD section
+        present), which the query experiments rely on.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive, got %r" % (scale,))
+
+        def n(base: int) -> int:
+            return max(1, round(base * scale))
+
+        return cls(
+            categories=n(cls.categories),
+            items_per_region=n(cls.items_per_region),
+            people=n(cls.people),
+            open_auctions=n(cls.open_auctions),
+            closed_auctions=n(cls.closed_auctions),
+            catgraph_edges=n(cls.catgraph_edges),
+        )
+
+    def total_top_level_entities(self) -> int:
+        """Rough entity count, useful for progress reporting in examples."""
+        return (
+            self.categories
+            + 6 * self.items_per_region
+            + self.people
+            + self.open_auctions
+            + self.closed_auctions
+        )

@@ -1,0 +1,242 @@
+"""Deterministic generator of XMark-style auction documents."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.prg.generator import SplitMix64
+from repro.xmark import words
+from repro.xmark.config import XMarkConfig
+from repro.xmldoc.nodes import XMLDocument, XMLElement
+from repro.xmldoc.serializer import document_byte_size
+
+_CONTINENTS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+class XMarkGenerator:
+    """Builds auction documents that conform to the paper's appendix-A DTD.
+
+    The generator is fully deterministic: the same ``(seed, config)`` pair
+    always yields the same document, which keeps the experiment harness
+    repeatable and lets tests assert exact node counts.
+    """
+
+    def __init__(self, config: Optional[XMarkConfig] = None, seed: int = 20050905):
+        self.config = config or XMarkConfig()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Top-level structure
+    # ------------------------------------------------------------------
+
+    def generate(self) -> XMLDocument:
+        """Generate one complete ``<site>`` document."""
+        rng = SplitMix64(self.seed)
+        site = XMLElement("site")
+        site.append(self._regions(rng))
+        site.append(self._categories(rng))
+        site.append(self._catgraph(rng))
+        site.append(self._people(rng))
+        site.append(self._open_auctions(rng))
+        site.append(self._closed_auctions(rng))
+        return XMLDocument(site)
+
+    # ------------------------------------------------------------------
+    # Sections
+    # ------------------------------------------------------------------
+
+    def _regions(self, rng: SplitMix64) -> XMLElement:
+        regions = XMLElement("regions")
+        for continent in _CONTINENTS:
+            node = regions.make_child(continent)
+            for index in range(self.config.items_per_region):
+                node.append(self._item(rng, continent, index))
+        return regions
+
+    def _item(self, rng: SplitMix64, continent: str, index: int) -> XMLElement:
+        item = XMLElement("item", attributes={"id": "item_%s_%d" % (continent, index)})
+        item.make_child("location", text=rng.choice(words.COUNTRIES))
+        item.make_child("quantity", text=str(rng.randint(1, 10)))
+        item.make_child("name", text=words.random_sentence(rng, 2, 4))
+        item.make_child("payment", text=rng.choice(("Cash", "Creditcard", "Money order", "Personal Check")))
+        item.append(self._description(rng, depth=0))
+        item.make_child("shipping", text=rng.choice(("Will ship internationally", "Buyer pays fixed shipping charges", "See description for charges")))
+        for _ in range(rng.randint(1, 3)):
+            item.make_child("incategory", category="category_%d" % rng.randint(0, max(0, self.config.categories - 1)))
+        mailbox = item.make_child("mailbox")
+        for _ in range(rng.randint(0, self.config.max_mails)):
+            mail = mailbox.make_child("mail")
+            mail.make_child("from", text=words.random_person_name(rng))
+            mail.make_child("to", text=words.random_person_name(rng))
+            mail.make_child("date", text=words.random_date(rng))
+            text = mail.make_child("text", text=words.random_sentence(rng, 8, 20))
+            if rng.next_float() < 0.3:
+                text.make_child("keyword", text=words.random_sentence(rng, 1, 2))
+        return item
+
+    def _description(self, rng: SplitMix64, depth: int) -> XMLElement:
+        description = XMLElement("description")
+        if depth < self.config.max_parlist_depth and rng.next_float() < 0.4:
+            parlist = description.make_child("parlist")
+            for _ in range(rng.randint(1, 3)):
+                listitem = parlist.make_child("listitem")
+                if depth + 1 < self.config.max_parlist_depth and rng.next_float() < 0.3:
+                    listitem.append(self._parlist(rng, depth + 1))
+                else:
+                    listitem.append(self._text(rng))
+        else:
+            description.append(self._text(rng))
+        return description
+
+    def _parlist(self, rng: SplitMix64, depth: int) -> XMLElement:
+        parlist = XMLElement("parlist")
+        for _ in range(rng.randint(1, 2)):
+            listitem = parlist.make_child("listitem")
+            listitem.append(self._text(rng))
+        return parlist
+
+    def _text(self, rng: SplitMix64) -> XMLElement:
+        text = XMLElement("text", text=words.random_sentence(rng, 10, 30))
+        roll = rng.next_float()
+        if roll < 0.25:
+            text.make_child("keyword", text=words.random_sentence(rng, 1, 3))
+        elif roll < 0.4:
+            text.make_child("bold", text=words.random_sentence(rng, 1, 3))
+        elif roll < 0.5:
+            text.make_child("emph", text=words.random_sentence(rng, 1, 3))
+        return text
+
+    def _categories(self, rng: SplitMix64) -> XMLElement:
+        categories = XMLElement("categories")
+        for index in range(self.config.categories):
+            category = categories.make_child("category", id="category_%d" % index)
+            category.make_child("name", text=words.random_sentence(rng, 1, 3))
+            category.append(self._description(rng, depth=0))
+        return categories
+
+    def _catgraph(self, rng: SplitMix64) -> XMLElement:
+        catgraph = XMLElement("catgraph")
+        for _ in range(self.config.catgraph_edges):
+            source = rng.randint(0, max(0, self.config.categories - 1))
+            target = rng.randint(0, max(0, self.config.categories - 1))
+            catgraph.make_child(
+                "edge",
+                **{"from": "category_%d" % source, "to": "category_%d" % target},
+            )
+        return catgraph
+
+    def _people(self, rng: SplitMix64) -> XMLElement:
+        people = XMLElement("people")
+        for index in range(self.config.people):
+            person = people.make_child("person", id="person_%d" % index)
+            name = words.random_person_name(rng)
+            person.make_child("name", text=name)
+            person.make_child("emailaddress", text=words.random_email(rng, name))
+            if rng.next_float() < 0.6:
+                person.make_child("phone", text=words.random_phone(rng))
+            if rng.next_float() < 0.7:
+                address = person.make_child("address")
+                address.make_child("street", text="%d %s St" % (rng.randint(1, 99), rng.choice(words.VOCABULARY).title()))
+                address.make_child("city", text=rng.choice(words.CITIES))
+                address.make_child("country", text=rng.choice(words.COUNTRIES))
+                if rng.next_float() < 0.5:
+                    address.make_child("province", text=rng.choice(words.PROVINCES))
+                address.make_child("zipcode", text=str(rng.randint(1000, 9999)))
+            if rng.next_float() < 0.4:
+                person.make_child("homepage", text="http://www.example.org/~%s" % name.split()[0].lower())
+            if rng.next_float() < 0.5:
+                person.make_child("creditcard", text="%04d %04d %04d %04d" % (rng.randint(0, 9999), rng.randint(0, 9999), rng.randint(0, 9999), rng.randint(0, 9999)))
+            if rng.next_float() < 0.6:
+                profile = person.make_child("profile", income=words.random_price(rng))
+                for _ in range(rng.randint(0, self.config.max_interests)):
+                    profile.make_child("interest", category="category_%d" % rng.randint(0, max(0, self.config.categories - 1)))
+                if rng.next_float() < 0.6:
+                    profile.make_child("education", text=rng.choice(("High School", "College", "Graduate School", "Other")))
+                if rng.next_float() < 0.8:
+                    profile.make_child("gender", text=rng.choice(("male", "female")))
+                profile.make_child("business", text=rng.choice(("Yes", "No")))
+                if rng.next_float() < 0.7:
+                    profile.make_child("age", text=str(rng.randint(18, 80)))
+            if rng.next_float() < 0.5:
+                watches = person.make_child("watches")
+                for _ in range(rng.randint(0, self.config.max_watches)):
+                    watches.make_child("watch", open_auction="open_auction_%d" % rng.randint(0, max(0, self.config.open_auctions - 1)))
+        return people
+
+    def _open_auctions(self, rng: SplitMix64) -> XMLElement:
+        open_auctions = XMLElement("open_auctions")
+        for index in range(self.config.open_auctions):
+            auction = open_auctions.make_child("open_auction", id="open_auction_%d" % index)
+            auction.make_child("initial", text=words.random_price(rng))
+            if rng.next_float() < 0.4:
+                auction.make_child("reserve", text=words.random_price(rng))
+            for _ in range(rng.randint(0, self.config.max_bidders)):
+                bidder = auction.make_child("bidder")
+                bidder.make_child("date", text=words.random_date(rng))
+                bidder.make_child("time", text=words.random_time(rng))
+                bidder.make_child("personref", person="person_%d" % rng.randint(0, max(0, self.config.people - 1)))
+                bidder.make_child("increase", text=words.random_price(rng))
+            auction.make_child("current", text=words.random_price(rng))
+            if rng.next_float() < 0.3:
+                auction.make_child("privacy", text="Yes")
+            auction.make_child("itemref", item="item_europe_%d" % rng.randint(0, max(0, self.config.items_per_region - 1)))
+            auction.make_child("seller", person="person_%d" % rng.randint(0, max(0, self.config.people - 1)))
+            auction.append(self._annotation(rng))
+            auction.make_child("quantity", text=str(rng.randint(1, 5)))
+            auction.make_child("type", text=rng.choice(("Regular", "Featured", "Dutch")))
+            interval = auction.make_child("interval")
+            interval.make_child("start", text=words.random_date(rng))
+            interval.make_child("end", text=words.random_date(rng))
+        return open_auctions
+
+    def _closed_auctions(self, rng: SplitMix64) -> XMLElement:
+        closed_auctions = XMLElement("closed_auctions")
+        for index in range(self.config.closed_auctions):
+            auction = closed_auctions.make_child("closed_auction")
+            auction.make_child("seller", person="person_%d" % rng.randint(0, max(0, self.config.people - 1)))
+            auction.make_child("buyer", person="person_%d" % rng.randint(0, max(0, self.config.people - 1)))
+            auction.make_child("itemref", item="item_asia_%d" % rng.randint(0, max(0, self.config.items_per_region - 1)))
+            auction.make_child("price", text=words.random_price(rng))
+            auction.make_child("date", text=words.random_date(rng))
+            auction.make_child("quantity", text=str(rng.randint(1, 5)))
+            auction.make_child("type", text=rng.choice(("Regular", "Featured", "Dutch")))
+            if rng.next_float() < 0.7:
+                auction.append(self._annotation(rng))
+        return closed_auctions
+
+    def _annotation(self, rng: SplitMix64) -> XMLElement:
+        annotation = XMLElement("annotation")
+        annotation.make_child("author", person="person_%d" % rng.randint(0, max(0, self.config.people - 1)))
+        if rng.next_float() < 0.8:
+            annotation.append(self._description(rng, depth=1))
+        annotation.make_child("happiness", text=str(rng.randint(1, 10)))
+        return annotation
+
+
+def generate_document(scale: float = 0.05, seed: int = 20050905) -> XMLDocument:
+    """Generate an auction document of approximately ``scale`` megabytes."""
+    return XMarkGenerator(XMarkConfig.scaled(scale), seed=seed).generate()
+
+
+def generate_document_of_size(
+    target_bytes: int, seed: int = 20050905, tolerance: float = 0.15, max_iterations: int = 12
+) -> XMLDocument:
+    """Generate a document whose serialised size approximates ``target_bytes``.
+
+    Performs a small secant-style search on the scale factor; the generator's
+    size is close to linear in the scale so a couple of iterations suffice.
+    Raises ``ValueError`` for targets too small to hold a structurally
+    complete document.
+    """
+    if target_bytes < 4096:
+        raise ValueError("target size %d bytes is too small for a complete document" % target_bytes)
+    scale = target_bytes / 1_000_000.0
+    document = generate_document(scale=scale, seed=seed)
+    for _ in range(max_iterations):
+        size = document_byte_size(document)
+        error = abs(size - target_bytes) / target_bytes
+        if error <= tolerance:
+            return document
+        scale *= target_bytes / max(1, size)
+        document = generate_document(scale=scale, seed=seed)
+    return document

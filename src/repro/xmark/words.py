@@ -1,0 +1,98 @@
+"""Deterministic vocabulary for synthetic text content.
+
+The original XMark generator fills ``#PCDATA`` content with Shakespeare
+words.  The experiments in the paper never look *inside* the text (tag-name
+queries only; the trie extension is evaluated separately on controlled
+corpora), so any stable vocabulary with a realistic word-length distribution
+preserves the relevant behaviour: it determines the plaintext byte volume
+that the encoded-size experiment (figure 4) divides by.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prg.generator import SplitMix64
+
+#: A fixed vocabulary of lowercase words (mixed lengths, median ≈ 6 chars).
+VOCABULARY = (
+    "auction", "bidder", "price", "gold", "silver", "market", "trade", "offer",
+    "seller", "buyer", "estate", "castle", "forest", "river", "mountain",
+    "village", "harbor", "vessel", "cargo", "spice", "silk", "amber", "ivory",
+    "copper", "iron", "grain", "wool", "linen", "pearl", "ruby", "emerald",
+    "crown", "sceptre", "scroll", "ledger", "coin", "purse", "wagon", "horse",
+    "stable", "bridge", "tower", "gate", "wall", "street", "square", "fountain",
+    "garden", "orchard", "vineyard", "cellar", "barrel", "bottle", "candle",
+    "lantern", "mirror", "carpet", "tapestry", "painting", "statue", "organ",
+    "violin", "trumpet", "drum", "anchor", "compass", "chart", "voyage",
+    "captain", "sailor", "merchant", "broker", "notary", "clerk", "guild",
+    "charter", "contract", "payment", "credit", "interest", "profit", "loss",
+    "account", "balance", "invoice", "receipt", "warehouse", "quay", "dock",
+    "ferry", "mill", "bakery", "brewery", "tannery", "forge", "smith", "mason",
+    "carpenter", "weaver", "tailor", "cobbler", "porter", "courier", "herald",
+)
+
+#: Given names and surnames for the people section.
+GIVEN_NAMES = (
+    "Joan", "Johan", "Maria", "Peter", "Anna", "Richard", "Berry", "Jeroen",
+    "Willem", "Els", "Karel", "Sofia", "Hugo", "Nina", "Tomas", "Clara",
+    "Victor", "Laura", "Arthur", "Eva", "Simon", "Alice", "Gerard", "Irene",
+)
+SURNAMES = (
+    "Johnson", "Jansen", "Brinkman", "Doumen", "Jonker", "Schoenmakers",
+    "Peters", "Visser", "Smit", "Meijer", "Mulder", "Bakker", "Dijkstra",
+    "Vermeer", "Kuiper", "Hendriks", "Koning", "Prins", "Groot", "Berg",
+)
+
+CITIES = (
+    "Enschede", "Eindhoven", "Amsterdam", "Utrecht", "Rotterdam", "Groningen",
+    "Leiden", "Delft", "Arnhem", "Maastricht", "Haarlem", "Zwolle",
+)
+COUNTRIES = ("Netherlands", "Belgium", "Germany", "France", "Spain", "Italy")
+PROVINCES = ("Overijssel", "Brabant", "Gelderland", "Utrecht", "Holland", "Limburg")
+
+
+def random_sentence(rng: SplitMix64, min_words: int, max_words: int) -> str:
+    """A space-separated sentence of vocabulary words."""
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(VOCABULARY) for _ in range(count))
+
+
+def random_words(rng: SplitMix64, count: int) -> List[str]:
+    """A list of ``count`` vocabulary words."""
+    return [rng.choice(VOCABULARY) for _ in range(count)]
+
+
+def random_person_name(rng: SplitMix64) -> str:
+    """A 'Given Surname' style person name."""
+    return "%s %s" % (rng.choice(GIVEN_NAMES), rng.choice(SURNAMES))
+
+
+def random_date(rng: SplitMix64) -> str:
+    """A date in the MM/DD/YYYY format the original generator uses."""
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    year = rng.randint(1998, 2001)
+    return "%02d/%02d/%04d" % (month, day, year)
+
+
+def random_time(rng: SplitMix64) -> str:
+    """A HH:MM:SS time string."""
+    return "%02d:%02d:%02d" % (rng.randint(0, 23), rng.randint(0, 59), rng.randint(0, 59))
+
+
+def random_email(rng: SplitMix64, name: str) -> str:
+    """A mailto-style email address derived from a person name."""
+    user = name.lower().replace(" ", ".")
+    domain = rng.choice(("example.org", "example.com", "auction.net", "mail.test"))
+    return "mailto:%s@%s" % (user, domain)
+
+
+def random_phone(rng: SplitMix64) -> str:
+    """An international-looking phone number."""
+    return "+%d (%d) %d" % (rng.randint(1, 99), rng.randint(10, 999), rng.randint(1000000, 9999999))
+
+
+def random_price(rng: SplitMix64) -> str:
+    """A price with two decimals."""
+    return "%d.%02d" % (rng.randint(1, 500), rng.randint(0, 99))

@@ -1,0 +1,49 @@
+"""Minimal XML substrate: document model, streaming parser, serialiser.
+
+The prototype parses XML with a SAX parser so that the encoding client only
+needs memory proportional to the tree depth (section 5.1).  This package
+provides the same capabilities without external dependencies:
+
+* :class:`~repro.xmldoc.nodes.XMLElement` / :class:`~repro.xmldoc.nodes.XMLDocument`
+  — a small in-memory tree model used by the generator, the trie transform
+  and the plaintext reference engine.
+* :class:`~repro.xmldoc.parser.StreamingParser` — an event-based (SAX-style)
+  parser that feeds start/end/text events to a handler, plus a tree-building
+  handler for convenience.
+* :func:`~repro.xmldoc.serializer.serialize` — document → XML text.
+* :class:`~repro.xmldoc.numbering.PrePostNumbering` — the pre / post / parent
+  numbering used to store the tree shape relationally (Grust-style).
+* :class:`~repro.xmldoc.dtd.DTD` — a light DTD model carrying the element
+  names (the tag alphabet that the map file enumerates).
+"""
+
+from repro.xmldoc.dtd import DTD, DTDElement, XMARK_DTD, XMARK_ELEMENT_COUNT
+from repro.xmldoc.nodes import XMLDocument, XMLElement, XMLError
+from repro.xmldoc.numbering import NumberedNode, PrePostNumbering
+from repro.xmldoc.parser import (
+    ContentHandler,
+    StreamingParser,
+    TreeBuilder,
+    parse_document,
+    parse_string,
+)
+from repro.xmldoc.serializer import serialize, serialize_fragment
+
+__all__ = [
+    "XMLDocument",
+    "XMLElement",
+    "XMLError",
+    "ContentHandler",
+    "StreamingParser",
+    "TreeBuilder",
+    "parse_document",
+    "parse_string",
+    "serialize",
+    "serialize_fragment",
+    "NumberedNode",
+    "PrePostNumbering",
+    "DTD",
+    "DTDElement",
+    "XMARK_DTD",
+    "XMARK_ELEMENT_COUNT",
+]

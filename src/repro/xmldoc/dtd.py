@@ -1,0 +1,218 @@
+"""Light-weight DTD model and the XMark auction DTD from the paper's appendix.
+
+The tag map (section 5.1) enumerates "each tag-name as specified by the DTD or
+XML schema"; the paper's experiments rely on the XMark DTD having 77 element
+names, which makes ``p = 83`` the smallest usable prime.  This module encodes
+that DTD so the rest of the library (map generation, the synthetic document
+generator, the AdvancedQuery discussion of "dead branches") can consult it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class DTDElement:
+    """One ``<!ELEMENT …>`` declaration, simplified.
+
+    ``children`` lists the element names that may occur as direct children
+    (ignoring ordering and cardinality), and ``has_text`` records whether
+    ``#PCDATA`` may occur.  That level of detail is enough for map-file
+    generation, synthetic data generation and reachability analysis.
+    """
+
+    name: str
+    children: Tuple[str, ...] = ()
+    has_text: bool = False
+
+
+class DTD:
+    """A collection of element declarations with reachability helpers."""
+
+    def __init__(self, elements: Iterable[DTDElement], root: str):
+        self._elements: Dict[str, DTDElement] = {}
+        for element in elements:
+            if element.name in self._elements:
+                raise ValueError("duplicate element declaration: %s" % element.name)
+            self._elements[element.name] = element
+        if root not in self._elements:
+            raise ValueError("root element %r is not declared" % root)
+        self.root = root
+        self._descendant_cache: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def element_names(self) -> List[str]:
+        """All declared element names, in declaration order."""
+        return list(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._elements
+
+    def get(self, name: str) -> Optional[DTDElement]:
+        """The declaration of ``name``, or ``None``."""
+        return self._elements.get(name)
+
+    def children_of(self, name: str) -> Tuple[str, ...]:
+        """Direct child element names allowed under ``name``."""
+        element = self._elements.get(name)
+        return element.children if element else ()
+
+    def allows_text(self, name: str) -> bool:
+        """Whether ``name`` may contain ``#PCDATA``."""
+        element = self._elements.get(name)
+        return bool(element and element.has_text)
+
+    # ------------------------------------------------------------------
+    # Reachability — what AdvancedQuery exploits
+    # ------------------------------------------------------------------
+
+    def reachable_descendants(self, name: str) -> Set[str]:
+        """Element names that can occur anywhere below ``name``.
+
+        The paper's query-length experiment (table 1) deliberately picks
+        queries where the DTD already guarantees containment ("it is a waste
+        of effort to check whether a europe node contains an item …, because
+        the DTD dictates it to be always the case"); this helper lets tests
+        and workload builders verify that property.
+        """
+        cached = self._descendant_cache.get(name)
+        if cached is not None:
+            return set(cached)
+        visited: Set[str] = set()
+        frontier = list(self.children_of(name))
+        while frontier:
+            current = frontier.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            frontier.extend(self.children_of(current))
+        self._descendant_cache[name] = set(visited)
+        return visited
+
+    def can_contain(self, ancestor: str, descendant: str) -> bool:
+        """Whether ``descendant`` can occur (at any depth) below ``ancestor``."""
+        return descendant in self.reachable_descendants(ancestor)
+
+
+def _element(name: str, children: Sequence[str] = (), has_text: bool = False) -> DTDElement:
+    return DTDElement(name=name, children=tuple(children), has_text=has_text)
+
+
+#: The 77-element XMark auction DTD transcribed from the paper's appendix A.
+XMARK_DTD = DTD(
+    elements=[
+        _element("site", ["regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"]),
+        _element("categories", ["category"]),
+        _element("category", ["name", "description"]),
+        _element("name", [], has_text=True),
+        _element("description", ["text", "parlist"]),
+        _element("text", ["bold", "keyword", "emph"], has_text=True),
+        _element("bold", ["bold", "keyword", "emph"], has_text=True),
+        _element("keyword", ["bold", "keyword", "emph"], has_text=True),
+        _element("emph", ["bold", "keyword", "emph"], has_text=True),
+        _element("parlist", ["listitem"]),
+        _element("listitem", ["text", "parlist"]),
+        _element("catgraph", ["edge"]),
+        _element("edge", []),
+        _element("regions", ["africa", "asia", "australia", "europe", "namerica", "samerica"]),
+        _element("africa", ["item"]),
+        _element("asia", ["item"]),
+        _element("australia", ["item"]),
+        _element("namerica", ["item"]),
+        _element("samerica", ["item"]),
+        _element("europe", ["item"]),
+        _element(
+            "item",
+            ["location", "quantity", "name", "payment", "description", "shipping", "incategory", "mailbox"],
+        ),
+        _element("location", [], has_text=True),
+        _element("quantity", [], has_text=True),
+        _element("payment", [], has_text=True),
+        _element("shipping", [], has_text=True),
+        _element("reserve", [], has_text=True),
+        _element("incategory", []),
+        _element("mailbox", ["mail"]),
+        _element("mail", ["from", "to", "date", "text"]),
+        _element("from", [], has_text=True),
+        _element("to", [], has_text=True),
+        _element("date", [], has_text=True),
+        _element("itemref", []),
+        _element("personref", []),
+        _element("people", ["person"]),
+        _element(
+            "person",
+            ["name", "emailaddress", "phone", "address", "homepage", "creditcard", "profile", "watches"],
+        ),
+        _element("emailaddress", [], has_text=True),
+        _element("phone", [], has_text=True),
+        _element("address", ["street", "city", "country", "province", "zipcode"]),
+        _element("street", [], has_text=True),
+        _element("city", [], has_text=True),
+        _element("province", [], has_text=True),
+        _element("zipcode", [], has_text=True),
+        _element("country", [], has_text=True),
+        _element("homepage", [], has_text=True),
+        _element("creditcard", [], has_text=True),
+        _element("profile", ["interest", "education", "gender", "business", "age"]),
+        _element("interest", []),
+        _element("education", [], has_text=True),
+        _element("income", [], has_text=True),
+        _element("gender", [], has_text=True),
+        _element("business", [], has_text=True),
+        _element("age", [], has_text=True),
+        _element("watches", ["watch"]),
+        _element("watch", []),
+        _element("open_auctions", ["open_auction"]),
+        _element(
+            "open_auction",
+            [
+                "initial",
+                "reserve",
+                "bidder",
+                "current",
+                "privacy",
+                "itemref",
+                "seller",
+                "annotation",
+                "quantity",
+                "type",
+                "interval",
+            ],
+        ),
+        _element("privacy", [], has_text=True),
+        _element("initial", [], has_text=True),
+        _element("bidder", ["date", "time", "personref", "increase"]),
+        _element("seller", []),
+        _element("current", [], has_text=True),
+        _element("increase", [], has_text=True),
+        _element("type", [], has_text=True),
+        _element("interval", ["start", "end"]),
+        _element("start", [], has_text=True),
+        _element("end", [], has_text=True),
+        _element("time", [], has_text=True),
+        _element("status", [], has_text=True),
+        _element("amount", [], has_text=True),
+        _element("closed_auctions", ["closed_auction"]),
+        _element(
+            "closed_auction",
+            ["seller", "buyer", "itemref", "price", "date", "quantity", "type", "annotation"],
+        ),
+        _element("buyer", []),
+        _element("price", [], has_text=True),
+        _element("annotation", ["author", "description", "happiness"]),
+        _element("author", []),
+        _element("happiness", [], has_text=True),
+    ],
+    root="site",
+)
+
+#: Number of element names in the XMark DTD (the paper reports 77).
+XMARK_ELEMENT_COUNT = len(XMARK_DTD)

@@ -1,0 +1,169 @@
+"""In-memory XML tree model.
+
+Only the features the reproduction needs are modelled: element nodes with a
+tag name, ordered children, optional attributes, and text content.  Mixed
+content is supported by keeping text as a per-element ``text`` plus per-child
+``tail`` strings (the same convention as ``xml.etree``), which is sufficient
+for the XMark documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class XMLError(ValueError):
+    """Raised for malformed documents or invalid tree operations."""
+
+
+class XMLElement:
+    """One element node of an XML tree."""
+
+    __slots__ = ("tag", "attributes", "children", "text", "tail", "parent")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Optional[Dict[str, str]] = None,
+        text: str = "",
+    ):
+        if not tag or not _is_valid_name(tag):
+            raise XMLError("invalid element tag name: %r" % (tag,))
+        self.tag = tag
+        self.attributes: Dict[str, str] = dict(attributes or {})
+        self.children: List["XMLElement"] = []
+        self.text = text
+        self.tail = ""
+        self.parent: Optional["XMLElement"] = None
+
+    # ------------------------------------------------------------------
+    # Tree construction
+    # ------------------------------------------------------------------
+
+    def append(self, child: "XMLElement") -> "XMLElement":
+        """Append ``child`` and return it (for chaining)."""
+        if not isinstance(child, XMLElement):
+            raise XMLError("children must be XMLElement instances, got %r" % (child,))
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def make_child(self, tag: str, text: str = "", **attributes: str) -> "XMLElement":
+        """Create, append and return a new child element."""
+        child = XMLElement(tag, attributes=attributes, text=text)
+        return self.append(child)
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+
+    def iter(self) -> Iterator["XMLElement"]:
+        """Depth-first, document-order iteration over this subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_tag(self, tag: str) -> Iterator["XMLElement"]:
+        """Iterate the subtree yielding only elements with the given tag."""
+        for node in self.iter():
+            if node.tag == tag:
+                yield node
+
+    def find(self, tag: str) -> Optional["XMLElement"]:
+        """First direct child with the given tag, or ``None``."""
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> List["XMLElement"]:
+        """All direct children with the given tag."""
+        return [child for child in self.children if child.tag == tag]
+
+    @property
+    def depth(self) -> int:
+        """Distance from the root (root has depth 0)."""
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+
+    def subtree_size(self) -> int:
+        """Number of element nodes in this subtree (including ``self``)."""
+        return sum(1 for _ in self.iter())
+
+    def subtree_tags(self) -> set:
+        """Set of distinct tag names appearing in this subtree."""
+        return {node.tag for node in self.iter()}
+
+    def text_content(self) -> str:
+        """Concatenated text of this subtree, document order."""
+        parts = [self.text]
+        for child in self.children:
+            parts.append(child.text_content())
+            parts.append(child.tail)
+        return "".join(parts)
+
+    def height(self) -> int:
+        """Height of this subtree (a leaf has height 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.height() for child in self.children)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "<XMLElement %s children=%d>" % (self.tag, len(self.children))
+
+
+class XMLDocument:
+    """A whole XML document: a root element plus document-level metadata."""
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: XMLElement):
+        if not isinstance(root, XMLElement):
+            raise XMLError("document root must be an XMLElement, got %r" % (root,))
+        self.root = root
+
+    def iter(self) -> Iterator[XMLElement]:
+        """Document-order iteration over all elements."""
+        return self.root.iter()
+
+    def element_count(self) -> int:
+        """Total number of element nodes."""
+        return self.root.subtree_size()
+
+    def distinct_tags(self) -> set:
+        """Set of distinct tag names in the document."""
+        return self.root.subtree_tags()
+
+    def height(self) -> int:
+        """Height of the document tree."""
+        return self.root.height()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "<XMLDocument root=%s elements=%d>" % (self.root.tag, self.element_count())
+
+
+_NAME_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_NAME_CHARS = _NAME_START | set("0123456789.-·")
+
+
+def _is_valid_name(name: str) -> bool:
+    """Check a tag/attribute name against a simplified XML name grammar."""
+    if not name:
+        return False
+    if name[0] not in _NAME_START:
+        return False
+    return all(ch in _NAME_CHARS or ch == ":" for ch in name[1:])

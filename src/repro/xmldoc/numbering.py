@@ -1,0 +1,127 @@
+"""Pre / post / parent numbering of XML trees.
+
+The prototype stores the tree shape relationally by attaching three integers
+to every node (section 5.1, following Grust's XPath accelerator):
+
+* ``pre``    — sequence number of the node's opening tag (document order),
+* ``post``   — sequence number of the node's closing tag,
+* ``parent`` — the ``pre`` number of the node's parent (0 for the root;
+  the root itself is recognised by ``parent == 0``).
+
+The well-known axis characterisations follow:
+
+* ``d`` is a *descendant* of ``a``  ⇔  ``a.pre < d.pre`` and ``d.post < a.post``
+* ``c`` is a *child* of ``a``       ⇔  ``c.parent == a.pre``
+
+Numbering here starts at 1 so that ``parent == 0`` unambiguously marks the
+root, matching the prototype's "locate the root node (i.e. the only node
+without a parent (parent=0))".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.xmldoc.nodes import XMLDocument, XMLElement
+
+
+@dataclass(frozen=True)
+class NumberedNode:
+    """One element together with its structural numbers."""
+
+    element: XMLElement
+    pre: int
+    post: int
+    parent: int
+
+    @property
+    def tag(self) -> str:
+        """Tag name of the underlying element."""
+        return self.element.tag
+
+
+class PrePostNumbering:
+    """Assigns and indexes pre/post/parent numbers for a document."""
+
+    def __init__(self, document: XMLDocument):
+        self.document = document
+        self._nodes: List[NumberedNode] = []
+        self._by_pre: Dict[int, NumberedNode] = {}
+        self._number(document.root)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _number(self, root: XMLElement) -> None:
+        """Iterative numbering pass (explicit stack: deep tries are legal)."""
+        pre_counter = 0
+        post_counter = 0
+        records: Dict[int, Tuple[XMLElement, int]] = {}
+        post_of: Dict[int, int] = {}
+        # Each stack entry is (element, parent_pre, phase) where phase "open"
+        # assigns the pre number and schedules the "close" phase after the
+        # children have been processed.
+        stack: List[Tuple[XMLElement, int, str, int]] = [(root, 0, "open", 0)]
+        while stack:
+            element, parent_pre, phase, own_pre = stack.pop()
+            if phase == "open":
+                pre_counter += 1
+                records[pre_counter] = (element, parent_pre)
+                stack.append((element, parent_pre, "close", pre_counter))
+                for child in reversed(element.children):
+                    stack.append((child, pre_counter, "open", 0))
+            else:
+                post_counter += 1
+                post_of[own_pre] = post_counter
+        for pre in sorted(records):
+            element, parent_pre = records[pre]
+            node = NumberedNode(element=element, pre=pre, post=post_of[pre], parent=parent_pre)
+            self._nodes.append(node)
+            self._by_pre[pre] = node
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[NumberedNode]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def by_pre(self, pre: int) -> Optional[NumberedNode]:
+        """The node with the given ``pre`` number, or ``None``."""
+        return self._by_pre.get(pre)
+
+    @property
+    def root(self) -> NumberedNode:
+        """The root node (``parent == 0``)."""
+        return self._by_pre[1]
+
+    def children_of(self, pre: int) -> List[NumberedNode]:
+        """Direct children of the node with the given ``pre`` number."""
+        return [node for node in self._nodes if node.parent == pre]
+
+    def descendants_of(self, pre: int) -> List[NumberedNode]:
+        """All proper descendants of the node with the given ``pre`` number."""
+        anchor = self._by_pre[pre]
+        return [
+            node
+            for node in self._nodes
+            if node.pre > anchor.pre and node.post < anchor.post
+        ]
+
+    def parent_of(self, pre: int) -> Optional[NumberedNode]:
+        """Parent node, or ``None`` for the root."""
+        node = self._by_pre[pre]
+        if node.parent == 0:
+            return None
+        return self._by_pre[node.parent]
+
+    def is_descendant(self, descendant_pre: int, ancestor_pre: int) -> bool:
+        """Axis check using the pre/post characterisation."""
+        descendant = self._by_pre[descendant_pre]
+        ancestor = self._by_pre[ancestor_pre]
+        return ancestor.pre < descendant.pre and descendant.post < ancestor.post

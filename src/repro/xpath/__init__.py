@@ -1,0 +1,35 @@
+"""XPath subset used by the query engines.
+
+The prototype parses queries "into steps where each step consists of a
+direction (child (/) or descendant (//)) and a tag name.  Two special tag
+names exist: ``..`` matches the parent and ``*`` matches every child"
+(section 5.3).  The trie extension additionally rewrites
+``contains(text(), "…")`` predicates into per-character paths (section 4).
+
+* :mod:`repro.xpath.ast` — the query AST (:class:`Query`, :class:`Step`,
+  predicates).
+* :mod:`repro.xpath.parser` — tokenizer and recursive-descent parser.
+* :mod:`repro.xpath.rewrite` — the trie rewriting of text predicates.
+"""
+
+from repro.xpath.ast import (
+    Axis,
+    ContainsTextPredicate,
+    PathPredicate,
+    Query,
+    Step,
+    XPathError,
+)
+from repro.xpath.parser import parse_query
+from repro.xpath.rewrite import rewrite_for_trie
+
+__all__ = [
+    "Axis",
+    "Step",
+    "Query",
+    "PathPredicate",
+    "ContainsTextPredicate",
+    "XPathError",
+    "parse_query",
+    "rewrite_for_trie",
+]

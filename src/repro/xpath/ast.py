@@ -1,0 +1,161 @@
+"""Abstract syntax of the XPath subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple, Union
+
+#: node test matching every element
+WILDCARD = "*"
+#: node test selecting the parent
+PARENT = ".."
+
+
+class XPathError(ValueError):
+    """Raised for queries outside the supported subset or malformed syntax."""
+
+
+class Axis(enum.Enum):
+    """Step direction: ``/`` (child) or ``//`` (descendant)."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+
+@dataclass(frozen=True)
+class ContainsTextPredicate:
+    """A ``[contains(text(), "literal")]`` predicate.
+
+    Meaningful only after the trie rewriting (the tag-name encoding cannot
+    look inside text); :func:`repro.xpath.rewrite.rewrite_for_trie` turns it
+    into a :class:`PathPredicate` over character steps.
+    """
+
+    literal: str
+
+    def __str__(self) -> str:
+        return 'contains(text(), "%s")' % self.literal
+
+
+@dataclass(frozen=True)
+class PathPredicate:
+    """A relative-path existence predicate, e.g. ``[//j/o/a/n]``."""
+
+    path: "Query"
+
+    def __str__(self) -> str:
+        return self.path.to_string(relative=True)
+
+
+Predicate = Union[ContainsTextPredicate, PathPredicate]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: an axis, a node test and optional predicates."""
+
+    axis: Axis
+    test: str
+    predicates: Tuple[Predicate, ...] = ()
+
+    @property
+    def is_wildcard(self) -> bool:
+        """Whether the node test is ``*``."""
+        return self.test == WILDCARD
+
+    @property
+    def is_parent(self) -> bool:
+        """Whether the node test is ``..``."""
+        return self.test == PARENT
+
+    @property
+    def is_name_test(self) -> bool:
+        """Whether the node test is an ordinary tag name."""
+        return not self.is_wildcard and not self.is_parent
+
+    def __str__(self) -> str:
+        rendered = self.axis.value + self.test
+        for predicate in self.predicates:
+            rendered += "[%s]" % predicate
+        return rendered
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed query: an ordered tuple of steps.
+
+    ``absolute`` distinguishes top-level queries (which start at the document
+    root) from the relative paths used inside predicates (which start at the
+    node carrying the predicate).
+    """
+
+    steps: Tuple[Step, ...]
+    absolute: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise XPathError("a query needs at least one step")
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def step(self, index: int) -> Step:
+        """The step at ``index``."""
+        return self.steps[index]
+
+    # ------------------------------------------------------------------
+    # Analysis used by the engines
+    # ------------------------------------------------------------------
+
+    def name_tests(self, start: int = 0) -> List[str]:
+        """Tag names tested from step ``start`` onwards, in query order.
+
+        This is what the AdvancedQuery engine's look-ahead evaluates at every
+        node: the *remaining* tag names of the query, regardless of the query
+        structure (which the encoding cannot express).  Duplicates are
+        removed while preserving order.
+        """
+        names: List[str] = []
+        for step in self.steps[start:]:
+            if step.is_name_test and step.test not in names:
+                names.append(step.test)
+            for predicate in step.predicates:
+                if isinstance(predicate, PathPredicate):
+                    for name in predicate.path.name_tests():
+                        if name not in names:
+                            names.append(name)
+        return names
+
+    def descendant_step_count(self) -> int:
+        """Number of ``//`` steps (figure 7: accuracy drops per ``//``)."""
+        return sum(1 for step in self.steps if step.axis is Axis.DESCENDANT)
+
+    def has_predicates(self) -> bool:
+        """Whether any step carries predicates."""
+        return any(step.predicates for step in self.steps)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_string(self, relative: bool = False) -> str:
+        """Render back to query text.
+
+        For relative paths the leading ``/`` of a first child-axis step is
+        omitted (``a/b`` rather than ``/a/b``) to match predicate syntax.
+        """
+        rendered = "".join(str(step) for step in self.steps)
+        if relative and not self.absolute and rendered.startswith("/") and not rendered.startswith("//"):
+            return rendered[1:]
+        return rendered
+
+    def __str__(self) -> str:
+        return self.to_string(relative=not self.absolute)
+
+    def with_steps(self, steps: Sequence[Step]) -> "Query":
+        """A copy of this query with different steps."""
+        return Query(steps=tuple(steps), absolute=self.absolute)

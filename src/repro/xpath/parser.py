@@ -1,0 +1,204 @@
+"""Tokenizer and recursive-descent parser for the XPath subset.
+
+Supported grammar (sufficient for every query in the paper plus the trie
+rewriting)::
+
+    query      := step+
+    step       := axis test predicate*
+    axis       := "//" | "/"          (a relative query may omit the first axis)
+    test       := NAME | "*" | ".."
+    predicate  := "[" ( contains | relpath ) "]"
+    contains   := "contains" "(" "text" "(" ")" "," literal ")"
+    relpath    := relative query (steps, first axis optional)
+    literal    := '"' chars '"' | "'" chars "'"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.xpath.ast import (
+    Axis,
+    ContainsTextPredicate,
+    PathPredicate,
+    Query,
+    Step,
+    XPathError,
+)
+
+_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.")
+
+
+def parse_query(text: str, absolute: bool = True) -> Query:
+    """Parse query text into a :class:`Query`.
+
+    ``absolute=False`` parses a relative path (as used inside predicates):
+    the first step may omit its leading ``/`` and defaults to the child axis.
+    """
+    parser = _Parser(text, absolute=absolute)
+    return parser.parse()
+
+
+class _Parser:
+    """Single-use recursive-descent parser over a query string."""
+
+    def __init__(self, text: str, absolute: bool = True):
+        if not isinstance(text, str):
+            raise XPathError("query must be a string, got %r" % (text,))
+        self.text = text.strip()
+        self.position = 0
+        self.absolute = absolute
+        if not self.text:
+            raise XPathError("empty query")
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Query:
+        steps: List[Step] = []
+        first = True
+        while self.position < len(self.text):
+            steps.append(self._parse_step(first))
+            first = False
+        if not steps:
+            raise XPathError("query %r contains no steps" % self.text)
+        return Query(steps=tuple(steps), absolute=self.absolute)
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+
+    def _parse_step(self, first: bool) -> Step:
+        axis = self._parse_axis(first)
+        test = self._parse_test()
+        predicates = []
+        while self._peek() == "[":
+            predicates.append(self._parse_predicate())
+        return Step(axis=axis, test=test, predicates=tuple(predicates))
+
+    def _parse_axis(self, first: bool) -> Axis:
+        if self.text.startswith("//", self.position):
+            self.position += 2
+            return Axis.DESCENDANT
+        if self.text.startswith("/", self.position):
+            self.position += 1
+            return Axis.CHILD
+        if first and not self.absolute:
+            # Relative paths may start directly with a test ("a/b").
+            return Axis.CHILD
+        raise XPathError(
+            "expected '/' or '//' at offset %d of %r" % (self.position, self.text)
+        )
+
+    def _parse_test(self) -> str:
+        char = self._peek()
+        if char == "*":
+            self.position += 1
+            return "*"
+        if self.text.startswith("..", self.position):
+            self.position += 2
+            return ".."
+        name = self._parse_name()
+        if not name:
+            raise XPathError(
+                "expected a tag name, '*' or '..' at offset %d of %r" % (self.position, self.text)
+            )
+        return name
+
+    def _parse_name(self) -> str:
+        start = self.position
+        while self.position < len(self.text) and self.text[self.position] in _NAME_CHARS:
+            self.position += 1
+        return self.text[start : self.position]
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def _parse_predicate(self):
+        self._expect("[")
+        self._skip_spaces()
+        if self.text.startswith("contains", self.position):
+            predicate = self._parse_contains()
+        else:
+            predicate = self._parse_path_predicate()
+        self._skip_spaces()
+        self._expect("]")
+        return predicate
+
+    def _parse_contains(self) -> ContainsTextPredicate:
+        self._expect_word("contains")
+        self._skip_spaces()
+        self._expect("(")
+        self._skip_spaces()
+        self._expect_word("text")
+        self._skip_spaces()
+        self._expect("(")
+        self._skip_spaces()
+        self._expect(")")
+        self._skip_spaces()
+        self._expect(",")
+        self._skip_spaces()
+        literal = self._parse_literal()
+        self._skip_spaces()
+        self._expect(")")
+        return ContainsTextPredicate(literal=literal)
+
+    def _parse_path_predicate(self) -> PathPredicate:
+        start = self.position
+        depth = 0
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                if depth == 0:
+                    break
+                depth -= 1
+            self.position += 1
+        path_text = self.text[start : self.position].strip()
+        if not path_text:
+            raise XPathError("empty path predicate in %r" % self.text)
+        return PathPredicate(path=parse_query(path_text, absolute=False))
+
+    def _parse_literal(self) -> str:
+        quote = self._peek()
+        if quote not in ("'", '"'):
+            raise XPathError(
+                "expected a quoted literal at offset %d of %r" % (self.position, self.text)
+            )
+        self.position += 1
+        end = self.text.find(quote, self.position)
+        if end < 0:
+            raise XPathError("unterminated string literal in %r" % self.text)
+        literal = self.text[self.position : end]
+        self.position = end + 1
+        return literal
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> str:
+        if self.position < len(self.text):
+            return self.text[self.position]
+        return ""
+
+    def _expect(self, char: str) -> None:
+        if not self.text.startswith(char, self.position):
+            raise XPathError(
+                "expected %r at offset %d of %r" % (char, self.position, self.text)
+            )
+        self.position += len(char)
+
+    def _expect_word(self, word: str) -> None:
+        if not self.text.startswith(word, self.position):
+            raise XPathError(
+                "expected %r at offset %d of %r" % (word, self.position, self.text)
+            )
+        self.position += len(word)
+
+    def _skip_spaces(self) -> None:
+        while self.position < len(self.text) and self.text[self.position].isspace():
+            self.position += 1

@@ -1,0 +1,62 @@
+"""Query rewriting for the trie representation.
+
+Section 4: a query like ``/name[contains(text(), "Joan")]`` is first
+translated to ``/name[//j/o/a/n]`` before the tag-to-field mapping is applied
+— the predicate literal becomes a descendant path of single-character steps
+matching the trie structure the document transform produced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.trie.transform import TrieTransformer
+from repro.xpath.ast import (
+    Axis,
+    ContainsTextPredicate,
+    PathPredicate,
+    Query,
+    Step,
+    XPathError,
+)
+
+
+def rewrite_for_trie(query: Query, transformer: Optional[TrieTransformer] = None) -> Query:
+    """Replace every ``contains(text(), …)`` predicate with a trie path.
+
+    Steps without such predicates are returned unchanged, so the rewrite is a
+    no-op for pure tag-name queries.  The rewritten predicate path starts with
+    a descendant step (``//j``) because the matched word may occur anywhere in
+    the element's trie, followed by child steps for the remaining characters —
+    exactly the ``/name[//J/o/a/n]`` shape of the paper's example.
+    """
+    transformer = transformer or TrieTransformer()
+    new_steps: List[Step] = []
+    for step in query.steps:
+        if not step.predicates:
+            new_steps.append(step)
+            continue
+        new_predicates = []
+        for predicate in step.predicates:
+            if isinstance(predicate, ContainsTextPredicate):
+                new_predicates.append(_literal_to_path(predicate.literal, transformer))
+            elif isinstance(predicate, PathPredicate):
+                # Nested predicates (e.g. person[city[contains(text(), …)]])
+                # are rewritten recursively.
+                new_predicates.append(
+                    PathPredicate(path=rewrite_for_trie(predicate.path, transformer))
+                )
+            else:
+                new_predicates.append(predicate)
+        new_steps.append(Step(axis=step.axis, test=step.test, predicates=tuple(new_predicates)))
+    return query.with_steps(new_steps)
+
+
+def _literal_to_path(literal: str, transformer: TrieTransformer) -> PathPredicate:
+    """Build the ``//c1/c2/…/cn`` path predicate for one literal."""
+    characters = transformer.literal_to_steps(literal)
+    if not characters:
+        raise XPathError("contains() literal %r normalises to nothing searchable" % literal)
+    steps = [Step(axis=Axis.DESCENDANT, test=characters[0])]
+    steps.extend(Step(axis=Axis.CHILD, test=char) for char in characters[1:])
+    return PathPredicate(path=Query(steps=tuple(steps), absolute=False))

@@ -1,0 +1,125 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (generated documents, encoded databases) are session
+scoped: building them once keeps the several-hundred-test suite fast while
+still exercising realistic data shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import EncryptedXMLDatabase
+from repro.gf.factory import make_field
+from repro.poly.ring import QuotientRing
+from repro.xmark.generator import generate_document
+from repro.xmldoc.dtd import XMARK_DTD
+from repro.xmldoc.parser import parse_string
+
+#: deterministic seed used by every fixture-built database
+TEST_SEED = b"unit-test-seed-0123456789abcdef!"
+
+SMALL_DOCUMENT_XML = """
+<site>
+  <regions>
+    <europe>
+      <item><name>clock</name><description><text>old brass clock</text></description></item>
+      <item><name>vase</name><description><parlist><listitem><text>blue vase</text></listitem></parlist></description></item>
+    </europe>
+    <asia>
+      <item><name>silk scarf</name><description><text>red silk</text></description></item>
+    </asia>
+  </regions>
+  <people>
+    <person><name>Joan Johnson</name><address><street>Main</street><city>Enschede</city><country>NL</country><zipcode>7500</zipcode></address></person>
+    <person><name>Berry Jansen</name><emailaddress>berry@example.org</emailaddress></person>
+  </people>
+  <open_auctions>
+    <open_auction>
+      <initial>10.00</initial>
+      <bidder><date>01/02/2000</date><time>10:10:10</time><increase>1.50</increase></bidder>
+      <bidder><date>03/04/2000</date><time>11:11:11</time><increase>2.00</increase></bidder>
+      <current>13.50</current>
+      <itemref/>
+      <seller/>
+      <quantity>1</quantity>
+      <type>Regular</type>
+      <interval><start>01/01/2000</start><end>02/02/2000</end></interval>
+    </open_auction>
+  </open_auctions>
+  <closed_auctions>
+    <closed_auction>
+      <seller/><buyer/><itemref/>
+      <price>42.00</price>
+      <date>05/06/2000</date>
+      <quantity>2</quantity>
+      <type>Featured</type>
+    </closed_auction>
+  </closed_auctions>
+</site>
+"""
+
+
+@pytest.fixture(scope="session")
+def f5():
+    """The tiny field of the paper's figure-1 worked example."""
+    return make_field(5)
+
+
+@pytest.fixture(scope="session")
+def f83():
+    """The paper's experiment field."""
+    return make_field(83)
+
+
+@pytest.fixture(scope="session")
+def ring83(f83):
+    """The encoding ring over F_83."""
+    return QuotientRing(f83)
+
+
+@pytest.fixture(scope="session")
+def small_document():
+    """A hand-written auction-like document covering the query features."""
+    return parse_string(SMALL_DOCUMENT_XML)
+
+
+@pytest.fixture(scope="session")
+def xmark_document():
+    """A small generated XMark document (deterministic)."""
+    return generate_document(scale=0.01, seed=4242)
+
+
+@pytest.fixture(scope="session")
+def small_database(small_document):
+    """Encoded database over the hand-written document (paper configuration)."""
+    return EncryptedXMLDatabase.from_document(
+        small_document,
+        tag_names=XMARK_DTD.element_names(),
+        seed=TEST_SEED,
+        p=83,
+    )
+
+
+@pytest.fixture(scope="session")
+def xmark_database(xmark_document):
+    """Encoded database over the generated XMark document."""
+    return EncryptedXMLDatabase.from_document(
+        xmark_document,
+        tag_names=XMARK_DTD.element_names(),
+        seed=TEST_SEED,
+        p=83,
+    )
+
+
+@pytest.fixture(scope="session")
+def trie_database():
+    """Encoded database with the trie transform enabled."""
+    xml = """
+    <people>
+      <person><name>Joan Johnson</name><city>Enschede</city></person>
+      <person><name>Berry Schoenmakers</name><city>Eindhoven</city></person>
+      <person><name>Jeroen Doumen</name><city>Enschede</city></person>
+    </people>
+    """
+    return EncryptedXMLDatabase.from_text(xml, seed=TEST_SEED, use_trie=True)

@@ -1,0 +1,165 @@
+"""Tests for the leakage-analysis module (observer + attacks)."""
+
+import pytest
+
+from repro.analysis.attacks import (
+    frequency_attack,
+    infer_containment_sets,
+    linkability_report,
+    tag_frequency_profile,
+)
+from repro.analysis.observer import ObservingServerFilter, ServerView
+from repro.encode.encoder import Encoder
+from repro.encode.tagmap import TagMap
+from repro.engines.advanced import AdvancedQueryEngine
+from repro.engines.simple import SimpleQueryEngine
+from repro.filters.client import ClientFilter
+from repro.filters.interface import MatchRule
+from repro.gf.factory import make_field
+from repro.xmldoc.dtd import XMARK_DTD
+from repro.xmldoc.parser import parse_string
+from repro.xmldoc.serializer import serialize
+
+SEED = b"analysis-test-seed-0123456789abc"
+
+XML = """
+<site>
+  <regions>
+    <europe><item><name>clock</name></item><item><name>vase</name></item></europe>
+    <asia><item><name>scarf</name></item></asia>
+  </regions>
+  <people>
+    <person><name>Joan</name><address><city>Enschede</city></address></person>
+    <person><name>Berry</name></person>
+  </people>
+</site>
+"""
+
+
+@pytest.fixture(scope="module")
+def observed_setup():
+    document = parse_string(XML)
+    tag_map = TagMap.from_names(XMARK_DTD.element_names(), field=make_field(83))
+    encoded = Encoder(tag_map, SEED).encode_text(serialize(document))
+    server = ObservingServerFilter(encoded.node_table, encoded.ring)
+    client = ClientFilter(server, encoded.sharing, tag_map)
+    return document, tag_map, server, client
+
+
+class TestObserver:
+    def test_observer_is_behaviour_preserving(self, observed_setup):
+        document, tag_map, server, client = observed_setup
+        engine = AdvancedQueryEngine(client)
+        result = engine.execute("/site/regions/europe/item", rule=MatchRule.EQUALITY)
+        assert result.result_size == 2
+
+    def test_evaluation_points_are_map_values(self, observed_setup):
+        """The server sees the secret map values in the clear."""
+        document, tag_map, server, client = observed_setup
+        server.view.clear()
+        engine = SimpleQueryEngine(client)
+        engine.execute("/site/regions/europe", rule=MatchRule.CONTAINMENT)
+        observed = set(server.view.evaluation_points())
+        expected = {tag_map.value("site"), tag_map.value("regions"), tag_map.value("europe")}
+        assert expected <= observed
+
+    def test_expanded_nodes_and_fetches_recorded(self, observed_setup):
+        document, tag_map, server, client = observed_setup
+        server.view.clear()
+        engine = SimpleQueryEngine(client)
+        engine.execute("/site/regions", rule=MatchRule.EQUALITY)
+        assert server.view.expanded_nodes()
+        assert server.view.fetched_shares()
+        assert server.view.call_count("evaluate") >= 0
+        assert server.view.call_count() > 0
+
+    def test_clear_resets_log(self, observed_setup):
+        _, _, server, client = observed_setup
+        client.contains(1, "site")
+        assert server.view.call_count() > 0
+        server.view.clear()
+        assert server.view.call_count() == 0
+        assert server.view.evaluation_points() == []
+
+
+class TestContainmentInference:
+    def test_inferred_sets_match_reality(self, observed_setup):
+        document, tag_map, server, client = observed_setup
+        server.view.clear()
+        engine = SimpleQueryEngine(client)
+        engine.execute("/site/regions/europe/item", rule=MatchRule.CONTAINMENT)
+        inferred = infer_containment_sets(server.view)
+        europe_point = tag_map.value("europe")
+        # The node the query continued below after testing for 'europe' is
+        # the europe node itself (pre 3 in document order here).
+        assert europe_point in inferred
+        assert inferred[europe_point], "the server should have identified at least one match"
+
+    def test_linkability_report(self, observed_setup):
+        document, tag_map, server, client = observed_setup
+        server.view.clear()
+        engine = SimpleQueryEngine(client)
+        engine.execute("/site/people/person", rule=MatchRule.CONTAINMENT)
+        engine.execute("/site/people/person", rule=MatchRule.CONTAINMENT)
+        report = linkability_report(server.view)
+        assert report["distinct_points"] == 3  # site, people, person — linkable across queries
+        assert report["total_evaluations"] > report["distinct_points"]
+        assert report["avg_nodes_per_point"] >= 1.0
+
+
+class TestFrequencyProfile:
+    def test_profile_counts_containing_subtrees(self):
+        document = parse_string("<a><b><c/></b><b/></a>")
+        profile = tag_frequency_profile(document)
+        # 'c' is contained in subtrees rooted at a, first b, and c itself.
+        assert profile["c"] == 3
+        # 'b' is contained in a, and both b nodes.
+        assert profile["b"] == 3
+        assert profile["a"] == 1
+
+    def test_profile_of_larger_document(self, xmark_document):
+        profile = tag_frequency_profile(xmark_document)
+        assert profile["site"] == 1
+        assert profile["item"] > profile["regions"]
+
+
+class TestFrequencyAttack:
+    def test_attack_recovers_queried_tags(self, observed_setup):
+        """A passive server that knows the document statistics recovers part
+        of the secret mapping from access patterns alone — enough to show the
+        scheme leaks; a stronger attacker (co-occurrence, DTD constraints)
+        would recover more."""
+        document, tag_map, server, client = observed_setup
+        server.view.clear()
+        engine = SimpleQueryEngine(client)
+        workload = [
+            "/site/regions/europe/item",
+            "/site/people/person/name",
+            "/site/people/person/address/city",
+            "//city",
+            "//item/name",
+        ]
+        for query in workload:
+            engine.execute(query, rule=MatchRule.CONTAINMENT)
+
+        profile = tag_frequency_profile(document)
+        true_map = {name: value for name, value in tag_map.items()}
+        report = frequency_attack(server.view, profile, true_map=true_map)
+
+        assert report.ground_truth, "the observed points must correspond to real tags"
+        assert report.recovery_rate >= 0.25
+        assert len(report.recovered_points) >= 2
+        assert set(report.recovered_points) <= set(report.guesses)
+
+    def test_attack_without_ground_truth(self, observed_setup):
+        document, tag_map, server, client = observed_setup
+        server.view.clear()
+        SimpleQueryEngine(client).execute("/site/regions", rule=MatchRule.CONTAINMENT)
+        report = frequency_attack(server.view, tag_frequency_profile(document))
+        assert report.recovery_rate == 0.0
+        assert report.guesses
+
+    def test_attack_with_empty_view(self):
+        report = frequency_attack(ServerView(), {"a": 1})
+        assert report.guesses == {}
+        assert report.recovery_rate == 0.0

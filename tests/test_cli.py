@@ -1,0 +1,234 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.xmldoc.parser import parse_document
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """Paths used by the end-to-end CLI workflow."""
+    return {
+        "xml": str(tmp_path / "doc.xml"),
+        "map": str(tmp_path / "tags.map"),
+        "seed": str(tmp_path / "secret.seed"),
+        "db": str(tmp_path / "server.json"),
+    }
+
+
+def _run(argv):
+    return main(argv)
+
+
+class TestGenXMark:
+    def test_generates_document(self, workspace):
+        assert _run(["genxmark", "--scale", "0.01", "--output", workspace["xml"]]) == 0
+        document = parse_document(workspace["xml"])
+        assert document.root.tag == "site"
+        assert document.element_count() > 50
+
+    def test_deterministic_with_seed(self, tmp_path):
+        a, b = str(tmp_path / "a.xml"), str(tmp_path / "b.xml")
+        _run(["genxmark", "--scale", "0.01", "--seed", "7", "--output", a])
+        _run(["genxmark", "--scale", "0.01", "--seed", "7", "--output", b])
+        assert open(a).read() == open(b).read()
+
+    def test_rejects_bad_scale(self, workspace):
+        assert _run(["genxmark", "--scale", "0", "--output", workspace["xml"]]) == 2
+
+
+class TestMakeMapAndSeed:
+    def test_makemap_from_dtd(self, workspace):
+        assert _run(["makemap", "--dtd", "xmark", "--p", "83", "--output", workspace["map"]]) == 0
+        content = open(workspace["map"]).read()
+        assert "site = " in content
+        assert len([line for line in content.splitlines() if "=" in line]) == 77
+
+    def test_makemap_from_xml(self, workspace):
+        _run(["genxmark", "--scale", "0.01", "--output", workspace["xml"]])
+        assert _run(["makemap", "--xml", workspace["xml"], "--output", workspace["map"]]) == 0
+        assert os.path.exists(workspace["map"])
+
+    def test_makemap_with_trie_alphabet(self, workspace):
+        assert _run(["makemap", "--dtd", "xmark", "--trie", "--output", workspace["map"]]) == 0
+        content = open(workspace["map"]).read()
+        assert "\na = " in content or content.startswith("a = ")
+
+    def test_makemap_requires_source(self, workspace):
+        assert _run(["makemap", "--output", workspace["map"]]) == 2
+
+    def test_makemap_field_too_small(self, workspace):
+        assert _run(["makemap", "--dtd", "xmark", "--p", "7", "--output", workspace["map"]]) == 2
+
+    def test_makeseed(self, workspace):
+        assert _run(["makeseed", "--output", workspace["seed"]]) == 0
+        assert len(open(workspace["seed"]).read().strip()) == 64  # 32 bytes hex
+
+    def test_makeseed_rejects_short(self, workspace):
+        assert _run(["makeseed", "--bytes", "4", "--output", workspace["seed"]]) == 2
+
+
+class TestEncodeAndQuery:
+    @pytest.fixture
+    def encoded_workspace(self, workspace):
+        _run(["genxmark", "--scale", "0.01", "--output", workspace["xml"]])
+        _run(["makemap", "--dtd", "xmark", "--p", "83", "--output", workspace["map"]])
+        _run(["makeseed", "--output", workspace["seed"]])
+        code = _run(
+            [
+                "encode",
+                "--map", workspace["map"],
+                "--seed", workspace["seed"],
+                "--xml", workspace["xml"],
+                "--p", "83",
+                "--output", workspace["db"],
+            ]
+        )
+        assert code == 0
+        return workspace
+
+    def test_encode_writes_database(self, encoded_workspace):
+        assert os.path.exists(encoded_workspace["db"])
+        assert os.path.getsize(encoded_workspace["db"]) > 1000
+
+    def test_query_finds_matches(self, encoded_workspace, capsys):
+        code = _run(
+            [
+                "query",
+                "--db", encoded_workspace["db"],
+                "--map", encoded_workspace["map"],
+                "--seed", encoded_workspace["seed"],
+                "--p", "83",
+                "--engine", "advanced",
+                "--strict",
+                "/site/regions/europe/item",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "matches" in output
+        assert "matches      : 0" not in output
+
+    def test_query_simple_engine_agrees(self, encoded_workspace, capsys):
+        args = [
+            "query",
+            "--db", encoded_workspace["db"],
+            "--map", encoded_workspace["map"],
+            "--seed", encoded_workspace["seed"],
+            "--p", "83",
+            "--strict",
+            "/site/people/person/name",
+        ]
+        assert _run(args + ["--engine", "simple"]) == 0
+        simple_out = capsys.readouterr().out
+        assert _run(args + ["--engine", "advanced"]) == 0
+        advanced_out = capsys.readouterr().out
+        simple_line = next(l for l in simple_out.splitlines() if l.startswith("pre numbers"))
+        advanced_line = next(l for l in advanced_out.splitlines() if l.startswith("pre numbers"))
+        assert simple_line == advanced_line
+
+    def test_query_with_wrong_seed_finds_nothing(self, encoded_workspace, tmp_path, capsys):
+        other_seed = str(tmp_path / "other.seed")
+        _run(["makeseed", "--output", other_seed])
+        code = _run(
+            [
+                "query",
+                "--db", encoded_workspace["db"],
+                "--map", encoded_workspace["map"],
+                "--seed", other_seed,
+                "--p", "83",
+                "/site/regions",
+            ]
+        )
+        assert code == 0
+        assert "matches      : 0" in capsys.readouterr().out
+
+    def test_query_missing_database(self, encoded_workspace):
+        code = _run(
+            [
+                "query",
+                "--db", "/nonexistent/server.json",
+                "--map", encoded_workspace["map"],
+                "--seed", encoded_workspace["seed"],
+                "--p", "83",
+                "/site",
+            ]
+        )
+        assert code == 2
+
+    def test_encode_with_unmapped_tags_fails_cleanly(self, workspace, tmp_path):
+        # Map built from a different (smaller) alphabet than the document.
+        xml = tmp_path / "tiny.xml"
+        xml.write_text("<site><unknown_tag/></site>")
+        _run(["makemap", "--dtd", "xmark", "--p", "83", "--output", workspace["map"]])
+        _run(["makeseed", "--output", workspace["seed"]])
+        code = _run(
+            [
+                "encode",
+                "--map", workspace["map"],
+                "--seed", workspace["seed"],
+                "--xml", str(xml),
+                "--p", "83",
+                "--output", workspace["db"],
+            ]
+        )
+        assert code == 2
+
+
+class TestTrieWorkflow:
+    def test_trie_encode_and_text_query(self, tmp_path, capsys):
+        xml = tmp_path / "people.xml"
+        xml.write_text(
+            "<people><person><name>Joan Johnson</name></person>"
+            "<person><name>Berry Jansen</name></person></people>"
+        )
+        map_path = str(tmp_path / "tags.map")
+        seed_path = str(tmp_path / "secret.seed")
+        db_path = str(tmp_path / "server.json")
+        assert _run(["makemap", "--xml", str(xml), "--trie", "--output", map_path]) == 0
+        assert _run(["makeseed", "--output", seed_path]) == 0
+        assert (
+            _run(
+                [
+                    "encode",
+                    "--map", map_path,
+                    "--seed", seed_path,
+                    "--xml", str(xml),
+                    "--trie",
+                    "--output", db_path,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = _run(
+            [
+                "query",
+                "--db", db_path,
+                "--map", map_path,
+                "--seed", seed_path,
+                "--trie",
+                "--strict",
+                '/people/person/name[contains(text(), "Joan")]',
+            ]
+        )
+        assert code == 0
+        assert "matches      : 1" in capsys.readouterr().out
+
+
+class TestExperimentsCommand:
+    def test_single_figure(self, capsys):
+        assert _run(["experiments", "--figure", "7", "--scale", "0.01"]) == 0
+        output = capsys.readouterr().out
+        assert "figure-7" in output
+        assert "accuracy" in output
+
+    def test_trie_figure(self, capsys):
+        assert _run(["experiments", "--figure", "trie"]) == 0
+        assert "section-4-trie" in capsys.readouterr().out
+
+    def test_rejects_bad_scale(self):
+        assert _run(["experiments", "--figure", "5", "--scale", "-1"]) == 2

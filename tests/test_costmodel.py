@@ -1,0 +1,111 @@
+"""Tests for the engine cost model and automatic engine selection."""
+
+import pytest
+
+from repro.engines.costmodel import (
+    CostEstimate,
+    DocumentStatistics,
+    EngineCostModel,
+    recommend_engine,
+)
+from repro.experiments.workloads import TABLE2_QUERIES
+from repro.xmldoc.parser import parse_string
+
+
+@pytest.fixture(scope="module")
+def statistics(xmark_document):
+    return DocumentStatistics.from_document(xmark_document)
+
+
+@pytest.fixture(scope="module")
+def model(statistics):
+    return EngineCostModel(statistics)
+
+
+class TestDocumentStatistics:
+    def test_basic_counts(self):
+        stats = DocumentStatistics.from_document(parse_string("<a><b><c/></b><b/></a>"))
+        assert stats.node_count == 4
+        assert stats.count_of("b") == 2
+        assert stats.count_of("missing") == 0
+        assert stats.containing("c") == 3  # a, first b, c itself
+        assert stats.height == 3
+        assert stats.average_fanout == pytest.approx(3 / 4)
+
+    def test_xmark_statistics(self, statistics, xmark_document):
+        assert statistics.node_count == xmark_document.element_count()
+        assert statistics.count_of("site") == 1
+        assert statistics.containing("site") == 1
+        assert statistics.count_of("item") > 0
+        assert statistics.containing("item") > statistics.count_of("regions")
+        assert statistics.average_fanout > 0.5
+
+    def test_containing_at_least_count(self, statistics):
+        for tag, count in statistics.tag_counts.items():
+            assert statistics.containing(tag) >= count
+
+
+class TestCostEstimates:
+    def test_estimates_are_positive(self, model):
+        for query in TABLE2_QUERIES:
+            estimate = model.estimate(query)
+            assert estimate.simple_evaluations > 0
+            assert estimate.advanced_evaluations > 0
+
+    def test_descendant_queries_prefer_advanced(self, model):
+        """Figure 6's finding: '//'-heavy queries favour the advanced engine."""
+        assert model.choose_engine("//bidder/date") == "advanced"
+        assert model.choose_engine("/site//europe//item") == "advanced"
+
+    def test_short_absolute_queries_prefer_simple(self, model):
+        """Figure 5's finding: the simple engine is (slightly) better on the
+        DTD-guaranteed absolute chains."""
+        assert model.choose_engine("/site") == "simple"
+        assert model.choose_engine("/site/regions") == "simple"
+
+    def test_recommended_engine_property(self):
+        assert CostEstimate(10.0, 5.0).recommended_engine == "advanced"
+        assert CostEstimate(5.0, 10.0).recommended_engine == "simple"
+        assert CostEstimate(5.0, 5.0).recommended_engine == "simple"
+
+    def test_unknown_tags_terminate_estimation(self, model):
+        estimate = model.estimate("/nonexistent/also_nonexistent")
+        assert estimate.simple_evaluations >= 1
+
+    def test_model_ranking_matches_measured_costs(self, xmark_database, model):
+        """On the descendant-heavy queries, the model's preferred engine must
+        indeed be the cheaper one when measured."""
+        for query in ("//bidder/date", "/site//europe/item"):
+            simple = xmark_database.query(query, engine="simple", strict=False)
+            advanced = xmark_database.query(query, engine="advanced", strict=False)
+            measured_best = "advanced" if advanced.evaluations <= simple.evaluations else "simple"
+            assert model.choose_engine(query) == measured_best
+
+
+class TestRecommendHelperAndAutoEngine:
+    def test_recommend_engine_from_document(self, xmark_document):
+        assert recommend_engine("//bidder/date", document=xmark_document) == "advanced"
+
+    def test_recommend_engine_requires_input(self):
+        with pytest.raises(ValueError):
+            recommend_engine("/site")
+
+    def test_facade_auto_engine_runs(self, xmark_database):
+        result = xmark_database.query("//bidder/date", engine="auto", strict=True)
+        truth = set(xmark_database.plaintext_query("//bidder/date"))
+        assert set(result.matches) == truth
+        assert result.engine in ("simple", "advanced")
+
+    def test_facade_auto_engine_without_plaintext_defaults_to_advanced(self, small_document):
+        from repro.core.database import EncryptedXMLDatabase
+
+        database = EncryptedXMLDatabase.from_document(
+            small_document, seed=b"auto-engine-seed-0123456789abcdef", keep_plaintext=False
+        )
+        result = database.query("/site/regions", engine="auto")
+        assert result.engine == "advanced"
+
+    def test_facade_recommendation_is_cached(self, xmark_database):
+        first = xmark_database.recommend_engine("//bidder/date")
+        second = xmark_database.recommend_engine("//bidder/date")
+        assert first == second

@@ -1,0 +1,111 @@
+"""Tests for the DTD model and the transcribed XMark DTD."""
+
+import pytest
+
+from repro.xmldoc.dtd import DTD, DTDElement, XMARK_DTD, XMARK_ELEMENT_COUNT
+
+
+class TestDTDModel:
+    def test_duplicate_declarations_rejected(self):
+        with pytest.raises(ValueError):
+            DTD([DTDElement("a"), DTDElement("a")], root="a")
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(ValueError):
+            DTD([DTDElement("a")], root="b")
+
+    def test_basic_lookups(self):
+        dtd = DTD(
+            [DTDElement("a", ("b",)), DTDElement("b", (), has_text=True)],
+            root="a",
+        )
+        assert len(dtd) == 2
+        assert "a" in dtd and "c" not in dtd
+        assert dtd.children_of("a") == ("b",)
+        assert dtd.children_of("missing") == ()
+        assert dtd.allows_text("b")
+        assert not dtd.allows_text("a")
+        assert dtd.get("b").name == "b"
+        assert dtd.get("zzz") is None
+
+    def test_reachability(self):
+        dtd = DTD(
+            [
+                DTDElement("a", ("b",)),
+                DTDElement("b", ("c",)),
+                DTDElement("c", ()),
+                DTDElement("d", ()),
+            ],
+            root="a",
+        )
+        assert dtd.reachable_descendants("a") == {"b", "c"}
+        assert dtd.can_contain("a", "c")
+        assert not dtd.can_contain("a", "d")
+        assert not dtd.can_contain("c", "a")
+
+    def test_reachability_with_recursion(self):
+        dtd = DTD(
+            [DTDElement("text", ("bold",)), DTDElement("bold", ("text",))],
+            root="text",
+        )
+        assert dtd.reachable_descendants("text") == {"bold", "text"}
+
+
+class TestXMarkDTD:
+    def test_element_count_matches_paper(self):
+        """The paper states the auction DTD contains 77 elements."""
+        assert XMARK_ELEMENT_COUNT == 77
+        assert len(XMARK_DTD.element_names()) == 77
+
+    def test_root_is_site(self):
+        assert XMARK_DTD.root == "site"
+
+    def test_key_structure(self):
+        assert set(XMARK_DTD.children_of("site")) == {
+            "regions",
+            "categories",
+            "catgraph",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+        }
+        assert "city" in XMARK_DTD.children_of("address")
+        assert "date" in XMARK_DTD.children_of("bidder")
+
+    def test_table1_queries_are_dtd_guaranteed(self):
+        """Table 1 was chosen so the DTD guarantees each step's containment.
+
+        E.g. "it is a waste of effort to check whether a europe node contains
+        an item, description, parlist, listitem, text and keyword node,
+        because the DTD dictates it to be always the case."
+        """
+        chain = ["site", "regions", "europe", "item", "description", "parlist", "listitem", "text", "keyword"]
+        for ancestor_index in range(len(chain) - 1):
+            for descendant in chain[ancestor_index + 1 :]:
+                assert XMARK_DTD.can_contain(chain[ancestor_index], descendant), (
+                    "%s should be able to contain %s" % (chain[ancestor_index], descendant)
+                )
+
+    def test_advanced_query_pruning_facts(self):
+        """Facts the paper's walkthrough of /site/*/person//city relies on."""
+        assert XMARK_DTD.can_contain("people", "person")
+        assert XMARK_DTD.can_contain("people", "city")
+        assert not XMARK_DTD.can_contain("regions", "person")
+        assert not XMARK_DTD.can_contain("catgraph", "city")
+        assert not XMARK_DTD.can_contain("categories", "person")
+
+    def test_city_reachable_only_under_address(self):
+        parents = [
+            name for name in XMARK_DTD.element_names() if "city" in XMARK_DTD.children_of(name)
+        ]
+        assert parents == ["address"]
+
+    def test_text_bearing_elements(self):
+        for name in ("name", "city", "date", "price", "emailaddress"):
+            assert XMARK_DTD.allows_text(name)
+        for name in ("site", "regions", "people", "address"):
+            assert not XMARK_DTD.allows_text(name)
+
+    def test_paper_field_choice_fits(self):
+        """83 is a prime strictly larger than the number of element names."""
+        assert XMARK_ELEMENT_COUNT < 83

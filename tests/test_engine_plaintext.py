@@ -1,0 +1,108 @@
+"""Tests for the plaintext reference engine (ground truth)."""
+
+import pytest
+
+from repro.engines.plaintext import PlaintextEngine
+from repro.xmldoc.parser import parse_string
+from repro.xpath.ast import XPathError
+
+XML = """
+<site>
+  <regions>
+    <europe>
+      <item><name>clock</name></item>
+      <item><name>vase</name></item>
+    </europe>
+    <asia>
+      <item><name>scarf</name></item>
+    </asia>
+  </regions>
+  <people>
+    <person><name>Joan</name><address><city>Enschede</city></address></person>
+    <person><name>Berry</name></person>
+  </people>
+</site>
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return PlaintextEngine(parse_string(XML))
+
+
+class TestChildSteps:
+    def test_root_query(self, engine):
+        assert engine.execute_tags("/site") == ["site"]
+
+    def test_child_chain(self, engine):
+        assert engine.execute_tags("/site/regions/europe/item") == ["item", "item"]
+
+    def test_no_match(self, engine):
+        assert engine.execute("/site/regions/africa") == []
+        assert engine.execute("/nosuchroot") == []
+
+    def test_wildcard(self, engine):
+        assert engine.execute_tags("/site/*") == ["regions", "people"]
+        assert sorted(engine.execute_tags("/site/regions/*/item/name")) == ["name", "name", "name"]
+
+    def test_parent_step(self, engine):
+        # The parent of every item's name is the item itself.
+        assert engine.execute_tags("/site/regions/europe/item/name/..") == ["item", "item"]
+
+    def test_parent_of_root_is_empty(self, engine):
+        assert engine.execute("/site/..") == []
+
+
+class TestDescendantSteps:
+    def test_descendant_from_root(self, engine):
+        assert engine.execute_tags("//city") == ["city"]
+        assert len(engine.execute("//item")) == 3
+        assert len(engine.execute("//name")) == 5
+
+    def test_descendant_mid_query(self, engine):
+        assert len(engine.execute("/site/regions//name")) == 3
+
+    def test_descendant_then_child(self, engine):
+        assert len(engine.execute("//person/name")) == 2
+
+    def test_descendant_of_descendant(self, engine):
+        assert len(engine.execute("/site//regions//item")) == 3
+
+    def test_descendant_wildcard(self, engine):
+        # //* matches every element of the document (the root itself included
+        # because the virtual context's descendant set contains it).
+        assert len(engine.execute("//*")) == len(engine.numbering)
+
+
+class TestPredicates:
+    def test_path_predicate(self, engine):
+        assert engine.execute_tags("/site/people/person[address/city]/name") == ["name"]
+
+    def test_path_predicate_with_descendant(self, engine):
+        assert len(engine.execute("/site/people/person[//city]")) == 1
+
+    def test_contains_text_predicate(self, engine):
+        assert len(engine.execute('/site/people/person/name[contains(text(), "Joan")]')) == 1
+        assert len(engine.execute('/site/people/person/name[contains(text(), "joan")]')) == 1
+        assert len(engine.execute('/site/people/person/name[contains(text(), "nobody")]')) == 0
+
+    def test_predicate_filters_but_returns_step_nodes(self, engine):
+        result = engine.execute_tags("/site/people/person[name]")
+        assert result == ["person", "person"]
+
+
+class TestResults:
+    def test_results_are_sorted_unique_pre_numbers(self, engine):
+        result = engine.execute("//name")
+        assert result == sorted(set(result))
+
+    def test_execute_accepts_parsed_query(self, engine):
+        from repro.xpath.parser import parse_query
+
+        assert engine.execute(parse_query("//city")) == engine.execute("//city")
+
+    def test_tags_helper_matches_pre_numbers(self, engine):
+        pres = engine.execute("//person")
+        tags = engine.execute_tags("//person")
+        assert len(pres) == len(tags)
+        assert set(tags) == {"person"}

@@ -1,0 +1,139 @@
+"""Tests for the SimpleQuery and AdvancedQuery engines over encrypted data.
+
+The central correctness property: under the equality (strict) rule both
+engines return exactly the plaintext ground truth; under the containment
+(non-strict) rule they return a superset of it.
+"""
+
+import pytest
+
+from repro.filters.interface import MatchRule
+from repro.xpath.parser import parse_query
+
+QUERIES = [
+    "/site",
+    "/site/regions",
+    "/site/regions/europe",
+    "/site/regions/europe/item",
+    "/site/regions/europe/item/name",
+    "/site/*",
+    "/site/*/person",
+    "/site/people/person/name",
+    "/site/people/person/address/city",
+    "/site//city",
+    "//city",
+    "//person/name",
+    "//bidder/date",
+    "/site//europe/item",
+    "/site//europe//item",
+    "/site/*/person//city",
+    "/*/*/open_auction/bidder/date",
+    "/site/open_auctions/open_auction/bidder/../bidder/date",
+    "/site/people/person[address/city]/name",
+    "/site/people/person[address]/name",
+    "//person[address]",
+    "/site/closed_auctions/closed_auction/price",
+    "/nonexistent",
+    "//nonexistent",
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("engine", ["simple", "advanced"])
+class TestEqualityMatchesGroundTruth:
+    def test_strict_results_equal_plaintext(self, small_database, query, engine):
+        truth = set(small_database.plaintext_query(query))
+        result = small_database.query(query, engine=engine, strict=True)
+        assert set(result.matches) == truth
+
+    def test_containment_results_are_a_superset(self, small_database, query, engine):
+        truth = set(small_database.plaintext_query(query))
+        result = small_database.query(query, engine=engine, strict=False)
+        assert set(result.matches) >= truth
+
+
+class TestEngineBehaviour:
+    def test_unknown_engine_rejected(self, small_database):
+        from repro.core.database import QueryConfigError
+
+        with pytest.raises(QueryConfigError):
+            small_database.query("/site", engine="quantum")
+
+    def test_result_metadata(self, small_database):
+        result = small_database.query("/site/regions", engine="simple", strict=False)
+        assert result.engine == "simple"
+        assert result.rule is MatchRule.CONTAINMENT
+        assert result.query == "/site/regions"
+        assert result.elapsed_seconds >= 0
+        assert result.evaluations > 0
+        assert len(result) == result.result_size
+
+    def test_counters_are_per_query(self, small_database):
+        first = small_database.query("/site/regions", engine="simple")
+        second = small_database.query("/site/regions", engine="simple")
+        assert first.evaluations == second.evaluations
+
+    def test_simple_wildcard_does_not_evaluate(self, small_database):
+        result = small_database.query("/site/*", engine="simple", strict=False)
+        # Only the /site step costs an evaluation; * is free.
+        assert result.evaluations == 1
+
+    def test_advanced_prunes_dead_branches(self, small_database):
+        """The advanced engine must examine fewer nodes than the simple one
+        on a descendant-heavy query (the paper's main finding, figure 6)."""
+        simple = small_database.query("//bidder/date", engine="simple", strict=False)
+        advanced = small_database.query("//bidder/date", engine="advanced", strict=False)
+        assert advanced.evaluations < simple.evaluations
+        assert set(advanced.matches) == set(simple.matches)
+
+    def test_simple_and_advanced_agree_on_containment_results(self, small_database):
+        for query in QUERIES:
+            simple = small_database.query(query, engine="simple", strict=False)
+            advanced = small_database.query(query, engine="advanced", strict=False)
+            assert set(simple.matches) == set(advanced.matches), query
+
+    def test_equality_rule_uses_equality_tests(self, small_database):
+        result = small_database.query("/site/regions/europe/item", engine="simple", strict=True)
+        assert result.equality_tests > 0
+        assert result.counters.get("reconstructions", 0) > 0
+
+    def test_containment_rule_uses_no_equality_tests(self, small_database):
+        result = small_database.query("/site/regions/europe/item", engine="simple", strict=False)
+        assert result.equality_tests == 0
+
+    def test_parsed_query_accepted(self, small_database):
+        parsed = parse_query("/site/regions")
+        assert small_database.query(parsed).matches == small_database.query("/site/regions").matches
+
+    def test_empty_result_short_circuits(self, small_database):
+        result = small_database.query("/site/catgraph/edge", engine="advanced", strict=False)
+        assert result.matches == ()
+        # The advanced engine kills the query at the root look-ahead: the
+        # document contains no catgraph/edge nodes at all.
+        assert result.evaluations <= len(parse_query("/site/catgraph/edge").name_tests())
+
+
+class TestAccuracySemantics:
+    def test_containment_over_approximates_on_descendant_queries(self, small_database):
+        """//city under containment returns every node with a city below it."""
+        exact = set(small_database.query("//city", engine="advanced", strict=True).matches)
+        loose = set(small_database.query("//city", engine="advanced", strict=False).matches)
+        assert exact <= loose
+        assert len(loose) > len(exact)
+        loose_tags = {small_database.tag_of(pre) for pre in loose}
+        assert "city" in loose_tags
+        assert "address" in loose_tags  # the city's parent contains a city
+
+    def test_absolute_queries_are_exact_even_under_containment(self, small_database):
+        """Figure 7: accuracy reaches 100% for queries without //."""
+        for query in ("/site/regions/europe/item", "/site/people/person/name", "/site/regions"):
+            exact = set(small_database.query(query, engine="simple", strict=True).matches)
+            loose = set(small_database.query(query, engine="simple", strict=False).matches)
+            assert exact == loose
+
+    def test_xmark_database_equality_matches_truth(self, xmark_database):
+        for query in ("/site/regions/europe/item", "//bidder/date", "/site/*/person//city"):
+            truth = set(xmark_database.plaintext_query(query))
+            for engine in ("simple", "advanced"):
+                result = xmark_database.query(query, engine=engine, strict=True)
+                assert set(result.matches) == truth

@@ -1,0 +1,268 @@
+"""Tests for the experiment harness (runners + reporting)."""
+
+import pytest
+
+from repro.experiments import (
+    TABLE1_QUERIES,
+    TABLE2_QUERIES,
+    bench_scale,
+    build_database,
+    render_record,
+    render_table,
+    run_accuracy_experiment,
+    run_encoding_experiment,
+    run_query_length_experiment,
+    run_strictness_experiment,
+    run_trie_compression_experiment,
+)
+from repro.experiments.ablations import (
+    run_equality_cost_ablation,
+    run_index_ablation,
+    run_rmi_overhead_ablation,
+)
+from repro.experiments.encoding import summarize_linearity
+from repro.experiments.strictness import configuration_times
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_database(scale=0.01)
+
+
+class TestWorkloads:
+    def test_query_lists_match_paper(self):
+        assert len(TABLE1_QUERIES) == 9
+        assert TABLE1_QUERIES[0] == "/site"
+        assert TABLE1_QUERIES[-1].endswith("/keyword")
+        assert len(TABLE2_QUERIES) == 5
+        assert "/site/*/person//city" in TABLE2_QUERIES
+
+    def test_table1_queries_are_prefixes(self):
+        for shorter, longer in zip(TABLE1_QUERIES, TABLE1_QUERIES[1:]):
+            assert longer.startswith(shorter)
+
+    def test_bench_scale_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale(0.5) == 0.5
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert bench_scale(0.5) == 2.5
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "zero")
+        with pytest.raises(ValueError):
+            bench_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_build_database_uses_paper_field(self, database):
+        assert database.field_order == 83
+
+
+class TestEncodingExperiment:
+    def test_series_lengths_and_monotonicity(self):
+        record = run_encoding_experiment(scales=[0.01, 0.03, 0.05])
+        assert len(record.series["input_mb"]) == 3
+        assert len(record.series["output_mb"]) == 3
+        # Larger inputs encode to larger outputs.
+        assert record.series["output_mb"][0] < record.series["output_mb"][-1]
+        assert record.series["nodes"][0] < record.series["nodes"][-1]
+
+    def test_linearity_summary(self):
+        record = run_encoding_experiment(scales=[0.01, 0.02, 0.04, 0.06])
+        summary = summarize_linearity(record)
+        assert summary["output_mb"]["slope"] > 0
+        assert summary["output_mb"]["r_squared"] > 0.9
+
+    def test_structure_fraction_below_one(self):
+        record = run_encoding_experiment(scales=[0.02])
+        assert 0 < record.series["structure_fraction"][0] < 0.5
+
+    def test_render(self):
+        record = run_encoding_experiment(scales=[0.01])
+        text = render_record(record)
+        assert "figure-4" in text
+        assert "input (MB)" in text
+
+
+class TestQueryLengthExperiment:
+    def test_measurements_cover_both_engines(self, database):
+        record = run_query_length_experiment(database=database)
+        assert len(record.measurements) == 2 * len(TABLE1_QUERIES)
+        engines = {m.engine for m in record.measurements}
+        assert engines == {"simple", "advanced"}
+
+    def test_evaluations_recorded(self, database):
+        record = run_query_length_experiment(database=database)
+        assert all(m.evaluations >= 1 for m in record.measurements)
+
+    def test_engines_within_constant_factor(self, database):
+        """The paper: the two algorithms differ by at most a constant factor."""
+        record = run_query_length_experiment(database=database)
+        for number in range(1, len(TABLE1_QUERIES) + 1):
+            pair = [m for m in record.measurements if m.extra["query_number"] == number]
+            simple = next(m for m in pair if m.engine == "simple")
+            advanced = next(m for m in pair if m.engine == "advanced")
+            if simple.evaluations and advanced.evaluations:
+                ratio = advanced.evaluations / simple.evaluations
+                assert ratio < 12
+
+    def test_render(self, database):
+        text = render_record(run_query_length_experiment(database=database))
+        assert "figure-5" in text
+        assert "/site/regions" in text
+
+
+class TestStrictnessExperiment:
+    def test_four_configurations_per_query(self, database):
+        record = run_strictness_experiment(database=database)
+        assert len(record.measurements) == 4 * len(TABLE2_QUERIES)
+        labels = {m.extra["configuration"] for m in record.measurements}
+        assert labels == {
+            "non-strict/simple",
+            "strict/simple",
+            "non-strict/advanced",
+            "strict/advanced",
+        }
+
+    def test_advanced_does_less_work_than_simple(self, database):
+        """The paper: the advanced algorithm outperforms the simple one on
+        the table-2 queries (figure 6).  The pruning pay-off comes from the
+        '//' steps; on purely absolute queries the two engines stay within a
+        small constant factor of each other (figure 5's finding)."""
+        record = run_strictness_experiment(database=database)
+        for query in TABLE2_QUERIES:
+            simple = next(
+                m for m in record.measurements
+                if m.query == query and m.extra["configuration"] == "non-strict/simple"
+            )
+            advanced = next(
+                m for m in record.measurements
+                if m.query == query and m.extra["configuration"] == "non-strict/advanced"
+            )
+            if "//" in query:
+                assert advanced.evaluations <= simple.evaluations
+            else:
+                assert advanced.evaluations <= 2 * simple.evaluations
+
+    def test_strict_results_are_subsets(self, database):
+        record = run_strictness_experiment(database=database)
+        for query in TABLE2_QUERIES:
+            strict = next(
+                m for m in record.measurements
+                if m.query == query and m.extra["configuration"] == "strict/advanced"
+            )
+            loose = next(
+                m for m in record.measurements
+                if m.query == query and m.extra["configuration"] == "non-strict/advanced"
+            )
+            assert strict.result_size <= loose.result_size
+
+    def test_configuration_times_helper(self, database):
+        record = run_strictness_experiment(database=database)
+        times = configuration_times(record)
+        assert set(times) == {
+            "non-strict/simple",
+            "strict/simple",
+            "non-strict/advanced",
+            "strict/advanced",
+        }
+        assert all(len(values) == len(TABLE2_QUERIES) for values in times.values())
+
+    def test_render(self, database):
+        assert "figure-6" in render_record(run_strictness_experiment(database=database))
+
+
+class TestAccuracyExperiment:
+    def test_accuracy_between_zero_and_hundred(self, database):
+        record = run_accuracy_experiment(database=database)
+        for value in record.series["accuracy_percent"]:
+            assert 0 < value <= 100
+
+    def test_absolute_queries_reach_full_accuracy(self, database):
+        """Figure 7: accuracy is 100% for queries without //."""
+        record = run_accuracy_experiment(database=database)
+        for measurement in record.measurements:
+            if measurement.extra["descendant_steps"] == 0:
+                assert measurement.extra["accuracy_percent"] == 100.0
+
+    def test_descendant_queries_lose_accuracy(self, database):
+        record = run_accuracy_experiment(database=database)
+        with_descendants = [
+            m.extra["accuracy_percent"]
+            for m in record.measurements
+            if m.extra["descendant_steps"] > 0 and m.extra["containment_size"] > 0
+        ]
+        # At least one descendant query over-approximates on this data set.
+        assert any(value < 100.0 for value in with_descendants)
+
+    def test_equality_never_exceeds_containment(self, database):
+        record = run_accuracy_experiment(database=database)
+        for measurement in record.measurements:
+            assert measurement.extra["equality_size"] <= measurement.extra["containment_size"]
+
+    def test_render(self, database):
+        assert "figure-7" in render_record(run_accuracy_experiment(database=database))
+
+
+class TestTrieCompressionExperiment:
+    def test_paper_claims_reproduced(self):
+        record = run_trie_compression_experiment()
+        dedup = record.series["dedup_reduction_percent"][0]
+        trie = record.series["trie_reduction_percent"][0]
+        per_letter = record.series["encoded_bytes_per_letter"][0]
+        # Paper: dedup ≈ 50%, compressed trie ≈ 75–80%, 3.5–4.5 bytes/letter.
+        assert 40 <= dedup <= 70
+        assert 70 <= trie <= 90
+        assert 3.0 <= per_letter <= 5.5
+
+    def test_custom_corpus(self):
+        record = run_trie_compression_experiment(texts=["spam spam spam eggs"])
+        assert record.series["original_bytes"][0] > 0
+
+    def test_render(self):
+        assert "section-4-trie" in render_record(run_trie_compression_experiment())
+
+
+class TestAblations:
+    def test_equality_cost_tracks_fanout(self, database):
+        record = run_equality_cost_ablation(database=database)
+        assert record.measurements
+        for measurement in record.measurements:
+            # Equality reconstructs the node plus each of its children.
+            assert measurement.extra["reconstructions"] == measurement.extra["fanout"] + 1
+
+    def test_index_ablation_results_agree(self):
+        record = run_index_ablation(scale=0.01)
+        by_config = {}
+        for measurement in record.measurements:
+            by_config.setdefault(measurement.extra["configuration"], {})[measurement.query] = (
+                measurement.result_size
+            )
+        assert by_config["indexed"] == by_config["unindexed"]
+
+    def test_rmi_overhead_counts_calls_only_with_rmi(self):
+        record = run_rmi_overhead_ablation(scale=0.01)
+        rmi_calls = sum(m.remote_calls for m in record.measurements if m.extra["configuration"] == "rmi")
+        direct_calls = sum(
+            m.remote_calls for m in record.measurements if m.extra["configuration"] == "direct"
+        )
+        assert rmi_calls > 0
+        assert direct_calls == 0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["long-cell", 0.0001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long-cell" in lines[3]
+
+    def test_render_table_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+    def test_generic_renderer_for_unknown_experiment(self):
+        from repro.metrics.records import ExperimentRecord
+
+        record = ExperimentRecord(experiment_id="custom", title="Custom")
+        record.add_series_point("x", 1)
+        assert "custom" in render_record(record)

@@ -1,0 +1,228 @@
+"""Tests for prime and extension field arithmetic."""
+
+import pytest
+
+from repro.gf.base import FieldError
+from repro.gf.element import FieldElement
+from repro.gf.extension import ExtensionField
+from repro.gf.factory import field_for_alphabet, make_field
+from repro.gf.prime import PrimeField
+
+
+class TestPrimeField:
+    def test_constructor_rejects_composite(self):
+        with pytest.raises(FieldError):
+            PrimeField(77)
+
+    def test_constructor_rejects_non_int(self):
+        with pytest.raises(FieldError):
+            PrimeField("83")
+
+    def test_basic_arithmetic_mod_5(self):
+        f = PrimeField(5)
+        assert f.add(3, 4) == 2
+        assert f.sub(1, 3) == 3
+        assert f.mul(3, 4) == 2
+        assert f.neg(2) == 3
+        assert f.neg(0) == 0
+
+    def test_inverse(self):
+        f = PrimeField(83)
+        for a in range(1, 83):
+            assert f.mul(a, f.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(FieldError):
+            PrimeField(7).inv(0)
+
+    def test_division(self):
+        f = PrimeField(7)
+        assert f.mul(f.div(3, 5), 5) == 3
+
+    def test_pow(self):
+        f = PrimeField(83)
+        assert f.pow(2, 10) == pow(2, 10, 83)
+        assert f.pow(5, 0) == 1
+        assert f.pow(5, -1) == f.inv(5)
+
+    def test_fermat_little_theorem(self):
+        f = PrimeField(29)
+        for a in range(1, 29):
+            assert f.pow(a, 28) == 1
+
+    def test_from_int_reduces(self):
+        f = PrimeField(5)
+        assert f.from_int(12) == 2
+        assert f.from_int(-1) == 4
+
+    def test_validate_rejects_bool_and_float(self):
+        f = PrimeField(5)
+        with pytest.raises(FieldError):
+            f.validate(True)
+        with pytest.raises(FieldError):
+            f.validate(2.5)
+
+    def test_contains(self):
+        f = PrimeField(5)
+        assert 4 in f
+        assert 5 not in f
+        assert "x" not in f
+
+    def test_element_bits(self):
+        assert PrimeField(83).element_bits == 7
+        assert PrimeField(29).element_bits == 5
+        assert PrimeField(2).element_bits == 1
+
+    def test_sum_and_product_helpers(self):
+        f = PrimeField(7)
+        assert f.sum([1, 2, 3, 4]) == 3
+        assert f.product([2, 3, 4]) == 3
+
+    def test_dot_product(self):
+        f = PrimeField(7)
+        assert f.dot([1, 2, 3], [4, 5, 6]) == (4 + 10 + 18) % 7
+
+    def test_dot_product_length_mismatch(self):
+        with pytest.raises(FieldError):
+            PrimeField(7).dot([1, 2], [1])
+
+    def test_equality_and_hash(self):
+        assert PrimeField(83) == PrimeField(83)
+        assert PrimeField(83) != PrimeField(29)
+        assert hash(PrimeField(83)) == hash(PrimeField(83))
+
+
+class TestExtensionField:
+    def test_order_and_parameters(self):
+        f = ExtensionField(3, 3)
+        assert f.order == 27
+        assert f.characteristic == 3
+        assert f.degree == 3
+
+    def test_rejects_composite_characteristic(self):
+        with pytest.raises(FieldError):
+            ExtensionField(6, 2)
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(FieldError):
+            ExtensionField(3, 0)
+
+    def test_rejects_reducible_modulus(self):
+        # t^2 - 1 = (t-1)(t+1) is reducible over F_3.
+        with pytest.raises(FieldError):
+            ExtensionField(3, 2, modulus=[2, 0, 1])
+
+    def test_coefficient_packing_roundtrip(self):
+        f = ExtensionField(3, 3)
+        for value in range(f.order):
+            assert f.from_coeffs(f.to_coeffs(value)) == value
+
+    def test_addition_is_componentwise(self):
+        f = ExtensionField(3, 2)
+        a = f.from_coeffs([1, 2])
+        b = f.from_coeffs([2, 2])
+        assert f.to_coeffs(f.add(a, b)) == [0, 1]
+
+    def test_every_nonzero_element_has_inverse(self):
+        f = ExtensionField(2, 4)
+        for a in range(1, f.order):
+            assert f.mul(a, f.inv(a)) == f.one
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(FieldError):
+            ExtensionField(2, 3).inv(0)
+
+    def test_multiplicative_group_order(self):
+        f = ExtensionField(3, 2)
+        for a in range(1, f.order):
+            assert f.pow(a, f.order - 1) == f.one
+
+    def test_characteristic_addition(self):
+        # In characteristic p, adding an element to itself p times gives zero.
+        f = ExtensionField(3, 2)
+        a = f.from_coeffs([1, 2])
+        total = 0
+        for _ in range(3):
+            total = f.add(total, a)
+        assert total == 0
+
+    def test_degree_one_matches_prime_field(self):
+        ext = ExtensionField(7, 1)
+        prime = PrimeField(7)
+        for a in range(7):
+            for b in range(7):
+                assert ext.add(a, b) == prime.add(a, b)
+                assert ext.mul(a, b) == prime.mul(a, b)
+
+
+class TestFactory:
+    def test_make_field_prime(self):
+        assert isinstance(make_field(83), PrimeField)
+
+    def test_make_field_extension(self):
+        field = make_field(3, 3)
+        assert isinstance(field, ExtensionField)
+        assert field.order == 27
+
+    def test_make_field_caches_default_instances(self):
+        assert make_field(83) is make_field(83)
+
+    def test_field_for_alphabet_paper_cases(self):
+        # 26 letters + terminator -> F_29; the XMark DTD's 77 names -> F_79
+        # (the paper rounds up to 83 explicitly, which remains available).
+        assert field_for_alphabet(27).order == 29
+        assert field_for_alphabet(77).order == 79
+        assert make_field(83).order == 83
+
+    def test_field_for_alphabet_leaves_headroom(self):
+        # q - 1 must strictly exceed the alphabet size (see the docstring):
+        # otherwise subtree polynomials covering the whole alphabet collapse
+        # to zero in the encoding ring.
+        for size in (1, 2, 4, 6, 10, 28, 77, 100):
+            assert field_for_alphabet(size).order - 1 > size
+
+    def test_field_for_alphabet_rejects_empty(self):
+        with pytest.raises(FieldError):
+            field_for_alphabet(0)
+
+
+class TestFieldElement:
+    def test_operator_arithmetic(self):
+        f = make_field(7)
+        a = f.element(3)
+        b = f.element(5)
+        assert int(a + b) == 1
+        assert int(a - b) == 5
+        assert int(a * b) == 1
+        assert int(-a) == 4
+        assert int(a / b) == int(a * b.inverse())
+        assert int(a**3) == 27 % 7
+
+    def test_int_coercion_in_operators(self):
+        f = make_field(7)
+        a = f.element(3)
+        assert int(a + 10) == (3 + 10) % 7
+        assert int(10 + a) == (3 + 10) % 7
+        assert int(2 - a) == (2 - 3) % 7
+
+    def test_mixing_fields_raises(self):
+        a = make_field(7).element(3)
+        b = make_field(11).element(3)
+        with pytest.raises(FieldError):
+            _ = a + b
+
+    def test_equality_with_int(self):
+        a = make_field(7).element(10)
+        assert a == 3
+        assert a != 4
+
+    def test_bool_and_hash(self):
+        f = make_field(7)
+        assert not f.element(0)
+        assert f.element(1)
+        assert hash(f.element(3)) == hash(f.element(10))
+
+    def test_inverse_element(self):
+        f = make_field(83)
+        a = f.element(17)
+        assert int(a * a.inverse()) == 1

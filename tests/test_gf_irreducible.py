@@ -1,0 +1,65 @@
+"""Tests for irreducible polynomial search."""
+
+import pytest
+
+from repro.gf.base import FieldError
+from repro.gf.irreducible import find_irreducible, is_irreducible
+from repro.gf.prime import PrimeField
+
+
+class TestIsIrreducible:
+    def test_linear_polynomials_are_irreducible(self):
+        assert is_irreducible([1, 1], 5)  # t + 1
+        assert is_irreducible([3, 1], 7)
+
+    def test_known_irreducible_quadratics(self):
+        # t^2 + 1 is irreducible over F_3 (no square root of -1 mod 3).
+        assert is_irreducible([1, 0, 1], 3)
+        # t^2 + t + 1 is irreducible over F_2.
+        assert is_irreducible([1, 1, 1], 2)
+
+    def test_known_reducible_quadratics(self):
+        # t^2 - 1 = (t-1)(t+1) over any field.
+        assert not is_irreducible([4, 0, 1], 5)
+        # t^2 over F_3 is t * t.
+        assert not is_irreducible([0, 0, 1], 3)
+
+    def test_cubic_over_f2(self):
+        # t^3 + t + 1 is the classic irreducible cubic over F_2.
+        assert is_irreducible([1, 1, 0, 1], 2)
+        # t^3 + 1 = (t + 1)(t^2 + t + 1) over F_2.
+        assert not is_irreducible([1, 0, 0, 1], 2)
+
+    def test_requires_monic(self):
+        with pytest.raises(FieldError):
+            is_irreducible([1, 0, 2], 5)
+
+
+class TestFindIrreducible:
+    @pytest.mark.parametrize("p,e", [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (5, 2), (7, 2)])
+    def test_found_polynomial_is_monic_irreducible(self, p, e):
+        coeffs = find_irreducible(p, e)
+        assert len(coeffs) == e + 1
+        assert coeffs[-1] == 1
+        assert is_irreducible(coeffs, p)
+
+    def test_degree_one_is_t(self):
+        assert find_irreducible(7, 1) == [0, 1]
+
+    def test_deterministic(self):
+        assert find_irreducible(3, 3) == find_irreducible(3, 3)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(FieldError):
+            find_irreducible(5, 0)
+
+    def test_found_polynomial_has_no_roots(self):
+        # Irreducible polynomials of degree >= 2 cannot have roots in F_p.
+        p, e = 5, 2
+        coeffs = find_irreducible(p, e)
+        field = PrimeField(p)
+        for a in range(p):
+            value = 0
+            for coefficient in reversed(coeffs):
+                value = field.add(field.mul(value, a), coefficient)
+            assert value != 0

@@ -1,0 +1,89 @@
+"""Tests for primality and prime-power helpers."""
+
+import pytest
+
+from repro.gf.primes import (
+    is_prime,
+    is_prime_power,
+    next_prime,
+    prime_power_decomposition,
+    smallest_prime_power_at_least,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 29, 83, 97):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 9, 15, 21, 49, 77, 91):
+            assert not is_prime(n)
+
+    def test_negative_numbers_are_not_prime(self):
+        assert not is_prime(-7)
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)  # Mersenne prime
+
+    def test_large_composite(self):
+        assert not is_prime((2**31 - 1) * 3)
+
+    def test_carmichael_number_rejected(self):
+        # 561 = 3 * 11 * 17 fools the Fermat test but not Miller-Rabin.
+        assert not is_prime(561)
+
+    def test_square_of_prime(self):
+        assert not is_prime(83 * 83)
+
+
+class TestNextPrime:
+    def test_next_prime_after_composite(self):
+        assert next_prime(77) == 79
+
+    def test_next_prime_is_strictly_greater(self):
+        assert next_prime(79) == 83
+
+    def test_next_prime_from_zero(self):
+        assert next_prime(0) == 2
+
+    def test_next_prime_from_one(self):
+        assert next_prime(1) == 2
+
+    def test_next_prime_from_two(self):
+        assert next_prime(2) == 3
+
+    def test_paper_tag_alphabet(self):
+        # 77 XMark element names: the paper chooses 83; the smallest prime
+        # above 77 is 79, and 83 is the next one.
+        assert next_prime(77) in (79, 83)
+        assert next_prime(next_prime(77)) == 83
+
+
+class TestPrimePowerDecomposition:
+    def test_prime_itself(self):
+        assert prime_power_decomposition(83) == (83, 1)
+
+    def test_prime_power(self):
+        assert prime_power_decomposition(27) == (3, 3)
+
+    def test_power_of_two(self):
+        assert prime_power_decomposition(64) == (2, 6)
+
+    def test_not_a_prime_power(self):
+        assert prime_power_decomposition(12) is None
+        assert prime_power_decomposition(1) is None
+
+    def test_is_prime_power(self):
+        assert is_prime_power(49)
+        assert is_prime_power(2)
+        assert not is_prime_power(100)
+
+    def test_smallest_prime_power_at_least(self):
+        assert smallest_prime_power_at_least(78) == (79, 1)
+        assert smallest_prime_power_at_least(26) == (3, 3)  # 27 = 3^3
+        assert smallest_prime_power_at_least(1) == (2, 1)
+
+    @pytest.mark.parametrize("q,expected", [(8, (2, 3)), (9, (3, 2)), (25, (5, 2)), (121, (11, 2))])
+    def test_various_prime_powers(self, q, expected):
+        assert prime_power_decomposition(q) == expected

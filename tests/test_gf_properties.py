@@ -1,0 +1,111 @@
+"""Property-based tests of the field axioms (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.factory import make_field
+
+FIELDS = {
+    "F_5": make_field(5),
+    "F_29": make_field(29),
+    "F_83": make_field(83),
+    "F_27": make_field(3, 3),
+    "F_16": make_field(2, 4),
+}
+
+
+def elements_of(field):
+    return st.integers(min_value=0, max_value=field.order - 1)
+
+
+@pytest.mark.parametrize("name", sorted(FIELDS))
+class TestFieldAxioms:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_addition_commutative(self, name, data):
+        field = FIELDS[name]
+        a = data.draw(elements_of(field))
+        b = data.draw(elements_of(field))
+        assert field.add(a, b) == field.add(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_addition_associative(self, name, data):
+        field = FIELDS[name]
+        a, b, c = (data.draw(elements_of(field)) for _ in range(3))
+        assert field.add(field.add(a, b), c) == field.add(a, field.add(b, c))
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_multiplication_commutative(self, name, data):
+        field = FIELDS[name]
+        a = data.draw(elements_of(field))
+        b = data.draw(elements_of(field))
+        assert field.mul(a, b) == field.mul(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_multiplication_associative(self, name, data):
+        field = FIELDS[name]
+        a, b, c = (data.draw(elements_of(field)) for _ in range(3))
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_distributivity(self, name, data):
+        field = FIELDS[name]
+        a, b, c = (data.draw(elements_of(field)) for _ in range(3))
+        left = field.mul(a, field.add(b, c))
+        right = field.add(field.mul(a, b), field.mul(a, c))
+        assert left == right
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_additive_inverse(self, name, data):
+        field = FIELDS[name]
+        a = data.draw(elements_of(field))
+        assert field.add(a, field.neg(a)) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_multiplicative_inverse(self, name, data):
+        field = FIELDS[name]
+        a = data.draw(st.integers(min_value=1, max_value=field.order - 1))
+        assert field.mul(a, field.inv(a)) == field.one
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_identities(self, name, data):
+        field = FIELDS[name]
+        a = data.draw(elements_of(field))
+        assert field.add(a, 0) == a
+        assert field.mul(a, field.one) == a
+        assert field.mul(a, 0) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_subtraction_is_inverse_of_addition(self, name, data):
+        field = FIELDS[name]
+        a = data.draw(elements_of(field))
+        b = data.draw(elements_of(field))
+        assert field.sub(field.add(a, b), b) == a
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_division_is_inverse_of_multiplication(self, name, data):
+        field = FIELDS[name]
+        a = data.draw(elements_of(field))
+        b = data.draw(st.integers(min_value=1, max_value=field.order - 1))
+        assert field.mul(field.div(a, b), b) == a
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_pow_matches_repeated_multiplication(self, name, data):
+        field = FIELDS[name]
+        a = data.draw(elements_of(field))
+        exponent = data.draw(st.integers(min_value=0, max_value=12))
+        expected = field.one
+        for _ in range(exponent):
+            expected = field.mul(expected, a)
+        assert field.pow(a, exponent) == expected

@@ -1,0 +1,133 @@
+"""Tests for counters, the stopwatch and experiment records."""
+
+import time
+
+import pytest
+
+from repro.metrics.counters import EvaluationCounters
+from repro.metrics.records import ExperimentRecord, QueryMeasurement
+from repro.metrics.timer import Stopwatch
+
+
+class TestCounters:
+    def test_initial_state(self):
+        counters = EvaluationCounters()
+        assert counters.evaluations == 0
+        assert counters.total_work == 0
+
+    def test_counting(self):
+        counters = EvaluationCounters()
+        counters.count_evaluation()
+        counters.count_evaluation(3)
+        counters.count_equality_test(children=4)
+        counters.count_reconstruction(2)
+        counters.count_fetch(5)
+        counters.count_regeneration()
+        counters.bump("custom", 7)
+        assert counters.evaluations == 4
+        assert counters.equality_tests == 1
+        assert counters.extra["equality_children"] == 4
+        assert counters.reconstructions == 2
+        assert counters.nodes_fetched == 5
+        assert counters.client_regenerations == 1
+        assert counters.extra["custom"] == 7
+        assert counters.total_work == 4 + 1 + 2
+
+    def test_snapshot_is_a_copy(self):
+        counters = EvaluationCounters()
+        counters.count_evaluation()
+        snapshot = counters.snapshot()
+        counters.count_evaluation()
+        assert snapshot["evaluations"] == 1
+        assert counters.evaluations == 2
+
+    def test_reset(self):
+        counters = EvaluationCounters()
+        counters.count_evaluation()
+        counters.bump("x")
+        counters.reset()
+        assert counters.evaluations == 0
+        assert counters.extra == {}
+
+
+class TestStopwatch:
+    def test_basic_timing(self):
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        elapsed = watch.stop()
+        assert elapsed >= 0.005
+        assert watch.elapsed == elapsed
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.005
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_running_property_and_reset(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_accumulates_over_multiple_runs(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.005)
+        first = watch.stop()
+        watch.start()
+        time.sleep(0.005)
+        second = watch.stop()
+        assert second > first
+
+    def test_elapsed_while_running(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        assert watch.elapsed > 0
+        watch.stop()
+
+
+class TestRecords:
+    def _measurement(self, engine="simple", test="containment", query="/a"):
+        return QueryMeasurement(
+            query=query,
+            engine=engine,
+            test=test,
+            result_size=3,
+            evaluations=10,
+            equality_tests=1,
+            elapsed_seconds=0.5,
+        )
+
+    def test_add_and_filter(self):
+        record = ExperimentRecord(experiment_id="x", title="t")
+        record.add(self._measurement(engine="simple"))
+        record.add(self._measurement(engine="advanced"))
+        record.add(self._measurement(engine="advanced", test="equality"))
+        assert len(record.measurements) == 3
+        assert len(record.measurements_for(engine="advanced")) == 2
+        assert len(record.measurements_for(engine="advanced", test="equality")) == 1
+        assert len(record.measurements_for(test="containment")) == 2
+
+    def test_series(self):
+        record = ExperimentRecord(experiment_id="x", title="t")
+        record.add_series_point("size", 1)
+        record.add_series_point("size", 2)
+        assert record.series["size"] == [1, 2]
+
+    def test_to_dict_roundtrips_measurements(self):
+        record = ExperimentRecord(experiment_id="x", title="t", parameters={"p": 83})
+        record.add(self._measurement())
+        record.add_series_point("s", 1.5)
+        payload = record.to_dict()
+        assert payload["experiment_id"] == "x"
+        assert payload["parameters"] == {"p": 83}
+        assert payload["series"] == {"s": [1.5]}
+        assert payload["measurements"][0]["query"] == "/a"
+        assert payload["measurements"][0]["evaluations"] == 10

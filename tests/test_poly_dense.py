@@ -1,0 +1,179 @@
+"""Tests for dense polynomials over finite fields."""
+
+import pytest
+
+from repro.gf.base import FieldError
+from repro.gf.factory import make_field
+from repro.poly.dense import Polynomial, PolynomialError
+
+F5 = make_field(5)
+F83 = make_field(83)
+
+
+class TestConstruction:
+    def test_trailing_zeros_are_trimmed(self):
+        p = Polynomial(F5, [1, 2, 0, 0])
+        assert p.coeffs == (1, 2)
+        assert p.degree == 1
+
+    def test_zero_polynomial(self):
+        zero = Polynomial.zero(F5)
+        assert zero.is_zero
+        assert zero.degree == -1
+        assert not zero
+
+    def test_one_and_constant(self):
+        assert Polynomial.one(F5).coeffs == (1,)
+        assert Polynomial.constant(F5, 7).coeffs == (2,)
+
+    def test_x(self):
+        assert Polynomial.x(F5).coeffs == (0, 1)
+
+    def test_linear_factor(self):
+        # x - 3 over F_5 is x + 2.
+        p = Polynomial.linear_factor(F5, 3)
+        assert p.coeffs == (2, 1)
+        assert p.evaluate(3) == 0
+
+    def test_from_roots(self):
+        p = Polynomial.from_roots(F5, [1, 2, 3])
+        assert p.degree == 3
+        for root in (1, 2, 3):
+            assert p.evaluate(root) == 0
+        assert p.evaluate(4) != 0
+
+    def test_coefficients_reduced_into_field(self):
+        p = Polynomial(F5, [7, -1])
+        assert p.coeffs == (2, 4)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        a = Polynomial(F5, [1, 2, 3])
+        b = Polynomial(F5, [4, 3])
+        assert (a + b).coeffs == (0, 0, 3)
+
+    def test_subtraction(self):
+        a = Polynomial(F5, [1, 2, 3])
+        assert (a - a).is_zero
+
+    def test_negation(self):
+        a = Polynomial(F5, [1, 2])
+        assert (-a).coeffs == (4, 3)
+        assert (a + (-a)).is_zero
+
+    def test_multiplication_small(self):
+        # (x + 1)(x + 2) = x^2 + 3x + 2
+        a = Polynomial(F5, [1, 1])
+        b = Polynomial(F5, [2, 1])
+        assert (a * b).coeffs == (2, 3, 1)
+
+    def test_multiplication_by_zero(self):
+        a = Polynomial(F5, [1, 2, 3])
+        assert (a * Polynomial.zero(F5)).is_zero
+
+    def test_scale(self):
+        a = Polynomial(F5, [1, 2, 3])
+        assert a.scale(2).coeffs == (2, 4, 1)
+
+    def test_power(self):
+        a = Polynomial(F5, [1, 1])
+        assert (a**2).coeffs == (1, 2, 1)
+        assert (a**0).coeffs == (1,)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(PolynomialError):
+            Polynomial(F5, [1, 1]) ** -1
+
+    def test_mixing_fields_raises(self):
+        with pytest.raises(FieldError):
+            Polynomial(F5, [1]) + Polynomial(F83, [1])
+
+
+class TestDivision:
+    def test_exact_division(self):
+        product = Polynomial.from_roots(F83, [5, 9, 13])
+        divisor = Polynomial.from_roots(F83, [9, 13])
+        quotient, remainder = divmod(product, divisor)
+        assert remainder.is_zero
+        assert quotient == Polynomial.linear_factor(F83, 5)
+
+    def test_division_with_remainder(self):
+        a = Polynomial(F5, [1, 0, 1])  # x^2 + 1
+        b = Polynomial(F5, [1, 1])  # x + 1
+        quotient, remainder = divmod(a, b)
+        assert b * quotient + remainder == a
+        assert remainder.degree < b.degree
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(PolynomialError):
+            divmod(Polynomial(F5, [1, 1]), Polynomial.zero(F5))
+
+    def test_floor_and_mod_operators(self):
+        a = Polynomial(F5, [2, 3, 1])
+        b = Polynomial(F5, [1, 1])
+        assert (a // b) * b + (a % b) == a
+
+    def test_division_by_non_monic(self):
+        a = Polynomial(F5, [4, 0, 2])
+        b = Polynomial(F5, [1, 3])
+        quotient, remainder = divmod(a, b)
+        assert b * quotient + remainder == a
+
+
+class TestAnalysis:
+    def test_evaluate_horner(self):
+        p = Polynomial(F83, [3, 0, 2])  # 2x^2 + 3
+        assert p.evaluate(10) == (2 * 100 + 3) % 83
+
+    def test_evaluate_zero_polynomial(self):
+        assert Polynomial.zero(F5).evaluate(3) == 0
+
+    def test_roots(self):
+        p = Polynomial.from_roots(F5, [1, 3])
+        assert p.roots() == [1, 3]
+
+    def test_roots_of_zero_polynomial(self):
+        assert Polynomial.zero(F5).roots() == [0, 1, 2, 3, 4]
+
+    def test_monic(self):
+        p = Polynomial(F5, [2, 0, 3])
+        m = p.monic()
+        assert m.leading_coefficient == 1
+        assert m.roots() == p.roots()
+
+    def test_gcd_of_products(self):
+        a = Polynomial.from_roots(F83, [2, 3, 5])
+        b = Polynomial.from_roots(F83, [3, 5, 7])
+        gcd = a.gcd(b)
+        assert gcd == Polynomial.from_roots(F83, [3, 5])
+
+    def test_gcd_coprime(self):
+        a = Polynomial.from_roots(F83, [2])
+        b = Polynomial.from_roots(F83, [3])
+        assert a.gcd(b).degree == 0
+
+    def test_derivative(self):
+        p = Polynomial(F5, [1, 2, 3])  # 3x^2 + 2x + 1
+        assert p.derivative().coeffs == (2, 1)
+
+    def test_coefficient_accessor(self):
+        p = Polynomial(F5, [1, 2, 3])
+        assert p.coefficient(0) == 1
+        assert p.coefficient(2) == 3
+        assert p.coefficient(10) == 0
+
+    def test_format(self):
+        p = Polynomial(F5, [3, 2, 1])
+        assert p.format() == "x^2 + 2x + 3"
+        assert Polynomial.zero(F5).format() == "0"
+
+    def test_equality_and_hash(self):
+        a = Polynomial(F5, [1, 2])
+        b = Polynomial(F5, [1, 2, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Polynomial(F5, [1, 3])
+
+    def test_len(self):
+        assert len(Polynomial(F5, [1, 2, 3])) == 3

@@ -1,0 +1,127 @@
+"""Property-based tests for polynomials and the encoding ring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.factory import make_field
+from repro.poly.dense import Polynomial
+from repro.poly.ring import QuotientRing
+
+F29 = make_field(29)
+RING29 = QuotientRing(F29)
+
+coefficient_lists = st.lists(st.integers(min_value=0, max_value=28), min_size=0, max_size=12)
+root_lists = st.lists(st.integers(min_value=1, max_value=28), min_size=0, max_size=8)
+points = st.integers(min_value=1, max_value=28)
+
+
+class TestDensePolynomialProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(a=coefficient_lists, b=coefficient_lists)
+    def test_addition_commutes(self, a, b):
+        pa, pb = Polynomial(F29, a), Polynomial(F29, b)
+        assert pa + pb == pb + pa
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=coefficient_lists, b=coefficient_lists)
+    def test_multiplication_commutes(self, a, b):
+        pa, pb = Polynomial(F29, a), Polynomial(F29, b)
+        assert pa * pb == pb * pa
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=coefficient_lists, b=coefficient_lists, c=coefficient_lists)
+    def test_distributivity(self, a, b, c):
+        pa, pb, pc = Polynomial(F29, a), Polynomial(F29, b), Polynomial(F29, c)
+        assert pa * (pb + pc) == pa * pb + pa * pc
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=coefficient_lists, b=coefficient_lists, point=points)
+    def test_evaluation_is_homomorphism(self, a, b, point):
+        pa, pb = Polynomial(F29, a), Polynomial(F29, b)
+        assert (pa * pb).evaluate(point) == F29.mul(pa.evaluate(point), pb.evaluate(point))
+        assert (pa + pb).evaluate(point) == F29.add(pa.evaluate(point), pb.evaluate(point))
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=coefficient_lists, b=coefficient_lists)
+    def test_division_identity(self, a, b):
+        pa, pb = Polynomial(F29, a), Polynomial(F29, b)
+        if pb.is_zero:
+            return
+        quotient, remainder = divmod(pa, pb)
+        assert pb * quotient + remainder == pa
+        assert remainder.is_zero or remainder.degree < pb.degree
+
+    @settings(max_examples=80, deadline=None)
+    @given(roots=root_lists)
+    def test_from_roots_vanishes_exactly_at_roots(self, roots):
+        poly = Polynomial.from_roots(F29, roots)
+        for value in range(29):
+            if value in roots:
+                assert poly.evaluate(value) == 0
+            elif roots:
+                # Non-roots may only evaluate to zero if the polynomial is zero,
+                # which from_roots never produces.
+                assert not poly.is_zero
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=coefficient_lists)
+    def test_degree_of_product_with_monomial(self, a):
+        pa = Polynomial(F29, a)
+        monomial = Polynomial.linear_factor(F29, 5)
+        if pa.is_zero:
+            assert (pa * monomial).is_zero
+        else:
+            assert (pa * monomial).degree == pa.degree + 1
+
+
+class TestRingProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(a=root_lists, b=root_lists, point=points)
+    def test_ring_multiplication_respects_evaluation(self, a, b, point):
+        ra = RING29.from_root_multiset(a)
+        rb = RING29.from_root_multiset(b)
+        product = RING29.mul(ra, rb)
+        assert RING29.evaluate(product, point) == F29.mul(
+            RING29.evaluate(ra, point), RING29.evaluate(rb, point)
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(roots=root_lists, point=points)
+    def test_containment_semantics(self, roots, point):
+        """Evaluation at a mapped value is zero iff the value is a root."""
+        element = RING29.from_root_multiset(roots)
+        if point in roots:
+            assert RING29.evaluate(element, point) == 0
+        # The converse can fail only when the reduced polynomial collapses to
+        # zero, which needs at least q-1 = 28 roots — outside this strategy.
+        elif len(roots) < 28:
+            assert RING29.evaluate(element, point) != 0 or point in roots
+
+    @settings(max_examples=60, deadline=None)
+    @given(roots=root_lists, tag=st.integers(min_value=1, max_value=28))
+    def test_factor_extraction_roundtrip(self, roots, tag):
+        """The equality-test primitive recovers the factor that was multiplied in."""
+        children = RING29.from_root_multiset(roots)
+        node = RING29.mul(RING29.linear_factor(tag), children)
+        extracted = RING29.extract_linear_factor(node, children)
+        # Extraction can only be ambiguous when the children product vanishes
+        # on all of F_q^*, which requires 28 distinct roots.
+        if len(set(roots)) < 28:
+            assert extracted == tag
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=coefficient_lists, b=coefficient_lists)
+    def test_add_then_subtract_roundtrip(self, a, b):
+        ra = RING29.from_coeffs(a)
+        rb = RING29.from_coeffs(b)
+        assert (ra + rb) - rb == ra
+
+    @settings(max_examples=60, deadline=None)
+    @given(coeffs=st.lists(st.integers(min_value=0, max_value=28), min_size=29, max_size=60))
+    def test_folding_matches_polynomial_mod(self, coeffs):
+        """from_coeffs folding equals reduction modulo x^28 - 1."""
+        folded = RING29.from_coeffs(coeffs)
+        modulus_coeffs = [F29.neg(1)] + [0] * 27 + [1]
+        modulus = Polynomial(F29, modulus_coeffs)
+        reduced = Polynomial(F29, coeffs) % modulus
+        assert folded == RING29.from_polynomial(reduced)

@@ -1,0 +1,162 @@
+"""Tests for the keyed PRG and seed files."""
+
+import pytest
+
+from repro.gf.factory import make_field
+from repro.prg.generator import KeyedPRG, SplitMix64
+from repro.prg.seed import SeedFile, generate_seed
+
+F83 = make_field(83)
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        a = SplitMix64(42)
+        b = SplitMix64(42)
+        assert [a.next_uint64() for _ in range(10)] == [b.next_uint64() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SplitMix64(1)
+        b = SplitMix64(2)
+        assert [a.next_uint64() for _ in range(5)] != [b.next_uint64() for _ in range(5)]
+
+    def test_outputs_are_64_bit(self):
+        rng = SplitMix64(7)
+        for _ in range(100):
+            assert 0 <= rng.next_uint64() < 2**64
+
+    def test_next_below_bounds(self):
+        rng = SplitMix64(7)
+        for _ in range(200):
+            assert 0 <= rng.next_below(83) < 83
+
+    def test_next_below_one(self):
+        assert SplitMix64(7).next_below(1) == 0
+
+    def test_next_below_invalid(self):
+        with pytest.raises(ValueError):
+            SplitMix64(7).next_below(0)
+
+    def test_next_float_range(self):
+        rng = SplitMix64(7)
+        for _ in range(100):
+            assert 0.0 <= rng.next_float() < 1.0
+
+    def test_randint_inclusive(self):
+        rng = SplitMix64(7)
+        values = {rng.randint(3, 5) for _ in range(200)}
+        assert values == {3, 4, 5}
+
+    def test_randint_invalid_range(self):
+        with pytest.raises(ValueError):
+            SplitMix64(7).randint(5, 3)
+
+    def test_choice(self):
+        rng = SplitMix64(7)
+        items = ["a", "b", "c"]
+        assert {rng.choice(items) for _ in range(100)} == set(items)
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            SplitMix64(7).choice([])
+
+    def test_rough_uniformity(self):
+        rng = SplitMix64(99)
+        counts = [0] * 5
+        for _ in range(5000):
+            counts[rng.next_below(5)] += 1
+        for count in counts:
+            assert 800 < count < 1200
+
+
+class TestKeyedPRG:
+    def test_requires_bytes_seed(self):
+        with pytest.raises(TypeError):
+            KeyedPRG("not-bytes", F83)
+
+    def test_rejects_empty_seed(self):
+        with pytest.raises(ValueError):
+            KeyedPRG(b"", F83)
+
+    def test_elements_in_field_range(self):
+        prg = KeyedPRG(b"seed-material", F83)
+        for value in prg.elements(pre=1, count=200):
+            assert 0 <= value < 83
+
+    def test_same_seed_and_pre_reproduce(self):
+        a = KeyedPRG(b"seed-material", F83)
+        b = KeyedPRG(b"seed-material", F83)
+        assert a.elements(5, 82) == b.elements(5, 82)
+
+    def test_different_pre_gives_different_stream(self):
+        prg = KeyedPRG(b"seed-material", F83)
+        assert prg.elements(1, 82) != prg.elements(2, 82)
+
+    def test_different_seed_gives_different_stream(self):
+        a = KeyedPRG(b"seed-material-a", F83)
+        b = KeyedPRG(b"seed-material-b", F83)
+        assert a.elements(1, 82) != b.elements(1, 82)
+
+    def test_lane_separation(self):
+        prg = KeyedPRG(b"seed-material", F83)
+        assert prg.elements(1, 40, lane=0) != prg.elements(1, 40, lane=1)
+
+    def test_stream_prefix_matches_elements(self):
+        prg = KeyedPRG(b"seed-material", F83)
+        stream = prg.stream(3)
+        prefix = [next(stream) for _ in range(20)]
+        assert prefix == prg.elements(3, 20)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            KeyedPRG(b"seed", F83).elements(1, -1)
+
+    def test_order_independence(self):
+        """Regenerating node 7 before or after node 3 gives identical shares."""
+        prg = KeyedPRG(b"seed-material", F83)
+        seven_first = prg.elements(7, 82)
+        three = prg.elements(3, 82)
+        seven_again = prg.elements(7, 82)
+        assert seven_first == seven_again
+        assert three != seven_first
+
+    def test_equality(self):
+        assert KeyedPRG(b"s", F83) == KeyedPRG(b"s", F83)
+        assert KeyedPRG(b"s", F83) != KeyedPRG(b"t", F83)
+
+    def test_rough_uniformity_over_field(self):
+        prg = KeyedPRG(b"uniformity-check", F83)
+        counts = {}
+        for value in prg.elements(1, 8300):
+            counts[value] = counts.get(value, 0) + 1
+        assert len(counts) == 83
+        assert max(counts.values()) < 3 * min(counts.values())
+
+
+class TestSeedFile:
+    def test_generate_length(self):
+        assert len(generate_seed()) == 32
+        assert len(generate_seed(48)) == 48
+
+    def test_generate_rejects_short(self):
+        with pytest.raises(ValueError):
+            generate_seed(8)
+
+    def test_roundtrip_via_file(self, tmp_path):
+        seed = SeedFile.generate()
+        path = tmp_path / "secret.seed"
+        seed.save(path)
+        assert SeedFile.load(path) == seed
+
+    def test_load_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.seed"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            SeedFile.load(path)
+
+    def test_rejects_empty_seed(self):
+        with pytest.raises(ValueError):
+            SeedFile(b"")
+
+    def test_generated_seeds_differ(self):
+        assert SeedFile.generate() != SeedFile.generate()

@@ -1,0 +1,198 @@
+"""Tests for the RMI-style codec, transport, proxies and call accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rmi.codec import Codec, CodecError
+from repro.rmi.proxy import Registry, RemoteProxy
+from repro.rmi.stats import CallStats
+from repro.rmi.transport import SimulatedTransport
+
+CODEC = Codec()
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            2**80,
+            3.5,
+            "",
+            "héllo wörld",
+            b"",
+            b"\x00\x01binary",
+            [],
+            [1, "two", None, [3, 4]],
+            {"a": 1, "b": [True, {"c": "d"}]},
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert CODEC.decode(CODEC.encode(value)) == value
+
+    def test_tuples_decode_as_lists(self):
+        assert CODEC.decode(CODEC.encode((1, 2, 3))) == [1, 2, 3]
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(CodecError):
+            CODEC.encode({1: "a"})
+
+    def test_arbitrary_objects_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(CodecError):
+            CODEC.encode(Opaque())
+
+    def test_trailing_bytes_rejected(self):
+        payload = CODEC.encode(42) + b"junk"
+        with pytest.raises(CodecError):
+            CODEC.decode(payload)
+
+    def test_truncated_payload_rejected(self):
+        payload = CODEC.encode("hello")
+        with pytest.raises(CodecError):
+            CODEC.decode(payload[:-2])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            CODEC.decode(b"Z")
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        value=st.recursive(
+            st.none()
+            | st.booleans()
+            | st.integers()
+            | st.text(max_size=20)
+            | st.binary(max_size=20),
+            lambda children: st.lists(children, max_size=5)
+            | st.dictionaries(st.text(max_size=5), children, max_size=5),
+            max_leaves=20,
+        )
+    )
+    def test_roundtrip_property(self, value):
+        assert CODEC.decode(CODEC.encode(value)) == value
+
+
+class _EchoService:
+    """A tiny server object used to exercise the transport and proxies."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def echo(self, value):
+        self.calls += 1
+        return value
+
+    def add(self, a, b=0):
+        return a + b
+
+    def fail(self):
+        raise RuntimeError("server-side failure")
+
+    def leak_object(self):
+        return object()
+
+
+class TestTransport:
+    def test_invoke_roundtrips_arguments_and_result(self):
+        transport = SimulatedTransport()
+        service = _EchoService()
+        assert transport.invoke(service, "echo", ({"k": [1, 2]},)) == {"k": [1, 2]}
+        assert transport.invoke(service, "add", (2,), {"b": 3}) == 5
+
+    def test_stats_accumulate(self):
+        stats = CallStats()
+        transport = SimulatedTransport(per_call_latency=0.5, per_byte_latency=0.0, stats=stats)
+        service = _EchoService()
+        transport.invoke(service, "echo", ("x",))
+        transport.invoke(service, "echo", ("y",))
+        assert stats.calls == 2
+        assert stats.bytes_sent > 0
+        assert stats.bytes_received > 0
+        assert stats.simulated_latency == pytest.approx(1.0)
+        assert stats.calls_by_method == {"echo": 2}
+
+    def test_server_exception_propagates(self):
+        transport = SimulatedTransport()
+        with pytest.raises(RuntimeError):
+            transport.invoke(_EchoService(), "fail")
+
+    def test_unserialisable_result_rejected(self):
+        transport = SimulatedTransport()
+        with pytest.raises(CodecError):
+            transport.invoke(_EchoService(), "leak_object")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedTransport(per_call_latency=-1)
+
+    def test_stats_reset(self):
+        stats = CallStats()
+        transport = SimulatedTransport(stats=stats)
+        transport.invoke(_EchoService(), "echo", (1,))
+        stats.reset()
+        assert stats.calls == 0
+        assert stats.total_bytes == 0
+        assert stats.calls_by_method == {}
+
+    def test_stats_snapshot(self):
+        stats = CallStats()
+        SimulatedTransport(stats=stats).invoke(_EchoService(), "echo", (1,))
+        snapshot = stats.snapshot()
+        assert snapshot["calls"] == 1
+        assert snapshot["total_bytes"] == snapshot["bytes_sent"] + snapshot["bytes_received"]
+
+
+class TestProxyAndRegistry:
+    def test_proxy_routes_calls_through_transport(self):
+        transport = SimulatedTransport()
+        service = _EchoService()
+        proxy = RemoteProxy(service, transport)
+        assert proxy.echo("hello") == "hello"
+        assert proxy.add(1, b=2) == 3
+        assert transport.stats.calls == 2
+        assert service.calls == 1
+
+    def test_proxy_unknown_method(self):
+        proxy = RemoteProxy(_EchoService(), SimulatedTransport())
+        with pytest.raises(AttributeError):
+            proxy.does_not_exist()
+
+    def test_registry_bind_lookup(self):
+        registry = Registry()
+        service = _EchoService()
+        registry.bind("echo", service)
+        stub = registry.lookup("echo")
+        assert stub.echo(5) == 5
+        assert registry.names() == ["echo"]
+
+    def test_registry_bind_twice_rejected(self):
+        registry = Registry()
+        registry.bind("echo", _EchoService())
+        with pytest.raises(KeyError):
+            registry.bind("echo", _EchoService())
+
+    def test_registry_rebind_and_unbind(self):
+        registry = Registry()
+        registry.rebind("echo", _EchoService())
+        registry.rebind("echo", _EchoService())
+        registry.unbind("echo")
+        with pytest.raises(KeyError):
+            registry.lookup("echo")
+        with pytest.raises(KeyError):
+            registry.unbind("echo")
+
+    def test_registry_shares_one_transport(self):
+        registry = Registry()
+        registry.bind("a", _EchoService())
+        registry.bind("b", _EchoService())
+        registry.lookup("a").echo(1)
+        registry.lookup("b").echo(2)
+        assert registry.transport.stats.calls == 2

@@ -1,0 +1,109 @@
+"""Tests for additive secret sharing of ring polynomials."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.factory import make_field
+from repro.poly.ring import QuotientRing
+from repro.prg.generator import KeyedPRG
+from repro.secretshare.additive import AdditiveSharing
+
+F83 = make_field(83)
+RING = QuotientRing(F83)
+PRG = KeyedPRG(b"sharing-test-seed", F83)
+SHARING = AdditiveSharing(RING, PRG)
+
+
+class TestSplitReconstruct:
+    def test_split_then_reconstruct(self):
+        polynomial = RING.from_root_multiset([3, 14, 15, 9, 26])
+        pair = SHARING.split(polynomial, pre=7)
+        assert pair.reconstruct() == polynomial
+
+    def test_server_share_differs_from_original(self):
+        polynomial = RING.from_root_multiset([3, 14, 15])
+        pair = SHARING.split(polynomial, pre=7)
+        assert pair.server != polynomial
+
+    def test_client_share_is_regenerable(self):
+        polynomial = RING.from_root_multiset([5, 6, 7])
+        pair = SHARING.split(polynomial, pre=11)
+        assert SHARING.client_share(11) == pair.client
+
+    def test_server_share_plus_regenerated_client_share(self):
+        polynomial = RING.from_root_multiset([5, 6, 7])
+        server = SHARING.server_share(polynomial, pre=13)
+        assert SHARING.reconstruct(server, pre=13) == polynomial
+
+    def test_different_pre_yields_different_shares(self):
+        polynomial = RING.from_root_multiset([5, 6, 7])
+        assert SHARING.server_share(polynomial, 1) != SHARING.server_share(polynomial, 2)
+
+    def test_mismatched_prg_field_rejected(self):
+        other_prg = KeyedPRG(b"x", make_field(29))
+        with pytest.raises(ValueError):
+            AdditiveSharing(RING, other_prg)
+
+    def test_split_many(self):
+        polys = [RING.from_root_multiset([i + 1]) for i in range(5)]
+        pairs = SHARING.split_many(polys, list(range(1, 6)))
+        for polynomial, pair in zip(polys, pairs):
+            assert pair.reconstruct() == polynomial
+
+    def test_split_many_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SHARING.split_many([RING.one()], [1, 2])
+
+
+class TestSharedEvaluation:
+    def test_evaluate_shared_matches_plain_evaluation(self):
+        polynomial = RING.from_root_multiset([3, 14, 15, 9])
+        server = SHARING.server_share(polynomial, pre=21)
+        for point in (1, 3, 14, 40, 82):
+            assert SHARING.evaluate_shared(server, 21, point) == RING.evaluate(polynomial, point)
+
+    def test_zero_sum_exactly_at_roots(self):
+        roots = [7, 11, 42]
+        polynomial = RING.from_root_multiset(roots)
+        server = SHARING.server_share(polynomial, pre=2)
+        for point in range(1, 83):
+            combined = SHARING.evaluate_shared(server, 2, point)
+            if point in roots:
+                assert combined == 0
+            else:
+                assert combined != 0
+
+    def test_server_share_alone_reveals_nothing_useful(self):
+        """The server share's zero set is unrelated to the real roots."""
+        roots = [7, 11, 42]
+        polynomial = RING.from_root_multiset(roots)
+        server = SHARING.server_share(polynomial, pre=3)
+        # The server share is (original - pseudorandom); its evaluations at
+        # the real roots are the negated client-share evaluations, which are
+        # not systematically zero.
+        zero_hits = sum(1 for root in roots if RING.evaluate(server, root) == 0)
+        assert zero_hits < len(roots)
+
+
+class TestSharingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        roots=st.lists(st.integers(min_value=1, max_value=82), min_size=0, max_size=10),
+        pre=st.integers(min_value=1, max_value=10_000),
+    )
+    def test_roundtrip_for_arbitrary_polynomials(self, roots, pre):
+        polynomial = RING.from_root_multiset(roots)
+        pair = SHARING.split(polynomial, pre)
+        assert pair.reconstruct() == polynomial
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        roots=st.lists(st.integers(min_value=1, max_value=82), min_size=1, max_size=10),
+        pre=st.integers(min_value=1, max_value=10_000),
+        point=st.integers(min_value=1, max_value=82),
+    )
+    def test_shared_evaluation_equals_direct_evaluation(self, roots, pre, point):
+        polynomial = RING.from_root_multiset(roots)
+        server = SHARING.server_share(polynomial, pre)
+        assert SHARING.evaluate_shared(server, pre, point) == RING.evaluate(polynomial, point)

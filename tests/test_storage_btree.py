@@ -1,0 +1,164 @@
+"""Tests for the B+-tree index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert not tree.contains(1)
+        assert tree.minimum() is None
+        assert tree.maximum() is None
+        assert list(tree.items()) == []
+
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(3, "b")
+        tree.insert(8, "c")
+        assert tree.search(5) == ["a"]
+        assert tree.search(3) == ["b"]
+        assert tree.search(99) == []
+        assert len(tree) == 3
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(7, "first")
+        tree.insert(7, "second")
+        assert tree.search(7) == ["first", "second"]
+        assert len(tree) == 2
+        assert tree.distinct_keys == 1
+
+    def test_min_max(self):
+        tree = BPlusTree(order=4)
+        for key in (5, 1, 9, 3):
+            tree.insert(key, key)
+        assert tree.minimum() == 1
+        assert tree.maximum() == 9
+
+
+class TestSplitsAndOrdering:
+    def test_many_inserts_with_small_order(self):
+        tree = BPlusTree(order=3)
+        for key in range(100):
+            tree.insert(key, key * 10)
+        assert len(tree) == 100
+        assert tree.height > 1
+        for key in range(100):
+            assert tree.search(key) == [key * 10]
+
+    def test_reverse_insert_order(self):
+        tree = BPlusTree(order=3)
+        for key in reversed(range(50)):
+            tree.insert(key, key)
+        assert [key for key, _ in tree.items()] == list(range(50))
+
+    def test_keys_iteration_sorted(self):
+        tree = BPlusTree(order=4)
+        for key in (42, 7, 19, 3, 99, 56):
+            tree.insert(key, None)
+        assert list(tree.keys()) == [3, 7, 19, 42, 56, 99]
+
+    def test_node_count_grows(self):
+        tree = BPlusTree(order=3)
+        assert tree.node_count() == 1
+        for key in range(20):
+            tree.insert(key, key)
+        assert tree.node_count() > 1
+
+    def test_estimated_bytes_positive(self):
+        tree = BPlusTree(order=4)
+        assert tree.estimated_bytes() == 0
+        for key in range(10):
+            tree.insert(key, key)
+        assert tree.estimated_bytes() > 0
+
+
+class TestRangeQueries:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):  # even keys 0..98
+            tree.insert(key, key)
+        return tree
+
+    def test_closed_range(self, tree):
+        assert [k for k, _ in tree.range(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_open_ended_low(self, tree):
+        assert [k for k, _ in tree.range(None, 6)] == [0, 2, 4, 6]
+
+    def test_open_ended_high(self, tree):
+        assert [k for k, _ in tree.range(94, None)] == [94, 96, 98]
+
+    def test_exclusive_bounds(self, tree):
+        assert [k for k, _ in tree.range(10, 20, include_low=False, include_high=False)] == [
+            12,
+            14,
+            16,
+            18,
+        ]
+
+    def test_range_with_missing_bounds(self, tree):
+        # Bounds that are not stored keys still delimit correctly.
+        assert [k for k, _ in tree.range(11, 19)] == [12, 14, 16, 18]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(13, 13)) == []
+
+    def test_full_range_matches_items(self, tree):
+        assert list(tree.range()) == list(tree.items())
+
+    def test_range_includes_duplicates(self):
+        tree = BPlusTree(order=3)
+        for value in ("a", "b", "c"):
+            tree.insert(5, value)
+        tree.insert(6, "d")
+        assert [v for _, v in tree.range(5, 6)] == ["a", "b", "c", "d"]
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(keys=st.lists(st.integers(min_value=-1000, max_value=1000), max_size=200))
+    def test_matches_sorted_reference(self, keys):
+        tree = BPlusTree(order=4)
+        for index, key in enumerate(keys):
+            tree.insert(key, index)
+        assert [key for key, _ in tree.items()] == sorted(keys)
+        assert tree.distinct_keys == len(set(keys))
+        assert len(tree) == len(keys)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=150),
+        low=st.integers(min_value=0, max_value=500),
+        high=st.integers(min_value=0, max_value=500),
+    )
+    def test_range_matches_filter(self, keys, low, high):
+        if low > high:
+            low, high = high, low
+        tree = BPlusTree(order=5)
+        for key in keys:
+            tree.insert(key, key)
+        expected = sorted(k for k in keys if low <= k <= high)
+        assert [k for k, _ in tree.range(low, high)] == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=st.lists(st.integers(min_value=0, max_value=10_000), max_size=300), order=st.integers(min_value=3, max_value=16))
+    def test_search_after_bulk_insert(self, keys, order):
+        tree = BPlusTree(order=order)
+        for key in keys:
+            tree.insert(key, key)
+        for key in set(keys):
+            assert key in tree.search(key)
+        assert not tree.contains(10_001)

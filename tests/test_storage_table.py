@@ -1,0 +1,229 @@
+"""Tests for table schemas, heap tables and the database catalog."""
+
+import pytest
+
+from repro.storage.database import Database
+from repro.storage.errors import DuplicateKeyError, SchemaError, StorageError, UnknownIndexError, UnknownTableError
+from repro.storage.schema import Column, ColumnType, TableSchema
+from repro.storage.table import Table
+
+
+def node_schema():
+    return TableSchema(
+        "nodes",
+        [
+            Column("pre", ColumnType.INTEGER),
+            Column("post", ColumnType.INTEGER),
+            Column("parent", ColumnType.INTEGER),
+            Column("share", ColumnType.INT_LIST),
+        ],
+    )
+
+
+class TestSchema:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+        with pytest.raises(SchemaError):
+            TableSchema("", [Column("a", ColumnType.INTEGER)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.INTEGER), Column("a", ColumnType.TEXT)])
+
+    def test_column_lookup(self):
+        schema = node_schema()
+        assert schema.column("pre").type is ColumnType.INTEGER
+        assert "share" in schema
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_validate_row_happy_path(self):
+        row = node_schema().validate_row({"pre": 1, "post": 2, "parent": 0, "share": [1, 2, 3]})
+        assert row["share"] == (1, 2, 3)
+
+    def test_validate_row_unknown_column(self):
+        with pytest.raises(SchemaError):
+            node_schema().validate_row({"pre": 1, "post": 2, "parent": 0, "share": [], "oops": 1})
+
+    def test_validate_row_missing_non_nullable(self):
+        with pytest.raises(SchemaError):
+            node_schema().validate_row({"pre": 1})
+
+    def test_nullable_column(self):
+        schema = TableSchema("t", [Column("a", ColumnType.INTEGER), Column("b", ColumnType.TEXT, nullable=True)])
+        assert schema.validate_row({"a": 1})["b"] is None
+
+    def test_type_validation(self):
+        schema = node_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row({"pre": "1", "post": 2, "parent": 0, "share": []})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"pre": True, "post": 2, "parent": 0, "share": []})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"pre": 1, "post": 2, "parent": 0, "share": ["x"]})
+
+    def test_blob_and_float_columns(self):
+        schema = TableSchema("t", [Column("b", ColumnType.BLOB), Column("f", ColumnType.FLOAT)])
+        row = schema.validate_row({"b": bytearray(b"abc"), "f": 3})
+        assert row["b"] == b"abc"
+        assert row["f"] == 3.0
+        with pytest.raises(SchemaError):
+            schema.validate_row({"b": "text", "f": 1.0})
+
+    def test_estimated_bytes(self):
+        integer = Column("a", ColumnType.INTEGER)
+        int_list = Column("l", ColumnType.INT_LIST)
+        text = Column("t", ColumnType.TEXT)
+        assert integer.estimated_bytes(5) == 4
+        assert int_list.estimated_bytes((1, 2, 3), element_bytes=2) == 6
+        assert text.estimated_bytes("héllo") == len("héllo".encode("utf-8"))
+        assert integer.estimated_bytes(None) == 0
+
+
+class TestTable:
+    def test_insert_and_lookup_without_index(self):
+        table = Table(node_schema())
+        table.insert({"pre": 1, "post": 3, "parent": 0, "share": [1]})
+        table.insert({"pre": 2, "post": 1, "parent": 1, "share": [2]})
+        table.insert({"pre": 3, "post": 2, "parent": 1, "share": [3]})
+        assert len(table) == 3
+        assert [row["pre"] for row in table.lookup("parent", 1)] == [2, 3]
+        assert table.lookup("pre", 99) == []
+
+    def test_indexed_lookup(self):
+        table = Table(node_schema(), btree_order=4)
+        table.create_index("parent")
+        for pre in range(1, 30):
+            table.insert({"pre": pre, "post": pre, "parent": pre // 2, "share": []})
+        assert sorted(row["pre"] for row in table.lookup("parent", 3)) == [6, 7]
+        assert table.has_index("parent")
+        assert table.indexed_columns() == ["parent"]
+
+    def test_index_backfills_existing_rows(self):
+        table = Table(node_schema())
+        table.insert({"pre": 1, "post": 1, "parent": 0, "share": []})
+        table.insert({"pre": 2, "post": 2, "parent": 1, "share": []})
+        table.create_index("pre", unique=True)
+        assert table.lookup("pre", 2)[0]["post"] == 2
+
+    def test_unique_index_violation_on_insert(self):
+        table = Table(node_schema())
+        table.create_index("pre", unique=True)
+        table.insert({"pre": 1, "post": 1, "parent": 0, "share": []})
+        with pytest.raises(DuplicateKeyError):
+            table.insert({"pre": 1, "post": 2, "parent": 0, "share": []})
+
+    def test_unique_index_violation_on_backfill(self):
+        table = Table(node_schema())
+        table.insert({"pre": 1, "post": 1, "parent": 0, "share": []})
+        table.insert({"pre": 1, "post": 2, "parent": 0, "share": []})
+        with pytest.raises(DuplicateKeyError):
+            table.create_index("pre", unique=True)
+
+    def test_create_index_unknown_column(self):
+        with pytest.raises(SchemaError):
+            Table(node_schema()).create_index("missing")
+
+    def test_index_lookup_missing_index(self):
+        with pytest.raises(UnknownIndexError):
+            Table(node_schema()).index("pre")
+
+    def test_range_lookup_indexed_and_unindexed_agree(self):
+        indexed = Table(node_schema())
+        indexed.create_index("pre")
+        unindexed = Table(node_schema())
+        for pre in (5, 1, 9, 3, 7):
+            row = {"pre": pre, "post": pre, "parent": 0 if pre == 1 else 1, "share": []}
+            indexed.insert(dict(row))
+            unindexed.insert(dict(row))
+        expected = [row["pre"] for row in unindexed.range_lookup("pre", 3, 8)]
+        got = [row["pre"] for row in indexed.range_lookup("pre", 3, 8)]
+        assert expected == got == [3, 5, 7]
+
+    def test_scan_with_predicate(self):
+        table = Table(node_schema())
+        for pre in range(1, 6):
+            table.insert({"pre": pre, "post": pre, "parent": 0 if pre == 1 else 1, "share": []})
+        assert len(list(table.scan(lambda row: row["parent"] == 1))) == 4
+        assert len(list(table.scan())) == 5
+
+    def test_insert_many(self):
+        table = Table(node_schema())
+        count = table.insert_many(
+            {"pre": pre, "post": pre, "parent": 0, "share": []} for pre in range(1, 4)
+        )
+        assert count == 3 and len(table) == 3
+
+    def test_row_access_by_id(self):
+        table = Table(node_schema())
+        row_id = table.insert({"pre": 1, "post": 1, "parent": 0, "share": [7]})
+        assert table.row(row_id)["share"] == (7,)
+
+    def test_size_accounting(self):
+        table = Table(node_schema())
+        table.create_index("pre")
+        table.insert({"pre": 1, "post": 1, "parent": 0, "share": [1] * 82})
+        assert table.column_bytes("share", element_bytes=1) == 82
+        assert table.data_bytes(element_bytes=1) == 82 + 3 * 4
+        assert table.index_bytes() > 0
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        database = Database("test")
+        table = database.create_table(node_schema())
+        assert database.table("nodes") is table
+        assert "nodes" in database
+        assert database.table_names() == ["nodes"]
+
+    def test_duplicate_table_rejected(self):
+        database = Database()
+        database.create_table(node_schema())
+        with pytest.raises(StorageError):
+            database.create_table(node_schema())
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            Database().table("missing")
+        with pytest.raises(UnknownTableError):
+            Database().drop_table("missing")
+
+    def test_drop_table(self):
+        database = Database()
+        database.create_table(node_schema())
+        database.drop_table("nodes")
+        assert "nodes" not in database
+
+    def test_persistence_roundtrip(self, tmp_path):
+        database = Database("persisted")
+        table = database.create_table(node_schema())
+        table.create_index("pre", unique=True)
+        table.create_index("parent")
+        for pre in range(1, 6):
+            table.insert({"pre": pre, "post": 6 - pre, "parent": 0 if pre == 1 else 1, "share": [pre, pre + 1]})
+        path = str(tmp_path / "db.json")
+        database.save(path)
+
+        loaded = Database.load(path)
+        loaded_table = loaded.table("nodes")
+        assert len(loaded_table) == 5
+        assert loaded_table.lookup("pre", 3)[0]["share"] == (3, 4)
+        assert loaded_table.has_index("parent")
+        assert [row["pre"] for row in loaded_table.lookup("parent", 1)] == [2, 3, 4, 5]
+
+    def test_persistence_of_blob_columns(self, tmp_path):
+        schema = TableSchema("blobs", [Column("id", ColumnType.INTEGER), Column("data", ColumnType.BLOB)])
+        database = Database()
+        database.create_table(schema).insert({"id": 1, "data": b"\x00\xffbinary"})
+        path = str(tmp_path / "blob.json")
+        database.save(path)
+        assert Database.load(path).table("blobs").lookup("id", 1)[0]["data"] == b"\x00\xffbinary"
+
+    def test_total_sizes(self):
+        database = Database()
+        table = database.create_table(node_schema())
+        table.create_index("pre")
+        table.insert({"pre": 1, "post": 1, "parent": 0, "share": [1, 2, 3]})
+        assert database.total_data_bytes() > 0
+        assert database.total_index_bytes() > 0

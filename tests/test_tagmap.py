@@ -1,0 +1,140 @@
+"""Tests for tag maps (the client's secret name → field-value mapping)."""
+
+import pytest
+
+from repro.encode.tagmap import TagMap, TagMapError
+from repro.gf.factory import make_field
+from repro.xmldoc.dtd import XMARK_DTD
+
+F83 = make_field(83)
+
+
+class TestConstruction:
+    def test_values_must_be_nonzero(self):
+        with pytest.raises(TagMapError):
+            TagMap(F83, {"a": 0})
+
+    def test_values_must_be_distinct(self):
+        with pytest.raises(TagMapError):
+            TagMap(F83, {"a": 5, "b": 5})
+
+    def test_values_reduced_into_field(self):
+        tag_map = TagMap(F83, {"a": 84})
+        assert tag_map.value("a") == 1
+
+    def test_values_must_be_ints(self):
+        with pytest.raises(TagMapError):
+            TagMap(F83, {"a": "5"})
+        with pytest.raises(TagMapError):
+            TagMap(F83, {"a": True})
+
+    def test_duplicate_after_reduction_rejected(self):
+        with pytest.raises(TagMapError):
+            TagMap(F83, {"a": 1, "b": 84})
+
+
+class TestFromNames:
+    def test_assigns_distinct_nonzero_values(self):
+        tag_map = TagMap.from_names(["a", "b", "c"])
+        values = [tag_map.value(name) for name in ("a", "b", "c")]
+        assert len(set(values)) == 3
+        assert all(value != 0 for value in values)
+
+    def test_field_autoselection(self):
+        tag_map = TagMap.from_names(XMARK_DTD.element_names())
+        assert tag_map.field.order >= 78  # must exceed the 77 names
+        assert len(tag_map) == 77
+
+    def test_explicit_field(self):
+        tag_map = TagMap.from_names(XMARK_DTD.element_names(), field=F83)
+        assert tag_map.field.order == 83
+
+    def test_field_too_small_rejected(self):
+        with pytest.raises(TagMapError):
+            TagMap.from_names([str(i) for i in range(90)], field=F83)
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(TagMapError):
+            TagMap.from_names([])
+
+    def test_duplicate_names_collapsed(self):
+        tag_map = TagMap.from_names(["a", "b", "a"])
+        assert len(tag_map) == 2
+
+    def test_shuffle_seed_changes_assignment_deterministically(self):
+        plain = TagMap.from_names(["a", "b", "c"], field=F83)
+        shuffled_one = TagMap.from_names(["a", "b", "c"], field=F83, shuffle_seed=1)
+        shuffled_one_again = TagMap.from_names(["a", "b", "c"], field=F83, shuffle_seed=1)
+        shuffled_two = TagMap.from_names(["a", "b", "c"], field=F83, shuffle_seed=2)
+        assert [shuffled_one.value(n) for n in "abc"] == [shuffled_one_again.value(n) for n in "abc"]
+        assert (
+            [plain.value(n) for n in "abc"] != [shuffled_one.value(n) for n in "abc"]
+            or [plain.value(n) for n in "abc"] != [shuffled_two.value(n) for n in "abc"]
+        )
+
+
+class TestLookup:
+    def test_value_and_get(self):
+        tag_map = TagMap(F83, {"site": 10})
+        assert tag_map.value("site") == 10
+        assert tag_map.get("site") == 10
+        assert tag_map.get("missing") is None
+        with pytest.raises(TagMapError):
+            tag_map.value("missing")
+
+    def test_contains_and_len(self):
+        tag_map = TagMap(F83, {"a": 1, "b": 2})
+        assert "a" in tag_map and "z" not in tag_map
+        assert len(tag_map) == 2
+        assert sorted(tag_map.names()) == ["a", "b"]
+
+    def test_inverse(self):
+        tag_map = TagMap(F83, {"a": 1, "b": 2})
+        assert tag_map.inverse() == {1: "a", 2: "b"}
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        original = TagMap.from_names(XMARK_DTD.element_names(), field=F83, shuffle_seed=3)
+        path = str(tmp_path / "tags.map")
+        original.save(path)
+        loaded = TagMap.load(path, p=83)
+        assert len(loaded) == len(original)
+        for name in XMARK_DTD.element_names():
+            assert loaded.value(name) == original.value(name)
+
+    def test_load_without_explicit_field(self, tmp_path):
+        path = tmp_path / "tags.map"
+        path.write_text("a = 1\nb = 2\nc = 10\n")
+        tag_map = TagMap.load(str(path))
+        assert tag_map.value("c") == 10
+        assert tag_map.field.order > 10
+
+    def test_load_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "tags.map"
+        path.write_text("# comment\n\na = 1\n")
+        assert TagMap.load(str(path), p=83).value("a") == 1
+
+    def test_load_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "tags.map"
+        path.write_text("not-a-mapping\n")
+        with pytest.raises(TagMapError):
+            TagMap.load(str(path), p=83)
+
+    def test_load_rejects_non_integer_values(self, tmp_path):
+        path = tmp_path / "tags.map"
+        path.write_text("a = one\n")
+        with pytest.raises(TagMapError):
+            TagMap.load(str(path), p=83)
+
+    def test_load_rejects_duplicate_names(self, tmp_path):
+        path = tmp_path / "tags.map"
+        path.write_text("a = 1\na = 2\n")
+        with pytest.raises(TagMapError):
+            TagMap.load(str(path), p=83)
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "tags.map"
+        path.write_text("# only a comment\n")
+        with pytest.raises(TagMapError):
+            TagMap.load(str(path), p=83)

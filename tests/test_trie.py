@@ -1,0 +1,208 @@
+"""Tests for the character trie, the document transform and the size stats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trie.stats import measure_text_compression
+from repro.trie.transform import TrieTransformer, tokenize_words
+from repro.trie.trie import TERMINATOR, CharacterTrie
+from repro.xmldoc.parser import parse_string
+
+words_strategy = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10),
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestCharacterTrie:
+    def test_insert_and_contains(self):
+        trie = CharacterTrie()
+        trie.insert("joan")
+        assert "joan" in trie
+        assert "joa" not in trie
+        assert "johnson" not in trie
+
+    def test_prefix_queries(self):
+        trie = CharacterTrie()
+        trie.insert("johnson")
+        assert trie.has_prefix("john")
+        assert trie.has_prefix("johnson")
+        assert not trie.has_prefix("johnx")
+
+    def test_empty_words_ignored(self):
+        trie = CharacterTrie()
+        trie.insert("")
+        assert trie.word_count == 0
+        assert len(trie) == 0
+
+    def test_duplicate_insertions_counted_once_in_distinct(self):
+        trie = CharacterTrie()
+        trie.insert("joan")
+        trie.insert("joan")
+        assert trie.word_count == 2
+        assert trie.distinct_word_count == 1
+
+    def test_words_in_lexicographic_order(self):
+        trie = CharacterTrie()
+        trie.insert_all(["joan", "johnson", "jo", "berry"])
+        assert list(trie.words()) == ["berry", "jo", "joan", "johnson"]
+
+    def test_node_count_shares_prefixes(self):
+        trie = CharacterTrie()
+        trie.insert_all(["joan", "johnson"])
+        # Shared prefix "jo" stored once: j,o,a,n,h,n,s,o,n = 9 character nodes.
+        assert trie.node_count(include_terminators=False) == 9
+        assert trie.node_count(include_terminators=True) == 11
+
+    def test_figure2_example(self):
+        """Figure 2: "Joan Johnson" becomes a trie sharing the 'jo' prefix."""
+        trie = CharacterTrie()
+        trie.insert_all(tokenize_words("Joan Johnson"))
+        assert "joan" in trie
+        assert "johnson" in trie
+        assert trie.node_count(include_terminators=False) == 9
+
+    def test_alphabet(self):
+        trie = CharacterTrie()
+        trie.insert_all(["abc", "abd"])
+        assert trie.alphabet() == {"a", "b", "c", "d"}
+
+    @settings(max_examples=60, deadline=None)
+    @given(words=words_strategy)
+    def test_membership_matches_set_semantics(self, words):
+        trie = CharacterTrie()
+        trie.insert_all(words)
+        assert set(trie.words()) == set(words)
+        assert len(trie) == len(set(words))
+        for word in words:
+            assert word in trie
+
+    @settings(max_examples=60, deadline=None)
+    @given(words=words_strategy)
+    def test_node_count_bounded_by_total_characters(self, words):
+        trie = CharacterTrie()
+        trie.insert_all(words)
+        total_chars = sum(len(word) for word in words)
+        assert trie.node_count(include_terminators=False) <= total_chars
+
+
+class TestTokenizer:
+    def test_basic_split(self):
+        assert tokenize_words("Joan Johnson") == ["joan", "johnson"]
+
+    def test_punctuation_and_digits_separate(self):
+        assert tokenize_words("hello, world-42!") == ["hello", "world"]
+
+    def test_empty_text(self):
+        assert tokenize_words("") == []
+        assert tokenize_words("123 456") == []
+
+    def test_custom_alphabet(self):
+        assert tokenize_words("abc123", alphabet="abc123") == ["abc123"]
+
+
+class TestTrieTransformer:
+    def test_terminator_collision_rejected(self):
+        with pytest.raises(ValueError):
+            TrieTransformer(alphabet="abc_", terminator="_")
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            TrieTransformer(alphabet="")
+
+    def test_word_path_uncompressed(self):
+        transformer = TrieTransformer(compressed=False)
+        elements = transformer.build_trie_elements(["jo", "jo"])
+        # Uncompressed: one path per occurrence, duplicates preserved.
+        assert len(elements) == 2
+        assert elements[0].tag == "j"
+        assert elements[0].children[0].tag == "o"
+        assert elements[0].children[0].children[0].tag == TERMINATOR
+
+    def test_compressed_forest_merges_prefixes(self):
+        transformer = TrieTransformer(compressed=True)
+        elements = transformer.build_trie_elements(["joan", "johnson"])
+        assert len(elements) == 1  # single 'j' root
+        j = elements[0]
+        assert j.tag == "j"
+        assert [child.tag for child in j.children] == ["o"]
+
+    def test_transform_document_replaces_text_with_elements(self):
+        document = parse_string("<name>Joan Johnson</name>")
+        transformer = TrieTransformer(compressed=True)
+        transformed = transformer.transform_document(document)
+        root = transformed.root
+        assert root.tag == "name"
+        assert root.text == ""
+        # 9 character nodes + 2 terminators below <name>
+        assert root.subtree_size() == 1 + 9 + 2
+
+    def test_transform_preserves_structure_and_attributes(self):
+        document = parse_string('<person id="7"><name>Joan</name><age>30</age></person>')
+        transformed = TrieTransformer().transform_document(document)
+        assert transformed.root.attributes == {"id": "7"}
+        assert [child.tag for child in transformed.root.children[:2]] == ["name", "age"]
+
+    def test_transform_does_not_mutate_original(self):
+        document = parse_string("<name>Joan</name>")
+        TrieTransformer().transform_document(document)
+        assert document.root.text == "Joan"
+        assert document.root.children == []
+
+    def test_keep_original_text_option(self):
+        document = parse_string("<name>Joan</name>")
+        transformed = TrieTransformer(keep_original_text=True).transform_document(document)
+        assert transformed.root.text == "Joan"
+
+    def test_uncompressed_preserves_word_multiplicity(self):
+        document = parse_string("<t>go go go</t>")
+        compressed = TrieTransformer(compressed=True).transform_document(document)
+        uncompressed = TrieTransformer(compressed=False).transform_document(document)
+        assert len(uncompressed.root.children) == 3
+        assert len(compressed.root.children) == 1
+
+    def test_literal_to_steps(self):
+        transformer = TrieTransformer()
+        assert transformer.literal_to_steps("Joan") == ["j", "o", "a", "n"]
+
+    def test_literal_with_multiple_words_rejected(self):
+        with pytest.raises(ValueError):
+            TrieTransformer().literal_to_steps("two words")
+
+    def test_tag_alphabet(self):
+        alphabet = TrieTransformer().tag_alphabet()
+        assert len(alphabet) == 27
+        assert TERMINATOR in alphabet
+
+
+class TestTrieStats:
+    def test_empty_corpus(self):
+        report = measure_text_compression([])
+        assert report.original_bytes == 0
+        assert report.dedup_reduction == 0.0
+        assert report.encoded_bytes_per_original_letter == 0.0
+
+    def test_duplicate_heavy_corpus(self):
+        report = measure_text_compression(["spam spam spam spam eggs"])
+        assert report.dedup_reduction > 0.5
+        assert report.compressed_trie_nodes == len("spam") + len("eggs")
+
+    def test_unique_corpus_has_low_dedup_gain(self):
+        report = measure_text_compression(["alpha beta gamma delta"])
+        assert report.dedup_reduction == 0.0
+
+    def test_polynomial_bytes_for_f29(self):
+        report = measure_text_compression(["hello world"], p=29)
+        assert report.polynomial_bytes == 18  # ceil(28 * 5 / 8)
+
+    def test_uncompressed_counts_every_occurrence(self):
+        report = measure_text_compression(["go go go"])
+        assert report.uncompressed_trie_nodes == 3 * (2 + 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(words=words_strategy)
+    def test_compressed_never_larger_than_dedup(self, words):
+        report = measure_text_compression([" ".join(words)])
+        assert report.compressed_trie_nodes <= max(report.deduplicated_bytes, 0) or not words

@@ -1,0 +1,121 @@
+"""Tests for the synthetic XMark document generator."""
+
+import pytest
+
+from repro.xmark.config import XMarkConfig
+from repro.xmark.generator import XMarkGenerator, generate_document, generate_document_of_size
+from repro.xmldoc.dtd import XMARK_DTD
+from repro.xmldoc.serializer import document_byte_size, serialize
+from repro.xmldoc.parser import parse_string
+
+
+class TestConfig:
+    def test_scaled_counts(self):
+        config = XMarkConfig.scaled(2.0)
+        assert config.people == 2 * XMarkConfig.people
+        assert config.items_per_region == 2 * XMarkConfig.items_per_region
+
+    def test_scaled_floors_at_one(self):
+        config = XMarkConfig.scaled(0.0001)
+        assert config.people >= 1
+        assert config.categories >= 1
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            XMarkConfig.scaled(0)
+        with pytest.raises(ValueError):
+            XMarkConfig.scaled(-1)
+
+    def test_total_entities(self):
+        config = XMarkConfig(categories=1, items_per_region=2, people=3, open_auctions=4, closed_auctions=5)
+        assert config.total_top_level_entities() == 1 + 12 + 3 + 4 + 5
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = XMarkGenerator(XMarkConfig.scaled(0.02), seed=7).generate()
+        b = XMarkGenerator(XMarkConfig.scaled(0.02), seed=7).generate()
+        assert serialize(a) == serialize(b)
+
+    def test_different_seeds_differ(self):
+        a = XMarkGenerator(XMarkConfig.scaled(0.02), seed=7).generate()
+        b = XMarkGenerator(XMarkConfig.scaled(0.02), seed=8).generate()
+        assert serialize(a) != serialize(b)
+
+    def test_root_structure(self, xmark_document):
+        root = xmark_document.root
+        assert root.tag == "site"
+        assert [child.tag for child in root.children] == [
+            "regions",
+            "categories",
+            "catgraph",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+        ]
+
+    def test_all_six_continents_present(self, xmark_document):
+        regions = xmark_document.root.find("regions")
+        assert {child.tag for child in regions.children} == {
+            "africa",
+            "asia",
+            "australia",
+            "europe",
+            "namerica",
+            "samerica",
+        }
+
+    def test_tags_conform_to_dtd_alphabet(self, xmark_document):
+        assert xmark_document.distinct_tags() <= set(XMARK_DTD.element_names())
+
+    def test_parent_child_relations_conform_to_dtd(self, xmark_document):
+        for element in xmark_document.iter():
+            allowed = set(XMARK_DTD.children_of(element.tag))
+            for child in element.children:
+                assert child.tag in allowed, "%s under %s violates the DTD" % (child.tag, element.tag)
+
+    def test_items_have_required_children(self, xmark_document):
+        europe = xmark_document.root.find("regions").find("europe")
+        for item in europe.find_all("item"):
+            child_tags = [child.tag for child in item.children]
+            for required in ("location", "quantity", "name", "payment", "description", "shipping", "mailbox"):
+                assert required in child_tags
+
+    def test_person_structure(self, xmark_document):
+        people = xmark_document.root.find("people")
+        assert people.children
+        for person in people.children:
+            assert person.tag == "person"
+            assert person.find("name") is not None
+            assert person.find("emailaddress") is not None
+
+    def test_bidders_have_dates(self, xmark_document):
+        for bidder in xmark_document.root.iter_tag("bidder"):
+            assert bidder.find("date") is not None
+            assert bidder.find("time") is not None
+
+    def test_size_scales_roughly_linearly(self):
+        small = document_byte_size(generate_document(scale=0.01, seed=3))
+        large = document_byte_size(generate_document(scale=0.04, seed=3))
+        assert 2.0 < large / small < 8.0
+
+    def test_serialised_output_reparses(self, xmark_document):
+        text = serialize(xmark_document)
+        reparsed = parse_string(text)
+        assert reparsed.element_count() == xmark_document.element_count()
+
+    def test_generate_document_of_size(self):
+        target = 60_000
+        document = generate_document_of_size(target, seed=11)
+        size = document_byte_size(document)
+        assert abs(size - target) / target < 0.3
+
+    def test_generate_document_of_size_rejects_tiny_targets(self):
+        with pytest.raises(ValueError):
+            generate_document_of_size(100)
+
+    def test_scale_one_is_roughly_one_megabyte(self):
+        # Keep a loose band: the invariant the experiments need is only that
+        # scale maps monotonically and roughly linearly onto bytes.
+        size = document_byte_size(generate_document(scale=1.0, seed=5))
+        assert 400_000 < size < 2_500_000

@@ -1,0 +1,95 @@
+"""Tests for pre/post/parent numbering."""
+
+import pytest
+
+from repro.xmldoc.numbering import PrePostNumbering
+from repro.xmldoc.parser import parse_string
+
+
+@pytest.fixture
+def numbering():
+    # <a><b><c/><d/></b><e><f/></e></a>
+    return PrePostNumbering(parse_string("<a><b><c/><d/></b><e><f/></e></a>"))
+
+
+class TestNumbers:
+    def test_pre_numbers_follow_document_order(self, numbering):
+        tags_by_pre = [node.tag for node in numbering]
+        assert tags_by_pre == ["a", "b", "c", "d", "e", "f"]
+        assert [node.pre for node in numbering] == [1, 2, 3, 4, 5, 6]
+
+    def test_post_numbers_follow_close_order(self, numbering):
+        post_of = {node.tag: node.post for node in numbering}
+        # Closing order: c, d, b, f, e, a
+        assert post_of == {"c": 1, "d": 2, "b": 3, "f": 4, "e": 5, "a": 6}
+
+    def test_parent_numbers(self, numbering):
+        parent_of = {node.tag: node.parent for node in numbering}
+        assert parent_of == {"a": 0, "b": 1, "c": 2, "d": 2, "e": 1, "f": 5}
+
+    def test_root_is_recognised_by_parent_zero(self, numbering):
+        assert numbering.root.tag == "a"
+        assert numbering.root.parent == 0
+
+    def test_by_pre_lookup(self, numbering):
+        assert numbering.by_pre(3).tag == "c"
+        assert numbering.by_pre(99) is None
+
+    def test_len(self, numbering):
+        assert len(numbering) == 6
+
+
+class TestAxes:
+    def test_children_of(self, numbering):
+        assert [node.tag for node in numbering.children_of(1)] == ["b", "e"]
+        assert [node.tag for node in numbering.children_of(2)] == ["c", "d"]
+        assert numbering.children_of(3) == []
+
+    def test_descendants_of(self, numbering):
+        assert {node.tag for node in numbering.descendants_of(1)} == {"b", "c", "d", "e", "f"}
+        assert {node.tag for node in numbering.descendants_of(2)} == {"c", "d"}
+        assert numbering.descendants_of(6) == []
+
+    def test_parent_of(self, numbering):
+        assert numbering.parent_of(6).tag == "e"
+        assert numbering.parent_of(1) is None
+
+    def test_is_descendant(self, numbering):
+        assert numbering.is_descendant(3, 1)
+        assert numbering.is_descendant(3, 2)
+        assert not numbering.is_descendant(3, 5)
+        assert not numbering.is_descendant(1, 3)
+        assert not numbering.is_descendant(2, 2)
+
+    def test_descendant_characterisation_matches_definition(self, numbering):
+        """a.pre < d.pre and d.post < a.post characterises the descendant axis."""
+        for ancestor in numbering:
+            for node in numbering:
+                expected = node.pre != ancestor.pre and numbering.is_descendant(node.pre, ancestor.pre)
+                by_numbers = ancestor.pre < node.pre and node.post < ancestor.post
+                assert expected == by_numbers
+
+
+class TestLargerDocument:
+    def test_consistency_on_generated_document(self, xmark_document):
+        numbering = PrePostNumbering(xmark_document)
+        count = len(numbering)
+        assert count == xmark_document.element_count()
+        # pre and post are permutations of 1..n
+        assert sorted(node.pre for node in numbering) == list(range(1, count + 1))
+        assert sorted(node.post for node in numbering) == list(range(1, count + 1))
+        # every non-root parent reference points to an existing earlier node
+        for node in numbering:
+            if node.parent != 0:
+                parent = numbering.by_pre(node.parent)
+                assert parent is not None
+                assert parent.pre < node.pre
+                assert parent.post > node.post
+
+    def test_children_partition_descendants(self, xmark_document):
+        numbering = PrePostNumbering(xmark_document)
+        root = numbering.root
+        children = numbering.children_of(root.pre)
+        descendant_count = len(numbering.descendants_of(root.pre))
+        partitioned = sum(1 + len(numbering.descendants_of(child.pre)) for child in children)
+        assert partitioned == descendant_count

@@ -1,0 +1,211 @@
+"""Tests for the XPath subset parser, AST and trie rewriting."""
+
+import pytest
+
+from repro.trie.transform import TrieTransformer
+from repro.xpath.ast import (
+    Axis,
+    ContainsTextPredicate,
+    PathPredicate,
+    Query,
+    Step,
+    XPathError,
+)
+from repro.xpath.parser import parse_query
+from repro.xpath.rewrite import rewrite_for_trie
+
+
+class TestParserBasics:
+    def test_single_step(self):
+        query = parse_query("/site")
+        assert len(query) == 1
+        assert query.step(0).axis is Axis.CHILD
+        assert query.step(0).test == "site"
+
+    def test_child_chain(self):
+        query = parse_query("/site/regions/europe")
+        assert [step.test for step in query] == ["site", "regions", "europe"]
+        assert all(step.axis is Axis.CHILD for step in query)
+
+    def test_descendant_axis(self):
+        query = parse_query("//bidder/date")
+        assert query.step(0).axis is Axis.DESCENDANT
+        assert query.step(1).axis is Axis.CHILD
+
+    def test_wildcard_and_parent(self):
+        query = parse_query("/site/*/../person")
+        assert query.step(1).is_wildcard
+        assert query.step(2).is_parent
+        assert query.step(3).is_name_test
+
+    def test_paper_queries_parse(self):
+        for text in (
+            "/site/regions/europe/item/description/parlist/listitem/text/keyword",
+            "/site//europe/item",
+            "/site//europe//item",
+            "/site/*/person//city",
+            "/*/*/open_auction/bidder/date",
+            "//bidder/date",
+        ):
+            query = parse_query(text)
+            assert query.to_string() == text
+
+    def test_tag_names_with_underscores(self):
+        query = parse_query("/open_auctions/open_auction")
+        assert query.step(0).test == "open_auctions"
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(XPathError):
+            parse_query("")
+        with pytest.raises(XPathError):
+            parse_query("   ")
+
+    def test_relative_query_without_leading_slash_rejected_when_absolute(self):
+        with pytest.raises(XPathError):
+            parse_query("site/regions")
+
+    def test_relative_query_allowed_when_not_absolute(self):
+        query = parse_query("a/b", absolute=False)
+        assert [step.test for step in query] == ["a", "b"]
+        assert not query.absolute
+
+    def test_garbage_rejected(self):
+        with pytest.raises(XPathError):
+            parse_query("/site/$bad")
+        with pytest.raises(XPathError):
+            parse_query("/")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(XPathError):
+            parse_query(42)
+
+
+class TestPredicates:
+    def test_contains_text_predicate(self):
+        query = parse_query('/name[contains(text(), "Joan")]')
+        predicates = query.step(0).predicates
+        assert len(predicates) == 1
+        assert isinstance(predicates[0], ContainsTextPredicate)
+        assert predicates[0].literal == "Joan"
+
+    def test_contains_with_single_quotes_and_spaces(self):
+        query = parse_query("/name[ contains( text() , 'Joan' ) ]")
+        assert query.step(0).predicates[0].literal == "Joan"
+
+    def test_path_predicate(self):
+        query = parse_query("/name[//j/o/a/n]")
+        predicate = query.step(0).predicates[0]
+        assert isinstance(predicate, PathPredicate)
+        assert [step.test for step in predicate.path] == ["j", "o", "a", "n"]
+        assert predicate.path.step(0).axis is Axis.DESCENDANT
+
+    def test_relative_path_predicate(self):
+        query = parse_query("/person[address/city]")
+        predicate = query.step(0).predicates[0]
+        assert [step.test for step in predicate.path] == ["address", "city"]
+
+    def test_nested_predicates(self):
+        query = parse_query('/person[city[contains(text(), "Enschede")]]/name')
+        outer = query.step(0).predicates[0]
+        assert isinstance(outer, PathPredicate)
+        inner = outer.path.step(0).predicates[0]
+        assert isinstance(inner, ContainsTextPredicate)
+
+    def test_multiple_predicates_on_one_step(self):
+        query = parse_query("/person[name][address]")
+        assert len(query.step(0).predicates) == 2
+
+    def test_unterminated_predicate_rejected(self):
+        with pytest.raises(XPathError):
+            parse_query("/person[name")
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(XPathError):
+            parse_query("/person[]")
+
+    def test_unterminated_literal_rejected(self):
+        with pytest.raises(XPathError):
+            parse_query('/name[contains(text(), "Joan)]')
+
+    def test_has_predicates(self):
+        assert parse_query("/a[b]").has_predicates()
+        assert not parse_query("/a/b").has_predicates()
+
+
+class TestQueryAnalysis:
+    def test_name_tests_in_order_without_duplicates(self):
+        query = parse_query("/site/*/person//city/../person")
+        assert query.name_tests() == ["site", "person", "city"]
+
+    def test_name_tests_from_offset(self):
+        query = parse_query("/site/regions/europe")
+        assert query.name_tests(1) == ["regions", "europe"]
+        assert query.name_tests(3) == []
+
+    def test_name_tests_include_predicate_paths(self):
+        query = parse_query("/person[address/city]/name")
+        assert query.name_tests() == ["person", "address", "city", "name"]
+
+    def test_descendant_step_count(self):
+        assert parse_query("/site//europe//item").descendant_step_count() == 2
+        assert parse_query("/site/regions").descendant_step_count() == 0
+
+    def test_query_requires_steps(self):
+        with pytest.raises(XPathError):
+            Query(steps=())
+
+    def test_round_trip_rendering(self):
+        text = '/site/*/person[address/city]//name[contains(text(), "Joan")]'
+        assert parse_query(text).to_string() == text
+
+    def test_with_steps(self):
+        query = parse_query("/a/b")
+        replaced = query.with_steps([Step(axis=Axis.CHILD, test="z")])
+        assert replaced.to_string() == "/z"
+        assert query.to_string() == "/a/b"
+
+
+class TestTrieRewriting:
+    def test_paper_example_rewrite(self):
+        """/name[contains(text(), "Joan")] -> /name[//j/o/a/n]."""
+        query = parse_query('/name[contains(text(), "Joan")]')
+        rewritten = rewrite_for_trie(query)
+        predicate = rewritten.step(0).predicates[0]
+        assert isinstance(predicate, PathPredicate)
+        steps = list(predicate.path)
+        assert [step.test for step in steps] == ["j", "o", "a", "n"]
+        assert steps[0].axis is Axis.DESCENDANT
+        assert all(step.axis is Axis.CHILD for step in steps[1:])
+
+    def test_rewrite_preserves_plain_queries(self):
+        query = parse_query("/site/regions/europe")
+        assert rewrite_for_trie(query) == query
+
+    def test_rewrite_is_recursive(self):
+        query = parse_query('/person[city[contains(text(), "Enschede")]]/name')
+        rewritten = rewrite_for_trie(query)
+        outer = rewritten.step(0).predicates[0]
+        inner = outer.path.step(0).predicates[0]
+        assert isinstance(inner, PathPredicate)
+        assert [step.test for step in inner.path] == list("enschede")
+
+    def test_rewrite_normalises_case(self):
+        query = parse_query('/name[contains(text(), "JOAN")]')
+        rewritten = rewrite_for_trie(query)
+        assert [step.test for step in rewritten.step(0).predicates[0].path] == ["j", "o", "a", "n"]
+
+    def test_rewrite_rejects_unsearchable_literal(self):
+        query = parse_query('/name[contains(text(), "123")]')
+        with pytest.raises((XPathError, ValueError)):
+            rewrite_for_trie(query)
+
+    def test_rewrite_with_custom_transformer(self):
+        query = parse_query('/name[contains(text(), "Joan")]')
+        transformer = TrieTransformer(compressed=False)
+        rewritten = rewrite_for_trie(query, transformer)
+        assert [step.test for step in rewritten.step(0).predicates[0].path] == ["j", "o", "a", "n"]
+
+    def test_path_predicates_kept_as_is(self):
+        query = parse_query("/name[//j/o]")
+        rewritten = rewrite_for_trie(query)
+        assert rewritten.step(0).predicates[0].path.to_string(relative=True) == "//j/o"
