@@ -1,0 +1,143 @@
+"""Batched vs per-node query pipeline — remote calls, bytes, wall-clock.
+
+The batched pipeline (server bulk endpoints + ``*_many`` client primitives)
+must issue O(1) remote calls per query step instead of O(candidates).  This
+module quantifies the win on a generated XMark document of ≥ 500 nodes:
+
+* ≥ 5× fewer transport ``invoke`` calls on descendant-axis queries,
+* ``descendants_of`` touches only subtree-sized row ranges (the pre-order
+  subtree is contiguous, so the range scan stops at the subtree boundary),
+* wall-clock timings for both paths via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import EncryptedXMLDatabase
+from repro.filters.server import ServerFilter
+from repro.xmark.generator import generate_document
+from repro.xmldoc.dtd import XMARK_DTD
+
+SEED = b"bench-batch-seed-0123456789abcde"
+
+#: scale 0.05 generates a 598-node document (the criterion asks for ≥ 500)
+DOCUMENT_SCALE = 0.05
+
+DESCENDANT_QUERIES = ["//city", "/site//person//city"]
+
+
+@pytest.fixture(scope="module")
+def batch_document():
+    document = generate_document(scale=DOCUMENT_SCALE, seed=4242)
+    return document
+
+
+def _build(document, batched: bool) -> EncryptedXMLDatabase:
+    return EncryptedXMLDatabase.from_document(
+        document,
+        tag_names=XMARK_DTD.element_names(),
+        seed=SEED,
+        p=83,
+        keep_plaintext=False,
+        batched=batched,
+    )
+
+
+@pytest.fixture(scope="module")
+def batched_database(batch_document):
+    return _build(batch_document, batched=True)
+
+
+@pytest.fixture(scope="module")
+def per_node_database(batch_document):
+    return _build(batch_document, batched=False)
+
+
+class _RowCountingTable:
+    """Table wrapper counting the rows an index range scan materialises."""
+
+    def __init__(self, table):
+        self._table = table
+        self.rows_examined = 0
+
+    def lookup(self, column, value):
+        return self._table.lookup(column, value)
+
+    def range_lookup(self, *args, **kwargs):
+        for row in self._table.range_lookup(*args, **kwargs):
+            self.rows_examined += 1
+            yield row
+
+    def __len__(self):
+        return len(self._table)
+
+
+@pytest.mark.parametrize("engine", ["simple", "advanced"])
+@pytest.mark.parametrize("query", DESCENDANT_QUERIES)
+def test_batched_pipeline_issues_5x_fewer_calls(
+    batched_database, per_node_database, engine, query
+):
+    """Acceptance criterion: ≥ 5× fewer transport invokes on //-queries."""
+    assert batched_database.node_count >= 500
+    batched_database.transport_stats.reset()
+    per_node_database.transport_stats.reset()
+
+    batched_result = batched_database.query(query, engine=engine, strict=False)
+    per_node_result = per_node_database.query(query, engine=engine, strict=False)
+
+    assert batched_result.matches == per_node_result.matches
+    batched_calls = batched_database.transport_stats.calls
+    per_node_calls = per_node_database.transport_stats.calls
+    assert batched_calls > 0
+    assert per_node_calls >= 5 * batched_calls, (
+        "expected >=5x fewer calls, got %d vs %d" % (batched_calls, per_node_calls)
+    )
+    # Per-query accounting reflects the run just recorded.
+    assert batched_database.transport_stats.queries == 1
+    assert batched_database.transport_stats.calls_per_query == batched_calls
+
+
+def test_descendants_scan_examines_subtree_sized_ranges(batched_database):
+    """Acceptance criterion: descendants_of touches subtree-sized row ranges."""
+    table = batched_database.encoded.node_table
+    counting = _RowCountingTable(table)
+    server = ServerFilter(counting, batched_database.encoded.ring)
+
+    root = server.root_pre()
+    for anchor in server.children_of(root):
+        counting.rows_examined = 0
+        descendants = server.descendants_of(anchor)
+        # The scan reads the subtree rows plus at most the one boundary row
+        # whose larger ``post`` ends it — never the remainder of the table.
+        assert counting.rows_examined <= len(descendants) + 1
+    # Sanity: at least one anchor has a subtree much smaller than the table.
+    smallest = min(len(server.descendants_of(pre)) for pre in server.children_of(root))
+    assert smallest + 1 < len(table)
+
+
+@pytest.mark.parametrize("path", ["batched", "per-node"])
+@pytest.mark.parametrize("engine", ["simple", "advanced"])
+def test_descendant_query_wallclock(
+    benchmark, batched_database, per_node_database, engine, path
+):
+    """Wall-clock of the two protocols on the descendant-axis hot path."""
+    database = batched_database if path == "batched" else per_node_database
+    result = benchmark(lambda: database.query("//city", engine=engine, strict=False))
+    benchmark.extra_info["path"] = path
+    benchmark.extra_info["calls"] = database.transport_stats.calls
+    benchmark.extra_info["result_size"] = result.result_size
+
+
+def test_batched_pipeline_moves_fewer_or_same_order_bytes(
+    batched_database, per_node_database
+):
+    """Batching must not blow the payload volume up while cutting calls."""
+    batched_database.transport_stats.reset()
+    per_node_database.transport_stats.reset()
+    batched_database.query("//city", engine="advanced", strict=False)
+    per_node_database.query("//city", engine="advanced", strict=False)
+    assert (
+        batched_database.transport_stats.total_bytes
+        <= 2 * per_node_database.transport_stats.total_bytes
+    )

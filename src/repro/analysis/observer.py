@@ -40,35 +40,56 @@ class ServerView:
     # Convenience projections
     # ------------------------------------------------------------------
 
+    _EVALUATION_METHODS = ("evaluate", "evaluate_many", "evaluate_batch")
+    _EXPANSION_METHODS = (
+        "children_of",
+        "descendants_of",
+        "children_of_many",
+        "descendants_of_many",
+    )
+    _FETCH_METHODS = ("fetch_share", "fetch_shares", "fetch_shares_batch")
+
     def evaluation_points(self) -> List[int]:
         """Distinct evaluation points observed, in first-seen order."""
         seen: Dict[int, None] = {}
         for call in self.calls:
-            if call.method == "evaluate" and call.point is not None:
+            if call.method in self._EVALUATION_METHODS and call.point is not None:
                 seen.setdefault(call.point, None)
         return list(seen)
 
     def evaluations_by_point(self) -> Dict[int, List[int]]:
-        """Evaluation point → list of node ``pre`` numbers it was applied to."""
+        """Evaluation point → list of node ``pre`` numbers it was applied to.
+
+        Batched evaluations are unpacked: one ``evaluate_batch`` over *n*
+        candidates leaks exactly the same (point, pre) pairs as *n* per-node
+        calls, so the attacks see through the batching untouched.
+        """
         grouped: Dict[int, List[int]] = {}
         for call in self.calls:
-            if call.method == "evaluate" and call.point is not None and call.pre is not None:
+            if call.method not in self._EVALUATION_METHODS or call.point is None:
+                continue
+            if call.pre is not None:
                 grouped.setdefault(call.point, []).append(call.pre)
+            for pre in call.pres:
+                grouped.setdefault(call.point, []).append(pre)
         return grouped
 
     def expanded_nodes(self) -> List[int]:
         """Nodes whose children/descendants were subsequently requested."""
         expanded: Dict[int, None] = {}
         for call in self.calls:
-            if call.method in ("children_of", "descendants_of") and call.pre is not None:
-                expanded.setdefault(call.pre, None)
+            if call.method in self._EXPANSION_METHODS:
+                if call.pre is not None:
+                    expanded.setdefault(call.pre, None)
+                for pre in call.pres:
+                    expanded.setdefault(pre, None)
         return list(expanded)
 
     def fetched_shares(self) -> List[int]:
         """Nodes whose full share vectors were fetched (equality tests)."""
         fetched: Dict[int, None] = {}
         for call in self.calls:
-            if call.method in ("fetch_share", "fetch_shares"):
+            if call.method in self._FETCH_METHODS:
                 if call.pre is not None:
                     fetched.setdefault(call.pre, None)
                 for pre in call.pres:
@@ -109,9 +130,21 @@ class ObservingServerFilter(ServerFilter):
         self.view.record("children_of", pre=pre)
         return super().children_of(pre)
 
+    def children_of_many(self, pres):
+        self.view.record("children_of_many", pres=tuple(pres))
+        return super().children_of_many(pres)
+
     def descendants_of(self, pre: int):
         self.view.record("descendants_of", pre=pre)
         return super().descendants_of(pre)
+
+    def descendants_of_many(self, pres):
+        self.view.record("descendants_of_many", pres=tuple(pres))
+        return super().descendants_of_many(pres)
+
+    def node_infos(self, pres):
+        self.view.record("node_infos", pres=tuple(pres))
+        return super().node_infos(pres)
 
     def parent_of(self, pre: int) -> int:
         self.view.record("parent_of", pre=pre)
@@ -125,7 +158,11 @@ class ObservingServerFilter(ServerFilter):
 
     def evaluate_many(self, pres, point):
         self.view.record("evaluate_many", point=point, pres=tuple(pres))
-        return super().evaluate_many(pres, point)
+        return ServerFilter.evaluate_batch(self, pres, point)
+
+    def evaluate_batch(self, pres, point):
+        self.view.record("evaluate_batch", point=point, pres=tuple(pres))
+        return super().evaluate_batch(pres, point)
 
     def fetch_share(self, pre: int):
         self.view.record("fetch_share", pre=pre)
@@ -133,4 +170,8 @@ class ObservingServerFilter(ServerFilter):
 
     def fetch_shares(self, pres):
         self.view.record("fetch_shares", pres=tuple(pres))
-        return super().fetch_shares(pres)
+        return ServerFilter.fetch_shares_batch(self, pres)
+
+    def fetch_shares_batch(self, pres):
+        self.view.record("fetch_shares_batch", pres=tuple(pres))
+        return super().fetch_shares_batch(pres)

@@ -53,6 +53,7 @@ class EncryptedXMLDatabase:
         transport: SimulatedTransport,
         counters: EvaluationCounters,
         trie_transformer: Optional[TrieTransformer],
+        batched: bool = True,
     ):
         self.encoded = encoded
         self.document = document
@@ -69,7 +70,7 @@ class EncryptedXMLDatabase:
         else:
             server_endpoint = server_filter
         self.client_filter = ClientFilter(
-            server_endpoint, encoded.sharing, encoded.tag_map, counters=counters
+            server_endpoint, encoded.sharing, encoded.tag_map, counters=counters, batched=batched
         )
         self._engines = {
             "simple": SimpleQueryEngine(self.client_filter),
@@ -100,6 +101,7 @@ class EncryptedXMLDatabase:
         map_shuffle_seed: Optional[int] = None,
         btree_order: int = 64,
         index_columns: Optional[List[str]] = None,
+        batched: bool = True,
     ) -> "EncryptedXMLDatabase":
         """Encode an in-memory document.
 
@@ -110,6 +112,9 @@ class EncryptedXMLDatabase:
         is chosen.  With ``use_trie=True`` every text payload is rewritten
         into trie elements before encoding so ``contains(text(), …)`` queries
         work, and the map alphabet is extended with the trie characters.
+        ``batched=False`` restores the per-node remote protocol (one call per
+        candidate instead of one per query step) — useful for measuring what
+        the batched pipeline saves.
         """
         trie_transformer = None
         if use_trie:
@@ -147,6 +152,7 @@ class EncryptedXMLDatabase:
             transport=transport,
             counters=counters,
             trie_transformer=trie_transformer,
+            batched=batched,
         )
 
     @classmethod
@@ -192,7 +198,11 @@ class EncryptedXMLDatabase:
             # path predicates over tags are still fine.
             parsed = parsed
         rule = MatchRule.from_strict_flag(strict)
-        return selected.execute(parsed, rule=rule)
+        result = selected.execute(parsed, rule=rule)
+        # Counted after execution so aborted queries do not dilute the
+        # per-query call/byte averages.
+        self.transport.stats.count_query()
+        return result
 
     def plaintext_query(self, xpath: Union[str, Query]) -> List[int]:
         """Ground-truth evaluation on the retained plaintext document.

@@ -65,7 +65,8 @@ class AdvancedQueryEngine(EncryptedQueryEngine):
                 # surviving candidate.
                 matched = candidates
                 if step.is_name_test and rule is MatchRule.EQUALITY:
-                    matched = [pre for pre in matched if self.filter.equals(pre, step.test)]
+                    flags = self.filter.equals_many(matched, step.test)
+                    matched = [pre for pre, ok in zip(matched, flags) if ok]
             if step.predicates:
                 matched = [pre for pre in matched if self._predicates_hold(pre, step, rule)]
             if not matched:
@@ -112,13 +113,17 @@ class AdvancedQueryEngine(EncryptedQueryEngine):
         these candidates (avoids double-counting evaluations).
         """
         tags = [tag for tag in query.name_tests(from_step) if tag != skip_tag]
-        if not tags:
-            return sorted(set(candidates))
-        surviving = []
-        for pre in candidates:
-            if all(self.filter.contains(pre, tag) for tag in tags):
-                surviving.append(pre)
-        return sorted(set(surviving))
+        surviving = sorted(set(candidates))
+        # Tag-by-tag batched filtering: each tag costs one remote call over
+        # the candidates still alive, and — exactly like the per-node
+        # short-circuiting ``all()`` loop — a candidate killed by an earlier
+        # tag is never evaluated at a later one.
+        for tag in tags:
+            if not surviving:
+                break
+            flags = self.filter.contains_many(surviving, tag)
+            surviving = [pre for pre, ok in zip(surviving, flags) if ok]
+        return surviving
 
     # ------------------------------------------------------------------
     # Descendant steps
@@ -135,24 +140,31 @@ class AdvancedQueryEngine(EncryptedQueryEngine):
         means the tag occurs somewhere below — descends further only on a
         match.  Every matching node is collected; the wildcard ``//*`` form
         collects every descendant without evaluations.
+
+        The walk proceeds level by level so each tree level costs two remote
+        calls (one batched containment test, one batched children expansion)
+        instead of two calls per visited node; the set of nodes visited and
+        evaluated is identical to the former per-node depth-first walk.
         """
         collected: List[int] = []
         seen = set()
         if include_anchors:
-            frontier = [pre for pre in anchors]
+            frontier = list(anchors)
         else:
             frontier = self._children_of_set(anchors)
-        stack = list(frontier)
-        while stack:
-            pre = stack.pop()
-            if pre in seen:
-                continue
-            seen.add(pre)
+        while frontier:
+            level = []
+            for pre in frontier:
+                if pre not in seen:
+                    seen.add(pre)
+                    level.append(pre)
+            if not level:
+                break
             if step.is_wildcard:
-                collected.append(pre)
-                stack.extend(self.filter.children_of(pre))
-                continue
-            if self.filter.contains(pre, step.test):
-                collected.append(pre)
-                stack.extend(self.filter.children_of(pre))
+                matched = level
+            else:
+                flags = self.filter.contains_many(level, step.test)
+                matched = [pre for pre, ok in zip(level, flags) if ok]
+            collected.extend(matched)
+            frontier = self._children_of_set(matched) if matched else []
         return sorted(collected)

@@ -78,7 +78,7 @@ class EncryptedQueryEngine(ABC):
     def execute(self, query: Union[str, Query], rule: Optional[MatchRule] = None) -> QueryResult:
         """Run ``query`` and return the matching nodes plus measurements."""
         parsed = parse_query(query) if isinstance(query, str) else query
-        active_rule = rule or self.rule
+        active_rule = rule if rule is not None else self.rule
         before = self.filter.counters.snapshot()
         watch = Stopwatch().start()
         matches = self._execute_steps(parsed, active_rule)
@@ -104,30 +104,27 @@ class EncryptedQueryEngine(ABC):
 
     def _children_of_set(self, pres: Sequence[int]) -> List[int]:
         """Union of the children of every node in ``pres`` (document order)."""
-        children: List[int] = []
-        seen = set()
-        for pre in pres:
-            for child in self.filter.children_of(pre):
-                if child not in seen:
-                    seen.add(child)
-                    children.append(child)
+        if not pres:
+            return []
+        children = set()
+        for child_list in self.filter.children_of_many(pres):
+            children.update(child_list)
         return sorted(children)
 
     def _descendants_of_set(self, pres: Sequence[int]) -> List[int]:
         """Union of the proper descendants of every node in ``pres``."""
+        if not pres:
+            return []
         descendants = set()
-        for pre in pres:
-            descendants.update(self.filter.descendants_of(pre))
+        for descendant_list in self.filter.descendants_of_many(pres):
+            descendants.update(descendant_list)
         return sorted(descendants)
 
     def _parents_of_set(self, pres: Sequence[int]) -> List[int]:
         """Distinct parents of the nodes in ``pres`` (the root's parent is dropped)."""
-        parents = set()
-        for pre in pres:
-            parent = self.filter.parent_of(pre)
-            if parent != 0:
-                parents.add(parent)
-        return sorted(parents)
+        if not pres:
+            return []
+        return sorted({parent for parent in self.filter.parents_of_many(pres) if parent != 0})
 
     def _matches_step(self, pre: int, step: Step, rule: MatchRule) -> bool:
         """Test one candidate against one step's node test under ``rule``."""
@@ -136,6 +133,17 @@ class EncryptedQueryEngine(ABC):
         if step.is_parent:
             raise XPathError("'..' is handled structurally, not as a node test")
         return self.filter.matches(pre, step.test, rule)
+
+    def _filter_matching(self, pres: Sequence[int], step: Step, rule: MatchRule) -> List[int]:
+        """Candidates from ``pres`` that pass the step's node test (batched)."""
+        if step.is_wildcard:
+            return list(pres)
+        if step.is_parent:
+            raise XPathError("'..' is handled structurally, not as a node test")
+        if not pres:
+            return []
+        flags = self.filter.matches_many(list(pres), step.test, rule)
+        return [pre for pre, matched in zip(pres, flags) if matched]
 
     def _predicates_hold(self, pre: int, step: Step, rule: MatchRule) -> bool:
         """Evaluate every predicate of ``step`` anchored at node ``pre``."""
@@ -168,10 +176,7 @@ class EncryptedQueryEngine(ABC):
                 candidates = self._children_of_set(current)
             else:
                 candidates = self._descendants_of_set(current)
-            if step.is_wildcard:
-                current = candidates
-            else:
-                current = [pre for pre in candidates if self._matches_step(pre, step, rule)]
+            current = self._filter_matching(candidates, step, rule)
             if step.predicates:
                 current = [pre for pre in current if self._predicates_hold(pre, step, rule)]
         return bool(current)

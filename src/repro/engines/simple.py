@@ -50,12 +50,11 @@ class SimpleQueryEngine(EncryptedQueryEngine):
                     candidates = self._descendants_of_set(current)
             at_document_root = False
 
-            if step.is_wildcard:
-                # "The * reduces the workload because no additional filtering
-                # is needed" — every candidate survives without an evaluation.
-                current = candidates
-            else:
-                current = [pre for pre in candidates if self._matches_step(pre, step, rule)]
+            # "The * reduces the workload because no additional filtering is
+            # needed" — every wildcard candidate survives without an
+            # evaluation; named steps test the whole candidate list with one
+            # batched remote call.
+            current = self._filter_matching(candidates, step, rule)
 
             if step.predicates:
                 current = [pre for pre in current if self._predicates_hold(pre, step, rule)]

@@ -13,11 +13,18 @@ server filter — directly or through an RMI-style proxy.  Its job per node is:
 
 Every primitive updates the shared :class:`~repro.metrics.counters.EvaluationCounters`
 so the experiment harness can report the same numbers the paper plots.
+
+The ``*_many`` methods are the hot path: they resolve a whole candidate list
+with O(1) remote calls via the server's batch endpoints while recording
+exactly the same evaluation counters as the per-node loop would (so the
+paper's figures are unaffected).  Constructing the filter with
+``batched=False`` degrades every batch method to a per-node remote loop —
+the baseline the batching benchmark compares against.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.encode.tagmap import TagMap
 from repro.filters.interface import Filter, MatchRule
@@ -35,12 +42,19 @@ class ClientFilter(Filter):
         sharing: AdditiveSharing,
         tag_map: TagMap,
         counters: Optional[EvaluationCounters] = None,
+        batched: bool = True,
     ):
-        """``server`` is a :class:`ServerFilter` or a proxy exposing its methods."""
+        """``server`` is a :class:`ServerFilter` or a proxy exposing its methods.
+
+        ``batched`` selects whether the ``*_many`` methods use the server's
+        bulk endpoints (one remote call per batch) or loop over the per-node
+        primitives (one remote call per node, the pre-batching behaviour).
+        """
         self._server = server
         self._sharing = sharing
         self._ring: QuotientRing = sharing.ring
         self._tag_map = tag_map
+        self._batched = batched
         self.counters = counters or EvaluationCounters()
 
     # ------------------------------------------------------------------
@@ -70,6 +84,45 @@ class ClientFilter(Filter):
     def node_count(self) -> int:
         """Total number of nodes stored on the server."""
         return self._server.node_count()
+
+    # ------------------------------------------------------------------
+    # Batched structure access (O(1) remote calls per candidate list)
+    # ------------------------------------------------------------------
+
+    def children_of_many(self, pres: Sequence[int]) -> List[List[int]]:
+        """Children of every node in ``pres``, one remote call."""
+        pres = list(pres)
+        if not pres:
+            return []
+        self.counters.count_fetch(len(pres))
+        if self._batched:
+            return [list(children) for children in self._server.children_of_many(pres)]
+        return [list(self._server.children_of(pre)) for pre in pres]
+
+    def descendants_of_many(self, pres: Sequence[int]) -> List[List[int]]:
+        """Descendants of every node in ``pres``, one remote call."""
+        pres = list(pres)
+        if not pres:
+            return []
+        self.counters.count_fetch(len(pres))
+        if self._batched:
+            return [list(descendants) for descendants in self._server.descendants_of_many(pres)]
+        return [list(self._server.descendants_of(pre)) for pre in pres]
+
+    def parents_of_many(self, pres: Sequence[int]) -> List[int]:
+        """Parents of every node in ``pres`` (0 for the root), one remote call."""
+        pres = list(pres)
+        if not pres:
+            return []
+        self.counters.count_fetch(len(pres))
+        if self._batched:
+            parents = []
+            for pre, info in zip(pres, self._server.node_infos(pres)):
+                if info is None:
+                    raise LookupError("no node with pre=%d" % pre)
+                parents.append(info["parent"])
+            return parents
+        return [self._server.parent_of(pre) for pre in pres]
 
     # ------------------------------------------------------------------
     # Pipeline passthrough
@@ -115,6 +168,28 @@ class ClientFilter(Filter):
         self.counters.count_evaluation()
         return self._ring.field.add(server_value, client_value)
 
+    def shared_evaluation_many(self, pres: Sequence[int], point: int) -> List[int]:
+        """Combined evaluations for a whole candidate list, one remote call.
+
+        The server evaluates every stored share in a single
+        ``evaluate_batch`` request; the client regenerates and evaluates its
+        own shares locally and adds the two result vectors.  Counter
+        bookkeeping matches a loop of :meth:`shared_evaluation` exactly.
+        """
+        pres = list(pres)
+        if not pres:
+            return []
+        if self._batched:
+            server_values = self._server.evaluate_batch(pres, point)
+        else:
+            server_values = [self._server.evaluate(pre, point) for pre in pres]
+        combined = []
+        for pre, server_value in zip(pres, server_values):
+            client_value = self.evaluate(pre, point)
+            self.counters.count_evaluation()
+            combined.append(self._ring.field.add(server_value, client_value))
+        return combined
+
     def reconstruct(self, pre: int) -> RingPolynomial:
         """Reconstruct the full node polynomial from both shares."""
         server_coeffs = self._server.fetch_share(pre)
@@ -123,6 +198,24 @@ class ClientFilter(Filter):
         self.counters.count_regeneration()
         self.counters.count_reconstruction()
         return self._sharing.reconstruct(server_share, pre)
+
+    def reconstruct_many(self, pres: Sequence[int]) -> List[RingPolynomial]:
+        """Reconstruct many node polynomials with one share fetch."""
+        pres = list(pres)
+        if not pres:
+            return []
+        if self._batched:
+            coefficient_lists = self._server.fetch_shares_batch(pres)
+        else:
+            coefficient_lists = [self._server.fetch_share(pre) for pre in pres]
+        reconstructed = []
+        for pre, coefficients in zip(pres, coefficient_lists):
+            self.counters.count_fetch()
+            self.counters.count_regeneration()
+            self.counters.count_reconstruction()
+            server_share = RingPolynomial(self._ring, coefficients)
+            reconstructed.append(self._sharing.reconstruct(server_share, pre))
+        return reconstructed
 
     # ------------------------------------------------------------------
     # Matching rules
@@ -186,3 +279,57 @@ class ClientFilter(Filter):
         if rule is MatchRule.EQUALITY:
             return self.equals_value(pre, value)
         return self.contains_value(pre, value)
+
+    # ------------------------------------------------------------------
+    # Batched matching rules
+    # ------------------------------------------------------------------
+
+    def contains_value_many(self, pres: Sequence[int], value: int) -> List[bool]:
+        """Containment tests for a whole candidate list, one remote call."""
+        return [combined == 0 for combined in self.shared_evaluation_many(pres, value)]
+
+    def contains_many(self, pres: Sequence[int], tag: str) -> List[bool]:
+        """Batch variant of :meth:`contains` (aligned with ``pres``)."""
+        pres = list(pres)
+        if not self.knows_tag(tag):
+            return [False] * len(pres)
+        return self.contains_value_many(pres, self.tag_value(tag))
+
+    def equals_value_many(self, pres: Sequence[int], value: int) -> List[bool]:
+        """Equality tests for a whole candidate list.
+
+        One ``children_of_many`` call discovers every child, then a single
+        ``fetch_shares_batch`` call retrieves the shares of all nodes and
+        children at once; the polynomial arithmetic runs locally.
+        """
+        pres = list(pres)
+        if not pres:
+            return []
+        children_lists = self.children_of_many(pres)
+        fetch_order: List[int] = []
+        for pre, children in zip(pres, children_lists):
+            fetch_order.append(pre)
+            fetch_order.extend(children)
+        polynomials = iter(self.reconstruct_many(fetch_order))
+        results = []
+        for pre, children in zip(pres, children_lists):
+            node_poly = next(polynomials)
+            product = self._ring.one()
+            for _ in children:
+                product = self._ring.mul(product, next(polynomials))
+            self.counters.count_equality_test(len(children))
+            results.append(self._ring.divides_cleanly(node_poly, product, value))
+        return results
+
+    def equals_many(self, pres: Sequence[int], tag: str) -> List[bool]:
+        """Batch variant of :meth:`equals` (aligned with ``pres``)."""
+        pres = list(pres)
+        if not self.knows_tag(tag):
+            return [False] * len(pres)
+        return self.equals_value_many(pres, self.tag_value(tag))
+
+    def matches_many(self, pres: Sequence[int], tag: str, rule: MatchRule) -> List[bool]:
+        """Rule dispatch for a whole candidate list."""
+        if rule is MatchRule.EQUALITY:
+            return self.equals_many(pres, tag)
+        return self.contains_many(pres, tag)

@@ -5,27 +5,67 @@ coefficient vectors.  Every method of this class takes and returns plain
 serialisable values (ints, lists, dicts) so it can sit behind the
 :class:`~repro.rmi.proxy.RemoteProxy` boundary exactly like the prototype's
 RMI ``ServerFilter``.
+
+Batch protocol
+--------------
+
+The per-node primitives (``node_info``, ``children_of``, ``evaluate``, …)
+each cost one remote round trip, so a query step over *k* candidates used to
+issue *k* calls.  The bulk endpoints collapse that to one call per step:
+
+* :meth:`node_infos` / :meth:`children_of_many` / :meth:`descendants_of_many`
+  — structural queries over a whole candidate list, returning one result per
+  input ``pre`` (aligned by position, unknown nodes yield ``None`` / ``[]``
+  exactly like their single-node counterparts).
+* :meth:`evaluate_batch` / :meth:`fetch_shares_batch` — share access for a
+  whole candidate list.  Unknown ``pre`` numbers raise :class:`LookupError`,
+  matching :meth:`evaluate` / :meth:`fetch_share`.
+
+The row-resolving endpoints (``node_infos``, ``evaluate_batch``,
+``fetch_shares_batch``) answer dense batches (the common case: candidates
+are a contiguous sibling or subtree range) in a **single ascending pass**
+over the ``pre`` index instead of one B+-tree descent per node, falling back
+to point lookups for sparse batches; ``children_of_many`` /
+``descendants_of_many`` iterate their per-node counterparts server-side (the
+saving there is the round trips, not the index work).  Decoded
+:class:`~repro.poly.ring.RingPolynomial` shares are kept in a bounded LRU
+cache (the table is bulk-load-then-query, so entries never go stale);
+:meth:`share_cache_info` exposes hit/miss accounting.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.filters.interface import Filter
 from repro.poly.ring import QuotientRing, RingPolynomial
 from repro.storage.table import Table
 
+#: below this key-density a batch is resolved by point lookups instead of a
+#: single range pass (scanning a long sparse range would touch more rows)
+_DENSE_SCAN_FACTOR = 4
+
 
 class ServerFilter(Filter):
     """Answers structural and share-evaluation requests from the node table."""
 
-    def __init__(self, table: Table, ring: QuotientRing):
+    def __init__(self, table: Table, ring: QuotientRing, share_cache_size: int = 256):
+        if share_cache_size < 0:
+            raise ValueError("share_cache_size must be non-negative")
         self._table = table
         self._ring = ring
         # Result queues for the next_node() pipeline: the big server buffers
         # intermediate result sets so the thin client holds one node at a time.
-        self._queues: Dict[int, List[int]] = {}
+        # Deques give O(1) pops from the front; a plain list.pop(0) made
+        # draining a queue quadratic in its length.
+        self._queues: Dict[int, Deque[int]] = {}
         self._next_queue_id = 1
+        # Bounded LRU of decoded share polynomials, keyed by ``pre``.
+        self._share_cache: "OrderedDict[int, RingPolynomial]" = OrderedDict()
+        self._share_cache_size = share_cache_size
+        self._share_cache_hits = 0
+        self._share_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Structural queries (all via the indexed access paths)
@@ -52,22 +92,51 @@ class ServerFilter(Filter):
         row = rows[0]
         return {"pre": row["pre"], "post": row["post"], "parent": row["parent"]}
 
+    def node_infos(self, pres: List[int]) -> List[Optional[Dict[str, int]]]:
+        """Batch variant of :meth:`node_info` (aligned with ``pres``)."""
+        pres = list(pres)
+        rows = self._rows_for(pres)
+        infos: List[Optional[Dict[str, int]]] = []
+        for pre in pres:
+            row = rows.get(pre)
+            if row is None:
+                infos.append(None)
+            else:
+                infos.append({"pre": row["pre"], "post": row["post"], "parent": row["parent"]})
+        return infos
+
     def children_of(self, pre: int) -> List[int]:
         """Direct children via the ``parent`` index, in document order."""
         rows = self._table.lookup("parent", pre)
         return sorted(row["pre"] for row in rows)
 
+    def children_of_many(self, pres: List[int]) -> List[List[int]]:
+        """Children of every node in ``pres`` (one list per input node)."""
+        return [self.children_of(pre) for pre in pres]
+
     def descendants_of(self, pre: int) -> List[int]:
-        """All proper descendants via a ``pre`` range scan filtered on ``post``."""
+        """All proper descendants via a bounded ``pre`` range scan.
+
+        Pre-order subtrees are contiguous: every descendant follows the
+        anchor in ``pre`` order and precedes it in ``post`` order, and the
+        first following row with a larger ``post`` marks the end of the
+        subtree — so the scan stops there instead of filtering every row to
+        the end of the table.
+        """
         anchor_rows = self._table.lookup("pre", pre)
         if not anchor_rows:
             return []
         anchor = anchor_rows[0]
         result = []
         for row in self._table.range_lookup("pre", low=anchor["pre"], include_low=False):
-            if row["post"] < anchor["post"]:
-                result.append(row["pre"])
+            if row["post"] > anchor["post"]:
+                break
+            result.append(row["pre"])
         return result
+
+    def descendants_of_many(self, pres: List[int]) -> List[List[int]]:
+        """Descendants of every node in ``pres`` (one list per input node)."""
+        return [self.descendants_of(pre) for pre in pres]
 
     def parent_of(self, pre: int) -> int:
         """Parent ``pre`` number (0 for the root; raises for unknown nodes)."""
@@ -82,12 +151,39 @@ class ServerFilter(Filter):
 
     def evaluate(self, pre: int, point: int) -> int:
         """Evaluate the *stored server share* of node ``pre`` at ``point``."""
-        share = self._share_polynomial(pre)
-        return self._ring.evaluate(share, point)
+        return self._ring.evaluate(self._share_polynomial(pre), point)
+
+    def evaluate_batch(self, pres: List[int], point: int) -> List[int]:
+        """Evaluate the stored shares of all ``pres`` at ``point``.
+
+        One remote call and one index pass resolve every non-cached share;
+        results are aligned with ``pres``.  Unknown nodes raise
+        :class:`LookupError` like :meth:`evaluate`.
+        """
+        pres = list(pres)
+        polys: Dict[int, RingPolynomial] = {}
+        uncached: List[int] = []
+        for pre in dict.fromkeys(pres):
+            poly = self._cached_share(pre)
+            if poly is None:
+                uncached.append(pre)
+            else:
+                polys[pre] = poly
+        if uncached:
+            rows = self._rows_for(uncached)
+            absent = sorted(set(uncached) - rows.keys())
+            if absent:
+                raise LookupError("no node with pre=%s" % absent)
+            for pre in uncached:
+                poly = RingPolynomial(self._ring, rows[pre]["share"])
+                self._store_share(pre, poly)
+                polys[pre] = poly
+        return [self._ring.evaluate(polys[pre], point) for pre in pres]
 
     def evaluate_many(self, pres: List[int], point: int) -> List[int]:
-        """Batch variant of :meth:`evaluate` (one remote call, many results)."""
-        return [self.evaluate(pre, point) for pre in pres]
+        """Batch variant of :meth:`evaluate` (kept as an alias of
+        :meth:`evaluate_batch` for protocol compatibility)."""
+        return self.evaluate_batch(pres, point)
 
     def fetch_share(self, pre: int) -> List[int]:
         """The raw server-share coefficients of node ``pre``.
@@ -97,9 +193,23 @@ class ServerFilter(Filter):
         """
         return list(self._share_row(pre)["share"])
 
+    def fetch_shares_batch(self, pres: List[int]) -> List[List[int]]:
+        """Raw share coefficients for all ``pres``, one index pass.
+
+        Results align with ``pres`` (duplicates allowed); unknown nodes raise
+        :class:`LookupError` like :meth:`fetch_share`.
+        """
+        pres = list(pres)
+        rows = self._rows_for(pres)
+        absent = sorted(set(pres) - rows.keys())
+        if absent:
+            raise LookupError("no node with pre=%s" % absent)
+        return [list(rows[pre]["share"]) for pre in pres]
+
     def fetch_shares(self, pres: List[int]) -> List[List[int]]:
-        """Batch variant of :meth:`fetch_share`."""
-        return [self.fetch_share(pre) for pre in pres]
+        """Batch variant of :meth:`fetch_share` (alias of
+        :meth:`fetch_shares_batch`)."""
+        return self.fetch_shares_batch(pres)
 
     def _share_row(self, pre: int) -> Dict:
         rows = self._table.lookup("pre", pre)
@@ -108,7 +218,67 @@ class ServerFilter(Filter):
         return rows[0]
 
     def _share_polynomial(self, pre: int) -> RingPolynomial:
-        return RingPolynomial(self._ring, self._share_row(pre)["share"])
+        poly = self._cached_share(pre)
+        if poly is None:
+            poly = RingPolynomial(self._ring, self._share_row(pre)["share"])
+            self._store_share(pre, poly)
+        return poly
+
+    # ------------------------------------------------------------------
+    # Batch row resolution + share cache
+    # ------------------------------------------------------------------
+
+    def _rows_for(self, pres: Sequence[int]) -> Dict[int, Dict]:
+        """Resolve the table rows of a batch of ``pre`` keys.
+
+        Dense batches are answered by a single ascending pass over the
+        ``pre`` index between the smallest and largest key; sparse batches
+        (where that range would be mostly misses) use point lookups.
+        Missing keys are simply absent from the result.
+        """
+        wanted = set(pres)
+        if not wanted:
+            return {}
+        found: Dict[int, Dict] = {}
+        low, high = min(wanted), max(wanted)
+        if high - low + 1 <= _DENSE_SCAN_FACTOR * len(wanted):
+            for row in self._table.range_lookup("pre", low=low, high=high):
+                if row["pre"] in wanted:
+                    found[row["pre"]] = row
+                    if len(found) == len(wanted):
+                        break
+        else:
+            for pre in wanted:
+                rows = self._table.lookup("pre", pre)
+                if rows:
+                    found[pre] = rows[0]
+        return found
+
+    def _cached_share(self, pre: int) -> Optional[RingPolynomial]:
+        poly = self._share_cache.get(pre)
+        if poly is not None:
+            self._share_cache.move_to_end(pre)
+            self._share_cache_hits += 1
+            return poly
+        self._share_cache_misses += 1
+        return None
+
+    def _store_share(self, pre: int, poly: RingPolynomial) -> None:
+        if self._share_cache_size == 0:
+            return
+        self._share_cache[pre] = poly
+        self._share_cache.move_to_end(pre)
+        while len(self._share_cache) > self._share_cache_size:
+            self._share_cache.popitem(last=False)
+
+    def share_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/occupancy accounting of the decoded-share LRU cache."""
+        return {
+            "hits": self._share_cache_hits,
+            "misses": self._share_cache_misses,
+            "size": len(self._share_cache),
+            "capacity": self._share_cache_size,
+        }
 
     # ------------------------------------------------------------------
     # next_node() pipeline — server-side buffering of intermediate results
@@ -118,7 +288,7 @@ class ServerFilter(Filter):
         """Create a buffered result queue and return its id."""
         queue_id = self._next_queue_id
         self._next_queue_id += 1
-        self._queues[queue_id] = list(pres)
+        self._queues[queue_id] = deque(pres)
         return queue_id
 
     def open_children_queue(self, pres: List[int]) -> int:
@@ -142,7 +312,7 @@ class ServerFilter(Filter):
             raise LookupError("unknown queue id %d" % queue_id)
         if not queue:
             return -1
-        return queue.pop(0)
+        return queue.popleft()
 
     def queue_size(self, queue_id: int) -> int:
         """Number of nodes still buffered in a queue."""

@@ -6,6 +6,12 @@ strings, bytes, lists/tuples and string-keyed dictionaries.  Arbitrary
 objects are rejected — exactly the discipline a real remote boundary imposes,
 which keeps the filter interfaces honest (no accidental passing of live
 Python objects between "client" and "server").
+
+Homogeneous integer lists — the dominant payload of the batched endpoints
+(candidate ``pre`` lists, share coefficient vectors) — are written in a
+compact vector form so a batch of *n* values is encoded once with one byte of
+framing per element rather than five; other payloads use the generic tagged
+encoding.
 """
 
 from __future__ import annotations
@@ -21,6 +27,13 @@ _TAG_STR = b"S"
 _TAG_BYTES = b"B"
 _TAG_LIST = b"L"
 _TAG_DICT = b"M"
+#: compact vector-of-ints: the dominant batch payload shape (candidate lists,
+#: share coefficient vectors) costs 1 length byte + digits per element instead
+#: of a 1-byte tag + 4-byte length per element
+_TAG_INTVEC = b"V"
+
+#: widest per-element digit string the compact vector form can carry
+_INTVEC_MAX_DIGITS = 255
 
 
 class CodecError(ValueError):
@@ -67,6 +80,10 @@ class Codec:
             encoded = bytes(value)
             parts.append(_TAG_BYTES + _length(encoded) + encoded)
         elif isinstance(value, (list, tuple)):
+            compact = _encode_intvec(value)
+            if compact is not None:
+                parts.append(compact)
+                return
             parts.append(_TAG_LIST + _length_int(len(value)))
             for item in value:
                 self._encode_into(item, parts)
@@ -111,6 +128,20 @@ class Codec:
             if tag == _TAG_STR:
                 return raw.decode("utf-8"), offset
             return raw, offset
+        if tag == _TAG_INTVEC:
+            count, offset = _read_length(payload, offset)
+            items = []
+            for _ in range(count):
+                if offset >= len(payload):
+                    raise CodecError("truncated payload")
+                size = payload[offset]
+                offset += 1
+                raw = payload[offset : offset + size]
+                if len(raw) != size:
+                    raise CodecError("truncated payload body")
+                items.append(int(raw.decode("ascii")))
+                offset += size
+            return items, offset
         if tag == _TAG_LIST:
             count, offset = _read_length(payload, offset)
             items = []
@@ -127,6 +158,25 @@ class Codec:
                 result[key] = value
             return result, offset
         raise CodecError("unknown type tag %r at offset %d" % (tag, offset - 1))
+
+
+def _encode_intvec(values) -> "bytes | None":
+    """Compact encoding of a non-empty homogeneous int list, or ``None``.
+
+    Bools (an ``int`` subclass) and astronomically long integers fall back to
+    the generic list form so decoding always reproduces the input exactly.
+    """
+    if not values:
+        return None
+    chunks = []
+    for value in values:
+        if type(value) is not int:
+            return None
+        digits = str(value).encode("ascii")
+        if len(digits) > _INTVEC_MAX_DIGITS:
+            return None
+        chunks.append(bytes((len(digits),)) + digits)
+    return _TAG_INTVEC + _length_int(len(values)) + b"".join(chunks)
 
 
 def _length(encoded: bytes) -> bytes:

@@ -20,10 +20,17 @@ class RemoteProxy:
         # Double-underscore attributes avoid clashes with proxied method names.
         object.__setattr__(self, "_RemoteProxy__target", target)
         object.__setattr__(self, "_RemoteProxy__transport", transport)
+        # Method stubs are built once per name: the batched hot path calls
+        # the same few endpoints thousands of times per experiment run.
+        object.__setattr__(self, "_RemoteProxy__stubs", {})
 
     def __getattr__(self, name: str) -> Callable[..., Any]:
         if name.startswith("__"):
             raise AttributeError(name)
+        stubs = object.__getattribute__(self, "_RemoteProxy__stubs")
+        cached = stubs.get(name)
+        if cached is not None:
+            return cached
         target = object.__getattribute__(self, "_RemoteProxy__target")
         transport = object.__getattribute__(self, "_RemoteProxy__transport")
         if not hasattr(target, name):
@@ -35,6 +42,7 @@ class RemoteProxy:
             return transport.invoke(target, name, args, kwargs)
 
         remote_call.__name__ = name
+        stubs[name] = remote_call
         return remote_call
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics

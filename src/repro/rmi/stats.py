@@ -1,4 +1,4 @@
-"""Accounting of remote calls: counts, bytes, simulated latency."""
+"""Accounting of remote calls: counts, bytes, errors, simulated latency."""
 
 from __future__ import annotations
 
@@ -13,9 +13,19 @@ class CallStats:
     One instance is attached to a :class:`~repro.rmi.transport.SimulatedTransport`
     and read out by the experiment harness after each query to report the
     communication cost alongside the evaluation counts.
+
+    Counter semantics: every invocation — including ones whose server method
+    raised or whose payload failed to encode — increments ``calls`` and the
+    per-method count; failed invocations additionally increment ``errors``
+    (and ``errors_by_method``) so a flaky server is visible in the reports
+    rather than silently under-counted.  ``queries`` is bumped once per
+    executed query by the query layer, which makes the derived
+    ``calls_per_query`` / ``bytes_per_query`` the headline numbers for the
+    batching work: the batched pipeline issues O(1) calls per query step
+    where the per-node path issued O(candidates).
     """
 
-    #: total number of remote method invocations
+    #: total number of remote method invocations (successful or failed)
     calls: int = 0
     #: bytes of encoded request payloads (client → server)
     bytes_sent: int = 0
@@ -25,14 +35,34 @@ class CallStats:
     simulated_latency: float = 0.0
     #: per-method invocation counts
     calls_by_method: Dict[str, int] = field(default_factory=dict)
+    #: invocations whose server method (or payload encoding) raised
+    errors: int = 0
+    #: per-method error counts
+    errors_by_method: Dict[str, int] = field(default_factory=dict)
+    #: number of queries executed against the transport (set by the query layer)
+    queries: int = 0
 
-    def record(self, method: str, request_bytes: int, response_bytes: int, latency: float) -> None:
-        """Record one completed remote call."""
+    def record(
+        self,
+        method: str,
+        request_bytes: int,
+        response_bytes: int,
+        latency: float,
+        error: bool = False,
+    ) -> None:
+        """Record one remote call (``error=True`` for a failed invocation)."""
         self.calls += 1
         self.bytes_sent += request_bytes
         self.bytes_received += response_bytes
         self.simulated_latency += latency
         self.calls_by_method[method] = self.calls_by_method.get(method, 0) + 1
+        if error:
+            self.errors += 1
+            self.errors_by_method[method] = self.errors_by_method.get(method, 0) + 1
+
+    def count_query(self, amount: int = 1) -> None:
+        """Record that ``amount`` queries ran over this transport."""
+        self.queries += amount
 
     def reset(self) -> None:
         """Zero all counters (used between experiment runs)."""
@@ -41,25 +71,43 @@ class CallStats:
         self.bytes_received = 0
         self.simulated_latency = 0.0
         self.calls_by_method.clear()
+        self.errors = 0
+        self.errors_by_method.clear()
+        self.queries = 0
 
     @property
     def total_bytes(self) -> int:
         """Bytes in both directions."""
         return self.bytes_sent + self.bytes_received
 
+    @property
+    def calls_per_query(self) -> float:
+        """Average remote calls per recorded query (0.0 before any query)."""
+        return self.calls / self.queries if self.queries else 0.0
+
+    @property
+    def bytes_per_query(self) -> float:
+        """Average payload bytes per recorded query (0.0 before any query)."""
+        return self.total_bytes / self.queries if self.queries else 0.0
+
     def snapshot(self) -> Dict[str, float]:
         """A plain-dict copy for report printing."""
         return {
             "calls": self.calls,
+            "errors": self.errors,
+            "queries": self.queries,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
             "total_bytes": self.total_bytes,
             "simulated_latency": self.simulated_latency,
+            "calls_per_query": self.calls_per_query,
+            "bytes_per_query": self.bytes_per_query,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
-        return "CallStats(calls=%d, bytes=%d, latency=%.4fs)" % (
+        return "CallStats(calls=%d, errors=%d, bytes=%d, latency=%.4fs)" % (
             self.calls,
+            self.errors,
             self.total_bytes,
             self.simulated_latency,
         )

@@ -1,4 +1,24 @@
-"""Simulated transport between the client and server halves of the filter."""
+"""Simulated transport between the client and server halves of the filter.
+
+Batch protocol and counter semantics
+------------------------------------
+
+The transport is method-agnostic: the batched endpoints of
+:class:`~repro.filters.server.ServerFilter` (``node_infos``,
+``children_of_many``, ``descendants_of_many``, ``evaluate_batch``,
+``fetch_shares_batch``) travel through :meth:`SimulatedTransport.invoke`
+exactly like the per-node primitives — one invocation, one request payload,
+one response payload — so :class:`~repro.rmi.stats.CallStats` directly shows
+the batching win: a batched query step contributes one ``calls`` tick and one
+(larger) payload where the per-node path contributed one tick per candidate.
+
+Every invocation is recorded, *including failed ones*: when the server method
+raises (or its result cannot be encoded), the call is still counted with the
+request size, whatever response bytes were produced, and ``error=True`` — so
+experiment reports never under-count the traffic of a flaky run.  The query
+layer additionally bumps ``CallStats.queries`` once per query, which yields
+the derived calls-per-query / bytes-per-query figures.
+"""
 
 from __future__ import annotations
 
@@ -45,17 +65,26 @@ class SimulatedTransport:
         The positional/keyword arguments are encoded, "shipped", decoded and
         applied to ``target.method``; the return value travels back the same
         way.  Exceptions raised by the server method propagate to the caller
-        (RMI wraps them; the distinction does not matter for the experiments).
+        (RMI wraps them; the distinction does not matter for the experiments)
+        — but the call is recorded in the stats either way, with
+        ``error=True`` when it failed.
         """
         kwargs = kwargs or {}
         handler: Callable[..., Any] = getattr(target, method)
         request_payload = self.codec.encode({"method": method, "args": list(args), "kwargs": kwargs})
         decoded_request = self.codec.decode(request_payload)
-        result = handler(*decoded_request["args"], **decoded_request["kwargs"])
-        response_payload = self.codec.encode(result)
-        decoded_result = self.codec.decode(response_payload)
-        latency = self.per_call_latency + self.per_byte_latency * (
-            len(request_payload) + len(response_payload)
-        )
-        self.stats.record(method, len(request_payload), len(response_payload), latency)
-        return decoded_result
+        response_payload = b""
+        failed = True
+        try:
+            result = handler(*decoded_request["args"], **decoded_request["kwargs"])
+            response_payload = self.codec.encode(result)
+            decoded_result = self.codec.decode(response_payload)
+            failed = False
+            return decoded_result
+        finally:
+            latency = self.per_call_latency + self.per_byte_latency * (
+                len(request_payload) + len(response_payload)
+            )
+            self.stats.record(
+                method, len(request_payload), len(response_payload), latency, error=failed
+            )

@@ -38,6 +38,39 @@ class TestCodec:
     def test_tuples_decode_as_lists(self):
         assert CODEC.decode(CODEC.encode((1, 2, 3))) == [1, 2, 3]
 
+    def test_int_vector_roundtrip(self):
+        """Homogeneous int lists take the compact vector form."""
+        vectors = [
+            [0],
+            [1, -2, 3],
+            list(range(-500, 500)),
+            [2**80, -(2**80), 0],
+        ]
+        for vector in vectors:
+            payload = CODEC.encode(vector)
+            assert payload[0:1] == b"V"
+            assert CODEC.decode(payload) == vector
+
+    def test_int_vector_is_smaller_than_generic_list(self):
+        vector = list(range(1000))
+        generic_size = sum(len(CODEC.encode(v)) for v in vector) + 5
+        assert len(CODEC.encode(vector)) < generic_size
+
+    def test_bools_and_huge_ints_fall_back_to_generic_list(self):
+        for value in ([True, 1], [1, False], [10**300, 1], []):
+            payload = CODEC.encode(value)
+            assert payload[0:1] != b"V"
+            decoded = CODEC.decode(payload)
+            assert decoded == value
+            # bool identity is preserved (True must not decode as 1)
+            for original, roundtripped in zip(value, decoded):
+                assert type(original) is type(roundtripped)
+
+    def test_truncated_int_vector_rejected(self):
+        payload = CODEC.encode([1, 2, 3])
+        with pytest.raises(CodecError):
+            CODEC.decode(payload[:-1])
+
     def test_non_string_dict_keys_rejected(self):
         with pytest.raises(CodecError):
             CODEC.encode({1: "a"})
@@ -124,10 +157,55 @@ class TestTransport:
         with pytest.raises(RuntimeError):
             transport.invoke(_EchoService(), "fail")
 
+    def test_server_exception_still_recorded_in_stats(self):
+        """A failed call must not be invisible: counts, bytes and the error
+        flag are recorded even when the server method raises."""
+        stats = CallStats()
+        transport = SimulatedTransport(per_call_latency=0.25, stats=stats)
+        with pytest.raises(RuntimeError):
+            transport.invoke(_EchoService(), "fail")
+        assert stats.calls == 1
+        assert stats.errors == 1
+        assert stats.calls_by_method == {"fail": 1}
+        assert stats.errors_by_method == {"fail": 1}
+        assert stats.bytes_sent > 0
+        assert stats.bytes_received == 0
+        assert stats.simulated_latency == pytest.approx(0.25)
+        # A subsequent successful call keeps the error count at 1.
+        transport.invoke(_EchoService(), "echo", ("x",))
+        assert stats.calls == 2
+        assert stats.errors == 1
+
     def test_unserialisable_result_rejected(self):
         transport = SimulatedTransport()
         with pytest.raises(CodecError):
             transport.invoke(_EchoService(), "leak_object")
+
+    def test_unserialisable_result_recorded_as_error(self):
+        stats = CallStats()
+        transport = SimulatedTransport(stats=stats)
+        with pytest.raises(CodecError):
+            transport.invoke(_EchoService(), "leak_object")
+        assert stats.calls == 1
+        assert stats.errors == 1
+
+    def test_per_query_accounting(self):
+        stats = CallStats()
+        transport = SimulatedTransport(stats=stats)
+        assert stats.calls_per_query == 0.0
+        assert stats.bytes_per_query == 0.0
+        transport.invoke(_EchoService(), "echo", (1,))
+        transport.invoke(_EchoService(), "echo", (2,))
+        stats.count_query()
+        assert stats.queries == 1
+        assert stats.calls_per_query == 2.0
+        assert stats.bytes_per_query == float(stats.total_bytes)
+        snapshot = stats.snapshot()
+        assert snapshot["queries"] == 1
+        assert snapshot["errors"] == 0
+        assert snapshot["calls_per_query"] == 2.0
+        stats.reset()
+        assert stats.queries == 0 and stats.errors == 0
 
     def test_negative_latency_rejected(self):
         with pytest.raises(ValueError):
