@@ -62,6 +62,12 @@ def main() -> None:
 
     print("\nWhat the server observed:")
     stats = linkability_report(server.view)
+    memo = encoded.prg.cache_info()
+    print("  arithmetic backend       : %s" % server.view.backend)
+    print(
+        "  client share-memo hits   : %d of %d regenerations"
+        % (memo["hits"], memo["hits"] + memo["misses"])
+    )
     print("  remote requests          : %d" % server.view.call_count())
     print("  distinct evaluation points (== distinct tags queried): %d" % stats["distinct_points"])
     print("  polynomial evaluations   : %d" % stats["total_evaluations"])

@@ -30,6 +30,9 @@ class ServerView:
     def __init__(self) -> None:
         self.calls: List[ObservedCall] = []
         self._sequence = 0
+        #: arithmetic kernel backend that served the observed trace
+        #: ("prime", "table" or "naive"); stamped by the observing filter
+        self.backend: Optional[str] = None
 
     def record(self, method: str, pre: Optional[int] = None, point: Optional[int] = None, pres: Tuple[int, ...] = ()) -> None:
         """Append one observation."""
@@ -119,6 +122,7 @@ class ObservingServerFilter(ServerFilter):
     def __init__(self, table, ring, view: Optional[ServerView] = None):
         super().__init__(table, ring)
         self.view = view or ServerView()
+        self.view.backend = ring.kernel.name
 
     # Structural queries -------------------------------------------------
 

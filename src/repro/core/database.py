@@ -63,6 +63,8 @@ class EncryptedXMLDatabase:
 
         server_filter = ServerFilter(encoded.node_table, encoded.ring)
         self.server_filter = server_filter
+        # Stamp the trace with the arithmetic backend that produced it.
+        transport.stats.backend = encoded.ring.kernel.name
         if use_rmi:
             registry = Registry(transport)
             registry.bind("ServerFilter", server_filter)

@@ -11,6 +11,13 @@ multiplication away:
 The polynomial is then split additively — the client share is produced by the
 keyed PRG from ``(seed, pre)`` and discarded, the server share is stored in
 the node table together with the pre/post/parent numbers.
+
+The per-node ring multiplications (one sparse ``x - tag`` product plus one
+dense running child-product update) dominate encoding time; they run on the
+field's :class:`~repro.gf.kernels.FieldKernel` (Kronecker-substitution
+convolution for prime fields, log/exp tables for extension fields) —
+``benchmarks/bench_field_kernels.py`` quantifies the speedup over the naive
+dispatched arithmetic.
 """
 
 from __future__ import annotations
@@ -155,7 +162,7 @@ class _EncodingHandler(ContentHandler):
     def end_element(self, tag: str) -> None:
         self._post_counter += 1
         pre, tag_value, child_product, parent_pre = self._stack.pop()
-        polynomial = self._ring.mul(self._ring.linear_factor(tag_value), child_product)
+        polynomial = self._ring.linear_mul(tag_value, child_product)
         server_share = self._sharing.server_share(polynomial, pre)
         self._table.insert(
             {
@@ -186,11 +193,12 @@ class Encoder:
         seed: bytes,
         btree_order: int = 64,
         index_columns: Optional[List[str]] = None,
+        prg_memo_size: int = 1024,
     ):
         self.tag_map = tag_map
         self.field = tag_map.field
         self.ring = QuotientRing(self.field)
-        self.prg = KeyedPRG(seed, self.field)
+        self.prg = KeyedPRG(seed, self.field, memo_size=prg_memo_size)
         self.sharing = AdditiveSharing(self.ring, self.prg)
         self._btree_order = btree_order
         self._index_columns = index_columns if index_columns is not None else ["pre", "post", "parent"]

@@ -183,12 +183,17 @@ class ClientFilter(Filter):
             server_values = self._server.evaluate_batch(pres, point)
         else:
             server_values = [self._server.evaluate(pre, point) for pre in pres]
-        combined = []
-        for pre, server_value in zip(pres, server_values):
-            client_value = self.evaluate(pre, point)
-            self.counters.count_evaluation()
-            combined.append(self._ring.field.add(server_value, client_value))
-        return combined
+        # Regenerate all client shares (memoised in the PRG) and evaluate
+        # them in one kernel sweep; counter bookkeeping stays exactly that
+        # of a per-node shared_evaluation loop.
+        self.counters.count_regeneration(len(pres))
+        self.counters.count_evaluation(len(pres))
+        client_values = self._ring.evaluate_many(self._sharing.client_shares(pres), point)
+        add = self._ring.field.add
+        return [
+            add(server_value, client_value)
+            for server_value, client_value in zip(server_values, client_values)
+        ]
 
     def reconstruct(self, pre: int) -> RingPolynomial:
         """Reconstruct the full node polynomial from both shares."""

@@ -111,8 +111,48 @@ class ServerFilter(Filter):
         return sorted(row["pre"] for row in rows)
 
     def children_of_many(self, pres: List[int]) -> List[List[int]]:
-        """Children of every node in ``pres`` (one list per input node)."""
-        return [self.children_of(pre) for pre in pres]
+        """Children of every node in ``pres`` (one list per input node).
+
+        Dense batches (the common case: a contiguous sibling or subtree
+        range) are resolved in one grouped ascending pass over the
+        ``parent`` index between the smallest and largest requested parent;
+        sparse batches fall back to one point lookup per parent, exactly
+        like :meth:`children_of`.
+        """
+        pres = list(pres)
+        if not pres:
+            return []
+        wanted = set(pres)
+        grouped: Dict[int, List[int]] = {pre: [] for pre in wanted}
+        low, high = min(wanted), max(wanted)
+        scanned = False
+        if high - low + 1 <= _DENSE_SCAN_FACTOR * len(wanted):
+            # The parent index is non-unique, so a small key range can still
+            # hold a huge row count (an unrequested node with big fanout).
+            # Abandon the scan once the wasted rows exceed the budget and
+            # fall back to point lookups.
+            budget = _DENSE_SCAN_FACTOR * len(wanted)
+            wasted = 0
+            scanned = True
+            for row in self._table.range_lookup("parent", low=low, high=high):
+                bucket = grouped.get(row["parent"])
+                if bucket is None:
+                    wasted += 1
+                    if wasted > budget:
+                        scanned = False
+                        grouped = {pre: [] for pre in wanted}
+                        break
+                else:
+                    bucket.append(row["pre"])
+            if scanned:
+                for bucket in grouped.values():
+                    bucket.sort()
+        if not scanned:
+            for pre in wanted:
+                grouped[pre] = sorted(
+                    row["pre"] for row in self._table.lookup("parent", pre)
+                )
+        return [list(grouped[pre]) for pre in pres]
 
     def descendants_of(self, pre: int) -> List[int]:
         """All proper descendants via a bounded ``pre`` range scan.
@@ -175,10 +215,10 @@ class ServerFilter(Filter):
             if absent:
                 raise LookupError("no node with pre=%s" % absent)
             for pre in uncached:
-                poly = RingPolynomial(self._ring, rows[pre]["share"])
+                poly = self._ring.wrap_canonical(rows[pre]["share"])
                 self._store_share(pre, poly)
                 polys[pre] = poly
-        return [self._ring.evaluate(polys[pre], point) for pre in pres]
+        return self._ring.evaluate_many([polys[pre] for pre in pres], point)
 
     def evaluate_many(self, pres: List[int], point: int) -> List[int]:
         """Batch variant of :meth:`evaluate` (kept as an alias of
@@ -220,7 +260,9 @@ class ServerFilter(Filter):
     def _share_polynomial(self, pre: int) -> RingPolynomial:
         poly = self._cached_share(pre)
         if poly is None:
-            poly = RingPolynomial(self._ring, self._share_row(pre)["share"])
+            # Rows were written from canonical share coefficients by the
+            # encoder, so the validating constructor is unnecessary here.
+            poly = self._ring.wrap_canonical(self._share_row(pre)["share"])
             self._store_share(pre, poly)
         return poly
 
@@ -271,13 +313,19 @@ class ServerFilter(Filter):
         while len(self._share_cache) > self._share_cache_size:
             self._share_cache.popitem(last=False)
 
-    def share_cache_info(self) -> Dict[str, int]:
-        """Hit/miss/occupancy accounting of the decoded-share LRU cache."""
+    def share_cache_info(self) -> Dict[str, object]:
+        """Hit/miss/occupancy accounting of the decoded-share LRU cache.
+
+        ``backend`` names the arithmetic kernel that produced every
+        evaluation this server performed, so traces and reports can state
+        which implementation they measured.
+        """
         return {
             "hits": self._share_cache_hits,
             "misses": self._share_cache_misses,
             "size": len(self._share_cache),
             "capacity": self._share_cache_size,
+            "backend": self._ring.kernel.name,
         }
 
     # ------------------------------------------------------------------

@@ -14,6 +14,9 @@ This package provides:
   ``F_p[t]/(m(t))`` for a monic irreducible polynomial ``m``.
 * :func:`~repro.gf.factory.make_field` — convenience constructor selecting the
   right implementation from ``(p, e)``.
+* :mod:`~repro.gf.kernels` — the bulk-arithmetic kernel layer (direct modular
+  arithmetic for prime fields, log/exp tables for extension fields) that every
+  hot path reaches through the cached ``Field.kernel`` property.
 * Primality and irreducibility testing utilities used by the constructors.
 
 All fields share the :class:`~repro.gf.base.Field` interface so the polynomial
@@ -24,6 +27,13 @@ from repro.gf.base import Field, FieldError
 from repro.gf.element import FieldElement
 from repro.gf.extension import ExtensionField
 from repro.gf.factory import make_field
+from repro.gf.kernels import (
+    FieldKernel,
+    NaiveKernel,
+    PrimeKernel,
+    TableKernel,
+    make_kernel,
+)
 from repro.gf.prime import PrimeField
 from repro.gf.primes import is_prime, is_prime_power, next_prime, prime_power_decomposition
 
@@ -31,9 +41,14 @@ __all__ = [
     "Field",
     "FieldElement",
     "FieldError",
+    "FieldKernel",
+    "NaiveKernel",
     "PrimeField",
+    "PrimeKernel",
     "ExtensionField",
+    "TableKernel",
     "make_field",
+    "make_kernel",
     "is_prime",
     "is_prime_power",
     "next_prime",

@@ -118,6 +118,40 @@ class Field(ABC):
 
         return FieldElement(self, self.from_int(value))
 
+    # ------------------------------------------------------------------
+    # Bulk-arithmetic kernel
+    # ------------------------------------------------------------------
+
+    @property
+    def kernel(self) -> "FieldKernel":
+        """The cached bulk-arithmetic kernel for this field.
+
+        Built lazily on first access and shared by every consumer of the
+        field (polynomials, the quotient ring, the filters), so table-based
+        kernels pay their one-time construction cost exactly once.  See
+        :mod:`repro.gf.kernels`.
+        """
+        kernel = getattr(self, "_kernel", None)
+        if kernel is None:
+            from repro.gf.kernels import make_kernel
+
+            kernel = make_kernel(self)
+            self._kernel = kernel
+        return kernel
+
+    def set_kernel_backend(self, backend: str) -> "FieldKernel":
+        """Replace the cached kernel with the named backend.
+
+        Mainly used to force the ``"naive"`` reference kernel for
+        differential testing and the kernel benchmark; returns the new
+        kernel.
+        """
+        from repro.gf.kernels import make_kernel
+
+        kernel = make_kernel(self, backend)
+        self._kernel = kernel
+        return kernel
+
     def elements(self) -> Iterator[int]:
         """Iterate over every canonical element of the field (0 .. q-1)."""
         return iter(range(self.order))

@@ -1,0 +1,643 @@
+"""Table-driven field kernels: the bulk-arithmetic backend of the system.
+
+Every hot path of the reproduction — ring multiplication during encoding,
+Horner evaluation during containment tests, share reconstruction during
+equality tests — bottoms out in finite-field coefficient arithmetic.  The
+generic :class:`~repro.gf.base.Field` interface dispatches one method call
+per coefficient operation, which for extension fields additionally unpacks
+and repacks base-``p`` coefficient vectors on *every* product.  The paper
+(Brinkman et al., SDM 2005) works over small fields (``q`` up to a few
+hundred), which is exactly the regime where precomputed tables turn scalar
+operations into array lookups and whole-vector primitives amortise the
+remaining interpreter overhead.
+
+Three interchangeable backends implement the :class:`FieldKernel` interface:
+
+* :class:`NaiveKernel` — delegates every operation to the dispatched
+  ``Field`` methods with exactly the pre-kernel loops.  It exists as the
+  differential-testing oracle and the baseline the kernel benchmark
+  (``benchmarks/bench_field_kernels.py``) compares against.
+* :class:`PrimeKernel` — direct modular arithmetic for prime fields.  Dense
+  convolutions use Kronecker substitution: both coefficient vectors are
+  packed into one big integer each (one fixed-width digit per coefficient,
+  wide enough that no digit can overflow), multiplied with Python's C-speed
+  big-integer multiply, and the product digits are the exact convolution
+  coefficients, reduced ``mod p`` once at the end.
+* :class:`TableKernel` — one-time discrete-log/exponent tables over a
+  generator of the multiplicative group ``F_q^*`` plus a flat addition
+  table, valid for *any* small field.  For extension fields this kills the
+  ``to_coeffs``/``from_coeffs`` round trips entirely: ``mul``/``inv``/
+  ``div``/``pow`` become O(1) list indexing.
+
+All kernels operate on canonical integer elements (``range(q)``) and are
+**bit-identical** to the naive ``Field`` methods — the test suite asserts
+agreement property-by-property, and the benchmark asserts byte-identical
+shares, query results and evaluation counters under both backends.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.gf.base import Field, FieldError
+
+__all__ = [
+    "FieldKernel",
+    "NaiveKernel",
+    "PrimeKernel",
+    "TableKernel",
+    "make_kernel",
+    "KERNEL_BACKENDS",
+]
+
+
+class FieldKernel:
+    """Bulk arithmetic over one finite field.
+
+    Subclasses implement the scalar operations; the vector primitives
+    defined here are generic fallbacks that concrete kernels override where
+    a faster formulation exists.  Inputs are sequences of canonical field
+    integers; outputs are plain lists of canonical field integers.
+    """
+
+    #: backend identifier recorded in traces and accounting ("naive",
+    #: "prime" or "table")
+    name = "abstract"
+
+    def __init__(self, field: Field):
+        self.field = field
+        self.order = field.order
+
+    # ------------------------------------------------------------------
+    # Scalar operations
+    # ------------------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def sub(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def neg(self, a: int) -> int:
+        raise NotImplementedError
+
+    def mul(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def inv(self, a: int) -> int:
+        raise NotImplementedError
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Vector primitives
+    # ------------------------------------------------------------------
+
+    def vec_add(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Component-wise sum of two equal-length vectors."""
+        add = self.add
+        return [add(x, y) for x, y in zip(a, b)]
+
+    def vec_sub(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Component-wise difference of two equal-length vectors."""
+        sub = self.sub
+        return [sub(x, y) for x, y in zip(a, b)]
+
+    def vec_neg(self, a: Sequence[int]) -> List[int]:
+        """Component-wise negation."""
+        neg = self.neg
+        return [neg(x) for x in a]
+
+    def vec_scale(self, a: Sequence[int], scalar: int) -> List[int]:
+        """Multiply every component by one field scalar."""
+        mul = self.mul
+        return [mul(x, scalar) for x in a]
+
+    def convolve(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Linear convolution (polynomial product), length ``len(a)+len(b)-1``.
+
+        Either input being empty yields the empty list (the zero polynomial).
+        """
+        if not a or not b:
+            return []
+        add, mul = self.add, self.mul
+        out = [0] * (len(a) + len(b) - 1)
+        for i, x in enumerate(a):
+            if x == 0:
+                continue
+            for j, y in enumerate(b):
+                if y == 0:
+                    continue
+                out[i + j] = add(out[i + j], mul(x, y))
+        return out
+
+    def cyclic_convolve(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Cyclic convolution of two length-``n`` vectors (mod ``x^n - 1``)."""
+        n = len(a)
+        if len(b) != n:
+            raise FieldError(
+                "cyclic convolution needs equal lengths, got %d and %d" % (n, len(b))
+            )
+        add, mul = self.add, self.mul
+        out = [0] * n
+        for i, x in enumerate(a):
+            if x == 0:
+                continue
+            for j, y in enumerate(b):
+                if y == 0:
+                    continue
+                k = i + j
+                if k >= n:
+                    k -= n
+                out[k] = add(out[k], mul(x, y))
+        return out
+
+    def cyclic_mul_linear(self, root: int, vec: Sequence[int]) -> List[int]:
+        """Cyclic product ``(x - root) * vec`` (mod ``x^n - 1``).
+
+        The encoding multiplies every node polynomial by one ``x - tag``
+        monomial, so this shape deserves an O(n) path:
+        ``out[k] = vec[k-1] - root * vec[k]`` (indices cyclic).  The generic
+        implementation materialises the monomial and convolves — exactly
+        what the pre-kernel code did — so the naive backend keeps its
+        original cost profile; concrete kernels override it.
+        """
+        coeffs = [0] * len(vec)
+        coeffs[0] = self.field.neg(self.field.validate(root))
+        if len(vec) > 1:
+            coeffs[1] = self.field.one
+        else:  # degenerate length-1 ring folds x onto the constant term
+            coeffs[0] = self.field.add(coeffs[0], self.field.one)
+        return self.cyclic_convolve(coeffs, vec)
+
+    def horner(self, coeffs: Sequence[int], point: int) -> int:
+        """Evaluate a little-endian coefficient vector at ``point``."""
+        add, mul = self.add, self.mul
+        accumulator = 0
+        for coefficient in reversed(coeffs):
+            accumulator = add(mul(accumulator, point), coefficient)
+        return accumulator
+
+    def horner_many(self, vectors: Iterable[Sequence[int]], point: int) -> List[int]:
+        """Evaluate many coefficient vectors at the same point."""
+        return [self.horner(coeffs, point) for coeffs in vectors]
+
+    def eval_points(self, coeffs: Sequence[int], points: Iterable[int]) -> List[int]:
+        """Evaluate one coefficient vector at many points."""
+        return [self.horner(coeffs, point) for point in points]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "%s(%r)" % (type(self).__name__, self.field)
+
+
+class NaiveKernel(FieldKernel):
+    """Reference kernel delegating to the dispatched ``Field`` methods.
+
+    This reproduces the arithmetic exactly as it ran before the kernel layer
+    existed — one dynamically-dispatched method call per coefficient
+    operation — and serves as both the differential-testing oracle and the
+    baseline of ``benchmarks/bench_field_kernels.py``.
+    """
+
+    name = "naive"
+
+    def __init__(self, field: Field):
+        super().__init__(field)
+        self.add = field.add
+        self.sub = field.sub
+        self.neg = field.neg
+        self.mul = field.mul
+        self.inv = field.inv
+        self.div = field.div
+        self.pow = field.pow
+
+
+class PrimeKernel(FieldKernel):
+    """Direct modular arithmetic for prime fields ``F_p``.
+
+    Scalar operations are plain integer arithmetic mod ``p``.  The dense
+    convolution path uses Kronecker substitution (see the module docstring);
+    sparse operands (the encoding's ``x - tag`` linear factors) take a
+    schoolbook path that accumulates unreduced Python integers and reduces
+    once at the end.  Both are bit-identical to coefficient-wise ``Field``
+    arithmetic because all of it is the same math mod ``p``.
+    """
+
+    name = "prime"
+
+    #: operands with at most this many non-zero coefficients skip the
+    #: Kronecker packing and use the schoolbook loop over non-zeros
+    _SPARSE_LIMIT = 4
+
+    def __init__(self, field: Field):
+        if field.degree != 1:
+            raise FieldError(
+                "PrimeKernel requires a prime field, got degree %d" % field.degree
+            )
+        super().__init__(field)
+        self._p = field.order
+
+    # ------------------------------------------------------------------
+    # Scalars
+    # ------------------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        result = a + b
+        return result - self._p if result >= self._p else result
+
+    def sub(self, a: int, b: int) -> int:
+        result = a - b
+        return result + self._p if result < 0 else result
+
+    def neg(self, a: int) -> int:
+        return self._p - a if a else 0
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self._p
+
+    def inv(self, a: int) -> int:
+        a %= self._p
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse in F_%d" % self._p)
+        return pow(a, self._p - 2, self._p)
+
+    def pow(self, a: int, exponent: int) -> int:
+        if exponent < 0:
+            a = self.inv(a)
+            exponent = -exponent
+        return pow(a % self._p, exponent, self._p)
+
+    # ------------------------------------------------------------------
+    # Vectors
+    # ------------------------------------------------------------------
+
+    def vec_add(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        p = self._p
+        return [(x + y) % p for x, y in zip(a, b)]
+
+    def vec_sub(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        p = self._p
+        return [(x - y) % p for x, y in zip(a, b)]
+
+    def vec_neg(self, a: Sequence[int]) -> List[int]:
+        p = self._p
+        return [(-x) % p for x in a]
+
+    def vec_scale(self, a: Sequence[int], scalar: int) -> List[int]:
+        p = self._p
+        return [(x * scalar) % p for x in a]
+
+    # ------------------------------------------------------------------
+    # Convolution via Kronecker substitution
+    # ------------------------------------------------------------------
+
+    def _digits(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Unreduced convolution coefficients of ``a * b``.
+
+        Packs both vectors into big integers with one fixed-width digit per
+        coefficient.  Every product digit equals the exact integer
+        convolution coefficient because the digit width is chosen so that
+        ``min(len) * (p-1)^2`` — the largest possible coefficient — cannot
+        carry into the next digit.
+        """
+        p = self._p
+        bound = min(len(a), len(b)) * (p - 1) * (p - 1)
+        width = max(1, (bound.bit_length() + 7) // 8)
+        packed_a = bytearray(len(a) * width)
+        for i, x in enumerate(a):
+            if x:
+                packed_a[i * width : i * width + width] = x.to_bytes(width, "little")
+        packed_b = bytearray(len(b) * width)
+        for i, x in enumerate(b):
+            if x:
+                packed_b[i * width : i * width + width] = x.to_bytes(width, "little")
+        product = int.from_bytes(packed_a, "little") * int.from_bytes(packed_b, "little")
+        out_len = len(a) + len(b) - 1
+        raw = product.to_bytes((len(a) + len(b)) * width, "little")
+        return [
+            int.from_bytes(raw[k * width : (k + 1) * width], "little")
+            for k in range(out_len)
+        ]
+
+    def _sparse_digits(
+        self, sparse: Sequence[int], dense: Sequence[int], out_len: int
+    ) -> List[int]:
+        """Schoolbook convolution over the non-zeros of ``sparse``."""
+        out = [0] * out_len
+        for i, x in enumerate(sparse):
+            if x:
+                for j, y in enumerate(dense):
+                    if y:
+                        out[i + j] += x * y
+        return out
+
+    def _nonzeros(self, a: Sequence[int]) -> int:
+        count = 0
+        for x in a:
+            if x:
+                count += 1
+                if count > self._SPARSE_LIMIT:
+                    break
+        return count
+
+    def convolve(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        if not a or not b:
+            return []
+        out_len = len(a) + len(b) - 1
+        if self._nonzeros(a) <= self._SPARSE_LIMIT:
+            digits = self._sparse_digits(a, b, out_len)
+        elif self._nonzeros(b) <= self._SPARSE_LIMIT:
+            digits = self._sparse_digits(b, a, out_len)
+        else:
+            digits = self._digits(a, b)
+        p = self._p
+        return [v % p for v in digits]
+
+    def cyclic_convolve(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        n = len(a)
+        if len(b) != n:
+            raise FieldError(
+                "cyclic convolution needs equal lengths, got %d and %d" % (n, len(b))
+            )
+        if self._nonzeros(a) <= self._SPARSE_LIMIT:
+            digits = self._sparse_digits(a, b, 2 * n - 1)
+        elif self._nonzeros(b) <= self._SPARSE_LIMIT:
+            digits = self._sparse_digits(b, a, 2 * n - 1)
+        else:
+            digits = self._digits(a, b)
+        for k in range(n, len(digits)):
+            digits[k - n] += digits[k]
+        p = self._p
+        return [v % p for v in digits[:n]]
+
+    def cyclic_mul_linear(self, root: int, vec: Sequence[int]) -> List[int]:
+        p = self._p
+        root = root % p
+        if len(vec) == 1:
+            return [((1 - root) * vec[0]) % p]
+        rotated = [vec[-1], *vec[:-1]]
+        return [(x - root * y) % p for x, y in zip(rotated, vec)]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def horner(self, coeffs: Sequence[int], point: int) -> int:
+        p = self._p
+        accumulator = 0
+        for coefficient in reversed(coeffs):
+            accumulator = (accumulator * point + coefficient) % p
+        return accumulator
+
+    def horner_many(self, vectors: Iterable[Sequence[int]], point: int) -> List[int]:
+        """Evaluate many vectors at one point via a shared power table.
+
+        ``sum(c_i * point^i) mod p`` with a single reduction per vector —
+        the intermediate sum stays a machine-word-sized Python int for the
+        small fields the encoding uses.
+        """
+        vectors = list(vectors)
+        if not vectors:
+            return []
+        p = self._p
+        longest = max(len(v) for v in vectors)
+        powers = [1] * longest
+        for i in range(1, longest):
+            powers[i] = (powers[i - 1] * point) % p
+        return [sum(c * w for c, w in zip(v, powers)) % p for v in vectors]
+
+    def eval_points(self, coeffs: Sequence[int], points: Iterable[int]) -> List[int]:
+        p = self._p
+        results = []
+        for point in points:
+            accumulator = 0
+            for coefficient in reversed(coeffs):
+                accumulator = (accumulator * point + coefficient) % p
+            results.append(accumulator)
+        return results
+
+
+class TableKernel(FieldKernel):
+    """Discrete-log/exp table kernel valid for any small field.
+
+    Construction finds a generator ``g`` of ``F_q^*`` with the field's own
+    multiplication, then records ``exp[k] = g^k`` (doubled in length so a
+    sum of two logs never needs a modular reduction) and its inverse map
+    ``log``.  A flat ``q × q`` addition table plus a negation table complete
+    the picture: every scalar operation is O(1) list indexing, with no
+    coefficient-vector packing on any path.  The one-time table cost is
+    O(q^2) naive field additions, paid once per field (kernels are cached on
+    the field object).
+    """
+
+    name = "table"
+
+    def __init__(self, field: Field):
+        super().__init__(field)
+        q = field.order
+        self._q = q
+        generator = self._find_generator(field)
+        exp = [0] * (2 * (q - 1))
+        log = [0] * q
+        value = field.one
+        for k in range(q - 1):
+            exp[k] = value
+            exp[k + q - 1] = value
+            log[value] = k
+            value = field.mul(value, generator)
+        if value != field.one:  # pragma: no cover - defended by _find_generator
+            raise FieldError("generator search returned a non-generator")
+        self.generator = generator
+        self._exp = exp
+        self._log = log
+        self._neg = [field.neg(a) for a in range(q)]
+        add_flat = [0] * (q * q)
+        for a in range(q):
+            base = a * q
+            for b in range(q):
+                add_flat[base + b] = field.add(a, b)
+        self._add = add_flat
+
+    @staticmethod
+    def _find_generator(field: Field) -> int:
+        """Smallest (canonical) generator of the multiplicative group."""
+        target = field.order - 1
+        for candidate in range(1, field.order):
+            value = candidate
+            order = 1
+            while value != field.one:
+                value = field.mul(value, candidate)
+                order += 1
+                if order > target:  # pragma: no cover - impossible in a field
+                    break
+            if order == target:
+                return candidate
+        raise FieldError(
+            "no generator found in F_%d; the field arithmetic is inconsistent"
+            % field.order
+        )
+
+    # ------------------------------------------------------------------
+    # Scalars
+    # ------------------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        return self._add[a * self._q + b]
+
+    def sub(self, a: int, b: int) -> int:
+        return self._add[a * self._q + self._neg[b]]
+
+    def neg(self, a: int) -> int:
+        return self._neg[a]
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse in F_%d" % self._q)
+        return self._exp[self._q - 1 - self._log[a]]
+
+    def pow(self, a: int, exponent: int) -> int:
+        if a == 0:
+            if exponent < 0:
+                raise FieldError("zero has no multiplicative inverse in F_%d" % self._q)
+            return self.field.one if exponent == 0 else 0
+        return self._exp[(self._log[a] * exponent) % (self._q - 1)]
+
+    # ------------------------------------------------------------------
+    # Vectors
+    # ------------------------------------------------------------------
+
+    def vec_add(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        add, q = self._add, self._q
+        return [add[x * q + y] for x, y in zip(a, b)]
+
+    def vec_sub(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        add, neg, q = self._add, self._neg, self._q
+        return [add[x * q + neg[y]] for x, y in zip(a, b)]
+
+    def vec_neg(self, a: Sequence[int]) -> List[int]:
+        neg = self._neg
+        return [neg[x] for x in a]
+
+    def vec_scale(self, a: Sequence[int], scalar: int) -> List[int]:
+        if scalar == 0:
+            return [0] * len(a)
+        exp, log = self._exp, self._log
+        ls = log[scalar]
+        return [exp[ls + log[x]] if x else 0 for x in a]
+
+    def convolve(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        if not a or not b:
+            return []
+        exp, log, add, q = self._exp, self._log, self._add, self._q
+        out = [0] * (len(a) + len(b) - 1)
+        for i, x in enumerate(a):
+            if x == 0:
+                continue
+            lx = log[x]
+            for j, y in enumerate(b):
+                if y == 0:
+                    continue
+                k = i + j
+                out[k] = add[out[k] * q + exp[lx + log[y]]]
+        return out
+
+    def cyclic_convolve(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        n = len(a)
+        if len(b) != n:
+            raise FieldError(
+                "cyclic convolution needs equal lengths, got %d and %d" % (n, len(b))
+            )
+        exp, log, add, q = self._exp, self._log, self._add, self._q
+        out = [0] * n
+        for i, x in enumerate(a):
+            if x == 0:
+                continue
+            lx = log[x]
+            for j, y in enumerate(b):
+                if y == 0:
+                    continue
+                k = i + j
+                if k >= n:
+                    k -= n
+                out[k] = add[out[k] * q + exp[lx + log[y]]]
+        return out
+
+    def cyclic_mul_linear(self, root: int, vec: Sequence[int]) -> List[int]:
+        field = self.field
+        add, neg, exp, log, q = self._add, self._neg, self._exp, self._log, self._q
+        if len(vec) == 1:
+            factor = add[field.one * q + neg[field.validate(root)]]
+            return [exp[log[factor] + log[vec[0]]] if factor and vec[0] else 0]
+        rotated = [vec[-1], *vec[:-1]]
+        negated_root = neg[field.validate(root)]
+        if negated_root == 0:
+            return rotated
+        ln = log[negated_root]
+        return [
+            add[x * q + (exp[ln + log[y]] if y else 0)] for x, y in zip(rotated, vec)
+        ]
+
+    def horner(self, coeffs: Sequence[int], point: int) -> int:
+        if point == 0:
+            # Horner with point 0 degenerates to the constant term, matching
+            # the naive loop exactly.
+            return coeffs[0] if coeffs else 0
+        exp, log, add, q = self._exp, self._log, self._add, self._q
+        lp = log[point]
+        accumulator = 0
+        for coefficient in reversed(coeffs):
+            scaled = exp[lp + log[accumulator]] if accumulator else 0
+            accumulator = add[scaled * q + coefficient]
+        return accumulator
+
+
+#: the selectable kernel backends
+KERNEL_BACKENDS = {
+    "naive": NaiveKernel,
+    "prime": PrimeKernel,
+    "table": TableKernel,
+}
+
+#: largest field order for which the table kernel is auto-selected — its
+#: q x q addition table and O(q^2) construction are only a win for the
+#: small fields the encoding targets; bigger extension fields fall back to
+#: the naive dispatched path (callers may still build a TableKernel
+#: explicitly if they accept the cost)
+MAX_TABLE_ORDER = 512
+
+
+def make_kernel(field: Field, backend: str = None) -> FieldKernel:
+    """Build the kernel for ``field``.
+
+    Without an explicit ``backend`` the cheapest valid implementation is
+    chosen: direct modular arithmetic for prime fields, log/exp tables for
+    extension fields up to :data:`MAX_TABLE_ORDER` elements, and the naive
+    dispatched path beyond that (where the one-time O(q^2) table build
+    would dwarf any realistic workload).  ``backend`` may name any entry of
+    :data:`KERNEL_BACKENDS` (the ``"naive"`` backend is the pre-kernel
+    reference path used for differential testing and benchmarking).
+    """
+    if backend is None:
+        if field.degree == 1:
+            backend = "prime"
+        elif field.order <= MAX_TABLE_ORDER:
+            backend = "table"
+        else:
+            backend = "naive"
+    try:
+        kernel_class = KERNEL_BACKENDS[backend]
+    except KeyError:
+        raise FieldError(
+            "unknown kernel backend %r; expected one of %s"
+            % (backend, sorted(KERNEL_BACKENDS))
+        )
+    return kernel_class(field)

@@ -4,6 +4,11 @@ Coefficients are stored little-endian (``coeffs[i]`` multiplies ``x**i``) as
 canonical field integers.  Instances are immutable; arithmetic returns new
 objects.  The zero polynomial is represented by an empty coefficient tuple and
 reports degree ``-1``.
+
+Bulk coefficient arithmetic (addition, products, Horner evaluation, the
+brute-force root search) is routed through the field's
+:class:`~repro.gf.kernels.FieldKernel` rather than per-coefficient ``Field``
+method dispatch; the results are bit-identical.
 """
 
 from __future__ import annotations
@@ -37,6 +42,20 @@ class Polynomial:
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+
+    @classmethod
+    def _wrap(cls, field: Field, coeffs: List[int]) -> "Polynomial":
+        """Adopt an already-canonical coefficient list without re-validating.
+
+        Internal fast path for kernel outputs (which are canonical by
+        construction); ``coeffs`` must be a fresh list the caller gives up.
+        """
+        while coeffs and coeffs[-1] == 0:
+            coeffs.pop()
+        poly = cls.__new__(cls)
+        poly.field = field
+        poly.coeffs = tuple(coeffs)
+        return poly
 
     @classmethod
     def zero(cls, field: Field) -> "Polynomial":
@@ -111,31 +130,30 @@ class Polynomial:
                 "cannot combine polynomials over %r and %r" % (self.field, other.field)
             )
 
+    def _padded(self, length: int) -> Tuple[int, ...]:
+        """Coefficients zero-extended to ``length`` (for aligned vector ops)."""
+        if len(self.coeffs) >= length:
+            return self.coeffs
+        return self.coeffs + (0,) * (length - len(self.coeffs))
+
     def __add__(self, other: "Polynomial") -> "Polynomial":
         if not isinstance(other, Polynomial):
             return NotImplemented
         self._check_same_field(other)
-        field = self.field
         length = max(len(self.coeffs), len(other.coeffs))
-        coeffs = [
-            field.add(self.coefficient(i), other.coefficient(i)) for i in range(length)
-        ]
-        return Polynomial(field, coeffs)
+        coeffs = self.field.kernel.vec_add(self._padded(length), other._padded(length))
+        return Polynomial._wrap(self.field, coeffs)
 
     def __sub__(self, other: "Polynomial") -> "Polynomial":
         if not isinstance(other, Polynomial):
             return NotImplemented
         self._check_same_field(other)
-        field = self.field
         length = max(len(self.coeffs), len(other.coeffs))
-        coeffs = [
-            field.sub(self.coefficient(i), other.coefficient(i)) for i in range(length)
-        ]
-        return Polynomial(field, coeffs)
+        coeffs = self.field.kernel.vec_sub(self._padded(length), other._padded(length))
+        return Polynomial._wrap(self.field, coeffs)
 
     def __neg__(self) -> "Polynomial":
-        field = self.field
-        return Polynomial(field, [field.neg(c) for c in self.coeffs])
+        return Polynomial._wrap(self.field, self.field.kernel.vec_neg(self.coeffs))
 
     def __mul__(self, other: "Polynomial") -> "Polynomial":
         if not isinstance(other, Polynomial):
@@ -143,22 +161,14 @@ class Polynomial:
         self._check_same_field(other)
         if self.is_zero or other.is_zero:
             return Polynomial.zero(self.field)
-        field = self.field
-        product = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
-        for i, a in enumerate(self.coeffs):
-            if a == 0:
-                continue
-            for j, b in enumerate(other.coeffs):
-                if b == 0:
-                    continue
-                product[i + j] = field.add(product[i + j], field.mul(a, b))
-        return Polynomial(field, product)
+        product = self.field.kernel.convolve(self.coeffs, other.coeffs)
+        return Polynomial._wrap(self.field, product)
 
     def scale(self, scalar: int) -> "Polynomial":
         """Multiply every coefficient by a field scalar."""
         field = self.field
         scalar = field.from_int(scalar)
-        return Polynomial(field, [field.mul(c, scalar) for c in self.coeffs])
+        return Polynomial._wrap(field, field.kernel.vec_scale(self.coeffs, scalar))
 
     def __divmod__(self, divisor: "Polynomial") -> Tuple["Polynomial", "Polynomial"]:
         if not isinstance(divisor, Polynomial):
@@ -212,21 +222,18 @@ class Polynomial:
     def evaluate(self, point: int) -> int:
         """Evaluate at ``point`` using Horner's rule; returns a field int."""
         field = self.field
-        point = field.from_int(point)
-        accumulator = 0
-        for coefficient in reversed(self.coeffs):
-            accumulator = field.add(field.mul(accumulator, point), coefficient)
-        return accumulator
+        return field.kernel.horner(self.coeffs, field.from_int(point))
 
     def roots(self) -> List[int]:
         """All field elements at which the polynomial evaluates to zero.
 
-        Brute force over the field; fine for the small fields the encoding
-        uses (``q <= a few hundred``).
+        Brute force over the field (one kernel ``eval_points`` sweep); fine
+        for the small fields the encoding uses (``q <= a few hundred``).
         """
         if self.is_zero:
             return list(self.field.elements())
-        return [a for a in self.field.elements() if self.evaluate(a) == 0]
+        values = self.field.kernel.eval_points(self.coeffs, self.field.elements())
+        return [a for a, value in enumerate(values) if value == 0]
 
     def monic(self) -> "Polynomial":
         """Return the monic scalar multiple of this polynomial."""

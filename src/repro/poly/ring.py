@@ -13,6 +13,12 @@ Evaluation is only meaningful at *non-zero* field points: every non-zero
 ``a`` satisfies ``a^{q-1} = 1`` so the evaluation map is well defined on the
 quotient; at ``a = 0`` different representatives disagree.  The tag-name map
 therefore never assigns the value zero (see :mod:`repro.encode.tagmap`).
+
+All ring arithmetic (component-wise sums, the cyclic-convolution product,
+Horner evaluation) runs on the field's
+:class:`~repro.gf.kernels.FieldKernel` — flat table/modular operations on
+whole coefficient vectors instead of one dispatched ``Field`` call per
+coefficient — with bit-identical results.
 """
 
 from __future__ import annotations
@@ -81,7 +87,10 @@ class RingPolynomial:
         return self.ring == other.ring and self.coeffs == other.coeffs
 
     def __hash__(self) -> int:
-        return hash((id(self.ring), self.coeffs))
+        # The ring is hashed by value (like __eq__ compares it) so equal
+        # polynomials from two equal-but-distinct QuotientRing instances
+        # land in the same hash bucket.
+        return hash((self.ring, self.coeffs))
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return "RingPolynomial(%s)" % self.to_polynomial().format()
@@ -103,19 +112,41 @@ class QuotientRing:
         #: number of stored coefficients per ring element (q - 1)
         self.length = field.order - 1
 
+    @property
+    def kernel(self):
+        """The field's bulk-arithmetic kernel (resolved per call so a
+        backend switch on the field takes effect immediately)."""
+        return self.field.kernel
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
 
+    def wrap_canonical(self, coeffs: Sequence[int]) -> RingPolynomial:
+        """Adopt an already-canonical coefficient vector without re-validating.
+
+        Fast path for coefficients produced by a kernel or the keyed PRG
+        (both emit canonical field integers); the length must still match.
+        """
+        if len(coeffs) != self.length:
+            raise PolynomialError(
+                "ring polynomial needs exactly %d coefficients, got %d"
+                % (self.length, len(coeffs))
+            )
+        poly = RingPolynomial.__new__(RingPolynomial)
+        poly.ring = self
+        poly.coeffs = tuple(coeffs)
+        return poly
+
     def zero(self) -> RingPolynomial:
         """The zero element."""
-        return RingPolynomial(self, [0] * self.length)
+        return self.wrap_canonical([0] * self.length)
 
     def one(self) -> RingPolynomial:
         """The multiplicative identity."""
         coeffs = [0] * self.length
         coeffs[0] = self.field.one
-        return RingPolynomial(self, coeffs)
+        return self.wrap_canonical(coeffs)
 
     def from_coeffs(self, coeffs: Iterable[int]) -> RingPolynomial:
         """Build a ring element from little-endian coefficients of any length.
@@ -151,7 +182,7 @@ class QuotientRing:
         """Product of ``x - root`` over ``roots`` (with multiplicity), reduced."""
         result = self.one()
         for root in roots:
-            result = self.mul(result, self.linear_factor(root))
+            result = self.linear_mul(root, result)
         return result
 
     # ------------------------------------------------------------------
@@ -166,55 +197,60 @@ class QuotientRing:
         """Component-wise sum."""
         self._check(a)
         self._check(b)
-        field = self.field
-        return RingPolynomial(self, [field.add(x, y) for x, y in zip(a.coeffs, b.coeffs)])
+        return self.wrap_canonical(self.kernel.vec_add(a.coeffs, b.coeffs))
 
     def sub(self, a: RingPolynomial, b: RingPolynomial) -> RingPolynomial:
         """Component-wise difference."""
         self._check(a)
         self._check(b)
-        field = self.field
-        return RingPolynomial(self, [field.sub(x, y) for x, y in zip(a.coeffs, b.coeffs)])
+        return self.wrap_canonical(self.kernel.vec_sub(a.coeffs, b.coeffs))
 
     def neg(self, a: RingPolynomial) -> RingPolynomial:
         """Component-wise negation."""
         self._check(a)
-        field = self.field
-        return RingPolynomial(self, [field.neg(x) for x in a.coeffs])
+        return self.wrap_canonical(self.kernel.vec_neg(a.coeffs))
 
     def mul(self, a: RingPolynomial, b: RingPolynomial) -> RingPolynomial:
         """Cyclic convolution (multiplication modulo ``x^{q-1} - 1``)."""
         self._check(a)
         self._check(b)
-        field = self.field
-        n = self.length
-        result = [0] * n
-        for i, x in enumerate(a.coeffs):
-            if x == 0:
-                continue
-            for j, y in enumerate(b.coeffs):
-                if y == 0:
-                    continue
-                slot = i + j
-                if slot >= n:
-                    slot -= n
-                result[slot] = field.add(result[slot], field.mul(x, y))
-        return RingPolynomial(self, result)
+        return self.wrap_canonical(self.kernel.cyclic_convolve(a.coeffs, b.coeffs))
 
-    def evaluate(self, a: RingPolynomial, point: int) -> int:
-        """Evaluate a ring element at a non-zero field point."""
+    def linear_mul(self, root: int, a: RingPolynomial) -> RingPolynomial:
+        """The product ``(x - root) * a`` via the kernel's O(n) linear path.
+
+        Identical to ``mul(linear_factor(root), a)`` — the encoding performs
+        one such product per node, which earns the monomial its own kernel
+        primitive.
+        """
         self._check(a)
-        field = self.field
-        point = field.from_int(point)
+        root = self.field.from_int(root)
+        return self.wrap_canonical(self.kernel.cyclic_mul_linear(root, a.coeffs))
+
+    def _checked_point(self, point: int) -> int:
+        point = self.field.from_int(point)
         if point == 0:
             raise PolynomialError(
                 "evaluation at 0 is not well defined on the quotient ring; "
                 "tag map values must be non-zero"
             )
-        accumulator = 0
-        for coefficient in reversed(a.coeffs):
-            accumulator = field.add(field.mul(accumulator, point), coefficient)
-        return accumulator
+        return point
+
+    def evaluate(self, a: RingPolynomial, point: int) -> int:
+        """Evaluate a ring element at a non-zero field point."""
+        self._check(a)
+        return self.kernel.horner(a.coeffs, self._checked_point(point))
+
+    def evaluate_many(self, polys: Sequence[RingPolynomial], point: int) -> List[int]:
+        """Evaluate many ring elements at the same non-zero field point.
+
+        One kernel ``horner_many`` sweep (shared power table on the prime
+        backend) instead of a dispatched Horner loop per polynomial; this is
+        the server side of a batched containment test.
+        """
+        for poly in polys:
+            self._check(poly)
+        return self.kernel.horner_many([poly.coeffs for poly in polys], self._checked_point(point))
 
     # ------------------------------------------------------------------
     # Equality-test support
@@ -241,12 +277,13 @@ class QuotientRing:
         self._check(node_poly)
         self._check(children_product)
         field = self.field
+        kernel = self.kernel
         candidate: Optional[int] = None
         for point in range(1, field.order):
-            denominator = self.evaluate(children_product, point)
+            denominator = kernel.horner(children_product.coeffs, point)
             if denominator == 0:
                 continue
-            numerator = self.evaluate(node_poly, point)
+            numerator = kernel.horner(node_poly.coeffs, point)
             # node(a) = (a - t) * children(a)  =>  t = a - node(a)/children(a)
             candidate = field.sub(point, field.div(numerator, denominator))
             break
@@ -254,7 +291,7 @@ class QuotientRing:
             # The children product vanishes everywhere on F_q^*; no unique
             # linear factor can be recovered.
             return None
-        reconstructed = self.mul(self.linear_factor(candidate), children_product)
+        reconstructed = self.linear_mul(candidate, children_product)
         if reconstructed == node_poly:
             return candidate
         return None
@@ -263,7 +300,7 @@ class QuotientRing:
         self, node_poly: RingPolynomial, children_product: RingPolynomial, tag_value: int
     ) -> bool:
         """Check ``node_poly == (x - tag_value) * children_product`` exactly."""
-        expected = self.mul(self.linear_factor(tag_value), children_product)
+        expected = self.linear_mul(tag_value, children_product)
         return expected == node_poly
 
     # ------------------------------------------------------------------

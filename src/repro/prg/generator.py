@@ -14,7 +14,8 @@ the experiments require.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator, List, Sequence
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.gf.base import Field
 
@@ -81,17 +82,31 @@ class KeyedPRG:
     the client can regenerate exactly the share that was subtracted from the
     node's polynomial at encoding time, in any order and as many times as
     needed.
+
+    Because queries regenerate the same client shares over and over (every
+    containment test on a node re-derives its share), the bulk
+    :meth:`elements` call keeps a bounded LRU memo keyed on
+    ``(pre, count, lane)``; :meth:`cache_info` exposes its hit accounting.
+    The memo changes no output — entries are exactly the deterministic
+    stream prefixes.
     """
 
-    def __init__(self, seed: bytes, field: Field):
+    def __init__(self, seed: bytes, field: Field, memo_size: int = 1024):
         if not isinstance(seed, (bytes, bytearray)):
             raise TypeError("seed must be bytes, got %r" % type(seed).__name__)
         if len(seed) == 0:
             raise ValueError("seed must not be empty")
+        if memo_size < 0:
+            raise ValueError("memo_size must be non-negative, got %d" % memo_size)
         self.seed = bytes(seed)
         self.field = field
         # Pre-hash the seed once; per-node states mix in the pre number.
         self._seed_digest = hashlib.sha256(self.seed).digest()
+        # Bounded LRU of generated stream prefixes.
+        self._memo: "OrderedDict[Tuple[int, int, int], Tuple[int, ...]]" = OrderedDict()
+        self._memo_size = memo_size
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     def _node_state(self, pre: int, lane: int = 0) -> int:
         """Derive the 64-bit SplitMix state for node ``pre`` and stream ``lane``."""
@@ -111,13 +126,56 @@ class KeyedPRG:
 
         This is the call used to regenerate a client share: ``count`` equals
         the ring length ``q - 1`` and the returned list is the coefficient
-        vector of the client polynomial.
+        vector of the client polynomial.  Results are memoised per
+        ``(pre, count, lane)`` in a bounded LRU.
         """
         if count < 0:
             raise ValueError("count must be non-negative, got %d" % count)
-        core = SplitMix64(self._node_state(pre, lane))
+        key = (pre, count, lane)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self._memo.move_to_end(key)
+            self._memo_hits += 1
+            return list(cached)
+        self._memo_misses += 1
+        # Inlined SplitMix64 + rejection sampling: identical state sequence
+        # and outputs as SplitMix64.next_below, without two method calls per
+        # element (this loop runs q - 1 times per share regeneration).
+        state = self._node_state(pre, lane)
         order = self.field.order
-        return [core.next_below(order) for _ in range(count)]
+        limit = (1 << 64) - ((1 << 64) % order)
+        generated = []
+        append = generated.append
+        for _ in range(count):
+            while True:
+                state = (state + 0x9E3779B97F4A7C15) & _MASK64
+                z = state
+                z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+                z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+                z = (z ^ (z >> 31)) & _MASK64
+                if z < limit:
+                    append(z % order)
+                    break
+        if self._memo_size:
+            self._memo[key] = tuple(generated)
+            while len(self._memo) > self._memo_size:
+                self._memo.popitem(last=False)
+        return generated
+
+    def elements_many(
+        self, pres: Sequence[int], count: int, lane: int = 0
+    ) -> List[List[int]]:
+        """Bulk variant of :meth:`elements`: one stream prefix per ``pre``."""
+        return [self.elements(pre, count, lane) for pre in pres]
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/occupancy accounting of the share memo."""
+        return {
+            "hits": self._memo_hits,
+            "misses": self._memo_misses,
+            "size": len(self._memo),
+            "capacity": self._memo_size,
+        }
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, KeyedPRG):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -41,6 +41,10 @@ class CallStats:
     errors_by_method: Dict[str, int] = field(default_factory=dict)
     #: number of queries executed against the transport (set by the query layer)
     queries: int = 0
+    #: name of the arithmetic kernel backend serving this trace ("prime",
+    #: "table" or "naive"); configuration rather than a counter, so
+    #: :meth:`reset` leaves it in place
+    backend: Optional[str] = None
 
     def record(
         self,
@@ -90,9 +94,10 @@ class CallStats:
         """Average payload bytes per recorded query (0.0 before any query)."""
         return self.total_bytes / self.queries if self.queries else 0.0
 
-    def snapshot(self) -> Dict[str, float]:
-        """A plain-dict copy for report printing."""
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict copy for report printing (counters plus ``backend``)."""
         return {
+            "backend": self.backend,
             "calls": self.calls,
             "errors": self.errors,
             "queries": self.queries,

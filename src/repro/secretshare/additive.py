@@ -51,8 +51,18 @@ class AdditiveSharing:
 
     def client_share(self, pre: int) -> RingPolynomial:
         """Regenerate the pseudorandom client share for node ``pre``."""
+        # PRG output is canonical field integers, so the validating
+        # constructor would only re-check what the stream guarantees.
         coefficients = self.prg.elements(pre, self.ring.length)
-        return RingPolynomial(self.ring, coefficients)
+        return self.ring.wrap_canonical(coefficients)
+
+    def client_shares(self, pres: Sequence[int]) -> list:
+        """Regenerate the client shares of a whole candidate list."""
+        length = self.ring.length
+        return [
+            self.ring.wrap_canonical(coefficients)
+            for coefficients in self.prg.elements_many(pres, length)
+        ]
 
     def split(self, polynomial: RingPolynomial, pre: int) -> SharePair:
         """Split ``polynomial`` into its client/server share pair for ``pre``."""

@@ -60,6 +60,49 @@ class TestBulkEndpointEquivalence:
     def test_children_of_many_match_singles(self, server):
         pres = [1, 2, 5, 999]
         assert server.children_of_many(pres) == [server.children_of(pre) for pre in pres]
+        # Duplicates resolve independently (and must not alias one list).
+        first, second = server.children_of_many([1, 1])
+        assert first == second and first is not second
+
+    def test_children_of_many_grouped_scan_bails_out_on_fanout(self, encoded):
+        """A big-fanout node *between* two requested parents must not make
+        the grouped parent-index pass scan its whole child list."""
+        database, _ = encoded
+
+        class CountingTable:
+            def __init__(self, table):
+                self._table = table
+                self.rows_examined = 0
+
+            def lookup(self, column, value):
+                return self._table.lookup(column, value)
+
+            def range_lookup(self, *args, **kwargs):
+                for row in self._table.range_lookup(*args, **kwargs):
+                    self.rows_examined += 1
+                    yield row
+
+            def __len__(self):
+                return len(self._table)
+
+        counting = CountingTable(database.node_table)
+        server = ServerFilter(counting, database.ring)
+        plain = ServerFilter(database.node_table, database.ring)
+        # Pick the biggest-fanout node and bracket it with its neighbours:
+        # the key range is tiny (dense heuristic fires) but the unrequested
+        # middle parent owns most of the rows in the range.
+        fanouts = {}
+        for row in database.node_table:
+            fanouts[row["parent"]] = fanouts.get(row["parent"], 0) + 1
+        fat_parent = max(fanouts, key=lambda pre: fanouts[pre])
+        pres = [fat_parent - 1, fat_parent + 1]
+        result = server.children_of_many(pres)
+        assert result == [plain.children_of(pre) for pre in pres]
+        # Whether the scan completed (small fanout) or bailed out to point
+        # lookups, it examines at most the wanted rows plus the waste budget.
+        budget = 4 * len(pres)  # _DENSE_SCAN_FACTOR
+        wanted_rows = sum(len(children) for children in result)
+        assert counting.rows_examined <= wanted_rows + budget + 1
 
     def test_descendants_of_many_match_singles(self, server):
         pres = [1, 2, 5, 999]
@@ -126,7 +169,13 @@ class TestBulkEndpointEquivalence:
 class TestShareCacheAccounting:
     def test_hits_accumulate_on_reuse(self, server):
         info = server.share_cache_info()
-        assert info == {"hits": 0, "misses": 0, "size": 0, "capacity": 256}
+        assert info == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "capacity": 256,
+            "backend": "prime",
+        }
         server.evaluate_batch([1, 2, 3], 5)
         info = server.share_cache_info()
         assert info["misses"] == 3 and info["hits"] == 0 and info["size"] == 3
