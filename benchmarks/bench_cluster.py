@@ -1,0 +1,210 @@
+"""Multi-server share clusters — correctness, fault tolerance, per-server cost.
+
+Runs the same 598-node XMark document as ``bench_batch_pipeline.py`` through
+the cluster stack and asserts the acceptance criteria of the sharding work:
+
+* a :class:`~repro.filters.cluster.ClusterClient` over an ``n = 1`` additive
+  deployment produces **byte-identical** query results and unchanged
+  evaluation counters vs the existing single-server ``ClientFilter`` path
+  (the cluster layer is pure topology, not semantics),
+* a (k, n) Shamir deployment returns identical results with any ``n − k``
+  servers down,
+* per-server calls-per-query stays O(1) per query step at ``n ∈ {2, 3, 5}``:
+  adding servers scatters the same batched calls wider instead of
+  multiplying any single server's load,
+* the share-bundle payloads ride the codec's compact matrix form, so the
+  per-server byte volume of a cluster stays in the same order as the
+  single-server trace.
+
+Wall-clock timings for the scatter-gather overhead come last via
+pytest-benchmark.  ``REPRO_BENCH_QUICK=1`` (the CI quick mode) skips the
+timing round; the identity and cost assertions always run.
+"""
+
+from __future__ import annotations
+
+import os
+from itertools import combinations
+
+import pytest
+
+from repro.core.database import EncryptedXMLDatabase
+from repro.xmark.generator import generate_document
+from repro.xmldoc.dtd import XMARK_DTD
+
+SEED = b"bench-cluster-seed-0123456789abc"
+
+#: scale 0.05 generates the same 598-node document as bench_batch_pipeline
+DOCUMENT_SCALE = 0.05
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+QUERIES = ["//city", "/site//person//city"]
+
+ADDITIVE_SIZES = [2, 3, 5]
+
+#: the (k, n) threshold deployment exercised by the failure sweep
+SHAMIR_N, SHAMIR_K = 3, 2
+
+
+@pytest.fixture(scope="module")
+def cluster_document():
+    return generate_document(scale=DOCUMENT_SCALE, seed=4242)
+
+
+def _build(document, **kwargs) -> EncryptedXMLDatabase:
+    return EncryptedXMLDatabase.from_document(
+        document,
+        tag_names=XMARK_DTD.element_names(),
+        seed=SEED,
+        p=83,
+        keep_plaintext=False,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def single_database(cluster_document):
+    return _build(cluster_document)
+
+
+@pytest.fixture(scope="module")
+def cluster_n1_database(cluster_document):
+    return _build(cluster_document, cluster=True)
+
+
+@pytest.fixture(scope="module", params=ADDITIVE_SIZES)
+def additive_cluster(request, cluster_document):
+    return _build(cluster_document, servers=request.param)
+
+
+@pytest.fixture(scope="module")
+def shamir_database(cluster_document):
+    return _build(cluster_document, servers=SHAMIR_N, threshold=SHAMIR_K, sharing="shamir")
+
+
+@pytest.mark.parametrize("engine", ["simple", "advanced"])
+@pytest.mark.parametrize("query", QUERIES)
+def test_cluster_n1_is_byte_identical_to_single_server(
+    single_database, cluster_n1_database, engine, query
+):
+    """Acceptance criterion: the n=1 cluster differential on the 598-node doc."""
+    assert single_database.node_count >= 500
+    assert cluster_n1_database.node_count == single_database.node_count
+    expected = single_database.query(query, engine=engine, strict=False)
+    actual = cluster_n1_database.query(query, engine=engine, strict=False)
+    assert actual.matches == expected.matches
+    assert actual.counters == expected.counters
+
+
+def test_cluster_n1_strict_differential(single_database, cluster_n1_database):
+    expected = single_database.query("/site/people/person", engine="simple", strict=True)
+    actual = cluster_n1_database.query("/site/people/person", engine="simple", strict=True)
+    assert actual.matches == expected.matches
+    assert actual.counters == expected.counters
+
+
+def _nonzero(counters):
+    """Counter deltas with zero entries dropped.
+
+    Snapshot key *sets* depend on which counters a database ever touched
+    (a strict query introduces the equality keys), so databases with
+    different query histories are compared on the non-zero deltas.
+    """
+    return {key: value for key, value in counters.items() if value}
+
+
+@pytest.mark.parametrize("engine", ["simple", "advanced"])
+def test_additive_cluster_matches_single_server(single_database, additive_cluster, engine):
+    for query in QUERIES:
+        expected = single_database.query(query, engine=engine, strict=False)
+        actual = additive_cluster.query(query, engine=engine, strict=False)
+        assert actual.matches == expected.matches
+        assert _nonzero(actual.counters) == _nonzero(expected.counters)
+
+
+def test_shamir_survives_any_n_minus_k_failures(single_database, shamir_database):
+    """Acceptance criterion: identical results with any n-k servers down."""
+    transport = shamir_database.transport
+    expected = {query: single_database.query(query).matches for query in QUERIES}
+    down_sets = [
+        down
+        for count in range(1, SHAMIR_N - SHAMIR_K + 1)
+        for down in combinations(range(SHAMIR_N), count)
+    ]
+    assert down_sets
+    for down in down_sets:
+        for index in down:
+            transport.set_down(index)
+        try:
+            for query in QUERIES:
+                assert shamir_database.query(query).matches == expected[query], (
+                    "query %s diverged with servers %s down" % (query, list(down))
+                )
+        finally:
+            for index in down:
+                transport.set_down(index, down=False)
+
+
+def test_per_server_calls_per_query_stay_constant_in_cluster_size(
+    single_database, additive_cluster
+):
+    """Acceptance criterion: per-server calls-per-query is O(1) per query step.
+
+    Scattering to n servers must not multiply any single server's load: the
+    busiest server of an n-server cluster answers at most as many calls per
+    query as the lone server of the classic deployment (plus the one-off
+    structural calls that only hit the primary).
+    """
+    single_database.reset_transport_stats()
+    additive_cluster.reset_transport_stats()
+    for query in QUERIES:
+        single_database.query(query, engine="advanced", strict=False)
+        additive_cluster.query(query, engine="advanced", strict=False)
+
+    single_calls_per_query = single_database.transport_stats.calls_per_query
+    per_server = additive_cluster.per_server_stats
+    assert all(stats.queries == len(QUERIES) for stats in per_server)
+    busiest = max(stats.calls_per_query for stats in per_server)
+    assert busiest <= single_calls_per_query, (
+        "per-server load grew with cluster size: busiest %.1f vs single %.1f"
+        % (busiest, single_calls_per_query)
+    )
+    # every share server sees the same scatter fan-out (±structural calls)
+    quietest = min(stats.calls_per_query for stats in per_server)
+    assert quietest > 0
+
+
+def test_cluster_payload_bytes_stay_honest(single_database, additive_cluster):
+    """The compact share-bundle codec keeps per-server bytes in the same
+    order as the single-server trace instead of ballooning with framing."""
+    single_database.reset_transport_stats()
+    additive_cluster.reset_transport_stats()
+    single_database.query("/site/people/person", engine="simple", strict=True)
+    additive_cluster.query("/site/people/person", engine="simple", strict=True)
+    single_bytes = single_database.transport_stats.bytes_per_query
+    busiest_bytes = max(stats.bytes_per_query for stats in additive_cluster.per_server_stats)
+    assert busiest_bytes <= 1.25 * single_bytes, (
+        "per-server payload ballooned: %.0f vs single-server %.0f"
+        % (busiest_bytes, single_bytes)
+    )
+
+
+def test_share_bundles_use_compact_matrix_encoding(single_database):
+    from repro.rmi.codec import Codec
+
+    server = single_database.server_filter
+    bundle = server.fetch_shares_batch(list(range(1, 41)))
+    payload = Codec().encode(bundle)
+    assert payload[0:1] == b"W"
+    # ~1 byte per F_83 coefficient plus 5 bytes framing per row
+    assert len(payload) <= len(bundle) * (82 + 6)
+
+
+@pytest.mark.skipif(QUICK, reason="timing round skipped in quick mode")
+@pytest.mark.parametrize("query", ["//city"])
+def test_cluster_query_wallclock(benchmark, additive_cluster, query):
+    """Scatter-gather wall clock per cluster size (pytest-benchmark)."""
+    result = benchmark(lambda: additive_cluster.query(query, engine="advanced", strict=False))
+    benchmark.extra_info["servers"] = additive_cluster.num_servers
+    benchmark.extra_info["result_size"] = result.result_size

@@ -4,12 +4,14 @@ Secret Sharing* (Brinkman, Schoenmakers, Doumen, Jonker; SDM @ VLDB 2005).
 The package implements the paper's encrypted XML database end to end:
 
 * finite-field and polynomial-ring arithmetic (:mod:`repro.gf`, :mod:`repro.poly`),
-* additive secret sharing with PRG-regenerated client shares
-  (:mod:`repro.prg`, :mod:`repro.secretshare`),
+* secret sharing with PRG-regenerated client shares — two-party additive,
+  n-of-n additive with regenerable lanes, and (k, n) Shamir threshold
+  sharing for multi-server clusters (:mod:`repro.prg`, :mod:`repro.secretshare`),
 * an XML substrate, XMark-style data generator and the trie representation of
   text content (:mod:`repro.xmldoc`, :mod:`repro.xmark`, :mod:`repro.trie`),
 * a relational storage engine with B+-tree indexes and a simulated RMI
-  boundary (:mod:`repro.storage`, :mod:`repro.rmi`),
+  boundary, including the scatter-gather cluster transport
+  (:mod:`repro.storage`, :mod:`repro.rmi`),
 * the encoder, the client/server filter pair, the XPath subset and the two
   query engines (:mod:`repro.encode`, :mod:`repro.filters`, :mod:`repro.xpath`,
   :mod:`repro.engines`),

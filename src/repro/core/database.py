@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Union
 
+from repro.encode.deploy import ClusterDeployment
 from repro.encode.encoder import EncodedDatabase, Encoder
 from repro.encode.tagmap import TagMap
 from repro.engines.advanced import AdvancedQueryEngine
@@ -11,11 +12,13 @@ from repro.engines.base import QueryResult
 from repro.engines.plaintext import PlaintextEngine
 from repro.engines.simple import SimpleQueryEngine
 from repro.filters.client import ClientFilter
+from repro.filters.cluster import ClusterClient
 from repro.filters.interface import MatchRule
 from repro.filters.server import ServerFilter
 from repro.gf.factory import make_field
 from repro.metrics.counters import EvaluationCounters
 from repro.prg.seed import SeedFile, generate_seed
+from repro.rmi.cluster import ClusterTransport
 from repro.rmi.proxy import Registry
 from repro.rmi.stats import CallStats
 from repro.rmi.transport import SimulatedTransport
@@ -36,8 +39,11 @@ class EncryptedXMLDatabase:
 
     Construction encodes the document; afterwards the instance holds
 
-    * the *server side*: the relational node table and the
-      :class:`~repro.filters.server.ServerFilter` operating on it,
+    * the *server side*: one relational node table per share server, each
+      behind its own :class:`~repro.filters.server.ServerFilter` — a single
+      server in the classic two-party setup, ``n`` of them for a cluster
+      deployment (``servers=n``), fronted by a
+      :class:`~repro.filters.cluster.ClusterClient`,
     * the *client side*: tag map, seed/PRG, the
       :class:`~repro.filters.client.ClientFilter` and the two query engines,
     * optionally the plaintext document and a
@@ -47,13 +53,15 @@ class EncryptedXMLDatabase:
 
     def __init__(
         self,
-        encoded: EncodedDatabase,
+        encoded: Union[EncodedDatabase, ClusterDeployment],
         document: Optional[XMLDocument],
         use_rmi: bool,
-        transport: SimulatedTransport,
+        transport: Union[SimulatedTransport, ClusterTransport],
         counters: EvaluationCounters,
         trie_transformer: Optional[TrieTransformer],
         batched: bool = True,
+        read_quorum: Optional[int] = None,
+        verify_shares: bool = True,
     ):
         self.encoded = encoded
         self.document = document
@@ -61,16 +69,40 @@ class EncryptedXMLDatabase:
         self.transport = transport
         self._trie_transformer = trie_transformer
 
-        server_filter = ServerFilter(encoded.node_table, encoded.ring)
-        self.server_filter = server_filter
-        # Stamp the trace with the arithmetic backend that produced it.
-        transport.stats.backend = encoded.ring.kernel.name
-        if use_rmi:
-            registry = Registry(transport)
-            registry.bind("ServerFilter", server_filter)
-            server_endpoint = registry.lookup("ServerFilter")
+        backend = encoded.ring.kernel.name
+        if isinstance(transport, ClusterTransport):
+            # Cluster path: the transport already owns one ServerFilter per
+            # share table; the ClusterClient recombines their replies behind
+            # the single-server surface the ClientFilter expects.  ``use_rmi``
+            # is moot — every cluster call crosses a transport by definition.
+            if not isinstance(encoded, ClusterDeployment):
+                raise QueryConfigError(
+                    "a ClusterTransport needs a ClusterDeployment, got %r" % type(encoded).__name__
+                )
+            self.server_filters: List[ServerFilter] = list(transport.servers)
+            self.server_filter = self.server_filters[0]
+            for stats in transport.per_server_stats:
+                stats.backend = backend
+            self.cluster_client: Optional[ClusterClient] = ClusterClient(
+                transport,
+                encoded.sharing,
+                read_quorum=read_quorum,
+                verify_shares=verify_shares,
+            )
+            server_endpoint = self.cluster_client
         else:
-            server_endpoint = server_filter
+            server_filter = ServerFilter(encoded.node_table, encoded.ring)
+            self.server_filter = server_filter
+            self.server_filters = [server_filter]
+            self.cluster_client = None
+            # Stamp the trace with the arithmetic backend that produced it.
+            transport.stats.backend = backend
+            if use_rmi:
+                registry = Registry(transport)
+                registry.bind("ServerFilter", server_filter)
+                server_endpoint = registry.lookup("ServerFilter")
+            else:
+                server_endpoint = server_filter
         self.client_filter = ClientFilter(
             server_endpoint, encoded.sharing, encoded.tag_map, counters=counters, batched=batched
         )
@@ -104,6 +136,13 @@ class EncryptedXMLDatabase:
         btree_order: int = 64,
         index_columns: Optional[List[str]] = None,
         batched: bool = True,
+        servers: int = 1,
+        threshold: Optional[int] = None,
+        sharing: str = "additive",
+        cluster: Optional[bool] = None,
+        latency_jitter: float = 0.0,
+        read_quorum: Optional[int] = None,
+        verify_shares: bool = True,
     ) -> "EncryptedXMLDatabase":
         """Encode an in-memory document.
 
@@ -117,6 +156,16 @@ class EncryptedXMLDatabase:
         ``batched=False`` restores the per-node remote protocol (one call per
         candidate instead of one per query step) — useful for measuring what
         the batched pipeline saves.
+
+        ``servers`` / ``threshold`` / ``sharing`` deploy the document across
+        an n-server share cluster instead of the classic single server:
+        ``sharing="additive"`` splits n-of-n with regenerable PRG lanes,
+        ``sharing="shamir"`` is (k, n) threshold sharing tolerating
+        ``n - k`` failed servers.  ``cluster=True`` forces the cluster stack
+        even for a lone additive server (useful for differential tests);
+        ``latency_jitter`` spreads the simulated latencies per server, and
+        ``read_quorum`` / ``verify_shares`` tune the
+        :class:`~repro.filters.cluster.ClusterClient` (see there).
         """
         trie_transformer = None
         if use_trie:
@@ -139,14 +188,48 @@ class EncryptedXMLDatabase:
         tag_map = TagMap.from_names(names, field=field, shuffle_seed=map_shuffle_seed)
         seed = seed if seed is not None else generate_seed()
         encoder = Encoder(tag_map, seed, btree_order=btree_order, index_columns=index_columns)
-        encoded = encoder.encode_document(document)
 
+        if cluster is None:
+            cluster = servers > 1 or sharing != "additive" or threshold is not None
         counters = EvaluationCounters()
-        transport = SimulatedTransport(
-            per_call_latency=per_call_latency,
-            per_byte_latency=per_byte_latency,
-            stats=CallStats(),
-        )
+        if cluster:
+            deployment = encoder.deploy_document(
+                document, servers=servers, threshold=threshold, sharing=sharing
+            )
+            server_filters = [
+                ServerFilter(table, deployment.ring) for table in deployment.node_tables
+            ]
+            transport: Union[SimulatedTransport, ClusterTransport] = ClusterTransport(
+                server_filters,
+                per_call_latency=per_call_latency,
+                per_byte_latency=per_byte_latency,
+                latency_jitter=latency_jitter,
+            )
+            encoded: Union[EncodedDatabase, ClusterDeployment] = deployment
+        else:
+            # An explicit cluster=False must not silently discard cluster
+            # configuration — especially not a threshold sharing request.
+            conflicts = []
+            if servers != 1:
+                conflicts.append("servers=%d" % servers)
+            if sharing != "additive":
+                conflicts.append("sharing=%r" % sharing)
+            if threshold is not None:
+                conflicts.append("threshold=%r" % threshold)
+            if latency_jitter:
+                conflicts.append("latency_jitter=%r" % latency_jitter)
+            if read_quorum is not None:
+                conflicts.append("read_quorum=%r" % read_quorum)
+            if conflicts:
+                raise QueryConfigError(
+                    "a non-cluster deployment conflicts with %s" % ", ".join(conflicts)
+                )
+            encoded = encoder.encode_document(document)
+            transport = SimulatedTransport(
+                per_call_latency=per_call_latency,
+                per_byte_latency=per_byte_latency,
+                stats=CallStats(),
+            )
         return cls(
             encoded=encoded,
             document=document if keep_plaintext else None,
@@ -155,6 +238,8 @@ class EncryptedXMLDatabase:
             counters=counters,
             trie_transformer=trie_transformer,
             batched=batched,
+            read_quorum=read_quorum,
+            verify_shares=verify_shares,
         )
 
     @classmethod
@@ -203,7 +288,10 @@ class EncryptedXMLDatabase:
         result = selected.execute(parsed, rule=rule)
         # Counted after execution so aborted queries do not dilute the
         # per-query call/byte averages.
-        self.transport.stats.count_query()
+        if isinstance(self.transport, ClusterTransport):
+            self.transport.count_query()
+        else:
+            self.transport.stats.count_query()
         return result
 
     def plaintext_query(self, xpath: Union[str, Query]) -> List[int]:
@@ -253,9 +341,41 @@ class EncryptedXMLDatabase:
         return self.encoded.stats
 
     @property
+    def is_cluster(self) -> bool:
+        """Whether this database runs against an n-server share cluster."""
+        return isinstance(self.transport, ClusterTransport)
+
+    @property
+    def num_servers(self) -> int:
+        """Number of share servers behind the query path."""
+        return self.transport.num_servers if self.is_cluster else 1
+
+    @property
     def transport_stats(self) -> CallStats:
-        """Remote-call statistics of the simulated RMI transport."""
+        """Remote-call statistics of the simulated RMI transport.
+
+        For a cluster this is a merged *snapshot* of every server's stats
+        (see :meth:`~repro.rmi.cluster.ClusterTransport.aggregate_stats`);
+        use :attr:`per_server_stats` for the per-server traces and
+        :meth:`reset_transport_stats` to zero the live counters.
+        """
+        if self.is_cluster:
+            return self.transport.aggregate_stats()
         return self.transport.stats
+
+    @property
+    def per_server_stats(self) -> List[CallStats]:
+        """The live per-server call statistics (one entry per server)."""
+        if self.is_cluster:
+            return self.transport.per_server_stats
+        return [self.transport.stats]
+
+    def reset_transport_stats(self) -> None:
+        """Zero the remote-call counters (between experiment runs)."""
+        if self.is_cluster:
+            self.transport.reset_stats()
+        else:
+            self.transport.stats.reset()
 
     @property
     def node_count(self) -> int:

@@ -17,6 +17,7 @@ so memory is proportional to the document depth, matching the "thin client"
 design of the prototype.
 """
 
+from repro.encode.deploy import ClusterDeployment
 from repro.encode.encoder import EncodedDatabase, Encoder, EncodingStats, NODE_TABLE_NAME
 from repro.encode.tagmap import TagMap, TagMapError
 
@@ -24,6 +25,7 @@ __all__ = [
     "Encoder",
     "EncodedDatabase",
     "EncodingStats",
+    "ClusterDeployment",
     "NODE_TABLE_NAME",
     "TagMap",
     "TagMapError",

@@ -23,7 +23,7 @@ dispatched arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.encode.tagmap import TagMap
 from repro.metrics.timer import Stopwatch
@@ -139,13 +139,19 @@ class EncodedDatabase:
 
 
 class _EncodingHandler(ContentHandler):
-    """SAX handler performing the actual streaming encode."""
+    """SAX handler performing the actual streaming encode.
 
-    def __init__(self, encoder: "Encoder", table: Table):
+    ``tables`` holds one node table per server and ``scheme`` the sharing
+    scheme producing one stored slice per table — the classic single-server
+    encode is simply the one-table case with the two-party additive scheme
+    (whose single "slice" is the familiar server share).
+    """
+
+    def __init__(self, encoder: "Encoder", tables: Sequence[Table], scheme):
         self._encoder = encoder
-        self._table = table
+        self._tables = list(tables)
         self._ring = encoder.ring
-        self._sharing = encoder.sharing
+        self._scheme = scheme
         self._tag_map = encoder.tag_map
         # One frame per open element: [pre, tag_value, running_child_product]
         self._stack: List[List] = []
@@ -163,15 +169,16 @@ class _EncodingHandler(ContentHandler):
         self._post_counter += 1
         pre, tag_value, child_product, parent_pre = self._stack.pop()
         polynomial = self._ring.linear_mul(tag_value, child_product)
-        server_share = self._sharing.server_share(polynomial, pre)
-        self._table.insert(
-            {
-                "pre": pre,
-                "post": self._post_counter,
-                "parent": parent_pre,
-                "share": list(server_share.coeffs),
-            }
-        )
+        shares = self._scheme.server_shares(polynomial, pre)
+        for table, share in zip(self._tables, shares):
+            table.insert(
+                {
+                    "pre": pre,
+                    "post": self._post_counter,
+                    "parent": parent_pre,
+                    "share": list(share.coeffs),
+                }
+            )
         self.node_count += 1
         if self._stack:
             parent_frame = self._stack[-1]
@@ -217,7 +224,7 @@ class Encoder:
         """Encode XML text, streaming through the SAX parser."""
         database = database or Database()
         table = database.create_table(node_table_schema(), btree_order=self._btree_order)
-        handler = _EncodingHandler(self, table)
+        handler = _EncodingHandler(self, [table], self.sharing)
         watch = Stopwatch().start()
         StreamingParser(handler).parse_string(xml_text)
         for column in self._index_columns:
@@ -230,6 +237,47 @@ class Encoder:
         """Encode an XML file from disk."""
         with open(path, "r", encoding=encoding) as handle:
             return self.encode_text(handle.read(), database=database)
+
+    # ------------------------------------------------------------------
+    # Cluster deployment entry points
+    # ------------------------------------------------------------------
+
+    def deploy_document(self, document: XMLDocument, **kwargs):
+        """Encode a document into an n-server cluster deployment.
+
+        See :meth:`deploy_text` for the keyword options.
+        """
+        return self.deploy_text(serialize(document), **kwargs)
+
+    def deploy_text(
+        self,
+        xml_text: str,
+        servers: int = 1,
+        threshold: Optional[int] = None,
+        sharing: Union[str, object] = "additive",
+        databases: Optional[List[Database]] = None,
+    ):
+        """Encode XML text into one node table per server.
+
+        ``sharing`` names the scheme (``"additive"`` / ``"shamir"``) or is a
+        ready :class:`~repro.secretshare.scheme.SharingScheme` instance;
+        ``servers`` / ``threshold`` are its (n, k) parameters.  Each server's
+        table carries the same ``pre``/``post``/``parent`` structure and its
+        own share slice, so a plain single-shard
+        :class:`~repro.filters.server.ServerFilter` serves each of them
+        unchanged.  Returns a
+        :class:`~repro.encode.deploy.ClusterDeployment`.
+        """
+        from repro.encode.deploy import deploy_text
+
+        return deploy_text(
+            self,
+            xml_text,
+            servers=servers,
+            threshold=threshold,
+            sharing=sharing,
+            databases=databases,
+        )
 
     # ------------------------------------------------------------------
     # Accounting

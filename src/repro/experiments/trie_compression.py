@@ -14,7 +14,8 @@ through the trie transform and reports the same ratios.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections import deque
+from typing import Deque, List, Optional, Sequence
 
 from repro.metrics.records import ExperimentRecord
 from repro.prg.generator import SplitMix64
@@ -52,7 +53,10 @@ def build_corpus(num_texts: int = 120, words_per_text: int = 60, seed: int = 424
     """
     rng = SplitMix64(seed)
     texts: List[str] = []
-    recent: List[str] = []
+    # Rolling window of recently introduced words.  deque(maxlen=…) evicts
+    # the oldest entry in O(1); the previous list.pop(0) shifted the whole
+    # 8000-element window on every eviction, making long runs quadratic.
+    recent: Deque[str] = deque(maxlen=8000)
     for _ in range(num_texts):
         words_in_text: List[str] = []
         for _ in range(words_per_text):
@@ -65,8 +69,6 @@ def build_corpus(num_texts: int = 120, words_per_text: int = 60, seed: int = 424
                 word += rng.choice(_SUFFIXES)
                 words_in_text.append(word)
                 recent.append(word)
-                if len(recent) > 8000:
-                    recent.pop(0)
         texts.append(" ".join(words_in_text))
     return texts
 

@@ -14,10 +14,29 @@ adapted to work on the server site respectively the client site."*
   the secret seed and tag map, regenerates client shares, combines them with
   server results, and exposes the two matching rules (containment test and
   equality test) to the query engines.
+* :class:`~repro.filters.cluster.ClusterClient` — presents an n-server share
+  deployment behind the exact ``ServerFilter`` surface: structural queries
+  fail over between replicas, share requests scatter-gather and recombine
+  through the deployment's sharing scheme.
 """
 
 from repro.filters.client import ClientFilter
+from repro.filters.cluster import (
+    ClusterClient,
+    ClusterProtocolError,
+    ClusterUnavailableError,
+    InconsistentShareError,
+)
 from repro.filters.interface import Filter, MatchRule
 from repro.filters.server import ServerFilter
 
-__all__ = ["Filter", "MatchRule", "ServerFilter", "ClientFilter"]
+__all__ = [
+    "Filter",
+    "MatchRule",
+    "ServerFilter",
+    "ClientFilter",
+    "ClusterClient",
+    "ClusterProtocolError",
+    "ClusterUnavailableError",
+    "InconsistentShareError",
+]

@@ -1,0 +1,375 @@
+"""Cluster-transparent server access: n share servers behind one surface.
+
+:class:`ClusterClient` exposes exactly the method surface of a single
+:class:`~repro.filters.server.ServerFilter`, so the existing
+:class:`~repro.filters.client.ClientFilter` — and through it both query
+engines and the leakage observer — runs unmodified against an ``n``-server
+deployment.  Behind the surface it
+
+* routes **structural** queries (``pre``/``post``/``parent`` are replicated
+  on every server) to one sticky primary, failing over to the next live
+  server on a connection error,
+* **scatter-gathers** the share endpoints (``evaluate`` /
+  ``evaluate_batch`` / ``fetch_share`` / ``fetch_shares_batch``) across the
+  cluster and recombines the per-server replies through the deployment's
+  :class:`~repro.secretshare.scheme.SharingScheme` — any ``k`` replies for a
+  threshold scheme, locally regenerated PRG lanes for missing additive
+  shares,
+* **verifies** surplus replies against the reconstruction when the scheme
+  carries redundancy, so a corrupted or desynchronised server is detected
+  and reported instead of silently corrupting query results,
+* keeps the server-side ``next_node`` queues working by pinning each queue
+  to the server that opened it.
+
+Only *connection-level* failures trigger fail-over; semantic errors (an
+unknown ``pre`` raises :class:`LookupError` on every replica alike)
+propagate unchanged, matching single-server behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.rmi.cluster import ClusterTransport
+from repro.secretshare.scheme import SharingError, SharingScheme
+
+
+class ClusterProtocolError(RuntimeError):
+    """Base class of cluster-level protocol failures."""
+
+
+class ClusterUnavailableError(ClusterProtocolError):
+    """Not enough live servers to answer a request."""
+
+
+class InconsistentShareError(ClusterProtocolError):
+    """Redundant replies disagree: at least one server holds corrupt shares.
+
+    ``servers`` lists the indices whose replies contradicted the
+    reconstruction from the base subset.  With exactly ``threshold`` replies
+    corruption is undetectable; with more, disagreement is provable but
+    attribution is relative to the base subset (a majority vote across
+    subsets would be needed to pin the culprit down — see ROADMAP).
+    """
+
+    def __init__(self, message: str, servers: Sequence[int]):
+        super().__init__(message)
+        self.servers = tuple(servers)
+
+
+class ClusterClient:
+    """Presents an ``n``-server share deployment as one server filter."""
+
+    def __init__(
+        self,
+        transport: ClusterTransport,
+        scheme: SharingScheme,
+        read_quorum: Optional[int] = None,
+        verify_shares: bool = True,
+    ):
+        """``transport`` carries the calls; ``scheme`` recombines the replies.
+
+        ``read_quorum`` is the number of servers contacted per share read —
+        defaulting to all of them, which buys immediate fail-over *and* the
+        redundancy that makes :class:`InconsistentShareError` detection
+        possible.  Setting it to ``scheme.threshold`` minimises traffic at
+        the cost of both.  ``verify_shares=False`` skips the consistency
+        check (the reconstruction then trusts the first ``threshold``
+        replies).
+        """
+        if transport.num_servers != scheme.num_servers:
+            raise SharingError(
+                "transport has %d servers but the scheme shards across %d"
+                % (transport.num_servers, scheme.num_servers)
+            )
+        if read_quorum is None:
+            read_quorum = scheme.num_servers
+        if not scheme.threshold <= read_quorum <= scheme.num_servers:
+            raise SharingError(
+                "read_quorum must be in [%d, %d], got %d"
+                % (scheme.threshold, scheme.num_servers, read_quorum)
+            )
+        self.transport = transport
+        self.scheme = scheme
+        self.ring = scheme.ring
+        self._read_quorum = read_quorum
+        self._verify = verify_shares
+        self._primary = 0
+        # Server-side queues are pinned to one server; local ids hide that.
+        self._queue_routes: Dict[int, Tuple[int, int]] = {}
+        self._next_local_queue_id = 1
+        #: inconsistency reports observed so far (kept even when raising)
+        self.inconsistencies: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers in the deployment."""
+        return self.transport.num_servers
+
+    def _server_order(self, start: Optional[int] = None) -> List[int]:
+        """Preference order: live servers from ``start``, then downed ones."""
+        count = self.num_servers
+        start = self._primary if start is None else start
+        rotated = [(start + offset) % count for offset in range(count)]
+        live = [index for index in rotated if not self.transport.is_down(index)]
+        down = [index for index in rotated if self.transport.is_down(index)]
+        return live + down
+
+    # ------------------------------------------------------------------
+    # Structural queries: one server answers, fail over on connection loss
+    # ------------------------------------------------------------------
+
+    def _call_any(self, method: str, *args: Any) -> Any:
+        """Invoke a replicated (structure-only) method on one live server."""
+        last_error: Optional[BaseException] = None
+        for index in self._server_order():
+            try:
+                result = self.transport.invoke(index, method, args)
+            except ConnectionError as exc:
+                last_error = exc
+                continue
+            self._primary = index
+            return result
+        raise ClusterUnavailableError(
+            "no live server could answer %s: %s" % (method, last_error)
+        )
+
+    def node_count(self) -> int:
+        return self._call_any("node_count")
+
+    def root_pre(self) -> int:
+        return self._call_any("root_pre")
+
+    def node_info(self, pre: int):
+        return self._call_any("node_info", pre)
+
+    def node_infos(self, pres: List[int]):
+        return self._call_any("node_infos", pres)
+
+    def children_of(self, pre: int) -> List[int]:
+        return self._call_any("children_of", pre)
+
+    def children_of_many(self, pres: List[int]) -> List[List[int]]:
+        return self._call_any("children_of_many", pres)
+
+    def descendants_of(self, pre: int) -> List[int]:
+        return self._call_any("descendants_of", pre)
+
+    def descendants_of_many(self, pres: List[int]) -> List[List[int]]:
+        return self._call_any("descendants_of_many", pres)
+
+    def parent_of(self, pre: int) -> int:
+        return self._call_any("parent_of", pre)
+
+    # ------------------------------------------------------------------
+    # next_node pipeline: queues are pinned to the server that opened them
+    # ------------------------------------------------------------------
+
+    def _open_queue_on_primary(self, method: str, pres: List[int]) -> int:
+        last_error: Optional[BaseException] = None
+        for index in self._server_order():
+            try:
+                remote_id = self.transport.invoke(index, method, (list(pres),))
+            except ConnectionError as exc:
+                last_error = exc
+                continue
+            self._primary = index
+            local_id = self._next_local_queue_id
+            self._next_local_queue_id += 1
+            self._queue_routes[local_id] = (index, remote_id)
+            return local_id
+        raise ClusterUnavailableError(
+            "no live server could answer %s: %s" % (method, last_error)
+        )
+
+    def _queue_route(self, queue_id: int) -> Tuple[int, int]:
+        route = self._queue_routes.get(queue_id)
+        if route is None:
+            raise LookupError("unknown queue id %d" % queue_id)
+        return route
+
+    def open_queue(self, pres: List[int]) -> int:
+        return self._open_queue_on_primary("open_queue", pres)
+
+    def open_children_queue(self, pres: List[int]) -> int:
+        return self._open_queue_on_primary("open_children_queue", pres)
+
+    def open_descendants_queue(self, pres: List[int]) -> int:
+        return self._open_queue_on_primary("open_descendants_queue", pres)
+
+    def next_node(self, queue_id: int) -> int:
+        server, remote_id = self._queue_route(queue_id)
+        return self.transport.invoke(server, "next_node", (remote_id,))
+
+    def queue_size(self, queue_id: int) -> int:
+        server, remote_id = self._queue_route(queue_id)
+        return self.transport.invoke(server, "queue_size", (remote_id,))
+
+    def close_queue(self, queue_id: int) -> bool:
+        server, remote_id = self._queue_routes.pop(queue_id, (None, None))
+        if server is None:
+            return False
+        return self.transport.invoke(server, "close_queue", (remote_id,))
+
+    # ------------------------------------------------------------------
+    # Share access: scatter, regenerate, verify, combine
+    # ------------------------------------------------------------------
+
+    def _gather(
+        self, method: str, args: Tuple[Any, ...]
+    ) -> Tuple[Dict[int, Any], Dict[int, BaseException]]:
+        """Contact up to ``read_quorum`` servers (more if replies are short).
+
+        Only *connection-level* failures are collected for the caller to
+        judge the surviving subset; semantic errors (an unknown ``pre``
+        raises :class:`LookupError` on every replica alike, a bad argument
+        fails everywhere) re-raise immediately, exactly as the single-server
+        path would.
+        """
+        replies: Dict[int, Any] = {}
+        failures: Dict[int, BaseException] = {}
+
+        def absorb(batch) -> None:
+            for reply in batch:
+                if reply.ok:
+                    replies[reply.server] = reply.value
+                elif isinstance(reply.error, ConnectionError):
+                    failures[reply.server] = reply.error
+                else:
+                    raise reply.error
+
+        order = self._server_order(start=0)
+        absorb(self.transport.invoke_all(method, args, indices=order[: self._read_quorum]))
+        for index in order[self._read_quorum :]:
+            if self.scheme.sufficient(replies):
+                break
+            absorb(self.transport.invoke_all(method, args, indices=[index]))
+        return replies, failures
+
+    def _complete_with_regenerated(
+        self,
+        replies: Dict[int, Any],
+        failures: Dict[int, BaseException],
+        regenerate: Callable[[int], Any],
+        method: str,
+    ) -> Dict[int, Any]:
+        """Fill regenerable gaps locally; fail if the set stays incomplete."""
+        if not self.scheme.complete(replies):
+            for index in range(self.num_servers):
+                if index in replies or not self.scheme.regenerable(index):
+                    continue
+                replies[index] = regenerate(index)
+                if self.scheme.complete(replies):
+                    break
+        if not self.scheme.complete(replies):
+            raise ClusterUnavailableError(
+                "%s gathered %d of %d replies (threshold %d); failures: %s"
+                % (
+                    method,
+                    len(replies),
+                    self.num_servers,
+                    self.scheme.threshold,
+                    {index: repr(error) for index, error in failures.items()},
+                )
+            )
+        return replies
+
+    def _verify_vectors(self, vectors: Dict[int, Sequence[int]], method: str) -> None:
+        """Check redundant replies; record and raise on disagreement."""
+        if not self._verify or len(vectors) <= self.scheme.threshold:
+            return
+        inconsistent = self.scheme.verify_vectors(vectors)
+        if not inconsistent:
+            return
+        report = {"method": method, "servers": tuple(inconsistent)}
+        self.inconsistencies.append(report)
+        raise InconsistentShareError(
+            "%s: replies from servers %s are inconsistent with the "
+            "reconstruction" % (method, list(inconsistent)),
+            inconsistent,
+        )
+
+    def evaluate(self, pre: int, point: int) -> int:
+        """Combined server-side evaluation of node ``pre`` at ``point``."""
+        replies, failures = self._gather("evaluate", (pre, point))
+        replies = self._complete_with_regenerated(
+            replies,
+            failures,
+            lambda index: self.ring.evaluate(self.scheme.regenerate_share(pre, index), point),
+            "evaluate",
+        )
+        vectors = {index: (value,) for index, value in replies.items()}
+        self._verify_vectors(vectors, "evaluate")
+        return self.scheme.combine_vectors(vectors)[0]
+
+    def evaluate_batch(self, pres: List[int], point: int) -> List[int]:
+        """Combined server-side evaluations for a whole candidate list."""
+        pres = list(pres)
+        if not pres:
+            return []
+        replies, failures = self._gather("evaluate_batch", (pres, point))
+
+        def regenerate(index: int) -> List[int]:
+            shares = [self.scheme.regenerate_share(pre, index) for pre in pres]
+            return self.ring.evaluate_many(shares, point)
+
+        replies = self._complete_with_regenerated(replies, failures, regenerate, "evaluate_batch")
+        self._verify_vectors(replies, "evaluate_batch")
+        return self.scheme.combine_values_many(replies)
+
+    def evaluate_many(self, pres: List[int], point: int) -> List[int]:
+        """Alias of :meth:`evaluate_batch` (protocol compatibility)."""
+        return self.evaluate_batch(pres, point)
+
+    def fetch_share(self, pre: int) -> List[int]:
+        """The *combined* server-share coefficients of node ``pre``."""
+        replies, failures = self._gather("fetch_share", (pre,))
+        replies = self._complete_with_regenerated(
+            replies,
+            failures,
+            lambda index: list(self.scheme.regenerate_share(pre, index).coeffs),
+            "fetch_share",
+        )
+        self._verify_vectors(replies, "fetch_share")
+        return self.scheme.combine_vectors(replies)
+
+    def fetch_shares_batch(self, pres: List[int]) -> List[List[int]]:
+        """Combined share coefficients for all ``pres``, scatter-gathered.
+
+        Per-server replies are flattened to one long vector so the scheme
+        combines (and verifies) each batch with one kernel pass instead of
+        one per node; the combination is component-wise linear, so the
+        flattening is exact.
+        """
+        pres = list(pres)
+        if not pres:
+            return []
+        replies, failures = self._gather("fetch_shares_batch", (pres,))
+
+        def regenerate(index: int) -> List[List[int]]:
+            return [list(self.scheme.regenerate_share(pre, index).coeffs) for pre in pres]
+
+        replies = self._complete_with_regenerated(replies, failures, regenerate, "fetch_shares_batch")
+        flat = {
+            index: [value for vector in vectors for value in vector]
+            for index, vectors in replies.items()
+        }
+        self._verify_vectors(flat, "fetch_shares_batch")
+        combined = self.scheme.combine_vectors(flat)
+        length = self.ring.length
+        return [combined[start : start + length] for start in range(0, len(combined), length)]
+
+    def fetch_shares(self, pres: List[int]) -> List[List[int]]:
+        """Alias of :meth:`fetch_shares_batch` (protocol compatibility)."""
+        return self.fetch_shares_batch(pres)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "ClusterClient(servers=%d, scheme=%s, quorum=%d)" % (
+            self.num_servers,
+            self.scheme.name,
+            self._read_quorum,
+        )

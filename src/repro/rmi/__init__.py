@@ -21,6 +21,12 @@ This package provides that boundary in-process:
   benchmark harness reads out.
 """
 
+from repro.rmi.cluster import (
+    ClusterReply,
+    ClusterTransport,
+    InjectedFaultError,
+    ServerDownError,
+)
 from repro.rmi.codec import Codec, CodecError
 from repro.rmi.proxy import Registry, RemoteProxy
 from repro.rmi.stats import CallStats
@@ -30,6 +36,10 @@ __all__ = [
     "Codec",
     "CodecError",
     "SimulatedTransport",
+    "ClusterTransport",
+    "ClusterReply",
+    "ServerDownError",
+    "InjectedFaultError",
     "RemoteProxy",
     "Registry",
     "CallStats",

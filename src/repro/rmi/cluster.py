@@ -1,0 +1,229 @@
+"""Scatter-gather transport over a cluster of share servers.
+
+One :class:`~repro.rmi.transport.SimulatedTransport` per server — each with
+its own :class:`~repro.rmi.stats.CallStats`, codec round-trip and latency
+model — plus the cluster-level operations the
+:class:`~repro.filters.cluster.ClusterClient` needs:
+
+* :meth:`ClusterTransport.invoke` — one call against one named server,
+* :meth:`ClusterTransport.invoke_all` — scatter the same call to every (or a
+  chosen subset of) server(s) and gather per-server
+  :class:`ClusterReply` values *without* aborting on individual failures —
+  the caller decides whether the surviving subset suffices,
+* fault injection: :meth:`set_down` (a server that stays unreachable) and
+  :meth:`inject_faults` (the next *k* calls fail), both recorded as errors
+  in the affected server's stats so flaky-run traffic is never under-counted,
+* deterministic per-server latency jitter (a seeded multiplier on the
+  configured latencies, modelling heterogeneous hardware),
+* :meth:`aggregate_stats` — the merged cluster-wide
+  :class:`~repro.rmi.stats.CallStats` via :meth:`CallStats.merge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.prg.generator import SplitMix64
+from repro.rmi.codec import Codec
+from repro.rmi.stats import CallStats
+from repro.rmi.transport import SimulatedTransport
+
+
+class ServerDownError(ConnectionError):
+    """Raised when invoking a server marked down (unreachable)."""
+
+
+class InjectedFaultError(ConnectionError):
+    """Raised by the transport for an injected transient failure."""
+
+
+@dataclass(frozen=True)
+class ClusterReply:
+    """One server's answer to a scattered call."""
+
+    #: index of the answering server
+    server: int
+    #: decoded return value (``None`` when the call failed)
+    value: Any = None
+    #: the exception the call raised, ``None`` on success
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the call succeeded."""
+        return self.error is None
+
+
+class ClusterTransport:
+    """Carries calls between one client and ``n`` share servers."""
+
+    def __init__(
+        self,
+        servers: Sequence[Any],
+        per_call_latency: float = 0.0,
+        per_byte_latency: float = 0.0,
+        codec: Optional[Codec] = None,
+        latency_jitter: float = 0.0,
+        jitter_seed: int = 20050905,
+    ):
+        """``servers`` are the target objects (typically ``ServerFilter`` s).
+
+        ``latency_jitter`` spreads the configured latencies per server by a
+        deterministic factor in ``[1, 1 + latency_jitter)`` drawn from
+        ``jitter_seed`` — server 2 of a jittered cluster is always exactly
+        as slow, so experiments stay reproducible.
+        """
+        if not servers:
+            raise ValueError("a cluster needs at least one server")
+        if latency_jitter < 0:
+            raise ValueError("latency_jitter must be non-negative")
+        self.servers = list(servers)
+        rng = SplitMix64(jitter_seed)
+        self.transports: List[SimulatedTransport] = []
+        for _ in self.servers:
+            factor = 1.0 + latency_jitter * rng.next_float()
+            self.transports.append(
+                SimulatedTransport(
+                    per_call_latency=per_call_latency * factor,
+                    per_byte_latency=per_byte_latency * factor,
+                    codec=codec,
+                )
+            )
+        self._down: set = set()
+        self._fault_budget: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Topology and fault control
+    # ------------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers behind this transport."""
+        return len(self.servers)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self.servers):
+            raise IndexError("server index %d out of range for %d servers" % (index, len(self.servers)))
+
+    def set_down(self, index: int, down: bool = True) -> None:
+        """Mark a server unreachable (or bring it back with ``down=False``)."""
+        self._check_index(index)
+        if down:
+            self._down.add(index)
+        else:
+            self._down.discard(index)
+
+    def is_down(self, index: int) -> bool:
+        """Whether a server is currently marked unreachable."""
+        self._check_index(index)
+        return index in self._down
+
+    def live_servers(self) -> List[int]:
+        """Indices of servers not marked down."""
+        return [index for index in range(len(self.servers)) if index not in self._down]
+
+    def inject_faults(self, index: int, count: int = 1) -> None:
+        """Make the next ``count`` invocations of one server fail transiently."""
+        self._check_index(index)
+        if count < 0:
+            raise ValueError("fault count must be non-negative")
+        self._fault_budget[index] = self._fault_budget.get(index, 0) + count
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+
+    def invoke(
+        self,
+        index: int,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """One remote call against server ``index``.
+
+        Unreachable servers and injected faults raise — but are still
+        recorded in that server's stats (zero payload bytes, the per-call
+        latency as the timeout cost, ``error=True``).
+        """
+        self._check_index(index)
+        transport = self.transports[index]
+        if index in self._down:
+            transport.stats.record(method, 0, 0, transport.per_call_latency, error=True)
+            raise ServerDownError("server %d is down" % index)
+        budget = self._fault_budget.get(index, 0)
+        if budget > 0:
+            self._fault_budget[index] = budget - 1
+            transport.stats.record(method, 0, 0, transport.per_call_latency, error=True)
+            raise InjectedFaultError("injected fault on server %d (%s)" % (index, method))
+        return transport.invoke(self.servers[index], method, args, kwargs)
+
+    def invoke_all(
+        self,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> List[ClusterReply]:
+        """Scatter one call to many servers, gather per-server replies.
+
+        Individual failures are captured in the reply's ``error`` instead of
+        propagating, so a partial gather is an ordinary outcome — threshold
+        schemes only need enough of the replies to be good.
+        """
+        targets = range(len(self.servers)) if indices is None else indices
+        replies: List[ClusterReply] = []
+        for index in targets:
+            try:
+                replies.append(ClusterReply(index, value=self.invoke(index, method, args, kwargs)))
+            except Exception as exc:  # gathered, not propagated
+                replies.append(ClusterReply(index, error=exc))
+        return replies
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def stats_of(self, index: int) -> CallStats:
+        """The per-server call statistics."""
+        self._check_index(index)
+        return self.transports[index].stats
+
+    @property
+    def per_server_stats(self) -> List[CallStats]:
+        """Every server's stats, in server order."""
+        return [transport.stats for transport in self.transports]
+
+    def count_query(self, amount: int = 1) -> None:
+        """Tick the query counter on every server's stats.
+
+        Each server's ``calls_per_query`` then reads "calls this server did
+        per executed query", whether or not the query touched it.
+        """
+        for transport in self.transports:
+            transport.stats.count_query(amount)
+
+    def aggregate_stats(self) -> CallStats:
+        """A merged snapshot of every server's stats.
+
+        ``queries`` is the maximum over servers rather than the sum: the
+        per-server traces cover the *same* queries, so summing (what
+        :meth:`CallStats.merge` does for disjoint traces) would deflate the
+        cluster-wide per-query figures by a factor of n.
+        """
+        merged = CallStats()
+        for transport in self.transports:
+            merged.merge(transport.stats)
+        merged.queries = max(
+            (transport.stats.queries for transport in self.transports), default=0
+        )
+        return merged
+
+    def reset_stats(self) -> None:
+        """Zero every server's counters (between experiment runs)."""
+        for transport in self.transports:
+            transport.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "ClusterTransport(servers=%d, down=%s)" % (len(self.servers), sorted(self._down))

@@ -12,6 +12,14 @@ Homogeneous integer lists — the dominant payload of the batched endpoints
 compact vector form so a batch of *n* values is encoded once with one byte of
 framing per element rather than five; other payloads use the generic tagged
 encoding.
+
+Lists of such vectors — the share-bundle responses of the batched and
+clustered endpoints (``fetch_shares_batch`` returns one coefficient vector
+per node, per server) — take a *matrix* form: each row is packed at a fixed
+byte width derived from its largest value, so a share vector over a small
+field costs about one byte per coefficient instead of three-plus through the
+generic list path.  Cluster payload accounting therefore reflects what a
+sane wire format would ship, not framing overhead.
 """
 
 from __future__ import annotations
@@ -31,9 +39,16 @@ _TAG_DICT = b"M"
 #: share coefficient vectors) costs 1 length byte + digits per element instead
 #: of a 1-byte tag + 4-byte length per element
 _TAG_INTVEC = b"V"
+#: compact matrix: a list of non-negative int vectors (share bundles), each
+#: row packed at a fixed per-row byte width
+_TAG_INTMAT = b"W"
 
 #: widest per-element digit string the compact vector form can carry
 _INTVEC_MAX_DIGITS = 255
+
+#: widest fixed element width (bytes) a matrix row may use; wider rows make
+#: the whole value fall back to the generic list encoding
+_INTMAT_MAX_WIDTH = 8
 
 
 class CodecError(ValueError):
@@ -81,6 +96,8 @@ class Codec:
             parts.append(_TAG_BYTES + _length(encoded) + encoded)
         elif isinstance(value, (list, tuple)):
             compact = _encode_intvec(value)
+            if compact is None:
+                compact = _encode_intmat(value)
             if compact is not None:
                 parts.append(compact)
                 return
@@ -128,6 +145,32 @@ class Codec:
             if tag == _TAG_STR:
                 return raw.decode("utf-8"), offset
             return raw, offset
+        if tag == _TAG_INTMAT:
+            rows, offset = _read_length(payload, offset)
+            matrix = []
+            for _ in range(rows):
+                count, offset = _read_length(payload, offset)
+                if offset >= len(payload):
+                    raise CodecError("truncated payload")
+                width = payload[offset]
+                offset += 1
+                if width == 0:
+                    if count:
+                        raise CodecError("zero-width matrix row with %d elements" % count)
+                    matrix.append([])
+                    continue
+                size = count * width
+                raw = payload[offset : offset + size]
+                if len(raw) != size:
+                    raise CodecError("truncated payload body")
+                offset += size
+                matrix.append(
+                    [
+                        int.from_bytes(raw[start : start + width], "big")
+                        for start in range(0, size, width)
+                    ]
+                )
+            return matrix, offset
         if tag == _TAG_INTVEC:
             count, offset = _read_length(payload, offset)
             items = []
@@ -177,6 +220,34 @@ def _encode_intvec(values) -> "bytes | None":
             return None
         chunks.append(bytes((len(digits),)) + digits)
     return _TAG_INTVEC + _length_int(len(values)) + b"".join(chunks)
+
+
+def _encode_intmat(values) -> "bytes | None":
+    """Compact encoding of a non-empty list of non-negative int vectors.
+
+    Each row is packed at the fixed byte width of its largest element (so a
+    share vector over a small field costs ~1 byte per coefficient).  Bools,
+    negative values, elements wider than ``_INTMAT_MAX_WIDTH`` bytes and
+    non-vector rows make the value fall back to the generic list form.
+    """
+    if not values:
+        return None
+    rows = []
+    for row in values:
+        if not isinstance(row, (list, tuple)):
+            return None
+        largest = 0
+        for element in row:
+            if type(element) is not int or element < 0:
+                return None
+            if element > largest:
+                largest = element
+        width = max(1, (largest.bit_length() + 7) // 8) if row else 0
+        if width > _INTMAT_MAX_WIDTH:
+            return None
+        packed = b"".join(element.to_bytes(width, "big") for element in row)
+        rows.append(_length_int(len(row)) + bytes((width,)) + packed)
+    return _TAG_INTMAT + _length_int(len(values)) + b"".join(rows)
 
 
 def _length(encoded: bytes) -> bytes:

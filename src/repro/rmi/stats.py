@@ -35,6 +35,8 @@ class CallStats:
     simulated_latency: float = 0.0
     #: per-method invocation counts
     calls_by_method: Dict[str, int] = field(default_factory=dict)
+    #: per-method payload bytes (request + response)
+    bytes_by_method: Dict[str, int] = field(default_factory=dict)
     #: invocations whose server method (or payload encoding) raised
     errors: int = 0
     #: per-method error counts
@@ -60,6 +62,9 @@ class CallStats:
         self.bytes_received += response_bytes
         self.simulated_latency += latency
         self.calls_by_method[method] = self.calls_by_method.get(method, 0) + 1
+        self.bytes_by_method[method] = (
+            self.bytes_by_method.get(method, 0) + request_bytes + response_bytes
+        )
         if error:
             self.errors += 1
             self.errors_by_method[method] = self.errors_by_method.get(method, 0) + 1
@@ -68,6 +73,35 @@ class CallStats:
         """Record that ``amount`` queries ran over this transport."""
         self.queries += amount
 
+    def merge(self, other: "CallStats") -> "CallStats":
+        """Accumulate another trace into this one (returns ``self``).
+
+        Counters — including ``errors`` and ``queries`` — are summed, the
+        per-method breakdowns are merged key-wise, so the derived per-query
+        figures of the merged object cover both traces.  Callers merging
+        per-server traces of the *same* queries (the cluster aggregation)
+        should fix up ``queries`` afterwards, since those traces are not
+        disjoint.  ``backend`` is kept when both agree and degrades to
+        ``"mixed"`` when the traces came from different kernels.
+        """
+        self.calls += other.calls
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.simulated_latency += other.simulated_latency
+        self.errors += other.errors
+        self.queries += other.queries
+        for method, count in other.calls_by_method.items():
+            self.calls_by_method[method] = self.calls_by_method.get(method, 0) + count
+        for method, total in other.bytes_by_method.items():
+            self.bytes_by_method[method] = self.bytes_by_method.get(method, 0) + total
+        for method, count in other.errors_by_method.items():
+            self.errors_by_method[method] = self.errors_by_method.get(method, 0) + count
+        if self.backend is None:
+            self.backend = other.backend
+        elif other.backend is not None and other.backend != self.backend:
+            self.backend = "mixed"
+        return self
+
     def reset(self) -> None:
         """Zero all counters (used between experiment runs)."""
         self.calls = 0
@@ -75,6 +109,7 @@ class CallStats:
         self.bytes_received = 0
         self.simulated_latency = 0.0
         self.calls_by_method.clear()
+        self.bytes_by_method.clear()
         self.errors = 0
         self.errors_by_method.clear()
         self.queries = 0
@@ -94,6 +129,17 @@ class CallStats:
         """Average payload bytes per recorded query (0.0 before any query)."""
         return self.total_bytes / self.queries if self.queries else 0.0
 
+    def per_method(self) -> Dict[str, Dict[str, int]]:
+        """Per-method breakdown: calls, errors and payload bytes by endpoint."""
+        return {
+            method: {
+                "calls": count,
+                "errors": self.errors_by_method.get(method, 0),
+                "bytes": self.bytes_by_method.get(method, 0),
+            }
+            for method, count in sorted(self.calls_by_method.items())
+        }
+
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict copy for report printing (counters plus ``backend``)."""
         return {
@@ -107,6 +153,7 @@ class CallStats:
             "simulated_latency": self.simulated_latency,
             "calls_per_query": self.calls_per_query,
             "bytes_per_query": self.bytes_per_query,
+            "by_method": self.per_method(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics

@@ -1,12 +1,73 @@
-"""Additive secret sharing of ring polynomials.
+"""Secret sharing of ring polynomials across one client and n servers.
 
-Step 3 of the encoding (section 3): the tree of node polynomials is split into
-a *client* tree and a *server* tree of the same shape.  The client polynomials
-come from a pseudorandom generator; the server polynomials are chosen so that
-``client + server == original`` coefficient-wise.  Only the server tree is
-stored (publicly); the client tree is regenerated from the PRG seed.
+Step 3 of the encoding (section 3): the tree of node polynomials is split
+into a *client* tree and one or more *server* trees of the same shape.  The
+client polynomials come from a pseudorandom generator; the server shares are
+chosen so that a sufficient subset of them plus the client share recombines
+to the original tree.  Only the server trees are stored (publicly); the
+client tree is regenerated from the PRG seed.
+
+Schemes:
+
+* :class:`AdditiveSharing` — the paper's two-party split (one server).
+* :class:`AdditiveNSharing` — n-of-n additive: one PRG lane per server, only
+  the final *residual* share is stored-only.
+* :class:`ShamirSharing` — (k, n) threshold sharing over the coefficient
+  vectors; any k servers reconstruct, fewer learn nothing.
 """
 
-from repro.secretshare.additive import AdditiveSharing, SharePair
+from typing import Optional
 
-__all__ = ["AdditiveSharing", "SharePair"]
+from repro.poly.ring import QuotientRing
+from repro.prg.generator import KeyedPRG
+from repro.secretshare.additive import AdditiveNSharing, AdditiveSharing, SharePair
+from repro.secretshare.scheme import SharingError, SharingScheme
+from repro.secretshare.shamir import ShamirSharing
+
+#: scheme names accepted by :func:`make_scheme` (and the database facade)
+SCHEME_NAMES = ("additive", "shamir")
+
+
+def make_scheme(
+    name: str,
+    ring: QuotientRing,
+    prg: KeyedPRG,
+    servers: int = 1,
+    threshold: Optional[int] = None,
+) -> SharingScheme:
+    """Build a sharing scheme from its short name.
+
+    ``"additive"`` yields the two-party :class:`AdditiveSharing` for one
+    server (bit-compatible with the original encoding) and
+    :class:`AdditiveNSharing` for more; ``threshold`` must then be omitted
+    or equal to ``servers``.  ``"shamir"`` yields a (k, n)
+    :class:`ShamirSharing`; ``threshold`` defaults to ``servers`` (n-of-n).
+    """
+    if servers < 1:
+        raise SharingError("a deployment needs at least 1 server, got %d" % servers)
+    if name == "additive":
+        if threshold is not None and threshold != servers:
+            raise SharingError(
+                "additive sharing is n-of-n: threshold %r conflicts with %d servers"
+                % (threshold, servers)
+            )
+        if servers == 1:
+            return AdditiveSharing(ring, prg)
+        return AdditiveNSharing(ring, prg, servers)
+    if name == "shamir":
+        return ShamirSharing(ring, prg, servers, servers if threshold is None else threshold)
+    raise SharingError(
+        "unknown sharing scheme %r; expected one of %s" % (name, list(SCHEME_NAMES))
+    )
+
+
+__all__ = [
+    "AdditiveSharing",
+    "AdditiveNSharing",
+    "ShamirSharing",
+    "SharingScheme",
+    "SharingError",
+    "SharePair",
+    "SCHEME_NAMES",
+    "make_scheme",
+]

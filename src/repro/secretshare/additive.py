@@ -1,12 +1,21 @@
-"""Two-party additive sharing of polynomials in the encoding ring."""
+"""Additive sharing of polynomials in the encoding ring (two-party and n-party).
+
+:class:`AdditiveSharing` is the paper's original two-party split — one
+PRG-derived client share plus exactly one stored server share.
+:class:`AdditiveNSharing` generalises it to n servers: the first ``n - 1``
+stored shares are further PRG lanes (so the client can regenerate them when
+their server is unreachable) and only the last share — the *residual* — is
+genuinely new information that must be fetched from its server.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Mapping, Sequence
 
 from repro.poly.ring import QuotientRing, RingPolynomial
 from repro.prg.generator import KeyedPRG
+from repro.secretshare.scheme import SharingError, SharingScheme
 
 
 @dataclass(frozen=True)
@@ -26,7 +35,7 @@ class SharePair:
         return self.client + self.server
 
 
-class AdditiveSharing:
+class AdditiveSharing(SharingScheme):
     """Splits and recombines node polynomials using a :class:`KeyedPRG`.
 
     The client share of the node at position ``pre`` is defined as the first
@@ -35,15 +44,27 @@ class AdditiveSharing:
     depends only on ``(seed, pre)`` it never needs to be stored: both the
     encoder and the query-time :class:`repro.filters.client.ClientFilter`
     derive it independently.
+
+    As a :class:`~repro.secretshare.scheme.SharingScheme` this is the
+    degenerate single-server cluster: one stored share, threshold one.
     """
 
+    name = "additive"
+
     def __init__(self, ring: QuotientRing, prg: KeyedPRG):
-        if prg.field != ring.field:
-            raise ValueError(
-                "PRG field %r does not match ring field %r" % (prg.field, ring.field)
-            )
-        self.ring = ring
-        self.prg = prg
+        super().__init__(ring, prg)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        return 1
+
+    @property
+    def threshold(self) -> int:
+        return 1
 
     # ------------------------------------------------------------------
     # Sharing
@@ -73,6 +94,15 @@ class AdditiveSharing:
     def server_share(self, polynomial: RingPolynomial, pre: int) -> RingPolynomial:
         """Compute only the server share (what actually gets stored)."""
         return polynomial - self.client_share(pre)
+
+    def server_shares(self, polynomial: RingPolynomial, pre: int) -> List[RingPolynomial]:
+        """The single stored share, as a one-element cluster bundle."""
+        return [self.server_share(polynomial, pre)]
+
+    def combine_vectors(self, vectors: Mapping[int, Sequence[int]]) -> List[int]:
+        if 0 not in vectors:
+            raise SharingError("two-party additive sharing needs the server share")
+        return list(vectors[0])
 
     # ------------------------------------------------------------------
     # Reconstruction
@@ -107,3 +137,83 @@ class AdditiveSharing:
                 "got %d polynomials but %d pre positions" % (len(polynomials), len(pres))
             )
         return [self.split(poly, pre) for poly, pre in zip(polynomials, pres)]
+
+
+class AdditiveNSharing(AdditiveSharing):
+    """n-of-n additive sharing with one PRG lane per non-residual server.
+
+    The polynomial is split as::
+
+        P  =  client (lane 0)  +  s_0 (lane 1)  +  …  +  s_{n-2} (lane n-1)  +  residual
+
+    Every share except the stored residual is a deterministic PRG stream, so
+    the client can regenerate it when its server is down — only the residual
+    server is irreplaceable.  With ``servers == 1`` this degenerates to
+    exactly :class:`AdditiveSharing` (the residual *is* the classic server
+    share), bit-for-bit.
+    """
+
+    name = "additive-n"
+
+    def __init__(self, ring: QuotientRing, prg: KeyedPRG, servers: int = 1):
+        super().__init__(ring, prg)
+        if servers < 1:
+            raise SharingError("additive sharing needs at least 1 server, got %d" % servers)
+        self._servers = servers
+
+    @property
+    def num_servers(self) -> int:
+        return self._servers
+
+    @property
+    def threshold(self) -> int:
+        """All shares are needed — but all except the residual are regenerable."""
+        return self._servers
+
+    @property
+    def residual_index(self) -> int:
+        """Index of the one server whose share cannot be regenerated."""
+        return self._servers - 1
+
+    def regenerable(self, server_index: int) -> bool:
+        self._check_index(server_index)
+        return server_index != self.residual_index
+
+    def regenerate_share(self, pre: int, server_index: int) -> RingPolynomial:
+        if not self.regenerable(server_index):
+            raise SharingError(
+                "the residual share (server %d) is stored-only and cannot be "
+                "regenerated from the seed" % server_index
+            )
+        coefficients = self.prg.elements(pre, self.ring.length, lane=server_index + 1)
+        return self.ring.wrap_canonical(coefficients)
+
+    def server_shares(self, polynomial: RingPolynomial, pre: int) -> List[RingPolynomial]:
+        shares = [self.regenerate_share(pre, index) for index in range(self._servers - 1)]
+        residual = polynomial - self.client_share(pre)
+        for share in shares:
+            residual = residual - share
+        shares.append(residual)
+        return shares
+
+    def server_share(self, polynomial: RingPolynomial, pre: int) -> RingPolynomial:
+        """The two-party server share: the sum of all stored slices.
+
+        Kept so the single-table encoder path works for any ``n`` — what a
+        lone server would store is the combination of every slice.
+        """
+        return polynomial - self.client_share(pre)
+
+    def combine_vectors(self, vectors: Mapping[int, Sequence[int]]) -> List[int]:
+        missing = [index for index in range(self._servers) if index not in vectors]
+        if missing:
+            raise SharingError(
+                "additive combination needs all %d shares; missing servers %s"
+                % (self._servers, missing)
+            )
+        self.check_aligned(vectors)
+        kernel = self.ring.kernel
+        combined = list(vectors[0])
+        for index in range(1, self._servers):
+            combined = kernel.vec_add(combined, vectors[index])
+        return combined

@@ -1,0 +1,223 @@
+"""The abstract n-party sharing scheme behind every deployment topology.
+
+The paper's security argument rests on the node polynomials being split
+across *non-colluding parties*: the client (whose share is pseudorandom and
+regenerable from the secret seed) and one or more storage servers.  This
+module fixes the interface every concrete scheme implements, so the encoder,
+the :class:`~repro.filters.client.ClientFilter` and the cluster layer can be
+wired against any of them:
+
+* the **client-facing surface** (``client_share`` / ``reconstruct`` /
+  ``evaluate_shared``) is exactly what the two-party
+  :class:`~repro.secretshare.additive.AdditiveSharing` always offered — the
+  query-time filter code runs unmodified against every scheme;
+* the **cluster-facing surface** (``server_shares`` / ``combine_vectors`` /
+  ``combine_values_many`` / ``verify_vectors``) is what the deploy path and
+  the :class:`~repro.filters.cluster.ClusterClient` use to scatter one share
+  slice per server and gather any sufficient subset of replies back into the
+  single "combined server share" the client-facing surface expects.
+
+Because every combination rule here is *linear* in the shares, combining a
+batch of evaluations (one value per candidate node, per server) is the same
+kernel vector operation as combining coefficient vectors — which is why the
+cluster surface is expressed over plain integer vectors rather than ring
+polynomials.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Sequence
+
+from repro.poly.ring import QuotientRing, RingPolynomial
+from repro.prg.generator import KeyedPRG
+
+
+class SharingError(ValueError):
+    """Raised for invalid scheme parameters or insufficient share subsets."""
+
+
+class SharingScheme(ABC):
+    """Splits node polynomials into one client share plus n server shares.
+
+    Invariant of every concrete scheme: for any polynomial ``P`` and node
+    position ``pre``::
+
+        client_share(pre) + combine(server_shares(P, pre))  ==  P
+
+    where ``combine`` accepts any subset of server shares the scheme declares
+    sufficient (all of them for additive schemes, any ``threshold`` of them
+    for threshold schemes).
+    """
+
+    #: short scheme name used by factories and reports
+    name = "abstract"
+
+    def __init__(self, ring: QuotientRing, prg: KeyedPRG):
+        if prg.field != ring.field:
+            raise SharingError(
+                "PRG field %r does not match ring field %r" % (prg.field, ring.field)
+            )
+        self.ring = ring
+        self.prg = prg
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def num_servers(self) -> int:
+        """Number of server-side share slices (n)."""
+
+    @property
+    @abstractmethod
+    def threshold(self) -> int:
+        """Minimum number of server shares a combination needs.
+
+        Additive schemes need every share (``threshold == num_servers``)
+        but may mark individual shares as :meth:`regenerable`; threshold
+        schemes accept any ``threshold``-sized subset.
+        """
+
+    def regenerable(self, server_index: int) -> bool:
+        """Whether the client can locally recompute this server's share.
+
+        Regenerable shares are the cluster's cheap fail-over path: when the
+        server holding one is down, the client derives the share from its
+        secret seed instead of aborting the query.
+        """
+        self._check_index(server_index)
+        return False
+
+    def regenerate_share(self, pre: int, server_index: int) -> RingPolynomial:
+        """Locally recompute a regenerable server share (see above)."""
+        self._check_index(server_index)
+        raise SharingError(
+            "share of server %d is not regenerable under %s sharing"
+            % (server_index, self.name)
+        )
+
+    def _check_index(self, server_index: int) -> None:
+        if not 0 <= server_index < self.num_servers:
+            raise SharingError(
+                "server index %d out of range for %d servers"
+                % (server_index, self.num_servers)
+            )
+
+    def complete(self, present) -> bool:
+        """Whether :meth:`combine_vectors` accepts exactly these server indices.
+
+        The default — at least ``threshold`` distinct indices — covers both
+        additive schemes (``threshold == num_servers``: every share must be
+        present) and threshold schemes (any ``k``-subset).
+        """
+        return len(set(present)) >= self.threshold
+
+    def sufficient(self, present) -> bool:
+        """Whether ``present`` can be *completed* into a combinable set.
+
+        True when the subset already combines, or when every missing share
+        is :meth:`regenerable` by the client — the cluster's fail-over test.
+        """
+        present = set(present)
+        if self.complete(present):
+            return True
+        missing = set(range(self.num_servers)) - present
+        return all(self.regenerable(index) for index in missing)
+
+    # ------------------------------------------------------------------
+    # Client-facing surface (what ClientFilter uses)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def client_share(self, pre: int) -> RingPolynomial:
+        """The client's (regenerable, never stored) share of node ``pre``."""
+
+    def client_shares(self, pres: Sequence[int]) -> List[RingPolynomial]:
+        """Client shares of a whole candidate list."""
+        return [self.client_share(pre) for pre in pres]
+
+    def reconstruct(self, server_share: RingPolynomial, pre: int) -> RingPolynomial:
+        """Recombine the *combined* server share with the client share."""
+        return self.client_share(pre) + server_share
+
+    def evaluate_shared(self, server_share: RingPolynomial, pre: int, point: int) -> int:
+        """Evaluate the underlying polynomial at ``point`` via its shares."""
+        server_value = self.ring.evaluate(server_share, point)
+        client_value = self.ring.evaluate(self.client_share(pre), point)
+        return self.ring.field.add(server_value, client_value)
+
+    # ------------------------------------------------------------------
+    # Cluster-facing surface (what deploy and ClusterClient use)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def server_shares(self, polynomial: RingPolynomial, pre: int) -> List[RingPolynomial]:
+        """Split ``polynomial`` into the n stored server shares (in server order)."""
+
+    @abstractmethod
+    def combine_vectors(self, vectors: Mapping[int, Sequence[int]]) -> List[int]:
+        """Linearly combine per-server vectors into the combined server vector.
+
+        ``vectors`` maps server index → an integer vector; all vectors must
+        have the same length.  Works for share coefficient vectors and for
+        batched evaluation-result vectors alike (the combination rule is the
+        same linear map).  Raises :class:`SharingError` when the subset of
+        servers present is insufficient or the vectors are misaligned.
+        """
+
+    @staticmethod
+    def check_aligned(vectors: Mapping[int, Sequence[int]]) -> None:
+        """Reject per-server vectors of differing lengths.
+
+        The kernel's component-wise ``zip`` would otherwise silently
+        truncate to the shortest reply — a desynchronised server must be an
+        error, not a shorter result.
+        """
+        lengths = {index: len(vector) for index, vector in vectors.items()}
+        if len(set(lengths.values())) > 1:
+            raise SharingError(
+                "misaligned per-server vectors (lengths %s)" % lengths
+            )
+
+    def combine_shares(self, shares: Mapping[int, RingPolynomial]) -> RingPolynomial:
+        """Combine per-server share polynomials into the combined server share."""
+        return self.ring.wrap_canonical(
+            self.combine_vectors({index: poly.coeffs for index, poly in shares.items()})
+        )
+
+    def combine_values_many(self, values: Mapping[int, Sequence[int]]) -> List[int]:
+        """Combine per-server batched evaluation results (aligned vectors)."""
+        return self.combine_vectors(values)
+
+    def combine_value(self, values: Mapping[int, int]) -> int:
+        """Combine one evaluation result per server into the server-side value."""
+        return self.combine_vectors({index: (value,) for index, value in values.items()})[0]
+
+    def verify_vectors(self, vectors: Mapping[int, Sequence[int]]) -> List[int]:
+        """Server indices whose vectors are inconsistent with the rest.
+
+        Only meaningful when the scheme carries redundancy (more replies than
+        the threshold needs); schemes without redundancy return ``[]``.
+        """
+        return []
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def split_all(self, polynomial: RingPolynomial, pre: int) -> Dict[str, object]:
+        """All shares of one polynomial (used by tests and demos)."""
+        return {
+            "client": self.client_share(pre),
+            "servers": self.server_shares(polynomial, pre),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "%s(n=%d, k=%d, field=F_%d)" % (
+            type(self).__name__,
+            self.num_servers,
+            self.threshold,
+            self.ring.field.order,
+        )

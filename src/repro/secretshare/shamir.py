@@ -1,0 +1,206 @@
+"""(k, n) Shamir threshold sharing of ring polynomials, coefficient-wise.
+
+Each node polynomial ``P`` (a length ``q - 1`` coefficient vector) is hidden
+inside a degree ``k - 1`` masking polynomial *over the vector space*::
+
+    g(y)  =  P  +  r_1 · y  +  …  +  r_{k-1} · y^{k-1}
+
+where the mask vectors ``r_j`` are drawn from PRG lane ``j`` of the node's
+stream (deterministic, so the encoder never stores them).  Server ``i``
+stores the slice ``g(x_i)`` for its fixed non-zero abscissa ``x_i = i + 1``.
+
+Any ``k`` slices determine ``g`` and hence ``P = g(0)`` by Lagrange
+interpolation at zero; fewer than ``k`` slices are statistically independent
+of ``P``.  Because the interpolation weights depend only on *which* servers
+replied — not on the data — they are computed once per subset, cached, and
+applied to whole coefficient (or batched-evaluation) vectors through the
+kernel layer's ``vec_scale`` / ``vec_add``.
+
+Evaluation commutes with the sharing: evaluating every slice at a point
+``a`` yields ``G(x_i)`` for the scalar polynomial ``G(y) = g(y)(a)`` with
+``G(0) = P(a)`` — so the distributed containment test combines per-server
+evaluation results with exactly the same Lagrange weights.
+
+There is no client share: ``client_share`` is the zero polynomial, which
+keeps the :class:`~repro.filters.client.ClientFilter` bookkeeping identical
+across schemes.  The client's secret material is the PRG seed (used at
+encoding time) and the tag map; ``k`` colluding servers can reconstruct the
+polynomial tree but still learn no tag names without the map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.poly.ring import QuotientRing, RingPolynomial
+from repro.prg.generator import KeyedPRG
+from repro.secretshare.scheme import SharingError, SharingScheme
+
+
+class ShamirSharing(SharingScheme):
+    """(k, n) threshold sharing over the encoding ring's coefficient vectors."""
+
+    name = "shamir"
+
+    def __init__(self, ring: QuotientRing, prg: KeyedPRG, servers: int, threshold: int):
+        super().__init__(ring, prg)
+        if servers < 1:
+            raise SharingError("Shamir sharing needs at least 1 server, got %d" % servers)
+        if not 1 <= threshold <= servers:
+            raise SharingError(
+                "threshold must be in [1, %d] for %d servers, got %d"
+                % (servers, servers, threshold)
+            )
+        if servers >= ring.field.order:
+            raise SharingError(
+                "Shamir sharing needs %d distinct non-zero abscissae but F_%d "
+                "only has %d" % (servers, ring.field.order, ring.field.order - 1)
+            )
+        self._servers = servers
+        self._threshold = threshold
+        #: fixed per-server abscissae x_i = i + 1 (non-zero, distinct)
+        self._xs: Tuple[int, ...] = tuple(range(1, servers + 1))
+        #: Lagrange-at-zero weights per sorted subset of server indices
+        self._weight_cache: Dict[Tuple[int, ...], Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        return self._servers
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    def abscissa(self, server_index: int) -> int:
+        """The fixed evaluation point ``x_i`` assigned to a server."""
+        self._check_index(server_index)
+        return self._xs[server_index]
+
+    # ------------------------------------------------------------------
+    # Client-facing surface
+    # ------------------------------------------------------------------
+
+    def client_share(self, pre: int) -> RingPolynomial:
+        """Shamir keeps no client-side share: the zero polynomial."""
+        return self.ring.zero()
+
+    def client_shares(self, pres: Sequence[int]) -> List[RingPolynomial]:
+        zero = self.ring.zero()
+        return [zero] * len(pres)
+
+    # ------------------------------------------------------------------
+    # Sharing
+    # ------------------------------------------------------------------
+
+    def _masks(self, pre: int) -> List[Tuple[int, ...]]:
+        """The ``k - 1`` deterministic mask vectors of node ``pre``."""
+        length = self.ring.length
+        return [
+            tuple(self.prg.elements(pre, length, lane=lane))
+            for lane in range(1, self._threshold)
+        ]
+
+    def server_shares(self, polynomial: RingPolynomial, pre: int) -> List[RingPolynomial]:
+        field = self.ring.field
+        kernel = self.ring.kernel
+        masks = self._masks(pre)
+        shares: List[RingPolynomial] = []
+        for x in self._xs:
+            slice_coeffs = list(polynomial.coeffs)
+            power = field.one
+            for mask in masks:
+                power = field.mul(power, x)
+                slice_coeffs = kernel.vec_add(slice_coeffs, kernel.vec_scale(mask, power))
+            shares.append(self.ring.wrap_canonical(slice_coeffs))
+        return shares
+
+    # ------------------------------------------------------------------
+    # Combination (Lagrange interpolation at zero)
+    # ------------------------------------------------------------------
+
+    def _weights_for(self, indices: Tuple[int, ...]) -> Dict[int, int]:
+        """Lagrange-at-zero weights for a sorted subset of server indices."""
+        cached = self._weight_cache.get(indices)
+        if cached is not None:
+            return cached
+        field = self.ring.field
+        weights: Dict[int, int] = {}
+        for i in indices:
+            x_i = self._xs[i]
+            weight = field.one
+            for j in indices:
+                if j == i:
+                    continue
+                x_j = self._xs[j]
+                # w_i *= x_j / (x_j - x_i); abscissae are distinct so the
+                # denominator is never zero.
+                weight = field.mul(weight, field.div(x_j, field.sub(x_j, x_i)))
+            weights[i] = weight
+        self._weight_cache[indices] = weights
+        return weights
+
+    def _basis_at(self, indices: Tuple[int, ...], x: int) -> Dict[int, int]:
+        """Lagrange basis values ``L_i(x)`` over the subset's abscissae."""
+        field = self.ring.field
+        basis: Dict[int, int] = {}
+        for i in indices:
+            x_i = self._xs[i]
+            value = field.one
+            for j in indices:
+                if j == i:
+                    continue
+                x_j = self._xs[j]
+                value = field.mul(value, field.div(field.sub(x, x_j), field.sub(x_i, x_j)))
+            basis[i] = value
+        return basis
+
+    def _pick_base(self, vectors: Mapping[int, Sequence[int]]) -> Tuple[int, ...]:
+        present = sorted(vectors)
+        for index in present:
+            self._check_index(index)
+        if len(present) < self._threshold:
+            raise SharingError(
+                "Shamir reconstruction needs %d shares, got %d (servers %s)"
+                % (self._threshold, len(present), present)
+            )
+        return tuple(present[: self._threshold])
+
+    def combine_vectors(self, vectors: Mapping[int, Sequence[int]]) -> List[int]:
+        self.check_aligned(vectors)
+        base = self._pick_base(vectors)
+        weights = self._weights_for(base)
+        kernel = self.ring.kernel
+        combined = kernel.vec_scale(vectors[base[0]], weights[base[0]])
+        for index in base[1:]:
+            combined = kernel.vec_add(combined, kernel.vec_scale(vectors[index], weights[index]))
+        return combined
+
+    def verify_vectors(self, vectors: Mapping[int, Sequence[int]]) -> List[int]:
+        """Surplus shares that disagree with the interpolation of the base set.
+
+        With more than ``k`` replies the extra shares are redundant: the
+        polynomial interpolated from the first ``k`` predicts what every
+        other server must hold.  A mismatch pinpoints a corrupted (or
+        desynchronised) server.  With exactly ``k`` replies there is no
+        redundancy and the list is empty.
+        """
+        self.check_aligned(vectors)
+        base = self._pick_base(vectors)
+        kernel = self.ring.kernel
+        inconsistent: List[int] = []
+        for index in sorted(vectors):
+            if index in base:
+                continue
+            basis = self._basis_at(base, self._xs[index])
+            predicted = kernel.vec_scale(vectors[base[0]], basis[base[0]])
+            for base_index in base[1:]:
+                predicted = kernel.vec_add(
+                    predicted, kernel.vec_scale(vectors[base_index], basis[base_index])
+                )
+            if list(vectors[index]) != list(predicted):
+                inconsistent.append(index)
+        return inconsistent

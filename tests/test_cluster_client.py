@@ -1,0 +1,364 @@
+"""Tests for the cluster-transparent client over n-server deployments."""
+
+import pytest
+
+from repro.analysis.observer import ObservingServerFilter, ServerView
+from repro.core.database import EncryptedXMLDatabase, QueryConfigError
+from repro.encode.encoder import Encoder
+from repro.encode.tagmap import TagMap
+from repro.engines.advanced import AdvancedQueryEngine
+from repro.engines.simple import SimpleQueryEngine
+from repro.filters.client import ClientFilter
+from repro.filters.cluster import (
+    ClusterClient,
+    ClusterUnavailableError,
+    InconsistentShareError,
+)
+from repro.filters.interface import MatchRule
+from repro.filters.server import ServerFilter
+from repro.gf.factory import make_field
+from repro.rmi.cluster import ClusterTransport
+from repro.rmi.proxy import Registry
+from repro.rmi.transport import SimulatedTransport
+from repro.secretshare.scheme import SharingError
+
+XML = (
+    "<site>"
+    "<people><person><name/><city/></person><person><city/></person></people>"
+    "<regions><europe><item><name/></item></europe></regions>"
+    "</site>"
+)
+TAGS = ["site", "people", "person", "name", "city", "regions", "europe", "item"]
+SEED = b"cluster-client-test-seed"
+FIELD = make_field(83)
+
+
+def _tag_map():
+    return TagMap.from_names(TAGS, field=FIELD)
+
+
+def _single_reference():
+    encoded = Encoder(_tag_map(), SEED).encode_text(XML)
+    registry = Registry(SimulatedTransport())
+    registry.bind("ServerFilter", ServerFilter(encoded.node_table, encoded.ring))
+    return ClientFilter(registry.lookup("ServerFilter"), encoded.sharing, _tag_map())
+
+
+def _deploy(observing=False, **kwargs):
+    deployment = Encoder(_tag_map(), SEED).deploy_text(XML, **kwargs)
+    if observing:
+        filters = [
+            ObservingServerFilter(table, deployment.ring, view=ServerView())
+            for table in deployment.node_tables
+        ]
+    else:
+        filters = [ServerFilter(table, deployment.ring) for table in deployment.node_tables]
+    transport = ClusterTransport(filters)
+    return deployment, transport
+
+
+def _client(transport, deployment, **kwargs):
+    cluster = ClusterClient(transport, deployment.scheme, **kwargs)
+    return cluster, ClientFilter(cluster, deployment.scheme, _tag_map())
+
+
+def _corrupt(table, delta=7):
+    for row in table.scan():
+        coeffs = list(row["share"])
+        coeffs[0] = (coeffs[0] + delta) % 83
+        row["share"] = coeffs
+
+
+DEPLOYMENTS = [
+    dict(servers=1),
+    dict(servers=3),
+    dict(servers=4, threshold=2, sharing="shamir"),
+]
+
+
+class TestDifferentialAgainstSingleServer:
+    @pytest.mark.parametrize("kwargs", DEPLOYMENTS)
+    @pytest.mark.parametrize("query,rule", [
+        ("//city", MatchRule.CONTAINMENT),
+        ("/site/people/person", MatchRule.EQUALITY),
+        ("/site//item/name", MatchRule.CONTAINMENT),
+    ])
+    def test_results_and_counters_match(self, kwargs, query, rule):
+        reference = _single_reference()
+        deployment, transport = _deploy(**kwargs)
+        _, client = _client(transport, deployment)
+        for engine_cls in (SimpleQueryEngine, AdvancedQueryEngine):
+            expected = engine_cls(reference).execute(query, rule=rule)
+            actual = engine_cls(client).execute(query, rule=rule)
+            assert actual.matches == expected.matches
+            assert actual.counters == expected.counters
+
+    def test_structural_surface_matches(self):
+        reference = _single_reference()
+        deployment, transport = _deploy(servers=3)
+        cluster, _ = _client(transport, deployment)
+        assert cluster.node_count() == reference.node_count()
+        root = cluster.root_pre()
+        assert root == reference.root_pre()
+        assert cluster.children_of(root) == reference.children_of(root)
+        assert cluster.descendants_of(root) == reference.descendants_of(root)
+        assert cluster.children_of_many([1, 2]) == [
+            reference.children_of(1),
+            reference.children_of(2),
+        ]
+
+
+class TestStructuralFailover:
+    def test_primary_failover_and_reelection(self):
+        deployment, transport = _deploy(servers=3)
+        cluster, _ = _client(transport, deployment)
+        assert cluster.root_pre() == 1
+        assert transport.stats_of(0).calls_by_method.get("root_pre") == 1
+        transport.set_down(0)
+        assert cluster.root_pre() == 1
+        # the structural call failed over to server 1 and stuck there
+        assert transport.stats_of(1).calls_by_method.get("root_pre") == 1
+        assert cluster.children_of(1)
+        assert transport.stats_of(1).calls_by_method.get("children_of") == 1
+        assert "children_of" not in transport.stats_of(0).calls_by_method
+
+    def test_all_servers_down_is_unavailable(self):
+        deployment, transport = _deploy(servers=2)
+        cluster, _ = _client(transport, deployment)
+        transport.set_down(0)
+        transport.set_down(1)
+        with pytest.raises(ClusterUnavailableError):
+            cluster.root_pre()
+
+    def test_queues_are_pinned_to_their_server(self):
+        deployment, transport = _deploy(servers=3)
+        cluster, _ = _client(transport, deployment)
+        queue = cluster.open_queue([1, 2, 3])
+        assert cluster.queue_size(queue) == 3
+        assert cluster.next_node(queue) == 1
+        # a later structural failover must not re-route the open queue
+        opened_on = next(
+            index
+            for index in range(3)
+            if transport.stats_of(index).calls_by_method.get("open_queue")
+        )
+        assert cluster.next_node(queue) == 2
+        assert transport.stats_of(opened_on).calls_by_method.get("next_node") == 2
+        assert cluster.close_queue(queue) is True
+        assert cluster.close_queue(queue) is False
+        with pytest.raises(LookupError):
+            cluster.next_node(queue)
+
+
+class TestShareFailover:
+    def test_additive_lane_down_regenerates_locally(self):
+        reference = _single_reference()
+        deployment, transport = _deploy(servers=3)
+        _, client = _client(transport, deployment)
+        transport.set_down(0)  # a PRG-lane server, regenerable
+        expected = AdvancedQueryEngine(reference).execute("//city")
+        actual = AdvancedQueryEngine(client).execute("//city")
+        assert actual.matches == expected.matches
+        assert actual.counters == expected.counters
+
+    def test_additive_residual_down_is_unavailable(self):
+        deployment, transport = _deploy(servers=3)
+        _, client = _client(transport, deployment)
+        transport.set_down(2)  # the residual server is irreplaceable
+        with pytest.raises(ClusterUnavailableError):
+            AdvancedQueryEngine(client).execute("//city")
+
+    def test_shamir_tolerates_n_minus_k_failures(self):
+        reference = _single_reference()
+        deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
+        _, client = _client(transport, deployment)
+        expected = SimpleQueryEngine(reference).execute(
+            "/site/people/person", rule=MatchRule.EQUALITY
+        )
+        transport.set_down(1)
+        transport.set_down(3)
+        actual = SimpleQueryEngine(client).execute(
+            "/site/people/person", rule=MatchRule.EQUALITY
+        )
+        assert actual.matches == expected.matches
+        assert actual.counters == expected.counters
+
+    def test_shamir_below_threshold_is_unavailable(self):
+        deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
+        _, client = _client(transport, deployment)
+        for index in (0, 1, 3):
+            transport.set_down(index)
+        with pytest.raises(ClusterUnavailableError):
+            AdvancedQueryEngine(client).execute("//city")
+
+    def test_semantic_server_error_propagates_instead_of_failover(self):
+        """A deterministic server-side error is not a connection failure:
+        it must re-raise as-is, not dissolve into ClusterUnavailableError."""
+        deployment, transport = _deploy(servers=3)
+        cluster, _ = _client(transport, deployment)
+
+        def broken(pres, point):
+            raise RuntimeError("deterministic server bug")
+
+        transport.servers[0].evaluate_batch = broken
+        with pytest.raises(RuntimeError, match="deterministic server bug"):
+            cluster.evaluate_batch([1, 2], 5)
+
+    def test_unknown_pre_propagates_without_failover(self):
+        deployment, transport = _deploy(servers=3)
+        cluster, _ = _client(transport, deployment)
+        with pytest.raises(LookupError):
+            cluster.evaluate(999, 5)
+        # the scatter wave asks each server once; a semantic error is never
+        # retried or treated as a connection failure
+        assert all(
+            stats.calls_by_method.get("evaluate", 0) <= 1
+            for stats in transport.per_server_stats
+        )
+
+
+class TestShareVerification:
+    def test_corrupted_shamir_server_is_detected_and_reported(self):
+        deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
+        cluster, client = _client(transport, deployment)
+        _corrupt(deployment.node_tables[3])
+        with pytest.raises(InconsistentShareError) as excinfo:
+            AdvancedQueryEngine(client).execute("//city")
+        assert 3 in excinfo.value.servers
+        assert cluster.inconsistencies
+        assert cluster.inconsistencies[0]["servers"] == (3,)
+
+    def test_fetch_path_detects_corruption_too(self):
+        deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
+        cluster, client = _client(transport, deployment)
+        _corrupt(deployment.node_tables[2])
+        with pytest.raises(InconsistentShareError):
+            SimpleQueryEngine(client).execute(
+                "/site/people/person", rule=MatchRule.EQUALITY
+            )
+
+    def test_verification_can_be_disabled(self):
+        reference = _single_reference()
+        deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
+        _, client = _client(transport, deployment, verify_shares=False)
+        _corrupt(deployment.node_tables[3])
+        # reconstruction uses the first k replies; the corrupt surplus is ignored
+        expected = AdvancedQueryEngine(reference).execute("//city")
+        actual = AdvancedQueryEngine(client).execute("//city")
+        assert actual.matches == expected.matches
+
+    def test_exactly_threshold_replies_cannot_be_verified(self):
+        deployment, transport = _deploy(servers=2, threshold=2, sharing="shamir")
+        _, client = _client(transport, deployment)
+        _corrupt(deployment.node_tables[1])
+        # no redundancy: the corruption silently changes results, no raise
+        AdvancedQueryEngine(client).execute("//city")
+
+
+class TestReadQuorum:
+    def test_minimal_quorum_contacts_threshold_servers(self):
+        deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
+        cluster, client = _client(transport, deployment, read_quorum=2)
+        AdvancedQueryEngine(client).execute("//city")
+        contacted = [
+            index
+            for index in range(4)
+            if transport.stats_of(index).calls_by_method.get("evaluate_batch")
+        ]
+        assert len(contacted) == 2
+
+    def test_quorum_bounds_enforced(self):
+        deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
+        with pytest.raises(SharingError):
+            ClusterClient(transport, deployment.scheme, read_quorum=1)
+        with pytest.raises(SharingError):
+            ClusterClient(transport, deployment.scheme, read_quorum=5)
+
+    def test_server_count_mismatch_rejected(self):
+        deployment, transport = _deploy(servers=3)
+        other = Encoder(_tag_map(), SEED).deploy_text(XML, servers=2)
+        with pytest.raises(SharingError):
+            ClusterClient(transport, other.scheme)
+
+
+class TestLeakageObserverUnmodified:
+    def test_observer_sees_the_same_leakage_per_server(self):
+        """Each cluster server observes the same (point, pres) trace shape
+        the single server does — the observer runs unmodified."""
+        encoded = Encoder(_tag_map(), SEED).encode_text(XML)
+        single_view = ServerView()
+        single_server = ObservingServerFilter(encoded.node_table, encoded.ring, view=single_view)
+        registry = Registry(SimulatedTransport())
+        registry.bind("ServerFilter", single_server)
+        single_client = ClientFilter(
+            registry.lookup("ServerFilter"), encoded.sharing, _tag_map()
+        )
+        AdvancedQueryEngine(single_client).execute("//city")
+
+        deployment, transport = _deploy(observing=True, servers=3)
+        _, client = _client(transport, deployment)
+        AdvancedQueryEngine(client).execute("//city")
+
+        reference_leakage = single_view.evaluations_by_point()
+        assert reference_leakage
+        for server in transport.servers:
+            assert server.view.evaluations_by_point() == reference_leakage
+            assert server.view.backend == encoded.ring.kernel.name
+
+
+class TestFacadeClusterWiring:
+    def _database(self, **kwargs):
+        return EncryptedXMLDatabase.from_text(
+            XML, tag_names=TAGS, seed=SEED, p=83, keep_plaintext=False, **kwargs
+        )
+
+    def test_cluster_database_matches_single_server(self):
+        single = self._database()
+        assert not single.is_cluster and single.num_servers == 1
+        for kwargs in (dict(cluster=True), dict(servers=3), dict(servers=3, threshold=2, sharing="shamir")):
+            clustered = self._database(**kwargs)
+            assert clustered.is_cluster
+            for query in ("//city", "/site//item/name"):
+                expected = single.query(query, engine="advanced")
+                actual = clustered.query(query, engine="advanced")
+                assert actual.matches == expected.matches
+                assert actual.counters == expected.counters
+
+    def test_transport_stats_aggregate_and_reset(self):
+        database = self._database(servers=3)
+        database.query("//city")
+        aggregate = database.transport_stats
+        assert aggregate.queries == 1
+        assert aggregate.calls == sum(stats.calls for stats in database.per_server_stats)
+        assert len(database.per_server_stats) == 3
+        assert all(stats.backend == "prime" for stats in database.per_server_stats)
+        database.reset_transport_stats()
+        assert database.transport_stats.calls == 0
+
+    def test_failed_server_mid_run(self):
+        database = self._database(servers=3, threshold=2, sharing="shamir")
+        expected = database.query("//city").matches
+        database.transport.set_down(1)
+        assert database.query("//city").matches == expected
+        aggregate = database.transport_stats
+        assert aggregate.errors > 0
+
+    def test_cluster_false_with_servers_rejected(self):
+        with pytest.raises(QueryConfigError):
+            self._database(servers=3, cluster=False)
+
+    def test_cluster_false_cannot_silently_drop_sharing_config(self):
+        """Requesting threshold sharing without the cluster stack must fail
+        loudly, not fall back to the two-party additive encoding."""
+        with pytest.raises(QueryConfigError):
+            self._database(sharing="shamir", threshold=2, cluster=False)
+        with pytest.raises(QueryConfigError):
+            self._database(latency_jitter=0.5)
+
+    def test_encoding_stats_cover_every_server(self):
+        single = self._database()
+        clustered = self._database(servers=3)
+        assert clustered.encoding_stats.payload_bytes == pytest.approx(
+            3 * single.encoding_stats.payload_bytes
+        )
+        assert len(clustered.encoded.per_server_stats) == 3

@@ -51,6 +51,14 @@ class TestExamplesRun:
         assert "Frequency attack" in output
         assert "Recovered" in output
 
+    def test_cluster_demo(self, capsys):
+        module = _load_example("cluster_demo")
+        module.main()
+        output = capsys.readouterr().out
+        assert "Deployed" in output
+        assert "identical" in output and "DIVERGED" not in output
+        assert "Corrupted server detected" in output
+
     def test_auction_search(self, capsys, monkeypatch):
         monkeypatch.setattr(sys, "argv", ["auction_search.py", "0.01"])
         module = _load_example("auction_search")

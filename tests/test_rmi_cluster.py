@@ -1,0 +1,204 @@
+"""Tests for the scatter-gather cluster transport and CallStats merging."""
+
+import pytest
+
+from repro.rmi.cluster import (
+    ClusterTransport,
+    InjectedFaultError,
+    ServerDownError,
+)
+from repro.rmi.stats import CallStats
+
+
+class _Echo:
+    def __init__(self, tag):
+        self.tag = tag
+        self.calls = 0
+
+    def whoami(self):
+        self.calls += 1
+        return self.tag
+
+    def double(self, value):
+        return 2 * value
+
+    def fail(self):
+        raise RuntimeError("server-side failure")
+
+
+def _cluster(n=3, **kwargs):
+    return ClusterTransport([_Echo(i) for i in range(n)], **kwargs)
+
+
+class TestClusterInvocation:
+    def test_invoke_routes_to_one_server(self):
+        cluster = _cluster()
+        assert cluster.invoke(1, "whoami") == 1
+        assert cluster.invoke(2, "double", (21,)) == 42
+        assert cluster.stats_of(1).calls == 1
+        assert cluster.stats_of(0).calls == 0
+
+    def test_invoke_all_scatter_gathers(self):
+        cluster = _cluster()
+        replies = cluster.invoke_all("whoami")
+        assert [reply.server for reply in replies] == [0, 1, 2]
+        assert [reply.value for reply in replies] == [0, 1, 2]
+        assert all(reply.ok for reply in replies)
+
+    def test_invoke_all_subset(self):
+        cluster = _cluster(4)
+        replies = cluster.invoke_all("whoami", indices=[3, 1])
+        assert [(reply.server, reply.value) for reply in replies] == [(3, 3), (1, 1)]
+
+    def test_invoke_all_captures_failures_without_aborting(self):
+        cluster = _cluster()
+        cluster.set_down(1)
+        replies = cluster.invoke_all("whoami")
+        assert replies[0].ok and replies[2].ok
+        assert not replies[1].ok
+        assert isinstance(replies[1].error, ServerDownError)
+
+    def test_out_of_range_index_rejected(self):
+        cluster = _cluster()
+        with pytest.raises(IndexError):
+            cluster.invoke(3, "whoami")
+        with pytest.raises(IndexError):
+            cluster.set_down(-1)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterTransport([])
+
+
+class TestFaultInjection:
+    def test_down_server_raises_and_records_error(self):
+        cluster = _cluster(per_call_latency=0.5)
+        cluster.set_down(0)
+        with pytest.raises(ServerDownError):
+            cluster.invoke(0, "whoami")
+        stats = cluster.stats_of(0)
+        assert stats.calls == 1 and stats.errors == 1
+        assert stats.errors_by_method == {"whoami": 1}
+        assert stats.simulated_latency == pytest.approx(0.5)
+        assert cluster.live_servers() == [1, 2]
+        cluster.set_down(0, down=False)
+        assert cluster.invoke(0, "whoami") == 0
+
+    def test_injected_faults_are_transient(self):
+        cluster = _cluster()
+        cluster.inject_faults(2, count=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFaultError):
+                cluster.invoke(2, "whoami")
+        assert cluster.invoke(2, "whoami") == 2
+        assert cluster.stats_of(2).errors == 2
+
+    def test_server_side_exception_propagates_and_is_recorded(self):
+        cluster = _cluster()
+        with pytest.raises(RuntimeError):
+            cluster.invoke(0, "fail")
+        assert cluster.stats_of(0).errors == 1
+
+
+class TestLatencyJitter:
+    def test_jitter_spreads_latencies_deterministically(self):
+        a = _cluster(per_call_latency=1.0, latency_jitter=0.5, jitter_seed=7)
+        b = _cluster(per_call_latency=1.0, latency_jitter=0.5, jitter_seed=7)
+        latencies = [transport.per_call_latency for transport in a.transports]
+        assert latencies == [transport.per_call_latency for transport in b.transports]
+        assert all(1.0 <= latency < 1.5 for latency in latencies)
+        assert len(set(latencies)) > 1
+
+    def test_no_jitter_by_default(self):
+        cluster = _cluster(per_call_latency=1.0)
+        assert all(t.per_call_latency == 1.0 for t in cluster.transports)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            _cluster(latency_jitter=-0.1)
+
+
+class TestAggregation:
+    def test_aggregate_stats_merges_servers(self):
+        cluster = _cluster()
+        cluster.invoke_all("whoami")
+        cluster.invoke(0, "double", (1,))
+        cluster.set_down(2)
+        cluster.invoke_all("whoami")
+        cluster.count_query()
+        merged = cluster.aggregate_stats()
+        assert merged.calls == 7
+        assert merged.errors == 1
+        # per-server traces cover the same query: max, not sum
+        assert merged.queries == 1
+        assert merged.calls_by_method == {"whoami": 6, "double": 1}
+        assert merged.errors_by_method == {"whoami": 1}
+        assert merged.calls_per_query == 7.0
+        per_server = cluster.per_server_stats
+        assert [stats.queries for stats in per_server] == [1, 1, 1]
+        assert per_server[0].calls == 3
+
+    def test_reset_stats_zeroes_every_server(self):
+        cluster = _cluster()
+        cluster.invoke_all("whoami")
+        cluster.reset_stats()
+        assert cluster.aggregate_stats().calls == 0
+
+
+class TestCallStatsMerge:
+    def _trace(self, method, calls, req, resp, errors=0, queries=0, backend=None):
+        stats = CallStats(backend=backend)
+        for index in range(calls):
+            stats.record(method, req, resp, 0.25, error=index < errors)
+        stats.count_query(queries)
+        return stats
+
+    def test_merge_sums_counters_and_breakdowns(self):
+        a = self._trace("evaluate", calls=4, req=10, resp=20, errors=1, queries=2)
+        b = self._trace("fetch_share", calls=2, req=5, resp=50, queries=1)
+        b.record("evaluate", 10, 20, 0.25)
+        result = a.merge(b)
+        assert result is a
+        assert a.calls == 7
+        assert a.errors == 1
+        assert a.queries == 3
+        assert a.bytes_sent == 4 * 10 + 2 * 5 + 10
+        assert a.bytes_received == 4 * 20 + 2 * 50 + 20
+        assert a.calls_by_method == {"evaluate": 5, "fetch_share": 2}
+        assert a.errors_by_method == {"evaluate": 1}
+        assert a.bytes_by_method == {"evaluate": 150, "fetch_share": 110}
+        assert a.simulated_latency == pytest.approx(7 * 0.25)
+
+    def test_merged_per_query_figures(self):
+        a = self._trace("evaluate", calls=4, req=10, resp=10, queries=2)
+        a.merge(self._trace("evaluate", calls=2, req=10, resp=10, queries=1))
+        assert a.calls_per_query == pytest.approx(2.0)
+        assert a.bytes_per_query == pytest.approx(40.0)
+
+    def test_merge_backend_semantics(self):
+        a = self._trace("m", 1, 1, 1, backend=None)
+        a.merge(self._trace("m", 1, 1, 1, backend="table"))
+        assert a.backend == "table"
+        a.merge(self._trace("m", 1, 1, 1, backend="table"))
+        assert a.backend == "table"
+        a.merge(self._trace("m", 1, 1, 1, backend="prime"))
+        assert a.backend == "mixed"
+
+    def test_snapshot_contains_per_method_breakdown(self):
+        stats = CallStats()
+        stats.record("evaluate", 10, 30, 0.0)
+        stats.record("evaluate", 10, 30, 0.0, error=True)
+        stats.record("fetch_share", 5, 100, 0.0)
+        snapshot = stats.snapshot()
+        assert snapshot["by_method"] == {
+            "evaluate": {"calls": 2, "errors": 1, "bytes": 80},
+            "fetch_share": {"calls": 1, "errors": 0, "bytes": 105},
+        }
+        assert stats.per_method()["evaluate"]["calls"] == 2
+
+    def test_reset_clears_per_method_bytes(self):
+        stats = CallStats()
+        stats.record("evaluate", 10, 30, 0.0)
+        stats.reset()
+        assert stats.bytes_by_method == {}
+        assert stats.per_method() == {}

@@ -1,0 +1,247 @@
+"""Round-trip properties of the n-party sharing schemes.
+
+Every scheme must satisfy, for arbitrary node polynomials and positions::
+
+    client_share(pre) + combine(any sufficient subset of server_shares)  ==  P
+
+including the degraded paths: every k-subset of a Shamir deployment, and the
+regenerate-locally fail-over of additive lanes.  The n-party schemes are also
+cross-checked against the original two-party ``AdditiveSharing`` so the
+cluster generalisation provably contains the paper's encoding as a special
+case.
+"""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.factory import make_field
+from repro.poly.ring import QuotientRing
+from repro.prg.generator import KeyedPRG
+from repro.secretshare import (
+    AdditiveNSharing,
+    AdditiveSharing,
+    ShamirSharing,
+    SharingError,
+    make_scheme,
+)
+
+F83 = make_field(83)
+RING = QuotientRing(F83)
+PRG = KeyedPRG(b"scheme-test-seed", F83)
+TWO_PARTY = AdditiveSharing(RING, PRG)
+
+roots_strategy = st.lists(st.integers(min_value=1, max_value=82), min_size=0, max_size=8)
+pre_strategy = st.integers(min_value=1, max_value=10_000)
+point_strategy = st.integers(min_value=1, max_value=82)
+
+
+def _poly(roots):
+    return RING.from_root_multiset(roots)
+
+
+class TestAdditiveNRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(roots=roots_strategy, pre=pre_strategy, n=st.integers(min_value=1, max_value=5))
+    def test_split_then_reconstruct_is_identity(self, roots, pre, n):
+        scheme = AdditiveNSharing(RING, PRG, n)
+        polynomial = _poly(roots)
+        shares = scheme.server_shares(polynomial, pre)
+        assert len(shares) == n
+        combined = scheme.combine_shares(dict(enumerate(shares)))
+        assert scheme.reconstruct(combined, pre) == polynomial
+
+    @settings(max_examples=30, deadline=None)
+    @given(roots=roots_strategy, pre=pre_strategy, n=st.integers(min_value=2, max_value=5))
+    def test_one_lane_server_down_regenerates_locally(self, roots, pre, n):
+        """Dropping any non-residual share is recoverable from the seed."""
+        scheme = AdditiveNSharing(RING, PRG, n)
+        polynomial = _poly(roots)
+        shares = dict(enumerate(scheme.server_shares(polynomial, pre)))
+        for down in range(n - 1):
+            degraded = {index: share for index, share in shares.items() if index != down}
+            assert not scheme.complete(degraded)
+            assert scheme.sufficient(degraded)
+            degraded[down] = scheme.regenerate_share(pre, down)
+            assert degraded[down] == shares[down]
+            combined = scheme.combine_shares(degraded)
+            assert scheme.reconstruct(combined, pre) == polynomial
+
+    @settings(max_examples=20, deadline=None)
+    @given(roots=roots_strategy, pre=pre_strategy, n=st.integers(min_value=2, max_value=5))
+    def test_residual_share_is_irreplaceable(self, roots, pre, n):
+        scheme = AdditiveNSharing(RING, PRG, n)
+        shares = dict(enumerate(scheme.server_shares(_poly(roots), pre)))
+        del shares[scheme.residual_index]
+        assert not scheme.sufficient(shares)
+        with pytest.raises(SharingError):
+            scheme.regenerate_share(pre, scheme.residual_index)
+        with pytest.raises(SharingError):
+            scheme.combine_shares(shares)
+
+    @settings(max_examples=40, deadline=None)
+    @given(roots=roots_strategy, pre=pre_strategy)
+    def test_cross_check_against_two_party_sharing_at_n2(self, roots, pre):
+        """At n=2 the slices sum to the classic two-party server share."""
+        scheme = AdditiveNSharing(RING, PRG, 2)
+        polynomial = _poly(roots)
+        shares = scheme.server_shares(polynomial, pre)
+        assert shares[0] + shares[1] == TWO_PARTY.server_share(polynomial, pre)
+        assert scheme.client_share(pre) == TWO_PARTY.client_share(pre)
+
+    @settings(max_examples=40, deadline=None)
+    @given(roots=roots_strategy, pre=pre_strategy)
+    def test_n1_is_bit_identical_to_two_party_sharing(self, roots, pre):
+        scheme = AdditiveNSharing(RING, PRG, 1)
+        polynomial = _poly(roots)
+        assert scheme.server_shares(polynomial, pre) == [
+            TWO_PARTY.server_share(polynomial, pre)
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(roots=roots_strategy, pre=pre_strategy, point=point_strategy, n=st.integers(min_value=1, max_value=4))
+    def test_combined_evaluation_matches_direct_evaluation(self, roots, pre, point, n):
+        scheme = AdditiveNSharing(RING, PRG, n)
+        polynomial = _poly(roots)
+        shares = scheme.server_shares(polynomial, pre)
+        values = {index: RING.evaluate(share, point) for index, share in enumerate(shares)}
+        combined = scheme.combine_value(values)
+        client_value = RING.evaluate(scheme.client_share(pre), point)
+        assert F83.add(combined, client_value) == RING.evaluate(polynomial, point)
+
+
+class TestShamirRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        roots=roots_strategy,
+        pre=pre_strategy,
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5)
+        ).filter(lambda nk: nk[1] <= nk[0]),
+    )
+    def test_every_k_subset_reconstructs(self, roots, pre, shape):
+        n, k = shape
+        scheme = ShamirSharing(RING, PRG, n, k)
+        polynomial = _poly(roots)
+        shares = scheme.server_shares(polynomial, pre)
+        assert len(shares) == n
+        for subset in combinations(range(n), k):
+            combined = scheme.combine_shares({index: shares[index] for index in subset})
+            # Shamir has no client share: the combination IS the polynomial.
+            assert combined == polynomial
+            assert scheme.reconstruct(combined, pre) == polynomial
+
+    @settings(max_examples=25, deadline=None)
+    @given(roots=roots_strategy, pre=pre_strategy)
+    def test_one_server_down_still_reconstructs(self, roots, pre):
+        """The degraded path: any n-1 of the servers still clear a k<n bar."""
+        n, k = 4, 2
+        scheme = ShamirSharing(RING, PRG, n, k)
+        polynomial = _poly(roots)
+        shares = dict(enumerate(scheme.server_shares(polynomial, pre)))
+        for down in range(n):
+            degraded = {index: share for index, share in shares.items() if index != down}
+            assert scheme.sufficient(degraded)
+            assert scheme.combine_shares(degraded) == polynomial
+
+    @settings(max_examples=20, deadline=None)
+    @given(roots=roots_strategy, pre=pre_strategy)
+    def test_fewer_than_k_shares_rejected(self, roots, pre):
+        scheme = ShamirSharing(RING, PRG, 4, 3)
+        shares = scheme.server_shares(_poly(roots), pre)
+        with pytest.raises(SharingError):
+            scheme.combine_shares({0: shares[0], 2: shares[2]})
+        assert not scheme.sufficient({0, 2})
+
+    @settings(max_examples=25, deadline=None)
+    @given(roots=roots_strategy, pre=pre_strategy, point=point_strategy)
+    def test_evaluation_commutes_with_sharing(self, roots, pre, point):
+        """Per-server evaluations combine to P(a) with the same weights."""
+        n, k = 5, 3
+        scheme = ShamirSharing(RING, PRG, n, k)
+        polynomial = _poly(roots)
+        shares = scheme.server_shares(polynomial, pre)
+        expected = RING.evaluate(polynomial, point)
+        for subset in combinations(range(n), k):
+            values = {index: RING.evaluate(shares[index], point) for index in subset}
+            assert scheme.combine_value(values) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        roots=roots_strategy,
+        pre=pre_strategy,
+        corrupt=st.integers(min_value=0, max_value=3),
+        delta=st.integers(min_value=1, max_value=82),
+    )
+    def test_surplus_replies_expose_a_corrupted_share(self, roots, pre, corrupt, delta):
+        scheme = ShamirSharing(RING, PRG, 4, 2)
+        shares = scheme.server_shares(_poly(roots), pre)
+        vectors = {index: list(share.coeffs) for index, share in enumerate(shares)}
+        assert scheme.verify_vectors(vectors) == []
+        vectors[corrupt][0] = F83.add(vectors[corrupt][0], delta)
+        flagged = scheme.verify_vectors(vectors)
+        # Attribution is relative to the base subset: a corrupted base share
+        # makes the honest surplus servers disagree instead.
+        assert flagged, "corruption went undetected"
+        if corrupt not in scheme._pick_base(vectors):
+            assert flagged == [corrupt]
+
+    def test_cross_check_11_shamir_against_two_party_reconstruction(self):
+        """A (1,1) Shamir slice stores the polynomial the additive pair hides."""
+        scheme = ShamirSharing(RING, PRG, 1, 1)
+        polynomial = _poly([7, 11, 42])
+        share = scheme.server_shares(polynomial, pre=3)[0]
+        pair = TWO_PARTY.split(polynomial, pre=3)
+        assert scheme.combine_shares({0: share}) == pair.reconstruct()
+
+
+class TestSchemeParameters:
+    def test_factory_selects_implementations(self):
+        assert type(make_scheme("additive", RING, PRG, 1)) is AdditiveSharing
+        assert type(make_scheme("additive", RING, PRG, 3)) is AdditiveNSharing
+        shamir = make_scheme("shamir", RING, PRG, 5, 2)
+        assert isinstance(shamir, ShamirSharing)
+        assert (shamir.num_servers, shamir.threshold) == (5, 2)
+        # threshold defaults to n-of-n
+        assert make_scheme("shamir", RING, PRG, 3).threshold == 3
+
+    def test_factory_rejects_bad_parameters(self):
+        with pytest.raises(SharingError):
+            make_scheme("additive", RING, PRG, 3, threshold=2)
+        with pytest.raises(SharingError):
+            make_scheme("shamir", RING, PRG, 3, threshold=4)
+        with pytest.raises(SharingError):
+            make_scheme("shamir", RING, PRG, 0)
+        with pytest.raises(SharingError):
+            make_scheme("vss", RING, PRG, 3)
+
+    def test_shamir_needs_enough_abscissae(self):
+        small = make_field(5)
+        ring = QuotientRing(small)
+        prg = KeyedPRG(b"x", small)
+        with pytest.raises(SharingError):
+            ShamirSharing(ring, prg, servers=5, threshold=2)
+        ShamirSharing(ring, prg, servers=4, threshold=2)
+
+    def test_additive_rejects_zero_servers(self):
+        with pytest.raises(SharingError):
+            AdditiveNSharing(RING, PRG, 0)
+
+    def test_mismatched_prg_field_rejected(self):
+        other = KeyedPRG(b"x", make_field(29))
+        with pytest.raises(SharingError):
+            ShamirSharing(RING, other, 3, 2)
+
+    def test_misaligned_vectors_rejected_not_truncated(self):
+        """A short reply from a desynchronised server must be an error —
+        the kernel's zip would otherwise silently truncate the result."""
+        shamir = ShamirSharing(RING, PRG, 3, 2)
+        with pytest.raises(SharingError):
+            shamir.combine_vectors({0: [1, 2, 3], 1: [4, 5]})
+        with pytest.raises(SharingError):
+            shamir.verify_vectors({0: [1, 2], 1: [3, 4], 2: [5]})
+        additive = AdditiveNSharing(RING, PRG, 2)
+        with pytest.raises(SharingError):
+            additive.combine_vectors({0: [1, 2, 3], 1: [4, 5]})
