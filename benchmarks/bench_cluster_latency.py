@@ -1,0 +1,320 @@
+"""Concurrent scatter-gather vs the sequential cluster path — the latency bench.
+
+PR 3 made the cluster *correct*; this bench proves the concurrent
+scatter-gather layer makes it *fast* without changing a single byte:
+
+* at ``n ∈ {2, 3, 5}`` (additive) and ``(k, n) = (2, 3)`` (Shamir), the
+  concurrent transport produces **byte-identical** query results, combined
+  shares and per-server call/byte counters vs ``concurrency=False``,
+* under uniform per-server latency the modeled **makespan** of (2, 3)
+  Shamir share reads is at least 2× lower concurrent than the sequential
+  sum (it is n× in the limit: the critical path replaces the sum),
+* under deterministic latency jitter, **first-k** quorum reads
+  (``verify_shares=False``) finish strictly earlier than all-quorum reads —
+  the k-th modeled arrival beats the slowest server,
+* the whole trajectory (makespan vs n, k, jitter and read mode) is emitted
+  to ``BENCH_cluster_latency.json`` so the perf curve is tracked from this
+  PR on.
+
+Run as a script to (re)generate the JSON trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_latency.py [--quick]
+
+``--quick`` (or ``REPRO_BENCH_QUICK=1`` under pytest) shrinks the document
+and the sweep for CI; the identity and makespan assertions always run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.database import EncryptedXMLDatabase
+from repro.xmark.generator import generate_document
+from repro.xmldoc.dtd import XMARK_DTD
+
+SEED = b"bench-cluster-seed-0123456789abc"
+
+#: scale 0.05 generates the same 598-node document as bench_cluster
+DOCUMENT_SCALE = 0.05
+QUICK_SCALE = 0.02
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: one containment-heavy, one descendant-heavy, one strict (fetch-path) query
+QUERIES = [
+    ("//city", "advanced", False),
+    ("/site//person//city", "advanced", False),
+    ("/site/people/person", "simple", True),
+]
+
+ADDITIVE_SIZES = [2, 3, 5]
+SHAMIR_N, SHAMIR_K = 3, 2
+
+#: uniform per-call latency used by every makespan measurement (seconds)
+CALL_LATENCY = 1.0
+JITTER = 0.75
+
+OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_cluster_latency.json"
+
+
+def _document(scale=None):
+    return generate_document(scale=scale or (QUICK_SCALE if QUICK else DOCUMENT_SCALE), seed=4242)
+
+
+def _build(document, **kwargs):
+    return EncryptedXMLDatabase.from_document(
+        document,
+        tag_names=XMARK_DTD.element_names(),
+        seed=SEED,
+        p=83,
+        keep_plaintext=False,
+        **kwargs,
+    )
+
+
+def _run_queries(database):
+    """Execute the bench queries; returns (matches, counters) per query."""
+    outcomes = []
+    for query, engine, strict in QUERIES:
+        result = database.query(query, engine=engine, strict=strict)
+        outcomes.append((result.matches, result.counters))
+    return outcomes
+
+
+def _comparable_stats(database):
+    """Per-server + aggregate counters, with the makespan gauge left out
+    (the makespan is *supposed* to differ between the modes)."""
+    per_server = [stats.snapshot() for stats in database.per_server_stats]
+    aggregate = database.transport_stats.snapshot()
+    aggregate.pop("makespan")
+    return per_server, aggregate
+
+
+@pytest.fixture(scope="module")
+def cluster_document():
+    return _document()
+
+
+@pytest.fixture(scope="module")
+def node_floor():
+    return 400 if not QUICK else 100
+
+
+def _identity_pair(document, **kwargs):
+    sequential = _build(document, concurrency=False, **kwargs)
+    concurrent = _build(document, concurrency=True, **kwargs)
+    return sequential, concurrent
+
+
+def _assert_byte_identical(sequential, concurrent):
+    expected = _run_queries(sequential)
+    actual = _run_queries(concurrent)
+    for (expected_matches, expected_counters), (matches, counters) in zip(expected, actual):
+        assert matches == expected_matches
+        assert counters == expected_counters
+    seq_servers, seq_aggregate = _comparable_stats(sequential)
+    conc_servers, conc_aggregate = _comparable_stats(concurrent)
+    assert conc_servers == seq_servers
+    assert conc_aggregate == seq_aggregate
+    # combined shares come back identical through either transport
+    pres = list(range(1, min(41, sequential.node_count)))
+    assert concurrent.cluster_client.fetch_shares_batch(pres) == (
+        sequential.cluster_client.fetch_shares_batch(pres)
+    )
+
+
+@pytest.mark.parametrize("servers", ADDITIVE_SIZES)
+def test_concurrent_additive_cluster_is_byte_identical(cluster_document, node_floor, servers):
+    """Acceptance: results, shares and counters identical at n ∈ {2, 3, 5}."""
+    sequential, concurrent = _identity_pair(cluster_document, servers=servers)
+    assert concurrent.node_count >= node_floor
+    _assert_byte_identical(sequential, concurrent)
+
+
+def test_concurrent_shamir_cluster_is_byte_identical(cluster_document):
+    sequential, concurrent = _identity_pair(
+        cluster_document, servers=SHAMIR_N, threshold=SHAMIR_K, sharing="shamir"
+    )
+    _assert_byte_identical(sequential, concurrent)
+
+
+def _read_makespan(database, rounds=20):
+    """Makespan of a run of pure share reads through the cluster client."""
+    database.reset_transport_stats()
+    client = database.cluster_client
+    pres = list(range(1, min(31, database.node_count)))
+    for point in range(2, 2 + rounds):
+        client.evaluate_batch(pres, point % 82 + 1)
+    client.fetch_shares_batch(pres)
+    return database.makespan
+
+
+def test_shamir_read_makespan_beats_sequential_sum_2x(cluster_document):
+    """Acceptance: (2, 3) Shamir reads ≥ 2× lower makespan than the
+    sequential sum under uniform per-server latency."""
+    kwargs = dict(
+        servers=SHAMIR_N, threshold=SHAMIR_K, sharing="shamir",
+        per_call_latency=CALL_LATENCY,
+    )
+    sequential, concurrent = _identity_pair(cluster_document, **kwargs)
+    sequential_sum = _read_makespan(sequential)
+    concurrent_makespan = _read_makespan(concurrent)
+    assert sequential_sum >= 2 * concurrent_makespan, (
+        "expected ≥2× makespan win, got %.2f vs %.2f"
+        % (sequential_sum, concurrent_makespan)
+    )
+    # with uniform latency the win is exactly n×: critical path vs sum
+    assert sequential_sum == pytest.approx(SHAMIR_N * concurrent_makespan)
+
+
+def test_first_k_reads_beat_all_quorum_under_jitter(cluster_document):
+    """Acceptance: first-k strictly below all-quorum makespan under jitter."""
+    kwargs = dict(
+        servers=SHAMIR_N, threshold=SHAMIR_K, sharing="shamir",
+        per_call_latency=CALL_LATENCY, latency_jitter=JITTER,
+    )
+    all_quorum = _build(cluster_document, verify_shares=True, **kwargs)
+    first_k = _build(cluster_document, verify_shares=False, **kwargs)
+    # identical answers first (the first-k path reconstructs from any k)
+    assert _run_queries(first_k)[0][0] == _run_queries(all_quorum)[0][0]
+    makespan_all = _read_makespan(all_quorum)
+    makespan_first_k = _read_makespan(first_k)
+    assert makespan_first_k < makespan_all, (
+        "first-k (%.2f) did not beat all-quorum (%.2f)"
+        % (makespan_first_k, makespan_all)
+    )
+
+
+def test_prefetch_and_hedge_compose_on_the_read_path(cluster_document):
+    """The facade knobs stack: hedged first-k + prefetch keeps results
+    identical and never increases the modeled makespan."""
+    base = dict(
+        servers=SHAMIR_N, threshold=SHAMIR_K, sharing="shamir",
+        per_call_latency=CALL_LATENCY, latency_jitter=JITTER,
+        verify_shares=False, read_quorum=SHAMIR_K,
+    )
+    plain = _build(cluster_document, **base)
+    tuned = _build(cluster_document, hedge=True, prefetch=2, **base)
+    expected = _run_queries(plain)
+    actual = _run_queries(tuned)
+    assert [matches for matches, _ in actual] == [matches for matches, _ in expected]
+    assert tuned.makespan <= plain.makespan
+
+
+# ----------------------------------------------------------------------
+# Trajectory emission
+# ----------------------------------------------------------------------
+
+def _sweep_configs(quick):
+    configs = [
+        ("additive", 2, 2),
+        ("shamir", SHAMIR_N, SHAMIR_K),
+    ]
+    if not quick:
+        configs[1:1] = [("additive", 3, 3), ("additive", 5, 5)]
+        configs.append(("shamir", 5, 3))
+    return configs
+
+
+def build_trajectory(document, quick=False):
+    """Makespan vs n, k, jitter and read mode over the bench queries."""
+    series = []
+    for sharing, n, k in _sweep_configs(quick):
+        for jitter in (0.0, JITTER):
+            for mode in ("sequential", "concurrent", "first_k"):
+                kwargs = dict(
+                    servers=n,
+                    sharing=sharing,
+                    per_call_latency=CALL_LATENCY,
+                    latency_jitter=jitter,
+                    concurrency=mode != "sequential",
+                    verify_shares=mode != "first_k",
+                )
+                if sharing == "shamir":
+                    kwargs["threshold"] = k
+                database = _build(document, **kwargs)
+                _run_queries(database)
+                aggregate = database.transport_stats
+                series.append(
+                    {
+                        "sharing": sharing,
+                        "n": n,
+                        "k": k,
+                        "jitter": jitter,
+                        "mode": mode,
+                        "makespan": round(database.makespan, 6),
+                        "simulated_latency": round(aggregate.simulated_latency, 6),
+                        "calls": aggregate.calls,
+                        "total_bytes": aggregate.total_bytes,
+                        "errors": aggregate.errors,
+                    }
+                )
+    return {
+        "benchmark": "cluster_latency",
+        "document": {
+            "generator": "xmark",
+            "scale": QUICK_SCALE if quick else DOCUMENT_SCALE,
+            "nodes": None,  # filled in by _emit
+        },
+        "queries": [query for query, _, _ in QUERIES],
+        "call_latency": CALL_LATENCY,
+        "series": series,
+    }
+
+
+def _emit(document, quick, path=OUTPUT_PATH):
+    trajectory = build_trajectory(document, quick=quick)
+    probe = _build(document, servers=2)
+    trajectory["document"]["nodes"] = probe.node_count
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    return trajectory
+
+
+def test_trajectory_json_is_emitted(cluster_document, tmp_path):
+    trajectory = _emit(cluster_document, quick=QUICK, path=tmp_path / "BENCH_cluster_latency.json")
+    by_mode = {}
+    for row in trajectory["series"]:
+        by_mode.setdefault((row["sharing"], row["n"], row["jitter"]), {})[row["mode"]] = row
+    for (sharing, n, jitter), modes in by_mode.items():
+        assert modes["concurrent"]["makespan"] <= modes["sequential"]["makespan"]
+        assert modes["first_k"]["makespan"] <= modes["concurrent"]["makespan"]
+        if sharing == "shamir" and jitter:
+            assert modes["first_k"]["makespan"] < modes["concurrent"]["makespan"]
+        # identical traffic in every mode: the win is wall-clock only
+        assert modes["concurrent"]["calls"] == modes["sequential"]["calls"]
+        assert modes["concurrent"]["total_bytes"] == modes["sequential"]["total_bytes"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small document and reduced sweep (CI mode)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT_PATH,
+        help="where to write the JSON trajectory (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    document = _document(scale=QUICK_SCALE if args.quick else DOCUMENT_SCALE)
+    trajectory = _emit(document, quick=args.quick, path=args.output)
+    print("wrote %s (%d series rows, %d-node document)" % (
+        args.output, len(trajectory["series"]), trajectory["document"]["nodes"]
+    ))
+    for row in trajectory["series"]:
+        print(
+            "  %-8s n=%d k=%d jitter=%.2f %-10s makespan=%8.1f latency-sum=%8.1f calls=%d"
+            % (
+                row["sharing"], row["n"], row["k"], row["jitter"], row["mode"],
+                row["makespan"], row["simulated_latency"], row["calls"],
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

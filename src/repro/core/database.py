@@ -62,6 +62,8 @@ class EncryptedXMLDatabase:
         batched: bool = True,
         read_quorum: Optional[int] = None,
         verify_shares: bool = True,
+        hedge: Union[bool, float] = False,
+        prefetch: int = 0,
     ):
         self.encoded = encoded
         self.document = document
@@ -88,6 +90,8 @@ class EncryptedXMLDatabase:
                 encoded.sharing,
                 read_quorum=read_quorum,
                 verify_shares=verify_shares,
+                hedge=hedge,
+                prefetch=prefetch,
             )
             server_endpoint = self.cluster_client
         else:
@@ -143,6 +147,10 @@ class EncryptedXMLDatabase:
         latency_jitter: float = 0.0,
         read_quorum: Optional[int] = None,
         verify_shares: bool = True,
+        concurrency: bool = True,
+        hedge: Union[bool, float] = False,
+        prefetch: int = 0,
+        round_overhead: float = 0.0,
     ) -> "EncryptedXMLDatabase":
         """Encode an in-memory document.
 
@@ -166,6 +174,14 @@ class EncryptedXMLDatabase:
         ``latency_jitter`` spreads the simulated latencies per server, and
         ``read_quorum`` / ``verify_shares`` tune the
         :class:`~repro.filters.cluster.ClusterClient` (see there).
+
+        ``concurrency`` selects the thread-pool scatter-gather (the default;
+        ``False`` restores the sequential loop, whose makespan clock charges
+        the per-server latency *sum* per round), ``round_overhead`` adds a
+        fixed modeled cost per scatter round, and ``hedge`` / ``prefetch``
+        enable the latency-optimal read-path options of the
+        :class:`~repro.filters.cluster.ClusterClient`: hedged straggler
+        co-issue and structural prefetch overlapping in-flight share reads.
         """
         trie_transformer = None
         if use_trie:
@@ -204,6 +220,8 @@ class EncryptedXMLDatabase:
                 per_call_latency=per_call_latency,
                 per_byte_latency=per_byte_latency,
                 latency_jitter=latency_jitter,
+                concurrency=concurrency,
+                round_overhead=round_overhead,
             )
             encoded: Union[EncodedDatabase, ClusterDeployment] = deployment
         else:
@@ -220,6 +238,14 @@ class EncryptedXMLDatabase:
                 conflicts.append("latency_jitter=%r" % latency_jitter)
             if read_quorum is not None:
                 conflicts.append("read_quorum=%r" % read_quorum)
+            if not concurrency:
+                conflicts.append("concurrency=%r" % concurrency)
+            if hedge is not False:
+                conflicts.append("hedge=%r" % hedge)
+            if prefetch:
+                conflicts.append("prefetch=%r" % prefetch)
+            if round_overhead:
+                conflicts.append("round_overhead=%r" % round_overhead)
             if conflicts:
                 raise QueryConfigError(
                     "a non-cluster deployment conflicts with %s" % ", ".join(conflicts)
@@ -240,6 +266,8 @@ class EncryptedXMLDatabase:
             batched=batched,
             read_quorum=read_quorum,
             verify_shares=verify_shares,
+            hedge=hedge,
+            prefetch=prefetch,
         )
 
     @classmethod
@@ -369,6 +397,19 @@ class EncryptedXMLDatabase:
         if self.is_cluster:
             return self.transport.per_server_stats
         return [self.transport.stats]
+
+    @property
+    def makespan(self) -> float:
+        """Modeled wall-clock of the traffic so far (critical path, not sum).
+
+        For a cluster this is the scatter-round clock of
+        :meth:`~repro.rmi.cluster.ClusterTransport.makespan`; the
+        single-server path is sequential by construction, so its makespan is
+        exactly the accumulated ``simulated_latency``.
+        """
+        if self.is_cluster:
+            return self.transport.makespan()
+        return self.transport.stats.simulated_latency
 
     def reset_transport_stats(self) -> None:
         """Zero the remote-call counters (between experiment runs)."""

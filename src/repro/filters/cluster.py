@@ -11,13 +11,25 @@ deployment.  Behind the surface it
   server on a connection error,
 * **scatter-gathers** the share endpoints (``evaluate`` /
   ``evaluate_batch`` / ``fetch_share`` / ``fetch_shares_batch``) across the
-  cluster and recombines the per-server replies through the deployment's
+  cluster through :meth:`~repro.rmi.cluster.ClusterTransport.invoke_quorum`
+  and recombines the per-server replies through the deployment's
   :class:`~repro.secretshare.scheme.SharingScheme` — any ``k`` replies for a
   threshold scheme, locally regenerated PRG lanes for missing additive
-  shares,
+  shares.  With verification off the read completes on the **first k**
+  successful replies (straggler replies drain in the background), which is
+  the latency-optimal Shamir read,
 * **verifies** surplus replies against the reconstruction when the scheme
   carries redundancy, so a corrupted or desynchronised server is detected
   and reported instead of silently corrupting query results,
+* **escalates** to the spare servers in one batched scatter when the
+  initial quorum cannot be completed, instead of trickling one call per
+  spare,
+* optionally **hedges** slow reads (``hedge=``): when the modeled straggler
+  among the contacted servers is markedly slower than an idle spare, the
+  spare is co-issued in the same round so the k-th reply arrives earlier,
+* optionally **prefetches** (``prefetch=``): the next structural rounds are
+  modeled as overlapping the in-flight share scatter, pipelining the
+  engines' batch expansion with share fetches on the makespan clock,
 * keeps the server-side ``next_node`` queues working by pinning each queue
   to the server that opened it.
 
@@ -28,7 +40,7 @@ propagate unchanged, matching single-server behaviour.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.rmi.cluster import ClusterTransport
 from repro.secretshare.scheme import SharingError, SharingScheme
@@ -60,12 +72,17 @@ class InconsistentShareError(ClusterProtocolError):
 class ClusterClient:
     """Presents an ``n``-server share deployment as one server filter."""
 
+    #: spare-vs-straggler latency ratio that triggers a hedged co-issue
+    DEFAULT_HEDGE_RATIO = 1.5
+
     def __init__(
         self,
         transport: ClusterTransport,
         scheme: SharingScheme,
         read_quorum: Optional[int] = None,
         verify_shares: bool = True,
+        hedge: Union[bool, float] = False,
+        prefetch: int = 0,
     ):
         """``transport`` carries the calls; ``scheme`` recombines the replies.
 
@@ -74,8 +91,16 @@ class ClusterClient:
         redundancy that makes :class:`InconsistentShareError` detection
         possible.  Setting it to ``scheme.threshold`` minimises traffic at
         the cost of both.  ``verify_shares=False`` skips the consistency
-        check (the reconstruction then trusts the first ``threshold``
-        replies).
+        check — the reconstruction then completes on the first ``threshold``
+        successful replies and stops waiting for stragglers.
+
+        ``hedge`` (only meaningful with verification off) co-issues a share
+        read to the fastest idle spare whenever the slowest contacted server
+        is at least ``hedge`` times slower than that spare (``True`` selects
+        :data:`DEFAULT_HEDGE_RATIO`) — one extra call buys a shorter tail.
+        ``prefetch`` marks up to that many structural rounds after each
+        share read as overlapping it on the makespan clock, modelling the
+        engine's next batch expansion pipelined with in-flight fetches.
         """
         if transport.num_servers != scheme.num_servers:
             raise SharingError(
@@ -89,11 +114,20 @@ class ClusterClient:
                 "read_quorum must be in [%d, %d], got %d"
                 % (scheme.threshold, scheme.num_servers, read_quorum)
             )
+        if prefetch < 0:
+            raise ValueError("prefetch must be non-negative, got %d" % prefetch)
+        if hedge is not False and hedge is not True and hedge < 1:
+            raise ValueError("hedge ratio must be at least 1, got %r" % hedge)
         self.transport = transport
         self.scheme = scheme
         self.ring = scheme.ring
         self._read_quorum = read_quorum
         self._verify = verify_shares
+        self._hedge_ratio = (
+            0.0 if hedge is False else (self.DEFAULT_HEDGE_RATIO if hedge is True else float(hedge))
+        )
+        self._prefetch = prefetch
+        self._overlap_credits = 0
         self._primary = 0
         # Server-side queues are pinned to one server; local ids hide that.
         self._queue_routes: Dict[int, Tuple[int, int]] = {}
@@ -123,12 +157,20 @@ class ClusterClient:
     # Structural queries: one server answers, fail over on connection loss
     # ------------------------------------------------------------------
 
+    def _take_overlap(self) -> bool:
+        """Consume one prefetch credit; the next round then overlaps."""
+        if self._overlap_credits <= 0:
+            return False
+        self._overlap_credits -= 1
+        return True
+
     def _call_any(self, method: str, *args: Any) -> Any:
         """Invoke a replicated (structure-only) method on one live server."""
         last_error: Optional[BaseException] = None
+        overlap = self._take_overlap()
         for index in self._server_order():
             try:
-                result = self.transport.invoke(index, method, args)
+                result = self.transport.invoke(index, method, args, overlap=overlap)
             except ConnectionError as exc:
                 last_error = exc
                 continue
@@ -171,9 +213,10 @@ class ClusterClient:
 
     def _open_queue_on_primary(self, method: str, pres: List[int]) -> int:
         last_error: Optional[BaseException] = None
+        overlap = self._take_overlap()
         for index in self._server_order():
             try:
-                remote_id = self.transport.invoke(index, method, (list(pres),))
+                remote_id = self.transport.invoke(index, method, (list(pres),), overlap=overlap)
             except ConnectionError as exc:
                 last_error = exc
                 continue
@@ -219,10 +262,36 @@ class ClusterClient:
     # Share access: scatter, regenerate, verify, combine
     # ------------------------------------------------------------------
 
+    def _hedged_targets(self, targets: List[int], spares: List[int]) -> List[int]:
+        """Co-issue the fastest spare when the modeled straggler warrants it.
+
+        The hedge is a pure function of the configured per-server latencies:
+        when the slowest contacted server is at least ``hedge`` times slower
+        than the fastest idle spare, the spare joins the scatter — its reply
+        can complete the first-k quorum before the straggler's would.
+        """
+        if not self._hedge_ratio or self._verify or not spares:
+            return targets
+        live_spares = [index for index in spares if not self.transport.is_down(index)]
+        if not live_spares:
+            return targets
+        straggler = max(self.transport.latency_of(index) for index in targets)
+        best_spare = min(live_spares, key=lambda index: (self.transport.latency_of(index), index))
+        if straggler >= self._hedge_ratio * self.transport.latency_of(best_spare):
+            return targets + [best_spare]
+        return targets
+
     def _gather(
         self, method: str, args: Tuple[Any, ...]
     ) -> Tuple[Dict[int, Any], Dict[int, BaseException]]:
-        """Contact up to ``read_quorum`` servers (more if replies are short).
+        """Scatter to ``read_quorum`` servers; stop at the first-k successes.
+
+        With verification on, every contacted server's reply is awaited (the
+        redundancy *is* the point); with verification off the quorum read
+        returns as soon as ``threshold`` good replies are in, and straggler
+        replies drain in the background.  If the admitted subset cannot be
+        completed, the remaining candidates are escalated in **one** batched
+        scatter instead of one call per spare server.
 
         Only *connection-level* failures are collected for the caller to
         judge the surviving subset; semantic errors (an unknown ``pre``
@@ -243,11 +312,16 @@ class ClusterClient:
                     raise reply.error
 
         order = self._server_order(start=0)
-        absorb(self.transport.invoke_all(method, args, indices=order[: self._read_quorum]))
-        for index in order[self._read_quorum :]:
-            if self.scheme.sufficient(replies):
-                break
-            absorb(self.transport.invoke_all(method, args, indices=[index]))
+        targets = order[: self._read_quorum]
+        spares = order[self._read_quorum :]
+        targets = self._hedged_targets(targets, spares)
+        quorum = len(targets) if self._verify else min(self.scheme.threshold, len(targets))
+        absorb(self.transport.invoke_quorum(method, args, k=quorum, indices=targets))
+        if not self.scheme.sufficient(replies):
+            remaining = [index for index in spares if index not in replies and index not in failures]
+            if remaining:
+                absorb(self.transport.invoke_all(method, args, indices=remaining))
+        self._overlap_credits = self._prefetch
         return replies, failures
 
     def _complete_with_regenerated(

@@ -31,10 +31,22 @@ saving there is the round trips, not the index work).  Decoded
 :class:`~repro.poly.ring.RingPolynomial` shares are kept in a bounded LRU
 cache (the table is bulk-load-then-query, so entries never go stale);
 :meth:`share_cache_info` exposes hit/miss accounting.
+
+Thread-safety contract
+----------------------
+
+The concurrent cluster transport may hit one server from several client
+threads at once (a structural prefetch overlapping an in-flight share
+scatter, a hedged re-issue racing the original).  The mutable server state —
+the decoded-share LRU (an ``OrderedDict`` whose ``move_to_end`` is a
+read-modify-write) and the ``next_node`` queue table — is guarded by one
+internal lock, so concurrent readers are safe.  The node table itself is
+bulk-load-then-query and only ever read here.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional, Sequence
 
@@ -66,6 +78,9 @@ class ServerFilter(Filter):
         self._share_cache_size = share_cache_size
         self._share_cache_hits = 0
         self._share_cache_misses = 0
+        # Guards the share LRU and the queue table against concurrent
+        # readers (see the module docstring's thread-safety contract).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Structural queries (all via the indexed access paths)
@@ -297,21 +312,23 @@ class ServerFilter(Filter):
         return found
 
     def _cached_share(self, pre: int) -> Optional[RingPolynomial]:
-        poly = self._share_cache.get(pre)
-        if poly is not None:
-            self._share_cache.move_to_end(pre)
-            self._share_cache_hits += 1
-            return poly
-        self._share_cache_misses += 1
-        return None
+        with self._lock:
+            poly = self._share_cache.get(pre)
+            if poly is not None:
+                self._share_cache.move_to_end(pre)
+                self._share_cache_hits += 1
+                return poly
+            self._share_cache_misses += 1
+            return None
 
     def _store_share(self, pre: int, poly: RingPolynomial) -> None:
         if self._share_cache_size == 0:
             return
-        self._share_cache[pre] = poly
-        self._share_cache.move_to_end(pre)
-        while len(self._share_cache) > self._share_cache_size:
-            self._share_cache.popitem(last=False)
+        with self._lock:
+            self._share_cache[pre] = poly
+            self._share_cache.move_to_end(pre)
+            while len(self._share_cache) > self._share_cache_size:
+                self._share_cache.popitem(last=False)
 
     def share_cache_info(self) -> Dict[str, object]:
         """Hit/miss/occupancy accounting of the decoded-share LRU cache.
@@ -320,13 +337,14 @@ class ServerFilter(Filter):
         evaluation this server performed, so traces and reports can state
         which implementation they measured.
         """
-        return {
-            "hits": self._share_cache_hits,
-            "misses": self._share_cache_misses,
-            "size": len(self._share_cache),
-            "capacity": self._share_cache_size,
-            "backend": self._ring.kernel.name,
-        }
+        with self._lock:
+            return {
+                "hits": self._share_cache_hits,
+                "misses": self._share_cache_misses,
+                "size": len(self._share_cache),
+                "capacity": self._share_cache_size,
+                "backend": self._ring.kernel.name,
+            }
 
     # ------------------------------------------------------------------
     # next_node() pipeline — server-side buffering of intermediate results
@@ -334,10 +352,11 @@ class ServerFilter(Filter):
 
     def open_queue(self, pres: List[int]) -> int:
         """Create a buffered result queue and return its id."""
-        queue_id = self._next_queue_id
-        self._next_queue_id += 1
-        self._queues[queue_id] = deque(pres)
-        return queue_id
+        with self._lock:
+            queue_id = self._next_queue_id
+            self._next_queue_id += 1
+            self._queues[queue_id] = deque(pres)
+            return queue_id
 
     def open_children_queue(self, pres: List[int]) -> int:
         """Create a queue holding the children of every node in ``pres``."""
@@ -355,20 +374,23 @@ class ServerFilter(Filter):
 
     def next_node(self, queue_id: int) -> int:
         """Pop the next buffered node (``-1`` once the queue is exhausted)."""
-        queue = self._queues.get(queue_id)
-        if queue is None:
-            raise LookupError("unknown queue id %d" % queue_id)
-        if not queue:
-            return -1
-        return queue.popleft()
+        with self._lock:
+            queue = self._queues.get(queue_id)
+            if queue is None:
+                raise LookupError("unknown queue id %d" % queue_id)
+            if not queue:
+                return -1
+            return queue.popleft()
 
     def queue_size(self, queue_id: int) -> int:
         """Number of nodes still buffered in a queue."""
-        queue = self._queues.get(queue_id)
-        if queue is None:
-            raise LookupError("unknown queue id %d" % queue_id)
-        return len(queue)
+        with self._lock:
+            queue = self._queues.get(queue_id)
+            if queue is None:
+                raise LookupError("unknown queue id %d" % queue_id)
+            return len(queue)
 
     def close_queue(self, queue_id: int) -> bool:
         """Discard a queue; returns whether it existed."""
-        return self._queues.pop(queue_id, None) is not None
+        with self._lock:
+            return self._queues.pop(queue_id, None) is not None

@@ -14,6 +14,7 @@ the experiments require.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Sequence, Tuple
 
@@ -88,7 +89,11 @@ class KeyedPRG:
     :meth:`elements` call keeps a bounded LRU memo keyed on
     ``(pre, count, lane)``; :meth:`cache_info` exposes its hit accounting.
     The memo changes no output — entries are exactly the deterministic
-    stream prefixes.
+    stream prefixes.  The memo is guarded by a lock so concurrent readers
+    (cluster regeneration racing a prefetch pipeline) never tear the LRU's
+    ``move_to_end`` bookkeeping; the generation itself runs outside the
+    lock, so two threads may briefly compute the same prefix — identical by
+    determinism — rather than serialise on it.
     """
 
     def __init__(self, seed: bytes, field: Field, memo_size: int = 1024):
@@ -102,11 +107,13 @@ class KeyedPRG:
         self.field = field
         # Pre-hash the seed once; per-node states mix in the pre number.
         self._seed_digest = hashlib.sha256(self.seed).digest()
-        # Bounded LRU of generated stream prefixes.
+        # Bounded LRU of generated stream prefixes, guarded for concurrent
+        # readers (see the class docstring).
         self._memo: "OrderedDict[Tuple[int, int, int], Tuple[int, ...]]" = OrderedDict()
         self._memo_size = memo_size
         self._memo_hits = 0
         self._memo_misses = 0
+        self._memo_lock = threading.Lock()
 
     def _node_state(self, pre: int, lane: int = 0) -> int:
         """Derive the 64-bit SplitMix state for node ``pre`` and stream ``lane``."""
@@ -132,12 +139,13 @@ class KeyedPRG:
         if count < 0:
             raise ValueError("count must be non-negative, got %d" % count)
         key = (pre, count, lane)
-        cached = self._memo.get(key)
-        if cached is not None:
-            self._memo.move_to_end(key)
-            self._memo_hits += 1
-            return list(cached)
-        self._memo_misses += 1
+        with self._memo_lock:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self._memo.move_to_end(key)
+                self._memo_hits += 1
+                return list(cached)
+            self._memo_misses += 1
         # Inlined SplitMix64 + rejection sampling: identical state sequence
         # and outputs as SplitMix64.next_below, without two method calls per
         # element (this loop runs q - 1 times per share regeneration).
@@ -157,9 +165,11 @@ class KeyedPRG:
                     append(z % order)
                     break
         if self._memo_size:
-            self._memo[key] = tuple(generated)
-            while len(self._memo) > self._memo_size:
-                self._memo.popitem(last=False)
+            with self._memo_lock:
+                self._memo[key] = tuple(generated)
+                self._memo.move_to_end(key)
+                while len(self._memo) > self._memo_size:
+                    self._memo.popitem(last=False)
         return generated
 
     def elements_many(
@@ -170,12 +180,13 @@ class KeyedPRG:
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/occupancy accounting of the share memo."""
-        return {
-            "hits": self._memo_hits,
-            "misses": self._memo_misses,
-            "size": len(self._memo),
-            "capacity": self._memo_size,
-        }
+        with self._memo_lock:
+            return {
+                "hits": self._memo_hits,
+                "misses": self._memo_misses,
+                "size": len(self._memo),
+                "capacity": self._memo_size,
+            }
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, KeyedPRG):

@@ -13,6 +13,10 @@ This package provides that boundary in-process:
   serialisation format for the value types the filters exchange,
 * :class:`~repro.rmi.transport.SimulatedTransport` — a channel that counts
   calls and bytes and can model per-call latency,
+* :class:`~repro.rmi.cluster.ClusterTransport` — the concurrent
+  scatter-gather layer over n such channels: thread-pool ``invoke_all``,
+  first-k ``invoke_quorum`` reads and a makespan clock that models the
+  wall-clock of each round as its critical path,
 * :class:`~repro.rmi.proxy.RemoteProxy` / :class:`~repro.rmi.proxy.Registry`
   — RMI-style stubs: the client holds a proxy, every method call is encoded,
   shipped through the transport, executed on the server object and the result
@@ -30,12 +34,13 @@ from repro.rmi.cluster import (
 from repro.rmi.codec import Codec, CodecError
 from repro.rmi.proxy import Registry, RemoteProxy
 from repro.rmi.stats import CallStats
-from repro.rmi.transport import SimulatedTransport
+from repro.rmi.transport import CallOutcome, SimulatedTransport
 
 __all__ = [
     "Codec",
     "CodecError",
     "SimulatedTransport",
+    "CallOutcome",
     "ClusterTransport",
     "ClusterReply",
     "ServerDownError",

@@ -1,4 +1,4 @@
-"""Scatter-gather transport over a cluster of share servers.
+"""Concurrent scatter-gather transport over a cluster of share servers.
 
 One :class:`~repro.rmi.transport.SimulatedTransport` per server — each with
 its own :class:`~repro.rmi.stats.CallStats`, codec round-trip and latency
@@ -7,9 +7,13 @@ model — plus the cluster-level operations the
 
 * :meth:`ClusterTransport.invoke` — one call against one named server,
 * :meth:`ClusterTransport.invoke_all` — scatter the same call to every (or a
-  chosen subset of) server(s) and gather per-server
+  chosen subset of) server(s) over a shared thread pool and gather per-server
   :class:`ClusterReply` values *without* aborting on individual failures —
   the caller decides whether the surviving subset suffices,
+* :meth:`ClusterTransport.invoke_quorum` — the latency-optimal read path:
+  scatter to all targets but return as soon as ``k`` *successful* replies
+  have arrived; the remaining in-flight calls drain in the background and
+  are still recorded in their server's stats,
 * fault injection: :meth:`set_down` (a server that stays unreachable) and
   :meth:`inject_faults` (the next *k* calls fail), both recorded as errors
   in the affected server's stats so flaky-run traffic is never under-counted,
@@ -17,10 +21,43 @@ model — plus the cluster-level operations the
   configured latencies, modelling heterogeneous hardware),
 * :meth:`aggregate_stats` — the merged cluster-wide
   :class:`~repro.rmi.stats.CallStats` via :meth:`CallStats.merge`.
+
+Determinism under concurrency
+-----------------------------
+
+Latencies are *modeled* (accumulated in the stats), never slept — so "which
+reply arrives first" must not depend on thread scheduling.  Replies are
+therefore admitted in **modeled arrival order**: sorted by ``(latency,
+server index)``, where a still-outstanding call is only overtaken once its
+latency lower bound (the server's configured per-call latency) provably
+exceeds the candidate's arrival time.  The admitted reply sequence — and
+with it every downstream reconstruction, verification and counter — is a
+pure function of the configuration, while the calls themselves genuinely
+execute concurrently on the pool.
+
+The makespan clock
+------------------
+
+``simulated_latency`` accumulates per-server busy time; the *makespan*
+clock models the client's wall-clock instead.  Every round advances it by
+
+* the **sum** of the contacted servers' call latencies when the transport
+  runs sequentially (``concurrency=False``) — the cost model the scatter
+  loop used to imply,
+* the **maximum** (for a full gather) or the **k-th modeled arrival** (for
+  a first-k quorum read) when scattering concurrently,
+
+plus a fixed ``round_overhead``.  A round flagged ``overlap=True`` starts at
+the previous round's start time instead of the current clock — the prefetch
+pipeline uses this to model structural work hidden behind in-flight share
+fetches.  Since the inputs are modeled, the concurrency win is deterministic
+and measurable without real sleeps.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -48,11 +85,18 @@ class ClusterReply:
     value: Any = None
     #: the exception the call raised, ``None`` on success
     error: Optional[BaseException] = None
+    #: modeled latency of this call on its server
+    latency: float = 0.0
 
     @property
     def ok(self) -> bool:
         """Whether the call succeeded."""
         return self.error is None
+
+
+def _arrival_key(reply: ClusterReply) -> Tuple[float, int]:
+    """Modeled arrival order: by latency, server index breaking ties."""
+    return (reply.latency, reply.server)
 
 
 class ClusterTransport:
@@ -66,32 +110,68 @@ class ClusterTransport:
         codec: Optional[Codec] = None,
         latency_jitter: float = 0.0,
         jitter_seed: int = 20050905,
+        concurrency: bool = True,
+        max_workers: Optional[int] = None,
+        round_overhead: float = 0.0,
+        per_server_latency: Optional[Sequence[float]] = None,
     ):
         """``servers`` are the target objects (typically ``ServerFilter`` s).
 
         ``latency_jitter`` spreads the configured latencies per server by a
         deterministic factor in ``[1, 1 + latency_jitter)`` drawn from
         ``jitter_seed`` — server 2 of a jittered cluster is always exactly
-        as slow, so experiments stay reproducible.
+        as slow, so experiments stay reproducible.  ``per_server_latency``
+        pins each server's per-call latency explicitly instead (jitter does
+        not apply on top); tests use it to drive quorum completion orders.
+
+        ``concurrency=False`` restores the sequential scatter loop — same
+        calls, same replies, but the makespan clock charges each round with
+        the sum of the per-server latencies instead of the critical path.
+        ``round_overhead`` is added to the clock once per round, modelling
+        the fixed cost of issuing a scatter.
         """
         if not servers:
             raise ValueError("a cluster needs at least one server")
         if latency_jitter < 0:
             raise ValueError("latency_jitter must be non-negative")
+        if round_overhead < 0:
+            raise ValueError("round_overhead must be non-negative")
         self.servers = list(servers)
+        if per_server_latency is not None and len(per_server_latency) != len(self.servers):
+            raise ValueError(
+                "per_server_latency has %d entries for %d servers"
+                % (len(per_server_latency), len(self.servers))
+            )
         rng = SplitMix64(jitter_seed)
         self.transports: List[SimulatedTransport] = []
-        for _ in self.servers:
+        for index in range(len(self.servers)):
             factor = 1.0 + latency_jitter * rng.next_float()
+            if per_server_latency is not None:
+                call_latency = per_server_latency[index]
+                byte_latency = per_byte_latency
+            else:
+                call_latency = per_call_latency * factor
+                byte_latency = per_byte_latency * factor
             self.transports.append(
                 SimulatedTransport(
-                    per_call_latency=per_call_latency * factor,
-                    per_byte_latency=per_byte_latency * factor,
+                    per_call_latency=call_latency,
+                    per_byte_latency=byte_latency,
                     codec=codec,
                 )
             )
+        self.concurrency = bool(concurrency)
+        self.round_overhead = round_overhead
+        self._max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        # One lock covers the fault state (down-set + budgets: the
+        # read-then-decrement of a budget must be atomic under concurrent
+        # invokes), the makespan clock and the background-drain bookkeeping.
+        self._lock = threading.Lock()
         self._down: set = set()
         self._fault_budget: Dict[int, int] = {}
+        self._clock = 0.0
+        self._round_start = 0.0
+        self._background: List[Future] = []
 
     # ------------------------------------------------------------------
     # Topology and fault control
@@ -107,32 +187,179 @@ class ClusterTransport:
             raise IndexError("server index %d out of range for %d servers" % (index, len(self.servers)))
 
     def set_down(self, index: int, down: bool = True) -> None:
-        """Mark a server unreachable (or bring it back with ``down=False``)."""
+        """Mark a server unreachable (or bring it back with ``down=False``).
+
+        In-flight background stragglers are drained first, so the flag only
+        affects calls issued *after* this point — never a race with a
+        first-k round that is still settling.
+        """
         self._check_index(index)
-        if down:
-            self._down.add(index)
-        else:
-            self._down.discard(index)
+        self.drain()
+        with self._lock:
+            if down:
+                self._down.add(index)
+            else:
+                self._down.discard(index)
 
     def is_down(self, index: int) -> bool:
         """Whether a server is currently marked unreachable."""
         self._check_index(index)
-        return index in self._down
+        with self._lock:
+            return index in self._down
 
     def live_servers(self) -> List[int]:
         """Indices of servers not marked down."""
-        return [index for index in range(len(self.servers)) if index not in self._down]
+        with self._lock:
+            down = set(self._down)
+        return [index for index in range(len(self.servers)) if index not in down]
 
     def inject_faults(self, index: int, count: int = 1) -> None:
-        """Make the next ``count`` invocations of one server fail transiently."""
+        """Make the next ``count`` invocations of one server fail transiently.
+
+        Drains in-flight calls first: a straggler from an earlier first-k
+        round must not race the next round for the new budget (the consumed
+        fault would then depend on thread scheduling).
+        """
         self._check_index(index)
         if count < 0:
             raise ValueError("fault count must be non-negative")
-        self._fault_budget[index] = self._fault_budget.get(index, 0) + count
+        self.drain()
+        with self._lock:
+            self._fault_budget[index] = self._fault_budget.get(index, 0) + count
+
+    def latency_of(self, index: int) -> float:
+        """The configured (jittered) per-call latency of one server.
+
+        This is also the *lower bound* of any call's modeled latency on that
+        server, which is what the quorum gather uses to admit replies in
+        modeled arrival order without waiting for provably slower servers.
+        """
+        self._check_index(index)
+        return self.transports[index].per_call_latency
+
+    # ------------------------------------------------------------------
+    # Makespan clock
+    # ------------------------------------------------------------------
+
+    def _advance_clock(self, elapsed: float, overlap: bool) -> None:
+        """Charge one round to the modeled wall-clock.
+
+        A normal round starts when the previous one ended; an ``overlap``
+        round starts *alongside* the previous round (the prefetch pipeline),
+        so it only advances the clock past the previous round's end when it
+        is the longer of the two.
+        """
+        elapsed += self.round_overhead
+        with self._lock:
+            if overlap:
+                self._clock = max(self._clock, self._round_start + elapsed)
+            else:
+                self._round_start = self._clock
+                self._clock += elapsed
+
+    def makespan(self) -> float:
+        """The modeled wall-clock spent so far (drains in-flight calls first).
+
+        Unlike the per-server ``simulated_latency`` sums, this gauge charges
+        every scatter round with its *critical path*: the slowest contacted
+        server for a full gather, the k-th modeled arrival for a first-k
+        quorum read, the plain latency sum when the transport is sequential.
+        """
+        self.drain()
+        with self._lock:
+            return self._clock
+
+    def reset_makespan(self) -> None:
+        """Zero the wall-clock gauge (between experiment runs)."""
+        self.drain()
+        with self._lock:
+            self._clock = 0.0
+            self._round_start = 0.0
+
+    def drain(self) -> None:
+        """Wait for every background-draining call to finish.
+
+        First-k quorum reads leave their stragglers running; their stats
+        land when each call completes.  Every accounting reader
+        (:meth:`stats_of`, :attr:`per_server_stats`, :meth:`aggregate_stats`,
+        :meth:`count_query`, :meth:`makespan`) drains first so counters are
+        settled and deterministic.
+        """
+        with self._lock:
+            pending = list(self._background)
+            self._background.clear()
+        for future in pending:
+            future.exception()  # waits; outcome futures never raise
+
+    def close(self) -> None:
+        """Drain in-flight calls and release the scatter thread pool.
+
+        The transport stays usable — the pool is recreated lazily on the
+        next concurrent scatter — so this is safe to call between runs of a
+        long-lived deployment to return the idle worker threads.
+        """
+        self.drain()
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     # Invocation
     # ------------------------------------------------------------------
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                workers = self._max_workers or min(len(self.servers), 16)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="cluster-scatter"
+                )
+            return self._executor
+
+    def _outcome(
+        self,
+        index: int,
+        method: str,
+        args: Tuple[Any, ...],
+        kwargs: Optional[Dict[str, Any]],
+    ) -> ClusterReply:
+        """One call against one server, with failures captured, not raised."""
+        transport = self.transports[index]
+        with self._lock:
+            down = index in self._down
+            if not down:
+                budget = self._fault_budget.get(index, 0)
+                faulted = budget > 0
+                if faulted:
+                    self._fault_budget[index] = budget - 1
+            else:
+                faulted = False
+        if down:
+            transport.stats.record(method, 0, 0, transport.per_call_latency, error=True)
+            return ClusterReply(
+                index,
+                error=ServerDownError("server %d is down" % index),
+                latency=transport.per_call_latency,
+            )
+        if faulted:
+            transport.stats.record(method, 0, 0, transport.per_call_latency, error=True)
+            return ClusterReply(
+                index,
+                error=InjectedFaultError("injected fault on server %d (%s)" % (index, method)),
+                latency=transport.per_call_latency,
+            )
+        try:
+            outcome = transport.invoke_detailed(self.servers[index], method, args, kwargs)
+        except Exception as exc:
+            # Request-encoding failures (a caller-side bug) are captured like
+            # any other per-server failure so a scattered round never aborts
+            # half-issued; they carry no latency and are not in the stats,
+            # matching the single-transport behaviour.
+            return ClusterReply(index, error=exc)
+        return ClusterReply(
+            index, value=outcome.value, error=outcome.error, latency=outcome.latency
+        )
 
     def invoke(
         self,
@@ -140,6 +367,7 @@ class ClusterTransport:
         method: str,
         args: Tuple[Any, ...] = (),
         kwargs: Optional[Dict[str, Any]] = None,
+        overlap: bool = False,
     ) -> Any:
         """One remote call against server ``index``.
 
@@ -148,16 +376,11 @@ class ClusterTransport:
         latency as the timeout cost, ``error=True``).
         """
         self._check_index(index)
-        transport = self.transports[index]
-        if index in self._down:
-            transport.stats.record(method, 0, 0, transport.per_call_latency, error=True)
-            raise ServerDownError("server %d is down" % index)
-        budget = self._fault_budget.get(index, 0)
-        if budget > 0:
-            self._fault_budget[index] = budget - 1
-            transport.stats.record(method, 0, 0, transport.per_call_latency, error=True)
-            raise InjectedFaultError("injected fault on server %d (%s)" % (index, method))
-        return transport.invoke(self.servers[index], method, args, kwargs)
+        reply = self._outcome(index, method, args, kwargs)
+        self._advance_clock(reply.latency, overlap)
+        if reply.error is not None:
+            raise reply.error
+        return reply.value
 
     def invoke_all(
         self,
@@ -165,42 +388,174 @@ class ClusterTransport:
         args: Tuple[Any, ...] = (),
         kwargs: Optional[Dict[str, Any]] = None,
         indices: Optional[Sequence[int]] = None,
+        overlap: bool = False,
     ) -> List[ClusterReply]:
         """Scatter one call to many servers, gather per-server replies.
 
         Individual failures are captured in the reply's ``error`` instead of
         propagating, so a partial gather is an ordinary outcome — threshold
-        schemes only need enough of the replies to be good.
+        schemes only need enough of the replies to be good.  Replies come
+        back in target order either way; with ``concurrency`` the calls run
+        on the pool and the round costs the slowest server instead of the
+        sum.
         """
-        targets = range(len(self.servers)) if indices is None else indices
-        replies: List[ClusterReply] = []
+        targets = list(range(len(self.servers)) if indices is None else indices)
         for index in targets:
-            try:
-                replies.append(ClusterReply(index, value=self.invoke(index, method, args, kwargs)))
-            except Exception as exc:  # gathered, not propagated
-                replies.append(ClusterReply(index, error=exc))
+            self._check_index(index)
+        if self.concurrency and len(targets) > 1:
+            pool = self._pool()
+            futures = [
+                pool.submit(self._outcome, index, method, args, kwargs) for index in targets
+            ]
+            replies = [future.result() for future in futures]
+            elapsed = max((reply.latency for reply in replies), default=0.0)
+        else:
+            replies = [self._outcome(index, method, args, kwargs) for index in targets]
+            elapsed = self._sequential_elapsed(replies)
+        self._advance_clock(elapsed, overlap)
         return replies
+
+    def _sequential_elapsed(self, replies: Sequence[ClusterReply]) -> float:
+        """Round cost of a sequential scatter: one server after the other."""
+        return sum(reply.latency for reply in replies)
+
+    def invoke_quorum(
+        self,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        k: int = 1,
+        kwargs: Optional[Dict[str, Any]] = None,
+        indices: Optional[Sequence[int]] = None,
+        overlap: bool = False,
+    ) -> List[ClusterReply]:
+        """Scatter to every target but return after ``k`` successful replies.
+
+        The returned list holds the replies *admitted* before the quorum was
+        reached, in modeled arrival order — the first ``k`` successes plus
+        any failures that arrived among them.  Outstanding calls keep
+        draining in the background (their stats land when they complete; see
+        :meth:`drain`), which is exactly the latency-optimal behaviour of a
+        real first-k read: the client stops waiting, the wire traffic
+        happens anyway.
+
+        When fewer than ``k`` targets succeed, every reply is admitted and
+        the caller sees the shortfall.  The makespan clock is charged with
+        the k-th modeled arrival (or the last arrival on a shortfall); the
+        sequential transport still issues every call and charges the sum,
+        preserving identical replies and counters between the two modes.
+        """
+        if k < 1:
+            raise ValueError("quorum size must be at least 1, got %d" % k)
+        targets = list(range(len(self.servers)) if indices is None else indices)
+        for index in targets:
+            self._check_index(index)
+        if not targets:
+            return []
+        if self.concurrency and len(targets) > 1:
+            admitted = self._gather_quorum_concurrent(method, args, kwargs, targets, k)
+            elapsed = admitted[-1].latency if admitted else 0.0
+        else:
+            replies = [self._outcome(index, method, args, kwargs) for index in targets]
+            admitted = self._admit(sorted(replies, key=_arrival_key), k)
+            elapsed = self._sequential_elapsed(replies)
+        self._advance_clock(elapsed, overlap)
+        return admitted
+
+    @staticmethod
+    def _admit(arrivals: Sequence[ClusterReply], k: int) -> List[ClusterReply]:
+        """The prefix of ``arrivals`` up to (and including) the k-th success."""
+        admitted: List[ClusterReply] = []
+        successes = 0
+        for reply in arrivals:
+            admitted.append(reply)
+            if reply.ok:
+                successes += 1
+                if successes >= k:
+                    break
+        return admitted
+
+    def _gather_quorum_concurrent(
+        self,
+        method: str,
+        args: Tuple[Any, ...],
+        kwargs: Optional[Dict[str, Any]],
+        targets: List[int],
+        k: int,
+    ) -> List[ClusterReply]:
+        """Admit replies in modeled arrival order, stopping at k successes.
+
+        A completed reply may only be admitted once no still-outstanding
+        call could arrive before it: an outstanding server's latency is at
+        least its configured per-call latency (payload terms only add), so
+        once that lower bound exceeds the candidate's arrival key the order
+        is settled.  When the quorum completes early, the rest of the
+        futures are left to drain in the background.
+        """
+        pool = self._pool()
+        outstanding: Dict[Future, int] = {}
+        for index in targets:
+            outstanding[pool.submit(self._outcome, index, method, args, kwargs)] = index
+        completed: List[ClusterReply] = []  # buffer, sorted by modeled arrival
+        admitted: List[ClusterReply] = []
+        successes = 0
+        while successes < k and (outstanding or completed):
+            # Admit every buffered reply that can no longer be overtaken by
+            # an in-flight call (whose arrival is at least its server's
+            # per-call latency).
+            while completed and successes < k:
+                head_key = _arrival_key(completed[0])
+                if outstanding and min(
+                    (self.latency_of(i), i) for i in outstanding.values()
+                ) <= head_key:
+                    break  # an in-flight call may still arrive first
+                head = completed.pop(0)
+                admitted.append(head)
+                if head.ok:
+                    successes += 1
+            if successes >= k:
+                break
+            if not outstanding:
+                continue  # only the buffer is left; next pass drains it
+            done, _ = wait(list(outstanding), return_when=FIRST_COMPLETED)
+            for future in done:
+                outstanding.pop(future)
+                reply = future.result()
+                key = _arrival_key(reply)
+                position = 0
+                while position < len(completed) and _arrival_key(completed[position]) <= key:
+                    position += 1
+                completed.insert(position, reply)
+        if outstanding:
+            with self._lock:
+                self._background.extend(outstanding)
+        return admitted
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
 
     def stats_of(self, index: int) -> CallStats:
-        """The per-server call statistics."""
+        """The per-server call statistics (drains in-flight calls first)."""
         self._check_index(index)
+        self.drain()
         return self.transports[index].stats
 
     @property
     def per_server_stats(self) -> List[CallStats]:
-        """Every server's stats, in server order."""
+        """Every server's stats, in server order (drained first, so the
+        counters are settled even right after a first-k quorum read)."""
+        self.drain()
         return [transport.stats for transport in self.transports]
 
     def count_query(self, amount: int = 1) -> None:
         """Tick the query counter on every server's stats.
 
         Each server's ``calls_per_query`` then reads "calls this server did
-        per executed query", whether or not the query touched it.
+        per executed query", whether or not the query touched it.  Draining
+        first settles any straggler calls of the finished query, so the
+        per-query figures stay deterministic under concurrency.
         """
+        self.drain()
         for transport in self.transports:
             transport.stats.count_query(amount)
 
@@ -210,20 +565,30 @@ class ClusterTransport:
         ``queries`` is the maximum over servers rather than the sum: the
         per-server traces cover the *same* queries, so summing (what
         :meth:`CallStats.merge` does for disjoint traces) would deflate the
-        cluster-wide per-query figures by a factor of n.
+        cluster-wide per-query figures by a factor of n.  ``makespan`` is
+        the cluster clock, not the per-server sum, for the same reason.
         """
+        self.drain()
         merged = CallStats()
         for transport in self.transports:
             merged.merge(transport.stats)
         merged.queries = max(
             (transport.stats.queries for transport in self.transports), default=0
         )
+        with self._lock:
+            merged.makespan = self._clock
         return merged
 
     def reset_stats(self) -> None:
-        """Zero every server's counters (between experiment runs)."""
+        """Zero every server's counters and the clock (between runs)."""
+        self.drain()
         for transport in self.transports:
             transport.stats.reset()
+        with self._lock:
+            self._clock = 0.0
+            self._round_start = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
-        return "ClusterTransport(servers=%d, down=%s)" % (len(self.servers), sorted(self._down))
+        with self._lock:
+            down = sorted(self._down)
+        return "ClusterTransport(servers=%d, down=%s)" % (len(self.servers), down)

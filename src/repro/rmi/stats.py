@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -23,6 +24,18 @@ class CallStats:
     ``calls_per_query`` / ``bytes_per_query`` the headline numbers for the
     batching work: the batched pipeline issues O(1) calls per query step
     where the per-node path issued O(candidates).
+
+    ``simulated_latency`` is the *accumulated* per-call cost — the busy time
+    a server spent answering, regardless of overlap.  ``makespan`` is the
+    modeled *wall-clock* cost: the cluster transport charges each scatter
+    round with the maximum over the contacted servers (plus a per-round
+    overhead) instead of the sum, so concurrent scatter-gather shows its
+    latency win deterministically.  The two gauges coincide on a sequential
+    single-server trace and diverge exactly by the concurrency win.
+
+    All mutators take an internal lock: scattered calls record from worker
+    threads concurrently, and a torn read-modify-write would silently drop
+    counts.
     """
 
     #: total number of remote method invocations (successful or failed)
@@ -33,6 +46,10 @@ class CallStats:
     bytes_received: int = 0
     #: accumulated simulated network latency in seconds
     simulated_latency: float = 0.0
+    #: modeled wall-clock of the trace (max-per-round under concurrency);
+    #: written by the cluster transport's makespan clock when it snapshots
+    #: an aggregate — per-transport instances leave it at 0.0
+    makespan: float = 0.0
     #: per-method invocation counts
     calls_by_method: Dict[str, int] = field(default_factory=dict)
     #: per-method payload bytes (request + response)
@@ -47,6 +64,10 @@ class CallStats:
     #: "table" or "naive"); configuration rather than a counter, so
     #: :meth:`reset` leaves it in place
     backend: Optional[str] = None
+    #: guards every read-modify-write (scattered calls record concurrently)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def record(
         self,
@@ -57,62 +78,83 @@ class CallStats:
         error: bool = False,
     ) -> None:
         """Record one remote call (``error=True`` for a failed invocation)."""
-        self.calls += 1
-        self.bytes_sent += request_bytes
-        self.bytes_received += response_bytes
-        self.simulated_latency += latency
-        self.calls_by_method[method] = self.calls_by_method.get(method, 0) + 1
-        self.bytes_by_method[method] = (
-            self.bytes_by_method.get(method, 0) + request_bytes + response_bytes
-        )
-        if error:
-            self.errors += 1
-            self.errors_by_method[method] = self.errors_by_method.get(method, 0) + 1
+        with self._lock:
+            self.calls += 1
+            self.bytes_sent += request_bytes
+            self.bytes_received += response_bytes
+            self.simulated_latency += latency
+            self.calls_by_method[method] = self.calls_by_method.get(method, 0) + 1
+            self.bytes_by_method[method] = (
+                self.bytes_by_method.get(method, 0) + request_bytes + response_bytes
+            )
+            if error:
+                self.errors += 1
+                self.errors_by_method[method] = self.errors_by_method.get(method, 0) + 1
 
     def count_query(self, amount: int = 1) -> None:
         """Record that ``amount`` queries ran over this transport."""
-        self.queries += amount
+        with self._lock:
+            self.queries += amount
 
     def merge(self, other: "CallStats") -> "CallStats":
         """Accumulate another trace into this one (returns ``self``).
 
-        Counters — including ``errors`` and ``queries`` — are summed, the
-        per-method breakdowns are merged key-wise, so the derived per-query
-        figures of the merged object cover both traces.  Callers merging
-        per-server traces of the *same* queries (the cluster aggregation)
-        should fix up ``queries`` afterwards, since those traces are not
-        disjoint.  ``backend`` is kept when both agree and degrades to
-        ``"mixed"`` when the traces came from different kernels.
+        Counters — including ``errors``, ``queries`` and ``makespan`` — are
+        summed, the per-method breakdowns are merged key-wise, so the derived
+        per-query figures of the merged object cover both traces.  Callers
+        merging per-server traces of the *same* queries (the cluster
+        aggregation) should fix up ``queries`` and ``makespan`` afterwards,
+        since those traces are not disjoint.  ``backend`` is kept when both
+        agree and degrades to ``"mixed"`` when the traces came from
+        different kernels.
         """
-        self.calls += other.calls
-        self.bytes_sent += other.bytes_sent
-        self.bytes_received += other.bytes_received
-        self.simulated_latency += other.simulated_latency
-        self.errors += other.errors
-        self.queries += other.queries
-        for method, count in other.calls_by_method.items():
-            self.calls_by_method[method] = self.calls_by_method.get(method, 0) + count
-        for method, total in other.bytes_by_method.items():
-            self.bytes_by_method[method] = self.bytes_by_method.get(method, 0) + total
-        for method, count in other.errors_by_method.items():
-            self.errors_by_method[method] = self.errors_by_method.get(method, 0) + count
-        if self.backend is None:
-            self.backend = other.backend
-        elif other.backend is not None and other.backend != self.backend:
-            self.backend = "mixed"
+        # Snapshot the other trace under its own lock first (never holding
+        # both locks at once, so two concurrent merges cannot deadlock).
+        with other._lock:
+            calls = other.calls
+            bytes_sent = other.bytes_sent
+            bytes_received = other.bytes_received
+            simulated_latency = other.simulated_latency
+            makespan = other.makespan
+            errors = other.errors
+            queries = other.queries
+            calls_by_method = dict(other.calls_by_method)
+            bytes_by_method = dict(other.bytes_by_method)
+            errors_by_method = dict(other.errors_by_method)
+            backend = other.backend
+        with self._lock:
+            self.calls += calls
+            self.bytes_sent += bytes_sent
+            self.bytes_received += bytes_received
+            self.simulated_latency += simulated_latency
+            self.makespan += makespan
+            self.errors += errors
+            self.queries += queries
+            for method, count in calls_by_method.items():
+                self.calls_by_method[method] = self.calls_by_method.get(method, 0) + count
+            for method, total in bytes_by_method.items():
+                self.bytes_by_method[method] = self.bytes_by_method.get(method, 0) + total
+            for method, count in errors_by_method.items():
+                self.errors_by_method[method] = self.errors_by_method.get(method, 0) + count
+            if self.backend is None:
+                self.backend = backend
+            elif backend is not None and backend != self.backend:
+                self.backend = "mixed"
         return self
 
     def reset(self) -> None:
         """Zero all counters (used between experiment runs)."""
-        self.calls = 0
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self.simulated_latency = 0.0
-        self.calls_by_method.clear()
-        self.bytes_by_method.clear()
-        self.errors = 0
-        self.errors_by_method.clear()
-        self.queries = 0
+        with self._lock:
+            self.calls = 0
+            self.bytes_sent = 0
+            self.bytes_received = 0
+            self.simulated_latency = 0.0
+            self.makespan = 0.0
+            self.calls_by_method.clear()
+            self.bytes_by_method.clear()
+            self.errors = 0
+            self.errors_by_method.clear()
+            self.queries = 0
 
     @property
     def total_bytes(self) -> int:
@@ -151,6 +193,7 @@ class CallStats:
             "bytes_received": self.bytes_received,
             "total_bytes": self.total_bytes,
             "simulated_latency": self.simulated_latency,
+            "makespan": self.makespan,
             "calls_per_query": self.calls_per_query,
             "bytes_per_query": self.bytes_per_query,
             "by_method": self.per_method(),

@@ -22,10 +22,38 @@ the derived calls-per-query / bytes-per-query figures.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.rmi.codec import Codec
 from repro.rmi.stats import CallStats
+
+
+@dataclass(frozen=True)
+class CallOutcome:
+    """One finished invocation: its value or error, plus the modeled cost.
+
+    The scatter-gather layer needs the per-call modeled latency *alongside*
+    the result (to order replies by modeled arrival time and to charge the
+    makespan clock), which the exception-based :meth:`SimulatedTransport.invoke`
+    surface cannot deliver — hence this richer return shape.
+    """
+
+    #: decoded return value (``None`` when the call failed)
+    value: Any = None
+    #: the exception the server method (or response encoding) raised
+    error: Optional[BaseException] = None
+    #: modeled latency of this call (per-call + per-byte terms)
+    latency: float = 0.0
+    #: encoded request payload size
+    request_bytes: int = 0
+    #: encoded response payload size
+    response_bytes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the call succeeded."""
+        return self.error is None
 
 
 class SimulatedTransport:
@@ -69,22 +97,52 @@ class SimulatedTransport:
         — but the call is recorded in the stats either way, with
         ``error=True`` when it failed.
         """
+        outcome = self.invoke_detailed(target, method, args, kwargs)
+        if outcome.error is not None:
+            raise outcome.error
+        return outcome.value
+
+    def invoke_detailed(
+        self,
+        target: Any,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> CallOutcome:
+        """Like :meth:`invoke`, but captures the error and the modeled cost.
+
+        Server-side exceptions (and response-encoding failures) land in the
+        returned :class:`CallOutcome` instead of propagating; the call is
+        recorded in the stats either way.  Request-encoding failures — a bug
+        on the *caller's* side — still raise directly, exactly as before.
+        """
         kwargs = kwargs or {}
         handler: Callable[..., Any] = getattr(target, method)
         request_payload = self.codec.encode({"method": method, "args": list(args), "kwargs": kwargs})
         decoded_request = self.codec.decode(request_payload)
         response_payload = b""
-        failed = True
+        value: Any = None
+        error: Optional[BaseException] = None
         try:
             result = handler(*decoded_request["args"], **decoded_request["kwargs"])
             response_payload = self.codec.encode(result)
-            decoded_result = self.codec.decode(response_payload)
-            failed = False
-            return decoded_result
-        finally:
-            latency = self.per_call_latency + self.per_byte_latency * (
-                len(request_payload) + len(response_payload)
-            )
-            self.stats.record(
-                method, len(request_payload), len(response_payload), latency, error=failed
-            )
+            value = self.codec.decode(response_payload)
+        except Exception as exc:
+            error = exc
+        latency = self.per_call_latency + self.per_byte_latency * (
+            len(request_payload) + len(response_payload)
+        )
+        self.stats.record(
+            method,
+            len(request_payload),
+            len(response_payload),
+            latency,
+            error=error is not None,
+        )
+        return CallOutcome(
+            value=value,
+            error=error,
+            latency=latency,
+            request_bytes=len(request_payload),
+            response_bytes=len(response_payload),
+        )

@@ -281,6 +281,152 @@ class TestReadQuorum:
             ClusterClient(transport, other.scheme)
 
 
+class TestFirstKQuorumReads:
+    def test_verify_off_completes_on_first_threshold_replies(self):
+        """With verification off a (k, n) read admits only the first k good
+        replies; the stragglers still run and land in the stats."""
+        reference = _single_reference()
+        deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
+        _, client = _client(transport, deployment, verify_shares=False)
+        expected = AdvancedQueryEngine(reference).execute("//city")
+        actual = AdvancedQueryEngine(client).execute("//city")
+        assert actual.matches == expected.matches
+        assert actual.counters == expected.counters
+        transport.drain()
+        # every server was still contacted on each scatter round
+        batch_calls = [
+            stats.calls_by_method.get("evaluate_batch", 0)
+            for stats in transport.per_server_stats
+        ]
+        assert len(set(batch_calls)) == 1 and batch_calls[0] > 0
+
+    def test_concurrent_and_sequential_transports_are_byte_identical(self):
+        reference = _single_reference()
+        results = {}
+        for concurrency in (False, True):
+            deployment = Encoder(_tag_map(), SEED).deploy_text(
+                XML, servers=3, threshold=2, sharing="shamir"
+            )
+            filters = [
+                ServerFilter(table, deployment.ring) for table in deployment.node_tables
+            ]
+            transport = ClusterTransport(filters, concurrency=concurrency)
+            _, client = _client(transport, deployment)
+            result = AdvancedQueryEngine(client).execute("//city")
+            transport.drain()
+            results[concurrency] = (
+                result.matches,
+                result.counters,
+                [stats.snapshot() for stats in transport.per_server_stats],
+            )
+        expected = AdvancedQueryEngine(reference).execute("//city")
+        assert results[True][0] == expected.matches
+        assert results[True] == results[False]
+
+    def test_partial_quorum_failure_escalates_in_one_batched_round(self):
+        """When the initial quorum partially fails, the spare candidates are
+        contacted in one scatter, not one call per server."""
+        deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
+        cluster, _ = _client(transport, deployment, read_quorum=2)
+        # both quorum targets fail transiently on the first scatter
+        transport.inject_faults(0, count=1)
+        transport.inject_faults(1, count=1)
+        values = cluster.evaluate_batch([1, 2], 5)
+        assert len(values) == 2
+        # one round against [0, 1], one batched escalation against [2, 3]
+        calls = [
+            stats.calls_by_method.get("evaluate_batch", 0)
+            for stats in transport.per_server_stats
+        ]
+        assert calls == [1, 1, 1, 1]
+        errors = [stats.errors for stats in transport.per_server_stats]
+        assert errors == [1, 1, 0, 0]
+
+    def test_escalation_still_fails_cleanly_below_threshold(self):
+        deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
+        cluster, _ = _client(transport, deployment, read_quorum=2)
+        for index in range(1, 4):
+            transport.set_down(index)
+        with pytest.raises(ClusterUnavailableError):
+            cluster.evaluate_batch([1, 2], 5)
+
+
+class TestHedgedReads:
+    def _jittered(self, latencies, **kwargs):
+        deployment = Encoder(_tag_map(), SEED).deploy_text(
+            XML, servers=len(latencies), threshold=2, sharing="shamir"
+        )
+        filters = [
+            ServerFilter(table, deployment.ring) for table in deployment.node_tables
+        ]
+        transport = ClusterTransport(filters, per_server_latency=latencies)
+        cluster = ClusterClient(transport, deployment.scheme, **kwargs)
+        return transport, cluster
+
+    def test_hedge_co_issues_the_fast_spare_and_cuts_the_tail(self):
+        latencies = [1.0, 10.0, 1.0]
+        transport, hedged = self._jittered(
+            latencies, read_quorum=2, verify_shares=False, hedge=True
+        )
+        values = hedged.evaluate_batch([1, 2, 3], 5)
+        makespan_hedged = transport.makespan()
+        # the spare (server 2) was co-issued in the same round
+        assert transport.stats_of(2).calls_by_method.get("evaluate_batch") == 1
+        assert makespan_hedged == pytest.approx(1.0)
+
+        transport2, plain = self._jittered(
+            latencies, read_quorum=2, verify_shares=False, hedge=False
+        )
+        values2 = plain.evaluate_batch([1, 2, 3], 5)
+        assert values == values2
+        assert transport2.stats_of(2).calls_by_method.get("evaluate_batch") is None
+        assert transport2.makespan() == pytest.approx(10.0)
+
+    def test_hedge_stays_idle_when_no_straggler(self):
+        transport, hedged = self._jittered(
+            [1.0, 1.0, 1.0], read_quorum=2, verify_shares=False, hedge=True
+        )
+        hedged.evaluate_batch([1, 2], 5)
+        transport.drain()
+        assert transport.stats_of(2).calls == 0
+
+    def test_hedge_ratio_validated(self):
+        deployment, transport = _deploy(servers=3, threshold=2, sharing="shamir")
+        with pytest.raises(ValueError):
+            ClusterClient(transport, deployment.scheme, hedge=0.5)
+        with pytest.raises(ValueError):
+            ClusterClient(transport, deployment.scheme, prefetch=-1)
+
+
+class TestPrefetchPipeline:
+    def test_prefetched_structural_rounds_overlap_share_reads(self):
+        reference = _single_reference()
+        results = {}
+        for prefetch in (0, 2):
+            deployment = Encoder(_tag_map(), SEED).deploy_text(
+                XML, servers=3, threshold=2, sharing="shamir"
+            )
+            filters = [
+                ServerFilter(table, deployment.ring) for table in deployment.node_tables
+            ]
+            transport = ClusterTransport(filters, per_call_latency=1.0)
+            _, client = _client(transport, deployment, prefetch=prefetch)
+            result = AdvancedQueryEngine(client).execute("//city")
+            transport.drain()
+            results[prefetch] = (
+                result.matches,
+                result.counters,
+                transport.makespan(),
+                [stats.calls for stats in transport.per_server_stats],
+            )
+        expected = AdvancedQueryEngine(reference).execute("//city")
+        assert results[0][0] == expected.matches
+        # identical traffic and results; only the modeled wall-clock drops
+        assert results[2][:2] == results[0][:2]
+        assert results[2][3] == results[0][3]
+        assert results[2][2] < results[0][2]
+
+
 class TestLeakageObserverUnmodified:
     def test_observer_sees_the_same_leakage_per_server(self):
         """Each cluster server observes the same (point, pres) trace shape
@@ -354,6 +500,48 @@ class TestFacadeClusterWiring:
             self._database(sharing="shamir", threshold=2, cluster=False)
         with pytest.raises(QueryConfigError):
             self._database(latency_jitter=0.5)
+        with pytest.raises(QueryConfigError):
+            self._database(hedge=True)
+        with pytest.raises(QueryConfigError):
+            self._database(prefetch=2)
+        with pytest.raises(QueryConfigError):
+            self._database(round_overhead=0.1)
+        with pytest.raises(QueryConfigError):
+            self._database(concurrency=False)
+
+    def test_concurrency_knob_changes_makespan_not_results(self):
+        concurrent = self._database(
+            servers=3, threshold=2, sharing="shamir", per_call_latency=1.0
+        )
+        sequential = self._database(
+            servers=3, threshold=2, sharing="shamir", per_call_latency=1.0,
+            concurrency=False,
+        )
+        expected = sequential.query("//city")
+        actual = concurrent.query("//city")
+        assert actual.matches == expected.matches
+        assert actual.counters == expected.counters
+        assert concurrent.transport_stats.calls == sequential.transport_stats.calls
+        assert concurrent.makespan < sequential.makespan
+        assert concurrent.transport_stats.makespan == pytest.approx(concurrent.makespan)
+
+    def test_makespan_property_on_single_server_is_the_latency_sum(self):
+        database = self._database(per_call_latency=0.5)
+        database.query("//city")
+        assert database.makespan == pytest.approx(
+            database.transport_stats.simulated_latency
+        )
+        assert database.makespan > 0
+
+    def test_hedge_and_prefetch_ride_the_facade(self):
+        database = self._database(
+            servers=3, threshold=2, sharing="shamir",
+            read_quorum=2, verify_shares=False, hedge=2.0, prefetch=2,
+        )
+        plain = self._database(servers=3, threshold=2, sharing="shamir")
+        assert database.query("//city").matches == plain.query("//city").matches
+        client = database.cluster_client
+        assert client._hedge_ratio == 2.0 and client._prefetch == 2
 
     def test_encoding_stats_cover_every_server(self):
         single = self._database()

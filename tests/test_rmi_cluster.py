@@ -1,6 +1,11 @@
 """Tests for the scatter-gather cluster transport and CallStats merging."""
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.rmi.cluster import (
     ClusterTransport,
@@ -98,6 +103,28 @@ class TestFaultInjection:
         with pytest.raises(RuntimeError):
             cluster.invoke(0, "fail")
         assert cluster.stats_of(0).errors == 1
+
+    def test_fault_budget_is_atomic_under_concurrent_invokes(self):
+        """The read-then-decrement of an injected-fault budget must never
+        hand the same budget slot to two racing invocations."""
+        attempts, budget = 64, 17
+        cluster = _cluster(n=1)
+        cluster.inject_faults(0, count=budget)
+
+        def hit(_):
+            try:
+                return cluster.invoke(0, "whoami")
+            except InjectedFaultError:
+                return "fault"
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(hit, range(attempts)))
+        assert outcomes.count("fault") == budget
+        assert outcomes.count(0) == attempts - budget
+        stats = cluster.stats_of(0)
+        assert stats.calls == attempts and stats.errors == budget
+        # the budget is spent: further invokes succeed
+        assert cluster.invoke(0, "whoami") == 0
 
 
 class TestLatencyJitter:
@@ -202,3 +229,231 @@ class TestCallStatsMerge:
         stats.reset()
         assert stats.bytes_by_method == {}
         assert stats.per_method() == {}
+
+    def test_record_is_atomic_under_concurrent_writers(self):
+        stats = CallStats()
+        per_thread, threads = 500, 8
+
+        def writer():
+            for _ in range(per_thread):
+                stats.record("evaluate", 3, 5, 0.5, error=True)
+
+        workers = [threading.Thread(target=writer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        total = per_thread * threads
+        assert stats.calls == total
+        assert stats.errors == total
+        assert stats.bytes_sent == 3 * total
+        assert stats.bytes_received == 5 * total
+        assert stats.calls_by_method == {"evaluate": total}
+        assert stats.simulated_latency == pytest.approx(0.5 * total)
+
+    def test_makespan_gauge_merged_snapshot_and_reset(self):
+        stats = CallStats(makespan=2.0)
+        stats.merge(CallStats(makespan=3.0))
+        assert stats.makespan == pytest.approx(5.0)
+        assert stats.snapshot()["makespan"] == pytest.approx(5.0)
+        stats.reset()
+        assert stats.makespan == 0.0
+
+
+def _arrival_order(latencies):
+    """Expected admission order: by (modeled latency, server index)."""
+    return sorted(range(len(latencies)), key=lambda index: (latencies[index], index))
+
+
+class TestInvokeQuorum:
+    """First-k quorum reads admit replies in deterministic modeled order."""
+
+    def _quorum_cluster(self, latencies, concurrency=True, **kwargs):
+        return ClusterTransport(
+            [_Echo(i) for i in range(len(latencies))],
+            per_server_latency=list(latencies),
+            concurrency=concurrency,
+            **kwargs,
+        )
+
+    def test_fast_k_returns_before_the_straggler(self):
+        cluster = self._quorum_cluster([3.0, 1.0, 2.0])
+        replies = cluster.invoke_quorum("whoami", k=2)
+        assert [(r.server, r.value) for r in replies] == [(1, 1), (2, 2)]
+        assert cluster.makespan() == pytest.approx(2.0)
+        # the straggler was still contacted; its stats land after the drain
+        cluster.drain()
+        assert [stats.calls for stats in cluster.per_server_stats] == [1, 1, 1]
+
+    def test_slow_primary_is_overtaken(self):
+        cluster = self._quorum_cluster([10.0, 1.0, 2.0])
+        replies = cluster.invoke_quorum("whoami", k=1)
+        assert [(r.server, r.value) for r in replies] == [(1, 1)]
+        assert cluster.makespan() == pytest.approx(1.0)
+
+    def test_kth_reply_is_an_error_continues_to_next_success(self):
+        cluster = self._quorum_cluster([1.0, 2.0, 3.0])
+        cluster.inject_faults(1)  # the modeled second arrival fails
+        replies = cluster.invoke_quorum("whoami", k=2)
+        assert [reply.server for reply in replies] == [0, 1, 2]
+        assert [reply.ok for reply in replies] == [True, False, True]
+        assert isinstance(replies[1].error, InjectedFaultError)
+        assert cluster.makespan() == pytest.approx(3.0)
+
+    def test_all_fail_admits_every_reply(self):
+        cluster = self._quorum_cluster([1.0, 2.0, 3.0])
+        for index in range(3):
+            cluster.set_down(index)
+        replies = cluster.invoke_quorum("whoami", k=2)
+        assert [reply.server for reply in replies] == [0, 1, 2]
+        assert not any(reply.ok for reply in replies)
+        assert all(isinstance(reply.error, ServerDownError) for reply in replies)
+
+    def test_quorum_size_validated(self):
+        cluster = self._quorum_cluster([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cluster.invoke_quorum("whoami", k=0)
+
+    def test_accounting_readers_drain_stragglers_implicitly(self):
+        """stats_of / per_server_stats settle in-flight straggler calls, so
+        public accounting never depends on thread timing."""
+        cluster = self._quorum_cluster([1.0, 2.0, 50.0])
+        cluster.invoke_quorum("whoami", k=2)
+        assert cluster.stats_of(2).calls == 1
+        assert [stats.calls for stats in cluster.per_server_stats] == [1, 1, 1]
+
+    def test_fault_mutation_drains_the_previous_rounds_stragglers(self):
+        """A fault injected between rounds must hit the *next* round's call,
+        never race the straggler of the round that already returned."""
+        cluster = self._quorum_cluster([1.0, 2.0, 50.0])
+        cluster.invoke_quorum("whoami", k=2)  # server 2 drains in background
+        cluster.inject_faults(2, count=1)
+        replies = cluster.invoke_quorum("whoami", k=3)
+        by_server = {reply.server: reply for reply in replies}
+        # the straggler of round 1 was a success; the new round's call to
+        # server 2 deterministically consumed the injected fault
+        assert isinstance(by_server[2].error, InjectedFaultError)
+        stats = cluster.stats_of(2)
+        assert stats.calls == 2 and stats.errors == 1
+
+    def test_close_releases_the_pool_and_stays_usable(self):
+        cluster = self._quorum_cluster([1.0, 2.0, 3.0])
+        assert cluster.invoke_quorum("whoami", k=1)[0].value == 0
+        assert cluster._executor is not None
+        cluster.close()
+        assert cluster._executor is None
+        # the pool comes back lazily; the transport keeps working
+        replies = cluster.invoke_all("whoami")
+        assert [reply.value for reply in replies] == [0, 1, 2]
+        cluster.close()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        latencies=st.lists(
+            st.floats(min_value=0.0, max_value=8.0), min_size=2, max_size=6, unique=True
+        ),
+        k=st.integers(min_value=1, max_value=6),
+        failures=st.sets(st.integers(min_value=0, max_value=5)),
+        data=st.data(),
+    )
+    def test_every_completion_order_matches_the_sequential_oracle(
+        self, latencies, k, failures, data
+    ):
+        """Drive all orderings with injected latencies/faults: the concurrent
+        gather must admit exactly the prefix the sequential path computes."""
+        n = len(latencies)
+        k = min(k, n)
+        failures = {index for index in failures if index < n}
+        down = data.draw(st.sets(st.sampled_from(range(n))), label="down")
+
+        def build(concurrency):
+            cluster = self._quorum_cluster(latencies, concurrency=concurrency)
+            for index in failures:
+                cluster.inject_faults(index)
+            for index in down:
+                cluster.set_down(index)
+            return cluster
+
+        concurrent, sequential = build(True), build(False)
+        observed = concurrent.invoke_quorum("whoami", k=k)
+        oracle = sequential.invoke_quorum("whoami", k=k)
+        as_tuples = lambda replies: [
+            (reply.server, reply.ok, reply.latency) for reply in replies
+        ]
+        assert as_tuples(observed) == as_tuples(oracle)
+        # the admitted sequence is the arrival-order prefix up to k successes
+        order = _arrival_order(latencies)
+        prefix = []
+        successes = 0
+        for index in order:
+            prefix.append(index)
+            if index not in failures and index not in down:
+                successes += 1
+                if successes >= k:
+                    break
+        assert [reply.server for reply in observed] == prefix
+        # every server was contacted in both modes, early return or not
+        concurrent.drain()
+        assert [stats.calls for stats in concurrent.per_server_stats] == [
+            stats.calls for stats in sequential.per_server_stats
+        ]
+
+
+class TestMakespanClock:
+    def test_concurrent_round_costs_the_critical_path(self):
+        concurrent = _cluster(per_call_latency=1.0, concurrency=True)
+        sequential = _cluster(per_call_latency=1.0, concurrency=False)
+        concurrent.invoke_all("whoami")
+        sequential.invoke_all("whoami")
+        assert concurrent.makespan() == pytest.approx(1.0)
+        assert sequential.makespan() == pytest.approx(3.0)
+        # per-server busy time is identical either way
+        assert sum(s.simulated_latency for s in concurrent.per_server_stats) == pytest.approx(
+            sum(s.simulated_latency for s in sequential.per_server_stats)
+        )
+
+    def test_single_invokes_accumulate_sequentially(self):
+        cluster = _cluster(per_call_latency=0.5)
+        cluster.invoke(0, "whoami")
+        cluster.invoke(1, "whoami")
+        assert cluster.makespan() == pytest.approx(1.0)
+
+    def test_overlap_rounds_share_their_start_time(self):
+        cluster = _cluster(per_call_latency=2.0, concurrency=True)
+        cluster.invoke_all("whoami")  # round ends at 2.0
+        cluster.invoke(0, "whoami", overlap=True)  # starts at 0.0, ends at 2.0
+        assert cluster.makespan() == pytest.approx(2.0)
+        cluster.invoke(1, "whoami")  # sequential again: 2.0 → 4.0
+        assert cluster.makespan() == pytest.approx(4.0)
+
+    def test_overlap_longer_than_its_peer_extends_the_clock(self):
+        cluster = ClusterTransport(
+            [_Echo(i) for i in range(2)], per_server_latency=[1.0, 5.0]
+        )
+        cluster.invoke(0, "whoami")  # clock 1.0
+        cluster.invoke(1, "whoami", overlap=True)  # starts at 0.0, ends 5.0
+        assert cluster.makespan() == pytest.approx(5.0)
+
+    def test_round_overhead_charged_per_round(self):
+        cluster = _cluster(per_call_latency=1.0, round_overhead=0.25)
+        cluster.invoke_all("whoami")
+        assert cluster.makespan() == pytest.approx(1.25)
+
+    def test_aggregate_stats_carries_the_cluster_makespan(self):
+        cluster = _cluster(per_call_latency=1.0, concurrency=True)
+        cluster.invoke_all("whoami")
+        merged = cluster.aggregate_stats()
+        assert merged.makespan == pytest.approx(1.0)
+        assert merged.simulated_latency == pytest.approx(3.0)
+
+    def test_reset_stats_zeroes_the_clock(self):
+        cluster = _cluster(per_call_latency=1.0)
+        cluster.invoke_all("whoami")
+        cluster.reset_stats()
+        assert cluster.makespan() == 0.0
+
+    def test_per_server_latency_validated(self):
+        with pytest.raises(ValueError):
+            ClusterTransport([_Echo(0)], per_server_latency=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            _cluster(round_overhead=-1.0)
