@@ -200,6 +200,77 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# server
+# ----------------------------------------------------------------------
+
+
+def cmd_server(args: argparse.Namespace) -> int:
+    """Serve one encoded share database over a real socket.
+
+    This is the daemon half of a :class:`~repro.rmi.server.SocketCluster`
+    deployment (and of the ``repro-server`` entry point): it loads the node
+    table written by ``encode`` / :meth:`Database.save`, rebuilds the ring
+    from ``--p``/``--e``, and answers the full ``ServerFilter`` protocol
+    over a length-prefixed framed socket until a ``__shutdown__`` request
+    (or Ctrl-C).  On startup it prints one READY line announcing the bound
+    port and its pid — the handshake a spawning parent waits for.
+    """
+    import sys as _sys
+    import threading as _threading
+
+    from repro.rmi.server import SocketServer, format_ready_line
+    from repro.rmi.socket import DEFAULT_MAX_FRAME_BYTES
+
+    database = Database.load(_require_file(args.db_path, "server database"))
+    if NODE_TABLE_NAME not in database:
+        raise CommandError("%s does not contain a node table" % args.db_path)
+    if args.p is not None and args.p < 2:
+        raise CommandError("--p must be a prime >= 2, got %d" % args.p)
+    try:
+        ring = QuotientRing(make_field(args.p, args.e))
+    except Exception as error:
+        raise CommandError("cannot build F_{%d^%d}: %s" % (args.p, args.e, error)) from error
+    table = database.table(NODE_TABLE_NAME)
+    server_filter = ServerFilter(table, ring)
+    server = SocketServer(
+        server_filter,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_path,
+        name=args.name or "repro-server",
+        max_frame_bytes=args.max_frame_bytes or DEFAULT_MAX_FRAME_BYTES,
+    )
+    if args.parent_watch:
+        # The spawning parent holds our stdin pipe: EOF means it is gone
+        # (crashed, SIGKILLed, or just exited), so shut down rather than
+        # linger as an orphan holding the port and the share table.  Read
+        # the raw fd — a daemon thread parked in the *buffered* stdin
+        # reader holds its lock and crashes interpreter shutdown
+        # ("could not acquire lock ... at interpreter shutdown").
+        stdin_fd = _sys.stdin.fileno()
+
+        def _watch_parent() -> None:
+            try:
+                while os.read(stdin_fd, 4096):
+                    pass
+            except OSError:  # pragma: no cover - stdin already closed
+                pass
+            server.close()
+
+        _threading.Thread(target=_watch_parent, daemon=True, name="parent-watch").start()
+    address = server.start()
+    print(format_ready_line(address, len(table)))
+    _sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
 # experiments
 # ----------------------------------------------------------------------
 

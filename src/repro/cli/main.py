@@ -90,6 +90,42 @@ def build_parser() -> argparse.ArgumentParser:
     query.set_defaults(handler=commands.cmd_query)
 
     # ------------------------------------------------------------------
+    # server
+    # ------------------------------------------------------------------
+    server = subparsers.add_parser(
+        "server",
+        help="serve an encoded share database over a TCP or Unix socket "
+        "(the repro-server daemon behind SocketCluster deployments)",
+    )
+    server.add_argument("--db", required=True, dest="db_path", help="server database (JSON)")
+    server.add_argument("--p", type=int, required=True, help="field characteristic of the encoding")
+    server.add_argument("--e", type=int, default=1, help="field extension degree")
+    server.add_argument("--host", default="127.0.0.1", help="TCP address to bind")
+    server.add_argument(
+        "--port", type=int, default=0, help="TCP port to bind (0 picks a free port)"
+    )
+    server.add_argument(
+        "--unix", default=None, dest="unix_path", help="serve on a Unix socket path instead of TCP"
+    )
+    server.add_argument(
+        "--name", default=None, help="server name announced by the __ping__ handshake"
+    )
+    server.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=None,
+        dest="max_frame_bytes",
+        help="per-frame payload ceiling (default 64 MiB; must match the client's)",
+    )
+    server.add_argument(
+        "--parent-watch",
+        action="store_true",
+        dest="parent_watch",
+        help="shut down when stdin reaches EOF (the spawning parent died)",
+    )
+    server.set_defaults(handler=commands.cmd_server)
+
+    # ------------------------------------------------------------------
     # experiments
     # ------------------------------------------------------------------
     experiments = subparsers.add_parser(
@@ -116,3 +152,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except commands.CommandError as error:
         print("error: %s" % error, file=sys.stderr)
         return 2
+
+
+def server_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-server`` console script.
+
+    Equivalent to ``python -m repro.cli server …`` — a shard daemon serving
+    one share database over a socket (see the ``server`` subcommand).
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["server"] + list(argv))

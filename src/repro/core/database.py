@@ -20,6 +20,7 @@ from repro.metrics.counters import EvaluationCounters
 from repro.prg.seed import SeedFile, generate_seed
 from repro.rmi.cluster import ClusterTransport
 from repro.rmi.proxy import Registry
+from repro.rmi.server import SocketCluster
 from repro.rmi.stats import CallStats
 from repro.rmi.transport import SimulatedTransport
 from repro.trie.transform import TrieTransformer
@@ -64,12 +65,18 @@ class EncryptedXMLDatabase:
         verify_shares: bool = True,
         hedge: Union[bool, float] = False,
         prefetch: int = 0,
+        socket_cluster: Optional["SocketCluster"] = None,
     ):
         self.encoded = encoded
         self.document = document
         self.counters = counters
         self.transport = transport
         self._trie_transformer = trie_transformer
+        #: the subprocess fleet behind a ``transport="socket"`` deployment
+        #: (``None`` for in-process transports); owned — :meth:`close`
+        #: shuts it down
+        self.socket_cluster = socket_cluster
+        self._closed = False
 
         backend = encoded.ring.kernel.name
         if isinstance(transport, ClusterTransport):
@@ -81,8 +88,14 @@ class EncryptedXMLDatabase:
                 raise QueryConfigError(
                     "a ClusterTransport needs a ClusterDeployment, got %r" % type(encoded).__name__
                 )
-            self.server_filters: List[ServerFilter] = list(transport.servers)
-            self.server_filter = self.server_filters[0]
+            if socket_cluster is not None:
+                # Socket deployment: the shards live in child processes, so
+                # there are no in-process ServerFilter objects to hand out.
+                self.server_filters: List[ServerFilter] = []
+                self.server_filter = None
+            else:
+                self.server_filters = list(transport.servers)
+                self.server_filter = self.server_filters[0]
             for stats in transport.per_server_stats:
                 stats.backend = backend
             self.cluster_client: Optional[ClusterClient] = ClusterClient(
@@ -151,6 +164,7 @@ class EncryptedXMLDatabase:
         hedge: Union[bool, float] = False,
         prefetch: int = 0,
         round_overhead: float = 0.0,
+        transport: str = "simulated",
     ) -> "EncryptedXMLDatabase":
         """Encode an in-memory document.
 
@@ -182,6 +196,16 @@ class EncryptedXMLDatabase:
         enable the latency-optimal read-path options of the
         :class:`~repro.filters.cluster.ClusterClient`: hedged straggler
         co-issue and structural prefetch overlapping in-flight share reads.
+
+        ``transport="socket"`` deploys the share servers as real child
+        processes, each serving its node table over a loopback TCP socket
+        (see :class:`~repro.rmi.server.SocketCluster`); every remote call
+        then crosses an actual wire and the stats record *measured*
+        latency and payload bytes.  The modeled-latency knobs
+        (``per_call_latency`` / ``per_byte_latency`` / ``latency_jitter``)
+        and ``hedge`` (whose trigger compares modeled latencies) do not
+        apply and are rejected.  Use the instance as a context manager —
+        or call :meth:`close` — to shut the server fleet down.
         """
         trie_transformer = None
         if use_trie:
@@ -205,24 +229,61 @@ class EncryptedXMLDatabase:
         seed = seed if seed is not None else generate_seed()
         encoder = Encoder(tag_map, seed, btree_order=btree_order, index_columns=index_columns)
 
+        if transport not in ("simulated", "socket"):
+            raise QueryConfigError(
+                "unknown transport %r; expected 'simulated' or 'socket'" % (transport,)
+            )
+        if transport == "socket":
+            if cluster is False:
+                raise QueryConfigError(
+                    "transport='socket' deploys a share cluster; it conflicts with cluster=False"
+                )
+            cluster = True
+            conflicts = []
+            if per_call_latency:
+                conflicts.append("per_call_latency=%r" % per_call_latency)
+            if per_byte_latency:
+                conflicts.append("per_byte_latency=%r" % per_byte_latency)
+            if latency_jitter:
+                conflicts.append("latency_jitter=%r" % latency_jitter)
+            if hedge is not False:
+                conflicts.append("hedge=%r" % hedge)
+            if conflicts:
+                raise QueryConfigError(
+                    "the socket transport measures latency instead of modelling it; "
+                    "it conflicts with %s" % ", ".join(conflicts)
+                )
         if cluster is None:
             cluster = servers > 1 or sharing != "additive" or threshold is not None
         counters = EvaluationCounters()
+        socket_cluster: Optional[SocketCluster] = None
         if cluster:
             deployment = encoder.deploy_document(
                 document, servers=servers, threshold=threshold, sharing=sharing
             )
-            server_filters = [
-                ServerFilter(table, deployment.ring) for table in deployment.node_tables
-            ]
-            transport: Union[SimulatedTransport, ClusterTransport] = ClusterTransport(
-                server_filters,
-                per_call_latency=per_call_latency,
-                per_byte_latency=per_byte_latency,
-                latency_jitter=latency_jitter,
-                concurrency=concurrency,
-                round_overhead=round_overhead,
-            )
+            if transport == "socket":
+                socket_cluster = SocketCluster.from_deployment(deployment)
+                try:
+                    transport_channel: Union[SimulatedTransport, ClusterTransport] = (
+                        socket_cluster.cluster_transport(
+                            concurrency=concurrency, round_overhead=round_overhead
+                        )
+                    )
+                except Exception:
+                    socket_cluster.shutdown()
+                    raise
+            else:
+                server_filters = [
+                    ServerFilter(table, deployment.ring) for table in deployment.node_tables
+                ]
+                transport_channel = ClusterTransport(
+                    server_filters,
+                    per_call_latency=per_call_latency,
+                    per_byte_latency=per_byte_latency,
+                    latency_jitter=latency_jitter,
+                    concurrency=concurrency,
+                    round_overhead=round_overhead,
+                )
             encoded: Union[EncodedDatabase, ClusterDeployment] = deployment
         else:
             # An explicit cluster=False must not silently discard cluster
@@ -251,24 +312,32 @@ class EncryptedXMLDatabase:
                     "a non-cluster deployment conflicts with %s" % ", ".join(conflicts)
                 )
             encoded = encoder.encode_document(document)
-            transport = SimulatedTransport(
+            transport_channel = SimulatedTransport(
                 per_call_latency=per_call_latency,
                 per_byte_latency=per_byte_latency,
                 stats=CallStats(),
             )
-        return cls(
-            encoded=encoded,
-            document=document if keep_plaintext else None,
-            use_rmi=use_rmi,
-            transport=transport,
-            counters=counters,
-            trie_transformer=trie_transformer,
-            batched=batched,
-            read_quorum=read_quorum,
-            verify_shares=verify_shares,
-            hedge=hedge,
-            prefetch=prefetch,
-        )
+        try:
+            return cls(
+                encoded=encoded,
+                document=document if keep_plaintext else None,
+                use_rmi=use_rmi,
+                transport=transport_channel,
+                counters=counters,
+                trie_transformer=trie_transformer,
+                batched=batched,
+                read_quorum=read_quorum,
+                verify_shares=verify_shares,
+                hedge=hedge,
+                prefetch=prefetch,
+                socket_cluster=socket_cluster,
+            )
+        except Exception:
+            # Never leak a spawned server fleet on a construction failure
+            # (e.g. an invalid read_quorum reaching the ClusterClient).
+            if socket_cluster is not None:
+                socket_cluster.shutdown()
+            raise
 
     @classmethod
     def from_text(cls, xml_text: str, **kwargs) -> "EncryptedXMLDatabase":
@@ -280,6 +349,36 @@ class EncryptedXMLDatabase:
         """Encode an XML file (see :meth:`from_document` for keyword options)."""
         with open(path, "r", encoding=encoding) as handle:
             return cls.from_text(handle.read(), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every transport resource this database owns.
+
+        Drains in-flight scatter calls and shuts down the thread pool and
+        pooled sockets (:meth:`~repro.rmi.cluster.ClusterTransport.close`),
+        then — for a ``transport="socket"`` deployment — stops the server
+        subprocess fleet and removes its on-disk tables.  Idempotent, and
+        wired into the context-manager ``__exit__``, so examples and CI
+        runs never leak thread pools, sockets or orphan server processes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.cluster_client is not None:
+            self.cluster_client.close()
+        elif isinstance(self.transport, ClusterTransport):
+            self.transport.close()
+        if self.socket_cluster is not None:
+            self.socket_cluster.shutdown()
+
+    def __enter__(self) -> "EncryptedXMLDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Queries

@@ -35,7 +35,12 @@ deployment.  Behind the surface it
 
 Only *connection-level* failures trigger fail-over; semantic errors (an
 unknown ``pre`` raises :class:`LookupError` on every replica alike)
-propagate unchanged, matching single-server behaviour.
+propagate unchanged, matching single-server behaviour.  This includes the
+real-wire failures of a socket deployment: a killed or unreachable server
+process surfaces as :class:`~repro.rmi.socket.ServerUnavailable` (a
+``ConnectionError``), so quorum completion and structural fail-over engage
+identically whether the outage is modeled (``set_down``) or an actual dead
+process.
 """
 
 from __future__ import annotations
@@ -440,6 +445,17 @@ class ClusterClient:
     def fetch_shares(self, pres: List[int]) -> List[List[int]]:
         """Alias of :meth:`fetch_shares_batch` (protocol compatibility)."""
         return self.fetch_shares_batch(pres)
+
+    def close(self) -> None:
+        """Release the transport's pooled resources (threads, sockets).
+
+        Idempotent — delegates to
+        :meth:`~repro.rmi.cluster.ClusterTransport.close`; the client stays
+        usable, resources are reacquired lazily on the next call.  The
+        facade's context-manager ``__exit__`` calls this so deployments
+        never leak scatter pools or server connections.
+        """
+        self.transport.close()
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return "ClusterClient(servers=%d, scheme=%s, quorum=%d)" % (

@@ -23,6 +23,16 @@ This package provides that boundary in-process:
   shipped back,
 * :class:`~repro.rmi.stats.CallStats` — the per-session accounting the
   benchmark harness reads out.
+
+And the same boundary over a *real* wire (``transport="socket"`` on the
+facade): :class:`~repro.rmi.socket.SocketTransport` speaks a length-prefixed
+framed protocol over TCP or Unix sockets — same codec, same
+``invoke``/``invoke_detailed`` surface, measured latency and bytes — against
+a :class:`~repro.rmi.server.SocketServer` daemon;
+:class:`~repro.rmi.server.ServerProcess` and
+:class:`~repro.rmi.server.SocketCluster` run one server (or a whole
+deployment) as child processes with health-check handshake, graceful
+shutdown and kill-based fault injection.
 """
 
 from repro.rmi.cluster import (
@@ -33,6 +43,16 @@ from repro.rmi.cluster import (
 )
 from repro.rmi.codec import Codec, CodecError
 from repro.rmi.proxy import Registry, RemoteProxy
+from repro.rmi.server import ServerProcess, SocketCluster, SocketServer
+from repro.rmi.socket import (
+    RemoteCallError,
+    ServerAddress,
+    ServerUnavailable,
+    SocketTransport,
+    SocketTransportError,
+    UnknownRemoteMethodError,
+    WireProtocolError,
+)
 from repro.rmi.stats import CallStats
 from repro.rmi.transport import CallOutcome, SimulatedTransport
 
@@ -48,4 +68,14 @@ __all__ = [
     "RemoteProxy",
     "Registry",
     "CallStats",
+    "ServerAddress",
+    "SocketTransport",
+    "SocketTransportError",
+    "ServerUnavailable",
+    "WireProtocolError",
+    "RemoteCallError",
+    "UnknownRemoteMethodError",
+    "SocketServer",
+    "ServerProcess",
+    "SocketCluster",
 ]

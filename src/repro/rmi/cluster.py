@@ -114,6 +114,7 @@ class ClusterTransport:
         max_workers: Optional[int] = None,
         round_overhead: float = 0.0,
         per_server_latency: Optional[Sequence[float]] = None,
+        transports: Optional[Sequence[Any]] = None,
     ):
         """``servers`` are the target objects (typically ``ServerFilter`` s).
 
@@ -129,6 +130,17 @@ class ClusterTransport:
         the sum of the per-server latencies instead of the critical path.
         ``round_overhead`` is added to the clock once per round, modelling
         the fixed cost of issuing a scatter.
+
+        ``transports`` supplies one pre-built per-server transport instead
+        of the internally constructed :class:`SimulatedTransport` s — this
+        is how a deployment runs over *real* connections: one
+        :class:`~repro.rmi.socket.SocketTransport` per server (``servers``
+        then holds the peer addresses, which socket transports ignore as
+        call targets).  Any object with the ``invoke_detailed`` /
+        ``stats`` / ``per_call_latency`` surface works.  The latency-model
+        parameters configure the internal transports only, so combining
+        them with ``transports`` is rejected: a measured transport's
+        latency cannot be modelled on top.
         """
         if not servers:
             raise ValueError("a cluster needs at least one server")
@@ -142,23 +154,36 @@ class ClusterTransport:
                 "per_server_latency has %d entries for %d servers"
                 % (len(per_server_latency), len(self.servers))
             )
-        rng = SplitMix64(jitter_seed)
-        self.transports: List[SimulatedTransport] = []
-        for index in range(len(self.servers)):
-            factor = 1.0 + latency_jitter * rng.next_float()
-            if per_server_latency is not None:
-                call_latency = per_server_latency[index]
-                byte_latency = per_byte_latency
-            else:
-                call_latency = per_call_latency * factor
-                byte_latency = per_byte_latency * factor
-            self.transports.append(
-                SimulatedTransport(
-                    per_call_latency=call_latency,
-                    per_byte_latency=byte_latency,
-                    codec=codec,
+        if transports is not None:
+            if len(transports) != len(self.servers):
+                raise ValueError(
+                    "got %d transports for %d servers" % (len(transports), len(self.servers))
                 )
-            )
+            if per_call_latency or per_byte_latency or latency_jitter or (
+                per_server_latency is not None
+            ):
+                raise ValueError(
+                    "latency-model parameters do not apply to supplied transports"
+                )
+            self.transports: List[Any] = list(transports)
+        else:
+            rng = SplitMix64(jitter_seed)
+            self.transports = []
+            for index in range(len(self.servers)):
+                factor = 1.0 + latency_jitter * rng.next_float()
+                if per_server_latency is not None:
+                    call_latency = per_server_latency[index]
+                    byte_latency = per_byte_latency
+                else:
+                    call_latency = per_call_latency * factor
+                    byte_latency = per_byte_latency * factor
+                self.transports.append(
+                    SimulatedTransport(
+                        per_call_latency=call_latency,
+                        per_byte_latency=byte_latency,
+                        codec=codec,
+                    )
+                )
         self.concurrency = bool(concurrency)
         self.round_overhead = round_overhead
         self._max_workers = max_workers
@@ -292,17 +317,26 @@ class ClusterTransport:
             future.exception()  # waits; outcome futures never raise
 
     def close(self) -> None:
-        """Drain in-flight calls and release the scatter thread pool.
+        """Drain in-flight calls, release the scatter pool and per-server
+        connection resources.
 
+        Idempotent: every step tolerates already-released state, so CI
+        teardown and the facade's ``__exit__`` can call it unconditionally.
         The transport stays usable — the pool is recreated lazily on the
-        next concurrent scatter — so this is safe to call between runs of a
-        long-lived deployment to return the idle worker threads.
+        next concurrent scatter, and a closed
+        :class:`~repro.rmi.socket.SocketTransport` simply dials afresh — so
+        this is also safe between runs of a long-lived deployment to return
+        idle worker threads and sockets.
         """
         self.drain()
         with self._lock:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        for transport in self.transports:
+            transport_close = getattr(transport, "close", None)
+            if transport_close is not None:
+                transport_close()
 
     # ------------------------------------------------------------------
     # Invocation

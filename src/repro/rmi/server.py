@@ -1,0 +1,772 @@
+"""Socket servers: host one ``ServerFilter`` shard behind a real socket.
+
+Three layers, each building on the previous:
+
+* :class:`SocketServer` — an in-process daemon: bind, accept, one thread
+  per connection, dispatch framed requests against a target object (any
+  object with public methods taking/returning codec-serialisable values —
+  in practice a :class:`~repro.filters.server.ServerFilter`).  Serves the
+  ``__ping__`` health-check handshake and a graceful ``__shutdown__``.
+* :class:`ServerProcess` — one server as a child *process*: spawns
+  ``python -m repro.cli server`` (the ``repro-server`` entry point) on a
+  saved database file, waits for the READY line announcing the bound port,
+  health-checks the handshake, and supports both graceful shutdown and a
+  hard :meth:`kill` (the fault-injection primitive: the process dies
+  mid-call exactly like a crashed host).
+* :class:`SocketCluster` — a whole deployment as subprocesses: writes each
+  server's share table from a :class:`~repro.encode.deploy.ClusterDeployment`
+  to disk, spawns ``n`` :class:`ServerProcess` es, health-checks them all,
+  and hands out the :class:`~repro.rmi.cluster.ClusterTransport` that makes
+  the existing :class:`~repro.filters.cluster.ClusterClient` run over real
+  processes unmodified.
+
+Dispatch discipline: only *public* methods of the target are reachable —
+a request naming an underscore-prefixed or unknown attribute is answered
+with a typed :class:`~repro.rmi.socket.UnknownRemoteMethodError`, never
+executed.  Malformed or oversized request frames are answered with a
+:class:`~repro.rmi.socket.WireProtocolError` description and the
+connection is closed (framing sync is lost after a bad frame).  All
+shutdown paths are idempotent.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.rmi.codec import Codec, CodecError
+from repro.rmi.socket import (
+    DEFAULT_MAX_FRAME_BYTES,
+    DEFAULT_TIMEOUT,
+    PING_METHOD,
+    SHUTDOWN_METHOD,
+    STATUS_ERROR,
+    STATUS_OK,
+    ServerAddress,
+    ServerUnavailable,
+    SocketTransport,
+    UnknownRemoteMethodError,
+    WireProtocolError,
+    encode_exception,
+    recv_frame,
+    send_frame,
+)
+
+#: stdout line a spawned server prints once it accepts connections;
+#: the parent parses ``port=``/``pid=`` from it (the handshake's first half)
+READY_PREFIX = "REPRO-SERVER READY"
+
+#: protocol revision announced by the ``__ping__`` handshake
+PROTOCOL_VERSION = 1
+
+
+class SocketServer:
+    """Hosts one target object behind a TCP or Unix-domain socket."""
+
+    def __init__(
+        self,
+        target: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        codec: Optional[Codec] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        name: str = "repro-server",
+    ):
+        self.target = target
+        self.codec = codec or Codec()
+        self.max_frame_bytes = max_frame_bytes
+        self.name = name
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._listener: Optional[socket.socket] = None
+        self._address: Optional[ServerAddress] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._shutdown = threading.Event()
+        self._lock = threading.Lock()
+        self._connections: List[socket.socket] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> ServerAddress:
+        """Where the server listens (only valid after :meth:`start`)."""
+        if self._address is None:
+            raise RuntimeError("server has not been started")
+        return self._address
+
+    def start(self) -> ServerAddress:
+        """Bind, listen and start accepting in a background thread."""
+        if self._listener is not None:
+            return self.address
+        if self._shutdown.is_set():
+            raise RuntimeError("server was already shut down")
+        if self._unix_path is not None:
+            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+                raise RuntimeError("unix sockets are not supported on this platform")
+            _unlink_stale_unix_socket(self._unix_path)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                listener.bind(self._unix_path)
+                listener.listen(16)
+            except OSError:
+                listener.close()
+                raise
+            self._address = ServerAddress(path=self._unix_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            try:
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                listener.bind((self._host, self._port))
+                listener.listen(16)
+            except OSError:
+                listener.close()
+                raise
+            bound_host, bound_port = listener.getsockname()[:2]
+            self._address = ServerAddress(host=bound_host, port=bound_port)
+        # A blocked accept() is not reliably unblocked by close() from
+        # another thread; a short timeout makes the loop re-check shutdown.
+        listener.settimeout(0.5)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="%s-accept" % self.name, daemon=True
+        )
+        self._accept_thread.start()
+        return self._address
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`close` or ``__shutdown__``.
+
+        A ``__shutdown__`` that lands between :meth:`start` and this call
+        (the daemon prints its READY line in that window) is a normal
+        outcome, not an error: the wait returns immediately.
+        """
+        if self._listener is None and not self._shutdown.is_set():
+            self.start()
+        self._shutdown.wait()
+        self.close()
+
+    def close(self) -> None:
+        """Stop accepting, drop every connection, join the threads.
+
+        Idempotent: closing a closed (or never-started) server is a no-op,
+        so CI teardown paths can call it unconditionally.
+        """
+        self._shutdown.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover
+                pass
+            if self._unix_path is not None:
+                # AF_UNIX paths are not reclaimed by the OS (SO_REUSEADDR
+                # does not apply); leaving the file would make the next
+                # bind on this path fail.
+                try:
+                    os.unlink(self._unix_path)
+                except OSError:
+                    pass
+        with self._lock:
+            connections, self._connections = self._connections, []
+        for sock in connections:
+            _shutdown_quietly(sock)
+        thread, self._accept_thread = self._accept_thread, None
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "SocketServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Accept / connection loops
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._shutdown.is_set() and listener is not None:
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue  # periodic shutdown re-check
+            except OSError:
+                break  # listener closed: shutting down
+            conn.settimeout(None)
+            with self._lock:
+                if self._shutdown.is_set():
+                    _shutdown_quietly(conn)
+                    break
+                self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._connection_loop, args=(conn,),
+                name="%s-conn" % self.name, daemon=True,
+            )
+            thread.start()
+
+    def _connection_loop(self, conn: socket.socket) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    frame = recv_frame(conn, self.max_frame_bytes, eof_ok=True)
+                except WireProtocolError as exc:
+                    # Oversized or truncated request: answer typed, then drop
+                    # the connection — framing sync is unrecoverable.
+                    self._send_error(conn, exc)
+                    break
+                except OSError:
+                    break
+                if frame is None:
+                    break  # clean EOF between frames
+                response, stop_after = self._handle(frame)
+                try:
+                    send_frame(conn, response, self.max_frame_bytes)
+                except WireProtocolError as exc:
+                    # The encoded result exceeds the frame limit.  Nothing
+                    # was written (the size check precedes the send), so
+                    # framing is intact: answer typed and keep serving.
+                    self._send_error(conn, exc)
+                    continue
+                except OSError:
+                    break
+                if stop_after:
+                    self.close()
+                    break
+        finally:
+            _shutdown_quietly(conn)
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+
+    def _send_error(self, conn: socket.socket, error: BaseException) -> None:
+        try:
+            # The error description must go out even when the configured
+            # frame limit is tiny (it is what rejected the request).
+            send_frame(
+                conn,
+                STATUS_ERROR + self.codec.encode(encode_exception(error)),
+                max(self.max_frame_bytes, 4096),
+            )
+        except OSError:  # pragma: no cover - peer already gone
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _handle(self, frame: bytes) -> "tuple[bytes, bool]":
+        """Decode one request, run it, encode one response frame payload."""
+        try:
+            request = self.codec.decode(frame)
+        except CodecError as exc:
+            return self._error_payload(WireProtocolError("malformed request: %s" % exc)), False
+        if not isinstance(request, dict) or not isinstance(request.get("method"), str):
+            return (
+                self._error_payload(
+                    WireProtocolError("request must be a {method, args, kwargs} dictionary")
+                ),
+                False,
+            )
+        method = request["method"]
+        args = request.get("args") or []
+        kwargs = request.get("kwargs") or {}
+        if method == PING_METHOD:
+            return STATUS_OK + self.codec.encode(self._identity()), False
+        if method == SHUTDOWN_METHOD:
+            return STATUS_OK + self.codec.encode(True), True
+        if method.startswith("_"):
+            return (
+                self._error_payload(
+                    UnknownRemoteMethodError("method %r is not exported" % method)
+                ),
+                False,
+            )
+        handler = getattr(self.target, method, None)
+        if not callable(handler):
+            return (
+                self._error_payload(
+                    UnknownRemoteMethodError(
+                        "%s exports no method %r" % (type(self.target).__name__, method)
+                    )
+                ),
+                False,
+            )
+        try:
+            result = handler(*args, **kwargs)
+        except Exception as exc:
+            return self._error_payload(exc), False
+        try:
+            return STATUS_OK + self.codec.encode(result), False
+        except CodecError as exc:
+            return self._error_payload(exc), False
+
+    def _error_payload(self, error: BaseException) -> bytes:
+        return STATUS_ERROR + self.codec.encode(encode_exception(error))
+
+    def _identity(self) -> Dict[str, Any]:
+        """The ``__ping__`` reply: who is serving, over which protocol."""
+        return {
+            "server": self.name,
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "target": type(self.target).__name__,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        where = str(self._address) if self._address is not None else "unbound"
+        return "SocketServer(%s, %s)" % (type(self.target).__name__, where)
+
+
+def _unlink_stale_unix_socket(path: str) -> None:
+    """Remove a leftover socket file only if no server is answering on it.
+
+    A crashed server (close() never ran) leaves its path behind; binding
+    would fail even though nothing is listening.  A *live* server's path is
+    left alone — the bind then fails loudly instead of hijacking it.
+    """
+    if not os.path.exists(path):
+        return
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(0.5)
+        probe.connect(path)
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - raced with another unlink
+            pass
+    else:
+        pass  # someone is serving: let bind() report the conflict
+    finally:
+        probe.close()
+
+
+def _shutdown_quietly(sock: socket.socket) -> None:
+    """Unblock any thread parked in ``recv`` on ``sock``, then close it."""
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+# ----------------------------------------------------------------------
+# Subprocess server
+# ----------------------------------------------------------------------
+
+
+def format_ready_line(address: ServerAddress, nodes: int) -> str:
+    """The line a spawned server prints once it accepts connections."""
+    if address.is_unix:
+        return "%s unix=%s pid=%d nodes=%d" % (READY_PREFIX, address.path, os.getpid(), nodes)
+    return "%s port=%d pid=%d nodes=%d" % (READY_PREFIX, address.port, os.getpid(), nodes)
+
+
+def _parse_ready_line(line: str) -> Dict[str, str]:
+    fields = {}
+    for token in line[len(READY_PREFIX):].split():
+        if "=" in token:
+            key, value = token.split("=", 1)
+            fields[key] = value
+    return fields
+
+
+class ServerProcess:
+    """One share server running as a child process of this interpreter.
+
+    The child runs ``python -m repro.cli server`` against a database file
+    written with :meth:`repro.storage.database.Database.save`; the parent
+    parses the READY line for the bound port, then completes the handshake
+    with a ``__ping__`` over the wire.  ``kill()`` is the fault-injection
+    primitive — SIGKILL, no goodbye, exactly a crashed host — while
+    :meth:`shutdown` asks the server to stop via ``__shutdown__`` before
+    escalating.  Both are idempotent.
+    """
+
+    def __init__(
+        self,
+        database_path: str,
+        p: int,
+        e: int = 1,
+        host: str = "127.0.0.1",
+        python: Optional[str] = None,
+        startup_timeout: float = 30.0,
+        name: Optional[str] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self.database_path = database_path
+        self.p = p
+        self.e = e
+        self.host = host
+        self.python = python or sys.executable
+        self.startup_timeout = startup_timeout
+        self.name = name or os.path.basename(database_path)
+        self.max_frame_bytes = max_frame_bytes
+        self.process: Optional[subprocess.Popen] = None
+        self.address: Optional[ServerAddress] = None
+        self.pid: Optional[int] = None
+
+    def launch(self) -> None:
+        """Spawn the child without waiting for it (see :meth:`await_ready`).
+
+        The child is started with a piped stdin and ``--parent-watch``: it
+        reads that pipe and shuts itself down on EOF, so even a SIGKILLed
+        or crashed parent (whose pipe ends close with it) cannot leave an
+        orphan server holding its port and share table.
+        """
+        if self.process is not None:
+            raise RuntimeError("server process %s already started" % self.name)
+        command = [
+            self.python, "-m", "repro.cli", "server",
+            "--db", self.database_path,
+            "--p", str(self.p), "--e", str(self.e),
+            "--host", self.host, "--port", "0",
+            "--max-frame-bytes", str(self.max_frame_bytes),
+            "--parent-watch",
+        ]
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root if not existing else src_root + os.pathsep + existing
+        self.process = subprocess.Popen(
+            command, stdout=subprocess.PIPE, stdin=subprocess.PIPE, env=env
+        )
+
+    def await_ready(self) -> ServerAddress:
+        """Wait for the READY line (bounded); kill the child on any failure."""
+        if self.process is None:
+            raise RuntimeError("server process %s was never launched" % self.name)
+        try:
+            line = self._await_ready_line()
+            fields = _parse_ready_line(line)
+            if "unix" in fields:
+                self.address = ServerAddress(path=fields["unix"])
+            elif "port" in fields:
+                self.address = ServerAddress(host=self.host, port=int(fields["port"]))
+            else:
+                raise ServerUnavailable(
+                    "server %s printed a malformed READY line: %r" % (self.name, line)
+                )
+            self.pid = int(fields.get("pid", self.process.pid))
+        except Exception:
+            # Never leave a half-started child running (and bound to a
+            # port) behind a failed handshake.
+            self.kill()
+            raise
+        return self.address
+
+    def start(self) -> ServerAddress:
+        """Spawn the child and wait for its READY line (bounded)."""
+        self.launch()
+        return self.await_ready()
+
+    def _await_ready_line(self) -> str:
+        """Read child stdout until the READY line, the deadline, or death.
+
+        Reads the raw pipe fd directly (``os.read`` after ``select``) —
+        mixing ``select`` with a buffered file object would lose lines that
+        are already sitting in the Python-level buffer, stalling the wait
+        even though the READY line has arrived.
+        """
+        assert self.process is not None and self.process.stdout is not None
+        deadline = time.monotonic() + self.startup_timeout
+        fd = self.process.stdout.fileno()
+        buffered = b""
+        while True:
+            while b"\n" in buffered:
+                line, buffered = buffered.split(b"\n", 1)
+                text = line.decode("utf-8", "replace").strip()
+                if text.startswith(READY_PREFIX):
+                    return text
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServerUnavailable(
+                    "server %s did not become ready within %.1fs"
+                    % (self.name, self.startup_timeout)
+                )
+            ready, _, _ = select.select([fd], [], [], min(remaining, 0.5))
+            if not ready:
+                if self.process.poll() is not None:
+                    raise ServerUnavailable(
+                        "server %s exited with code %s before becoming ready"
+                        % (self.name, self.process.returncode)
+                    )
+                continue
+            chunk = os.read(fd, 4096)
+            if not chunk:
+                raise ServerUnavailable(
+                    "server %s closed stdout (exit code %s) before becoming ready"
+                    % (self.name, self.process.poll())
+                )
+            buffered += chunk
+
+    # ------------------------------------------------------------------
+    # Introspection and control
+    # ------------------------------------------------------------------
+
+    def transport(self, **kwargs: Any) -> SocketTransport:
+        """A fresh client transport pointed at this server."""
+        if self.address is None:
+            raise RuntimeError("server process %s is not running" % self.name)
+        return SocketTransport(self.address, **kwargs)
+
+    def ping(self, timeout: float = 5.0) -> Dict[str, Any]:
+        """The health-check handshake (raises :class:`ServerUnavailable`)."""
+        transport = self.transport(timeout=timeout)
+        try:
+            return transport.ping()
+        finally:
+            transport.close()
+
+    def is_alive(self) -> bool:
+        """Whether the child process is still running."""
+        return self.process is not None and self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL the child — the fault-injection primitive (idempotent)."""
+        process = self.process
+        if process is None:
+            return
+        if process.poll() is None:
+            process.kill()
+        process.wait()
+        self._release_pipes()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Graceful stop: ``__shutdown__`` over the wire, then escalate.
+
+        Idempotent; safe to call on a server that was already killed.
+        """
+        process = self.process
+        if process is None:
+            return
+        if process.poll() is None and self.address is not None:
+            transport = SocketTransport(self.address, timeout=timeout, connect_retries=1)
+            try:
+                transport.invoke(None, SHUTDOWN_METHOD)
+            except (ConnectionError, RuntimeError):
+                pass
+            finally:
+                transport.close()
+            try:
+                process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                pass
+        if process.poll() is None:
+            process.terminate()
+            try:
+                process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        self._release_pipes()
+
+    def _release_pipes(self) -> None:
+        process = self.process
+        if process is None:
+            return
+        for pipe in (process.stdout, process.stdin):
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except OSError:  # pragma: no cover - broken pipe on close
+                    pass
+
+    def __enter__(self) -> "ServerProcess":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "ServerProcess(%s, %s, alive=%s)" % (
+            self.name, self.address, self.is_alive()
+        )
+
+
+# ----------------------------------------------------------------------
+# Cluster launcher
+# ----------------------------------------------------------------------
+
+
+class SocketCluster:
+    """An n-server share deployment running as real subprocesses.
+
+    Created via :meth:`from_deployment`: each server's node table is saved
+    to ``directory`` and served by one :class:`ServerProcess`; every server
+    is health-checked before the constructor returns (and every already-
+    spawned server is torn down if any of them fails to come up).  One
+    :class:`SocketTransport` per server — each with its own
+    :class:`~repro.rmi.stats.CallStats` — feeds
+    :meth:`cluster_transport`, which the existing cluster client stack
+    consumes unchanged.
+
+    :meth:`kill_server` maps the transport layer's down/fault semantics
+    onto real processes: the victim dies mid-call with SIGKILL and every
+    subsequent call to it surfaces as a recorded
+    :class:`~repro.rmi.socket.ServerUnavailable` (a ``ConnectionError``,
+    so quorum completion and fail-over engage exactly as for a simulated
+    down server).  :meth:`shutdown` is idempotent and reclaims everything:
+    client connections, server processes, and the on-disk tables when the
+    cluster owns its directory.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[ServerProcess],
+        transports: Sequence[SocketTransport],
+        directory: Optional[str] = None,
+        owns_directory: bool = False,
+    ):
+        if len(processes) != len(transports):
+            raise ValueError(
+                "%d processes but %d transports" % (len(processes), len(transports))
+            )
+        self.processes = list(processes)
+        self.transports = list(transports)
+        self.directory = directory
+        self._owns_directory = owns_directory
+        self._closed = False
+
+    @classmethod
+    def from_deployment(
+        cls,
+        deployment: Any,
+        directory: Optional[str] = None,
+        startup_timeout: float = 30.0,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> "SocketCluster":
+        """Launch one subprocess server per share table of ``deployment``."""
+        owns_directory = directory is None
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-socket-cluster-")
+        field = deployment.ring.field
+        processes: List[ServerProcess] = []
+        transports: List[SocketTransport] = []
+        try:
+            # Launch every child first (Popen does not block), then await
+            # the READY lines: fleet startup costs the slowest child's boot
+            # instead of the sum over all n.
+            for index, database in enumerate(deployment.databases):
+                path = os.path.join(directory, "server-%d.json" % index)
+                database.save(path)
+                process = ServerProcess(
+                    path,
+                    p=field.characteristic,
+                    e=field.degree,
+                    startup_timeout=startup_timeout,
+                    name="server-%d" % index,
+                    max_frame_bytes=max_frame_bytes,
+                )
+                processes.append(process)
+                process.launch()
+            for process in processes:
+                process.await_ready()
+                process.ping(timeout=timeout)
+                # Two dial attempts, not the lone-transport default of four:
+                # the cluster has quorum completion and fail-over for dead
+                # peers, so burning backoff per call on a crashed server
+                # would only stretch every round's tail.
+                transports.append(
+                    process.transport(
+                        timeout=timeout,
+                        max_frame_bytes=max_frame_bytes,
+                        connect_retries=2,
+                    )
+                )
+        except Exception:
+            for process in processes:
+                process.kill()
+            if owns_directory:
+                shutil.rmtree(directory, ignore_errors=True)
+            raise
+        return cls(processes, transports, directory=directory, owns_directory=owns_directory)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        """Number of server processes in the cluster."""
+        return len(self.processes)
+
+    @property
+    def addresses(self) -> List[ServerAddress]:
+        """Every server's listen address, in server order."""
+        return [transport.address for transport in self.transports]
+
+    def cluster_transport(
+        self,
+        concurrency: bool = True,
+        max_workers: Optional[int] = None,
+        round_overhead: float = 0.0,
+    ) -> "ClusterTransport":
+        """The scatter-gather transport over this cluster's socket peers."""
+        from repro.rmi.cluster import ClusterTransport
+
+        return ClusterTransport(
+            servers=self.addresses,
+            transports=self.transports,
+            concurrency=concurrency,
+            max_workers=max_workers,
+            round_overhead=round_overhead,
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection and teardown
+    # ------------------------------------------------------------------
+
+    def kill_server(self, index: int) -> None:
+        """SIGKILL one server — real, wire-level fault injection."""
+        if not 0 <= index < len(self.processes):
+            raise IndexError(
+                "server index %d out of range for %d servers" % (index, len(self.processes))
+            )
+        self.processes[index].kill()
+        # Pooled connections to the dead peer would only fail one call
+        # later; drop them now so the very next call sees the crash.
+        self.transports[index].close()
+
+    def shutdown(self) -> None:
+        """Tear everything down (idempotent): connections, processes, files."""
+        if self._closed:
+            return
+        self._closed = True
+        for transport in self.transports:
+            transport.close()
+        for process in self.processes:
+            process.shutdown()
+        if self._owns_directory and self.directory is not None:
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    close = shutdown
+
+    def __enter__(self) -> "SocketCluster":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        alive = sum(1 for process in self.processes if process.is_alive())
+        return "SocketCluster(servers=%d, alive=%d)" % (len(self.processes), alive)

@@ -1,0 +1,565 @@
+"""Real socket transport: the RMI boundary over TCP or Unix-domain sockets.
+
+Everything above this module — :class:`~repro.rmi.cluster.ClusterTransport`,
+the :class:`~repro.filters.cluster.ClusterClient`, both query engines and
+the leakage observer — talks to a server through the
+:class:`~repro.rmi.transport.SimulatedTransport` surface (``invoke`` /
+``invoke_detailed`` returning a :class:`~repro.rmi.transport.CallOutcome`).
+:class:`SocketTransport` implements exactly that surface over a real wire,
+so a deployment genuinely spans processes and hosts while the rest of the
+stack runs unmodified.
+
+Wire format
+-----------
+
+One call is one *frame* in each direction.  A frame is a 4-byte big-endian
+length prefix followed by that many payload bytes; payloads are produced by
+the existing :class:`~repro.rmi.codec.Codec`, which already enforces that
+only serialisable values cross the boundary.
+
+* request payload — ``codec.encode({"method", "args", "kwargs"})``, byte
+  for byte the request the simulated transport encodes, so per-server
+  ``bytes_sent`` counters are identical between the two transports,
+* response payload — one status byte (``+`` success, ``-`` failure)
+  followed by ``codec.encode(result)`` on success (again byte-identical
+  with the simulated response payload) or
+  ``codec.encode({"type", "message"})`` describing the server-side
+  exception on failure.  Failed calls record zero response bytes, exactly
+  like :meth:`SimulatedTransport.invoke_detailed`.
+
+Frames larger than ``max_frame_bytes`` are rejected *before* the body is
+read — an oversized (or garbage) length prefix must not make the peer
+allocate gigabytes or stall mid-stream.
+
+Error taxonomy
+--------------
+
+All transport-level failures are :class:`ConnectionError` subclasses, which
+is precisely the class the cluster fail-over path catches:
+
+* :class:`ServerUnavailable` — could not connect (even after the reconnect
+  backoff), the per-call timeout expired, or the server died mid-call,
+* :class:`WireProtocolError` — the peer spoke garbage: malformed frame,
+  truncated payload, oversized message, undecodable response.
+
+Server-side exceptions travel back *typed*: well-known builtins
+(``LookupError``, ``ValueError``, …) and :class:`~repro.rmi.codec.CodecError`
+are reconstructed as themselves — a cluster replica raising ``LookupError``
+for an unknown ``pre`` behaves identically over the wire and in-process —
+while unknown types degrade to :class:`RemoteCallError`.  A call naming a
+method the server does not export raises :class:`UnknownRemoteMethodError`.
+Every failed call is recorded in :class:`~repro.rmi.stats.CallStats` with
+``error=True``; no failure mode hangs the caller (reads are bounded by the
+per-call timeout).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.rmi.codec import Codec, CodecError
+from repro.rmi.stats import CallStats
+from repro.rmi.transport import CallOutcome
+
+#: size of the big-endian length prefix in front of every frame
+FRAME_HEADER_BYTES = 4
+
+#: default ceiling on a single frame's payload (requests *and* responses)
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: default per-call timeout (connect, send and the full response read)
+DEFAULT_TIMEOUT = 30.0
+
+#: response status bytes
+STATUS_OK = b"+"
+STATUS_ERROR = b"-"
+
+#: health-check handshake method served by every socket server
+PING_METHOD = "__ping__"
+
+#: graceful-shutdown method served by every socket server
+SHUTDOWN_METHOD = "__shutdown__"
+
+
+class SocketTransportError(ConnectionError):
+    """Base class of socket-transport failures (a :class:`ConnectionError`,
+    so the cluster fail-over path treats them like any unreachable server)."""
+
+
+class ServerUnavailable(SocketTransportError):
+    """The server could not be reached, timed out, or died mid-call."""
+
+
+class WireProtocolError(SocketTransportError):
+    """The peer violated the framing protocol (malformed, truncated or
+    oversized frame, undecodable payload, unknown status byte)."""
+
+
+class RemoteCallError(RuntimeError):
+    """A server-side exception of a type the wire cannot reconstruct."""
+
+
+class UnknownRemoteMethodError(RemoteCallError):
+    """The server does not export the requested method."""
+
+
+#: exception types reconstructed as themselves when they cross the wire.
+#: The filter protocol's semantic errors must survive the hop typed —
+#: the cluster client re-raises a ``LookupError`` (unknown ``pre``) instead
+#: of failing over, exactly as it does in-process.
+_WIRE_EXCEPTION_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        ArithmeticError,
+        IndexError,
+        KeyError,
+        LookupError,
+        NotImplementedError,
+        OverflowError,
+        RuntimeError,
+        TypeError,
+        ValueError,
+        ZeroDivisionError,
+        CodecError,
+        RemoteCallError,
+        UnknownRemoteMethodError,
+        WireProtocolError,
+    )
+}
+
+
+def encode_exception(error: BaseException) -> Dict[str, str]:
+    """The serialisable description of a server-side exception."""
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+def decode_exception(payload: Any) -> BaseException:
+    """Rebuild a typed exception from :func:`encode_exception` output."""
+    if not isinstance(payload, dict) or not isinstance(payload.get("type"), str):
+        return WireProtocolError("malformed error payload: %r" % (payload,))
+    name = payload["type"]
+    message = payload.get("message", "")
+    cls = _WIRE_EXCEPTION_TYPES.get(name)
+    if cls is not None:
+        return cls(message)
+    return RemoteCallError("%s: %s" % (name, message))
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: bytes, max_frame_bytes: int) -> None:
+    """Write one length-prefixed frame."""
+    if len(payload) > max_frame_bytes:
+        raise WireProtocolError(
+            "frame of %d bytes exceeds the %d-byte limit" % (len(payload), max_frame_bytes)
+        )
+    sock.sendall(len(payload).to_bytes(FRAME_HEADER_BYTES, "big") + payload)
+
+
+def _apply_deadline(sock: socket.socket, deadline: Optional[float]) -> None:
+    """Arm the socket with the time remaining until ``deadline`` (if any)."""
+    if deadline is None:
+        return
+    budget = deadline - time.monotonic()
+    if budget <= 0:
+        raise socket.timeout("frame read deadline exceeded")
+    sock.settimeout(budget)
+
+
+def _recv_exactly(
+    sock: socket.socket, count: int, context: str, deadline: Optional[float] = None
+) -> bytes:
+    """Read exactly ``count`` bytes; EOF mid-read is a truncated frame.
+
+    ``deadline`` (a ``time.monotonic`` instant) bounds the *whole* read:
+    without it, each ``recv`` would get a fresh per-socket timeout and a
+    byte-trickling peer could hold the caller far past the promised bound.
+    """
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        _apply_deadline(sock, deadline)
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise WireProtocolError(
+                "connection closed with %d of %d %s bytes outstanding"
+                % (remaining, count, context)
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    sock: socket.socket,
+    max_frame_bytes: int,
+    eof_ok: bool = False,
+    deadline: Optional[float] = None,
+) -> Optional[bytes]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    A peer closing *between* frames is a normal end of session (the server's
+    connection loop relies on it); closing mid-frame, or announcing a body
+    larger than ``max_frame_bytes``, is a :class:`WireProtocolError` —
+    before any oversized body is read, let alone buffered.  ``deadline``
+    bounds the whole frame read (the client passes one per call; the
+    server blocks, relying on connection shutdown to unblock it).
+    """
+    _apply_deadline(sock, deadline)
+    first = sock.recv(1)
+    if not first:
+        if eof_ok:
+            return None
+        raise ServerUnavailable("connection closed before a response frame arrived")
+    header = first + _recv_exactly(sock, FRAME_HEADER_BYTES - 1, "frame header", deadline)
+    size = int.from_bytes(header, "big")
+    if size > max_frame_bytes:
+        raise WireProtocolError(
+            "peer announced a %d-byte frame (limit %d)" % (size, max_frame_bytes)
+        )
+    return _recv_exactly(sock, size, "frame body", deadline)
+
+
+# ----------------------------------------------------------------------
+# Addressing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServerAddress:
+    """Where a socket server listens: TCP ``host:port`` or a Unix path."""
+
+    host: Optional[str] = None
+    port: Optional[int] = None
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.path is None and (self.host is None or self.port is None):
+            raise ValueError("address needs host+port or a unix socket path")
+
+    @property
+    def is_unix(self) -> bool:
+        """Whether this is a Unix-domain socket address."""
+        return self.path is not None
+
+    def create_connection(self, timeout: float) -> socket.socket:
+        """Dial the address (one attempt; retries live in the transport)."""
+        if self.is_unix:
+            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+                raise ServerUnavailable("unix sockets are not supported on this platform")
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.settimeout(timeout)
+                sock.connect(self.path)
+            except OSError:
+                sock.close()
+                raise
+            return sock
+        sock = socket.create_connection((self.host, self.port), timeout=timeout)
+        sock.settimeout(timeout)
+        return sock
+
+    @classmethod
+    def coerce(cls, value: "AddressLike") -> "ServerAddress":
+        """Accept an address, a ``(host, port)`` pair or a unix path."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(path=value)
+        if isinstance(value, (tuple, list)) and len(value) == 2:
+            return cls(host=value[0], port=int(value[1]))
+        raise TypeError("cannot interpret %r as a server address" % (value,))
+
+    def __str__(self) -> str:
+        if self.is_unix:
+            return "unix:%s" % self.path
+        return "%s:%d" % (self.host, self.port)
+
+
+AddressLike = Any  # ServerAddress | (host, port) | unix path
+
+
+# ----------------------------------------------------------------------
+# Client transport
+# ----------------------------------------------------------------------
+
+
+class SocketTransport:
+    """The :class:`SimulatedTransport` surface over one real socket peer.
+
+    ``invoke``/``invoke_detailed`` keep their signatures — the ``target``
+    argument is accepted and ignored, since the remote object lives behind
+    the address — so :class:`~repro.rmi.cluster.ClusterTransport` drives
+    socket servers and in-process servers through identical code.  Latency
+    and byte counts recorded in :attr:`stats` are *measured* (wall-clock
+    round trip, encoded payload sizes), not modeled; ``per_call_latency``
+    is fixed at 0.0 — the only honest lower bound for a measured arrival.
+    A zero bound means the cluster's quorum gather can never prove an
+    in-flight call slower than a completed one, so a first-k read over
+    sockets awaits every in-flight reply before admitting: results stay
+    deterministic (any k threshold replies reconstruct identically), but
+    the first-k *latency* win belongs to the modeled transport (and to the
+    planned asyncio transport — see ROADMAP).
+
+    Connections are pooled and reused across calls; dialing retries
+    ``connect_retries`` times with exponential backoff, and a pooled
+    connection whose *send* fails is replaced by one fresh dial before the
+    call errors.  A reused connection failing at the *response read* is
+    deliberately not retried: the request may already be executing, and
+    the protocol has stateful endpoints (``open_queue``/``next_node``)
+    where a silent replay would double-execute — so that case surfaces as
+    :class:`ServerUnavailable` for the cluster layer's quorum/fail-over
+    logic to absorb.  Every read is bounded by ``timeout``, so a dead or
+    wedged server surfaces as :class:`ServerUnavailable` instead of a
+    hang.
+    """
+
+    def __init__(
+        self,
+        address: AddressLike,
+        codec: Optional[Codec] = None,
+        stats: Optional[CallStats] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        connect_retries: int = 4,
+        connect_backoff: float = 0.05,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        pool_size: int = 4,
+    ):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if connect_retries < 1:
+            raise ValueError("connect_retries must be at least 1")
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be positive")
+        self.address = ServerAddress.coerce(address)
+        self.codec = codec or Codec()
+        self.stats = stats or CallStats()
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
+        self.max_frame_bytes = max_frame_bytes
+        #: lower bound of any call's latency, read by the quorum gather's
+        #: admission ordering; a measured transport can promise nothing, so
+        #: zero — which makes first-k reads await all in-flight replies
+        #: (see the class docstring)
+        self.per_call_latency = 0.0
+        self.per_byte_latency = 0.0
+        self._pool_size = pool_size
+        self._idle: List[socket.socket] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+
+    def _dial(self) -> socket.socket:
+        """One fresh connection, retrying with exponential backoff."""
+        delay = self.connect_backoff
+        last_error: Optional[OSError] = None
+        for attempt in range(self.connect_retries):
+            try:
+                return self.address.create_connection(self.timeout)
+            except OSError as exc:
+                last_error = exc
+                if attempt + 1 < self.connect_retries:
+                    time.sleep(delay)
+                    delay *= 2
+        raise ServerUnavailable(
+            "cannot connect to %s after %d attempts: %s"
+            % (self.address, self.connect_retries, last_error)
+        )
+
+    def _checkout(self) -> Tuple[socket.socket, bool]:
+        """A connection plus whether it came from the idle pool (reused)."""
+        with self._lock:
+            if self._idle:
+                return self._idle.pop(), True
+        return self._dial(), False
+
+    def _checkin(self, sock: socket.socket) -> None:
+        # Deadline-gated reads shrink the socket's timeout as a call runs;
+        # restore the full per-call budget before the connection is reused.
+        try:
+            sock.settimeout(self.timeout)
+        except OSError:  # pragma: no cover - socket died at checkin
+            _close_quietly(sock)
+            return
+        with self._lock:
+            if len(self._idle) < self._pool_size:
+                self._idle.append(sock)
+                return
+        _close_quietly(sock)
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent; the transport stays
+        usable — the next call simply dials afresh)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for sock in idle:
+            _close_quietly(sock)
+
+    def __enter__(self) -> "SocketTransport":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+
+    def _roundtrip(self, request: bytes) -> "Tuple[bytes, socket.socket]":
+        """Ship one request frame, return the raw response payload and the
+        connection it arrived on (the caller decides whether to pool it).
+
+        A send failure on a *reused* connection is retried once on a fresh
+        dial (the pooled peer may simply have closed an idle connection);
+        any failure after the request reached a fresh connection — and any
+        failure while reading the response — raises without retrying, since
+        the server may already be executing the call.
+        """
+        if len(request) > self.max_frame_bytes:
+            # Checked before dialing: an oversized request is a protocol
+            # violation regardless of whether the peer is reachable.
+            raise WireProtocolError(
+                "frame of %d bytes exceeds the %d-byte limit"
+                % (len(request), self.max_frame_bytes)
+            )
+        sock, reused = self._checkout()
+        try:
+            send_frame(sock, request, self.max_frame_bytes)
+        except OSError as exc:
+            _close_quietly(sock)
+            if not reused:
+                raise ServerUnavailable(
+                    "send to %s failed: %s" % (self.address, exc)
+                ) from exc
+            sock = self._dial()
+            try:
+                send_frame(sock, request, self.max_frame_bytes)
+            except OSError as retry_exc:
+                _close_quietly(sock)
+                raise ServerUnavailable(
+                    "send to %s failed after reconnect: %s" % (self.address, retry_exc)
+                ) from retry_exc
+        try:
+            payload = recv_frame(
+                sock,
+                self.max_frame_bytes,
+                deadline=time.monotonic() + self.timeout,
+            )
+        except SocketTransportError:
+            # Our own typed failures (truncated/oversized frame, clean EOF)
+            # are ConnectionError — and therefore OSError — subclasses:
+            # re-raise before the generic handlers can re-wrap them.
+            _close_quietly(sock)
+            raise
+        except socket.timeout as exc:
+            _close_quietly(sock)
+            raise ServerUnavailable(
+                "no response from %s within %.1fs" % (self.address, self.timeout)
+            ) from exc
+        except OSError as exc:
+            _close_quietly(sock)
+            raise ServerUnavailable(
+                "connection to %s lost mid-call: %s" % (self.address, exc)
+            ) from exc
+        assert payload is not None  # eof_ok=False: clean EOF raised above
+        return payload, sock
+
+    def invoke_detailed(
+        self,
+        target: Any,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> CallOutcome:
+        """One remote call with its error and *measured* cost captured.
+
+        ``target`` is ignored (the peer is fixed by the address); request
+        encoding failures — a caller-side bug — raise directly, exactly
+        like the simulated transport.  Everything else, including
+        connection loss and protocol violations, lands in the returned
+        :class:`CallOutcome` and is recorded in :attr:`stats` with
+        ``error=True``.
+        """
+        kwargs = kwargs or {}
+        request = self.codec.encode({"method": method, "args": list(args), "kwargs": kwargs})
+        value: Any = None
+        error: Optional[BaseException] = None
+        response_bytes = 0
+        request_bytes = len(request)
+        start = time.perf_counter()
+        sock: Optional[socket.socket] = None
+        try:
+            payload, sock = self._roundtrip(request)
+        except SocketTransportError as exc:
+            error = exc
+        else:
+            status, body = payload[:1], payload[1:]
+            if status == STATUS_OK:
+                try:
+                    value = self.codec.decode(body)
+                    response_bytes = len(body)
+                except CodecError as exc:
+                    error = WireProtocolError("undecodable response payload: %s" % exc)
+            elif status == STATUS_ERROR:
+                try:
+                    error = decode_exception(self.codec.decode(body))
+                except CodecError as exc:
+                    error = WireProtocolError("undecodable error payload: %s" % exc)
+            else:
+                error = WireProtocolError("unknown response status byte %r" % status)
+        if sock is not None:
+            if isinstance(error, WireProtocolError):
+                # A framing violation — reported by either side — leaves the
+                # connection's sync suspect (the server drops its end after
+                # an oversized request); never pool it.
+                _close_quietly(sock)
+            else:
+                self._checkin(sock)
+        latency = time.perf_counter() - start
+        self.stats.record(
+            method, request_bytes, response_bytes, latency, error=error is not None
+        )
+        return CallOutcome(
+            value=value,
+            error=error,
+            latency=latency,
+            request_bytes=request_bytes,
+            response_bytes=response_bytes,
+        )
+
+    def invoke(
+        self,
+        target: Any,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Perform one remote call; failures raise (but are still recorded)."""
+        outcome = self.invoke_detailed(target, method, args, kwargs)
+        if outcome.error is not None:
+            raise outcome.error
+        return outcome.value
+
+    def ping(self) -> Dict[str, Any]:
+        """The health-check handshake: the server's identity dictionary."""
+        return self.invoke(None, PING_METHOD)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "SocketTransport(%s)" % self.address
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - close never fails on CPython
+        pass

@@ -59,6 +59,15 @@ class TestExamplesRun:
         assert "identical" in output and "DIVERGED" not in output
         assert "Corrupted server detected" in output
 
+    def test_socket_cluster_demo(self, capsys):
+        module = _load_example("socket_cluster_demo")
+        module.main()
+        output = capsys.readouterr().out
+        assert "real server" in output
+        assert "SIGKILL" in output
+        assert "identical" in output and "DIVERGED" not in output
+        assert "fleet stopped" in output
+
     def test_auction_search(self, capsys, monkeypatch):
         monkeypatch.setattr(sys, "argv", ["auction_search.py", "0.01"])
         module = _load_example("auction_search")

@@ -1,0 +1,529 @@
+"""The socket transport and server: framing, dispatch, error paths.
+
+Everything here runs in-process (the server accepts on a background
+thread), so the wire-level behaviour — byte parity with the simulated
+transport, typed error mapping, malformed/truncated/oversized frames,
+mid-call connection loss — is exercised without subprocess overhead.
+The subprocess fleet (``ServerProcess`` / ``SocketCluster``) is covered
+by ``tests/test_socket_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import socket as socket_module
+import threading
+
+import pytest
+
+from repro.rmi.codec import Codec, CodecError
+from repro.rmi.server import PROTOCOL_VERSION, SocketServer
+from repro.rmi.socket import (
+    FRAME_HEADER_BYTES,
+    STATUS_ERROR,
+    STATUS_OK,
+    RemoteCallError,
+    ServerAddress,
+    ServerUnavailable,
+    SocketTransport,
+    UnknownRemoteMethodError,
+    WireProtocolError,
+    decode_exception,
+    encode_exception,
+)
+from repro.rmi.transport import SimulatedTransport
+
+
+class Arithmetic:
+    """A tiny target object covering the dispatch cases."""
+
+    def add(self, a, b):
+        return a + b
+
+    def echo(self, value=None):
+        return value
+
+    def lookup_fail(self):
+        raise LookupError("no node with pre=99")
+
+    def value_fail(self):
+        raise ValueError("bad point 0")
+
+    def custom_fail(self):
+        class Unrepresentable(Exception):
+            pass
+
+        raise Unrepresentable("locally defined")
+
+    def unencodable(self):
+        return object()
+
+    def big_list(self, count):
+        return list(range(count))
+
+    def _private(self):  # pragma: no cover - must never run remotely
+        raise AssertionError("private method executed over the wire")
+
+
+@pytest.fixture()
+def server():
+    with SocketServer(Arithmetic(), name="test-server") as srv:
+        yield srv
+
+
+@pytest.fixture()
+def transport(server):
+    t = SocketTransport(server.address, timeout=5.0)
+    yield t
+    t.close()
+
+
+# ----------------------------------------------------------------------
+# Round trips and parity with the simulated transport
+# ----------------------------------------------------------------------
+
+
+def test_roundtrip_values(transport):
+    assert transport.invoke(None, "add", (2, 3)) == 5
+    payload = {"xs": [1, 2, 3], "label": "n", "flag": True, "none": None}
+    assert transport.invoke(None, "echo", (), {"value": payload}) == payload
+
+
+def test_ping_handshake(transport):
+    identity = transport.ping()
+    assert identity["server"] == "test-server"
+    assert identity["protocol"] == PROTOCOL_VERSION
+    assert identity["target"] == "Arithmetic"
+    assert isinstance(identity["pid"], int)
+
+
+def test_byte_counters_match_simulated_transport(transport):
+    """The wire ships exactly the payloads the simulated transport models,
+    so per-call byte accounting is identical between the two."""
+    simulated = SimulatedTransport()
+    for method, args in [("add", (17, 25)), ("echo", ([1, 2, 3],)), ("big_list", (50,))]:
+        sim = simulated.invoke_detailed(Arithmetic(), method, args)
+        sock = transport.invoke_detailed(None, method, args)
+        assert sock.ok and sim.ok
+        assert sock.value == sim.value
+        assert sock.request_bytes == sim.request_bytes
+        assert sock.response_bytes == sim.response_bytes
+    assert transport.stats.bytes_sent == simulated.stats.bytes_sent
+    assert transport.stats.bytes_received == simulated.stats.bytes_received
+
+
+def test_measured_latency_is_recorded(transport):
+    outcome = transport.invoke_detailed(None, "add", (1, 1))
+    assert outcome.latency > 0.0
+    assert transport.stats.simulated_latency > 0.0
+
+
+def test_connection_pool_reuses_connections(server):
+    transport = SocketTransport(server.address, timeout=5.0)
+    try:
+        for _ in range(5):
+            assert transport.invoke(None, "add", (1, 2)) == 3
+        # the pool holds at most one idle connection after serial calls
+        assert len(transport._idle) == 1
+    finally:
+        transport.close()
+    assert transport._idle == []
+    # a closed transport stays usable: the next call dials afresh
+    assert transport.invoke(None, "add", (2, 2)) == 4
+    transport.close()
+
+
+# ----------------------------------------------------------------------
+# Typed server-side errors
+# ----------------------------------------------------------------------
+
+
+def test_semantic_errors_cross_the_wire_typed(transport):
+    with pytest.raises(LookupError, match="no node with pre=99"):
+        transport.invoke(None, "lookup_fail")
+    with pytest.raises(ValueError, match="bad point 0"):
+        transport.invoke(None, "value_fail")
+    assert transport.stats.errors == 2
+    assert transport.stats.errors_by_method == {"lookup_fail": 1, "value_fail": 1}
+
+
+def test_unknown_exception_type_degrades_to_remote_call_error(transport):
+    with pytest.raises(RemoteCallError, match="Unrepresentable: locally defined"):
+        transport.invoke(None, "custom_fail")
+
+
+def test_unknown_method_is_typed(transport):
+    with pytest.raises(UnknownRemoteMethodError, match="no method 'nope'"):
+        transport.invoke(None, "nope")
+    assert transport.stats.errors == 1
+
+
+def test_private_methods_are_not_exported(transport):
+    with pytest.raises(UnknownRemoteMethodError, match="not exported"):
+        transport.invoke(None, "_private")
+
+
+def test_unencodable_response_surfaces_as_codec_error(transport):
+    with pytest.raises(CodecError):
+        transport.invoke(None, "unencodable")
+    assert transport.stats.errors == 1
+
+
+def test_request_encoding_failure_raises_directly(transport):
+    """A caller-side bug raises before anything is sent or recorded —
+    exactly the simulated transport's contract."""
+    with pytest.raises(CodecError):
+        transport.invoke(None, "echo", (object(),))
+    assert transport.stats.calls == 0
+
+
+def test_error_codec_roundtrip():
+    for error in [LookupError("x"), ValueError("y"), WireProtocolError("z")]:
+        rebuilt = decode_exception(encode_exception(error))
+        assert type(rebuilt) is type(error)
+        assert str(rebuilt) == str(error)
+    assert isinstance(decode_exception({"type": "Weird", "message": "m"}), RemoteCallError)
+    assert isinstance(decode_exception("garbage"), WireProtocolError)
+
+
+def test_failed_calls_record_zero_response_bytes(transport):
+    outcome = transport.invoke_detailed(None, "lookup_fail")
+    assert not outcome.ok
+    assert outcome.response_bytes == 0
+    sim = SimulatedTransport()
+    sim_outcome = sim.invoke_detailed(Arithmetic(), "lookup_fail")
+    assert outcome.request_bytes == sim_outcome.request_bytes
+    assert outcome.response_bytes == sim_outcome.response_bytes
+
+
+# ----------------------------------------------------------------------
+# Wire-level error paths: malformed, truncated, oversized, death — no hangs
+# ----------------------------------------------------------------------
+
+
+class RogueServer:
+    """A raw socket peer scripted to misbehave for exactly one connection."""
+
+    def __init__(self, script):
+        self._script = script
+        self._listener = socket_module.socket(socket_module.AF_INET, socket_module.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self.address = ServerAddress(host="127.0.0.1", port=self._listener.getsockname()[1])
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        try:
+            conn, _ = self._listener.accept()
+        except OSError:  # pragma: no cover - teardown race
+            return
+        try:
+            self._script(conn)
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def close(self):
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+def _drain_request(conn):
+    header = conn.recv(FRAME_HEADER_BYTES)
+    size = int.from_bytes(header, "big")
+    remaining = size
+    while remaining:
+        chunk = conn.recv(remaining)
+        if not chunk:
+            break
+        remaining -= len(chunk)
+
+
+def _rogue_call(script, **transport_kwargs):
+    rogue = RogueServer(script)
+    transport = SocketTransport(
+        rogue.address, timeout=2.0, connect_retries=1, **transport_kwargs
+    )
+    try:
+        outcome = transport.invoke_detailed(None, "add", (1, 2))
+    finally:
+        transport.close()
+        rogue.close()
+    assert transport.stats.calls == 1 and transport.stats.errors == 1
+    return outcome
+
+
+def test_malformed_response_frame_is_typed():
+    """Garbage status byte → WireProtocolError, recorded, no hang."""
+
+    def script(conn):
+        _drain_request(conn)
+        body = b"?" + b"junk"
+        conn.sendall(len(body).to_bytes(FRAME_HEADER_BYTES, "big") + body)
+
+    outcome = _rogue_call(script)
+    assert isinstance(outcome.error, WireProtocolError)
+    assert "status byte" in str(outcome.error)
+
+
+def test_undecodable_response_payload_is_typed():
+    def script(conn):
+        _drain_request(conn)
+        body = STATUS_OK + b"\xff\xff\xff"
+        conn.sendall(len(body).to_bytes(FRAME_HEADER_BYTES, "big") + body)
+
+    outcome = _rogue_call(script)
+    assert isinstance(outcome.error, WireProtocolError)
+    assert "undecodable" in str(outcome.error)
+
+
+def test_truncated_response_frame_is_typed():
+    """A frame announcing more bytes than ever arrive → typed, no hang."""
+
+    def script(conn):
+        _drain_request(conn)
+        conn.sendall((100).to_bytes(FRAME_HEADER_BYTES, "big") + b"only-ten-b")
+
+    outcome = _rogue_call(script)
+    assert isinstance(outcome.error, WireProtocolError)
+    assert "outstanding" in str(outcome.error)
+
+
+def test_oversized_response_frame_is_rejected_before_reading():
+    """A length prefix beyond max_frame_bytes is refused up front."""
+
+    def script(conn):
+        _drain_request(conn)
+        conn.sendall((1 << 30).to_bytes(FRAME_HEADER_BYTES, "big"))
+
+    outcome = _rogue_call(script, max_frame_bytes=4096)
+    assert isinstance(outcome.error, WireProtocolError)
+    assert "announced" in str(outcome.error)
+
+
+def test_oversized_request_is_rejected_by_the_server(server):
+    """The server answers a too-large request with a typed error frame."""
+    small_server = SocketServer(Arithmetic(), max_frame_bytes=64)
+    with small_server:
+        transport = SocketTransport(small_server.address, timeout=2.0)
+        try:
+            with pytest.raises(WireProtocolError):
+                transport.invoke(None, "echo", (list(range(200)),))
+            assert transport.stats.errors == 1
+        finally:
+            transport.close()
+
+
+def test_oversized_response_answered_typed_and_connection_survives():
+    """A result too large for the server's frame limit comes back as a
+    typed WireProtocolError — and the connection stays usable, since the
+    size check precedes any write."""
+    with SocketServer(Arithmetic(), max_frame_bytes=256) as small_server:
+        transport = SocketTransport(small_server.address, timeout=2.0)
+        try:
+            with pytest.raises(WireProtocolError, match="exceeds"):
+                transport.invoke(None, "big_list", (2000,))
+            assert transport.invoke(None, "add", (1, 2)) == 3  # same connection
+            assert transport.stats.errors == 1
+        finally:
+            transport.close()
+
+
+def test_oversized_request_refused_client_side():
+    """The client refuses to even send a frame above its own limit."""
+    transport = SocketTransport(("127.0.0.1", 1), max_frame_bytes=16, connect_retries=1)
+    with pytest.raises(WireProtocolError):
+        transport.invoke(None, "echo", (list(range(200)),))
+
+
+def test_mid_call_server_death_is_server_unavailable():
+    """The peer dies after reading the request → ServerUnavailable."""
+
+    def script(conn):
+        _drain_request(conn)  # then close without replying
+
+    outcome = _rogue_call(script)
+    assert isinstance(outcome.error, ServerUnavailable)
+
+
+def test_unresponsive_server_times_out():
+    """A wedged server (reads, never replies) is bounded by the timeout."""
+    release = threading.Event()
+
+    def script(conn):
+        _drain_request(conn)
+        release.wait(timeout=10.0)
+
+    rogue = RogueServer(script)
+    transport = SocketTransport(rogue.address, timeout=0.3, connect_retries=1)
+    try:
+        outcome = transport.invoke_detailed(None, "add", (1, 2))
+        assert isinstance(outcome.error, ServerUnavailable)
+        assert "within" in str(outcome.error)
+        assert transport.stats.errors == 1
+    finally:
+        release.set()
+        transport.close()
+        rogue.close()
+
+
+def test_unreachable_server_is_server_unavailable():
+    transport = SocketTransport(
+        ("127.0.0.1", 1), timeout=0.5, connect_retries=2, connect_backoff=0.01
+    )
+    with pytest.raises(ServerUnavailable, match="after 2 attempts"):
+        transport.invoke(None, "add", (1, 2))
+    assert transport.stats.calls == 1 and transport.stats.errors == 1
+
+
+def test_malformed_request_payload_answered_typed(server):
+    """A syntactically framed but semantically garbage request gets a typed
+    error response instead of killing the connection silently."""
+    codec = Codec()
+    sock = server.address.create_connection(timeout=2.0)
+    try:
+        payload = codec.encode([1, 2, 3])  # not a {method, args, kwargs} dict
+        sock.sendall(len(payload).to_bytes(FRAME_HEADER_BYTES, "big") + payload)
+        header = sock.recv(FRAME_HEADER_BYTES)
+        size = int.from_bytes(header, "big")
+        body = b""
+        while len(body) < size:
+            body += sock.recv(size - len(body))
+        assert body[:1] == STATUS_ERROR
+        error = decode_exception(codec.decode(body[1:]))
+        assert isinstance(error, WireProtocolError)
+    finally:
+        sock.close()
+
+
+# ----------------------------------------------------------------------
+# Reconnect, lifecycle, unix sockets
+# ----------------------------------------------------------------------
+
+
+def test_stale_pooled_connection_is_replaced(server):
+    """A dead pooled connection is healed by one fresh dial, not an error."""
+    transport = SocketTransport(server.address, timeout=5.0)
+    try:
+        assert transport.invoke(None, "add", (1, 2)) == 3
+        # Sabotage the idle pooled connection (as if the server had dropped
+        # it between calls); the next send fails and must reconnect.
+        assert len(transport._idle) == 1
+        transport._idle[0].close()
+        assert transport.invoke(None, "add", (3, 4)) == 7
+        assert transport.stats.errors == 0
+    finally:
+        transport.close()
+
+
+def test_server_close_is_idempotent():
+    server = SocketServer(Arithmetic())
+    server.start()
+    server.close()
+    server.close()
+    never_started = SocketServer(Arithmetic())
+    never_started.close()
+
+
+def test_transport_close_is_idempotent(transport):
+    transport.invoke(None, "add", (1, 1))
+    transport.close()
+    transport.close()
+
+
+def test_graceful_shutdown_via_wire(server):
+    transport = SocketTransport(server.address, timeout=2.0, connect_retries=1)
+    try:
+        assert transport.invoke(None, "__shutdown__") is True
+    finally:
+        transport.close()
+    # a wire shutdown fully closes the server even without serve_forever():
+    # the listener is released, so a fresh connection is refused (not left
+    # hanging in the backlog) and the accept thread is gone
+    server._shutdown.wait(timeout=5.0)
+    assert server._shutdown.is_set()
+    deadline = 5.0
+    import time as time_module
+
+    start = time_module.monotonic()
+    while server._listener is not None and time_module.monotonic() - start < deadline:
+        time_module.sleep(0.05)
+    assert server._listener is None
+    probe = SocketTransport(server.address, timeout=1.0, connect_retries=1)
+    with pytest.raises(ServerUnavailable):
+        probe.invoke(None, "add", (1, 2))
+
+
+@pytest.mark.skipif(not hasattr(socket_module, "AF_UNIX"), reason="no unix sockets")
+def test_unix_socket_roundtrip(tmp_path):
+    path = str(tmp_path / "repro.sock")
+    with SocketServer(Arithmetic(), unix_path=path) as server:
+        assert server.address.is_unix
+        transport = SocketTransport(path, timeout=5.0)
+        try:
+            assert transport.invoke(None, "add", (20, 22)) == 42
+            assert transport.ping()["target"] == "Arithmetic"
+        finally:
+            transport.close()
+    # close() unlinks the path, so the same path is immediately reusable
+    import os
+
+    assert not os.path.exists(path)
+    with SocketServer(Arithmetic(), unix_path=path) as restarted:
+        transport = SocketTransport(path, timeout=5.0)
+        try:
+            assert transport.invoke(None, "add", (1, 1)) == 2
+        finally:
+            transport.close()
+    # a *stale* leftover file (crash: close() never ran) is healed at bind
+    with open(path, "w"):
+        pass
+    with SocketServer(Arithmetic(), unix_path=path) as healed:
+        transport = SocketTransport(path, timeout=5.0)
+        try:
+            assert transport.invoke(None, "add", (2, 3)) == 5
+        finally:
+            transport.close()
+
+
+def test_slow_trickling_peer_is_bounded_by_a_total_deadline():
+    """The timeout is a per-call deadline, not a per-recv allowance: a peer
+    trickling bytes slower than the frame needs cannot stall the caller."""
+    import time as time_module
+
+    def script(conn):
+        _drain_request(conn)
+        # announce a 40-byte body, then trickle one byte per 0.15s — each
+        # recv() succeeds, so only a total deadline can stop the read
+        conn.sendall((40).to_bytes(FRAME_HEADER_BYTES, "big"))
+        try:
+            for _ in range(40):
+                conn.sendall(b"x")
+                time_module.sleep(0.15)
+        except OSError:
+            pass  # client gave up, as it must
+
+    rogue = RogueServer(script)
+    transport = SocketTransport(rogue.address, timeout=0.6, connect_retries=1)
+    try:
+        start = time_module.monotonic()
+        outcome = transport.invoke_detailed(None, "add", (1, 2))
+        elapsed = time_module.monotonic() - start
+        assert isinstance(outcome.error, ServerUnavailable)
+        assert elapsed < 3.0  # 40 bytes * 0.15s = 6s if unbounded
+    finally:
+        transport.close()
+        rogue.close()
+
+
+def test_server_address_coercion():
+    assert ServerAddress.coerce(("localhost", 80)) == ServerAddress(host="localhost", port=80)
+    assert ServerAddress.coerce("/tmp/x.sock") == ServerAddress(path="/tmp/x.sock")
+    address = ServerAddress(host="h", port=1)
+    assert ServerAddress.coerce(address) is address
+    with pytest.raises(TypeError):
+        ServerAddress.coerce(42)
+    with pytest.raises(ValueError):
+        ServerAddress(host="h")
