@@ -239,6 +239,7 @@ def cmd_server(args: argparse.Namespace) -> int:
         unix_path=args.unix_path,
         name=args.name or "repro-server",
         max_frame_bytes=args.max_frame_bytes or DEFAULT_MAX_FRAME_BYTES,
+        delay=args.delay,
     )
     if args.parent_watch:
         # The spawning parent holds our stdin pipe: EOF means it is gone
@@ -267,6 +268,121 @@ def cmd_server(args: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# gateway
+# ----------------------------------------------------------------------
+
+
+def _parse_server_endpoint(text: str) -> "object":
+    """Parse one ``--server HOST:PORT`` argument into a ServerAddress."""
+    from repro.rmi.socket import ServerAddress
+
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise CommandError("--server expects HOST:PORT, got %r" % text)
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise CommandError("--server expects a numeric port, got %r" % text) from None
+    if not 0 < port < 65536:
+        raise CommandError("--server port out of range: %r" % text)
+    return ServerAddress(host=host, port=port)
+
+
+def cmd_gateway(args: argparse.Namespace) -> int:
+    """Serve many concurrent client sessions over one share-server fleet.
+
+    The daemon half of the ``repro-gateway`` entry point: it dials the
+    already-running share servers named by ``--server`` (one multiplexed
+    asyncio connection each), rebuilds the deployment's sharing scheme from
+    the seed file and ``--p``/``--e``/``--sharing``/``--threshold``, and
+    serves the single-server ``ServerFilter`` surface to any number of
+    concurrent clients — each connection an isolated session, every share
+    read scatter-gathered, verified and combined gateway-side.  On startup
+    it prints one READY line announcing the bound port and its pid (the
+    ``nodes=`` field counts the fleet's servers).
+    """
+    import sys as _sys
+    import threading as _threading
+
+    from repro.prg.generator import KeyedPRG as _KeyedPRG
+    from repro.rmi.aio import AsyncClusterTransport
+    from repro.rmi.gateway import AsyncClusterClient, Gateway
+    from repro.rmi.server import format_ready_line
+    from repro.rmi.socket import DEFAULT_MAX_FRAME_BYTES
+    from repro.secretshare import make_scheme
+    from repro.secretshare.scheme import SharingError
+
+    seed = _load_seed(args)
+    servers = [_parse_server_endpoint(text) for text in args.servers]
+    if args.p < 2:
+        raise CommandError("--p must be a prime >= 2, got %d" % args.p)
+    try:
+        ring = QuotientRing(make_field(args.p, args.e))
+    except Exception as error:
+        raise CommandError("cannot build F_{%d^%d}: %s" % (args.p, args.e, error)) from error
+    prg = _KeyedPRG(seed, ring.field)
+    try:
+        scheme = make_scheme(
+            args.sharing, ring, prg, servers=len(servers), threshold=args.threshold
+        )
+    except (ValueError, SharingError) as error:
+        raise CommandError(str(error)) from error
+    max_frame_bytes = args.max_frame_bytes or DEFAULT_MAX_FRAME_BYTES
+    try:
+        cluster = AsyncClusterTransport(
+            servers,
+            max_frame_bytes=max_frame_bytes,
+            hedge=args.hedge or False,
+        )
+    except ValueError as error:
+        raise CommandError(str(error)) from error
+    try:
+        # Fail fast on an unusable session configuration (e.g. a read
+        # quorum below the scheme threshold) instead of erroring per
+        # connecting client later.
+        AsyncClusterClient(
+            cluster, scheme, read_quorum=args.read_quorum, verify_shares=args.verify_shares
+        )
+    except (ValueError, SharingError) as error:
+        raise CommandError(str(error)) from error
+    gateway = Gateway(
+        cluster,
+        scheme,
+        read_quorum=args.read_quorum,
+        verify_shares=args.verify_shares,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_path,
+        max_frame_bytes=max_frame_bytes,
+        name=args.name or "repro-gateway",
+    )
+    if args.parent_watch:
+        # Same orphan protection as cmd_server: parent's stdin pipe EOF
+        # means the spawning process died — shut down with it.
+        stdin_fd = _sys.stdin.fileno()
+
+        def _watch_parent() -> None:
+            try:
+                while os.read(stdin_fd, 4096):
+                    pass
+            except OSError:  # pragma: no cover - stdin already closed
+                pass
+            gateway.close()
+
+        _threading.Thread(target=_watch_parent, daemon=True, name="parent-watch").start()
+    address = gateway.start()
+    print(format_ready_line(address, len(servers)))
+    _sys.stdout.flush()
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        gateway.close()
     return 0
 
 

@@ -123,7 +123,78 @@ def build_parser() -> argparse.ArgumentParser:
         dest="parent_watch",
         help="shut down when stdin reaches EOF (the spawning parent died)",
     )
+    server.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        help="injected per-request delay in seconds (latency fault injection)",
+    )
     server.set_defaults(handler=commands.cmd_server)
+
+    # ------------------------------------------------------------------
+    # gateway
+    # ------------------------------------------------------------------
+    gateway = subparsers.add_parser(
+        "gateway",
+        help="serve many concurrent client sessions over one share-server "
+        "fleet (the repro-gateway daemon)",
+    )
+    gateway.add_argument(
+        "--server",
+        action="append",
+        required=True,
+        dest="servers",
+        metavar="HOST:PORT",
+        help="address of one share server (repeat once per server, in server order)",
+    )
+    gateway.add_argument("--seed", required=True, dest="seed_path", help="seed file")
+    gateway.add_argument("--p", type=int, required=True, help="field characteristic of the encoding")
+    gateway.add_argument("--e", type=int, default=1, help="field extension degree")
+    gateway.add_argument(
+        "--sharing", choices=["additive", "shamir"], default="additive",
+        help="sharing scheme deployed on the fleet",
+    )
+    gateway.add_argument(
+        "--threshold", type=int, default=None,
+        help="reconstruction threshold k of a (k, n) Shamir deployment",
+    )
+    gateway.add_argument(
+        "--read-quorum", type=int, default=None, dest="read_quorum",
+        help="servers contacted per share read (default: all)",
+    )
+    gateway.add_argument(
+        "--no-verify", action="store_false", dest="verify_shares",
+        help="skip cross-checking share reads beyond the quorum",
+    )
+    gateway.add_argument(
+        "--hedge", type=float, default=0.0,
+        help="RTT quantile in (0, 1) that triggers hedged straggler co-issue "
+        "(0 disables hedging)",
+    )
+    gateway.add_argument("--host", default="127.0.0.1", help="TCP address to bind")
+    gateway.add_argument(
+        "--port", type=int, default=0, help="TCP port to bind (0 picks a free port)"
+    )
+    gateway.add_argument(
+        "--unix", default=None, dest="unix_path", help="serve on a Unix socket path instead of TCP"
+    )
+    gateway.add_argument(
+        "--name", default=None, help="gateway name announced by the __ping__ handshake"
+    )
+    gateway.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=None,
+        dest="max_frame_bytes",
+        help="per-frame payload ceiling (default 64 MiB; must match the client's)",
+    )
+    gateway.add_argument(
+        "--parent-watch",
+        action="store_true",
+        dest="parent_watch",
+        help="shut down when stdin reaches EOF (the spawning parent died)",
+    )
+    gateway.set_defaults(handler=commands.cmd_gateway)
 
     # ------------------------------------------------------------------
     # experiments
@@ -163,3 +234,15 @@ def server_main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     return main(["server"] + list(argv))
+
+
+def gateway_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-gateway`` console script.
+
+    Equivalent to ``python -m repro.cli gateway …`` — a session gateway
+    multiplexing many concurrent clients over one share-server fleet (see
+    the ``gateway`` subcommand).
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["gateway"] + list(argv))

@@ -18,6 +18,7 @@ from repro.filters.server import ServerFilter
 from repro.gf.factory import make_field
 from repro.metrics.counters import EvaluationCounters
 from repro.prg.seed import SeedFile, generate_seed
+from repro.rmi.aio import AsyncClusterTransport
 from repro.rmi.cluster import ClusterTransport
 from repro.rmi.proxy import Registry
 from repro.rmi.server import SocketCluster
@@ -33,6 +34,11 @@ from repro.xpath.rewrite import rewrite_for_trie
 
 class QueryConfigError(ValueError):
     """Raised for invalid engine/rule selections or unusable configurations."""
+
+
+#: transports presenting the scatter-gather cluster surface (per-server
+#: stats, quorum reads, the makespan round clock)
+CLUSTER_TRANSPORT_TYPES = (ClusterTransport, AsyncClusterTransport)
 
 
 class EncryptedXMLDatabase:
@@ -79,7 +85,7 @@ class EncryptedXMLDatabase:
         self._closed = False
 
         backend = encoded.ring.kernel.name
-        if isinstance(transport, ClusterTransport):
+        if isinstance(transport, CLUSTER_TRANSPORT_TYPES):
             # Cluster path: the transport already owns one ServerFilter per
             # share table; the ClusterClient recombines their replies behind
             # the single-server surface the ClientFilter expects.  ``use_rmi``
@@ -103,7 +109,10 @@ class EncryptedXMLDatabase:
                 encoded.sharing,
                 read_quorum=read_quorum,
                 verify_shares=verify_shares,
-                hedge=hedge,
+                # The asyncio transport hedges itself on observed RTT
+                # percentiles; the client-side trigger compares *modeled*
+                # latencies and stays off there.
+                hedge=False if isinstance(transport, AsyncClusterTransport) else hedge,
                 prefetch=prefetch,
             )
             server_endpoint = self.cluster_client
@@ -206,6 +215,17 @@ class EncryptedXMLDatabase:
         and ``hedge`` (whose trigger compares modeled latencies) do not
         apply and are rejected.  Use the instance as a context manager —
         or call :meth:`close` — to shut the server fleet down.
+
+        ``transport="asyncio"`` deploys the same subprocess fleet but talks
+        to it over one *multiplexed* connection per server, all driven by a
+        single event loop (see :class:`~repro.rmi.aio.AsyncClusterTransport`)
+        behind the unchanged sync facade: pipelined request ids instead of
+        a pooled socket and a scatter thread per in-flight call, and
+        first-k quorum reads admitted on real arrival.  ``hedge`` is
+        reinterpreted as the observed-RTT *quantile* in ``(0, 1)`` (or
+        ``True`` for 0.95) past which a short quorum co-issues spares;
+        ``concurrency=False`` does not apply (one loop multiplexes every
+        call) and is rejected, as are the modeled-latency knobs.
         """
         trie_transformer = None
         if use_trie:
@@ -229,14 +249,16 @@ class EncryptedXMLDatabase:
         seed = seed if seed is not None else generate_seed()
         encoder = Encoder(tag_map, seed, btree_order=btree_order, index_columns=index_columns)
 
-        if transport not in ("simulated", "socket"):
+        if transport not in ("simulated", "socket", "asyncio"):
             raise QueryConfigError(
-                "unknown transport %r; expected 'simulated' or 'socket'" % (transport,)
+                "unknown transport %r; expected 'simulated', 'socket' or 'asyncio'"
+                % (transport,)
             )
-        if transport == "socket":
+        if transport in ("socket", "asyncio"):
             if cluster is False:
                 raise QueryConfigError(
-                    "transport='socket' deploys a share cluster; it conflicts with cluster=False"
+                    "transport=%r deploys a share cluster; it conflicts with cluster=False"
+                    % (transport,)
                 )
             cluster = True
             conflicts = []
@@ -246,12 +268,24 @@ class EncryptedXMLDatabase:
                 conflicts.append("per_byte_latency=%r" % per_byte_latency)
             if latency_jitter:
                 conflicts.append("latency_jitter=%r" % latency_jitter)
-            if hedge is not False:
+            if transport == "socket" and hedge is not False:
                 conflicts.append("hedge=%r" % hedge)
             if conflicts:
                 raise QueryConfigError(
-                    "the socket transport measures latency instead of modelling it; "
-                    "it conflicts with %s" % ", ".join(conflicts)
+                    "the %s transport measures latency instead of modelling it; "
+                    "it conflicts with %s" % (transport, ", ".join(conflicts))
+                )
+        if transport == "asyncio":
+            if not concurrency:
+                raise QueryConfigError(
+                    "the asyncio transport is inherently concurrent (one event "
+                    "loop multiplexes every call); it conflicts with concurrency=False"
+                )
+            if hedge is not False and hedge is not True and not 0 < hedge < 1:
+                raise QueryConfigError(
+                    "asyncio hedging is driven by observed RTT percentiles: hedge "
+                    "must be a quantile in (0, 1) (or True for the default), got %r"
+                    % (hedge,)
                 )
         if cluster is None:
             cluster = servers > 1 or sharing != "additive" or threshold is not None
@@ -261,14 +295,24 @@ class EncryptedXMLDatabase:
             deployment = encoder.deploy_document(
                 document, servers=servers, threshold=threshold, sharing=sharing
             )
-            if transport == "socket":
+            if transport in ("socket", "asyncio"):
                 socket_cluster = SocketCluster.from_deployment(deployment)
                 try:
-                    transport_channel: Union[SimulatedTransport, ClusterTransport] = (
-                        socket_cluster.cluster_transport(
+                    if transport == "asyncio":
+                        # Same subprocess fleet, different wire: one
+                        # multiplexed connection per server on one event
+                        # loop, instead of pooled sockets + scatter threads.
+                        transport_channel: Union[SimulatedTransport, ClusterTransport] = (
+                            AsyncClusterTransport(
+                                socket_cluster.addresses,
+                                round_overhead=round_overhead,
+                                hedge=hedge,
+                            )
+                        )
+                    else:
+                        transport_channel = socket_cluster.cluster_transport(
                             concurrency=concurrency, round_overhead=round_overhead
                         )
-                    )
                 except Exception:
                     socket_cluster.shutdown()
                     raise
@@ -369,7 +413,7 @@ class EncryptedXMLDatabase:
         self._closed = True
         if self.cluster_client is not None:
             self.cluster_client.close()
-        elif isinstance(self.transport, ClusterTransport):
+        elif isinstance(self.transport, CLUSTER_TRANSPORT_TYPES):
             self.transport.close()
         if self.socket_cluster is not None:
             self.socket_cluster.shutdown()
@@ -415,7 +459,7 @@ class EncryptedXMLDatabase:
         result = selected.execute(parsed, rule=rule)
         # Counted after execution so aborted queries do not dilute the
         # per-query call/byte averages.
-        if isinstance(self.transport, ClusterTransport):
+        if isinstance(self.transport, CLUSTER_TRANSPORT_TYPES):
             self.transport.count_query()
         else:
             self.transport.stats.count_query()
@@ -470,7 +514,7 @@ class EncryptedXMLDatabase:
     @property
     def is_cluster(self) -> bool:
         """Whether this database runs against an n-server share cluster."""
-        return isinstance(self.transport, ClusterTransport)
+        return isinstance(self.transport, CLUSTER_TRANSPORT_TYPES)
 
     @property
     def num_servers(self) -> int:

@@ -33,7 +33,24 @@ a :class:`~repro.rmi.server.SocketServer` daemon;
 :class:`~repro.rmi.server.SocketCluster` run one server (or a whole
 deployment) as child processes with health-check handshake, graceful
 shutdown and kill-based fault injection.
+
+On top of the socket wire sits the asyncio stack (``transport="asyncio"``
+on the facade): :class:`~repro.rmi.aio.AsyncSocketTransport` multiplexes
+any number of pipelined, id-tagged calls over **one** connection per
+server, :class:`~repro.rmi.aio.AsyncClusterTransport` scatter-gathers them
+on a single event loop — admitting first-k quorum replies on real arrival
+and hedging stragglers by observed RTT percentiles — and
+:class:`~repro.rmi.gateway.Gateway` serves many concurrent client sessions
+over one such shared fleet (the ``repro-gateway`` daemon;
+:class:`~repro.rmi.gateway.GatewayProcess` spawns it,
+:class:`~repro.rmi.gateway.GatewayEndpoint` is the client-side proxy).
 """
+
+from repro.rmi.aio import (
+    AsyncClusterTransport,
+    AsyncSocketTransport,
+    LoopThread,
+)
 
 from repro.rmi.cluster import (
     ClusterReply,
@@ -45,6 +62,7 @@ from repro.rmi.codec import Codec, CodecError
 from repro.rmi.proxy import Registry, RemoteProxy
 from repro.rmi.server import ServerProcess, SocketCluster, SocketServer
 from repro.rmi.socket import (
+    OversizedFrameError,
     RemoteCallError,
     ServerAddress,
     ServerUnavailable,
@@ -55,6 +73,19 @@ from repro.rmi.socket import (
 )
 from repro.rmi.stats import CallStats
 from repro.rmi.transport import CallOutcome, SimulatedTransport
+
+#: gateway names resolved lazily (PEP 562): repro.rmi.gateway sits on top
+#: of repro.filters.cluster, which itself imports this package — an eager
+#: import here would be circular.
+_GATEWAY_EXPORTS = ("AsyncClusterClient", "Gateway", "GatewayEndpoint", "GatewayProcess")
+
+
+def __getattr__(name: str):
+    if name in _GATEWAY_EXPORTS:
+        from repro.rmi import gateway
+
+        return getattr(gateway, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 __all__ = [
     "Codec",
@@ -73,9 +104,17 @@ __all__ = [
     "SocketTransportError",
     "ServerUnavailable",
     "WireProtocolError",
+    "OversizedFrameError",
     "RemoteCallError",
     "UnknownRemoteMethodError",
     "SocketServer",
     "ServerProcess",
     "SocketCluster",
+    "LoopThread",
+    "AsyncSocketTransport",
+    "AsyncClusterTransport",
+    "AsyncClusterClient",
+    "Gateway",
+    "GatewayEndpoint",
+    "GatewayProcess",
 ]

@@ -25,15 +25,25 @@ model — plus the cluster-level operations the
 Determinism under concurrency
 -----------------------------
 
-Latencies are *modeled* (accumulated in the stats), never slept — so "which
-reply arrives first" must not depend on thread scheduling.  Replies are
-therefore admitted in **modeled arrival order**: sorted by ``(latency,
-server index)``, where a still-outstanding call is only overtaken once its
-latency lower bound (the server's configured per-call latency) provably
-exceeds the candidate's arrival time.  The admitted reply sequence — and
-with it every downstream reconstruction, verification and counter — is a
-pure function of the configuration, while the calls themselves genuinely
-execute concurrently on the pool.
+For *simulated* transports latencies are modeled (accumulated in the
+stats), never slept — so "which reply arrives first" must not depend on
+thread scheduling.  Replies are therefore admitted in **modeled arrival
+order**: sorted by ``(latency, server index)``, where a still-outstanding
+call is only overtaken once its latency lower bound (the server's
+configured per-call latency) provably exceeds the candidate's arrival
+time.  The admitted reply sequence — and with it every downstream
+reconstruction, verification and counter — is a pure function of the
+configuration, while the calls themselves genuinely execute concurrently
+on the pool.
+
+*Measured* transports (``transport.measured`` is true — the socket and
+asyncio wires) have no useful lower bound: their ``per_call_latency`` is
+0.0, under which the overtake proof degenerates to wait-for-all.  A
+quorum read over measured transports therefore admits replies **on
+arrival** — real completion order — which is where the first-k latency
+win actually comes from on a wire.  Results stay deterministic anyway:
+any k threshold replies reconstruct the same secret, and per-server
+call/byte counters are independent of admission order.
 
 The makespan clock
 ------------------
@@ -57,9 +67,10 @@ and measurable without real sleeps.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.prg.generator import SplitMix64
 from repro.rmi.codec import Codec
@@ -185,6 +196,12 @@ class ClusterTransport:
                     )
                 )
         self.concurrency = bool(concurrency)
+        # Measured transports (socket/asyncio) admit quorum replies in real
+        # completion order; simulated ones keep the deterministic modeled
+        # arrival order (see the module docstring).
+        self._measured = any(
+            getattr(transport, "measured", False) for transport in self.transports
+        )
         self.round_overhead = round_overhead
         self._max_workers = max_workers
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -465,7 +482,8 @@ class ClusterTransport:
         """Scatter to every target but return after ``k`` successful replies.
 
         The returned list holds the replies *admitted* before the quorum was
-        reached, in modeled arrival order — the first ``k`` successes plus
+        reached, in arrival order (modeled for simulated transports, real
+        completion order for measured ones) — the first ``k`` successes plus
         any failures that arrived among them.  Outstanding calls keep
         draining in the background (their stats land when they complete; see
         :meth:`drain`), which is exactly the latency-optimal behaviour of a
@@ -516,22 +534,44 @@ class ClusterTransport:
         targets: List[int],
         k: int,
     ) -> List[ClusterReply]:
-        """Admit replies in modeled arrival order, stopping at k successes.
+        """Admit replies up to the k-th success, leaving stragglers to drain.
 
-        A completed reply may only be admitted once no still-outstanding
-        call could arrive before it: an outstanding server's latency is at
-        least its configured per-call latency (payload terms only add), so
-        once that lower bound exceeds the candidate's arrival key the order
-        is settled.  When the quorum completes early, the rest of the
-        futures are left to drain in the background.
+        Measured transports admit in real completion order (the reply that
+        actually arrived first is admitted first); simulated transports
+        admit in modeled arrival order, where a completed reply may only be
+        admitted once no still-outstanding call could arrive before it: an
+        outstanding server's latency is at least its configured per-call
+        latency (payload terms only add), so once that lower bound exceeds
+        the candidate's arrival key the order is settled.  When the quorum
+        completes early, the rest of the futures are left to drain in the
+        background.
         """
         pool = self._pool()
         outstanding: Dict[Future, int] = {}
         for index in targets:
             outstanding[pool.submit(self._outcome, index, method, args, kwargs)] = index
-        completed: List[ClusterReply] = []  # buffer, sorted by modeled arrival
         admitted: List[ClusterReply] = []
         successes = 0
+        if self._measured:
+            # Admit-on-arrival: no lower-bound proof exists for a measured
+            # wire, and none is needed — completion order *is* arrival order.
+            while successes < k and outstanding:
+                done, _ = wait(list(outstanding), return_when=FIRST_COMPLETED)
+                # A batch of simultaneously-completed futures has no further
+                # arrival information; order it by the measured latency for
+                # stability.
+                for future in sorted(done, key=lambda item: _arrival_key(item.result())):
+                    outstanding.pop(future)
+                    admitted.append(future.result())
+                    if future.result().ok:
+                        successes += 1
+                        if successes >= k:
+                            break
+            if outstanding:
+                with self._lock:
+                    self._background.extend(outstanding)
+            return admitted
+        completed: Deque[ClusterReply] = deque()  # buffer, sorted by modeled arrival
         while successes < k and (outstanding or completed):
             # Admit every buffered reply that can no longer be overtaken by
             # an in-flight call (whose arrival is at least its server's
@@ -542,7 +582,7 @@ class ClusterTransport:
                     (self.latency_of(i), i) for i in outstanding.values()
                 ) <= head_key:
                     break  # an in-flight call may still arrive first
-                head = completed.pop(0)
+                head = completed.popleft()
                 admitted.append(head)
                 if head.ok:
                     successes += 1

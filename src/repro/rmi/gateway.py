@@ -1,0 +1,597 @@
+"""The gateway: many concurrent client sessions over one shared server fleet.
+
+A :class:`Gateway` is a socket daemon (built on the asyncio
+:class:`~repro.rmi.server.SocketServer`) whose target is not a share table
+but a whole cluster: it holds **one** multiplexed
+:class:`~repro.rmi.aio.AsyncClusterTransport` connection per share server
+and serves any number of concurrent client connections over it — all on
+the same single event loop, from client socket frames to upstream quorum
+admission.
+
+Each client connection gets its own :class:`AsyncClusterClient` session —
+the async mirror of :class:`~repro.filters.cluster.ClusterClient` — so
+per-session state (``open_queue``/``next_node`` cursors, the sticky
+structural primary, prefetch credits) is isolated between clients, while
+the upstream connections, their pipelined frames, and the per-server call
+statistics are shared by everyone.  Sessions expose exactly the
+single-server surface the remote :class:`~repro.filters.client.ClientFilter`
+expects; share reads come back *combined* (the gateway holds the sharing
+scheme and recombines quorum replies), so a remote client drives the
+gateway like a lone plaintext-protocol server.
+
+Lifecycle: a client disconnect (clean or mid-query) releases its session's
+server-side queues; a ``__shutdown__`` request **drains in-flight calls of
+every session** before the gateway answers it and stops — no client's
+half-finished scatter is cut off by another client's shutdown.
+
+:class:`GatewayProcess` runs the gateway as a child process (the
+``repro-gateway`` entry point), and :class:`GatewayEndpoint` is the tiny
+client-side proxy that turns the remote gateway into the in-process
+endpoint object a ``ClientFilter`` consumes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.filters.cluster import ClusterClient, ClusterUnavailableError
+from repro.rmi.aio import AsyncClusterTransport
+from repro.rmi.codec import Codec, CodecError
+from repro.rmi.server import PROTOCOL_VERSION, ServerProcess, SocketServer
+from repro.rmi.socket import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PING_METHOD,
+    SHUTDOWN_METHOD,
+    STATUS_OK,
+    AddressLike,
+    ServerAddress,
+    SocketTransport,
+    UnknownRemoteMethodError,
+    WireProtocolError,
+)
+from repro.secretshare.scheme import SharingScheme
+
+#: the session surface a remote client may call (everything else is
+#: answered with a typed UnknownRemoteMethodError, never executed)
+EXPORTED_METHODS = frozenset(
+    (
+        # structural (replicated; answered by one sticky live server)
+        "node_count",
+        "root_pre",
+        "node_info",
+        "node_infos",
+        "children_of",
+        "children_of_many",
+        "descendants_of",
+        "descendants_of_many",
+        "parent_of",
+        # per-session queue cursors (pinned to the opening server)
+        "open_queue",
+        "open_children_queue",
+        "open_descendants_queue",
+        "next_node",
+        "queue_size",
+        "close_queue",
+        # share reads (scatter-gathered and combined by the gateway)
+        "evaluate",
+        "evaluate_batch",
+        "evaluate_many",
+        "fetch_share",
+        "fetch_shares_batch",
+        "fetch_shares",
+    )
+)
+
+_STRUCTURAL_METHODS = frozenset(
+    (
+        "node_count",
+        "root_pre",
+        "node_info",
+        "node_infos",
+        "children_of",
+        "children_of_many",
+        "descendants_of",
+        "descendants_of_many",
+        "parent_of",
+    )
+)
+
+_QUEUE_OPEN_METHODS = frozenset(
+    ("open_queue", "open_children_queue", "open_descendants_queue")
+)
+
+
+class AsyncClusterClient(ClusterClient):
+    """One gateway session: ``ClusterClient`` semantics, awaited upstream.
+
+    Inherits every pure-compute piece of :class:`ClusterClient` — scheme
+    combination, share regeneration, consistency verification, queue-route
+    bookkeeping — and mirrors only the transport-crossing paths as
+    coroutines over :class:`~repro.rmi.aio.AsyncClusterTransport`, so many
+    sessions interleave on one event loop instead of blocking a thread
+    each.
+
+    Client-side *modeled* hedging is permanently off (there are no modeled
+    latencies to compare); the transport's RTT-percentile hedging covers
+    the same ground with measured data.  The shared transport is owned by
+    the gateway: :meth:`close` here is a deliberate no-op.
+    """
+
+    def __init__(
+        self,
+        transport: AsyncClusterTransport,
+        scheme: SharingScheme,
+        read_quorum: Optional[int] = None,
+        verify_shares: bool = True,
+        prefetch: int = 0,
+    ):
+        super().__init__(
+            transport,
+            scheme,
+            read_quorum=read_quorum,
+            verify_shares=verify_shares,
+            hedge=False,
+            prefetch=prefetch,
+        )
+
+    # ------------------------------------------------------------------
+    # Async mirrors of the transport-crossing paths
+    # ------------------------------------------------------------------
+
+    async def _acall_any(self, method: str, args: Tuple[Any, ...]) -> Any:
+        """Async mirror of ``_call_any``: one live server, fail-over on loss."""
+        last_error: Optional[BaseException] = None
+        overlap = self._take_overlap()
+        for index in self._server_order():
+            try:
+                result = await self.transport.ainvoke(index, method, args, overlap=overlap)
+            except ConnectionError as exc:
+                last_error = exc
+                continue
+            self._primary = index
+            return result
+        raise ClusterUnavailableError(
+            "no live server could answer %s: %s" % (method, last_error)
+        )
+
+    async def _aopen_queue(self, method: str, pres: List[int]) -> int:
+        """Async mirror of ``_open_queue_on_primary``."""
+        last_error: Optional[BaseException] = None
+        overlap = self._take_overlap()
+        for index in self._server_order():
+            try:
+                remote_id = await self.transport.ainvoke(
+                    index, method, (list(pres),), overlap=overlap
+                )
+            except ConnectionError as exc:
+                last_error = exc
+                continue
+            self._primary = index
+            local_id = self._next_local_queue_id
+            self._next_local_queue_id += 1
+            self._queue_routes[local_id] = (index, remote_id)
+            return local_id
+        raise ClusterUnavailableError(
+            "no live server could answer %s: %s" % (method, last_error)
+        )
+
+    async def _agather(
+        self, method: str, args: Tuple[Any, ...]
+    ) -> Tuple[Dict[int, Any], Dict[int, BaseException]]:
+        """Async mirror of ``_gather`` (transport-level hedging instead of
+        the modeled client-side co-issue; same quorum/escalation logic)."""
+        replies: Dict[int, Any] = {}
+        failures: Dict[int, BaseException] = {}
+
+        def absorb(batch) -> None:
+            for reply in batch:
+                if reply.ok:
+                    replies[reply.server] = reply.value
+                elif isinstance(reply.error, ConnectionError):
+                    failures[reply.server] = reply.error
+                else:
+                    raise reply.error
+
+        order = self._server_order(start=0)
+        targets = order[: self._read_quorum]
+        spares = order[self._read_quorum :]
+        quorum = len(targets) if self._verify else min(self.scheme.threshold, len(targets))
+        absorb(await self.transport.ainvoke_quorum(method, args, k=quorum, indices=targets))
+        if not self.scheme.sufficient(replies):
+            remaining = [
+                index for index in spares if index not in replies and index not in failures
+            ]
+            if remaining:
+                absorb(await self.transport.ainvoke_all(method, args, indices=remaining))
+        self._overlap_credits = self._prefetch
+        return replies, failures
+
+    async def aevaluate(self, pre: int, point: int) -> int:
+        """Async mirror of :meth:`ClusterClient.evaluate`."""
+        replies, failures = await self._agather("evaluate", (pre, point))
+        replies = self._complete_with_regenerated(
+            replies,
+            failures,
+            lambda index: self.ring.evaluate(self.scheme.regenerate_share(pre, index), point),
+            "evaluate",
+        )
+        vectors = {index: (value,) for index, value in replies.items()}
+        self._verify_vectors(vectors, "evaluate")
+        return self.scheme.combine_vectors(vectors)[0]
+
+    async def aevaluate_batch(self, pres: List[int], point: int) -> List[int]:
+        """Async mirror of :meth:`ClusterClient.evaluate_batch`."""
+        pres = list(pres)
+        if not pres:
+            return []
+        replies, failures = await self._agather("evaluate_batch", (pres, point))
+
+        def regenerate(index: int) -> List[int]:
+            shares = [self.scheme.regenerate_share(pre, index) for pre in pres]
+            return self.ring.evaluate_many(shares, point)
+
+        replies = self._complete_with_regenerated(replies, failures, regenerate, "evaluate_batch")
+        self._verify_vectors(replies, "evaluate_batch")
+        return self.scheme.combine_values_many(replies)
+
+    async def afetch_share(self, pre: int) -> List[int]:
+        """Async mirror of :meth:`ClusterClient.fetch_share`."""
+        replies, failures = await self._agather("fetch_share", (pre,))
+        replies = self._complete_with_regenerated(
+            replies,
+            failures,
+            lambda index: list(self.scheme.regenerate_share(pre, index).coeffs),
+            "fetch_share",
+        )
+        self._verify_vectors(replies, "fetch_share")
+        return self.scheme.combine_vectors(replies)
+
+    async def afetch_shares_batch(self, pres: List[int]) -> List[List[int]]:
+        """Async mirror of :meth:`ClusterClient.fetch_shares_batch`."""
+        pres = list(pres)
+        if not pres:
+            return []
+        replies, failures = await self._agather("fetch_shares_batch", (pres,))
+
+        def regenerate(index: int) -> List[List[int]]:
+            return [list(self.scheme.regenerate_share(pre, index).coeffs) for pre in pres]
+
+        replies = self._complete_with_regenerated(
+            replies, failures, regenerate, "fetch_shares_batch"
+        )
+        flat = {
+            index: [value for vector in vectors for value in vector]
+            for index, vectors in replies.items()
+        }
+        self._verify_vectors(flat, "fetch_shares_batch")
+        combined = self.scheme.combine_vectors(flat)
+        length = self.ring.length
+        return [combined[start : start + length] for start in range(0, len(combined), length)]
+
+    # ------------------------------------------------------------------
+    # Dispatch and lifecycle
+    # ------------------------------------------------------------------
+
+    async def adispatch(self, method: str, args: Sequence[Any], kwargs: Dict[str, Any]) -> Any:
+        """Route one wire request to the matching session coroutine."""
+        if kwargs:
+            raise TypeError(
+                "gateway calls take positional arguments only, got keywords %s"
+                % sorted(kwargs)
+            )
+        args = tuple(args)
+        if method in _STRUCTURAL_METHODS:
+            return await self._acall_any(method, args)
+        if method in _QUEUE_OPEN_METHODS:
+            (pres,) = args
+            return await self._aopen_queue(method, pres)
+        if method == "next_node":
+            (queue_id,) = args
+            server, remote_id = self._queue_route(queue_id)
+            return await self.transport.ainvoke(server, "next_node", (remote_id,))
+        if method == "queue_size":
+            (queue_id,) = args
+            server, remote_id = self._queue_route(queue_id)
+            return await self.transport.ainvoke(server, "queue_size", (remote_id,))
+        if method == "close_queue":
+            (queue_id,) = args
+            server, remote_id = self._queue_routes.pop(queue_id, (None, None))
+            if server is None:
+                return False
+            return await self.transport.ainvoke(server, "close_queue", (remote_id,))
+        if method == "evaluate":
+            pre, point = args
+            return await self.aevaluate(pre, point)
+        if method in ("evaluate_batch", "evaluate_many"):
+            pres, point = args
+            return await self.aevaluate_batch(pres, point)
+        if method == "fetch_share":
+            (pre,) = args
+            return await self.afetch_share(pre)
+        if method in ("fetch_shares_batch", "fetch_shares"):
+            (pres,) = args
+            return await self.afetch_shares_batch(pres)
+        raise UnknownRemoteMethodError("gateway exports no method %r" % method)
+
+    async def arelease(self) -> None:
+        """Release per-session server-side resources (open queue cursors).
+
+        Called when the client connection ends — cleanly or mid-query — so
+        abandoned cursors never pile up on the share servers.  A server
+        that is gone (or already dropped the queue) is not an error here.
+        """
+        routes, self._queue_routes = self._queue_routes, {}
+        for server, remote_id in routes.values():
+            try:
+                await self.transport.ainvoke(server, "close_queue", (remote_id,))
+            except (ConnectionError, LookupError, RuntimeError):
+                pass
+
+    def close(self) -> None:
+        """A session must NOT close the shared transport: deliberate no-op."""
+
+
+class Gateway(SocketServer):
+    """Serves many concurrent client sessions over one shared fleet.
+
+    One event loop runs everything: the client-facing accept loop (both
+    framings, pipelined or legacy), every session's dispatches, and the
+    multiplexed upstream connections of the shared
+    :class:`~repro.rmi.aio.AsyncClusterTransport`.  The transport must not
+    have a sync loop thread of its own — the gateway *is* its event loop.
+    """
+
+    def __init__(
+        self,
+        cluster: AsyncClusterTransport,
+        scheme: SharingScheme,
+        read_quorum: Optional[int] = None,
+        verify_shares: bool = True,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+        codec: Optional[Codec] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        name: str = "repro-gateway",
+    ):
+        super().__init__(
+            target=cluster,
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            codec=codec,
+            max_frame_bytes=max_frame_bytes,
+            name=name,
+        )
+        self.cluster = cluster
+        self.scheme = scheme
+        self.read_quorum = read_quorum
+        self.verify_shares = verify_shares
+        #: live sessions (loop-confined; for introspection and tests)
+        self.sessions: Set[AsyncClusterClient] = set()
+        self._inflight = 0
+        self._drain_waiters: List["asyncio.Future"] = []
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def _make_session(self) -> AsyncClusterClient:
+        session = AsyncClusterClient(
+            self.cluster,
+            self.scheme,
+            read_quorum=self.read_quorum,
+            verify_shares=self.verify_shares,
+        )
+        self.sessions.add(session)
+        return session
+
+    async def _release_session(self, session: Any) -> None:
+        if session is None:  # pragma: no cover - defensive
+            return
+        self.sessions.discard(session)
+        await session.arelease()
+
+    async def _on_loop_shutdown(self) -> None:
+        # Every connection is gone; release the upstream fleet connections
+        # on the loop they live on, before it closes.
+        await self.cluster.aclose()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _respond(self, frame: bytes, session: Any = None) -> Tuple[bytes, bool]:
+        """Decode, dispatch against the session, encode — all awaited.
+
+        Unlike the base server's synchronous ``_handle``, a dispatch here
+        crosses the upstream wire, so it awaits — which is exactly what
+        lets other sessions' requests interleave on the loop meanwhile.
+        """
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        try:
+            request = self.codec.decode(frame)
+        except CodecError as exc:
+            return self._error_payload(WireProtocolError("malformed request: %s" % exc)), False
+        if not isinstance(request, dict) or not isinstance(request.get("method"), str):
+            return (
+                self._error_payload(
+                    WireProtocolError("request must be a {method, args, kwargs} dictionary")
+                ),
+                False,
+            )
+        method = request["method"]
+        args = request.get("args") or []
+        kwargs = request.get("kwargs") or {}
+        if method == PING_METHOD:
+            return STATUS_OK + self.codec.encode(self._identity()), False
+        if method == SHUTDOWN_METHOD:
+            # Graceful drain: every other session's in-flight dispatch
+            # completes (and is answered) before the gateway goes down.
+            await self._drain_inflight()
+            return STATUS_OK + self.codec.encode(True), True
+        if method.startswith("_") or method not in EXPORTED_METHODS:
+            return (
+                self._error_payload(
+                    UnknownRemoteMethodError("gateway exports no method %r" % method)
+                ),
+                False,
+            )
+        if session is None:  # pragma: no cover - defensive
+            return self._error_payload(RuntimeError("connection has no session")), False
+        self._inflight += 1
+        try:
+            result = session.adispatch(method, args, kwargs)
+            value = await result
+        except Exception as exc:
+            return self._error_payload(exc), False
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0 and self._drain_waiters:
+                waiters, self._drain_waiters = self._drain_waiters, []
+                for waiter in waiters:
+                    if not waiter.done():
+                        waiter.set_result(None)
+        try:
+            return STATUS_OK + self.codec.encode(value), False
+        except CodecError as exc:
+            return self._error_payload(exc), False
+
+    async def _drain_inflight(self) -> None:
+        while self._inflight:
+            waiter: "asyncio.Future" = asyncio.get_event_loop().create_future()
+            self._drain_waiters.append(waiter)
+            await waiter
+
+    def _identity(self) -> Dict[str, Any]:
+        return {
+            "server": self.name,
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "target": "AsyncClusterClient",
+            "servers": self.cluster.num_servers,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        where = str(self._address) if self._address is not None else "unbound"
+        return "Gateway(servers=%d, sessions=%d, %s)" % (
+            self.cluster.num_servers,
+            len(self.sessions),
+            where,
+        )
+
+
+class GatewayEndpoint:
+    """Client-side proxy: the remote gateway as an in-process endpoint.
+
+    Every public attribute access yields a callable that performs one
+    remote call over the transport, so the object drops into any slot
+    expecting a single ``ServerFilter``-surface endpoint — in particular
+    the first argument of :class:`~repro.filters.client.ClientFilter`.
+    """
+
+    def __init__(self, transport: SocketTransport):
+        self.transport = transport
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        transport = self.transport
+
+        def remote_call(*args: Any, **kwargs: Any) -> Any:
+            return transport.invoke(None, name, args, kwargs)
+
+        remote_call.__name__ = name
+        return remote_call
+
+    def ping(self) -> Dict[str, Any]:
+        """The gateway's ``__ping__`` identity (health check)."""
+        return self.transport.ping()
+
+    def close(self) -> None:
+        """Release the proxy's pooled connections."""
+        self.transport.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "GatewayEndpoint(%s)" % (self.transport.address,)
+
+
+class GatewayProcess(ServerProcess):
+    """The gateway as a child process (the ``repro-gateway`` daemon).
+
+    Reuses the :class:`~repro.rmi.server.ServerProcess` machinery — READY
+    line handshake, ``__ping__`` health check, parent-watch, graceful
+    ``__shutdown__`` with escalation, SIGKILL fault injection — and swaps
+    only the spawned command: ``python -m repro.cli gateway`` pointed at an
+    already-running server fleet and the deployment's seed file.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[AddressLike],
+        seed_path: str,
+        p: int,
+        e: int = 1,
+        sharing: str = "additive",
+        threshold: Optional[int] = None,
+        read_quorum: Optional[int] = None,
+        verify_shares: bool = True,
+        hedge: float = 0.0,
+        host: str = "127.0.0.1",
+        python: Optional[str] = None,
+        startup_timeout: float = 30.0,
+        name: Optional[str] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        super().__init__(
+            database_path=seed_path,
+            p=p,
+            e=e,
+            host=host,
+            python=python,
+            startup_timeout=startup_timeout,
+            name=name or "repro-gateway",
+            max_frame_bytes=max_frame_bytes,
+        )
+        self.servers = [ServerAddress.coerce(server) for server in servers]
+        for address in self.servers:
+            if address.is_unix:
+                raise ValueError(
+                    "the gateway daemon reaches its fleet over TCP; got unix "
+                    "address %s" % address
+                )
+        self.seed_path = seed_path
+        self.sharing = sharing
+        self.threshold = threshold
+        self.read_quorum = read_quorum
+        self.verify_shares = verify_shares
+        self.hedge = hedge
+
+    def _command(self) -> List[str]:
+        command = [
+            self.python, "-m", "repro.cli", "gateway",
+            "--seed", self.seed_path,
+            "--p", str(self.p), "--e", str(self.e),
+            "--sharing", self.sharing,
+            "--host", self.host, "--port", "0",
+            "--max-frame-bytes", str(self.max_frame_bytes),
+            "--parent-watch",
+        ]
+        for address in self.servers:
+            command.extend(["--server", "%s:%d" % (address.host, address.port)])
+        if self.threshold is not None:
+            command.extend(["--threshold", str(self.threshold)])
+        if self.read_quorum is not None:
+            command.extend(["--read-quorum", str(self.read_quorum)])
+        if not self.verify_shares:
+            command.append("--no-verify")
+        if self.hedge:
+            command.extend(["--hedge", repr(self.hedge)])
+        return command
+
+    def endpoint(self, **kwargs: Any) -> GatewayEndpoint:
+        """A fresh client-side proxy session against this gateway."""
+        return GatewayEndpoint(self.transport(**kwargs))

@@ -2,10 +2,16 @@
 
 Three layers, each building on the previous:
 
-* :class:`SocketServer` — an in-process daemon: bind, accept, one thread
-  per connection, dispatch framed requests against a target object (any
-  object with public methods taking/returning codec-serialisable values —
-  in practice a :class:`~repro.filters.server.ServerFilter`).  Serves the
+* :class:`SocketServer` — an in-process daemon: bind, then serve every
+  connection on **one** asyncio event loop running in a single background
+  thread — no thread per socket, no thread per in-flight call — and
+  dispatch framed requests against a target object (any object with public
+  methods taking/returning codec-serialisable values — in practice a
+  :class:`~repro.filters.server.ServerFilter`).  Each connection speaks
+  either the legacy one-call-at-a-time framing or the multiplexed
+  pipelined framing, auto-detected from the first four bytes (the
+  :data:`~repro.rmi.socket.MUX_MAGIC` preamble reads as an impossibly
+  large legacy length prefix, so the two cannot be confused).  Serves the
   ``__ping__`` health-check handshake and a graceful ``__shutdown__``.
 * :class:`ServerProcess` — one server as a child *process*: spawns
   ``python -m repro.cli server`` (the ``repro-server`` entry point) on a
@@ -31,6 +37,7 @@ shutdown paths are idempotent.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import select
 import shutil
@@ -40,12 +47,15 @@ import sys
 import tempfile
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.rmi.codec import Codec, CodecError
 from repro.rmi.socket import (
     DEFAULT_MAX_FRAME_BYTES,
     DEFAULT_TIMEOUT,
+    FRAME_HEADER_BYTES,
+    MUX_MAGIC,
+    OversizedFrameError,
     PING_METHOD,
     SHUTDOWN_METHOD,
     STATUS_ERROR,
@@ -56,8 +66,8 @@ from repro.rmi.socket import (
     UnknownRemoteMethodError,
     WireProtocolError,
     encode_exception,
-    recv_frame,
-    send_frame,
+    pack_mux_frame,
+    read_mux_frame,
 )
 
 #: stdout line a spawned server prints once it accepts connections;
@@ -69,7 +79,18 @@ PROTOCOL_VERSION = 1
 
 
 class SocketServer:
-    """Hosts one target object behind a TCP or Unix-domain socket."""
+    """Hosts one target object behind a TCP or Unix-domain socket.
+
+    All connections are served by one asyncio event loop on a single
+    background thread.  Requests on one connection are dispatched
+    *sequentially* — the protocol has stateful, order-dependent endpoints
+    (``open_queue``/``next_node``), and the pipelining win of the
+    multiplexed framing is eliminating the per-request round-trip gap, not
+    reordering a session — while separate connections interleave freely at
+    every await point.  ``delay`` sleeps (asynchronously) before answering
+    each request: deterministic injected per-server latency for benchmarks
+    exercising first-k quorum reads on a real wire.
+    """
 
     def __init__(
         self,
@@ -80,20 +101,27 @@ class SocketServer:
         codec: Optional[Codec] = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         name: str = "repro-server",
+        delay: float = 0.0,
     ):
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
         self.target = target
         self.codec = codec or Codec()
         self.max_frame_bytes = max_frame_bytes
         self.name = name
+        self.delay = float(delay)
         self._host = host
         self._port = port
         self._unix_path = unix_path
         self._listener: Optional[socket.socket] = None
         self._address: Optional[ServerAddress] = None
-        self._accept_thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._stop_event: Optional[asyncio.Event] = None
         self._shutdown = threading.Event()
         self._lock = threading.Lock()
-        self._connections: List[socket.socket] = []
+        #: live connection writers; owned by the event loop thread
+        self._writers: Set[asyncio.StreamWriter] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -135,14 +163,26 @@ class SocketServer:
                 raise
             bound_host, bound_port = listener.getsockname()[:2]
             self._address = ServerAddress(host=bound_host, port=bound_port)
-        # A blocked accept() is not reliably unblocked by close() from
-        # another thread; a short timeout makes the loop re-check shutdown.
-        listener.settimeout(0.5)
+        listener.setblocking(False)
         self._listener = listener
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="%s-accept" % self.name, daemon=True
+        started = threading.Event()
+        failures: List[BaseException] = []
+        self._loop_thread = threading.Thread(
+            target=self._run_loop,
+            args=(listener, started, failures),
+            name="%s-loop" % self.name,
+            daemon=True,
         )
-        self._accept_thread.start()
+        self._loop_thread.start()
+        started.wait()
+        if failures:
+            self._listener = None
+            self._loop_thread = None
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover
+                pass
+            raise failures[0]
         return self._address
 
     def serve_forever(self) -> None:
@@ -158,33 +198,46 @@ class SocketServer:
         self.close()
 
     def close(self) -> None:
-        """Stop accepting, drop every connection, join the threads.
+        """Stop accepting, drop every connection, join the loop thread.
 
         Idempotent: closing a closed (or never-started) server is a no-op,
         so CI teardown paths can call it unconditionally.
         """
         self._shutdown.set()
-        listener, self._listener = self._listener, None
+        self._signal_stop()
+        thread, self._loop_thread = self._loop_thread, None
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        self._finalize()
+
+    def _signal_stop(self) -> None:
+        """Ask the event loop (from any thread) to wind the server down."""
+        loop = self._loop
+        stop = self._stop_event
+        if loop is None or stop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    def _finalize(self) -> None:
+        """Release the listener socket and unix path (idempotent)."""
+        with self._lock:
+            listener, self._listener = self._listener, None
         if listener is not None:
             try:
                 listener.close()
             except OSError:  # pragma: no cover
                 pass
-            if self._unix_path is not None:
-                # AF_UNIX paths are not reclaimed by the OS (SO_REUSEADDR
-                # does not apply); leaving the file would make the next
-                # bind on this path fail.
-                try:
-                    os.unlink(self._unix_path)
-                except OSError:
-                    pass
-        with self._lock:
-            connections, self._connections = self._connections, []
-        for sock in connections:
-            _shutdown_quietly(sock)
-        thread, self._accept_thread = self._accept_thread, None
-        if thread is not None and thread is not threading.current_thread():
-            thread.join(timeout=5.0)
+        if self._unix_path is not None:
+            # AF_UNIX paths are not reclaimed by the OS (SO_REUSEADDR
+            # does not apply); leaving the file would make the next
+            # bind on this path fail.
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
 
     def __enter__(self) -> "SocketServer":
         self.start()
@@ -194,74 +247,309 @@ class SocketServer:
         self.close()
 
     # ------------------------------------------------------------------
-    # Accept / connection loops
+    # Event loop
     # ------------------------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        listener = self._listener
-        while not self._shutdown.is_set() and listener is not None:
-            try:
-                conn, _ = listener.accept()
-            except socket.timeout:
-                continue  # periodic shutdown re-check
-            except OSError:
-                break  # listener closed: shutting down
-            conn.settimeout(None)
-            with self._lock:
-                if self._shutdown.is_set():
-                    _shutdown_quietly(conn)
-                    break
-                self._connections.append(conn)
-            thread = threading.Thread(
-                target=self._connection_loop, args=(conn,),
-                name="%s-conn" % self.name, daemon=True,
-            )
-            thread.start()
-
-    def _connection_loop(self, conn: socket.socket) -> None:
+    def _run_loop(
+        self,
+        listener: socket.socket,
+        started: threading.Event,
+        failures: List[BaseException],
+    ) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
         try:
-            while not self._shutdown.is_set():
-                try:
-                    frame = recv_frame(conn, self.max_frame_bytes, eof_ok=True)
-                except WireProtocolError as exc:
-                    # Oversized or truncated request: answer typed, then drop
-                    # the connection — framing sync is unrecoverable.
-                    self._send_error(conn, exc)
-                    break
-                except OSError:
-                    break
-                if frame is None:
-                    break  # clean EOF between frames
-                response, stop_after = self._handle(frame)
-                try:
-                    send_frame(conn, response, self.max_frame_bytes)
-                except WireProtocolError as exc:
-                    # The encoded result exceeds the frame limit.  Nothing
-                    # was written (the size check precedes the send), so
-                    # framing is intact: answer typed and keep serving.
-                    self._send_error(conn, exc)
-                    continue
-                except OSError:
-                    break
-                if stop_after:
-                    self.close()
-                    break
+            loop.run_until_complete(self._main(listener, started, failures))
         finally:
-            _shutdown_quietly(conn)
-            with self._lock:
-                if conn in self._connections:
-                    self._connections.remove(conn)
+            try:
+                pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+                self._loop = None
+                self._stop_event = None
+                # The wire-shutdown path never calls close(); releasing the
+                # listener here lets callers observe completed teardown.
+                self._finalize()
 
-    def _send_error(self, conn: socket.socket, error: BaseException) -> None:
+    async def _main(
+        self,
+        listener: socket.socket,
+        started: threading.Event,
+        failures: List[BaseException],
+    ) -> None:
+        self._stop_event = asyncio.Event()
         try:
-            # The error description must go out even when the configured
-            # frame limit is tiny (it is what rejected the request).
-            send_frame(
-                conn,
-                STATUS_ERROR + self.codec.encode(encode_exception(error)),
-                max(self.max_frame_bytes, 4096),
+            if self._unix_path is not None:
+                server = await asyncio.start_unix_server(
+                    self._on_connection, sock=listener
+                )
+            else:
+                server = await asyncio.start_server(self._on_connection, sock=listener)
+        except Exception as exc:  # pragma: no cover - loop refuses the socket
+            failures.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            for writer in list(self._writers):
+                _abort_writer(writer)
+            await server.wait_closed()
+            await self._on_loop_shutdown()
+
+    async def _on_loop_shutdown(self) -> None:
+        """Last words on the event loop before it winds down.
+
+        Subclasses holding loop-bound resources beyond the connections (the
+        gateway's upstream cluster transport) release them here — after the
+        listener stopped accepting and every connection was dropped, while
+        the loop still runs.
+        """
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _make_session(self) -> Any:
+        """Per-connection state, created as a connection opens.
+
+        The base server is stateless per connection (the target object holds
+        all state) and returns ``None``; the gateway binds each connection to
+        its own client session here.
+        """
+        return None
+
+    async def _release_session(self, session: Any) -> None:
+        """Release per-connection state as the connection ends (hook)."""
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        session = self._make_session()
+        try:
+            await self._serve_connection(reader, writer, session)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # peer vanished mid-session: a normal end
+        finally:
+            self._writers.discard(writer)
+            _abort_writer(writer)
+            await self._release_session(session)
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        session: Any = None,
+    ) -> None:
+        """Detect the framing from the first four bytes and serve the session."""
+        try:
+            first = await reader.readexactly(FRAME_HEADER_BYTES)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return  # connected and went away: a normal non-session
+            await self._send_legacy_error(
+                writer,
+                WireProtocolError(
+                    "connection closed with %d of %d frame header bytes outstanding"
+                    % (FRAME_HEADER_BYTES - len(exc.partial), FRAME_HEADER_BYTES)
+                ),
             )
-        except OSError:  # pragma: no cover - peer already gone
+            return
+        if first == MUX_MAGIC:
+            await self._serve_mux(reader, writer, session)
+        else:
+            await self._serve_legacy(reader, writer, first, session)
+
+    async def _serve_legacy(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        header: bytes,
+        session: Any = None,
+    ) -> None:
+        """One call at a time over plain length-prefixed frames."""
+        while True:
+            size = int.from_bytes(header, "big")
+            if size > self.max_frame_bytes:
+                # Oversized request: answer typed, then drop the connection —
+                # framing sync is unrecoverable.
+                await self._send_legacy_error(
+                    writer,
+                    WireProtocolError(
+                        "peer announced a %d-byte frame (limit %d)"
+                        % (size, self.max_frame_bytes)
+                    ),
+                )
+                return
+            try:
+                frame = await reader.readexactly(size)
+            except asyncio.IncompleteReadError as exc:
+                await self._send_legacy_error(
+                    writer,
+                    WireProtocolError(
+                        "connection closed with %d of %d frame body bytes outstanding"
+                        % (size - len(exc.partial), size)
+                    ),
+                )
+                return
+            response, stop_after = await self._respond(frame, session)
+            if len(response) > self.max_frame_bytes:
+                # The encoded result exceeds the frame limit.  Nothing was
+                # written, so framing is intact: answer typed, keep serving.
+                await self._send_legacy_error(
+                    writer,
+                    WireProtocolError(
+                        "frame of %d bytes exceeds the %d-byte limit"
+                        % (len(response), self.max_frame_bytes)
+                    ),
+                )
+            else:
+                writer.write(len(response).to_bytes(FRAME_HEADER_BYTES, "big") + response)
+                await writer.drain()
+            if stop_after:
+                self._shutdown.set()
+                self._signal_stop()
+                return
+            try:
+                header = await reader.readexactly(FRAME_HEADER_BYTES)
+            except asyncio.IncompleteReadError as exc:
+                if not exc.partial:
+                    return  # clean EOF between frames
+                await self._send_legacy_error(
+                    writer,
+                    WireProtocolError(
+                        "connection closed with %d of %d frame header bytes outstanding"
+                        % (FRAME_HEADER_BYTES - len(exc.partial), FRAME_HEADER_BYTES)
+                    ),
+                )
+                return
+
+    async def _serve_mux(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        session: Any = None,
+    ) -> None:
+        """Pipelined id-tagged frames over one connection.
+
+        Every request is dispatched as its own task the moment its frame
+        arrives, so slow calls — an injected service delay, a dispatch that
+        awaits upstream IO — overlap instead of queueing behind each other.
+        Replies carry the request's id and go out in *completion* order; the
+        mux client matches them by id, so reordering is part of the
+        contract.  Only the reply writes are serialised (one frame at a
+        time).  A ``__shutdown__`` stops the read loop once answered;
+        dispatches already in flight are drained before the server stops.
+        """
+        write_lock = asyncio.Lock()
+        stopping = asyncio.Event()
+        inflight: Set["asyncio.Task[None]"] = set()
+
+        async def _dispatch(call_id: int, frame: bytes) -> None:
+            response, stop_after = await self._respond(frame, session)
+            try:
+                if len(response) > self.max_frame_bytes:
+                    async with write_lock:
+                        await self._send_mux_error(
+                            writer,
+                            call_id,
+                            WireProtocolError(
+                                "frame of %d bytes exceeds the %d-byte limit"
+                                % (len(response), self.max_frame_bytes)
+                            ),
+                        )
+                else:
+                    async with write_lock:
+                        writer.write(
+                            pack_mux_frame(call_id, response, self.max_frame_bytes)
+                        )
+                        await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # peer gone: the read loop is ending too
+            finally:
+                if stop_after:
+                    stopping.set()
+
+        stop_wait = asyncio.ensure_future(stopping.wait())
+        try:
+            while not stopping.is_set():
+                read = asyncio.ensure_future(
+                    read_mux_frame(reader, self.max_frame_bytes)
+                )
+                await asyncio.wait({read, stop_wait}, return_when=asyncio.FIRST_COMPLETED)
+                if not read.done():
+                    # a __shutdown__ reply went out while we were blocked
+                    # reading: stop accepting, drop the half-read frame
+                    read.cancel()
+                    await asyncio.gather(read, return_exceptions=True)
+                    break
+                try:
+                    item = read.result()
+                except OversizedFrameError as exc:
+                    # The id is known from the header: answer that call
+                    # typed, then drop — the body was never read, so sync
+                    # is lost.
+                    if exc.call_id is not None:
+                        async with write_lock:
+                            await self._send_mux_error(writer, exc.call_id, exc)
+                    return
+                except WireProtocolError:
+                    return  # truncated mid-frame: nothing sane left to answer
+                if item is None:
+                    return  # clean EOF between frames
+                call_id, frame = item
+                task = asyncio.ensure_future(_dispatch(call_id, frame))
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+        finally:
+            stop_wait.cancel()
+            # Half-closed peers still read replies: finish every accepted
+            # request before the connection (or the server) goes down.
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            if stopping.is_set():
+                self._shutdown.set()
+                self._signal_stop()
+
+    async def _respond(self, frame: bytes, session: Any = None) -> Tuple[bytes, bool]:
+        """Dispatch one request frame (after the optional injected delay)."""
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        return self._handle(frame)
+
+    async def _send_legacy_error(
+        self, writer: asyncio.StreamWriter, error: BaseException
+    ) -> None:
+        # The error description must go out even when the configured frame
+        # limit is tiny (it is what rejected the request).
+        payload = STATUS_ERROR + self.codec.encode(encode_exception(error))
+        if len(payload) > max(self.max_frame_bytes, 4096):  # pragma: no cover
+            return
+        try:
+            writer.write(len(payload).to_bytes(FRAME_HEADER_BYTES, "big") + payload)
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - peer gone
+            pass
+
+    async def _send_mux_error(
+        self, writer: asyncio.StreamWriter, call_id: int, error: BaseException
+    ) -> None:
+        payload = STATUS_ERROR + self.codec.encode(encode_exception(error))
+        try:
+            writer.write(pack_mux_frame(call_id, payload, max(self.max_frame_bytes, 4096)))
+            await writer.drain()
+        except (ConnectionError, OSError, WireProtocolError):  # pragma: no cover
             pass
 
     # ------------------------------------------------------------------
@@ -355,15 +643,13 @@ def _unlink_stale_unix_socket(path: str) -> None:
         probe.close()
 
 
-def _shutdown_quietly(sock: socket.socket) -> None:
-    """Unblock any thread parked in ``recv`` on ``sock``, then close it."""
+def _abort_writer(writer: asyncio.StreamWriter) -> None:
+    """Drop one connection immediately (idempotent, exception-quiet)."""
     try:
-        sock.shutdown(socket.SHUT_RDWR)
-    except OSError:
-        pass
-    try:
-        sock.close()
-    except OSError:  # pragma: no cover
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()
+    except (RuntimeError, OSError):  # pragma: no cover - already closed
         pass
 
 
@@ -410,6 +696,7 @@ class ServerProcess:
         startup_timeout: float = 30.0,
         name: Optional[str] = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        delay: float = 0.0,
     ):
         self.database_path = database_path
         self.p = p
@@ -419,6 +706,7 @@ class ServerProcess:
         self.startup_timeout = startup_timeout
         self.name = name or os.path.basename(database_path)
         self.max_frame_bytes = max_frame_bytes
+        self.delay = delay
         self.process: Optional[subprocess.Popen] = None
         self.address: Optional[ServerAddress] = None
         self.pid: Optional[int] = None
@@ -433,6 +721,16 @@ class ServerProcess:
         """
         if self.process is not None:
             raise RuntimeError("server process %s already started" % self.name)
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root if not existing else src_root + os.pathsep + existing
+        self.process = subprocess.Popen(
+            self._command(), stdout=subprocess.PIPE, stdin=subprocess.PIPE, env=env
+        )
+
+    def _command(self) -> List[str]:
+        """The child's argv (hook: the gateway daemon overrides this)."""
         command = [
             self.python, "-m", "repro.cli", "server",
             "--db", self.database_path,
@@ -441,13 +739,9 @@ class ServerProcess:
             "--max-frame-bytes", str(self.max_frame_bytes),
             "--parent-watch",
         ]
-        env = dict(os.environ)
-        src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = src_root if not existing else src_root + os.pathsep + existing
-        self.process = subprocess.Popen(
-            command, stdout=subprocess.PIPE, stdin=subprocess.PIPE, env=env
-        )
+        if self.delay:
+            command.extend(["--delay", repr(self.delay)])
+        return command
 
     def await_ready(self) -> ServerAddress:
         """Wait for the READY line (bounded); kill the child on any failure."""
@@ -654,8 +948,14 @@ class SocketCluster:
         startup_timeout: float = 30.0,
         timeout: float = DEFAULT_TIMEOUT,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        delay: float = 0.0,
     ) -> "SocketCluster":
-        """Launch one subprocess server per share table of ``deployment``."""
+        """Launch one subprocess server per share table of ``deployment``.
+
+        ``delay`` injects a per-request service delay into every child (a
+        modeled network/IO round trip) — load benchmarks use it to make
+        queries IO-bound on an otherwise zero-latency loopback.
+        """
         owns_directory = directory is None
         if directory is None:
             directory = tempfile.mkdtemp(prefix="repro-socket-cluster-")
@@ -676,6 +976,7 @@ class SocketCluster:
                     startup_timeout=startup_timeout,
                     name="server-%d" % index,
                     max_frame_bytes=max_frame_bytes,
+                    delay=delay,
                 )
                 processes.append(process)
                 process.launch()

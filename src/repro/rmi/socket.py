@@ -55,6 +55,7 @@ per-call timeout).
 
 from __future__ import annotations
 
+import asyncio
 import socket
 import threading
 import time
@@ -67,6 +68,18 @@ from repro.rmi.transport import CallOutcome
 
 #: size of the big-endian length prefix in front of every frame
 FRAME_HEADER_BYTES = 4
+
+#: preamble a multiplexing client sends right after connecting.  It doubles
+#: as protocol detection on the server: read as a legacy length prefix it
+#: announces a ~4.28 GB frame, far beyond any sane ``max_frame_bytes``, so
+#: the two framings cannot be confused on the first four bytes.
+MUX_MAGIC = b"\xffMUX"
+
+#: multiplexed frame header: request id (4 bytes BE) + payload length
+#: (4 bytes BE).  The payload bytes themselves are identical to the legacy
+#: framing — and therefore to the simulated transport — so per-server byte
+#: counters match across all three transports.
+MUX_HEADER_BYTES = 8
 
 #: default ceiling on a single frame's payload (requests *and* responses)
 DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -97,6 +110,20 @@ class ServerUnavailable(SocketTransportError):
 class WireProtocolError(SocketTransportError):
     """The peer violated the framing protocol (malformed, truncated or
     oversized frame, undecodable payload, unknown status byte)."""
+
+
+class OversizedFrameError(WireProtocolError):
+    """The peer announced a frame larger than ``max_frame_bytes``.
+
+    On the multiplexed wire the offending frame's request id is known from
+    the header, so the server can still answer *that* call typed before
+    dropping the connection (the body was never read, but the stream
+    position after it is unknowable once trust in the peer is gone).
+    """
+
+    def __init__(self, message: str, call_id: Optional[int] = None):
+        super().__init__(message)
+        self.call_id = call_id
 
 
 class RemoteCallError(RuntimeError):
@@ -228,6 +255,63 @@ def recv_frame(
 
 
 # ----------------------------------------------------------------------
+# Multiplexed framing (asyncio wire)
+# ----------------------------------------------------------------------
+
+
+def pack_mux_frame(call_id: int, payload: bytes, max_frame_bytes: int) -> bytes:
+    """One multiplexed frame: ``id(4 BE) + length(4 BE) + payload``."""
+    if len(payload) > max_frame_bytes:
+        raise WireProtocolError(
+            "frame of %d bytes exceeds the %d-byte limit" % (len(payload), max_frame_bytes)
+        )
+    if not 0 <= call_id < 1 << 32:
+        raise WireProtocolError("request id %d does not fit the 4-byte header" % call_id)
+    return (
+        call_id.to_bytes(4, "big")
+        + len(payload).to_bytes(FRAME_HEADER_BYTES, "big")
+        + payload
+    )
+
+
+async def read_mux_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: int
+) -> Optional[Tuple[int, bytes]]:
+    """Read one multiplexed frame; ``None`` on clean EOF at a boundary.
+
+    A peer closing between frames ends the session normally; closing
+    mid-frame is a :class:`WireProtocolError`.  An announced body beyond
+    ``max_frame_bytes`` raises :class:`OversizedFrameError` *before* any of
+    it is read, carrying the request id so a server can answer that call
+    typed before giving up on the stream.
+    """
+    try:
+        header = await reader.readexactly(MUX_HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireProtocolError(
+            "connection closed with %d of %d frame header bytes outstanding"
+            % (MUX_HEADER_BYTES - len(exc.partial), MUX_HEADER_BYTES)
+        )
+    call_id = int.from_bytes(header[:4], "big")
+    size = int.from_bytes(header[4:], "big")
+    if size > max_frame_bytes:
+        raise OversizedFrameError(
+            "peer announced a %d-byte frame (limit %d)" % (size, max_frame_bytes),
+            call_id=call_id,
+        )
+    try:
+        payload = await reader.readexactly(size)
+    except asyncio.IncompleteReadError as exc:
+        raise WireProtocolError(
+            "connection closed with %d of %d frame body bytes outstanding"
+            % (size - len(exc.partial), size)
+        )
+    return call_id, payload
+
+
+# ----------------------------------------------------------------------
 # Addressing
 # ----------------------------------------------------------------------
 
@@ -301,12 +385,11 @@ class SocketTransport:
     and byte counts recorded in :attr:`stats` are *measured* (wall-clock
     round trip, encoded payload sizes), not modeled; ``per_call_latency``
     is fixed at 0.0 — the only honest lower bound for a measured arrival.
-    A zero bound means the cluster's quorum gather can never prove an
-    in-flight call slower than a completed one, so a first-k read over
-    sockets awaits every in-flight reply before admitting: results stay
-    deterministic (any k threshold replies reconstruct identically), but
-    the first-k *latency* win belongs to the modeled transport (and to the
-    planned asyncio transport — see ROADMAP).
+    The :attr:`measured` flag tells the cluster's quorum gather to admit
+    replies in real completion order instead of trying to prove modeled
+    arrival order from that degenerate bound: results stay deterministic
+    (any k threshold replies reconstruct identically) and first-k reads
+    genuinely return at the k-th arrival.
 
     Connections are pooled and reused across calls; dialing retries
     ``connect_retries`` times with exponential backoff, and a pooled
@@ -320,6 +403,10 @@ class SocketTransport:
     wedged server surfaces as :class:`ServerUnavailable` instead of a
     hang.
     """
+
+    #: latencies are wall-clock measurements — the scatter-gather layer
+    #: admits quorum replies in real completion order for such transports
+    measured = True
 
     def __init__(
         self,

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import math
 import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Deque, Dict, Optional
 
 
 @dataclass
@@ -206,3 +208,53 @@ class CallStats:
             self.total_bytes,
             self.simulated_latency,
         )
+
+
+class QuantileSketch:
+    """Streaming quantile estimate over a sliding window of observations.
+
+    The asyncio scatter layer feeds one sketch per server with the measured
+    round-trip time of every successful call and reads a high percentile
+    back as the hedging deadline: "co-issue a spare once the k-th reply is
+    later than the p95 of what this fleet usually takes".  A bounded window
+    (rather than a full history) keeps the estimate adaptive — a server that
+    warmed up or degraded dominates the window after ``window`` calls — and
+    keeps memory constant.
+
+    The estimate is the empirical quantile of the window using the
+    nearest-rank method (``ceil(q * n)``), which is deterministic for a
+    given observation sequence.  All methods take the internal lock: the
+    event loop observes while accounting readers snapshot from other
+    threads.
+    """
+
+    def __init__(self, window: int = 256):
+        if window < 1:
+            raise ValueError("window must be at least 1, got %d" % window)
+        self._window: Deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Add one measurement (negative values are clamped to zero)."""
+        with self._lock:
+            self._window.append(value if value > 0.0 else 0.0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._window)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile of the window (``None`` before any observation)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1], got %r" % (q,))
+        with self._lock:
+            if not self._window:
+                return None
+            ordered = sorted(self._window)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        with self._lock:
+            count = len(self._window)
+        return "QuantileSketch(observations=%d)" % count

@@ -67,6 +67,11 @@ class SimulatedTransport:
     cost without making the test suite slow.
     """
 
+    #: latencies are modeled, not measured — the scatter-gather layer keys
+    #: its admission mode off this flag (modeled arrival order with the
+    #: lower-bound overtake proof, instead of admit-on-arrival)
+    measured = False
+
     def __init__(
         self,
         per_call_latency: float = 0.0,

@@ -398,6 +398,28 @@ class TestInvokeQuorum:
             stats.calls for stats in sequential.per_server_stats
         ]
 
+    def test_large_straggler_backlog_admits_the_exact_prefix(self):
+        """Regression: a quorum over hundreds of servers — most of them
+        stragglers buffered behind the modeled-arrival barrier, with heavy
+        latency ties — still admits exactly the sequential-oracle prefix.
+        (The buffer drain used to be quadratic in the backlog size; this
+        shape keeps it honest on both correctness and complexity.)"""
+        import random
+
+        rng = random.Random(20050905)
+        n = 300
+        latencies = [rng.choice([0.001, 0.002, 5.0, 5.0, 40.0]) for _ in range(n)]
+        k = 5
+        cluster = self._quorum_cluster(latencies)
+        admitted = cluster.invoke_quorum("whoami", k=k)
+        order = _arrival_order(latencies)
+        assert [reply.server for reply in admitted] == order[: len(admitted)]
+        assert sum(1 for reply in admitted if reply.ok) == k
+        # every straggler still executed; its stats land after the drain
+        cluster.drain()
+        assert all(stats.calls == 1 for stats in cluster.per_server_stats)
+        cluster.close()
+
 
 class TestMakespanClock:
     def test_concurrent_round_costs_the_critical_path(self):
