@@ -1,0 +1,124 @@
+"""Gate kernel-speedup regressions against the committed baseline.
+
+CI re-runs ``bench_field_kernels.py --quick`` into a sibling JSON and then
+compares its speedup rows against the committed ``BENCH_field_kernels.json``.
+Rows are keyed on ``(field, scale_label, candidate, baseline)``; only keys
+present in *both* files are compared (quick mode drops the large-scale
+naive and extension-field rows on purpose).  A run fails when a compared
+``share_encode_speedup`` or ``batch_eval_speedup`` drops more than
+``--tolerance`` (default 25%) below the committed value, or when the
+current gate block falls below its quick-mode floor.  Absolute wall-clock
+numbers are never compared — CI machines are slower and noisier than the
+baseline host; the speedup *ratios* are what the kernels promise.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_field_kernels.ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: fraction of the committed speedup a current run may lose before failing
+DEFAULT_TOLERANCE = 0.25
+
+#: the speedup columns that gate (workload/encode stay informational:
+#: full encode folds in kernel-independent parse + index time, and the
+#: workload mixes cache-warm query layers measured elsewhere)
+GATED_METRICS = ("share_encode_speedup", "batch_eval_speedup")
+
+#: quick-mode CI floor for the 10^4-node numpy-vs-prime gate block; the
+#: committed full-mode baseline carries the real >= 5x numbers
+QUICK_GATE_FLOOR = 2.0
+
+
+def _index(trajectory):
+    return {
+        (
+            row["field"],
+            row["scale_label"],
+            row["candidate"],
+            row["baseline"],
+        ): row
+        for row in trajectory.get("speedups", [])
+    }
+
+
+def compare(baseline, current, tolerance):
+    """Yield (severity, message) findings; severity is 'fail' or 'info'."""
+    base_rows = _index(baseline)
+    current_rows = _index(current)
+    compared = 0
+    for key in sorted(base_rows):
+        row = current_rows.get(key)
+        if row is None:
+            yield "info", "skipping %s/%s %s-vs-%s: not in current run" % key
+            continue
+        compared += 1
+        for metric in GATED_METRICS:
+            committed = base_rows[key].get(metric)
+            measured = row.get(metric)
+            if committed is None or measured is None:
+                continue
+            floor = committed * (1.0 - tolerance)
+            verdict = "fail" if measured < floor else "info"
+            yield verdict, "%s/%s %s-vs-%s %s: %.2fx vs committed %.2fx (floor %.2fx)" % (
+                key + (metric, measured, committed, floor)
+            )
+    if compared == 0:
+        yield "fail", "no comparable speedup rows between baseline and current run"
+    gate = current.get("gate")
+    if gate is None:
+        if current.get("numpy"):
+            yield "fail", "current run has numpy but no gate block"
+        else:
+            yield "info", "no numpy in current run: gate block skipped"
+    else:
+        floor = QUICK_GATE_FLOOR if current.get("quick") else gate.get("minimum", 5.0)
+        for metric in ("encode_speedup", "batch_eval_speedup"):
+            measured = gate.get(metric, 0.0)
+            verdict = "fail" if measured < floor else "info"
+            yield verdict, "gate %s at %d nodes: %.2fx (floor %.2fx)" % (
+                metric,
+                gate.get("nodes", 0),
+                measured,
+                floor,
+            )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="freshly emitted trajectory JSON")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_field_kernels.json",
+        help="committed baseline trajectory (default: repo root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional speedup loss before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    failures = 0
+    for severity, message in compare(baseline, current, args.tolerance):
+        print("[%s] %s" % (severity.upper(), message))
+        if severity == "fail":
+            failures += 1
+    if failures:
+        print("%d kernel speedup regression(s) beyond tolerance" % failures)
+        return 1
+    print("kernel speedups within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

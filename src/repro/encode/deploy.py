@@ -138,6 +138,7 @@ def deploy_text(
     handler = _EncodingHandler(encoder, tables, scheme)
     watch = Stopwatch().start()
     StreamingParser(handler).parse_string(xml_text)
+    handler.flush()
     for table in tables:
         for column in encoder._index_columns:
             table.create_index(column, unique=(column in ("pre", "post")))

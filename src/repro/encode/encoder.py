@@ -145,44 +145,98 @@ class _EncodingHandler(ContentHandler):
     scheme producing one stored slice per table — the classic single-server
     encode is simply the one-table case with the two-party additive scheme
     (whose single "slice" is the familiar server share).
+
+    The handler is *array-resident*: per-node polynomials stay raw kernel
+    coefficient vectors (int64 ndarrays under the numpy backend) rather
+    than ring objects, a parent's running child product is lazily ``None``
+    until the first child closes (skipping the multiply-by-one), and the
+    finished ``(pre, post, parent, polynomial)`` records buffer until a
+    flush splits the whole batch through the scheme's
+    ``server_share_rows`` and bulk-inserts each server's rows on the
+    trusted (schema-shaped-by-construction) path.  The arithmetic order is
+    unchanged, so the stored shares are bit-identical to the historical
+    per-node path on every kernel backend.
     """
+
+    #: buffered nodes per share-split/bulk-insert flush
+    _FLUSH_ROWS = 1024
 
     def __init__(self, encoder: "Encoder", tables: Sequence[Table], scheme):
         self._encoder = encoder
         self._tables = list(tables)
         self._ring = encoder.ring
+        # One kernel resolution per document rather than per node: the
+        # backend cannot change mid-encode, and the generation check in
+        # Field.kernel is measurable across 10^4 nodes.
+        self._kernel = self._ring.kernel
         self._scheme = scheme
         self._tag_map = encoder.tag_map
-        # One frame per open element: [pre, tag_value, running_child_product]
+        # One frame per open element:
+        # [pre, tag_value, running_child_product_or_None, parent_pre]
         self._stack: List[List] = []
         self._pre_counter = 0
         self._post_counter = 0
         self.node_count = 0
+        # finished nodes waiting for the next flush:
+        # (pre, post, parent, polynomial) in close order
+        self._pending: List[tuple] = []
 
     def start_element(self, tag: str, attributes: Dict[str, str]) -> None:
         self._pre_counter += 1
         tag_value = self._tag_map.value(tag)
         parent_pre = self._stack[-1][0] if self._stack else 0
-        self._stack.append([self._pre_counter, tag_value, self._ring.one(), parent_pre])
+        self._stack.append([self._pre_counter, tag_value, None, parent_pre])
 
     def end_element(self, tag: str) -> None:
         self._post_counter += 1
         pre, tag_value, child_product, parent_pre = self._stack.pop()
-        polynomial = self._ring.linear_mul(tag_value, child_product)
-        shares = self._scheme.server_shares(polynomial, pre)
-        for table, share in zip(self._tables, shares):
-            table.insert(
-                {
-                    "pre": pre,
-                    "post": self._post_counter,
-                    "parent": parent_pre,
-                    "share": list(share.coeffs),
-                }
-            )
+        kernel = self._kernel
+        if child_product is None:  # leaf: (x - tag) * 1
+            polynomial = kernel.linear_factor(tag_value, self._ring.length)
+            linear_root = tag_value
+        else:
+            polynomial = kernel.cyclic_mul_linear(tag_value, child_product)
+            linear_root = None
+        pending = self._pending
+        pending.append((pre, self._post_counter, parent_pre, polynomial))
         self.node_count += 1
         if self._stack:
             parent_frame = self._stack[-1]
-            parent_frame[2] = self._ring.mul(parent_frame[2], polynomial)
+            if parent_frame[2] is None:  # first child: product * 1 == product
+                parent_frame[2] = polynomial
+            elif linear_root is not None:
+                # a closing leaf contributes the sparse factor (x - tag):
+                # the same ring product as convolving with its polynomial,
+                # but a cyclic shift-and-subtract instead of a dense pass
+                parent_frame[2] = kernel.cyclic_mul_linear(linear_root, parent_frame[2])
+            else:
+                parent_frame[2] = kernel.cyclic_convolve(parent_frame[2], polynomial)
+        if len(pending) >= self._FLUSH_ROWS:
+            self.flush()
+
+    def flush(self) -> None:
+        """Split and store every buffered node; called on batch boundaries
+        and once by the encode entry points before index creation."""
+        if not self._pending:
+            return
+        pres = [record[0] for record in self._pending]
+        share_rows = self._scheme.server_share_rows(
+            [record[3] for record in self._pending], pres
+        )
+        for table, server_rows in zip(self._tables, share_rows):
+            table.insert_many(
+                [
+                    {
+                        "pre": pre,
+                        "post": post,
+                        "parent": parent,
+                        "share": tuple(share),
+                    }
+                    for (pre, post, parent, _), share in zip(self._pending, server_rows)
+                ],
+                validate=False,
+            )
+        self._pending = []
 
     def characters(self, text: str) -> None:
         # Text content is ignored by the tag-name encoding; the trie
@@ -227,6 +281,7 @@ class Encoder:
         handler = _EncodingHandler(self, [table], self.sharing)
         watch = Stopwatch().start()
         StreamingParser(handler).parse_string(xml_text)
+        handler.flush()
         for column in self._index_columns:
             table.create_index(column, unique=(column in ("pre", "post")))
         elapsed = watch.stop()

@@ -185,10 +185,14 @@ class ClientFilter(Filter):
             server_values = [self._server.evaluate(pre, point) for pre in pres]
         # Regenerate all client shares (memoised in the PRG) and evaluate
         # them in one kernel sweep; counter bookkeeping stays exactly that
-        # of a per-node shared_evaluation loop.
+        # of a per-node shared_evaluation loop.  Array-native kernels keep
+        # the whole regenerate→evaluate→add pipeline in arrays.
         self.counters.count_regeneration(len(pres))
         self.counters.count_evaluation(len(pres))
-        client_values = self._ring.evaluate_many(self._sharing.client_shares(pres), point)
+        client_values = self._sharing.client_evaluations(pres, point)
+        kernel = self._ring.kernel
+        if kernel.array_native:
+            return kernel.unwrap(kernel.vec_add(server_values, client_values))
         add = self._ring.field.add
         return [
             add(server_value, client_value)
@@ -213,14 +217,13 @@ class ClientFilter(Filter):
             coefficient_lists = self._server.fetch_shares_batch(pres)
         else:
             coefficient_lists = [self._server.fetch_share(pre) for pre in pres]
-        reconstructed = []
-        for pre, coefficients in zip(pres, coefficient_lists):
-            self.counters.count_fetch()
-            self.counters.count_regeneration()
-            self.counters.count_reconstruction()
-            server_share = RingPolynomial(self._ring, coefficients)
-            reconstructed.append(self._sharing.reconstruct(server_share, pre))
-        return reconstructed
+        self.counters.count_fetch(len(pres))
+        self.counters.count_regeneration(len(pres))
+        self.counters.count_reconstruction(len(pres))
+        # One bulk reconstruction: array-native schemes add the regenerated
+        # client block to the whole share matrix in a single sweep; the
+        # generic path validates and reconstructs per row like the old loop.
+        return self._sharing.reconstruct_rows(coefficient_lists, pres)
 
     # ------------------------------------------------------------------
     # Matching rules

@@ -218,21 +218,37 @@ class ServerFilter(Filter):
         pres = list(pres)
         polys: Dict[int, RingPolynomial] = {}
         uncached: List[int] = []
-        for pre in dict.fromkeys(pres):
-            poly = self._cached_share(pre)
-            if poly is None:
-                uncached.append(pre)
-            else:
-                polys[pre] = poly
+        # One lock acquisition covers the whole cache-lookup pass (instead of
+        # one per candidate); hit/miss accounting and LRU touch order match
+        # the per-node loop exactly.
+        with self._lock:
+            for pre in dict.fromkeys(pres):
+                poly = self._share_cache.get(pre)
+                if poly is not None:
+                    self._share_cache.move_to_end(pre)
+                    self._share_cache_hits += 1
+                    polys[pre] = poly
+                else:
+                    self._share_cache_misses += 1
+                    uncached.append(pre)
         if uncached:
             rows = self._rows_for(uncached)
             absent = sorted(set(uncached) - rows.keys())
             if absent:
                 raise LookupError("no node with pre=%s" % absent)
             for pre in uncached:
-                poly = self._ring.wrap_canonical(rows[pre]["share"])
-                self._store_share(pre, poly)
-                polys[pre] = poly
+                polys[pre] = self._ring.wrap_canonical(rows[pre]["share"])
+            if self._share_cache_size:
+                # Second single acquisition stores every decoded share.
+                # Insertions append in the same order the loop did, and
+                # evicting from the front afterwards pops exactly the
+                # entries per-store eviction would have.
+                with self._lock:
+                    for pre in uncached:
+                        self._share_cache[pre] = polys[pre]
+                        self._share_cache.move_to_end(pre)
+                    while len(self._share_cache) > self._share_cache_size:
+                        self._share_cache.popitem(last=False)
         return self._ring.evaluate_many([polys[pre] for pre in pres], point)
 
     def evaluate_many(self, pres: List[int], point: int) -> List[int]:

@@ -14,6 +14,13 @@ class FieldError(ValueError):
     """
 
 
+def _kernels():
+    """Late-bound :mod:`repro.gf.kernels` (it imports this module)."""
+    from repro.gf import kernels
+
+    return kernels
+
+
 class Field(ABC):
     """A finite field ``F_q`` with ``q = p^e`` elements.
 
@@ -128,28 +135,36 @@ class Field(ABC):
 
         Built lazily on first access and shared by every consumer of the
         field (polynomials, the quotient ring, the filters), so table-based
-        kernels pay their one-time construction cost exactly once.  See
-        :mod:`repro.gf.kernels`.
+        kernels pay their one-time construction cost exactly once.  The
+        cache entry records the kernel *generation* it was built under;
+        a process-wide backend switch (``kernels.set_default_backend``)
+        bumps the generation and every field transparently rebuilds on next
+        access — the entry is swapped with a single attribute assignment,
+        so concurrent readers always see a complete (generation, kernel)
+        pair.  See :mod:`repro.gf.kernels`.
         """
-        kernel = getattr(self, "_kernel", None)
-        if kernel is None:
-            from repro.gf.kernels import make_kernel
-
-            kernel = make_kernel(self)
-            self._kernel = kernel
+        kernels = _kernels()
+        generation = kernels.kernel_generation()
+        entry = getattr(self, "_kernel_entry", None)
+        if entry is not None and entry[0] == generation:
+            return entry[1]
+        kernel = kernels.make_kernel(self, getattr(self, "_kernel_backend", None))
+        self._kernel_entry = (generation, kernel)
         return kernel
 
-    def set_kernel_backend(self, backend: str) -> "FieldKernel":
-        """Replace the cached kernel with the named backend.
+    def set_kernel_backend(self, backend: "str | None") -> "FieldKernel":
+        """Replace the cached kernel with the named backend (None = auto).
 
         Mainly used to force the ``"naive"`` reference kernel for
         differential testing and the kernel benchmark; returns the new
-        kernel.
+        kernel.  The override is sticky for this field: it survives
+        process-wide generation bumps until replaced or cleared with
+        ``None``.
         """
-        from repro.gf.kernels import make_kernel
-
-        kernel = make_kernel(self, backend)
-        self._kernel = kernel
+        kernels = _kernels()
+        kernel = kernels.make_kernel(self, backend)
+        self._kernel_backend = backend
+        self._kernel_entry = (kernels.kernel_generation(), kernel)
         return kernel
 
     def elements(self) -> Iterator[int]:

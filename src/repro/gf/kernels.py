@@ -11,7 +11,7 @@ hundred), which is exactly the regime where precomputed tables turn scalar
 operations into array lookups and whole-vector primitives amortise the
 remaining interpreter overhead.
 
-Three interchangeable backends implement the :class:`FieldKernel` interface:
+Four interchangeable backends implement the :class:`FieldKernel` interface:
 
 * :class:`NaiveKernel` — delegates every operation to the dispatched
   ``Field`` methods with exactly the pre-kernel loops.  It exists as the
@@ -28,27 +28,81 @@ Three interchangeable backends implement the :class:`FieldKernel` interface:
   table, valid for *any* small field.  For extension fields this kills the
   ``to_coeffs``/``from_coeffs`` round trips entirely: ``mul``/``inv``/
   ``div``/``pow`` become O(1) list indexing.
+* the ``"numpy"`` backend — :class:`NumpyPrimeKernel` /
+  :class:`NumpyTableKernel`, vectorized whole-array arithmetic for the
+  document scales (10^4+ nodes) where even the per-element Python loops of
+  the prime/table kernels dominate.  Prime fields run elementwise int64
+  arithmetic with a single ``% p`` (``np.convolve`` for dense products,
+  chunked partial reductions where a coefficient sum could overflow int64);
+  extension fields reuse the table kernel's log/exp/add tables as numpy
+  arrays indexed with whole vectors, and convolve by decomposing products
+  into base-``p`` digit planes that sum with exact integer arithmetic.
+  NumPy is an *optional* dependency (``pip install repro[fast]``): the
+  backend registers only when the import succeeds, requesting it without
+  numpy raises :class:`KernelUnavailableError`, and fields the numpy
+  kernels cannot serve (huge primes, extension fields past
+  :data:`MAX_TABLE_ORDER`) fall back to the best non-numpy backend.
 
 All kernels operate on canonical integer elements (``range(q)``) and are
 **bit-identical** to the naive ``Field`` methods — the test suite asserts
 agreement property-by-property, and the benchmark asserts byte-identical
 shares, query results and evaluation counters under both backends.
+
+Array-native bulk surface
+-------------------------
+
+The hot paths (the encoder's share generation, ``evaluate_batch``'s Horner
+sweep, Lagrange combination) want to stay *array-resident* end to end
+instead of converting per element.  Every kernel therefore also exposes a
+small bulk surface — :meth:`FieldKernel.stack` / :meth:`FieldKernel.unstack`
+/ :meth:`FieldKernel.unwrap`, the matrix-capable ``vec_*`` primitives,
+:meth:`FieldKernel.weighted_sum` and :meth:`FieldKernel.sum_rows` — with
+generic list-based fallbacks, so scheme/encoder code can be written once
+against the kernel and transparently runs on int64 matrices when the
+backend ``is array_native``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.gf.base import Field, FieldError
 
+try:  # optional accelerator: the library itself stays dependency-free
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI axis
+    np = None
+
 __all__ = [
     "FieldKernel",
+    "KernelUnavailableError",
     "NaiveKernel",
+    "NumpyPrimeKernel",
+    "NumpyTableKernel",
     "PrimeKernel",
     "TableKernel",
+    "default_backend",
+    "kernel_generation",
     "make_kernel",
+    "set_default_backend",
     "KERNEL_BACKENDS",
+    "HAS_NUMPY",
+    "MAX_TABLE_ORDER",
 ]
+
+#: whether the optional numpy accelerator imported successfully
+HAS_NUMPY = np is not None
+
+
+class KernelUnavailableError(FieldError):
+    """Raised when an explicitly requested kernel backend cannot be built.
+
+    The one current case: requesting the ``"numpy"`` backend (per field via
+    ``Field.set_kernel_backend`` or process-wide via
+    :func:`set_default_backend`) in an environment where numpy is not
+    installed.  Auto-selection never raises this — without numpy the
+    existing prime/table/naive backends serve every field.
+    """
 
 
 class FieldKernel:
@@ -61,8 +115,13 @@ class FieldKernel:
     """
 
     #: backend identifier recorded in traces and accounting ("naive",
-    #: "prime" or "table")
+    #: "prime", "table" or "numpy")
     name = "abstract"
+
+    #: True when the kernel's vector primitives consume and produce a
+    #: native array type (int64 ndarrays) that callers should keep resident
+    #: across operations; list-based kernels leave this False
+    array_native = False
 
     def __init__(self, field: Field):
         self.field = field
@@ -189,6 +248,74 @@ class FieldKernel:
     def eval_points(self, coeffs: Sequence[int], points: Iterable[int]) -> List[int]:
         """Evaluate one coefficient vector at many points."""
         return [self.horner(coeffs, point) for point in points]
+
+    def linear_factor(self, root: int, length: int) -> Sequence[int]:
+        """Kernel-native coefficient vector of the monomial ``x - root``.
+
+        Mirrors ``QuotientRing.linear_factor`` (including the degenerate
+        length-1 ring that folds ``x`` onto the constant term) but returns a
+        raw vector, so the encoder can build per-node leaf polynomials
+        without constructing ring objects.
+        """
+        field = self.field
+        coeffs = [0] * length
+        coeffs[0] = field.neg(field.validate(root))
+        if length > 1:
+            coeffs[1] = field.one
+        else:
+            coeffs[0] = field.add(coeffs[0], field.one)
+        return coeffs
+
+    # ------------------------------------------------------------------
+    # Array-native bulk surface (generic list fallbacks)
+    # ------------------------------------------------------------------
+
+    def stack(self, vectors: Sequence[Sequence[int]]):
+        """Bundle equal-length vectors into the kernel's matrix form."""
+        return [list(vector) for vector in vectors]
+
+    def unstack(self, matrix) -> List[List[int]]:
+        """Split a kernel matrix back into plain lists of canonical ints."""
+        if hasattr(matrix, "tolist"):
+            return matrix.tolist()
+        return [list(row) for row in matrix]
+
+    def unwrap(self, vector) -> List[int]:
+        """Convert one kernel-native vector into a plain list of ints."""
+        if hasattr(vector, "tolist"):
+            return vector.tolist()
+        return list(vector)
+
+    def weighted_sum(
+        self, vectors: Sequence[Sequence[int]], weights: Sequence[int]
+    ):
+        """``sum_i weights[i] * vectors[i]`` over equal-length vectors.
+
+        This is Lagrange interpolation at zero once the weights are fixed:
+        the scheme caches the weight vector per server subset and the kernel
+        applies it to a whole share (or batched-evaluation) matrix.  The
+        generic path reproduces the historical scale-then-fold loop exactly.
+        """
+        if len(vectors) != len(weights):
+            raise FieldError(
+                "weighted sum needs one weight per vector, got %d vectors and %d weights"
+                % (len(vectors), len(weights))
+            )
+        if not vectors:
+            return []
+        combined = self.vec_scale(vectors[0], weights[0])
+        for vector, weight in zip(vectors[1:], weights[1:]):
+            combined = self.vec_add(combined, self.vec_scale(vector, weight))
+        return combined
+
+    def sum_rows(self, vectors: Sequence[Sequence[int]]):
+        """Component-wise sum of many equal-length vectors (fold order 0..n-1)."""
+        if not vectors:
+            return []
+        combined = list(vectors[0])
+        for vector in vectors[1:]:
+            combined = self.vec_add(combined, vector)
+        return combined
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return "%s(%r)" % (type(self).__name__, self.field)
@@ -600,9 +727,463 @@ class TableKernel(FieldKernel):
         return accumulator
 
 
-#: the selectable kernel backends
+class _NumpyMixin:
+    """Shared array plumbing for the numpy kernels.
+
+    Provides the int64 coercion helpers plus the matrix builders; the
+    concrete kernels supply the arithmetic.  The mixin must precede the
+    list-based parent in the MRO so ``name``/``array_native`` and the bulk
+    surface resolve to the numpy variants.
+    """
+
+    name = "numpy"
+    array_native = True
+
+    @staticmethod
+    def _as_array(values) -> "np.ndarray":
+        if isinstance(values, np.ndarray):
+            return values
+        return np.asarray(values, dtype=np.int64)
+
+    def stack(self, vectors):
+        """Equal-length vectors as one (n_vectors, length) int64 matrix."""
+        if isinstance(vectors, np.ndarray):
+            return vectors
+        vectors = list(vectors)
+        if not vectors:
+            return np.empty((0, 0), dtype=np.int64)
+        return np.asarray([self._as_array(vector) for vector in vectors], dtype=np.int64)
+
+    def _matrix(self, vectors) -> "np.ndarray":
+        """Possibly-ragged vectors as one zero-padded int64 matrix.
+
+        Zero padding is exact for Horner sweeps: trailing zero coefficients
+        never change the evaluation.
+        """
+        if isinstance(vectors, np.ndarray):
+            return vectors
+        vectors = list(vectors)
+        if not vectors:
+            return np.empty((0, 0), dtype=np.int64)
+        lengths = [len(vector) for vector in vectors]
+        longest = max(lengths)
+        if min(lengths) == longest:
+            return np.asarray(
+                [self._as_array(vector) for vector in vectors], dtype=np.int64
+            )
+        matrix = np.zeros((len(vectors), longest), dtype=np.int64)
+        for i, vector in enumerate(vectors):
+            if len(vector):
+                matrix[i, : len(vector)] = self._as_array(vector)
+        return matrix
+
+    def horner(self, coeffs, point: int) -> int:
+        # Normalise ndarray inputs so the scalar parent loop sees plain ints
+        # (and truth-tests on the vector stay unambiguous).
+        if hasattr(coeffs, "tolist"):
+            coeffs = coeffs.tolist()
+        return super().horner(coeffs, int(point))
+
+
+class NumpyPrimeKernel(_NumpyMixin, PrimeKernel):
+    """Vectorized mod-``p`` arithmetic on int64 arrays for prime fields.
+
+    Every vector primitive is a whole-array numpy expression with a single
+    ``% p`` reduction.  Dense convolutions run through ``np.convolve`` on
+    int64; where a convolution coefficient could exceed int64 (large ``p``),
+    one operand is processed in chunks sized so each partial product sum
+    stays below ``2^63``, partials are reduced mod ``p`` and then summed —
+    exact because modular reduction commutes with the chunked sum.  Only
+    primes up to :data:`MAX_NUMPY_PRIME` are served so the Horner step
+    ``acc * point + c`` also stays in int64.
+    """
+
+    def __init__(self, field: Field):
+        super().__init__(field)
+        p = self._p
+        if p > MAX_NUMPY_PRIME:
+            raise FieldError(
+                "NumpyPrimeKernel requires p <= %d to stay within int64, got %d"
+                % (MAX_NUMPY_PRIME, p)
+            )
+        # largest segment length whose worst-case convolution coefficient
+        # min(len) * (p-1)^2 still fits in int64
+        self._chunk = max(1, (2**63 - 1) // max(1, (p - 1) * (p - 1)))
+        # cached rotate-by-one gather indexes, keyed on vector length
+        self._rot_index = {}
+
+    # ------------------------------------------------------------------
+    # Vectors
+    # ------------------------------------------------------------------
+
+    def vec_add(self, a, b):
+        return (self._as_array(a) + self._as_array(b)) % self._p
+
+    def vec_sub(self, a, b):
+        return (self._as_array(a) - self._as_array(b)) % self._p
+
+    def vec_neg(self, a):
+        return (-self._as_array(a)) % self._p
+
+    def vec_scale(self, a, scalar: int):
+        return (self._as_array(a) * (int(scalar) % self._p)) % self._p
+
+    # ------------------------------------------------------------------
+    # Convolution
+    # ------------------------------------------------------------------
+
+    def convolve(self, a, b):
+        if not len(a) or not len(b):
+            return np.empty(0, dtype=np.int64)
+        A, B = self._as_array(a), self._as_array(b)
+        p = self._p
+        if min(len(A), len(B)) <= self._chunk:
+            return np.convolve(A, B) % p
+        if len(A) < len(B):
+            A, B = B, A
+        # chunk the longer operand: each partial convolution's coefficients
+        # are bounded by chunk * (p-1)^2 < 2^63; reduced partials are < p,
+        # so the overlap-add accumulation cannot overflow either
+        chunk = self._chunk
+        out = np.zeros(len(A) + len(B) - 1, dtype=np.int64)
+        for start in range(0, len(A), chunk):
+            segment = A[start : start + chunk]
+            out[start : start + len(segment) + len(B) - 1] += (
+                np.convolve(segment, B) % p
+            )
+        return out % p
+
+    def cyclic_convolve(self, a, b):
+        n = len(a)
+        if len(b) != n:
+            raise FieldError(
+                "cyclic convolution needs equal lengths, got %d and %d" % (n, len(b))
+            )
+        if n and 2 * n <= self._chunk:
+            # Small-p fast path: raw coefficients are bounded by
+            # n * (p-1)^2 and the wrap-around fold at most doubles them,
+            # so everything stays in int64 and one % p at the end suffices.
+            full = np.convolve(self._as_array(a), self._as_array(b))
+            folded = full[:n]
+            folded[: len(full) - n] += full[n:]
+            return folded % self._p
+        full = self.convolve(a, b)
+        if len(full) <= n:
+            return full
+        folded = full[:n].copy()
+        folded[: len(full) - n] += full[n:]
+        return folded % self._p
+
+    def cyclic_mul_linear(self, root: int, vec):
+        p = self._p
+        root = int(root) % p
+        V = self._as_array(vec)
+        n = len(V)
+        if n == 1:
+            return ((1 - root) * V) % p
+        # out = rot(V) - root*V via one cached fancy-index gather: values
+        # are < p <= 2**31, so the pre-reduction difference fits int64.
+        # This call runs once per (x - tag) factor — the innermost encode
+        # step — so it is worth keeping at four array operations.
+        index = self._rot_index.get(n)
+        if index is None:
+            index = np.concatenate(([n - 1], np.arange(n - 1)))
+            self._rot_index[n] = index
+        out = V[index]
+        out -= root * V
+        out %= p
+        return out
+
+    def linear_factor(self, root: int, length: int):
+        coeffs = np.zeros(length, dtype=np.int64)
+        p = self._p
+        coeffs[0] = (-int(root)) % p
+        if length > 1:
+            coeffs[1] = 1 % p
+        else:
+            coeffs[0] = (coeffs[0] + 1) % p
+        return coeffs
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def horner_many(self, vectors, point: int):
+        matrix = self._matrix(vectors)
+        rows, width = matrix.shape
+        if rows == 0:
+            return []
+        p = self._p
+        if width == 0:
+            return [0] * rows
+        point = int(point) % p
+        accumulator = matrix[:, width - 1] % p
+        for column in range(width - 2, -1, -1):
+            accumulator = (accumulator * point + matrix[:, column]) % p
+        return accumulator.tolist()
+
+    def eval_points(self, coeffs, points):
+        if hasattr(coeffs, "tolist"):
+            coeffs = coeffs.tolist()
+        P = self._as_array(list(points)) % self._p
+        if P.size == 0:
+            return []
+        if not coeffs:
+            return [0] * len(P)
+        p = self._p
+        accumulator = np.full(len(P), coeffs[-1] % p, dtype=np.int64)
+        for coefficient in reversed(coeffs[:-1]):
+            accumulator = (accumulator * P + coefficient % p) % p
+        return accumulator.tolist()
+
+    # ------------------------------------------------------------------
+    # Bulk surface
+    # ------------------------------------------------------------------
+
+    def weighted_sum(self, vectors, weights):
+        matrix = self.stack(vectors)
+        weights = [int(w) for w in weights]
+        if matrix.shape[0] != len(weights):
+            raise FieldError(
+                "weighted sum needs one weight per vector, got %d vectors and %d weights"
+                % (matrix.shape[0], len(weights))
+            )
+        if matrix.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        p = self._p
+        W = np.asarray(weights, dtype=np.int64) % p
+        scaled = (W[:, None] * matrix) % p
+        return scaled.sum(axis=0) % p
+
+    def sum_rows(self, vectors):
+        matrix = self.stack(vectors)
+        if matrix.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        return matrix.sum(axis=0) % self._p
+
+
+class NumpyTableKernel(_NumpyMixin, TableKernel):
+    """Vectorized log/exp-table lookups for small (extension) fields.
+
+    Reuses the parent's generator search and table construction, mirrors
+    the tables into int64 arrays, and replaces per-element list indexing
+    with whole-vector fancy indexing (``exp[log[a] + log[b]]`` with zero
+    operands masked out, since ``log[0]`` is a placeholder).  Convolutions
+    decompose the pairwise field products into base-``p`` digit planes —
+    field addition is digit-wise mod ``p`` under the canonical base-``p``
+    packing — accumulate each plane with exact integer sums, reduce mod
+    ``p`` once, and repack via a dot with the ``p``-power vector.
+    """
+
+    def __init__(self, field: Field):
+        super().__init__(field)
+        q = self._q
+        self._np_exp = np.asarray(self._exp, dtype=np.int64)
+        self._np_log = np.asarray(self._log, dtype=np.int64)
+        self._np_neg = np.asarray(self._neg, dtype=np.int64)
+        self._np_add = np.asarray(self._add, dtype=np.int64)
+        p, e = field.characteristic, field.degree
+        self._p_char = p
+        self._e = e
+        # row v = little-endian base-p digits of canonical element v
+        values = np.arange(q, dtype=np.int64)
+        digits = np.empty((q, e), dtype=np.int64)
+        for d in range(e):
+            digits[:, d] = values % p
+            values //= p
+        self._digit_planes = digits
+        self._p_powers = p ** np.arange(e, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Vectors
+    # ------------------------------------------------------------------
+
+    def vec_add(self, a, b):
+        A, B = self._as_array(a), self._as_array(b)
+        return self._np_add[A * self._q + B]
+
+    def vec_sub(self, a, b):
+        A, B = self._as_array(a), self._as_array(b)
+        return self._np_add[A * self._q + self._np_neg[B]]
+
+    def vec_neg(self, a):
+        return self._np_neg[self._as_array(a)]
+
+    def vec_scale(self, a, scalar: int):
+        A = self._as_array(a)
+        scalar = int(scalar)
+        if scalar == 0:
+            return np.zeros(len(A), dtype=np.int64)
+        products = self._np_exp[self._log[scalar] + self._np_log[A]]
+        return np.where(A == 0, 0, products)
+
+    # ------------------------------------------------------------------
+    # Convolution via digit planes
+    # ------------------------------------------------------------------
+
+    def _product_planes(self, A: "np.ndarray", B: "np.ndarray") -> "np.ndarray":
+        """Digit planes of every pairwise field product ``A[i] * B[j]``."""
+        products = self._np_exp[self._np_log[A][:, None] + self._np_log[B][None, :]]
+        mask = (A[:, None] == 0) | (B[None, :] == 0)
+        products = np.where(mask, 0, products)
+        return self._digit_planes[products]
+
+    def _accumulate(self, planes: "np.ndarray", out_len: int) -> "np.ndarray":
+        """Sum product planes along anti-diagonals (linear convolution)."""
+        n, m, e = planes.shape
+        out = np.zeros((out_len, e), dtype=np.int64)
+        for i in range(n):
+            out[i : i + m] += planes[i]
+        return out
+
+    def _repack(self, plane_sums: "np.ndarray") -> "np.ndarray":
+        """Reduce digit planes mod p and repack into canonical elements."""
+        return (plane_sums % self._p_char) @ self._p_powers
+
+    def convolve(self, a, b):
+        if not len(a) or not len(b):
+            return np.empty(0, dtype=np.int64)
+        A, B = self._as_array(a), self._as_array(b)
+        planes = self._product_planes(A, B)
+        return self._repack(self._accumulate(planes, len(A) + len(B) - 1))
+
+    def cyclic_convolve(self, a, b):
+        n = len(a)
+        if len(b) != n:
+            raise FieldError(
+                "cyclic convolution needs equal lengths, got %d and %d" % (n, len(b))
+            )
+        A, B = self._as_array(a), self._as_array(b)
+        plane_sums = self._accumulate(self._product_planes(A, B), 2 * n - 1)
+        if n > 1:
+            plane_sums[: n - 1] += plane_sums[n:]
+        return self._repack(plane_sums[:n])
+
+    def cyclic_mul_linear(self, root: int, vec):
+        V = self._as_array(vec)
+        negated_root = self._neg[self.field.validate(int(root))]
+        if len(V) == 1:
+            factor = self._add[self.field.one * self._q + negated_root]
+            return self.vec_scale(V, factor)
+        rotated = np.concatenate((V[-1:], V[:-1]))
+        if negated_root == 0:
+            return rotated
+        return self.vec_add(rotated, self.vec_scale(V, negated_root))
+
+    def linear_factor(self, root: int, length: int):
+        return self._as_array(super().linear_factor(root, length))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def horner_many(self, vectors, point: int):
+        matrix = self._matrix(vectors)
+        rows, width = matrix.shape
+        if rows == 0:
+            return []
+        if width == 0:
+            return [0] * rows
+        point = int(point)
+        if point == 0:
+            # Horner at 0 degenerates to the constant term, as in the
+            # scalar path.
+            return matrix[:, 0].tolist()
+        exp, log, add, q = self._np_exp, self._np_log, self._np_add, self._q
+        log_point = self._log[point]
+        accumulator = np.zeros(rows, dtype=np.int64)
+        for column in range(width - 1, -1, -1):
+            scaled = np.where(
+                accumulator == 0, 0, exp[log_point + log[accumulator]]
+            )
+            accumulator = add[scaled * q + matrix[:, column]]
+        return accumulator.tolist()
+
+    def eval_points(self, coeffs, points):
+        if hasattr(coeffs, "tolist"):
+            coeffs = coeffs.tolist()
+        P = self._as_array(list(points))
+        if P.size == 0:
+            return []
+        if not coeffs:
+            return [0] * len(P)
+        exp, log, add, q = self._np_exp, self._np_log, self._np_add, self._q
+        log_points = log[P]
+        zero_points = P == 0
+        accumulator = np.zeros(len(P), dtype=np.int64)
+        for coefficient in reversed(coeffs):
+            scaled = np.where(
+                (accumulator == 0) | zero_points,
+                0,
+                exp[log_points + log[accumulator]],
+            )
+            accumulator = add[scaled * q + coefficient]
+        return accumulator.tolist()
+
+    # ------------------------------------------------------------------
+    # Bulk surface
+    # ------------------------------------------------------------------
+
+    def weighted_sum(self, vectors, weights):
+        matrix = self.stack(vectors)
+        weights = [int(w) for w in weights]
+        if matrix.shape[0] != len(weights):
+            raise FieldError(
+                "weighted sum needs one weight per vector, got %d vectors and %d weights"
+                % (matrix.shape[0], len(weights))
+            )
+        if matrix.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        combined = self.vec_scale(matrix[0], weights[0])
+        for row, weight in zip(matrix[1:], weights[1:]):
+            combined = self.vec_add(combined, self.vec_scale(row, weight))
+        return combined
+
+    def sum_rows(self, vectors):
+        matrix = self.stack(vectors)
+        if matrix.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        # field addition is digit-wise mod p under base-p packing, so the
+        # whole stack sums exactly via digit planes
+        plane_sums = self._digit_planes[matrix].sum(axis=0)
+        return self._repack(plane_sums)
+
+
+#: largest prime order the numpy prime kernel serves: (p-1)^2 + (p-1) must
+#: fit in int64 so a Horner step never overflows
+MAX_NUMPY_PRIME = 2**31 - 1
+
+
+def make_numpy_kernel(field: Field) -> FieldKernel:
+    """Build the best numpy-backed kernel for ``field``, with fallbacks.
+
+    Raises :class:`KernelUnavailableError` when numpy is not importable.
+    Fields the int64 kernels cannot serve fall back to the best non-numpy
+    backend rather than erroring: primes above :data:`MAX_NUMPY_PRIME` get
+    the big-integer :class:`PrimeKernel`, extension fields past
+    :data:`MAX_TABLE_ORDER` (whose log/exp tables we refuse to build) get
+    :class:`NaiveKernel`.
+    """
+    if np is None:
+        raise KernelUnavailableError(
+            "the 'numpy' kernel backend requires numpy; "
+            "install it with `pip install repro[fast]` or `pip install numpy`"
+        )
+    if field.degree == 1:
+        if field.order <= MAX_NUMPY_PRIME:
+            return NumpyPrimeKernel(field)
+        return PrimeKernel(field)
+    if field.order <= MAX_TABLE_ORDER:
+        return NumpyTableKernel(field)
+    return NaiveKernel(field)
+
+
+#: the selectable kernel backends ("numpy" is registered unconditionally so
+#: requesting it without numpy installed raises KernelUnavailableError
+#: rather than an unknown-backend error)
 KERNEL_BACKENDS = {
     "naive": NaiveKernel,
+    "numpy": make_numpy_kernel,
     "prime": PrimeKernel,
     "table": TableKernel,
 }
@@ -614,18 +1195,65 @@ KERNEL_BACKENDS = {
 #: explicitly if they accept the cost)
 MAX_TABLE_ORDER = 512
 
+#: process-wide default backend (None = per-field auto-selection) and the
+#: generation counter that invalidates every Field's cached kernel when the
+#: default changes — Field.kernel stores (generation, kernel) and rebuilds
+#: on mismatch, so a mid-process switch takes effect atomically everywhere
+_DEFAULT_BACKEND: Optional[str] = None
+_GENERATION = 0
+
+
+def kernel_generation() -> int:
+    """Monotonic counter identifying the current kernel configuration."""
+    return _GENERATION
+
+
+def default_backend() -> Optional[str]:
+    """The process-wide default backend, or None for auto-selection."""
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(backend: Optional[str]) -> None:
+    """Set (or clear, with ``None``) the process-wide default backend.
+
+    Validates eagerly — an unknown name raises :class:`FieldError` and
+    ``"numpy"`` without numpy installed raises
+    :class:`KernelUnavailableError` — then bumps the kernel generation so
+    every cached ``Field.kernel`` (and per-field overrides set through
+    ``Field.set_kernel_backend``) rebuilds on next access.
+    """
+    global _DEFAULT_BACKEND, _GENERATION
+    if backend is not None:
+        if backend not in KERNEL_BACKENDS:
+            raise FieldError(
+                "unknown kernel backend %r; expected one of %s"
+                % (backend, sorted(KERNEL_BACKENDS))
+            )
+        if backend == "numpy" and np is None:
+            raise KernelUnavailableError(
+                "the 'numpy' kernel backend requires numpy; "
+                "install it with `pip install repro[fast]` or `pip install numpy`"
+            )
+    _DEFAULT_BACKEND = backend
+    _GENERATION += 1
+
 
 def make_kernel(field: Field, backend: str = None) -> FieldKernel:
     """Build the kernel for ``field``.
 
-    Without an explicit ``backend`` the cheapest valid implementation is
-    chosen: direct modular arithmetic for prime fields, log/exp tables for
-    extension fields up to :data:`MAX_TABLE_ORDER` elements, and the naive
-    dispatched path beyond that (where the one-time O(q^2) table build
-    would dwarf any realistic workload).  ``backend`` may name any entry of
-    :data:`KERNEL_BACKENDS` (the ``"naive"`` backend is the pre-kernel
-    reference path used for differential testing and benchmarking).
+    Without an explicit ``backend`` the process-wide default (see
+    :func:`set_default_backend`) applies first; failing that the cheapest
+    valid implementation is chosen: direct modular arithmetic for prime
+    fields, log/exp tables for extension fields up to
+    :data:`MAX_TABLE_ORDER` elements, and the naive dispatched path beyond
+    that (where the one-time O(q^2) table build would dwarf any realistic
+    workload).  ``backend`` may name any entry of :data:`KERNEL_BACKENDS`
+    (the ``"naive"`` backend is the pre-kernel reference path used for
+    differential testing and benchmarking; ``"numpy"`` selects the
+    vectorized kernels and requires numpy).
     """
+    if backend is None:
+        backend = _DEFAULT_BACKEND
     if backend is None:
         if field.degree == 1:
             backend = "prime"
@@ -634,10 +1262,10 @@ def make_kernel(field: Field, backend: str = None) -> FieldKernel:
         else:
             backend = "naive"
     try:
-        kernel_class = KERNEL_BACKENDS[backend]
+        kernel_factory = KERNEL_BACKENDS[backend]
     except KeyError:
         raise FieldError(
             "unknown kernel backend %r; expected one of %s"
             % (backend, sorted(KERNEL_BACKENDS))
         )
-    return kernel_class(field)
+    return kernel_factory(field)

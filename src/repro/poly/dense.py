@@ -49,7 +49,10 @@ class Polynomial:
 
         Internal fast path for kernel outputs (which are canonical by
         construction); ``coeffs`` must be a fresh list the caller gives up.
+        Array-native kernel outputs are normalised to plain Python ints.
         """
+        if hasattr(coeffs, "tolist"):
+            coeffs = coeffs.tolist()
         while coeffs and coeffs[-1] == 0:
             coeffs.pop()
         poly = cls.__new__(cls)

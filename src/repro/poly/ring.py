@@ -127,12 +127,17 @@ class QuotientRing:
 
         Fast path for coefficients produced by a kernel or the keyed PRG
         (both emit canonical field integers); the length must still match.
+        Array-native kernel outputs (int64 ndarrays) are normalised through
+        ``tolist`` so the stored tuple always holds plain Python ints — the
+        wire codec and the storage schema reject numpy scalars.
         """
         if len(coeffs) != self.length:
             raise PolynomialError(
                 "ring polynomial needs exactly %d coefficients, got %d"
                 % (self.length, len(coeffs))
             )
+        if hasattr(coeffs, "tolist"):
+            coeffs = coeffs.tolist()
         poly = RingPolynomial.__new__(RingPolynomial)
         poly.ring = self
         poly.coeffs = tuple(coeffs)
@@ -251,6 +256,16 @@ class QuotientRing:
         for poly in polys:
             self._check(poly)
         return self.kernel.horner_many([poly.coeffs for poly in polys], self._checked_point(point))
+
+    def evaluate_rows(self, rows: Sequence[Sequence[int]], point: int) -> List[int]:
+        """Evaluate many raw coefficient rows at one non-zero field point.
+
+        The array-resident sibling of :meth:`evaluate_many`: rows are trusted
+        canonical coefficient vectors (or a kernel matrix) straight from a
+        share table or the keyed PRG, skipping RingPolynomial construction
+        entirely.
+        """
+        return self.kernel.horner_many(rows, self._checked_point(point))
 
     # ------------------------------------------------------------------
     # Equality-test support

@@ -20,7 +20,17 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.gf.base import Field
 
+try:  # optional accelerator for the bulk block path (see elements_block)
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI axis
+    np = None
+
 _MASK64 = (1 << 64) - 1
+
+#: SplitMix64 constants (shared by the scalar loop and the vectorized path)
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
 
 
 class SplitMix64:
@@ -114,12 +124,28 @@ class KeyedPRG:
         self._memo_hits = 0
         self._memo_misses = 0
         self._memo_lock = threading.Lock()
+        # Derived SplitMix states, cached because the sha256 derivation is
+        # ~1µs per node and every batched query touches thousands of nodes.
+        # Writes are GIL-atomic dict stores of deterministic values, so a
+        # benign race merely recomputes; the bound keeps memory finite.
+        self._state_cache: Dict[Tuple[int, int], int] = {}
+        self._state_cache_limit = 1 << 20
 
     def _node_state(self, pre: int, lane: int = 0) -> int:
         """Derive the 64-bit SplitMix state for node ``pre`` and stream ``lane``."""
         payload = self._seed_digest + pre.to_bytes(8, "big", signed=False) + lane.to_bytes(4, "big")
         digest = hashlib.sha256(payload).digest()
         return int.from_bytes(digest[:8], "big")
+
+    def _state(self, pre: int, lane: int) -> int:
+        """Memoised :meth:`_node_state`."""
+        key = (pre, lane)
+        state = self._state_cache.get(key)
+        if state is None:
+            state = self._node_state(pre, lane)
+            if len(self._state_cache) < self._state_cache_limit:
+                self._state_cache[key] = state
+        return state
 
     def stream(self, pre: int, lane: int = 0) -> Iterator[int]:
         """Infinite stream of uniform field elements for node ``pre``."""
@@ -142,28 +168,16 @@ class KeyedPRG:
         with self._memo_lock:
             cached = self._memo.get(key)
             if cached is not None:
+                if type(cached) is not tuple:
+                    # block-path entries arrive as int64 array rows; pin
+                    # them down to plain-int tuples on first scalar read
+                    cached = tuple(cached.tolist())
+                    self._memo[key] = cached
                 self._memo.move_to_end(key)
                 self._memo_hits += 1
                 return list(cached)
             self._memo_misses += 1
-        # Inlined SplitMix64 + rejection sampling: identical state sequence
-        # and outputs as SplitMix64.next_below, without two method calls per
-        # element (this loop runs q - 1 times per share regeneration).
-        state = self._node_state(pre, lane)
-        order = self.field.order
-        limit = (1 << 64) - ((1 << 64) % order)
-        generated = []
-        append = generated.append
-        for _ in range(count):
-            while True:
-                state = (state + 0x9E3779B97F4A7C15) & _MASK64
-                z = state
-                z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-                z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
-                z = (z ^ (z >> 31)) & _MASK64
-                if z < limit:
-                    append(z % order)
-                    break
+        generated = self._scalar_generate(self._state(pre, lane), count)
         if self._memo_size:
             with self._memo_lock:
                 self._memo[key] = tuple(generated)
@@ -171,6 +185,118 @@ class KeyedPRG:
                 while len(self._memo) > self._memo_size:
                     self._memo.popitem(last=False)
         return generated
+
+    def _scalar_generate(self, state: int, count: int) -> List[int]:
+        """First ``count`` uniform field elements from a SplitMix state.
+
+        Inlined SplitMix64 + rejection sampling: identical state sequence
+        and outputs as SplitMix64.next_below, without two method calls per
+        element (this loop runs q - 1 times per share regeneration).
+        """
+        order = self.field.order
+        limit = (1 << 64) - ((1 << 64) % order)
+        generated: List[int] = []
+        append = generated.append
+        for _ in range(count):
+            while True:
+                state = (state + _GAMMA) & _MASK64
+                z = state
+                z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+                z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+                z = (z ^ (z >> 31)) & _MASK64
+                if z < limit:
+                    append(z % order)
+                    break
+        return generated
+
+    def _np_generate(self, states: Sequence[int], count: int) -> "np.ndarray":
+        """Vectorized SplitMix64 streams: one row of ``count`` elements per state.
+
+        SplitMix64 is counter-based — draw ``k`` mixes ``state + k * GAMMA`` —
+        so whole blocks vectorize as uint64 array arithmetic with natural
+        wrap-around.  Rejection sampling is handled by generating exactly
+        ``count`` draws per row and redoing the astronomically rare rows
+        (probability < order / 2^64 per draw) where any draw fell in the
+        rejected band, via the bit-identical scalar loop.
+        """
+        order = self.field.order
+        row_count = len(states)
+        with np.errstate(over="ignore"):
+            state_array = np.asarray(states, dtype=np.uint64)
+            counters = np.arange(1, count + 1, dtype=np.uint64)
+            z = state_array[:, None] + counters[None, :] * np.uint64(_GAMMA)
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+            z = z ^ (z >> np.uint64(31))
+        remainder = (1 << 64) % order
+        result = (z % np.uint64(order)).astype(np.int64)
+        if remainder:
+            limit = (1 << 64) - remainder
+            rejected_rows = (z >= np.uint64(limit)).any(axis=1)
+            if rejected_rows.any():  # pragma: no cover - ~2^-55 per draw
+                for i in np.nonzero(rejected_rows)[0]:
+                    result[i] = self._scalar_generate(int(states[i]), count)
+        return result
+
+    def elements_block(self, pres: Sequence[int], count: int, lane: int = 0):
+        """Array variant of :meth:`elements_many`: an (n, count) int64 matrix.
+
+        Bit-identical rows and *identical memo accounting* to calling
+        :meth:`elements` once per ``pre`` in order — hits touch the LRU,
+        misses insert and evict — but the generation itself is one
+        vectorized sweep.  The whole batch regenerates even on memo hits
+        (regeneration is cheaper than row-by-row tuple unpacking, and
+        determinism makes the results equal); only the bookkeeping replays
+        per key.  Without numpy this falls back to the scalar path and
+        returns a list of lists.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative, got %d" % count)
+        if np is None:
+            return [self.elements(pre, count, lane) for pre in pres]
+        states = [self._state(pre, lane) for pre in pres]
+        matrix = self._np_generate(states, count)
+        with self._memo_lock:
+            if self._memo_size:
+                # Replay the LRU on keys alone, then materialise row tuples
+                # only for the entries still present afterwards — a block
+                # larger than the capacity would otherwise build thousands
+                # of tuples destined for immediate eviction.  Hits, misses,
+                # order and surviving contents match the per-call path.
+                memo = self._memo
+                simulated: "OrderedDict[Tuple[int, int, int], None]" = (
+                    OrderedDict.fromkeys(memo)
+                )
+                fresh: Dict[Tuple[int, int, int], int] = {}
+                for i, pre in enumerate(pres):
+                    key = (pre, count, lane)
+                    if key in simulated:
+                        simulated.move_to_end(key)
+                        self._memo_hits += 1
+                    else:
+                        self._memo_misses += 1
+                        simulated[key] = None
+                        fresh[key] = i
+                        while len(simulated) > self._memo_size:
+                            evicted, _ = simulated.popitem(last=False)
+                            fresh.pop(evicted, None)
+                rebuilt: "OrderedDict[Tuple[int, int, int], Sequence[int]]" = OrderedDict()
+                for key in simulated:
+                    row = fresh.get(key)
+                    if row is None:
+                        rebuilt[key] = memo[key]
+                    else:
+                        # store the int64 row as-is (copied so callers
+                        # mutating the returned block cannot reach it);
+                        # the scalar path normalises to a tuple of plain
+                        # ints the first time the entry is actually read
+                        rebuilt[key] = matrix[row].copy()
+                self._memo = rebuilt
+            else:
+                # capacity 0 stores nothing but still counts every lookup
+                # as a miss, exactly like the scalar path
+                self._memo_misses += len(pres)
+        return matrix
 
     def elements_many(
         self, pres: Sequence[int], count: int, lane: int = 0

@@ -99,10 +99,53 @@ class AdditiveSharing(SharingScheme):
         """The single stored share, as a one-element cluster bundle."""
         return [self.server_share(polynomial, pre)]
 
+    def _client_block(self, pres: Sequence[int]):
+        """The client-share coefficient block (lane 0) for many nodes."""
+        return self.prg.elements_block(pres, self.ring.length)
+
+    def client_evaluations(self, pres: Sequence[int], point: int) -> List[int]:
+        kernel = self.ring.kernel
+        if not kernel.array_native:
+            return super().client_evaluations(pres, point)
+        # Evaluate the regenerated PRG block directly — same memo accounting
+        # as per-node client_share calls, no polynomial objects on the way.
+        return self.ring.evaluate_rows(self._client_block(pres), point)
+
+    def server_share_rows(
+        self, vectors: Sequence[Sequence[int]], pres: Sequence[int]
+    ) -> List[List[Sequence[int]]]:
+        kernel = self.ring.kernel
+        if not kernel.array_native:
+            return super().server_share_rows(vectors, pres)
+        if len(vectors) != len(pres):
+            raise SharingError(
+                "got %d polynomials but %d pre positions" % (len(vectors), len(pres))
+            )
+        matrix = kernel.stack(vectors)
+        residual = kernel.vec_sub(matrix, self._client_block(pres))
+        return [kernel.unstack(residual)]
+
+    def reconstruct_rows(
+        self, rows: Sequence[Sequence[int]], pres: Sequence[int]
+    ) -> List[RingPolynomial]:
+        kernel = self.ring.kernel
+        if not kernel.array_native:
+            return super().reconstruct_rows(rows, pres)
+        # mirror the generic zip: the shorter of rows/pres bounds the batch
+        count = min(len(rows), len(pres))
+        rows = list(rows)[:count]
+        pres = list(pres)[:count]
+        matrix = self._trusted_matrix(kernel, rows)
+        if matrix is None:
+            return super().reconstruct_rows(rows, pres)
+        combined = kernel.vec_add(matrix, self._client_block(pres))
+        ring = self.ring
+        return [ring.wrap_canonical(row) for row in kernel.unstack(combined)]
+
     def combine_vectors(self, vectors: Mapping[int, Sequence[int]]) -> List[int]:
         if 0 not in vectors:
             raise SharingError("two-party additive sharing needs the server share")
-        return list(vectors[0])
+        return self.ring.kernel.unwrap(vectors[0])
 
     # ------------------------------------------------------------------
     # Reconstruction
@@ -204,6 +247,26 @@ class AdditiveNSharing(AdditiveSharing):
         """
         return polynomial - self.client_share(pre)
 
+    def server_share_rows(
+        self, vectors: Sequence[Sequence[int]], pres: Sequence[int]
+    ) -> List[List[Sequence[int]]]:
+        kernel = self.ring.kernel
+        if not kernel.array_native:
+            return super().server_share_rows(vectors, pres)
+        if len(vectors) != len(pres):
+            raise SharingError(
+                "got %d polynomials but %d pre positions" % (len(vectors), len(pres))
+            )
+        length = self.ring.length
+        residual = kernel.vec_sub(kernel.stack(vectors), self._client_block(pres))
+        rows: List[List[Sequence[int]]] = []
+        for index in range(self._servers - 1):
+            lane_block = self.prg.elements_block(pres, length, lane=index + 1)
+            residual = kernel.vec_sub(residual, lane_block)
+            rows.append(kernel.unstack(lane_block))
+        rows.append(kernel.unstack(residual))
+        return rows
+
     def combine_vectors(self, vectors: Mapping[int, Sequence[int]]) -> List[int]:
         missing = [index for index in range(self._servers) if index not in vectors]
         if missing:
@@ -213,7 +276,6 @@ class AdditiveNSharing(AdditiveSharing):
             )
         self.check_aligned(vectors)
         kernel = self.ring.kernel
-        combined = list(vectors[0])
-        for index in range(1, self._servers):
-            combined = kernel.vec_add(combined, vectors[index])
-        return combined
+        return kernel.unwrap(
+            kernel.sum_rows([vectors[index] for index in range(self._servers)])
+        )

@@ -148,6 +148,56 @@ class SharingScheme(ABC):
         client_value = self.ring.evaluate(self.client_share(pre), point)
         return self.ring.field.add(server_value, client_value)
 
+    def client_evaluations(self, pres: Sequence[int], point: int) -> List[int]:
+        """Client-side evaluation values for a whole candidate list.
+
+        One value per ``pre``: the client share of that node evaluated at
+        ``point``.  The generic path regenerates the share polynomials and
+        sweeps them through ``evaluate_many``; array-native schemes override
+        it to evaluate the PRG block without building polynomial objects.
+        """
+        return self.ring.evaluate_many(self.client_shares(pres), point)
+
+    def reconstruct_rows(
+        self, rows: Sequence[Sequence[int]], pres: Sequence[int]
+    ) -> List[RingPolynomial]:
+        """Reconstruct many node polynomials from combined-server rows.
+
+        ``rows[i]`` is the combined server share's coefficient vector for
+        node ``pres[i]`` (as fetched from a share table or decoded from the
+        wire).  The generic path validates each row through the
+        ``RingPolynomial`` constructor and recombines with the client share,
+        exactly as calling :meth:`reconstruct` per node.
+        """
+        ring = self.ring
+        return [
+            self.reconstruct(RingPolynomial(ring, row), pre)
+            for row, pre in zip(rows, pres)
+        ]
+
+    def _trusted_matrix(self, kernel, rows):
+        """Rows as a canonical kernel matrix, or None to use the validating path.
+
+        Helper for array-native ``reconstruct_rows`` overrides.  Rows
+        typically come straight out of a schema-validated share table;
+        anything irregular (ragged, non-integer, out of the field's range)
+        returns None so the caller falls back to the generic per-row
+        constructor, keeping error semantics and out-of-range reduction
+        exactly as before.
+        """
+        if not rows:
+            return None
+        length = self.ring.length
+        if any(len(row) != length for row in rows):
+            return None
+        try:
+            matrix = kernel.stack(rows)
+        except (TypeError, ValueError):
+            return None
+        if ((matrix < 0) | (matrix >= self.ring.field.order)).any():
+            return None
+        return matrix
+
     # ------------------------------------------------------------------
     # Cluster-facing surface (what deploy and ClusterClient use)
     # ------------------------------------------------------------------
@@ -155,6 +205,30 @@ class SharingScheme(ABC):
     @abstractmethod
     def server_shares(self, polynomial: RingPolynomial, pre: int) -> List[RingPolynomial]:
         """Split ``polynomial`` into the n stored server shares (in server order)."""
+
+    def server_share_rows(
+        self, vectors: Sequence[Sequence[int]], pres: Sequence[int]
+    ) -> List[List[Sequence[int]]]:
+        """Split a whole batch of canonical coefficient vectors at once.
+
+        Returns one row list per server: ``result[s][i]`` is server ``s``'s
+        share of the polynomial ``vectors[i]`` (node ``pres[i]``) as a raw
+        coefficient sequence — the encoder's bulk-insert shape.  The generic
+        path wraps each vector and calls :meth:`server_shares`; array-native
+        schemes override it with whole-matrix arithmetic over the PRG's
+        block interface.  Bit-identical either way.
+        """
+        if len(vectors) != len(pres):
+            raise SharingError(
+                "got %d polynomials but %d pre positions" % (len(vectors), len(pres))
+            )
+        ring = self.ring
+        rows: List[List[Sequence[int]]] = [[] for _ in range(self.num_servers)]
+        for vector, pre in zip(vectors, pres):
+            polynomial = ring.wrap_canonical(vector)
+            for index, share in enumerate(self.server_shares(polynomial, pre)):
+                rows[index].append(share.coeffs)
+        return rows
 
     @abstractmethod
     def combine_vectors(self, vectors: Mapping[int, Sequence[int]]) -> List[int]:

@@ -118,6 +118,47 @@ class ShamirSharing(SharingScheme):
             shares.append(self.ring.wrap_canonical(slice_coeffs))
         return shares
 
+    def server_share_rows(self, vectors, pres) -> List[List[Tuple[int, ...]]]:
+        kernel = self.ring.kernel
+        if not kernel.array_native:
+            return super().server_share_rows(vectors, pres)
+        if len(vectors) != len(pres):
+            raise SharingError(
+                "got %d polynomials but %d pre positions" % (len(vectors), len(pres))
+            )
+        field = self.ring.field
+        length = self.ring.length
+        matrix = kernel.stack(vectors)
+        # one PRG block per mask lane, shared across all n slices
+        mask_blocks = [
+            self.prg.elements_block(pres, length, lane=lane)
+            for lane in range(1, self._threshold)
+        ]
+        rows: List[List[Tuple[int, ...]]] = []
+        for x in self._xs:
+            slice_matrix = matrix
+            power = field.one
+            for mask_block in mask_blocks:
+                power = field.mul(power, x)
+                slice_matrix = kernel.vec_add(
+                    slice_matrix, kernel.vec_scale(mask_block, power)
+                )
+            rows.append(kernel.unstack(slice_matrix))
+        return rows
+
+    def reconstruct_rows(self, rows, pres) -> List[RingPolynomial]:
+        kernel = self.ring.kernel
+        if not kernel.array_native:
+            return super().reconstruct_rows(rows, pres)
+        count = min(len(rows), len(pres))
+        rows = list(rows)[:count]
+        matrix = self._trusted_matrix(kernel, rows)
+        if matrix is None:
+            return super().reconstruct_rows(rows, pres)
+        # no client share: the combined server row already is the polynomial
+        ring = self.ring
+        return [ring.wrap_canonical(row) for row in kernel.unstack(matrix)]
+
     # ------------------------------------------------------------------
     # Combination (Lagrange interpolation at zero)
     # ------------------------------------------------------------------
@@ -174,10 +215,13 @@ class ShamirSharing(SharingScheme):
         base = self._pick_base(vectors)
         weights = self._weights_for(base)
         kernel = self.ring.kernel
-        combined = kernel.vec_scale(vectors[base[0]], weights[base[0]])
-        for index in base[1:]:
-            combined = kernel.vec_add(combined, kernel.vec_scale(vectors[index], weights[index]))
-        return combined
+        # the cached weight vector applied to the share matrix in one sweep
+        # (array-native kernels) or the historical scale-then-fold loop
+        return kernel.unwrap(
+            kernel.weighted_sum(
+                [vectors[index] for index in base], [weights[index] for index in base]
+            )
+        )
 
     def verify_vectors(self, vectors: Mapping[int, Sequence[int]]) -> List[int]:
         """Surplus shares that disagree with the interpolation of the base set.
@@ -196,11 +240,10 @@ class ShamirSharing(SharingScheme):
             if index in base:
                 continue
             basis = self._basis_at(base, self._xs[index])
-            predicted = kernel.vec_scale(vectors[base[0]], basis[base[0]])
-            for base_index in base[1:]:
-                predicted = kernel.vec_add(
-                    predicted, kernel.vec_scale(vectors[base_index], basis[base_index])
-                )
-            if list(vectors[index]) != list(predicted):
+            predicted = kernel.weighted_sum(
+                [vectors[base_index] for base_index in base],
+                [basis[base_index] for base_index in base],
+            )
+            if list(vectors[index]) != kernel.unwrap(predicted):
                 inconsistent.append(index)
         return inconsistent

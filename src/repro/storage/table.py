@@ -83,8 +83,19 @@ class Table:
             tree.insert(validated[column], row_id)
         return row_id
 
-    def insert_many(self, rows: Iterator[Dict[str, Any]]) -> int:
-        """Insert many rows; returns how many were inserted."""
+    def insert_many(self, rows: Iterator[Dict[str, Any]], validate: bool = True) -> int:
+        """Insert many rows; returns how many were inserted.
+
+        ``validate=False`` is the bulk-load fast path for callers whose rows
+        are schema-shaped by construction (the encoder's share generation):
+        when the table has no indexes yet the rows are adopted wholesale
+        with one list extend.  With indexes present the per-row path runs
+        regardless, so index maintenance and uniqueness checks never weaken.
+        """
+        if not validate and not self._indexes:
+            rows = list(rows)
+            self._rows.extend(rows)
+            return len(rows)
         count = 0
         for row in rows:
             self.insert(row)

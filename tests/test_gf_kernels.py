@@ -197,7 +197,54 @@ class TestKernelSelection:
     def test_unknown_backend_is_rejected(self):
         with pytest.raises(FieldError):
             make_kernel(make_field(5), "fft")
-        assert sorted(KERNEL_BACKENDS) == ["naive", "prime", "table"]
+        assert sorted(KERNEL_BACKENDS) == ["naive", "numpy", "prime", "table"]
+
+    def test_default_backend_switch_invalidates_cached_kernels(self):
+        # Switching the process-wide default must atomically rebuild every
+        # field's cached kernel — including fields whose kernel was already
+        # resolved — and produce bit-identical arithmetic under each backend.
+        from repro.gf.prime import PrimeField
+        from repro.gf.kernels import HAS_NUMPY, default_backend, set_default_backend
+
+        field = PrimeField(83)
+        assert field.kernel.name == "prime"
+        backends = ["table", "naive"] + (["numpy"] if HAS_NUMPY else [])
+        coeffs_a = [(i * 37 + 11) % 83 for i in range(82)]
+        coeffs_b = [(i * 53 + 29) % 83 for i in range(82)]
+        reference = None
+        try:
+            for backend in backends:
+                set_default_backend(backend)
+                assert default_backend() == backend
+                kernel = field.kernel
+                assert kernel.name == backend
+                stream = (
+                    [int(v) for v in kernel.cyclic_convolve(coeffs_a, coeffs_b)],
+                    kernel.horner_many([coeffs_a, coeffs_b], 7),
+                    [int(v) for v in kernel.cyclic_mul_linear(5, coeffs_a)],
+                )
+                if reference is None:
+                    reference = stream
+                else:
+                    assert stream == reference
+        finally:
+            set_default_backend(None)
+        assert field.kernel.name == "prime"
+
+    def test_per_field_override_survives_generation_bumps(self):
+        from repro.gf.prime import PrimeField
+        from repro.gf.kernels import set_default_backend
+
+        field = PrimeField(83)
+        field.set_kernel_backend("naive")
+        try:
+            set_default_backend("table")
+            assert field.kernel.name == "naive"  # sticky per-field override
+            field.set_kernel_backend(None)  # clear: default applies again
+            assert field.kernel.name == "table"
+        finally:
+            set_default_backend(None)
+        assert field.kernel.name == "prime"
 
     def test_large_extension_fields_fall_back_to_naive(self):
         # The q x q addition table is only viable for small fields; a big
