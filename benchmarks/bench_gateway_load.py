@@ -32,6 +32,7 @@ and the measurement loops for CI; the identity assertions always run.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import tempfile
@@ -50,7 +51,7 @@ from repro.filters.client import ClientFilter
 from repro.filters.interface import MatchRule
 from repro.gf.factory import make_field
 from repro.prg.seed import SeedFile
-from repro.rmi.aio import AsyncClusterTransport
+from repro.rmi.aio import AsyncClusterTransport, AsyncSocketTransport, LoopThread
 from repro.rmi.gateway import GatewayProcess
 from repro.rmi.server import SocketCluster, SocketServer
 from repro.rmi.socket import ServerUnavailable
@@ -93,6 +94,30 @@ STRAGGLER_DELAY = 0.4
 #: aggregate-throughput lift from the first to the last of them
 CLIENT_COUNTS = (1, 8) if QUICK else (1, 2, 4, 8)
 MIN_SCALING = 1.3 if QUICK else 2.0
+
+#: the repeated-workload scenario: this many sessions replay the same
+#: query mix with the gateway cache off vs on; cache-on must lift the
+#: aggregate throughput by at least this factor (PR 8 acceptance: 3x
+#: full mode, relaxed under --quick where the loops are tiny)
+REPEAT_SESSIONS = 8
+MIN_CACHE_SPEEDUP = 1.5 if QUICK else 3.0
+CACHE_BYTES = 32 * 1024 * 1024
+
+#: the hog-vs-interactive scenario: one mux session keeps HOG_BURST
+#: fetch_shares_batch rounds of HOG_BATCH nodes in flight (varying the
+#: slices so the cache cannot absorb them) while an interactive session
+#: issues single structural calls; under --fair with this per-session
+#: cap, the interactive p95 must stay within MAX_FAIR_P95_FACTOR of its
+#: solo baseline.  The scenario runs a larger modeled service delay than
+#: the scaling sweep: the QoS bound is about *queueing* behind the hog's
+#: admitted batches, so the modeled round trip must dominate the raw
+#: CPU cost of one batch (on a zero-latency loopback nothing could)
+FAIRNESS_DELAY = 0.025
+HOG_BURST = 16
+HOG_BATCH = 64
+FAIR_CAP = 1
+INTERACTIVE_CALLS = 30 if QUICK else 120
+MAX_FAIR_P95_FACTOR = 4.0 if QUICK else 2.0
 
 OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_gateway_load.json"
 
@@ -251,7 +276,7 @@ class _GatewayStack:
     failures (the auto-selected field for the XMark alphabet is F_79).
     """
 
-    def __init__(self, document, delay):
+    def __init__(self, document, delay, cache_bytes=0, fair=False, fair_cap=8):
         tag_map = TagMap.from_names(XMARK_DTD.element_names(), field=make_field(83))
         self.tag_map = tag_map
         self.deployment = Encoder(tag_map, SEED).deploy_document(
@@ -262,7 +287,14 @@ class _GatewayStack:
         seed_path = os.path.join(self._tmp, "seed.bin")
         SeedFile(SEED).save(seed_path)
         self.gateway = GatewayProcess(
-            self.cluster.addresses, seed_path, p=83, sharing="shamir", threshold=2
+            self.cluster.addresses,
+            seed_path,
+            p=83,
+            sharing="shamir",
+            threshold=2,
+            cache_bytes=cache_bytes,
+            fair=fair,
+            fair_cap=fair_cap,
         )
         self.gateway.start()
 
@@ -273,11 +305,14 @@ class _GatewayStack:
             self.cluster.shutdown()
 
 
-def _run_session_load(stack, clients, rounds):
+def _run_session_load(stack, clients, rounds, collect=False):
     """``clients`` barrier-started sessions, each running ``rounds`` passes
-    over the query mix; returns aggregate throughput + latency quantiles."""
+    over the query mix; returns aggregate throughput + latency quantiles.
+    With ``collect`` each session also records its (query, matches,
+    counters) trace so two runs can be compared byte for byte."""
     barrier = threading.Barrier(clients + 1)
     latencies = [[] for _ in range(clients)]
+    traces = [[] for _ in range(clients)]
     failures = []
 
     def worker(index):
@@ -289,8 +324,12 @@ def _run_session_load(stack, clients, rounds):
                 for query, engine, strict in QUERIES:
                     rule = MatchRule.EQUALITY if strict else MatchRule.CONTAINMENT
                     start = time.perf_counter()
-                    ENGINES[engine](client).execute(query, rule=rule)
+                    result = ENGINES[engine](client).execute(query, rule=rule)
                     latencies[index].append(time.perf_counter() - start)
+                    if collect:
+                        traces[index].append(
+                            (query, result.matches, dict(result.counters))
+                        )
         except Exception as error:  # pragma: no cover - diagnostic path
             failures.append("client %d: %r" % (index, error))
         finally:
@@ -306,7 +345,7 @@ def _run_session_load(stack, clients, rounds):
     wall = time.perf_counter() - start
     assert not failures, failures
     flat = sorted(sample for samples in latencies for sample in samples)
-    return {
+    row = {
         "clients": clients,
         "queries": len(flat),
         "elapsed_seconds": round(wall, 4),
@@ -314,6 +353,9 @@ def _run_session_load(stack, clients, rounds):
         "latency_p50_ms": round(flat[len(flat) // 2] * 1e3, 1),
         "latency_p95_ms": round(flat[int(len(flat) * 0.95)] * 1e3, 1),
     }
+    if collect:
+        return row, traces
+    return row
 
 
 def _gateway_series(document, rounds):
@@ -339,6 +381,177 @@ def test_gateway_throughput_scales_with_concurrent_clients(bench_document):
 
 
 # ----------------------------------------------------------------------
+# Repeated workload: the gateway result cache, off vs on
+# ----------------------------------------------------------------------
+
+
+def _run_repeated_workload(document, rounds):
+    """The same query mix from ``REPEAT_SESSIONS`` sessions, cache off vs
+    cache on: byte-identical traces (matches AND client-side counters)
+    are asserted, the aggregate throughput lift is the scenario result."""
+    rows, traces = {}, {}
+    for label, cache_bytes in (("cache_off", 0), ("cache_on", CACHE_BYTES)):
+        stack = _GatewayStack(document, delay=GATEWAY_DELAY, cache_bytes=cache_bytes)
+        try:
+            _run_session_load(stack, 1, 1)  # warm connections (and the cache)
+            rows[label], traces[label] = _run_session_load(
+                stack, REPEAT_SESSIONS, rounds, collect=True
+            )
+        finally:
+            stack.close()
+    # the cache must be invisible: every session's every run identical
+    assert traces["cache_on"] == traces["cache_off"]
+    speedup = (
+        rows["cache_on"]["queries_per_second"]
+        / rows["cache_off"]["queries_per_second"]
+    )
+    return {
+        "sessions": REPEAT_SESSIONS,
+        "rounds": rounds,
+        "cache_bytes": CACHE_BYTES,
+        "cache_off": rows["cache_off"],
+        "cache_on": rows["cache_on"],
+        "cache_speedup": round(speedup, 2),
+    }
+
+
+def test_repeated_workload_cache_speedup(bench_document):
+    """Acceptance: 8 sessions replaying the same query mix run at least
+    ``MIN_CACHE_SPEEDUP`` times faster in aggregate with the gateway
+    cache on — with byte-identical results and counters (asserted inside
+    the scenario)."""
+    scenario = _run_repeated_workload(bench_document, rounds=2 if QUICK else 3)
+    assert scenario["cache_speedup"] >= MIN_CACHE_SPEEDUP
+
+
+# ----------------------------------------------------------------------
+# Hog vs interactive: per-session QoS under --fair
+# ----------------------------------------------------------------------
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * q))]
+
+
+def _interactive_p95(stack, calls, pre):
+    """p95 of single small structural calls over one fresh session."""
+    endpoint = stack.gateway.endpoint(timeout=60.0)
+    try:
+        endpoint.node_info(pre)  # connection warm-up, unmeasured
+        samples = []
+        for _ in range(calls):
+            start = time.perf_counter()
+            endpoint.node_info(pre)
+            samples.append(time.perf_counter() - start)
+        return _percentile(samples, 0.95)
+    finally:
+        endpoint.close()
+
+
+class _Hog:
+    """One mux session keeping ``HOG_BURST`` batch reads in flight.
+
+    Uses the pipelined asyncio client so a *single* session saturates the
+    gateway the way a sync endpoint (one request per round trip) cannot;
+    the slices rotate so no two rounds repeat and the result cache cannot
+    absorb the load.
+    """
+
+    def __init__(self, address, pres):
+        self.pres = list(pres)
+        self.stop = threading.Event()
+        self.loop = LoopThread(name="bench-hog")
+        self.transport = AsyncSocketTransport(address, timeout=120.0)
+        self.rounds = 0
+        self.thread = threading.Thread(target=self._run, name="bench-hog-driver")
+        self.thread.start()
+
+    def _slices(self, offset):
+        span = max(1, len(self.pres) - HOG_BATCH)
+        return [
+            self.pres[(offset * HOG_BURST + i * 7) % span :][:HOG_BATCH]
+            for i in range(HOG_BURST)
+        ]
+
+    def _run(self):
+        async def burst(slices):
+            await asyncio.gather(
+                *[
+                    self.transport.ainvoke(None, "fetch_shares_batch", (chunk,))
+                    for chunk in slices
+                ]
+            )
+
+        offset = 0
+        while not self.stop.is_set():
+            self.loop.run(burst(self._slices(offset)))
+            offset += 1
+            self.rounds += 1
+
+    def close(self):
+        self.stop.set()
+        self.thread.join(timeout=120.0)
+        self.loop.run(self.transport.aclose())
+        self.loop.close()
+
+
+def _measure_fairness(document):
+    """Interactive p95 solo and under a saturating hog, fair vs FIFO.
+
+    The asserted bound lives on the ``fair`` row; the ``fifo`` row is the
+    informational control showing what the same contention costs without
+    admission control.
+    """
+    rows = {}
+    for label, fair in (("fair", True), ("fifo", False)):
+        stack = _GatewayStack(
+            document, delay=FAIRNESS_DELAY, fair=fair, fair_cap=FAIR_CAP
+        )
+        try:
+            warm = stack.gateway.endpoint(timeout=60.0)
+            root = warm.root_pre()
+            pres = warm.descendants_of(root)
+            warm.close()
+            solo = _interactive_p95(stack, INTERACTIVE_CALLS, root)
+            hog = _Hog(stack.gateway.address, pres)
+            try:
+                time.sleep(0.3)  # let the hog reach a steady burst cadence
+                contended = _interactive_p95(stack, INTERACTIVE_CALLS, root)
+            finally:
+                hog.close()
+            assert hog.rounds > 0  # the hog really ran while we measured
+            rows[label] = {
+                "solo_p95_ms": round(solo * 1e3, 2),
+                "contended_p95_ms": round(contended * 1e3, 2),
+                "slowdown": round(contended / solo, 2) if solo else None,
+                "hog_rounds": hog.rounds,
+            }
+        finally:
+            stack.close()
+    return {
+        "service_delay_seconds": FAIRNESS_DELAY,
+        "hog_burst": HOG_BURST,
+        "hog_batch": HOG_BATCH,
+        "fair_session_cap": FAIR_CAP,
+        "interactive_calls": INTERACTIVE_CALLS,
+        "fair": rows["fair"],
+        "fifo": rows["fifo"],
+    }
+
+
+def test_interactive_p95_bounded_under_fair_hog(bench_document):
+    """Acceptance: with --fair, an interactive session's p95 under a
+    saturating batch hog stays within ``MAX_FAIR_P95_FACTOR`` of its solo
+    baseline (2x full mode, relaxed under --quick)."""
+    scenario = _measure_fairness(bench_document)
+    fair = scenario["fair"]
+    # a 1ms floor keeps the ratio meaningful on a sub-millisecond loopback
+    baseline = max(fair["solo_p95_ms"], 1.0)
+    assert fair["contended_p95_ms"] <= MAX_FAIR_P95_FACTOR * baseline
+
+
+# ----------------------------------------------------------------------
 # The JSON report
 # ----------------------------------------------------------------------
 
@@ -349,11 +562,14 @@ def _median(values):
 
 
 def build_report(document, quick=False):
-    """Quorum-admission timings + the gateway scaling sweep."""
+    """Quorum-admission timings + the gateway scaling, cache and QoS sweeps."""
     quorum_s, all_s = _measure_quorum_admission(rounds=2 if quick else 3)
     series = _gateway_series(document, rounds=2 if quick else 3)
+    repeated = _run_repeated_workload(document, rounds=2 if quick else 3)
+    fairness = _measure_fairness(document)
     return {
         "benchmark": "gateway_load",
+        "quick": bool(quick),
         "document": {
             "generator": "xmark",
             "scale": QUICK_SCALE if quick else DOCUMENT_SCALE,
@@ -376,6 +592,8 @@ def build_report(document, quick=False):
             "series": series,
             "throughput_scaling": round(_scaling(series), 2),
         },
+        "repeated_workload": repeated,
+        "fairness": fairness,
     }
 
 
@@ -389,11 +607,15 @@ def _emit(document, quick, path=OUTPUT_PATH):
 
 def test_report_json_is_emitted(bench_document, tmp_path):
     report = _emit(bench_document, quick=QUICK, path=tmp_path / "BENCH_gateway_load.json")
+    assert report["quick"] is QUICK
     quorum = report["quorum_admission"]
     assert quorum["invoke_quorum_seconds"] < quorum["invoke_all_seconds"]
     series = report["gateway"]["series"]
     assert [row["clients"] for row in series] == list(CLIENT_COUNTS)
     assert report["gateway"]["throughput_scaling"] >= MIN_SCALING
+    assert report["repeated_workload"]["cache_speedup"] >= MIN_CACHE_SPEEDUP
+    fair = report["fairness"]["fair"]
+    assert fair["contended_p95_ms"] <= MAX_FAIR_P95_FACTOR * max(fair["solo_p95_ms"], 1.0)
 
 
 def main(argv=None):
@@ -430,6 +652,22 @@ def main(argv=None):
     print("  throughput scaling 1 -> %d clients: %.2fx" % (
         CLIENT_COUNTS[-1], report["gateway"]["throughput_scaling"]
     ))
+    repeated = report["repeated_workload"]
+    print(
+        "  repeated workload (%d sessions): %6.1f q/s off -> %6.1f q/s on (%.2fx)"
+        % (
+            repeated["sessions"],
+            repeated["cache_off"]["queries_per_second"],
+            repeated["cache_on"]["queries_per_second"],
+            repeated["cache_speedup"],
+        )
+    )
+    for label in ("fair", "fifo"):
+        row = report["fairness"][label]
+        print(
+            "  %s interactive p95: solo %6.2fms  under hog %6.2fms (%.2fx)"
+            % (label, row["solo_p95_ms"], row["contended_p95_ms"], row["slowdown"] or 0.0)
+        )
 
 
 if __name__ == "__main__":

@@ -1,19 +1,32 @@
-"""Gate kernel-speedup regressions against the committed baseline.
+"""Gate benchmark regressions against the committed baselines.
 
-CI re-runs ``bench_field_kernels.py --quick`` into a sibling JSON and then
-compares its speedup rows against the committed ``BENCH_field_kernels.json``.
-Rows are keyed on ``(field, scale_label, candidate, baseline)``; only keys
-present in *both* files are compared (quick mode drops the large-scale
-naive and extension-field rows on purpose).  A run fails when a compared
-``share_encode_speedup`` or ``batch_eval_speedup`` drops more than
-``--tolerance`` (default 25%) below the committed value, or when the
-current gate block falls below its quick-mode floor.  Absolute wall-clock
-numbers are never compared — CI machines are slower and noisier than the
-baseline host; the speedup *ratios* are what the kernels promise.
+CI re-runs a benchmark in ``--quick`` mode into a sibling JSON and then
+compares it against the committed baseline.  The current report's
+``benchmark`` key selects the rule set:
+
+* kernel reports (no ``benchmark`` key — ``BENCH_field_kernels.json``):
+  speedup rows are keyed on ``(field, scale_label, candidate, baseline)``;
+  only keys present in *both* files are compared (quick mode drops the
+  large-scale naive and extension-field rows on purpose).  A run fails
+  when a compared ``share_encode_speedup`` or ``batch_eval_speedup``
+  drops more than ``--tolerance`` (default 25%) below the committed
+  value, or when the current gate block falls below its quick-mode floor.
+* ``"gateway_load"`` reports (``BENCH_gateway_load.json``): the
+  many-client ``throughput_scaling`` and the repeated-workload
+  ``cache_speedup`` gate against the committed ratios (static floors
+  under quick mode, where the document is small and the loops short),
+  and the fairness row must keep the interactive contended p95 within
+  its factor of the solo baseline.
+
+Absolute wall-clock numbers are never compared — CI machines are slower
+and noisier than the baseline host; the speedup *ratios* are what the
+optimisations promise.
 
 Usage::
 
     python benchmarks/check_bench_regression.py BENCH_field_kernels.ci.json
+    python benchmarks/check_bench_regression.py BENCH_gateway_load.ci.json \\
+        --baseline BENCH_gateway_load.json
 """
 
 from __future__ import annotations
@@ -34,6 +47,16 @@ GATED_METRICS = ("share_encode_speedup", "batch_eval_speedup")
 #: quick-mode CI floor for the 10^4-node numpy-vs-prime gate block; the
 #: committed full-mode baseline carries the real >= 5x numbers
 QUICK_GATE_FLOOR = 2.0
+
+#: quick-mode floors for the gateway_load report (small document, short
+#: loops); full-mode runs gate against the committed ratios instead
+QUICK_SCALING_FLOOR = 1.3
+QUICK_CACHE_SPEEDUP_FLOOR = 1.5
+
+#: the interactive contended p95 may exceed the solo baseline by at most
+#: this factor (relaxed under quick mode, mirroring the bench's own bound)
+FAIR_P95_FACTOR = 2.0
+QUICK_FAIR_P95_FACTOR = 4.0
 
 
 def _index(trajectory):
@@ -90,6 +113,57 @@ def compare(baseline, current, tolerance):
             )
 
 
+def _gate_ratio(name, committed, measured, quick, quick_floor, tolerance):
+    """One (severity, message) finding for a committed-vs-measured ratio."""
+    if measured is None:
+        return "fail", "%s missing from current run" % name
+    if quick or committed is None:
+        floor = quick_floor
+        context = "static quick floor" if quick else "no committed value"
+    else:
+        floor = committed * (1.0 - tolerance)
+        context = "committed %.2fx" % committed
+    verdict = "fail" if measured < floor else "info"
+    return verdict, "%s: %.2fx (floor %.2fx, %s)" % (name, measured, floor, context)
+
+
+def compare_gateway(baseline, current, tolerance):
+    """Findings for a ``gateway_load`` report (see module docstring)."""
+    quick = bool(current.get("quick"))
+    yield _gate_ratio(
+        "gateway throughput_scaling",
+        (baseline.get("gateway") or {}).get("throughput_scaling"),
+        (current.get("gateway") or {}).get("throughput_scaling"),
+        quick,
+        QUICK_SCALING_FLOOR,
+        tolerance,
+    )
+    yield _gate_ratio(
+        "repeated_workload cache_speedup",
+        (baseline.get("repeated_workload") or {}).get("cache_speedup"),
+        (current.get("repeated_workload") or {}).get("cache_speedup"),
+        quick,
+        QUICK_CACHE_SPEEDUP_FLOOR,
+        tolerance,
+    )
+    fair = (current.get("fairness") or {}).get("fair")
+    if not fair:
+        yield "fail", "fairness.fair row missing from current run"
+        return
+    factor = QUICK_FAIR_P95_FACTOR if quick else FAIR_P95_FACTOR
+    solo = max(fair.get("solo_p95_ms") or 0.0, 1.0)
+    contended = fair.get("contended_p95_ms")
+    if contended is None:
+        yield "fail", "fairness.fair.contended_p95_ms missing from current run"
+        return
+    verdict = "fail" if contended > factor * solo else "info"
+    yield verdict, "fairness contended p95 %.2fms vs solo %.2fms (bound %.1fx)" % (
+        contended,
+        solo,
+        factor,
+    )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="freshly emitted trajectory JSON")
@@ -108,15 +182,28 @@ def main(argv=None):
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
+    kind = current.get("benchmark")
+    if kind != baseline.get("benchmark"):
+        print(
+            "[FAIL] benchmark mismatch: current %r vs baseline %r"
+            % (kind, baseline.get("benchmark"))
+        )
+        return 1
+    if kind == "gateway_load":
+        findings = compare_gateway(baseline, current, args.tolerance)
+        label = "gateway load"
+    else:
+        findings = compare(baseline, current, args.tolerance)
+        label = "kernel speedup"
     failures = 0
-    for severity, message in compare(baseline, current, args.tolerance):
+    for severity, message in findings:
         print("[%s] %s" % (severity.upper(), message))
         if severity == "fail":
             failures += 1
     if failures:
-        print("%d kernel speedup regression(s) beyond tolerance" % failures)
+        print("%d %s regression(s) beyond tolerance" % (failures, label))
         return 1
-    print("kernel speedups within tolerance of the committed baseline")
+    print("%s metrics within tolerance of the committed baseline" % label)
     return 0
 
 

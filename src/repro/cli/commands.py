@@ -331,6 +331,10 @@ def cmd_gateway(args: argparse.Namespace) -> int:
         )
     except (ValueError, SharingError) as error:
         raise CommandError(str(error)) from error
+    if args.cache_bytes < 0:
+        raise CommandError("--cache-bytes must be non-negative, got %d" % args.cache_bytes)
+    if args.fair_cap < 1:
+        raise CommandError("--fair-cap must be positive, got %d" % args.fair_cap)
     max_frame_bytes = args.max_frame_bytes or DEFAULT_MAX_FRAME_BYTES
     try:
         cluster = AsyncClusterTransport(
@@ -359,6 +363,9 @@ def cmd_gateway(args: argparse.Namespace) -> int:
         unix_path=args.unix_path,
         max_frame_bytes=max_frame_bytes,
         name=args.name or "repro-gateway",
+        cache_bytes=args.cache_bytes,
+        fair=args.fair,
+        fair_session_cap=args.fair_cap,
     )
     if args.parent_watch:
         # Same orphan protection as cmd_server: parent's stdin pipe EOF

@@ -171,6 +171,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="RTT quantile in (0, 1) that triggers hedged straggler co-issue "
         "(0 disables hedging)",
     )
+    gateway.add_argument(
+        "--cache-bytes", type=int, default=0, dest="cache_bytes",
+        help="shared result-cache byte bound over the read surface "
+        "(0 disables caching)",
+    )
+    gateway.add_argument(
+        "--fair", action="store_true",
+        help="weighted fair queueing of upstream-bound work across sessions",
+    )
+    gateway.add_argument(
+        "--fair-cap", type=int, default=8, dest="fair_cap",
+        help="per-session in-flight upstream dispatch cap under --fair",
+    )
     gateway.add_argument("--host", default="127.0.0.1", help="TCP address to bind")
     gateway.add_argument(
         "--port", type=int, default=0, help="TCP port to bind (0 picks a free port)"

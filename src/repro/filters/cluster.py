@@ -47,6 +47,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.rmi.cache import STRUCTURAL_READ_METHODS, GatewayCache
 from repro.rmi.cluster import ClusterTransport
 from repro.secretshare.scheme import SharingError, SharingScheme
 
@@ -88,6 +89,7 @@ class ClusterClient:
         verify_shares: bool = True,
         hedge: Union[bool, float] = False,
         prefetch: int = 0,
+        result_cache: Optional[GatewayCache] = None,
     ):
         """``transport`` carries the calls; ``scheme`` recombines the replies.
 
@@ -106,6 +108,15 @@ class ClusterClient:
         ``prefetch`` marks up to that many structural rounds after each
         share read as overlapping it on the makespan clock, modelling the
         engine's next batch expansion pipelined with in-flight fetches.
+
+        ``result_cache`` (default off) is a shared
+        :class:`~repro.rmi.cache.GatewayCache`: structural reads and
+        *combined* share reads are answered from it when present, and
+        computed results are stored back.  Results served from the cache
+        are shared **by reference** — callers must treat them as
+        read-only, which every consumer in this stack already does.
+        Queue cursors are per-client mutable state and never touch the
+        cache.
         """
         if transport.num_servers != scheme.num_servers:
             raise SharingError(
@@ -132,6 +143,7 @@ class ClusterClient:
             0.0 if hedge is False else (self.DEFAULT_HEDGE_RATIO if hedge is True else float(hedge))
         )
         self._prefetch = prefetch
+        self._result_cache = result_cache
         self._overlap_credits = 0
         self._primary = 0
         # Server-side queues are pinned to one server; local ids hide that.
@@ -169,8 +181,30 @@ class ClusterClient:
         self._overlap_credits -= 1
         return True
 
+    def _cached_call(self, method: str, args: Tuple[Any, ...], compute: Callable[[], Any]) -> Any:
+        """One read through the shared result cache (when configured).
+
+        A hit returns the stored value by reference (immutable by
+        contract); a miss computes, stores, and returns.  With no cache
+        this is exactly ``compute()``.
+        """
+        cache = self._result_cache
+        if cache is None:
+            return compute()
+        found, value = cache.lookup(method, args)
+        if found:
+            return value
+        value = compute()
+        cache.store(method, args, value)
+        return value
+
     def _call_any(self, method: str, *args: Any) -> Any:
         """Invoke a replicated (structure-only) method on one live server."""
+        if self._result_cache is not None and method in STRUCTURAL_READ_METHODS:
+            return self._cached_call(method, args, lambda: self._call_any_direct(method, args))
+        return self._call_any_direct(method, args)
+
+    def _call_any_direct(self, method: str, args: Tuple[Any, ...]) -> Any:
         last_error: Optional[BaseException] = None
         overlap = self._take_overlap()
         for index in self._server_order():
@@ -374,6 +408,11 @@ class ClusterClient:
 
     def evaluate(self, pre: int, point: int) -> int:
         """Combined server-side evaluation of node ``pre`` at ``point``."""
+        return self._cached_call(
+            "evaluate", (pre, point), lambda: self._evaluate_direct(pre, point)
+        )
+
+    def _evaluate_direct(self, pre: int, point: int) -> int:
         replies, failures = self._gather("evaluate", (pre, point))
         replies = self._complete_with_regenerated(
             replies,
@@ -390,6 +429,13 @@ class ClusterClient:
         pres = list(pres)
         if not pres:
             return []
+        return self._cached_call(
+            "evaluate_batch",
+            (pres, point),
+            lambda: self._evaluate_batch_direct(pres, point),
+        )
+
+    def _evaluate_batch_direct(self, pres: List[int], point: int) -> List[int]:
         replies, failures = self._gather("evaluate_batch", (pres, point))
 
         def regenerate(index: int) -> List[int]:
@@ -406,6 +452,11 @@ class ClusterClient:
 
     def fetch_share(self, pre: int) -> List[int]:
         """The *combined* server-share coefficients of node ``pre``."""
+        return self._cached_call(
+            "fetch_share", (pre,), lambda: self._fetch_share_direct(pre)
+        )
+
+    def _fetch_share_direct(self, pre: int) -> List[int]:
         replies, failures = self._gather("fetch_share", (pre,))
         replies = self._complete_with_regenerated(
             replies,
@@ -427,6 +478,11 @@ class ClusterClient:
         pres = list(pres)
         if not pres:
             return []
+        return self._cached_call(
+            "fetch_shares_batch", (pres,), lambda: self._fetch_shares_batch_direct(pres)
+        )
+
+    def _fetch_shares_batch_direct(self, pres: List[int]) -> List[List[int]]:
         replies, failures = self._gather("fetch_shares_batch", (pres,))
 
         def regenerate(index: int) -> List[List[int]]:

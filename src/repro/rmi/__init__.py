@@ -50,7 +50,9 @@ from repro.rmi.aio import (
     AsyncClusterTransport,
     AsyncSocketTransport,
     LoopThread,
+    WeightedFairScheduler,
 )
+from repro.rmi.cache import GatewayCache
 
 from repro.rmi.cluster import (
     ClusterReply,
@@ -71,7 +73,7 @@ from repro.rmi.socket import (
     UnknownRemoteMethodError,
     WireProtocolError,
 )
-from repro.rmi.stats import CallStats
+from repro.rmi.stats import CacheStats, CallStats
 from repro.rmi.transport import CallOutcome, SimulatedTransport
 
 #: gateway names resolved lazily (PEP 562): repro.rmi.gateway sits on top
@@ -110,6 +112,9 @@ __all__ = [
     "SocketServer",
     "ServerProcess",
     "SocketCluster",
+    "CacheStats",
+    "GatewayCache",
+    "WeightedFairScheduler",
     "LoopThread",
     "AsyncSocketTransport",
     "AsyncClusterTransport",

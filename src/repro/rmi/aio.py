@@ -38,6 +38,7 @@ hanging on a dead wire.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import threading
 import time
 from contextlib import suppress
@@ -152,6 +153,201 @@ class LoopThread:
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return "LoopThread(%s, closed=%s)" % (self._thread.name, self._closed)
+
+
+class _FairState:
+    """Per-session scheduling state of one :class:`WeightedFairScheduler`."""
+
+    __slots__ = ("inflight", "vfinish", "weight")
+
+    def __init__(self, weight: float):
+        self.inflight = 0
+        self.vfinish = 0.0
+        self.weight = weight
+
+
+class _FairWaiter:
+    """One queued admission request (owner + the future it parks on)."""
+
+    __slots__ = ("owner", "future")
+
+    def __init__(self, owner: Any, future: "asyncio.Future"):
+        self.owner = owner
+        self.future = future
+
+
+class WeightedFairScheduler:
+    """Cost-aware weighted fair queueing for one event loop's dispatches.
+
+    The gateway's admission-control half: without it, one hog session
+    streaming large ``fetch_shares_batch`` rounds monopolises the shared
+    upstream connections and every other session's small structural call
+    queues behind the batches.  Each session accrues *virtual finish
+    time* proportional to the cost of its admitted work (batch reads
+    cost ~batch-size, structural calls cost 1), and the waiter with the
+    smallest finish time is admitted first — so a session that has
+    consumed little service jumps ahead of one that has consumed a lot,
+    bounding the small calls' latency regardless of the hog's backlog.
+
+    Two concurrency bounds compose with the ordering: ``session_cap``
+    limits any one session's in-flight dispatches (a hog saturates its
+    own lane, never the loop), and optional ``max_inflight`` caps the
+    global total.  A waiter at its session cap is skipped — it never
+    blocks *other* sessions' admissions behind it.
+
+    Scheduling state is **loop-confined**: :meth:`acquire` /
+    :meth:`release` / :meth:`forget` must run on the owning event loop.
+    The counters are lock-guarded so :meth:`snapshot` is safe from any
+    thread.
+    """
+
+    def __init__(
+        self,
+        session_cap: int = 8,
+        max_inflight: Optional[int] = None,
+        default_weight: float = 1.0,
+    ):
+        if session_cap < 1:
+            raise ValueError("session_cap must be at least 1, got %r" % (session_cap,))
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(
+                "max_inflight must be at least 1 (or None), got %r" % (max_inflight,)
+            )
+        if default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        self.session_cap = int(session_cap)
+        self.max_inflight = max_inflight
+        self.default_weight = float(default_weight)
+        self._states: Dict[Any, _FairState] = {}
+        #: (virtual finish, seq, waiter) — seq breaks ties deterministically
+        self._heap: List[Tuple[float, int, _FairWaiter]] = []
+        self._seq = 0
+        self._virtual = 0.0
+        self._total = 0
+        self._counter_lock = threading.Lock()
+        self._admitted = 0
+        self._queued = 0
+        self._peak_waiting = 0
+
+    def _state(self, owner: Any) -> _FairState:
+        state = self._states.get(owner)
+        if state is None:
+            state = _FairState(self.default_weight)
+            self._states[owner] = state
+        return state
+
+    async def acquire(self, owner: Any, cost: float = 1.0) -> None:
+        """Wait for admission of one dispatch of ``owner`` costing ``cost``.
+
+        Every successful acquire MUST be paired with one :meth:`release`
+        (use ``try/finally``).  Cancellation while queued withdraws the
+        request; cancellation that races an admission gives the slot
+        back before re-raising.
+        """
+        cost = max(1.0, float(cost))
+        state = self._state(owner)
+        # Classic start-time fair queueing: a session idle since before
+        # the current virtual time starts *now*, not at zero — it cannot
+        # bank credit while idle and then burst past everyone.
+        start = max(self._virtual, state.vfinish)
+        state.vfinish = start + cost / state.weight
+        waiter = _FairWaiter(owner, asyncio.get_event_loop().create_future())
+        self._seq += 1
+        heapq.heappush(self._heap, (state.vfinish, self._seq, waiter))
+        self._pump()
+        if waiter.future.done() and not waiter.future.cancelled():
+            await waiter.future
+            with self._counter_lock:
+                self._admitted += 1
+            return
+        with self._counter_lock:
+            self._queued += 1
+            self._peak_waiting = max(self._peak_waiting, len(self._heap))
+        try:
+            await waiter.future
+        except asyncio.CancelledError:
+            if waiter.future.done() and not waiter.future.cancelled():
+                # Admitted in the same tick the caller was cancelled: the
+                # slot was taken, give it back.
+                self.release(owner)
+            raise
+        with self._counter_lock:
+            self._admitted += 1
+
+    def release(self, owner: Any) -> None:
+        """Return one admitted slot of ``owner`` and admit eligible waiters."""
+        state = self._states.get(owner)
+        if state is not None and state.inflight > 0:
+            state.inflight -= 1
+            self._total -= 1
+        self._pump()
+
+    def forget(self, owner: Any) -> None:
+        """Drop a departed session: frees its slots, cancels its waiters."""
+        state = self._states.pop(owner, None)
+        if state is not None:
+            self._total -= state.inflight
+        for _, _, waiter in self._heap:
+            if waiter.owner is owner and not waiter.future.done():
+                waiter.future.cancel()
+        self._pump()
+
+    def _pump(self) -> None:
+        """Admit waiters in virtual-finish order while capacity allows.
+
+        Waiters whose session is at its cap are skipped (and re-queued at
+        their original position) so they never head-of-line-block other
+        sessions; cancelled waiters are discarded.
+        """
+        skipped: List[Tuple[float, int, _FairWaiter]] = []
+        while self._heap:
+            if self.max_inflight is not None and self._total >= self.max_inflight:
+                break
+            vfinish, seq, waiter = self._heap[0]
+            if waiter.future.done():  # cancelled while queued
+                heapq.heappop(self._heap)
+                continue
+            state = self._states.get(waiter.owner)
+            if state is None:  # forgotten owner: withdraw the request
+                heapq.heappop(self._heap)
+                waiter.future.cancel()
+                continue
+            if state.inflight >= self.session_cap:
+                skipped.append(heapq.heappop(self._heap))
+                continue
+            heapq.heappop(self._heap)
+            state.inflight += 1
+            self._total += 1
+            self._virtual = max(self._virtual, vfinish)
+            waiter.future.set_result(None)
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters plus occupancy, as one fresh plain dict."""
+        with self._counter_lock:
+            data: Dict[str, Any] = {
+                "admitted": self._admitted,
+                "queued": self._queued,
+                "peak_waiting": self._peak_waiting,
+            }
+        data.update(
+            {
+                "active": self._total,
+                "waiting": len(self._heap),
+                "sessions": len(self._states),
+                "session_cap": self.session_cap,
+                "max_inflight": self.max_inflight,
+            }
+        )
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return "WeightedFairScheduler(active=%d, waiting=%d, cap=%d)" % (
+            self._total,
+            len(self._heap),
+            self.session_cap,
+        )
 
 
 class AsyncSocketTransport:

@@ -37,13 +37,21 @@ import os
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.filters.cluster import ClusterClient, ClusterUnavailableError
-from repro.rmi.aio import AsyncClusterTransport
+from repro.rmi.aio import AsyncClusterTransport, WeightedFairScheduler
+from repro.rmi.cache import (
+    CACHEABLE_METHODS,
+    SHARE_READ_METHODS,
+    STRUCTURAL_READ_METHODS,
+    GatewayCache,
+)
 from repro.rmi.codec import Codec, CodecError
 from repro.rmi.server import PROTOCOL_VERSION, ServerProcess, SocketServer
 from repro.rmi.socket import (
+    BUMP_EPOCH_METHOD,
     DEFAULT_MAX_FRAME_BYTES,
     PING_METHOD,
     SHUTDOWN_METHOD,
+    STATS_METHOD,
     STATUS_OK,
     AddressLike,
     ServerAddress,
@@ -53,54 +61,57 @@ from repro.rmi.socket import (
 )
 from repro.secretshare.scheme import SharingScheme
 
-#: the session surface a remote client may call (everything else is
-#: answered with a typed UnknownRemoteMethodError, never executed)
-EXPORTED_METHODS = frozenset(
+#: per-session queue-cursor methods (pinned to the opening server); their
+#: state is mutable and session-private, so they are NEVER cacheable
+_QUEUE_METHODS = frozenset(
     (
-        # structural (replicated; answered by one sticky live server)
-        "node_count",
-        "root_pre",
-        "node_info",
-        "node_infos",
-        "children_of",
-        "children_of_many",
-        "descendants_of",
-        "descendants_of_many",
-        "parent_of",
-        # per-session queue cursors (pinned to the opening server)
         "open_queue",
         "open_children_queue",
         "open_descendants_queue",
         "next_node",
         "queue_size",
         "close_queue",
-        # share reads (scatter-gathered and combined by the gateway)
-        "evaluate",
-        "evaluate_batch",
-        "evaluate_many",
-        "fetch_share",
-        "fetch_shares_batch",
-        "fetch_shares",
     )
 )
 
-_STRUCTURAL_METHODS = frozenset(
-    (
-        "node_count",
-        "root_pre",
-        "node_info",
-        "node_infos",
-        "children_of",
-        "children_of_many",
-        "descendants_of",
-        "descendants_of_many",
-        "parent_of",
-    )
-)
+#: the session surface a remote client may call (everything else is
+#: answered with a typed UnknownRemoteMethodError, never executed):
+#: replicated structural reads, per-session queue cursors, and the share
+#: reads the gateway scatter-gathers and combines
+EXPORTED_METHODS = STRUCTURAL_READ_METHODS | _QUEUE_METHODS | SHARE_READ_METHODS
+
+_STRUCTURAL_METHODS = STRUCTURAL_READ_METHODS
 
 _QUEUE_OPEN_METHODS = frozenset(
     ("open_queue", "open_children_queue", "open_descendants_queue")
 )
+
+#: methods whose first argument is a batch (a ``pres`` list): admission
+#: cost scales with the batch size so one hog round is charged what it
+#: actually occupies upstream
+_BATCH_ARG_METHODS = frozenset(
+    (
+        "evaluate_batch",
+        "evaluate_many",
+        "fetch_shares_batch",
+        "fetch_shares",
+        "node_infos",
+        "children_of_many",
+        "descendants_of_many",
+        "open_queue",
+        "open_children_queue",
+        "open_descendants_queue",
+    )
+)
+
+
+def _request_cost(method: str, args: Sequence[Any]) -> float:
+    """Admission cost: ~batch size for batched reads, 1 for everything else."""
+    if method in _BATCH_ARG_METHODS and args:
+        first = args[0]
+        if isinstance(first, (list, tuple)):
+            return float(max(1, len(first)))
+    return 1.0
 
 
 class AsyncClusterClient(ClusterClient):
@@ -355,6 +366,10 @@ class Gateway(SocketServer):
         codec: Optional[Codec] = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         name: str = "repro-gateway",
+        cache_bytes: int = 0,
+        fair: bool = False,
+        fair_session_cap: int = 8,
+        fair_max_inflight: Optional[int] = None,
     ):
         super().__init__(
             target=cluster,
@@ -369,6 +384,23 @@ class Gateway(SocketServer):
         self.scheme = scheme
         self.read_quorum = read_quorum
         self.verify_shares = verify_shares
+        #: shared result cache over the read surface (None = caching off).
+        #: A hit answers from the gateway without touching the fleet; a
+        #: miss is single-flight, so N sessions asking the same question
+        #: concurrently cost one upstream scatter.
+        self.cache: Optional[GatewayCache] = (
+            GatewayCache(cache_bytes) if cache_bytes else None
+        )
+        #: weighted fair queue over *upstream-bound* work (None = FIFO).
+        #: Cache hits bypass admission entirely — they cost the fleet
+        #: nothing — so a hog only competes where it actually hogs.
+        self.scheduler: Optional[WeightedFairScheduler] = (
+            WeightedFairScheduler(
+                session_cap=fair_session_cap, max_inflight=fair_max_inflight
+            )
+            if fair
+            else None
+        )
         #: live sessions (loop-confined; for introspection and tests)
         self.sessions: Set[AsyncClusterClient] = set()
         self._inflight = 0
@@ -392,6 +424,10 @@ class Gateway(SocketServer):
         if session is None:  # pragma: no cover - defensive
             return
         self.sessions.discard(session)
+        if self.scheduler is not None:
+            # Return the departed session's admission slots and wake any
+            # queued work that was waiting behind them.
+            self.scheduler.forget(session)
         await session.arelease()
 
     async def _on_loop_shutdown(self) -> None:
@@ -433,6 +469,11 @@ class Gateway(SocketServer):
             # completes (and is answered) before the gateway goes down.
             await self._drain_inflight()
             return STATUS_OK + self.codec.encode(True), True
+        if method == STATS_METHOD:
+            return STATUS_OK + self.codec.encode(self.stats_snapshot()), False
+        if method == BUMP_EPOCH_METHOD:
+            epoch = self.cache.bump_epoch() if self.cache is not None else 0
+            return STATUS_OK + self.codec.encode(epoch), False
         if method.startswith("_") or method not in EXPORTED_METHODS:
             return (
                 self._error_payload(
@@ -444,8 +485,7 @@ class Gateway(SocketServer):
             return self._error_payload(RuntimeError("connection has no session")), False
         self._inflight += 1
         try:
-            result = session.adispatch(method, args, kwargs)
-            value = await result
+            value = await self._dispatch_session(session, method, args, kwargs)
         except Exception as exc:
             return self._error_payload(exc), False
         finally:
@@ -459,6 +499,54 @@ class Gateway(SocketServer):
             return STATUS_OK + self.codec.encode(value), False
         except CodecError as exc:
             return self._error_payload(exc), False
+
+    async def _dispatch_session(
+        self, session: Any, method: str, args: Sequence[Any], kwargs: Dict[str, Any]
+    ) -> Any:
+        """One session request through the cache (if on), then admission.
+
+        Only the read surface with positional args routes through the
+        cache; queue-cursor methods (session-private mutable state) and
+        anything uncacheable go straight to fair admission.  On a cache
+        hit or coalesce nothing is admitted — no upstream work happens.
+        """
+        if self.cache is not None and not kwargs and method in CACHEABLE_METHODS:
+            return await self.cache.aget_or_compute(
+                method,
+                args,
+                lambda: self._admit_and_dispatch(session, method, args, kwargs),
+            )
+        return await self._admit_and_dispatch(session, method, args, kwargs)
+
+    async def _admit_and_dispatch(
+        self, session: Any, method: str, args: Sequence[Any], kwargs: Dict[str, Any]
+    ) -> Any:
+        """Run one upstream-bound dispatch under fair admission (if on)."""
+        if self.scheduler is None:
+            return await session.adispatch(method, args, kwargs)
+        await self.scheduler.acquire(session, cost=_request_cost(method, args))
+        try:
+            return await session.adispatch(method, args, kwargs)
+        finally:
+            self.scheduler.release(session)
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """One codec-serialisable view of gateway health (``__stats__``).
+
+        Reads the upstream transports' :class:`~repro.rmi.stats.CallStats`
+        directly — deliberately NOT via ``aggregate_stats()``/``drain()``,
+        which are sync-bridge paths that must never run on the gateway's
+        own loop.
+        """
+        return {
+            "server": self.name,
+            "sessions": len(self.sessions),
+            "cache": self.cache.snapshot() if self.cache is not None else None,
+            "fairness": self.scheduler.snapshot() if self.scheduler is not None else None,
+            "servers": [
+                transport.stats.snapshot() for transport in self.cluster.transports
+            ],
+        }
 
     async def _drain_inflight(self) -> None:
         while self._inflight:
@@ -511,6 +599,19 @@ class GatewayEndpoint:
         """The gateway's ``__ping__`` identity (health check)."""
         return self.transport.ping()
 
+    def stats(self) -> Dict[str, Any]:
+        """The gateway's ``__stats__`` snapshot: sessions, cache counters,
+        fairness queue state, per-server upstream call statistics."""
+        return self.transport.invoke(None, STATS_METHOD, (), {})
+
+    def bump_epoch(self) -> int:
+        """Invalidate the gateway's result cache wholesale (new epoch).
+
+        The over-the-wire handle a writer calls after mutating rows;
+        returns the new epoch (0 when the gateway runs without a cache).
+        """
+        return self.transport.invoke(None, BUMP_EPOCH_METHOD, (), {})
+
     def close(self) -> None:
         """Release the proxy's pooled connections."""
         self.transport.close()
@@ -545,6 +646,9 @@ class GatewayProcess(ServerProcess):
         startup_timeout: float = 30.0,
         name: Optional[str] = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        cache_bytes: int = 0,
+        fair: bool = False,
+        fair_cap: int = 8,
     ):
         super().__init__(
             database_path=seed_path,
@@ -569,6 +673,9 @@ class GatewayProcess(ServerProcess):
         self.read_quorum = read_quorum
         self.verify_shares = verify_shares
         self.hedge = hedge
+        self.cache_bytes = cache_bytes
+        self.fair = fair
+        self.fair_cap = fair_cap
 
     def _command(self) -> List[str]:
         command = [
@@ -590,6 +697,10 @@ class GatewayProcess(ServerProcess):
             command.append("--no-verify")
         if self.hedge:
             command.extend(["--hedge", repr(self.hedge)])
+        if self.cache_bytes:
+            command.extend(["--cache-bytes", str(self.cache_bytes)])
+        if self.fair:
+            command.extend(["--fair", "--fair-cap", str(self.fair_cap)])
         return command
 
     def endpoint(self, **kwargs: Any) -> GatewayEndpoint:

@@ -90,6 +90,15 @@ class SocketServer:
     every await point.  ``delay`` sleeps (asynchronously) before answering
     each request: deterministic injected per-server latency for benchmarks
     exercising first-k quorum reads on a real wire.
+
+    ``max_session_inflight`` bounds how many of one *connection's* mux
+    requests may be dispatched concurrently (``None`` = unlimited, the
+    historical behaviour).  Past the bound the connection's read loop
+    stops pulling frames until a dispatch completes — per-connection
+    backpressure that keeps a pipelining hog from parking an unbounded
+    task pile on the loop, without ever affecting other connections.
+    Subclasses with their own admission control (the gateway's weighted
+    fair queue) normally leave this off and gate in dispatch instead.
     """
 
     def __init__(
@@ -102,9 +111,16 @@ class SocketServer:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         name: str = "repro-server",
         delay: float = 0.0,
+        max_session_inflight: Optional[int] = None,
     ):
         if delay < 0:
             raise ValueError("delay must be non-negative")
+        if max_session_inflight is not None and max_session_inflight < 1:
+            raise ValueError(
+                "max_session_inflight must be at least 1 (or None), got %r"
+                % (max_session_inflight,)
+            )
+        self.max_session_inflight = max_session_inflight
         self.target = target
         self.codec = codec or Codec()
         self.max_frame_bytes = max_frame_bytes
@@ -341,6 +357,12 @@ class SocketServer:
             await self._serve_connection(reader, writer, session)
         except (ConnectionError, OSError, asyncio.IncompleteReadError):
             pass  # peer vanished mid-session: a normal end
+        except asyncio.CancelledError:
+            # Loop teardown cancels connection tasks that were still parked
+            # on a read; ending the task *cancelled* would make the streams
+            # machinery re-raise from its done-callback and spray tracebacks
+            # through the closing loop.  Finish quietly instead.
+            pass
         finally:
             self._writers.discard(writer)
             _abort_writer(writer)
@@ -455,9 +477,18 @@ class SocketServer:
         write_lock = asyncio.Lock()
         stopping = asyncio.Event()
         inflight: Set["asyncio.Task[None]"] = set()
+        limit = (
+            asyncio.Semaphore(self.max_session_inflight)
+            if self.max_session_inflight is not None
+            else None
+        )
 
         async def _dispatch(call_id: int, frame: bytes) -> None:
-            response, stop_after = await self._respond(frame, session)
+            try:
+                response, stop_after = await self._respond(frame, session)
+            finally:
+                if limit is not None:
+                    limit.release()
             try:
                 if len(response) > self.max_frame_bytes:
                     async with write_lock:
@@ -509,6 +540,11 @@ class SocketServer:
                 if item is None:
                     return  # clean EOF between frames
                 call_id, frame = item
+                if limit is not None:
+                    # Backpressure: past the per-connection bound, stop
+                    # pulling frames until a dispatch completes.  The
+                    # wait always resolves — every counted dispatch ends.
+                    await limit.acquire()
                 task = asyncio.ensure_future(_dispatch(call_id, frame))
                 inflight.add(task)
                 task.add_done_callback(inflight.discard)

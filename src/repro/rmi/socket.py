@@ -97,6 +97,14 @@ PING_METHOD = "__ping__"
 #: graceful-shutdown method served by every socket server
 SHUTDOWN_METHOD = "__shutdown__"
 
+#: gateway introspection method: sessions, cache, fairness and per-server
+#: wire counters as one snapshot (served by the gateway, not plain servers)
+STATS_METHOD = "__stats__"
+
+#: gateway cache-invalidation method: bump the deployment epoch, dropping
+#: every cached result at once (the write path's wholesale handle)
+BUMP_EPOCH_METHOD = "__bump_epoch__"
+
 
 class SocketTransportError(ConnectionError):
     """Base class of socket-transport failures (a :class:`ConnectionError`,

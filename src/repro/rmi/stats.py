@@ -174,32 +174,46 @@ class CallStats:
         return self.total_bytes / self.queries if self.queries else 0.0
 
     def per_method(self) -> Dict[str, Dict[str, int]]:
-        """Per-method breakdown: calls, errors and payload bytes by endpoint."""
-        return {
-            method: {
-                "calls": count,
-                "errors": self.errors_by_method.get(method, 0),
-                "bytes": self.bytes_by_method.get(method, 0),
+        """Per-method breakdown: calls, errors and payload bytes by endpoint.
+
+        Built under the lock: a concurrently recording writer must neither
+        tear the iteration (``dictionary changed size during iteration``)
+        nor leak into the returned copy afterwards.
+        """
+        with self._lock:
+            return {
+                method: {
+                    "calls": count,
+                    "errors": self.errors_by_method.get(method, 0),
+                    "bytes": self.bytes_by_method.get(method, 0),
+                }
+                for method, count in sorted(self.calls_by_method.items())
             }
-            for method, count in sorted(self.calls_by_method.items())
-        }
 
     def snapshot(self) -> Dict[str, object]:
-        """A plain-dict copy for report printing (counters plus ``backend``)."""
-        return {
-            "backend": self.backend,
-            "calls": self.calls,
-            "errors": self.errors,
-            "queries": self.queries,
-            "bytes_sent": self.bytes_sent,
-            "bytes_received": self.bytes_received,
-            "total_bytes": self.total_bytes,
-            "simulated_latency": self.simulated_latency,
-            "makespan": self.makespan,
-            "calls_per_query": self.calls_per_query,
-            "bytes_per_query": self.bytes_per_query,
-            "by_method": self.per_method(),
-        }
+        """A plain-dict copy for report printing (counters plus ``backend``).
+
+        Taken atomically under the lock so a scattered round recording
+        concurrently can never hand the caller a torn view (``calls`` from
+        after a record, ``bytes`` from before it) — and the returned dict,
+        including the nested ``by_method`` rows, never mutates under the
+        caller: every container in it is a fresh copy.
+        """
+        with self._lock:
+            return {
+                "backend": self.backend,
+                "calls": self.calls,
+                "errors": self.errors,
+                "queries": self.queries,
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "total_bytes": self.total_bytes,
+                "simulated_latency": self.simulated_latency,
+                "makespan": self.makespan,
+                "calls_per_query": self.calls_per_query,
+                "bytes_per_query": self.bytes_per_query,
+                "by_method": self.per_method(),
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return "CallStats(calls=%d, errors=%d, bytes=%d, latency=%.4fs)" % (
@@ -208,6 +222,109 @@ class CallStats:
             self.total_bytes,
             self.simulated_latency,
         )
+
+
+@dataclass
+class CacheStats:
+    """Counters of a result cache: hits, misses and single-flight coalesces.
+
+    The :class:`~repro.rmi.cache.GatewayCache` (and any client-side result
+    cache built on it) records through one of these.  Same discipline as
+    :class:`CallStats`: every mutator takes the internal lock — the gateway
+    records from its event loop while ``__stats__`` readers snapshot from
+    client connections — and :meth:`snapshot` returns a fresh plain dict
+    that can never mutate under the caller.
+    """
+
+    #: reads answered from the cache
+    hits: int = 0
+    #: reads that had to compute (each one upstream scatter)
+    misses: int = 0
+    #: reads that joined an identical in-flight computation instead of
+    #: issuing their own (the single-flight win: N sessions, ONE scatter)
+    coalesced: int = 0
+    #: computed results admitted into the cache
+    stores: int = 0
+    #: entries evicted by the LRU byte bound
+    evictions: int = 0
+    #: entries dropped wholesale by epoch bumps
+    invalidated: int = 0
+    #: results too large for the configured byte bound (never stored)
+    oversized: int = 0
+    #: guards every read-modify-write (loop thread vs. reader threads)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced += 1
+
+    def record_store(self) -> None:
+        with self._lock:
+            self.stores += 1
+
+    def record_eviction(self, amount: int = 1) -> None:
+        with self._lock:
+            self.evictions += amount
+
+    def record_invalidated(self, amount: int) -> None:
+        with self._lock:
+            self.invalidated += amount
+
+    def record_oversized(self) -> None:
+        with self._lock:
+            self.oversized += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 before any)."""
+        with self._lock:
+            lookups = self.hits + self.misses + self.coalesced
+            if not lookups:
+                return 0.0
+            return (self.hits + self.coalesced) / lookups
+
+    def snapshot(self) -> Dict[str, object]:
+        """An atomic plain-dict copy (never mutates under the caller)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "coalesced": self.coalesced,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "invalidated": self.invalidated,
+                "oversized": self.oversized,
+                "hit_rate": self.hit_rate,
+            }
+
+    def reset(self) -> None:
+        """Zero all counters (between experiment runs)."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.coalesced = 0
+            self.stores = 0
+            self.evictions = 0
+            self.invalidated = 0
+            self.oversized = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        with self._lock:
+            return "CacheStats(hits=%d, misses=%d, coalesced=%d)" % (
+                self.hits,
+                self.misses,
+                self.coalesced,
+            )
 
 
 class QuantileSketch:

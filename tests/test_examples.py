@@ -68,6 +68,14 @@ class TestExamplesRun:
         assert "identical" in output and "DIVERGED" not in output
         assert "fleet stopped" in output
 
+    def test_gateway_cache_demo(self, capsys):
+        module = _load_example("gateway_cache_demo")
+        module.main()
+        output = capsys.readouterr().out
+        assert "cache hit rate" in output
+        assert "upstream scatters: 1" in output
+        assert "closer to its solo baseline" in output
+
     def test_auction_search(self, capsys, monkeypatch):
         monkeypatch.setattr(sys, "argv", ["auction_search.py", "0.01"])
         module = _load_example("auction_search")
