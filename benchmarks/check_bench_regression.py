@@ -17,6 +17,10 @@ compares it against the committed baseline.  The current report's
   under quick mode, where the document is small and the loops short),
   and the fairness row must keep the interactive contended p95 within
   its factor of the solo baseline.
+* ``"chaos_recovery"`` reports (``BENCH_chaos_recovery.json``): absolute
+  correctness invariants — zero wrong results, zero misattributions,
+  every heal byte-identical, at least one heal — plus coverage checks
+  that the schedule actually injected and attributed faults.
 
 Absolute wall-clock numbers are never compared — CI machines are slower
 and noisier than the baseline host; the speedup *ratios* are what the
@@ -164,6 +168,62 @@ def compare_gateway(baseline, current, tolerance):
     )
 
 
+def compare_chaos(baseline, current, tolerance):
+    """Findings for a ``chaos_recovery`` report.
+
+    Correctness invariants are absolute — zero wrong results, zero
+    misattributions, every heal byte-identical — and do not soften under
+    quick mode or tolerance: a fleet that serves one wrong answer or
+    blames one healthy server has regressed, full stop.  Coverage (at
+    least one heal, at least one attribution event when the schedule
+    corrupted anything) guards against the bench silently doing nothing.
+    """
+    queries = current.get("queries") or {}
+    attribution = current.get("attribution") or {}
+    heals = current.get("heals") or {}
+    schedule = current.get("schedule") or {}
+
+    total = queries.get("total") or 0
+    verdict = "fail" if total < 1 else "info"
+    yield verdict, "chaos schedule answered %d queries over %d rounds" % (
+        total,
+        schedule.get("rounds") or 0,
+    )
+
+    wrong = queries.get("wrong_results")
+    verdict = "fail" if wrong != 0 else "info"
+    yield verdict, "wrong results: %s (must be 0)" % wrong
+
+    unavailable = queries.get("unavailable")
+    verdict = "fail" if unavailable != 0 else "info"
+    yield verdict, "unavailable queries: %s (must be 0 — the quorum absorbs faults)" % (
+        unavailable,
+    )
+
+    missed = attribution.get("misattributions")
+    verdict = "fail" if missed != 0 else "info"
+    yield verdict, "misattributions: %s (a healthy server must never be blamed)" % missed
+
+    corruptions = schedule.get("corruptions") or 0
+    events = attribution.get("events") or 0
+    verdict = "fail" if events < corruptions else "info"
+    yield verdict, "attribution events: %d of %d injected corruptions" % (
+        events,
+        corruptions,
+    )
+
+    count = heals.get("count") or 0
+    verdict = "fail" if count < 1 else "info"
+    yield verdict, "heals: %d (at least one required)" % count
+
+    identical = heals.get("byte_identical")
+    verdict = "fail" if identical != count else "info"
+    yield verdict, "byte-identical heals: %s of %d (every heal must match)" % (
+        identical,
+        count,
+    )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="freshly emitted trajectory JSON")
@@ -192,6 +252,9 @@ def main(argv=None):
     if kind == "gateway_load":
         findings = compare_gateway(baseline, current, args.tolerance)
         label = "gateway load"
+    elif kind == "chaos_recovery":
+        findings = compare_chaos(baseline, current, args.tolerance)
+        label = "chaos recovery"
     else:
         findings = compare(baseline, current, args.tolerance)
         label = "kernel speedup"

@@ -26,7 +26,7 @@ from repro.experiments import (
 from repro.experiments.workloads import build_database
 from repro.filters.client import ClientFilter
 from repro.filters.interface import MatchRule
-from repro.filters.server import ServerFilter
+from repro.filters.server import CorruptibleServerFilter, ServerFilter
 from repro.gf.factory import field_for_alphabet, make_field
 from repro.poly.ring import QuotientRing
 from repro.prg.generator import KeyedPRG
@@ -231,7 +231,10 @@ def cmd_server(args: argparse.Namespace) -> int:
     except Exception as error:
         raise CommandError("cannot build F_{%d^%d}: %s" % (args.p, args.e, error)) from error
     table = database.table(NODE_TABLE_NAME)
-    server_filter = ServerFilter(table, ring)
+    # --chaos exports the share-corruption fault injector; chaos harnesses
+    # only — a production fleet must never expose it on the wire.
+    filter_class = CorruptibleServerFilter if getattr(args, "chaos", False) else ServerFilter
+    server_filter = filter_class(table, ring)
     server = SocketServer(
         server_filter,
         host=args.host,

@@ -129,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="injected per-request delay in seconds (latency fault injection)",
     )
+    server.add_argument(
+        "--chaos",
+        action="store_true",
+        help="export the corrupt_share fault injector (chaos testing only)",
+    )
     server.set_defaults(handler=commands.cmd_server)
 
     # ------------------------------------------------------------------

@@ -28,12 +28,13 @@ from repro.filters.cluster import (
     InconsistentShareError,
 )
 from repro.filters.interface import Filter, MatchRule
-from repro.filters.server import ServerFilter
+from repro.filters.server import CorruptibleServerFilter, ServerFilter
 
 __all__ = [
     "Filter",
     "MatchRule",
     "ServerFilter",
+    "CorruptibleServerFilter",
     "ClientFilter",
     "ClusterClient",
     "ClusterProtocolError",

@@ -49,7 +49,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.rmi.cache import STRUCTURAL_READ_METHODS, GatewayCache
 from repro.rmi.cluster import ClusterTransport
-from repro.secretshare.scheme import SharingError, SharingScheme
+from repro.secretshare.scheme import (
+    AttributionInconclusive,
+    SharingError,
+    SharingScheme,
+)
 
 
 class ClusterProtocolError(RuntimeError):
@@ -64,15 +68,27 @@ class InconsistentShareError(ClusterProtocolError):
     """Redundant replies disagree: at least one server holds corrupt shares.
 
     ``servers`` lists the indices whose replies contradicted the
-    reconstruction from the base subset.  With exactly ``threshold`` replies
-    corruption is undetectable; with more, disagreement is provable but
-    attribution is relative to the base subset (a majority vote across
-    subsets would be needed to pin the culprit down — see ROADMAP).
+    reconstruction from the base subset — detection only, relative to that
+    subset, so a corrupt *base member* makes every honest surplus server
+    appear here.  ``suspects`` is the stronger verdict from the scheme's
+    majority vote across k-subsets (:meth:`SharingScheme.attribute_corruption`):
+    the servers whose replies disagree with the unique honest majority.  It
+    is empty when attribution was inconclusive (too few replies, a tie, or a
+    scheme without redundancy).  ``evidence`` carries the vote tallies and
+    first-divergence positions for supervisors and logs.
     """
 
-    def __init__(self, message: str, servers: Sequence[int]):
+    def __init__(
+        self,
+        message: str,
+        servers: Sequence[int],
+        suspects: Sequence[int] = (),
+        evidence: Optional[Dict[str, object]] = None,
+    ):
         super().__init__(message)
         self.servers = tuple(servers)
+        self.suspects = tuple(suspects)
+        self.evidence: Dict[str, object] = dict(evidence or {})
 
 
 class ClusterClient:
@@ -391,20 +407,75 @@ class ClusterClient:
             )
         return replies
 
-    def _verify_vectors(self, vectors: Dict[int, Sequence[int]], method: str) -> None:
-        """Check redundant replies; record and raise on disagreement."""
+    def _verify_vectors(
+        self,
+        vectors: Dict[int, Sequence[int]],
+        method: str,
+        pres: Optional[Sequence[int]] = None,
+        stride: int = 1,
+    ) -> None:
+        """Check redundant replies; attribute, record and raise on disagreement.
+
+        ``pres``/``stride`` translate a vector component back to the node it
+        belongs to: component ``c`` is batch position ``c // stride``, node
+        ``pres[c // stride]`` (``stride`` is 1 for evaluation vectors and the
+        ring length for flattened share rows).
+        """
         if not self._verify or len(vectors) <= self.scheme.threshold:
             return
         inconsistent = self.scheme.verify_vectors(vectors)
         if not inconsistent:
             return
-        report = {"method": method, "servers": tuple(inconsistent)}
+        suspects: Tuple[int, ...] = ()
+        evidence: Dict[str, object] = {}
+        try:
+            attribution = self.scheme.attribute_corruption(vectors)
+        except AttributionInconclusive as inconclusive:
+            evidence = dict(inconclusive.evidence)
+            evidence["inconclusive"] = str(inconclusive)
+            verdict = "attribution inconclusive (%s)" % inconclusive
+        else:
+            suspects = attribution.suspects
+            evidence = attribution.as_dict()
+            verdict = "suspects %s by majority vote over %d %d-subsets" % (
+                list(suspects),
+                attribution.subsets,
+                self.scheme.threshold,
+            )
+            position = self._divergence_position(attribution.divergence, pres, stride)
+            if position:
+                verdict += "; first divergence at %s" % position
+        report = {
+            "method": method,
+            "servers": tuple(inconsistent),
+            "suspects": suspects,
+            "evidence": evidence,
+        }
         self.inconsistencies.append(report)
         raise InconsistentShareError(
             "%s: replies from servers %s are inconsistent with the "
-            "reconstruction" % (method, list(inconsistent)),
+            "reconstruction; %s" % (method, list(inconsistent), verdict),
             inconsistent,
+            suspects=suspects,
+            evidence=evidence,
         )
+
+    @staticmethod
+    def _divergence_position(
+        divergence: Dict[int, int],
+        pres: Optional[Sequence[int]],
+        stride: int,
+    ) -> str:
+        """Human-readable location of the earliest suspect divergence."""
+        if not divergence:
+            return ""
+        component = min(divergence.values())
+        batch_position = component // max(stride, 1)
+        if pres is None or batch_position >= len(pres):
+            return "component %d" % component
+        if len(pres) == 1:
+            return "pre %d" % pres[0]
+        return "batch position %d (pre %d)" % (batch_position, pres[batch_position])
 
     def evaluate(self, pre: int, point: int) -> int:
         """Combined server-side evaluation of node ``pre`` at ``point``."""
@@ -421,7 +492,7 @@ class ClusterClient:
             "evaluate",
         )
         vectors = {index: (value,) for index, value in replies.items()}
-        self._verify_vectors(vectors, "evaluate")
+        self._verify_vectors(vectors, "evaluate", pres=(pre,))
         return self.scheme.combine_vectors(vectors)[0]
 
     def evaluate_batch(self, pres: List[int], point: int) -> List[int]:
@@ -443,7 +514,7 @@ class ClusterClient:
             return self.ring.evaluate_many(shares, point)
 
         replies = self._complete_with_regenerated(replies, failures, regenerate, "evaluate_batch")
-        self._verify_vectors(replies, "evaluate_batch")
+        self._verify_vectors(replies, "evaluate_batch", pres=pres)
         return self.scheme.combine_values_many(replies)
 
     def evaluate_many(self, pres: List[int], point: int) -> List[int]:
@@ -464,7 +535,7 @@ class ClusterClient:
             lambda index: list(self.scheme.regenerate_share(pre, index).coeffs),
             "fetch_share",
         )
-        self._verify_vectors(replies, "fetch_share")
+        self._verify_vectors(replies, "fetch_share", pres=(pre,), stride=self.ring.length)
         return self.scheme.combine_vectors(replies)
 
     def fetch_shares_batch(self, pres: List[int]) -> List[List[int]]:
@@ -493,7 +564,7 @@ class ClusterClient:
             index: [value for vector in vectors for value in vector]
             for index, vectors in replies.items()
         }
-        self._verify_vectors(flat, "fetch_shares_batch")
+        self._verify_vectors(flat, "fetch_shares_batch", pres=pres, stride=self.ring.length)
         combined = self.scheme.combine_vectors(flat)
         length = self.ring.length
         return [combined[start : start + length] for start in range(0, len(combined), length)]

@@ -410,3 +410,32 @@ class ServerFilter(Filter):
         """Discard a queue; returns whether it existed."""
         with self._lock:
             return self._queues.pop(queue_id, None) is not None
+
+
+class CorruptibleServerFilter(ServerFilter):
+    """A :class:`ServerFilter` with a share-corruption fault injector.
+
+    Chaos harnesses need to corrupt a *live* server's stored shares — the
+    on-disk deployment slice must stay pristine so a healed replacement can
+    be byte-compared against it.  :meth:`corrupt_share` mutates one node's
+    share row in place and drops its decoded LRU entry, so the corruption is
+    served on the very next read.  Only the ``repro-server --chaos`` flag
+    wires this subclass in; production servers never export the method.
+    """
+
+    def corrupt_share(self, pre: int, delta: int = 1) -> List[int]:
+        """Add ``delta`` (mod the field order) to every stored coefficient.
+
+        Returns the corrupted coefficients.  Raises :class:`LookupError`
+        for an unknown node and :class:`ValueError` when ``delta`` is a
+        multiple of the field order (which would corrupt nothing).
+        """
+        order = self._ring.field.order
+        delta = int(delta) % order
+        if delta == 0:
+            raise ValueError("delta must be non-zero modulo the field order")
+        row = self._share_row(pre)
+        row["share"] = tuple((coeff + delta) % order for coeff in row["share"])
+        with self._lock:
+            self._share_cache.pop(pre, None)
+        return list(row["share"])

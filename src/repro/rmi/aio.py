@@ -757,6 +757,41 @@ class AsyncClusterTransport:
             down = set(self._down)
         return [index for index in range(len(self.servers)) if index not in down]
 
+    def mark_quarantined(self, index: int) -> None:
+        """Route reads around a server for health reasons (supervisor path).
+
+        Mirrors :meth:`ClusterTransport.mark_quarantined`: same routing
+        effect as :meth:`set_down` plus a tick of the server's quarantine
+        counter, so gateway ``__stats__`` readers see the degradation.
+        """
+        self.set_down(index, True)
+        self.transports[index].stats.count_quarantine()
+
+    def mark_healed(
+        self,
+        index: int,
+        transport: Optional[AsyncSocketTransport] = None,
+        server: Optional[AddressLike] = None,
+    ) -> None:
+        """Bring a healed server back into rotation (supervisor path).
+
+        Mirrors :meth:`ClusterTransport.mark_healed`: optionally swaps in a
+        replacement per-server transport (carrying the old counters forward
+        and closing the old connection) and/or peer address, clears the
+        down flag, and ticks the heal counter.
+        """
+        self._check_index(index)
+        self.drain()
+        if server is not None:
+            self.servers[index] = ServerAddress.coerce(server)
+        if transport is not None:
+            old = self.transports[index]
+            transport.stats.merge(old.stats)
+            self._run(old.aclose())
+            self.transports[index] = transport
+        self.set_down(index, False)
+        self.transports[index].stats.count_heal()
+
     def inject_faults(self, index: int, count: int = 1) -> None:
         """Make the next ``count`` invocations of one server fail transiently."""
         self._check_index(index)

@@ -255,6 +255,47 @@ class ClusterTransport:
             down = set(self._down)
         return [index for index in range(len(self.servers)) if index not in down]
 
+    def mark_quarantined(self, index: int) -> None:
+        """Route reads around a server for health reasons (supervisor path).
+
+        Same routing effect as :meth:`set_down`, but the event is accounted:
+        the server's :class:`~repro.rmi.stats.CallStats` quarantine counter
+        ticks, so ``aggregate_stats()`` and the gateway ``__stats__`` wire
+        method expose how often the fleet degraded.
+        """
+        self.set_down(index, True)
+        self.transports[index].stats.count_quarantine()
+
+    def mark_healed(
+        self,
+        index: int,
+        transport: Optional[Any] = None,
+        server: Optional[Any] = None,
+    ) -> None:
+        """Bring a healed server back into rotation (supervisor path).
+
+        Optionally swaps in a replacement per-server ``transport`` (socket
+        fleets: the new subprocess's connection) and/or ``server`` target
+        (simulated fleets: the rebuilt :class:`ServerFilter`).  A swapped-in
+        transport inherits the old one's accumulated counters so the
+        per-server trace stays continuous across the generation change; the
+        old transport is closed.  Finally the down flag clears and the heal
+        counter ticks.
+        """
+        self._check_index(index)
+        self.drain()
+        if server is not None:
+            self.servers[index] = server
+        if transport is not None:
+            old = self.transports[index]
+            transport.stats.merge(old.stats)
+            old_close = getattr(old, "close", None)
+            if old_close is not None:
+                old_close()
+            self.transports[index] = transport
+        self.set_down(index, False)
+        self.transports[index].stats.count_heal()
+
     def inject_faults(self, index: int, count: int = 1) -> None:
         """Make the next ``count`` invocations of one server fail transiently.
 

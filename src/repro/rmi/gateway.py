@@ -538,14 +538,28 @@ class Gateway(SocketServer):
         which are sync-bridge paths that must never run on the gateway's
         own loop.
         """
+        server_snapshots = [
+            transport.stats.snapshot() for transport in self.cluster.transports
+        ]
+        live = set(self.cluster.live_servers())
         return {
             "server": self.name,
             "sessions": len(self.sessions),
             "cache": self.cache.snapshot() if self.cache is not None else None,
             "fairness": self.scheduler.snapshot() if self.scheduler is not None else None,
-            "servers": [
-                transport.stats.snapshot() for transport in self.cluster.transports
-            ],
+            "servers": server_snapshots,
+            # Fleet-health rollup (supervisor quarantine/heal activity):
+            # per-server counters summed, plus which indices are currently
+            # routed around — one line for operators and the chaos bench.
+            "health": {
+                "quarantines": sum(row["quarantines"] for row in server_snapshots),
+                "heals": sum(row["heals"] for row in server_snapshots),
+                "down": [
+                    index
+                    for index in range(self.cluster.num_servers)
+                    if index not in live
+                ],
+            },
         }
 
     async def _drain_inflight(self) -> None:

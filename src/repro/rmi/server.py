@@ -733,6 +733,7 @@ class ServerProcess:
         name: Optional[str] = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         delay: float = 0.0,
+        chaos: bool = False,
     ):
         self.database_path = database_path
         self.p = p
@@ -743,6 +744,7 @@ class ServerProcess:
         self.name = name or os.path.basename(database_path)
         self.max_frame_bytes = max_frame_bytes
         self.delay = delay
+        self.chaos = chaos
         self.process: Optional[subprocess.Popen] = None
         self.address: Optional[ServerAddress] = None
         self.pid: Optional[int] = None
@@ -777,6 +779,8 @@ class ServerProcess:
         ]
         if self.delay:
             command.extend(["--delay", repr(self.delay)])
+        if self.chaos:
+            command.append("--chaos")
         return command
 
     def await_ready(self) -> ServerAddress:
@@ -975,6 +979,8 @@ class SocketCluster:
         self.directory = directory
         self._owns_directory = owns_directory
         self._closed = False
+        #: table-generation counter per healed slot (names replacement files)
+        self._generations: Dict[int, int] = {}
 
     @classmethod
     def from_deployment(
@@ -985,12 +991,15 @@ class SocketCluster:
         timeout: float = DEFAULT_TIMEOUT,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         delay: float = 0.0,
+        chaos: bool = False,
     ) -> "SocketCluster":
         """Launch one subprocess server per share table of ``deployment``.
 
         ``delay`` injects a per-request service delay into every child (a
         modeled network/IO round trip) — load benchmarks use it to make
-        queries IO-bound on an otherwise zero-latency loopback.
+        queries IO-bound on an otherwise zero-latency loopback.  ``chaos``
+        launches every child with the ``corrupt_share`` fault injector
+        exported (chaos benches only).
         """
         owns_directory = directory is None
         if directory is None:
@@ -1013,6 +1022,7 @@ class SocketCluster:
                     name="server-%d" % index,
                     max_frame_bytes=max_frame_bytes,
                     delay=delay,
+                    chaos=chaos,
                 )
                 processes.append(process)
                 process.launch()
@@ -1083,6 +1093,64 @@ class SocketCluster:
         # Pooled connections to the dead peer would only fail one call
         # later; drop them now so the very next call sees the crash.
         self.transports[index].close()
+
+    def spawn_replacement(self, index: int, database: Any) -> SocketTransport:
+        """Boot a fresh server for one slot from a re-derived table (heal path).
+
+        Saves ``database`` beside the original slice as
+        ``server-<index>-gen<g>.json`` (the original file stays pristine so
+        a healed table can be byte-compared against it), spawns a
+        replacement :class:`ServerProcess` with the old child's parameters,
+        health-checks it over the wire, then retires whatever is left of
+        the old child and swaps the new process and a fresh transport into
+        this cluster's slot.  Returns the new transport (for
+        :meth:`~repro.rmi.cluster.ClusterTransport.mark_healed`).  A failed
+        boot leaves the slot untouched.
+        """
+        if not 0 <= index < len(self.processes):
+            raise IndexError(
+                "server index %d out of range for %d servers" % (index, len(self.processes))
+            )
+        old = self.processes[index]
+        generation = self._generations.get(index, 0) + 1
+        directory = self.directory
+        if directory is None:  # pragma: no cover - manually assembled cluster
+            directory = tempfile.mkdtemp(prefix="repro-heal-")
+            self.directory = directory
+            self._owns_directory = True
+        path = os.path.join(directory, "server-%d-gen%d.json" % (index, generation))
+        database.save(path)
+        replacement = ServerProcess(
+            path,
+            p=old.p,
+            e=old.e,
+            host=old.host,
+            python=old.python,
+            startup_timeout=old.startup_timeout,
+            name="server-%d-gen%d" % (index, generation),
+            max_frame_bytes=old.max_frame_bytes,
+            delay=old.delay,
+            chaos=old.chaos,
+        )
+        try:
+            replacement.start()
+            replacement.ping()
+            transport = replacement.transport(
+                timeout=self.transports[index].timeout,
+                max_frame_bytes=old.max_frame_bytes,
+                connect_retries=2,
+            )
+        except Exception:
+            replacement.kill()
+            raise
+        self._generations[index] = generation
+        # Retire the old child (idempotent against an already-dead one) and
+        # drop its pooled connections before the slot changes hands.
+        old.kill()
+        self.transports[index].close()
+        self.processes[index] = replacement
+        self.transports[index] = transport
+        return transport
 
     def shutdown(self) -> None:
         """Tear everything down (idempotent): connections, processes, files."""

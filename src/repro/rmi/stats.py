@@ -62,6 +62,11 @@ class CallStats:
     errors_by_method: Dict[str, int] = field(default_factory=dict)
     #: number of queries executed against the transport (set by the query layer)
     queries: int = 0
+    #: times this server was quarantined by a fleet supervisor (corruption
+    #: votes, unavailability streaks or ping failures past their thresholds)
+    quarantines: int = 0
+    #: times this server's table was re-derived and a replacement swapped in
+    heals: int = 0
     #: name of the arithmetic kernel backend serving this trace ("prime",
     #: "table" or "naive"); configuration rather than a counter, so
     #: :meth:`reset` leaves it in place
@@ -98,6 +103,16 @@ class CallStats:
         with self._lock:
             self.queries += amount
 
+    def count_quarantine(self, amount: int = 1) -> None:
+        """Record that a supervisor quarantined this server."""
+        with self._lock:
+            self.quarantines += amount
+
+    def count_heal(self, amount: int = 1) -> None:
+        """Record that this server's slice was healed back to strength."""
+        with self._lock:
+            self.heals += amount
+
     def merge(self, other: "CallStats") -> "CallStats":
         """Accumulate another trace into this one (returns ``self``).
 
@@ -120,6 +135,8 @@ class CallStats:
             makespan = other.makespan
             errors = other.errors
             queries = other.queries
+            quarantines = other.quarantines
+            heals = other.heals
             calls_by_method = dict(other.calls_by_method)
             bytes_by_method = dict(other.bytes_by_method)
             errors_by_method = dict(other.errors_by_method)
@@ -132,6 +149,8 @@ class CallStats:
             self.makespan += makespan
             self.errors += errors
             self.queries += queries
+            self.quarantines += quarantines
+            self.heals += heals
             for method, count in calls_by_method.items():
                 self.calls_by_method[method] = self.calls_by_method.get(method, 0) + count
             for method, total in bytes_by_method.items():
@@ -157,6 +176,8 @@ class CallStats:
             self.errors = 0
             self.errors_by_method.clear()
             self.queries = 0
+            self.quarantines = 0
+            self.heals = 0
 
     @property
     def total_bytes(self) -> int:
@@ -205,6 +226,8 @@ class CallStats:
                 "calls": self.calls,
                 "errors": self.errors,
                 "queries": self.queries,
+                "quarantines": self.quarantines,
+                "heals": self.heals,
                 "bytes_sent": self.bytes_sent,
                 "bytes_received": self.bytes_received,
                 "total_bytes": self.total_bytes,

@@ -21,7 +21,12 @@ from typing import Optional
 from repro.poly.ring import QuotientRing
 from repro.prg.generator import KeyedPRG
 from repro.secretshare.additive import AdditiveNSharing, AdditiveSharing, SharePair
-from repro.secretshare.scheme import SharingError, SharingScheme
+from repro.secretshare.scheme import (
+    Attribution,
+    AttributionInconclusive,
+    SharingError,
+    SharingScheme,
+)
 from repro.secretshare.shamir import ShamirSharing
 
 #: scheme names accepted by :func:`make_scheme` (and the database facade)
@@ -64,6 +69,8 @@ def make_scheme(
 __all__ = [
     "AdditiveSharing",
     "AdditiveNSharing",
+    "Attribution",
+    "AttributionInconclusive",
     "ShamirSharing",
     "SharingScheme",
     "SharingError",

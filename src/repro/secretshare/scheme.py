@@ -27,7 +27,8 @@ polynomials.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.poly.ring import QuotientRing, RingPolynomial
 from repro.prg.generator import KeyedPRG
@@ -35,6 +36,54 @@ from repro.prg.generator import KeyedPRG
 
 class SharingError(ValueError):
     """Raised for invalid scheme parameters or insufficient share subsets."""
+
+
+class AttributionInconclusive(SharingError):
+    """Corruption is detectable but cannot be pinned on a server.
+
+    Raised by :meth:`SharingScheme.attribute_corruption` when the reply set
+    carries too little redundancy for a majority vote (fewer than ``k + 2``
+    replies), when no consistent subset reaches the ``k + 1`` agreements an
+    honest polynomial must collect, or when two maximal consistent subsets
+    tie.  Carries the partial ``evidence`` gathered before giving up.
+    """
+
+    def __init__(self, message: str, evidence: Mapping[str, object] = None):
+        super().__init__(message)
+        self.evidence: Dict[str, object] = dict(evidence or {})
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """Verdict of a majority vote across k-subset reconstructions.
+
+    ``suspects`` are the server indices whose replies disagree with the
+    unique largest mutually-consistent subset (``majority``).  ``votes``
+    counts, per server, how many of the ``subsets`` evaluated k-subsets
+    produced a polynomial that server's reply agrees with — honest servers
+    collect at least ``C(len(majority) - 1, k - 1)`` votes, corrupt ones
+    strictly fewer.  ``divergence`` maps each suspect to the first vector
+    component where its reply departs from the majority reconstruction,
+    letting callers point at a concrete pre/batch position.
+    """
+
+    suspects: Tuple[int, ...]
+    majority: Tuple[int, ...]
+    votes: Dict[int, int] = field(default_factory=dict)
+    subsets: int = 0
+    replies: int = 0
+    divergence: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form for error payloads and supervisor logs."""
+        return {
+            "suspects": list(self.suspects),
+            "majority": list(self.majority),
+            "votes": dict(self.votes),
+            "subsets": self.subsets,
+            "replies": self.replies,
+            "divergence": dict(self.divergence),
+        }
 
 
 class SharingScheme(ABC):
@@ -276,6 +325,44 @@ class SharingScheme(ABC):
         the threshold needs); schemes without redundancy return ``[]``.
         """
         return []
+
+    def attribute_corruption(self, vectors: Mapping[int, Sequence[int]]) -> Attribution:
+        """Majority-vote which server(s) sent inconsistent vectors.
+
+        Where :meth:`verify_vectors` only reports disagreement *relative to
+        the base k-subset* (and so accuses the wrong server when a base
+        member is the corrupt one), this surface cross-reconstructs over
+        every k-subset of the replies and votes: the unique largest
+        mutually-consistent subset is the honest majority, everything
+        outside it is a suspect.  Needs at least ``k + 2`` replies; schemes
+        without redundancy (``threshold == num_servers``) can never
+        out-vote a corrupt share and always raise
+        :class:`AttributionInconclusive`.
+        """
+        raise AttributionInconclusive(
+            "%s sharing carries no redundancy (threshold %d of %d servers): "
+            "corruption is detectable at best, never attributable"
+            % (self.name, self.threshold, self.num_servers),
+            evidence={"replies": len(vectors), "threshold": self.threshold},
+        )
+
+    def reshare_vectors(
+        self, vectors: Mapping[int, Sequence[int]], server_index: int
+    ) -> List[int]:
+        """Re-derive ``server_index``'s stored vector from healthy peers' rows.
+
+        The heal path: given any sufficient subset of *other* servers' rows
+        for the same nodes, rebuild the row the missing server must hold —
+        without touching the original polynomials or the encoding seed.
+        Threshold schemes interpolate to the victim's abscissa; schemes
+        whose shares are independent random slices cannot (their only heal
+        path is :meth:`regenerate_share` for regenerable lanes).
+        """
+        self._check_index(server_index)
+        raise SharingError(
+            "share of server %d cannot be re-derived from peers under %s "
+            "sharing" % (server_index, self.name)
+        )
 
     # ------------------------------------------------------------------
     # Convenience

@@ -30,11 +30,17 @@ polynomial tree but still learn no tag names without the map.
 
 from __future__ import annotations
 
+from itertools import combinations
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.poly.ring import QuotientRing, RingPolynomial
 from repro.prg.generator import KeyedPRG
-from repro.secretshare.scheme import SharingError, SharingScheme
+from repro.secretshare.scheme import (
+    Attribution,
+    AttributionInconclusive,
+    SharingError,
+    SharingScheme,
+)
 
 
 class ShamirSharing(SharingScheme):
@@ -247,3 +253,115 @@ class ShamirSharing(SharingScheme):
             if list(vectors[index]) != kernel.unwrap(predicted):
                 inconsistent.append(index)
         return inconsistent
+
+    def _predict(self, vectors, base: Tuple[int, ...], index: int) -> List[int]:
+        """The vector server ``index`` must hold if ``base``'s replies are honest."""
+        kernel = self.ring.kernel
+        basis = self._basis_at(base, self._xs[index])
+        return kernel.unwrap(
+            kernel.weighted_sum(
+                [vectors[base_index] for base_index in base],
+                [basis[base_index] for base_index in base],
+            )
+        )
+
+    def attribute_corruption(self, vectors: Mapping[int, Sequence[int]]) -> Attribution:
+        """Majority vote across all k-subset reconstructions.
+
+        Every k-subset of the replies determines a candidate masking
+        polynomial; a reply *agrees* with a subset when it lies on that
+        subset's polynomial.  The honest polynomial is the one every honest
+        server lies on, so with ``m`` replies and ``c`` corruptions it
+        collects ``m - c`` agreements while any polynomial passing through a
+        corrupt reply collects at most ``c + k - 1``.  For a single
+        corruption at ``m >= k + 2`` (and ``c`` colluders at
+        ``m >= 2c + k``) the honest agreeing set is therefore the unique
+        maximum — everything outside it is a suspect.  Anything short of a
+        unique ``> k``-strong maximum raises
+        :class:`AttributionInconclusive` rather than guessing.
+        """
+        self.check_aligned(vectors)
+        present = tuple(sorted(vectors))
+        for index in present:
+            self._check_index(index)
+        k = self._threshold
+        if len(present) < k + 2:
+            raise AttributionInconclusive(
+                "attribution needs at least k + 2 = %d replies, got %d "
+                "(servers %s): with fewer, a corrupt base subset cannot be "
+                "out-voted" % (k + 2, len(present), list(present)),
+                evidence={"replies": len(present), "threshold": k},
+            )
+        rows = {index: list(vectors[index]) for index in present}
+        votes = {index: 0 for index in present}
+        tallies: Dict[frozenset, int] = {}
+        subsets = 0
+        for base in combinations(present, k):
+            agreeing = set(base)
+            for index in present:
+                if index not in agreeing and rows[index] == self._predict(vectors, base, index):
+                    agreeing.add(index)
+            subsets += 1
+            key = frozenset(agreeing)
+            tallies[key] = tallies.get(key, 0) + 1
+            for index in agreeing:
+                votes[index] += 1
+        best = max(len(group) for group in tallies)
+        winners = [group for group in tallies if len(group) == best]
+        if best <= k or len(winners) > 1:
+            raise AttributionInconclusive(
+                "no honest majority emerges from %d k-subsets: largest "
+                "mutually-consistent set has %d of %d replies%s"
+                % (
+                    subsets,
+                    best,
+                    len(present),
+                    " (tied %d ways)" % len(winners) if len(winners) > 1 else "",
+                ),
+                evidence={
+                    "replies": len(present),
+                    "threshold": k,
+                    "subsets": subsets,
+                    "votes": votes,
+                },
+            )
+        majority = tuple(sorted(winners[0]))
+        suspects = tuple(index for index in present if index not in winners[0])
+        divergence: Dict[int, int] = {}
+        base = majority[:k]
+        for suspect in suspects:
+            predicted = self._predict(vectors, base, suspect)
+            for position, (got, want) in enumerate(zip(rows[suspect], predicted)):
+                if got != want:
+                    divergence[suspect] = position
+                    break
+        return Attribution(
+            suspects=suspects,
+            majority=majority,
+            votes=votes,
+            subsets=subsets,
+            replies=len(present),
+            divergence=divergence,
+        )
+
+    def reshare_vectors(
+        self, vectors: Mapping[int, Sequence[int]], server_index: int
+    ) -> List[int]:
+        """Interpolate server ``server_index``'s stored vector from k peers.
+
+        The masking polynomial is determined by any ``k`` honest slices, so
+        the victim's slice is a fixed linear combination of theirs — the
+        Lagrange basis evaluated at the victim's abscissa instead of at
+        zero.  Linearity makes this work on whole flattened batches (many
+        nodes' rows concatenated) exactly as on a single coefficient
+        vector, which is what the heal path feeds it.
+        """
+        self._check_index(server_index)
+        if server_index in vectors:
+            raise SharingError(
+                "server %d cannot contribute to re-deriving its own share"
+                % server_index
+            )
+        self.check_aligned(vectors)
+        base = self._pick_base(vectors)
+        return self._predict(vectors, base, server_index)

@@ -225,17 +225,27 @@ class TestShareVerification:
         with pytest.raises(InconsistentShareError) as excinfo:
             AdvancedQueryEngine(client).execute("//city")
         assert 3 in excinfo.value.servers
+        # majority-vote attribution pins the culprit, and the message names
+        # the method, the suspects and where the shares first diverged
+        assert excinfo.value.suspects == (3,)
+        assert excinfo.value.evidence["suspects"] == [3]
+        message = str(excinfo.value)
+        assert "evaluate" in message
+        assert "suspects [3]" in message
+        assert "pre" in message or "batch position" in message
         assert cluster.inconsistencies
         assert cluster.inconsistencies[0]["servers"] == (3,)
+        assert cluster.inconsistencies[0]["suspects"] == (3,)
 
     def test_fetch_path_detects_corruption_too(self):
         deployment, transport = _deploy(servers=4, threshold=2, sharing="shamir")
         cluster, client = _client(transport, deployment)
         _corrupt(deployment.node_tables[2])
-        with pytest.raises(InconsistentShareError):
+        with pytest.raises(InconsistentShareError) as excinfo:
             SimpleQueryEngine(client).execute(
                 "/site/people/person", rule=MatchRule.EQUALITY
             )
+        assert excinfo.value.suspects == (2,)
 
     def test_verification_can_be_disabled(self):
         reference = _single_reference()

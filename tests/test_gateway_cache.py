@@ -254,6 +254,10 @@ def test_stats_surface_reports_cache_fairness_and_upstreams():
         assert snapshot["fairness"]["active"] == 0
         assert len(snapshot["servers"]) == 3
         assert all(row["calls"] > 0 for row in snapshot["servers"])
+        # per-server quarantine/heal counters flow through the wire snapshot
+        assert all(row["quarantines"] == 0 for row in snapshot["servers"])
+        assert all(row["heals"] == 0 for row in snapshot["servers"])
+        assert snapshot["health"] == {"quarantines": 0, "heals": 0, "down": []}
     finally:
         endpoint.close()
         stack.close()

@@ -23,6 +23,7 @@ from repro.prg.generator import KeyedPRG
 from repro.secretshare import (
     AdditiveNSharing,
     AdditiveSharing,
+    AttributionInconclusive,
     ShamirSharing,
     SharingError,
     make_scheme,
@@ -195,6 +196,101 @@ class TestShamirRoundTrip:
         share = scheme.server_shares(polynomial, pre=3)[0]
         pair = TWO_PARTY.split(polynomial, pre=3)
         assert scheme.combine_shares({0: share}) == pair.reconstruct()
+
+
+class TestCorruptionAttribution:
+    """Majority-vote attribution over k-subsets pins the corrupt server(s)."""
+
+    def _shares(self, scheme, roots=(7, 11, 42), pre=3):
+        shares = scheme.server_shares(_poly(list(roots)), pre)
+        return {index: list(share.coeffs) for index, share in enumerate(shares)}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        roots=roots_strategy,
+        pre=pre_strategy,
+        corrupt=st.integers(min_value=0, max_value=3),
+        delta=st.integers(min_value=1, max_value=82),
+    )
+    def test_single_corrupt_server_attributed_even_in_base(self, roots, pre, corrupt, delta):
+        """Unlike verify_vectors, attribution is base-independent."""
+        scheme = ShamirSharing(RING, PRG, 4, 2)
+        shares = scheme.server_shares(_poly(roots), pre)
+        vectors = {index: list(share.coeffs) for index, share in enumerate(shares)}
+        vectors[corrupt][0] = F83.add(vectors[corrupt][0], delta)
+        attribution = scheme.attribute_corruption(vectors)
+        assert attribution.suspects == (corrupt,)
+        assert corrupt not in attribution.majority
+        assert attribution.replies == 4
+        assert corrupt in attribution.divergence
+
+    def test_clean_replies_attribute_nobody(self):
+        scheme = ShamirSharing(RING, PRG, 4, 2)
+        attribution = scheme.attribute_corruption(self._shares(scheme))
+        assert attribution.suspects == ()
+        assert attribution.majority == (0, 1, 2, 3)
+
+    def test_n_equals_k_plus_1_is_typed_inconclusive(self):
+        """One surplus reply detects corruption but cannot localise it."""
+        scheme = ShamirSharing(RING, PRG, 3, 2)
+        vectors = self._shares(scheme)
+        vectors[1][0] = F83.add(vectors[1][0], 9)
+        assert scheme.verify_vectors(vectors), "corruption must still be detected"
+        with pytest.raises(AttributionInconclusive) as excinfo:
+            scheme.attribute_corruption(vectors)
+        assert excinfo.value.evidence["replies"] == 3
+        assert excinfo.value.evidence["threshold"] == 2
+
+    def test_two_colluding_servers_attributed_at_n_k_plus_4(self):
+        """m >= 2c + k: six replies of a (2,6) fleet survive two colluders."""
+        scheme = ShamirSharing(RING, PRG, 6, 2)
+        vectors = self._shares(scheme)
+        # The colluders agree on a consistent-looking *joint* lie: both
+        # shift by a shared polynomial evaluated at their own abscissae,
+        # so any subset containing both is internally consistent.
+        for colluder in (4, 5):
+            point = scheme._xs[colluder]
+            vectors[colluder][0] = F83.add(vectors[colluder][0], (3 * point + 5) % 83)
+        attribution = scheme.attribute_corruption(vectors)
+        assert attribution.suspects == (4, 5)
+        assert attribution.majority == (0, 1, 2, 3)
+
+    def test_colluders_tie_below_bound_is_inconclusive_never_wrong(self):
+        """At m < 2c + k colluders can force a tie — but never frame an
+        honest server: the result is a typed inconclusive, not a verdict."""
+        scheme = ShamirSharing(RING, PRG, 4, 2)
+        vectors = self._shares(scheme)
+        for colluder in (2, 3):
+            point = scheme._xs[colluder]
+            vectors[colluder][0] = F83.add(vectors[colluder][0], (3 * point + 5) % 83)
+        with pytest.raises(AttributionInconclusive):
+            scheme.attribute_corruption(vectors)
+
+    def test_additive_sharing_is_never_attributable(self):
+        scheme = AdditiveNSharing(RING, PRG, 3)
+        vectors = self._shares(scheme)
+        with pytest.raises(AttributionInconclusive):
+            scheme.attribute_corruption(vectors)
+
+    def test_reshare_rederives_a_victims_share(self):
+        scheme = ShamirSharing(RING, PRG, 4, 2)
+        vectors = self._shares(scheme)
+        victim = 2
+        peers = {i: v for i, v in vectors.items() if i != victim}
+        assert scheme.reshare_vectors(peers, victim) == vectors[victim]
+
+    def test_reshare_refuses_the_victims_own_reply(self):
+        scheme = ShamirSharing(RING, PRG, 4, 2)
+        with pytest.raises(SharingError):
+            scheme.reshare_vectors(self._shares(scheme), 2)
+
+    def test_additive_residual_cannot_be_reshared(self):
+        scheme = AdditiveNSharing(RING, PRG, 3)
+        vectors = self._shares(scheme)
+        victim = scheme.residual_index
+        peers = {i: v for i, v in vectors.items() if i != victim}
+        with pytest.raises(SharingError):
+            scheme.reshare_vectors(peers, victim)
 
 
 class TestSchemeParameters:

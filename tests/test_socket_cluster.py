@@ -311,6 +311,93 @@ def test_facade_socket_cleans_up_on_construction_failure():
 # ----------------------------------------------------------------------
 
 
+# ----------------------------------------------------------------------
+# Chaos lifecycle: kill / corrupt / heal
+# ----------------------------------------------------------------------
+
+
+def test_kill_server_and_shutdown_are_idempotent():
+    cluster = SocketCluster.from_deployment(_deployment())
+    cluster.kill_server(1)
+    cluster.kill_server(1)  # already dead: must not raise
+    assert not cluster.processes[1].is_alive()
+    cluster.shutdown()
+    cluster.shutdown()  # already closed: must not raise
+
+
+def test_sigkilled_then_healed_slot_tears_down_cleanly():
+    """Regression: a slot that was SIGKILLed and then replaced by a heal
+    must survive a (repeated) fleet teardown."""
+    deployment = _deployment()
+    cluster = SocketCluster.from_deployment(deployment)
+    try:
+        cluster.kill_server(1)
+        transport = cluster.spawn_replacement(1, deployment.databases[1])
+        assert transport.invoke(None, "node_count") == len(deployment.node_table)
+        assert cluster.processes[1].is_alive()
+        assert "gen1" in cluster.processes[1].name
+    finally:
+        cluster.shutdown()
+        cluster.shutdown()
+    assert all(not process.is_alive() for process in cluster.processes)
+
+
+def test_chaos_flag_gates_the_wire_fault_injector():
+    from repro.rmi.socket import UnknownRemoteMethodError
+
+    deployment = _deployment()
+    with SocketCluster.from_deployment(deployment, chaos=True) as cluster:
+        root = deployment.node_table.lookup("parent", 0)[0]["pre"]
+        clean = cluster.transports[0].invoke(None, "fetch_share", (root,))
+        corrupted = cluster.transports[0].invoke(None, "corrupt_share", (root, 7))
+        assert corrupted != clean
+        assert cluster.transports[0].invoke(None, "fetch_share", (root,)) == corrupted
+    # without --chaos the injector is not exported
+    with SocketCluster.from_deployment(deployment) as cluster:
+        with pytest.raises(UnknownRemoteMethodError):
+            cluster.transports[0].invoke(None, "corrupt_share", (root, 7))
+
+
+def test_supervisor_heals_a_corrupted_socket_server_byte_identically():
+    """The full pipeline over real subprocesses: wire-injected corruption →
+    attribution → quarantine → replacement spawn → byte-identical table."""
+    from repro.filters.cluster import ClusterClient, InconsistentShareError
+    from repro.rmi.supervisor import FleetSupervisor
+
+    deployment = _deployment(servers=4, threshold=2, sharing="shamir")
+    with SocketCluster.from_deployment(deployment, chaos=True) as cluster:
+        transport = cluster.cluster_transport()
+        try:
+            client = ClusterClient(transport, deployment.scheme)
+            supervisor = FleetSupervisor(transport, deployment.scheme, cluster=cluster)
+            root = client.root_pre()
+            expected = client.fetch_share(root)
+            # corrupt every row of server 2 in subprocess memory; the
+            # on-disk slice file stays pristine for the byte comparison
+            for pre in [root] + client.descendants_of(root):
+                cluster.transports[2].invoke(None, "corrupt_share", (pre, 11))
+            with pytest.raises(InconsistentShareError) as excinfo:
+                client.fetch_share(root)
+            assert excinfo.value.suspects == (2,)
+            healed = supervisor.supervised_call(lambda: client.fetch_share(root))
+            assert healed == expected
+            assert supervisor.status()["heals"] == 1
+            # the replacement's table file is byte-identical to the original
+            original_path = os.path.join(cluster.directory, "server-2.json")
+            healed_path = cluster.processes[2].database_path
+            assert healed_path != original_path
+            with open(original_path, "rb") as handle:
+                original_bytes = handle.read()
+            with open(healed_path, "rb") as handle:
+                healed_bytes = handle.read()
+            assert healed_bytes == original_bytes
+            # post-heal the fleet is clean and back to full strength
+            assert client.fetch_share(root) == expected
+            assert sorted(transport.live_servers()) == [0, 1, 2, 3]
+        finally:
+            transport.close()
+
+
 def test_socket_and_simulated_transport_byte_parity(shamir_cluster):
     """One live server answers with byte counts identical to the in-process
     simulated transport wrapping the same share table."""
