@@ -21,6 +21,11 @@ compares it against the committed baseline.  The current report's
   correctness invariants — zero wrong results, zero misattributions,
   every heal byte-identical, at least one heal — plus coverage checks
   that the schedule actually injected and attributed faults.
+* ``"write_path"`` reports (``BENCH_write_path.json``): absolute
+  correctness invariants — every write byte-identical to the re-encode
+  oracle, zero stale rows after read-repair, reconstructed reads equal
+  to a from-scratch re-deploy — plus the incremental-vs-full speedup
+  ratios (static floors under quick mode, committed ratios otherwise).
 
 Absolute wall-clock numbers are never compared — CI machines are slower
 and noisier than the baseline host; the speedup *ratios* are what the
@@ -61,6 +66,12 @@ QUICK_CACHE_SPEEDUP_FLOOR = 1.5
 #: this factor (relaxed under quick mode, mirroring the bench's own bound)
 FAIR_P95_FACTOR = 2.0
 QUICK_FAIR_P95_FACTOR = 4.0
+
+#: quick-mode floors for the write_path report: the blended mix (inserts
+#: and deletes re-share the renumbered tail) wins modestly; plain tag
+#: renames re-share only the ancestor path and must win clearly
+QUICK_MIX_SPEEDUP_FLOOR = 1.2
+QUICK_UPDATE_SPEEDUP_FLOOR = 2.0
 
 
 def _index(trajectory):
@@ -224,6 +235,63 @@ def compare_chaos(baseline, current, tolerance):
     )
 
 
+def compare_write_path(baseline, current, tolerance):
+    """Findings for a ``write_path`` report.
+
+    Correctness is absolute regardless of mode: a write that leaves any
+    server differing from the from-scratch re-encode oracle, a stale row
+    surviving read-repair, or a reconstruction that differs from a clean
+    re-deploy is a regression, full stop.  The speedup ratios gate
+    against static floors under quick mode and the committed ratios in
+    full mode.
+    """
+    quick = bool(current.get("quick"))
+    writes = current.get("writes") or {}
+    repair = current.get("repair") or {}
+    timing = current.get("timing") or {}
+
+    count = writes.get("count") or 0
+    verdict = "fail" if count < 1 else "info"
+    yield verdict, "write schedule applied %d deltas" % count
+
+    identical = writes.get("byte_identical")
+    verdict = "fail" if identical != count else "info"
+    yield verdict, "byte-identical writes: %s of %d (every write must match)" % (
+        identical,
+        count,
+    )
+
+    stale = repair.get("stale_reads_after_repair")
+    verdict = "fail" if stale != 0 else "info"
+    yield verdict, "stale rows after read-repair: %s (must be 0)" % stale
+
+    repairs = repair.get("read_repairs") or 0
+    verdict = "fail" if repairs < 1 else "info"
+    yield verdict, "read repairs: %d (the injected skew must trigger one)" % repairs
+
+    mismatches = repair.get("redeploy_read_mismatches")
+    verdict = "fail" if mismatches != 0 else "info"
+    yield verdict, "reads differing from a fresh re-deploy: %s (must be 0)" % mismatches
+
+    base_timing = baseline.get("timing") or {}
+    yield _gate_ratio(
+        "incremental_vs_full_speedup",
+        base_timing.get("incremental_vs_full_speedup"),
+        timing.get("incremental_vs_full_speedup"),
+        quick,
+        QUICK_MIX_SPEEDUP_FLOOR,
+        tolerance,
+    )
+    yield _gate_ratio(
+        "update_vs_full_speedup",
+        base_timing.get("update_vs_full_speedup"),
+        timing.get("update_vs_full_speedup"),
+        quick,
+        QUICK_UPDATE_SPEEDUP_FLOOR,
+        tolerance,
+    )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="freshly emitted trajectory JSON")
@@ -255,6 +323,9 @@ def main(argv=None):
     elif kind == "chaos_recovery":
         findings = compare_chaos(baseline, current, args.tolerance)
         label = "chaos recovery"
+    elif kind == "write_path":
+        findings = compare_write_path(baseline, current, args.tolerance)
+        label = "write path"
     else:
         findings = compare(baseline, current, args.tolerance)
         label = "kernel speedup"

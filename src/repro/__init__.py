@@ -26,6 +26,13 @@ The one-stop entry point is :class:`repro.EncryptedXMLDatabase`.
    system and measurements, not to protect real data.
 """
 
+from repro.core.config import (
+    ClusterConfig,
+    DatabaseConfig,
+    FieldConfig,
+    TransportConfig,
+    WriteConfig,
+)
 from repro.core.database import EncryptedXMLDatabase, QueryConfigError
 from repro.engines.base import QueryResult
 from repro.filters.interface import MatchRule
@@ -37,5 +44,10 @@ __all__ = [
     "QueryConfigError",
     "QueryResult",
     "MatchRule",
+    "DatabaseConfig",
+    "FieldConfig",
+    "ClusterConfig",
+    "TransportConfig",
+    "WriteConfig",
     "__version__",
 ]

@@ -218,6 +218,7 @@ def cmd_server(args: argparse.Namespace) -> int:
     import sys as _sys
     import threading as _threading
 
+    from repro.rmi.methods import SERVER_METHODS
     from repro.rmi.server import SocketServer, format_ready_line
     from repro.rmi.socket import DEFAULT_MAX_FRAME_BYTES
 
@@ -233,8 +234,13 @@ def cmd_server(args: argparse.Namespace) -> int:
     table = database.table(NODE_TABLE_NAME)
     # --chaos exports the share-corruption fault injector; chaos harnesses
     # only — a production fleet must never expose it on the wire.
-    filter_class = CorruptibleServerFilter if getattr(args, "chaos", False) else ServerFilter
+    chaos = bool(getattr(args, "chaos", False))
+    filter_class = CorruptibleServerFilter if chaos else ServerFilter
     server_filter = filter_class(table, ring)
+    # A fleet server's wire surface is exactly the declarative spec table
+    # (plus the chaos injector when explicitly gated on): an endpoint must
+    # be registered in repro.rmi.methods to be remotely callable.
+    method_table = SERVER_METHODS | frozenset(("corrupt_share",)) if chaos else SERVER_METHODS
     server = SocketServer(
         server_filter,
         host=args.host,
@@ -243,6 +249,7 @@ def cmd_server(args: argparse.Namespace) -> int:
         name=args.name or "repro-server",
         max_frame_bytes=args.max_frame_bytes or DEFAULT_MAX_FRAME_BYTES,
         delay=args.delay,
+        method_table=method_table,
     )
     if args.parent_watch:
         # The spawning parent holds our stdin pipe: EOF means it is gone

@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+import warnings
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
+from repro.core.config import (
+    ClusterConfig,
+    DatabaseConfig,
+    FieldConfig,
+    QueryConfigError,
+    TransportConfig,
+    WriteConfig,
+)
 from repro.encode.deploy import ClusterDeployment
 from repro.encode.encoder import EncodedDatabase, Encoder
+from repro.encode.mutate import DocumentState, WriteDelta
 from repro.encode.tagmap import TagMap
 from repro.engines.advanced import AdvancedQueryEngine
 from repro.engines.base import QueryResult
@@ -24,21 +34,38 @@ from repro.rmi.proxy import Registry
 from repro.rmi.server import SocketCluster
 from repro.rmi.stats import CallStats
 from repro.rmi.transport import SimulatedTransport
+from repro.rmi.write import WriteCoordinator, WriteJournal
 from repro.trie.transform import TrieTransformer
-from repro.xmldoc.nodes import XMLDocument
+from repro.xmldoc.nodes import XMLDocument, XMLElement
 from repro.xmldoc.parser import parse_string
 from repro.xpath.ast import Query
 from repro.xpath.parser import parse_query
 from repro.xpath.rewrite import rewrite_for_trie
 
-
-class QueryConfigError(ValueError):
-    """Raised for invalid engine/rule selections or unusable configurations."""
-
+# QueryConfigError moved to repro.core.config with the typed config
+# surface; imported above and re-exported here, its historical home.
+__all__ = ["EncryptedXMLDatabase", "QueryConfigError", "CLUSTER_TRANSPORT_TYPES"]
 
 #: transports presenting the scatter-gather cluster surface (per-server
 #: stats, quorum reads, the makespan round clock)
 CLUSTER_TRANSPORT_TYPES = (ClusterTransport, AsyncClusterTransport)
+
+#: one process-wide deprecation notice for the legacy kwarg surface
+_legacy_kwargs_warned = False
+
+
+def _warn_legacy_kwargs() -> None:
+    global _legacy_kwargs_warned
+    if _legacy_kwargs_warned:
+        return
+    _legacy_kwargs_warned = True
+    warnings.warn(
+        "passing flat keyword arguments to EncryptedXMLDatabase.from_document "
+        "is deprecated; build a repro.core.config.DatabaseConfig and pass "
+        "from_document(document, config=...) instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
 
 
 class EncryptedXMLDatabase:
@@ -72,6 +99,7 @@ class EncryptedXMLDatabase:
         hedge: Union[bool, float] = False,
         prefetch: int = 0,
         socket_cluster: Optional["SocketCluster"] = None,
+        write_config: Optional[WriteConfig] = None,
     ):
         self.encoded = encoded
         self.document = document
@@ -139,6 +167,33 @@ class EncryptedXMLDatabase:
         self._plaintext = PlaintextEngine(document) if document is not None else None
         self._statistics = None
         self._cost_model = None
+        #: the versioned write surface (``None`` unless WriteConfig(enabled=True))
+        self.document_state: Optional[DocumentState] = None
+        self.write_coordinator: Optional[WriteCoordinator] = None
+        if write_config is not None and write_config.enabled:
+            if self.cluster_client is None or not isinstance(
+                encoded, ClusterDeployment
+            ):
+                raise QueryConfigError(
+                    "the write path needs a cluster deployment"
+                )
+            if document is None:
+                raise QueryConfigError(
+                    "the write path edits the retained plaintext tree; "
+                    "it conflicts with keep_plaintext=False"
+                )
+            self.document_state = DocumentState(
+                document, encoded.tag_map, encoded.sharing
+            )
+            self.write_coordinator = WriteCoordinator(
+                transport,
+                journal=WriteJournal(capacity=write_config.journal_capacity),
+                prg=encoded.prg,
+            )
+            if write_config.read_repair:
+                self.cluster_client.enable_read_repair(
+                    self.write_coordinator.repair_stale
+                )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -148,34 +203,25 @@ class EncryptedXMLDatabase:
     def from_document(
         cls,
         document: XMLDocument,
-        tag_names: Optional[Iterable[str]] = None,
-        seed: Optional[bytes] = None,
-        p: Optional[int] = None,
-        e: int = 1,
-        use_trie: bool = False,
-        trie_compressed: bool = True,
-        use_rmi: bool = True,
-        per_call_latency: float = 0.0,
-        per_byte_latency: float = 0.0,
-        keep_plaintext: bool = True,
-        map_shuffle_seed: Optional[int] = None,
-        btree_order: int = 64,
-        index_columns: Optional[List[str]] = None,
-        batched: bool = True,
-        servers: int = 1,
-        threshold: Optional[int] = None,
-        sharing: str = "additive",
-        cluster: Optional[bool] = None,
-        latency_jitter: float = 0.0,
-        read_quorum: Optional[int] = None,
-        verify_shares: bool = True,
-        concurrency: bool = True,
-        hedge: Union[bool, float] = False,
-        prefetch: int = 0,
-        round_overhead: float = 0.0,
-        transport: str = "simulated",
+        config: Optional[DatabaseConfig] = None,
+        **legacy_kwargs,
     ) -> "EncryptedXMLDatabase":
         """Encode an in-memory document.
+
+        The configuration surface is a typed
+        :class:`~repro.core.config.DatabaseConfig` composing
+        :class:`~repro.core.config.FieldConfig` (encoding),
+        :class:`~repro.core.config.ClusterConfig` (share fleet),
+        :class:`~repro.core.config.TransportConfig` (wire/latency model)
+        and :class:`~repro.core.config.WriteConfig` (the versioned write
+        path) — pass it as ``from_document(document, config=...)``.  The
+        historical flat keyword arguments keep working through a mapping
+        shim (one process-wide :class:`DeprecationWarning`); mixing
+        ``config=`` with legacy kwargs is rejected.  Every conflict rule
+        lives in :meth:`DatabaseConfig.validated` and raises the usual
+        :class:`QueryConfigError`.
+
+        The legacy keyword semantics, unchanged:
 
         ``tag_names`` supplies the map alphabet (e.g. the DTD's element
         names); when omitted it is derived from the document itself.  ``p``
@@ -227,15 +273,31 @@ class EncryptedXMLDatabase:
         ``concurrency=False`` does not apply (one loop multiplexes every
         call) and is rejected, as are the modeled-latency knobs.
         """
+        if config is not None and legacy_kwargs:
+            raise QueryConfigError(
+                "pass either config= or the legacy keyword arguments, not both "
+                "(got config plus %s)" % ", ".join(sorted(legacy_kwargs))
+            )
+        if config is None:
+            if legacy_kwargs:
+                _warn_legacy_kwargs()
+            config = DatabaseConfig.from_legacy_kwargs(**legacy_kwargs)
+        config = config.validated()
+        field_cfg = config.field
+        cluster_cfg = config.cluster
+        transport_cfg = config.transport
+        write_cfg = config.write
+        cluster = cluster_cfg.cluster  # resolved to a bool by validated()
+
         trie_transformer = None
-        if use_trie:
-            trie_transformer = TrieTransformer(compressed=trie_compressed)
+        if field_cfg.use_trie:
+            trie_transformer = TrieTransformer(compressed=field_cfg.trie_compressed)
             document = trie_transformer.transform_document(document)
 
-        if tag_names is None:
+        if field_cfg.tag_names is None:
             names: List[str] = sorted(document.distinct_tags())
         else:
-            names = list(dict.fromkeys(tag_names))
+            names = list(dict.fromkeys(field_cfg.tag_names))
             missing = document.distinct_tags() - set(names)
             if missing:
                 names.extend(sorted(missing))
@@ -244,56 +306,27 @@ class EncryptedXMLDatabase:
                 if extra not in names:
                     names.append(extra)
 
-        field = make_field(p, e) if p is not None else None
-        tag_map = TagMap.from_names(names, field=field, shuffle_seed=map_shuffle_seed)
-        seed = seed if seed is not None else generate_seed()
-        encoder = Encoder(tag_map, seed, btree_order=btree_order, index_columns=index_columns)
+        field = make_field(field_cfg.p, field_cfg.e) if field_cfg.p is not None else None
+        tag_map = TagMap.from_names(
+            names, field=field, shuffle_seed=field_cfg.map_shuffle_seed
+        )
+        seed = field_cfg.seed if field_cfg.seed is not None else generate_seed()
+        encoder = Encoder(
+            tag_map,
+            seed,
+            btree_order=field_cfg.btree_order,
+            index_columns=field_cfg.index_columns,
+        )
 
-        if transport not in ("simulated", "socket", "asyncio"):
-            raise QueryConfigError(
-                "unknown transport %r; expected 'simulated', 'socket' or 'asyncio'"
-                % (transport,)
-            )
-        if transport in ("socket", "asyncio"):
-            if cluster is False:
-                raise QueryConfigError(
-                    "transport=%r deploys a share cluster; it conflicts with cluster=False"
-                    % (transport,)
-                )
-            cluster = True
-            conflicts = []
-            if per_call_latency:
-                conflicts.append("per_call_latency=%r" % per_call_latency)
-            if per_byte_latency:
-                conflicts.append("per_byte_latency=%r" % per_byte_latency)
-            if latency_jitter:
-                conflicts.append("latency_jitter=%r" % latency_jitter)
-            if transport == "socket" and hedge is not False:
-                conflicts.append("hedge=%r" % hedge)
-            if conflicts:
-                raise QueryConfigError(
-                    "the %s transport measures latency instead of modelling it; "
-                    "it conflicts with %s" % (transport, ", ".join(conflicts))
-                )
-        if transport == "asyncio":
-            if not concurrency:
-                raise QueryConfigError(
-                    "the asyncio transport is inherently concurrent (one event "
-                    "loop multiplexes every call); it conflicts with concurrency=False"
-                )
-            if hedge is not False and hedge is not True and not 0 < hedge < 1:
-                raise QueryConfigError(
-                    "asyncio hedging is driven by observed RTT percentiles: hedge "
-                    "must be a quantile in (0, 1) (or True for the default), got %r"
-                    % (hedge,)
-                )
-        if cluster is None:
-            cluster = servers > 1 or sharing != "additive" or threshold is not None
+        transport = transport_cfg.transport
         counters = EvaluationCounters()
         socket_cluster: Optional[SocketCluster] = None
         if cluster:
             deployment = encoder.deploy_document(
-                document, servers=servers, threshold=threshold, sharing=sharing
+                document,
+                servers=cluster_cfg.servers,
+                threshold=cluster_cfg.threshold,
+                sharing=cluster_cfg.sharing,
             )
             if transport in ("socket", "asyncio"):
                 socket_cluster = SocketCluster.from_deployment(deployment)
@@ -305,13 +338,14 @@ class EncryptedXMLDatabase:
                         transport_channel: Union[SimulatedTransport, ClusterTransport] = (
                             AsyncClusterTransport(
                                 socket_cluster.addresses,
-                                round_overhead=round_overhead,
-                                hedge=hedge,
+                                round_overhead=transport_cfg.round_overhead,
+                                hedge=transport_cfg.hedge,
                             )
                         )
                     else:
                         transport_channel = socket_cluster.cluster_transport(
-                            concurrency=concurrency, round_overhead=round_overhead
+                            concurrency=transport_cfg.concurrency,
+                            round_overhead=transport_cfg.round_overhead,
                         )
                 except Exception:
                     socket_cluster.shutdown()
@@ -322,59 +356,35 @@ class EncryptedXMLDatabase:
                 ]
                 transport_channel = ClusterTransport(
                     server_filters,
-                    per_call_latency=per_call_latency,
-                    per_byte_latency=per_byte_latency,
-                    latency_jitter=latency_jitter,
-                    concurrency=concurrency,
-                    round_overhead=round_overhead,
+                    per_call_latency=transport_cfg.per_call_latency,
+                    per_byte_latency=transport_cfg.per_byte_latency,
+                    latency_jitter=transport_cfg.latency_jitter,
+                    concurrency=transport_cfg.concurrency,
+                    round_overhead=transport_cfg.round_overhead,
                 )
             encoded: Union[EncodedDatabase, ClusterDeployment] = deployment
         else:
-            # An explicit cluster=False must not silently discard cluster
-            # configuration — especially not a threshold sharing request.
-            conflicts = []
-            if servers != 1:
-                conflicts.append("servers=%d" % servers)
-            if sharing != "additive":
-                conflicts.append("sharing=%r" % sharing)
-            if threshold is not None:
-                conflicts.append("threshold=%r" % threshold)
-            if latency_jitter:
-                conflicts.append("latency_jitter=%r" % latency_jitter)
-            if read_quorum is not None:
-                conflicts.append("read_quorum=%r" % read_quorum)
-            if not concurrency:
-                conflicts.append("concurrency=%r" % concurrency)
-            if hedge is not False:
-                conflicts.append("hedge=%r" % hedge)
-            if prefetch:
-                conflicts.append("prefetch=%r" % prefetch)
-            if round_overhead:
-                conflicts.append("round_overhead=%r" % round_overhead)
-            if conflicts:
-                raise QueryConfigError(
-                    "a non-cluster deployment conflicts with %s" % ", ".join(conflicts)
-                )
             encoded = encoder.encode_document(document)
             transport_channel = SimulatedTransport(
-                per_call_latency=per_call_latency,
-                per_byte_latency=per_byte_latency,
+                per_call_latency=transport_cfg.per_call_latency,
+                per_byte_latency=transport_cfg.per_byte_latency,
                 stats=CallStats(),
             )
         try:
             return cls(
                 encoded=encoded,
-                document=document if keep_plaintext else None,
-                use_rmi=use_rmi,
+                document=document if config.keep_plaintext else None,
+                use_rmi=transport_cfg.use_rmi,
                 transport=transport_channel,
                 counters=counters,
                 trie_transformer=trie_transformer,
-                batched=batched,
-                read_quorum=read_quorum,
-                verify_shares=verify_shares,
-                hedge=hedge,
-                prefetch=prefetch,
+                batched=transport_cfg.batched,
+                read_quorum=cluster_cfg.read_quorum,
+                verify_shares=cluster_cfg.verify_shares,
+                hedge=transport_cfg.hedge,
+                prefetch=transport_cfg.prefetch,
                 socket_cluster=socket_cluster,
+                write_config=write_cfg,
             )
         except Exception:
             # Never leak a spawned server fleet on a construction failure
@@ -393,6 +403,51 @@ class EncryptedXMLDatabase:
         """Encode an XML file (see :meth:`from_document` for keyword options)."""
         with open(path, "r", encoding=encoding) as handle:
             return cls.from_text(handle.read(), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Mutations (the versioned write path)
+    # ------------------------------------------------------------------
+
+    def _mutate(self, edit: Callable[[DocumentState], WriteDelta]) -> Dict[str, Any]:
+        """Run one edit against the document state and ship its delta.
+
+        The edit computes the incremental re-encode
+        (:class:`~repro.encode.mutate.WriteDelta`), the coordinator drives
+        it through two-phase prepare/commit, and the client-side caches
+        that index the old numbering (plaintext engine, statistics, cost
+        model, per-row versions) are refreshed before the report returns.
+        """
+        if self.write_coordinator is None or self.document_state is None:
+            raise QueryConfigError(
+                "this database was built without the write path; enable it "
+                "with WriteConfig(enabled=True) (legacy: enable_writes=True)"
+            )
+        delta = edit(self.document_state)
+        report = self.write_coordinator.apply(delta)
+        if self.cluster_client is not None:
+            self.cluster_client.note_versions(self.document_state.versions())
+        # Mutations renumber the tree: every cache derived from the old
+        # pre-order is stale the moment the delta commits.
+        self._plaintext = PlaintextEngine(self.document)
+        self._statistics = None
+        self._cost_model = None
+        return report
+
+    def update_tag(self, pre: int, new_tag: str) -> Dict[str, Any]:
+        """Rename the node at ``pre`` across the deployed fleet."""
+        return self._mutate(lambda state: state.update_tag(pre, new_tag))
+
+    def insert_subtree(
+        self, parent_pre: int, element: XMLElement, index: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Graft ``element`` under ``parent_pre`` (``index=None`` appends)."""
+        return self._mutate(
+            lambda state: state.insert_subtree(parent_pre, element, index=index)
+        )
+
+    def delete_subtree(self, pre: int) -> Dict[str, Any]:
+        """Remove the node at ``pre`` and its subtree from every server."""
+        return self._mutate(lambda state: state.delete_subtree(pre))
 
     # ------------------------------------------------------------------
     # Lifecycle

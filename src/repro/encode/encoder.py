@@ -45,7 +45,14 @@ STRUCTURE_INT_BYTES = 4
 
 
 def node_table_schema() -> TableSchema:
-    """The relational schema of the server's node table."""
+    """The relational schema of the server's node table.
+
+    ``version`` is the row's write epoch: absent (or 0) for bulk-loaded
+    rows — keeping freshly encoded tables byte-identical to the pre-write
+    era — and bumped by every committed mutation that touches the row.
+    Share masks are salted with it, version checks gate the two-phase
+    write protocol, and read-repair keys off it.
+    """
     return TableSchema(
         NODE_TABLE_NAME,
         [
@@ -53,6 +60,7 @@ def node_table_schema() -> TableSchema:
             Column("post", ColumnType.INTEGER),
             Column("parent", ColumnType.INTEGER),
             Column("share", ColumnType.INT_LIST),
+            Column("version", ColumnType.INTEGER, nullable=True),
         ],
     )
 

@@ -167,6 +167,14 @@ class ClusterClient:
         self._next_local_queue_id = 1
         #: inconsistency reports observed so far (kept even when raising)
         self.inconsistencies: List[Dict[str, object]] = []
+        #: zero-arg repair hook (see :meth:`enable_read_repair`); ``None``
+        #: keeps the historical raise-on-inconsistency behaviour
+        self._repairer: Optional[Callable[[], Dict[int, int]]] = None
+        #: pre -> row version, for version-salted share regeneration of
+        #: written rows (absent = 0, the bulk-encoded stream)
+        self._versions: Dict[int, int] = {}
+        #: read-repair rounds that converged (bench/test observability)
+        self.read_repairs: List[Dict[int, int]] = []
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -185,6 +193,53 @@ class ClusterClient:
         live = [index for index in rotated if not self.transport.is_down(index)]
         down = [index for index in rotated if self.transport.is_down(index)]
         return live + down
+
+    # ------------------------------------------------------------------
+    # Read repair (version skew vs corruption)
+    # ------------------------------------------------------------------
+
+    def enable_read_repair(self, repairer: Callable[[], Dict[int, int]]) -> None:
+        """Arm reconstruction-time read repair.
+
+        ``repairer`` is a zero-argument callable that inspects the fleet
+        for version skew and catches lagging servers up, returning the
+        ``{server: deltas replayed}`` map — pass
+        :meth:`~repro.rmi.write.WriteCoordinator.repair_stale`.  With it
+        armed, a reconstruction that fails verification first asks the
+        repairer; if any server was behind, the read retries once against
+        the converged fleet.  A fleet with *no* skew (true corruption)
+        re-raises the original :class:`InconsistentShareError` untouched,
+        so the attribution/quarantine path is unaffected.
+        """
+        self._repairer = repairer
+
+    def note_versions(self, versions: Dict[int, int]) -> None:
+        """Record row versions (pre -> epoch) for share regeneration.
+
+        The version-salted PRG streams make a written row's share a
+        function of ``(pre, version)``; a client regenerating shares of a
+        downed server must know the committed versions or it reconstructs
+        against the dead row's old masks.  The write path pushes
+        :meth:`~repro.encode.mutate.DocumentState.versions` here after
+        every commit.
+        """
+        self._versions.update(versions)
+
+    def _version_for(self, pre: int) -> int:
+        return self._versions.get(pre, 0)
+
+    def _with_read_repair(self, compute: Callable[[], Any]) -> Any:
+        """Run one reconstruction, repairing version skew on divergence."""
+        try:
+            return compute()
+        except InconsistentShareError:
+            if self._repairer is None:
+                raise
+            repaired = self._repairer()
+            if not repaired:
+                raise  # no skew: genuine corruption, let attribution stand
+            self.read_repairs.append(dict(repaired))
+            return compute()
 
     # ------------------------------------------------------------------
     # Structural queries: one server answers, fail over on connection loss
@@ -480,7 +535,9 @@ class ClusterClient:
     def evaluate(self, pre: int, point: int) -> int:
         """Combined server-side evaluation of node ``pre`` at ``point``."""
         return self._cached_call(
-            "evaluate", (pre, point), lambda: self._evaluate_direct(pre, point)
+            "evaluate",
+            (pre, point),
+            lambda: self._with_read_repair(lambda: self._evaluate_direct(pre, point)),
         )
 
     def _evaluate_direct(self, pre: int, point: int) -> int:
@@ -488,7 +545,9 @@ class ClusterClient:
         replies = self._complete_with_regenerated(
             replies,
             failures,
-            lambda index: self.ring.evaluate(self.scheme.regenerate_share(pre, index), point),
+            lambda index: self.ring.evaluate(
+                self.scheme.regenerate_share(pre, index, self._version_for(pre)), point
+            ),
             "evaluate",
         )
         vectors = {index: (value,) for index, value in replies.items()}
@@ -503,14 +562,19 @@ class ClusterClient:
         return self._cached_call(
             "evaluate_batch",
             (pres, point),
-            lambda: self._evaluate_batch_direct(pres, point),
+            lambda: self._with_read_repair(
+                lambda: self._evaluate_batch_direct(pres, point)
+            ),
         )
 
     def _evaluate_batch_direct(self, pres: List[int], point: int) -> List[int]:
         replies, failures = self._gather("evaluate_batch", (pres, point))
 
         def regenerate(index: int) -> List[int]:
-            shares = [self.scheme.regenerate_share(pre, index) for pre in pres]
+            shares = [
+                self.scheme.regenerate_share(pre, index, self._version_for(pre))
+                for pre in pres
+            ]
             return self.ring.evaluate_many(shares, point)
 
         replies = self._complete_with_regenerated(replies, failures, regenerate, "evaluate_batch")
@@ -524,7 +588,9 @@ class ClusterClient:
     def fetch_share(self, pre: int) -> List[int]:
         """The *combined* server-share coefficients of node ``pre``."""
         return self._cached_call(
-            "fetch_share", (pre,), lambda: self._fetch_share_direct(pre)
+            "fetch_share",
+            (pre,),
+            lambda: self._with_read_repair(lambda: self._fetch_share_direct(pre)),
         )
 
     def _fetch_share_direct(self, pre: int) -> List[int]:
@@ -532,7 +598,9 @@ class ClusterClient:
         replies = self._complete_with_regenerated(
             replies,
             failures,
-            lambda index: list(self.scheme.regenerate_share(pre, index).coeffs),
+            lambda index: list(
+                self.scheme.regenerate_share(pre, index, self._version_for(pre)).coeffs
+            ),
             "fetch_share",
         )
         self._verify_vectors(replies, "fetch_share", pres=(pre,), stride=self.ring.length)
@@ -550,14 +618,21 @@ class ClusterClient:
         if not pres:
             return []
         return self._cached_call(
-            "fetch_shares_batch", (pres,), lambda: self._fetch_shares_batch_direct(pres)
+            "fetch_shares_batch",
+            (pres,),
+            lambda: self._with_read_repair(
+                lambda: self._fetch_shares_batch_direct(pres)
+            ),
         )
 
     def _fetch_shares_batch_direct(self, pres: List[int]) -> List[List[int]]:
         replies, failures = self._gather("fetch_shares_batch", (pres,))
 
         def regenerate(index: int) -> List[List[int]]:
-            return [list(self.scheme.regenerate_share(pre, index).coeffs) for pre in pres]
+            return [
+                list(self.scheme.regenerate_share(pre, index, self._version_for(pre)).coeffs)
+                for pre in pres
+            ]
 
         replies = self._complete_with_regenerated(replies, failures, regenerate, "fetch_shares_batch")
         flat = {

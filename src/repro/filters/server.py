@@ -32,6 +32,21 @@ saving there is the round trips, not the index work).  Decoded
 cache (the table is bulk-load-then-query, so entries never go stale);
 :meth:`share_cache_info` exposes hit/miss accounting.
 
+Write protocol
+--------------
+
+Mutations arrive as **deltas** (see :class:`repro.encode.mutate.WriteDelta`)
+through a two-phase surface: :meth:`prepare_delta` validates the delta
+against the table's current **epoch** and stages it, :meth:`commit_delta`
+applies the staged rows atomically (under the server lock) and advances the
+epoch, :meth:`abort_delta` discards it.  A delta whose ``base_epoch`` does
+not match the table raises
+:class:`~repro.storage.errors.WriteConflictError` — the optimistic
+concurrency check that serialises concurrent writers.  Committing evicts
+every touched ``pre`` from the decoded-share LRU, so no stale polynomial is
+ever served after a write.  :meth:`row_versions` exposes the per-row write
+versions that read-repair compares across servers.
+
 Thread-safety contract
 ----------------------
 
@@ -39,9 +54,11 @@ The concurrent cluster transport may hit one server from several client
 threads at once (a structural prefetch overlapping an in-flight share
 scatter, a hedged re-issue racing the original).  The mutable server state —
 the decoded-share LRU (an ``OrderedDict`` whose ``move_to_end`` is a
-read-modify-write) and the ``next_node`` queue table — is guarded by one
-internal lock, so concurrent readers are safe.  The node table itself is
-bulk-load-then-query and only ever read here.
+read-modify-write), the ``next_node`` queue table, and the write-path
+staging area — is guarded by one internal lock.  Delta commits mutate the
+node table under that lock; a read racing a commit sees either the old or
+the new rows of the affected range, and the cross-server version checks at
+reconstruction time catch (and repair) any skew the race exposes.
 """
 
 from __future__ import annotations
@@ -52,6 +69,7 @@ from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.filters.interface import Filter
 from repro.poly.ring import QuotientRing, RingPolynomial
+from repro.storage.errors import StaleVersionError, WriteConflictError
 from repro.storage.table import Table
 
 #: below this key-density a batch is resolved by point lookups instead of a
@@ -81,6 +99,10 @@ class ServerFilter(Filter):
         # Guards the share LRU and the queue table against concurrent
         # readers (see the module docstring's thread-safety contract).
         self._lock = threading.RLock()
+        # Write path: the table's committed epoch and the staged delta of an
+        # in-flight two-phase write (at most one at a time per server).
+        self._table_epoch = 0
+        self._staged_delta: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Structural queries (all via the indexed access paths)
@@ -361,6 +383,156 @@ class ServerFilter(Filter):
                 "capacity": self._share_cache_size,
                 "backend": self._ring.kernel.name,
             }
+
+    # ------------------------------------------------------------------
+    # Write path — two-phase delta application
+    # ------------------------------------------------------------------
+
+    def table_epoch(self) -> int:
+        """The epoch of the last committed delta (0 = bulk-loaded state)."""
+        with self._lock:
+            return self._table_epoch
+
+    def row_versions(self, pres: List[int]) -> List[int]:
+        """Write versions of the given rows, aligned with ``pres``.
+
+        Rows the bulk encoder loaded (never mutated) report version 0;
+        unknown rows report -1.  Read-repair compares these across servers
+        to tell *stale* (behind on a committed write) from *corrupt*.
+        """
+        rows = self._rows_for(list(pres))
+        versions = []
+        for pre in pres:
+            row = rows.get(pre)
+            if row is None:
+                versions.append(-1)
+            else:
+                versions.append(row.get("version") or 0)
+        return versions
+
+    def prepare_delta(self, payload: Dict) -> Dict[str, int]:
+        """Phase one: validate a delta against the table epoch and stage it.
+
+        Raises :class:`WriteConflictError` when the delta was computed
+        against a different epoch than the table holds (another write
+        committed first, or this server missed one), and
+        :class:`StaleVersionError` when a structural update targets a row
+        this server does not have.  Staging is idempotent for the same
+        epoch; a different staged epoch is a conflict.
+        """
+        base_epoch = int(payload["base_epoch"])
+        epoch = int(payload["epoch"])
+        if epoch <= base_epoch:
+            raise WriteConflictError(
+                "delta epoch %d does not advance base epoch %d" % (epoch, base_epoch)
+            )
+        with self._lock:
+            if self._table_epoch != base_epoch:
+                raise WriteConflictError(
+                    "delta was computed against epoch %d but the table is at "
+                    "epoch %d" % (base_epoch, self._table_epoch)
+                )
+            if self._staged_delta is not None and self._staged_delta["epoch"] != epoch:
+                raise WriteConflictError(
+                    "another delta (epoch %d) is already prepared"
+                    % self._staged_delta["epoch"]
+                )
+            missing = [
+                pre
+                for pre, _, _ in payload.get("structural", [])
+                if not self._table.lookup("pre", pre)
+            ]
+            if missing:
+                raise StaleVersionError(
+                    "structural update targets rows this server does not "
+                    "hold: %s" % missing,
+                    stale_pres=missing,
+                    expected=base_epoch,
+                    found=self._table_epoch,
+                )
+            self._staged_delta = {
+                "base_epoch": base_epoch,
+                "epoch": epoch,
+                "upserts": [list(record) for record in payload.get("upserts", [])],
+                "structural": [list(record) for record in payload.get("structural", [])],
+                "deletes": [int(pre) for pre in payload.get("deletes", [])],
+            }
+            return {"epoch": epoch, "base_epoch": base_epoch}
+
+    def commit_delta(self, epoch: int) -> Dict[str, int]:
+        """Phase two: apply the staged delta atomically and advance the epoch.
+
+        All deletions (explicit deletes, re-shared rows, renumbered rows)
+        happen before any insertion, so the unique ``pre``/``post`` indexes
+        never see a transient collision while a whole range shifts.  Every
+        touched ``pre`` is evicted from the decoded-share LRU.
+        """
+        with self._lock:
+            staged = self._staged_delta
+            if staged is None or staged["epoch"] != epoch:
+                raise WriteConflictError(
+                    "no delta at epoch %d is prepared (staged: %s)"
+                    % (epoch, staged["epoch"] if staged else None)
+                )
+            inserts: List[Dict] = []
+            touched: List[int] = list(staged["deletes"])
+            for pre, post, parent in staged["structural"]:
+                rows = self._table.lookup("pre", pre)
+                if not rows:
+                    raise StaleVersionError(
+                        "structural update targets a row this server lost: %d" % pre,
+                        stale_pres=[pre],
+                    )
+                old = rows[0]
+                row = {"pre": pre, "post": post, "parent": parent, "share": old["share"]}
+                if old.get("version"):
+                    row["version"] = old["version"]
+                inserts.append(row)
+                touched.append(pre)
+            for pre, post, parent, share, version in staged["upserts"]:
+                row = {"pre": pre, "post": post, "parent": parent, "share": tuple(share)}
+                if version:
+                    row["version"] = version
+                inserts.append(row)
+                touched.append(pre)
+            for pre in touched:
+                self._table.delete_by("pre", pre)
+            for row in inserts:
+                self._table.insert(row)
+            self._table_epoch = epoch
+            self._staged_delta = None
+            for pre in touched:
+                self._share_cache.pop(pre, None)
+            for queue in self._queues.values():
+                # buffered result queues may reference renumbered rows;
+                # a committed write invalidates in-flight pipelines
+                queue.clear()
+            return {
+                "epoch": epoch,
+                "upserts": len(staged["upserts"]),
+                "structural": len(staged["structural"]),
+                "deletes": len(staged["deletes"]),
+            }
+
+    def abort_delta(self, epoch: int) -> bool:
+        """Discard a staged delta; returns whether one was staged."""
+        with self._lock:
+            if self._staged_delta is not None and self._staged_delta["epoch"] == epoch:
+                self._staged_delta = None
+                return True
+            return False
+
+    def apply_delta(self, payload: Dict) -> Dict[str, int]:
+        """One-shot prepare + commit (journal replay and read-repair path)."""
+        prepared = self.prepare_delta(payload)
+        return self.commit_delta(prepared["epoch"])
+
+    def set_table_epoch(self, epoch: int) -> None:
+        """Force the table epoch (heal path: a rebuilt server adopts the
+        consistent epoch its rows were re-derived at)."""
+        with self._lock:
+            self._table_epoch = int(epoch)
+            self._staged_delta = None
 
     # ------------------------------------------------------------------
     # next_node() pipeline — server-side buffering of intermediate results

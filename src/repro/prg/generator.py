@@ -16,7 +16,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.gf.base import Field
 
@@ -119,7 +119,7 @@ class KeyedPRG:
         self._seed_digest = hashlib.sha256(self.seed).digest()
         # Bounded LRU of generated stream prefixes, guarded for concurrent
         # readers (see the class docstring).
-        self._memo: "OrderedDict[Tuple[int, int, int], Tuple[int, ...]]" = OrderedDict()
+        self._memo: "OrderedDict[Tuple[int, int, int, int], Tuple[int, ...]]" = OrderedDict()
         self._memo_size = memo_size
         self._memo_hits = 0
         self._memo_misses = 0
@@ -131,40 +131,49 @@ class KeyedPRG:
         self._state_cache: Dict[Tuple[int, int], int] = {}
         self._state_cache_limit = 1 << 20
 
-    def _node_state(self, pre: int, lane: int = 0) -> int:
-        """Derive the 64-bit SplitMix state for node ``pre`` and stream ``lane``."""
+    def _node_state(self, pre: int, lane: int = 0, version: int = 0) -> int:
+        """Derive the 64-bit SplitMix state for node ``pre`` and stream ``lane``.
+
+        ``version`` salts the derivation for re-encoded rows: a mutated
+        node's masks must not repeat the masks of its previous polynomial
+        (reusing them would hand each server the polynomial *difference*).
+        Version 0 hashes exactly the historical payload, so every
+        bulk-loaded stream is unchanged.
+        """
         payload = self._seed_digest + pre.to_bytes(8, "big", signed=False) + lane.to_bytes(4, "big")
+        if version:
+            payload += version.to_bytes(8, "big", signed=False)
         digest = hashlib.sha256(payload).digest()
         return int.from_bytes(digest[:8], "big")
 
-    def _state(self, pre: int, lane: int) -> int:
+    def _state(self, pre: int, lane: int, version: int = 0) -> int:
         """Memoised :meth:`_node_state`."""
-        key = (pre, lane)
+        key = (pre, lane, version)
         state = self._state_cache.get(key)
         if state is None:
-            state = self._node_state(pre, lane)
+            state = self._node_state(pre, lane, version)
             if len(self._state_cache) < self._state_cache_limit:
                 self._state_cache[key] = state
         return state
 
-    def stream(self, pre: int, lane: int = 0) -> Iterator[int]:
+    def stream(self, pre: int, lane: int = 0, version: int = 0) -> Iterator[int]:
         """Infinite stream of uniform field elements for node ``pre``."""
-        core = SplitMix64(self._node_state(pre, lane))
+        core = SplitMix64(self._node_state(pre, lane, version))
         order = self.field.order
         while True:
             yield core.next_below(order)
 
-    def elements(self, pre: int, count: int, lane: int = 0) -> List[int]:
+    def elements(self, pre: int, count: int, lane: int = 0, version: int = 0) -> List[int]:
         """The first ``count`` field elements of node ``pre``'s stream.
 
         This is the call used to regenerate a client share: ``count`` equals
         the ring length ``q - 1`` and the returned list is the coefficient
         vector of the client polynomial.  Results are memoised per
-        ``(pre, count, lane)`` in a bounded LRU.
+        ``(pre, count, lane, version)`` in a bounded LRU.
         """
         if count < 0:
             raise ValueError("count must be non-negative, got %d" % count)
-        key = (pre, count, lane)
+        key = (pre, count, lane, version)
         with self._memo_lock:
             cached = self._memo.get(key)
             if cached is not None:
@@ -177,7 +186,7 @@ class KeyedPRG:
                 self._memo_hits += 1
                 return list(cached)
             self._memo_misses += 1
-        generated = self._scalar_generate(self._state(pre, lane), count)
+        generated = self._scalar_generate(self._state(pre, lane, version), count)
         if self._memo_size:
             with self._memo_lock:
                 self._memo[key] = tuple(generated)
@@ -238,7 +247,9 @@ class KeyedPRG:
                     result[i] = self._scalar_generate(int(states[i]), count)
         return result
 
-    def elements_block(self, pres: Sequence[int], count: int, lane: int = 0):
+    def elements_block(
+        self, pres: Sequence[int], count: int, lane: int = 0, versions: Optional[Sequence[int]] = None
+    ):
         """Array variant of :meth:`elements_many`: an (n, count) int64 matrix.
 
         Bit-identical rows and *identical memo accounting* to calling
@@ -247,14 +258,25 @@ class KeyedPRG:
         vectorized sweep.  The whole batch regenerates even on memo hits
         (regeneration is cheaper than row-by-row tuple unpacking, and
         determinism makes the results equal); only the bookkeeping replays
-        per key.  Without numpy this falls back to the scalar path and
+        per key.  ``versions`` optionally supplies one row version per
+        ``pre`` (the incremental re-encode path); ``None`` means version 0
+        throughout.  Without numpy this falls back to the scalar path and
         returns a list of lists.
         """
         if count < 0:
             raise ValueError("count must be non-negative, got %d" % count)
+        if versions is None:
+            versions = [0] * len(pres)
+        elif len(versions) != len(pres):
+            raise ValueError(
+                "got %d versions for %d pres" % (len(versions), len(pres))
+            )
         if np is None:
-            return [self.elements(pre, count, lane) for pre in pres]
-        states = [self._state(pre, lane) for pre in pres]
+            return [
+                self.elements(pre, count, lane, version)
+                for pre, version in zip(pres, versions)
+            ]
+        states = [self._state(pre, lane, version) for pre, version in zip(pres, versions)]
         matrix = self._np_generate(states, count)
         with self._memo_lock:
             if self._memo_size:
@@ -264,12 +286,12 @@ class KeyedPRG:
                 # of tuples destined for immediate eviction.  Hits, misses,
                 # order and surviving contents match the per-call path.
                 memo = self._memo
-                simulated: "OrderedDict[Tuple[int, int, int], None]" = (
+                simulated: "OrderedDict[Tuple[int, int, int, int], None]" = (
                     OrderedDict.fromkeys(memo)
                 )
-                fresh: Dict[Tuple[int, int, int], int] = {}
+                fresh: Dict[Tuple[int, int, int, int], int] = {}
                 for i, pre in enumerate(pres):
-                    key = (pre, count, lane)
+                    key = (pre, count, lane, versions[i])
                     if key in simulated:
                         simulated.move_to_end(key)
                         self._memo_hits += 1
@@ -280,7 +302,7 @@ class KeyedPRG:
                         while len(simulated) > self._memo_size:
                             evicted, _ = simulated.popitem(last=False)
                             fresh.pop(evicted, None)
-                rebuilt: "OrderedDict[Tuple[int, int, int], Sequence[int]]" = OrderedDict()
+                rebuilt: "OrderedDict[Tuple[int, int, int, int], Sequence[int]]" = OrderedDict()
                 for key in simulated:
                     row = fresh.get(key)
                     if row is None:
@@ -303,6 +325,26 @@ class KeyedPRG:
     ) -> List[List[int]]:
         """Bulk variant of :meth:`elements`: one stream prefix per ``pre``."""
         return [self.elements(pre, count, lane) for pre in pres]
+
+    def evict(self, pres: Iterable[int]) -> int:
+        """Version-aware memo busting: drop every cached stream of ``pres``.
+
+        Called by the write path after a committed mutation — the memoised
+        prefixes of a re-encoded node belong to its *previous* version (the
+        memo key carries the version, so stale entries could never be
+        returned for the new one, but they are dead weight and must not
+        outlive the rows they masked).  The derived SplitMix states of the
+        same nodes are dropped too.  Returns how many memo entries left.
+        """
+        victims = set(pres)
+        with self._memo_lock:
+            stale = [key for key in self._memo if key[0] in victims]
+            for key in stale:
+                del self._memo[key]
+        stale_states = [key for key in self._state_cache if key[0] in victims]
+        for key in stale_states:
+            self._state_cache.pop(key, None)
+        return len(stale)
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/occupancy accounting of the share memo."""

@@ -48,47 +48,20 @@ import threading
 from collections import OrderedDict
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
+from repro.rmi.methods import (
+    CACHE_KEY_ALIASES,
+    CACHEABLE_METHODS,
+    SHARE_READ_METHODS,
+    STRUCTURAL_READ_METHODS,
+)
 from repro.rmi.stats import CacheStats
 
-#: replicated structure-only reads (static after bulk load, so cacheable)
-STRUCTURAL_READ_METHODS = frozenset(
-    (
-        "node_count",
-        "root_pre",
-        "node_info",
-        "node_infos",
-        "children_of",
-        "children_of_many",
-        "descendants_of",
-        "descendants_of_many",
-        "parent_of",
-    )
-)
-
-#: scatter-gathered share reads whose *combined* results are cacheable
-SHARE_READ_METHODS = frozenset(
-    (
-        "evaluate",
-        "evaluate_batch",
-        "evaluate_many",
-        "fetch_share",
-        "fetch_shares_batch",
-        "fetch_shares",
-    )
-)
-
-#: the full cacheable read surface.  Queue-cursor methods (``open_queue``,
-#: ``next_node``, …) are deliberately absent: a cursor is per-session
-#: mutable state and must NEVER be served from a shared cache.
-CACHEABLE_METHODS = STRUCTURAL_READ_METHODS | SHARE_READ_METHODS
-
-#: protocol aliases that share one cache key (identical args, identical
-#: results), so a client calling ``fetch_shares`` hits what another
-#: session stored via ``fetch_shares_batch``
-CACHE_KEY_ALIASES = {
-    "evaluate_many": "evaluate_batch",
-    "fetch_shares": "fetch_shares_batch",
-}
+# The method sets and alias folding live in the declarative spec table
+# (:mod:`repro.rmi.methods`); the names above are re-exported from their
+# historical home so existing imports keep working.  Queue-cursor methods
+# (``open_queue``, ``next_node``, …) are deliberately not cacheable
+# there: a cursor is per-session mutable state and must NEVER be served
+# from a shared cache.
 
 #: default byte bound used by the demo and the benches (the CLI default
 #: is 0 = caching off, preserving the PR 6 gateway behaviour)

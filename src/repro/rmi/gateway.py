@@ -38,13 +38,15 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.filters.cluster import ClusterClient, ClusterUnavailableError
 from repro.rmi.aio import AsyncClusterTransport, WeightedFairScheduler
-from repro.rmi.cache import (
-    CACHEABLE_METHODS,
-    SHARE_READ_METHODS,
-    STRUCTURAL_READ_METHODS,
-    GatewayCache,
-)
+from repro.rmi.cache import CACHEABLE_METHODS, GatewayCache
 from repro.rmi.codec import Codec, CodecError
+from repro.rmi.methods import (
+    GATEWAY_EXPORTED_METHODS,
+    QUEUE_METHODS,
+    QUEUE_OPEN_METHODS,
+    STRUCTURAL_READ_METHODS,
+    request_cost as _request_cost,
+)
 from repro.rmi.server import PROTOCOL_VERSION, ServerProcess, SocketServer
 from repro.rmi.socket import (
     BUMP_EPOCH_METHOD,
@@ -61,57 +63,21 @@ from repro.rmi.socket import (
 )
 from repro.secretshare.scheme import SharingScheme
 
-#: per-session queue-cursor methods (pinned to the opening server); their
-#: state is mutable and session-private, so they are NEVER cacheable
-_QUEUE_METHODS = frozenset(
-    (
-        "open_queue",
-        "open_children_queue",
-        "open_descendants_queue",
-        "next_node",
-        "queue_size",
-        "close_queue",
-    )
-)
+# The method sets below come from the declarative spec table in
+# :mod:`repro.rmi.methods` (one row per method: kind, cacheable,
+# mutating, alias, cost); ``EXPORTED_METHODS`` keeps its historical name
+# as the gateway's public session surface.  Everything off the surface
+# is answered with a typed UnknownRemoteMethodError, never executed —
+# including the write protocol, which goes through the
+# :class:`~repro.rmi.write.WriteCoordinator` straight to the share
+# servers, never through a shared read gateway.
+EXPORTED_METHODS = GATEWAY_EXPORTED_METHODS
 
-#: the session surface a remote client may call (everything else is
-#: answered with a typed UnknownRemoteMethodError, never executed):
-#: replicated structural reads, per-session queue cursors, and the share
-#: reads the gateway scatter-gathers and combines
-EXPORTED_METHODS = STRUCTURAL_READ_METHODS | _QUEUE_METHODS | SHARE_READ_METHODS
+_QUEUE_METHODS = QUEUE_METHODS
 
 _STRUCTURAL_METHODS = STRUCTURAL_READ_METHODS
 
-_QUEUE_OPEN_METHODS = frozenset(
-    ("open_queue", "open_children_queue", "open_descendants_queue")
-)
-
-#: methods whose first argument is a batch (a ``pres`` list): admission
-#: cost scales with the batch size so one hog round is charged what it
-#: actually occupies upstream
-_BATCH_ARG_METHODS = frozenset(
-    (
-        "evaluate_batch",
-        "evaluate_many",
-        "fetch_shares_batch",
-        "fetch_shares",
-        "node_infos",
-        "children_of_many",
-        "descendants_of_many",
-        "open_queue",
-        "open_children_queue",
-        "open_descendants_queue",
-    )
-)
-
-
-def _request_cost(method: str, args: Sequence[Any]) -> float:
-    """Admission cost: ~batch size for batched reads, 1 for everything else."""
-    if method in _BATCH_ARG_METHODS and args:
-        first = args[0]
-        if isinstance(first, (list, tuple)):
-            return float(max(1, len(first)))
-    return 1.0
+_QUEUE_OPEN_METHODS = QUEUE_OPEN_METHODS
 
 
 class AsyncClusterClient(ClusterClient):

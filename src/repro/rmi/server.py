@@ -47,7 +47,7 @@ import sys
 import tempfile
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.rmi.codec import Codec, CodecError
 from repro.rmi.socket import (
@@ -112,6 +112,7 @@ class SocketServer:
         name: str = "repro-server",
         delay: float = 0.0,
         max_session_inflight: Optional[int] = None,
+        method_table: Optional[Iterable[str]] = None,
     ):
         if delay < 0:
             raise ValueError("delay must be non-negative")
@@ -121,6 +122,14 @@ class SocketServer:
                 % (max_session_inflight,)
             )
         self.max_session_inflight = max_session_inflight
+        #: when set, the dispatchable surface is exactly this allowlist
+        #: (the fleet passes the declarative spec table from
+        #: :mod:`repro.rmi.methods`, so an endpoint must be registered
+        #: there to be wire-reachable); ``None`` keeps the historical
+        #: duck-typed dispatch for ad-hoc targets.
+        self.method_table: Optional[FrozenSet[str]] = (
+            frozenset(method_table) if method_table is not None else None
+        )
         self.target = target
         self.codec = codec or Codec()
         self.max_frame_bytes = max_frame_bytes
@@ -612,7 +621,9 @@ class SocketServer:
             return STATUS_OK + self.codec.encode(self._identity()), False
         if method == SHUTDOWN_METHOD:
             return STATUS_OK + self.codec.encode(True), True
-        if method.startswith("_"):
+        if method.startswith("_") or (
+            self.method_table is not None and method not in self.method_table
+        ):
             return (
                 self._error_payload(
                     UnknownRemoteMethodError("method %r is not exported" % method)

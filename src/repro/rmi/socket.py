@@ -65,6 +65,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.rmi.codec import Codec, CodecError
 from repro.rmi.stats import CallStats
 from repro.rmi.transport import CallOutcome
+from repro.storage.errors import StaleVersionError, WriteConflictError
 
 #: size of the big-endian length prefix in front of every frame
 FRAME_HEADER_BYTES = 4
@@ -163,6 +164,13 @@ _WIRE_EXCEPTION_TYPES: Dict[str, type] = {
         RemoteCallError,
         UnknownRemoteMethodError,
         WireProtocolError,
+        # The write protocol's semantic failures: a coordinator must see a
+        # typed conflict (retry against the new epoch) or stale-version
+        # signal (trigger read-repair), not an opaque RemoteCallError.
+        # Structured context (stale_pres, …) stays server-side; remote
+        # repair re-derives it from ``row_versions``.
+        WriteConflictError,
+        StaleVersionError,
     )
 }
 

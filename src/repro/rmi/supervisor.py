@@ -124,6 +124,7 @@ class FleetSupervisor:
         unavailable_streak: int = 3,
         ping_failures: int = 2,
         heal_chunk: int = 512,
+        coordinator: Optional[Any] = None,
     ):
         if transport.num_servers != scheme.num_servers:
             raise SharingError(
@@ -146,6 +147,11 @@ class FleetSupervisor:
         self.unavailable_streak = unavailable_streak
         self.ping_failures = ping_failures
         self.heal_chunk = heal_chunk
+        #: optional :class:`~repro.rmi.write.WriteCoordinator` of the same
+        #: fleet: heals then hold its fence (no delta commits into a
+        #: half-copied table) and replay-repair lagging peers first, so
+        #: every source row is read at one consistent epoch
+        self.coordinator = coordinator
         self.health: List[ServerHealth] = [
             ServerHealth() for _ in range(transport.num_servers)
         ]
@@ -275,8 +281,28 @@ class FleetSupervisor:
         :class:`SupervisorError` when the table cannot be re-derived (no
         quorum of healthy peers, or an additive residual share that only
         the original encoding run could produce).
+
+        With a :attr:`coordinator` attached, the whole heal runs under its
+        write fence — concurrent :meth:`~repro.rmi.write.WriteCoordinator.apply`
+        calls block until the swap finishes instead of committing an epoch
+        the copy misses — and lagging healthy peers are journal-replayed
+        first, so every source row is read at one consistent version.
         """
-        rows, mode = self._derive_rows(index)
+        if self.coordinator is not None:
+            with self.coordinator.fence():
+                return self._heal_fenced(index)
+        return self._heal_fenced(index)
+
+    def _heal_fenced(self, index: int) -> HealReport:
+        if self.coordinator is not None:
+            try:
+                self.coordinator.repair_stale()
+            except Exception as error:
+                raise SupervisorError(
+                    "cannot bring healthy peers to a consistent epoch "
+                    "before healing server %d: %s" % (index, error)
+                ) from error
+        rows, mode, epoch = self._derive_rows(index)
         database = self._build_database(rows)
         path: Optional[str] = None
         if self.cluster is not None:
@@ -290,6 +316,10 @@ class FleetSupervisor:
 
             table = database.table(NODE_TABLE_NAME)
             self.transport.mark_healed(index, server=ServerFilter(table, self.ring))
+        if epoch:
+            # Stamp the rebuilt slice with the epoch its rows were read at,
+            # so the next two-phase prepare sees a consistent fleet.
+            self.transport.invoke(index, "set_table_epoch", (epoch,))
         record = self.health[index]
         record.quarantined = False
         record.reason = None
@@ -345,12 +375,47 @@ class FleetSupervisor:
             )
         return collected
 
-    def _derive_rows(self, index: int) -> "tuple[List[Dict[str, Any]], str]":
-        """The victim's full node table, re-derived without re-encoding."""
+    def _peer_epochs(self, healthy: Sequence[int]) -> Dict[int, int]:
+        """Each healthy peer's table epoch (write-path version fencing)."""
+        epochs: Dict[int, int] = {}
+        for peer in healthy:
+            try:
+                epochs[peer] = self.transport.invoke(peer, "table_epoch", ())
+            except (ConnectionError, OSError) as error:
+                self.observe_failure(peer, error)
+        return epochs
+
+    def _derive_rows(self, index: int) -> "tuple[List[Dict[str, Any]], str, int]":
+        """The victim's full node table, re-derived without re-encoding.
+
+        Returns ``(rows, mode, epoch)`` — ``epoch`` being the consistent
+        table epoch the source rows were read at (0 for a never-written
+        fleet).  Peers at mixed epochs (a write committed on some of them
+        while others lagged) are fenced out: only the newest-epoch peers
+        source the heal, and only if enough of them remain.
+        """
         healthy = self._healthy_peers(index)
         if not healthy:
             raise SupervisorError(
                 "cannot heal server %d: no healthy peers remain" % index
+            )
+        epochs = self._peer_epochs(healthy)
+        epoch = max(epochs.values()) if epochs else 0
+        current = [peer for peer in healthy if epochs.get(peer) == epoch]
+        if len(current) < len(healthy):
+            stale = sorted(set(healthy) - set(current))
+            self.log.append(
+                {
+                    "event": "heal_fenced_stale_peers",
+                    "server": index,
+                    "epoch": epoch,
+                    "stale_peers": stale,
+                }
+            )
+            healthy = current
+        if not healthy:
+            raise SupervisorError(
+                "cannot heal server %d: no peers at a consistent epoch" % index
             )
         scheme = self.scheme
         regenerable = scheme.regenerable(index)
@@ -375,9 +440,11 @@ class FleetSupervisor:
         for start in range(0, len(pres), self.heal_chunk):
             chunk = pres[start : start + self.heal_chunk]
             infos = self._invoke_healthy(healthy, "node_infos", (list(chunk),))
+            versions = self._chunk_versions(healthy, chunk, epoch)
             if regenerable:
                 shares = [
-                    list(scheme.regenerate_share(pre, index).coeffs) for pre in chunk
+                    list(scheme.regenerate_share(pre, index, version).coeffs)
+                    for pre, version in zip(chunk, versions)
                 ]
             else:
                 peer_rows = self._gather_peer_rows(healthy, chunk, scheme.threshold)
@@ -395,20 +462,42 @@ class FleetSupervisor:
                     derived[offset : offset + length]
                     for offset in range(0, len(derived), length)
                 ]
-            for pre, info, share in zip(chunk, infos, shares):
+            for pre, info, share, version in zip(chunk, infos, shares, versions):
                 if info is None:
                     raise SupervisorError(
                         "healthy peers report no node info for pre=%d" % pre
                     )
-                rows.append(
-                    {
-                        "pre": pre,
-                        "post": info["post"],
-                        "parent": info["parent"],
-                        "share": tuple(share),
-                    }
-                )
-        return rows, mode
+                row: Dict[str, Any] = {
+                    "pre": pre,
+                    "post": info["post"],
+                    "parent": info["parent"],
+                    "share": tuple(share),
+                }
+                if version:
+                    # version 0 omits the column, matching the bulk
+                    # encoder's rows byte for byte
+                    row["version"] = version
+                rows.append(row)
+        return rows, mode, epoch
+
+    def _chunk_versions(
+        self, healthy: Sequence[int], chunk: Sequence[int], epoch: int
+    ) -> List[int]:
+        """Per-row write versions for one heal chunk (0 = bulk-encoded).
+
+        A never-written fleet (epoch 0) skips the wire round entirely —
+        every row is at version 0 and older servers may not even export
+        ``row_versions``.
+        """
+        if not epoch:
+            return [0] * len(chunk)
+        versions = self._invoke_healthy(healthy, "row_versions", (list(chunk),))
+        if any(version < 0 for version in versions):
+            missing = [pre for pre, version in zip(chunk, versions) if version < 0]
+            raise SupervisorError(
+                "healthy peers hold no version for pres %s" % missing[:5]
+            )
+        return list(versions)
 
     def _build_database(self, rows: Sequence[Mapping[str, Any]]) -> Database:
         """A deployment-slice database holding ``rows`` (encoder conventions).

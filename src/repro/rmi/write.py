@@ -1,0 +1,308 @@
+"""The write coordinator: two-phase delta application across the fleet.
+
+Reads tolerate partial fleets — any threshold-sized subset reconstructs.
+Writes do not: a delta applied to *some* servers leaves the fleet
+answering reconstructions from mixed epochs, which the verifying client
+sees as corruption.  The :class:`WriteCoordinator` therefore ships every
+:class:`~repro.encode.mutate.WriteDelta` through the share servers' two
+phase protocol (:meth:`~repro.filters.server.ServerFilter.prepare_delta`
+/ :meth:`~repro.filters.server.ServerFilter.commit_delta`):
+
+* **prepare** stages the delta on every server and validates its
+  preconditions (the table epoch the delta was computed against, the
+  presence of every structural target).  Any refusal aborts the staged
+  delta everywhere and raises typed — no server state changed.
+* **commit** applies the staged rows atomically under each server's
+  lock.  A server that fails *here* (crash, partition) is left one or
+  more epochs behind — exactly the skew the :class:`WriteJournal` and
+  read-repair close: every committed delta's per-server payloads are
+  journaled, so a lagging server is caught up by replaying its missed
+  payloads in epoch order (:meth:`WriteCoordinator.repair_server`).
+
+After a commit the coordinator notifies its **epoch listeners** (the
+gateway result cache's ``bump_epoch``, remote or in-process) and evicts
+the client-side PRG memo streams of the touched rows — the version-keyed
+memo could never serve stale bytes, but dead streams must not outlive
+the rows they masked.
+
+:meth:`WriteCoordinator.fence` is the heal-side gate: the
+:class:`~repro.rmi.supervisor.FleetSupervisor` holds it while rebuilding
+a replacement server so no delta commits into a half-copied table; the
+write path blocks (briefly) instead of failing.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.encode.mutate import WriteDelta
+from repro.storage.errors import WriteConflictError
+
+__all__ = ["JournalEntry", "WriteJournal", "WriteError", "WriteCoordinator"]
+
+
+class WriteError(WriteConflictError):
+    """A two-phase apply failed before any server committed."""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One committed delta, as every server received it."""
+
+    epoch: int
+    base_epoch: int
+    touched_pres: Tuple[int, ...]
+    #: ``payloads[s]`` is the exact ``apply_delta`` payload of server ``s``
+    payloads: Tuple[Dict[str, Any], ...]
+    description: str = ""
+
+
+class WriteJournal:
+    """Ordered log of committed deltas, the source for replay repair.
+
+    ``capacity`` bounds retained entries (oldest dropped first); a server
+    whose lag exceeds the retained window cannot be replay-repaired and
+    must be healed by a full re-share
+    (:meth:`~repro.rmi.supervisor.FleetSupervisor`).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("journal capacity must be positive, got %r" % (capacity,))
+        self._capacity = capacity
+        self._entries: List[JournalEntry] = []
+        self._lock = threading.Lock()
+
+    def record(self, delta: WriteDelta) -> JournalEntry:
+        """Append one prepared delta (epochs must arrive in order)."""
+        entry = JournalEntry(
+            epoch=delta.epoch,
+            base_epoch=delta.base_epoch,
+            touched_pres=tuple(delta.touched_pres),
+            payloads=tuple(delta.payload(index) for index in range(delta.num_servers)),
+            description=delta.description,
+        )
+        with self._lock:
+            if self._entries and entry.epoch <= self._entries[-1].epoch:
+                raise WriteConflictError(
+                    "journal epoch %d does not advance past %d"
+                    % (entry.epoch, self._entries[-1].epoch)
+                )
+            self._entries.append(entry)
+            if self._capacity is not None and len(self._entries) > self._capacity:
+                del self._entries[: len(self._entries) - self._capacity]
+        return entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def latest_epoch(self) -> int:
+        """Epoch of the newest journaled delta (0 when empty)."""
+        with self._lock:
+            return self._entries[-1].epoch if self._entries else 0
+
+    def entries_after(self, epoch: int) -> List[JournalEntry]:
+        """Every retained entry a server at ``epoch`` still misses, in order."""
+        with self._lock:
+            return [entry for entry in self._entries if entry.epoch > epoch]
+
+    def covers(self, epoch: int) -> bool:
+        """Whether replay from ``epoch`` is gapless in the retained window."""
+        missing = self.entries_after(epoch)
+        if not missing:
+            return True
+        return missing[0].base_epoch <= epoch
+
+    def touched_since(self, epoch: int) -> List[int]:
+        """Sorted pre positions touched by every entry after ``epoch``."""
+        touched = set()
+        for entry in self.entries_after(epoch):
+            touched.update(entry.touched_pres)
+        return sorted(touched)
+
+
+class WriteCoordinator:
+    """Drives deltas through prepare/commit and keeps every cache honest.
+
+    ``transport`` is the :class:`~repro.rmi.cluster.ClusterTransport` of
+    the fleet (simulated filters or socket servers alike).  ``prg`` is
+    the client-side :class:`~repro.prg.generator.KeyedPRG` whose memo is
+    evicted for re-shared rows; ``epoch_listeners`` are zero-argument
+    callables poked after every commit (gateway cache busting — pass
+    ``GatewayEndpoint.bump_epoch`` for a remote gateway or
+    ``GatewayCache.bump_epoch`` in process).
+    """
+
+    def __init__(
+        self,
+        transport: Any,
+        journal: Optional[WriteJournal] = None,
+        prg: Optional[Any] = None,
+        epoch_listeners: Sequence[Callable[[], Any]] = (),
+    ):
+        self.transport = transport
+        self.journal = journal if journal is not None else WriteJournal()
+        self.prg = prg
+        self.epoch_listeners = list(epoch_listeners)
+        self._lock = threading.RLock()
+        #: commit outcomes of the last apply (index -> error), for tests
+        self.last_commit_failures: Dict[int, BaseException] = {}
+
+    # ------------------------------------------------------------------
+    # The heal fence
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def fence(self):
+        """Exclusive gate: while held, no delta can prepare or commit.
+
+        The supervisor holds this across a heal so replacement tables are
+        rebuilt against a frozen epoch; concurrent writers block on
+        :meth:`apply` until the fence lifts instead of racing the copy.
+        """
+        with self._lock:
+            yield self
+
+    # ------------------------------------------------------------------
+    # Two-phase apply
+    # ------------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.transport.servers)
+
+    def apply(self, delta: WriteDelta) -> Dict[str, Any]:
+        """Ship one delta through prepare/commit on every server.
+
+        Raises :class:`WriteError` (no server changed) when any prepare
+        refuses.  Commit failures do *not* raise: the delta is already
+        journaled and staged everywhere, so a server that missed its
+        commit is simply behind — read-repair or :meth:`repair_server`
+        replays it.  Returns a report with the committed/failed split.
+        """
+        if delta.num_servers != self.num_servers:
+            raise WriteError(
+                "delta carries %d server slices for a %d-server fleet"
+                % (delta.num_servers, self.num_servers)
+            )
+        with self._lock:
+            prepared: List[int] = []
+            for index in range(self.num_servers):
+                try:
+                    self._prepare_on(index, delta)
+                except Exception as error:
+                    for staged in prepared:
+                        try:
+                            self.transport.invoke(staged, "abort_delta", (delta.epoch,))
+                        except Exception:  # pragma: no cover - abort best effort
+                            pass
+                    raise WriteError(
+                        "prepare of epoch %d refused by server %d: %s"
+                        % (delta.epoch, index, error)
+                    ) from error
+                prepared.append(index)
+            # Every server holds the staged delta: the write is now
+            # durable in the journal even if individual commits fail.
+            self.journal.record(delta)
+            committed: List[int] = []
+            failures: Dict[int, BaseException] = {}
+            for index in range(self.num_servers):
+                try:
+                    self.transport.invoke(index, "commit_delta", (delta.epoch,))
+                except Exception as error:
+                    failures[index] = error
+                else:
+                    committed.append(index)
+            self.last_commit_failures = failures
+            if committed:
+                self._after_commit(delta)
+        return {
+            "epoch": delta.epoch,
+            "committed": committed,
+            "failed": sorted(failures),
+            "rows": delta.write_rows,
+        }
+
+    def _prepare_on(self, index: int, delta: WriteDelta) -> None:
+        """Stage the delta on one server, replay-repairing a lagging one.
+
+        A server that missed an earlier commit refuses the prepare with an
+        epoch conflict; when the journal still covers its lag the backlog
+        is replayed and the prepare retried once, so a single flaky commit
+        does not poison every subsequent write.
+        """
+        payload = delta.payload(index)
+        try:
+            self.transport.invoke(index, "prepare_delta", (payload,))
+        except WriteConflictError:
+            self.repair_server(index)
+            self.transport.invoke(index, "prepare_delta", (payload,))
+
+    def _after_commit(self, delta: WriteDelta) -> None:
+        """Client-side invalidation: PRG memo streams and epoch listeners."""
+        if self.prg is not None:
+            touched = set(delta.touched_pres)
+            touched.update(update.pre for update in delta.structural)
+            touched.update(delta.deletes)
+            self.prg.evict(touched)
+        for listener in self.epoch_listeners:
+            try:
+                listener()
+            except Exception:  # pragma: no cover - listener best effort
+                pass
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+
+    def server_epochs(self) -> Dict[int, int]:
+        """Each live server's table epoch (unreachable servers omitted)."""
+        epochs: Dict[int, int] = {}
+        for reply in self.transport.invoke_all("table_epoch"):
+            if reply.ok:
+                epochs[reply.server] = reply.value
+        return epochs
+
+    def stale_servers(self) -> Dict[int, int]:
+        """index -> lagging epoch, for every server behind the journal."""
+        latest = self.journal.latest_epoch
+        return {
+            index: epoch
+            for index, epoch in self.server_epochs().items()
+            if epoch < latest
+        }
+
+    def repair_server(self, index: int) -> int:
+        """Replay every journaled delta server ``index`` missed, in order.
+
+        Returns how many deltas were replayed.  Raises
+        :class:`WriteConflictError` when the journal no longer covers the
+        server's lag (a full heal is needed instead).
+        """
+        with self._lock:
+            epoch = self.transport.invoke(index, "table_epoch", ())
+            missing = self.journal.entries_after(epoch)
+            if not missing:
+                return 0
+            if missing[0].base_epoch > epoch:
+                raise WriteConflictError(
+                    "journal starts at base epoch %d but server %d is at %d: "
+                    "replay cannot bridge the gap" % (missing[0].base_epoch, index, epoch)
+                )
+            replayed = 0
+            for entry in missing:
+                self.transport.invoke(index, "apply_delta", (entry.payloads[index],))
+                replayed += 1
+        return replayed
+
+    def repair_stale(self) -> Dict[int, int]:
+        """Replay-repair every lagging live server; index -> deltas replayed."""
+        report: Dict[int, int] = {}
+        for index in sorted(self.stale_servers()):
+            report[index] = self.repair_server(index)
+        return report

@@ -95,8 +95,18 @@ class AdditiveSharing(SharingScheme):
         """Compute only the server share (what actually gets stored)."""
         return polynomial - self.client_share(pre)
 
-    def server_shares(self, polynomial: RingPolynomial, pre: int) -> List[RingPolynomial]:
-        """The single stored share, as a one-element cluster bundle."""
+    def server_shares(
+        self, polynomial: RingPolynomial, pre: int, version: int = 0
+    ) -> List[RingPolynomial]:
+        """The single stored share, as a one-element cluster bundle.
+
+        Two-party sharing has no version-salted material: the client lane
+        must stay regenerable from ``(seed, pre)`` alone, so a re-shared
+        row's new slice differs from the old one exactly by the polynomial
+        delta.  The lone server therefore learns mutation deltas — an
+        accepted (and documented) leak of the two-party topology; use a
+        threshold scheme when that matters.
+        """
         return [self.server_share(polynomial, pre)]
 
     def _client_block(self, pres: Sequence[int]):
@@ -112,15 +122,19 @@ class AdditiveSharing(SharingScheme):
         return self.ring.evaluate_rows(self._client_block(pres), point)
 
     def server_share_rows(
-        self, vectors: Sequence[Sequence[int]], pres: Sequence[int]
+        self,
+        vectors: Sequence[Sequence[int]],
+        pres: Sequence[int],
+        versions: Sequence[int] = None,
     ) -> List[List[Sequence[int]]]:
         kernel = self.ring.kernel
         if not kernel.array_native:
-            return super().server_share_rows(vectors, pres)
+            return super().server_share_rows(vectors, pres, versions)
         if len(vectors) != len(pres):
             raise SharingError(
                 "got %d polynomials but %d pre positions" % (len(vectors), len(pres))
             )
+        self.check_versions(pres, versions)  # validated, then unused: no salted lanes
         matrix = kernel.stack(vectors)
         residual = kernel.vec_sub(matrix, self._client_block(pres))
         return [kernel.unstack(residual)]
@@ -222,17 +236,24 @@ class AdditiveNSharing(AdditiveSharing):
         self._check_index(server_index)
         return server_index != self.residual_index
 
-    def regenerate_share(self, pre: int, server_index: int) -> RingPolynomial:
+    def regenerate_share(self, pre: int, server_index: int, version: int = 0) -> RingPolynomial:
         if not self.regenerable(server_index):
             raise SharingError(
                 "the residual share (server %d) is stored-only and cannot be "
                 "regenerated from the seed" % server_index
             )
-        coefficients = self.prg.elements(pre, self.ring.length, lane=server_index + 1)
+        coefficients = self.prg.elements(
+            pre, self.ring.length, lane=server_index + 1, version=version
+        )
         return self.ring.wrap_canonical(coefficients)
 
-    def server_shares(self, polynomial: RingPolynomial, pre: int) -> List[RingPolynomial]:
-        shares = [self.regenerate_share(pre, index) for index in range(self._servers - 1)]
+    def server_shares(
+        self, polynomial: RingPolynomial, pre: int, version: int = 0
+    ) -> List[RingPolynomial]:
+        shares = [
+            self.regenerate_share(pre, index, version=version)
+            for index in range(self._servers - 1)
+        ]
         residual = polynomial - self.client_share(pre)
         for share in shares:
             residual = residual - share
@@ -248,20 +269,26 @@ class AdditiveNSharing(AdditiveSharing):
         return polynomial - self.client_share(pre)
 
     def server_share_rows(
-        self, vectors: Sequence[Sequence[int]], pres: Sequence[int]
+        self,
+        vectors: Sequence[Sequence[int]],
+        pres: Sequence[int],
+        versions: Sequence[int] = None,
     ) -> List[List[Sequence[int]]]:
         kernel = self.ring.kernel
         if not kernel.array_native:
-            return super().server_share_rows(vectors, pres)
+            return SharingScheme.server_share_rows(self, vectors, pres, versions)
         if len(vectors) != len(pres):
             raise SharingError(
                 "got %d polynomials but %d pre positions" % (len(vectors), len(pres))
             )
+        versions = self.check_versions(pres, versions)
         length = self.ring.length
         residual = kernel.vec_sub(kernel.stack(vectors), self._client_block(pres))
         rows: List[List[Sequence[int]]] = []
         for index in range(self._servers - 1):
-            lane_block = self.prg.elements_block(pres, length, lane=index + 1)
+            lane_block = self.prg.elements_block(
+                pres, length, lane=index + 1, versions=versions
+            )
             residual = kernel.vec_sub(residual, lane_block)
             rows.append(kernel.unstack(lane_block))
         rows.append(kernel.unstack(residual))

@@ -139,8 +139,15 @@ class SharingScheme(ABC):
         self._check_index(server_index)
         return False
 
-    def regenerate_share(self, pre: int, server_index: int) -> RingPolynomial:
-        """Locally recompute a regenerable server share (see above)."""
+    def regenerate_share(self, pre: int, server_index: int, version: int = 0) -> RingPolynomial:
+        """Locally recompute a regenerable server share (see above).
+
+        ``version`` is the row's write epoch: re-shared rows draw their PRG
+        material from a version-salted stream, so regenerating the share of
+        a row that has been mutated needs the version stored with it.
+        Version 0 — every row the bulk encoder produced — is the historical
+        unsalted stream.
+        """
         self._check_index(server_index)
         raise SharingError(
             "share of server %d is not regenerable under %s sharing"
@@ -252,11 +259,35 @@ class SharingScheme(ABC):
     # ------------------------------------------------------------------
 
     @abstractmethod
-    def server_shares(self, polynomial: RingPolynomial, pre: int) -> List[RingPolynomial]:
-        """Split ``polynomial`` into the n stored server shares (in server order)."""
+    def server_shares(
+        self, polynomial: RingPolynomial, pre: int, version: int = 0
+    ) -> List[RingPolynomial]:
+        """Split ``polynomial`` into the n stored server shares (in server order).
+
+        ``version`` selects the PRG epoch the masking material is drawn
+        from: re-sharing a mutated row under a fresh version prevents the
+        servers from learning the polynomial delta by subtracting the old
+        slice from the new one.  Version 0 reproduces the bulk encoder's
+        historical output bit for bit.
+        """
+
+    @staticmethod
+    def check_versions(pres: Sequence[int], versions) -> Sequence[int]:
+        """Normalise an optional per-row version vector (None → all zeros)."""
+        if versions is None:
+            return [0] * len(pres)
+        versions = list(versions)
+        if len(versions) != len(pres):
+            raise SharingError(
+                "got %d versions but %d pre positions" % (len(versions), len(pres))
+            )
+        return versions
 
     def server_share_rows(
-        self, vectors: Sequence[Sequence[int]], pres: Sequence[int]
+        self,
+        vectors: Sequence[Sequence[int]],
+        pres: Sequence[int],
+        versions: Sequence[int] = None,
     ) -> List[List[Sequence[int]]]:
         """Split a whole batch of canonical coefficient vectors at once.
 
@@ -265,17 +296,21 @@ class SharingScheme(ABC):
         coefficient sequence — the encoder's bulk-insert shape.  The generic
         path wraps each vector and calls :meth:`server_shares`; array-native
         schemes override it with whole-matrix arithmetic over the PRG's
-        block interface.  Bit-identical either way.
+        block interface.  Bit-identical either way.  ``versions`` aligns
+        with ``pres`` (omitted → all zero, the bulk-encode epoch).
         """
         if len(vectors) != len(pres):
             raise SharingError(
                 "got %d polynomials but %d pre positions" % (len(vectors), len(pres))
             )
+        versions = self.check_versions(pres, versions)
         ring = self.ring
         rows: List[List[Sequence[int]]] = [[] for _ in range(self.num_servers)]
-        for vector, pre in zip(vectors, pres):
+        for vector, pre, version in zip(vectors, pres, versions):
             polynomial = ring.wrap_canonical(vector)
-            for index, share in enumerate(self.server_shares(polynomial, pre)):
+            for index, share in enumerate(
+                self.server_shares(polynomial, pre, version=version)
+            ):
                 rows[index].append(share.coeffs)
         return rows
 

@@ -102,18 +102,25 @@ class ShamirSharing(SharingScheme):
     # Sharing
     # ------------------------------------------------------------------
 
-    def _masks(self, pre: int) -> List[Tuple[int, ...]]:
-        """The ``k - 1`` deterministic mask vectors of node ``pre``."""
+    def _masks(self, pre: int, version: int = 0) -> List[Tuple[int, ...]]:
+        """The ``k - 1`` deterministic mask vectors of node ``pre``.
+
+        ``version`` salts the PRG streams: a re-shared row must draw fresh
+        masks, or any single server could subtract its old slice from the
+        new one and learn the polynomial delta in the clear.
+        """
         length = self.ring.length
         return [
-            tuple(self.prg.elements(pre, length, lane=lane))
+            tuple(self.prg.elements(pre, length, lane=lane, version=version))
             for lane in range(1, self._threshold)
         ]
 
-    def server_shares(self, polynomial: RingPolynomial, pre: int) -> List[RingPolynomial]:
+    def server_shares(
+        self, polynomial: RingPolynomial, pre: int, version: int = 0
+    ) -> List[RingPolynomial]:
         field = self.ring.field
         kernel = self.ring.kernel
-        masks = self._masks(pre)
+        masks = self._masks(pre, version=version)
         shares: List[RingPolynomial] = []
         for x in self._xs:
             slice_coeffs = list(polynomial.coeffs)
@@ -124,20 +131,21 @@ class ShamirSharing(SharingScheme):
             shares.append(self.ring.wrap_canonical(slice_coeffs))
         return shares
 
-    def server_share_rows(self, vectors, pres) -> List[List[Tuple[int, ...]]]:
+    def server_share_rows(self, vectors, pres, versions=None) -> List[List[Tuple[int, ...]]]:
         kernel = self.ring.kernel
         if not kernel.array_native:
-            return super().server_share_rows(vectors, pres)
+            return super().server_share_rows(vectors, pres, versions)
         if len(vectors) != len(pres):
             raise SharingError(
                 "got %d polynomials but %d pre positions" % (len(vectors), len(pres))
             )
+        versions = self.check_versions(pres, versions)
         field = self.ring.field
         length = self.ring.length
         matrix = kernel.stack(vectors)
         # one PRG block per mask lane, shared across all n slices
         mask_blocks = [
-            self.prg.elements_block(pres, length, lane=lane)
+            self.prg.elements_block(pres, length, lane=lane, versions=versions)
             for lane in range(1, self._threshold)
         ]
         rows: List[List[Tuple[int, ...]]] = []

@@ -131,6 +131,49 @@ class BPlusTree:
         return separator, right
 
     # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def remove(self, key: Any, value: Any) -> bool:
+        """Remove one (key, value) pair; returns whether it was present.
+
+        Deletion is *lazy*: the value leaves its posting list (and an
+        emptied key leaves its leaf), but leaves are never merged or
+        rebalanced.  Search and range iteration remain correct — an
+        under-full leaf is just a shorter stop on the linked scan — and the
+        write path's churn is tiny relative to the bulk-loaded tree, so the
+        height bound the bulk load established effectively persists.
+        """
+        leaf = self._find_leaf(key)
+        index = _lower_bound(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        values = leaf.values[index]
+        try:
+            values.remove(value)
+        except ValueError:
+            return False
+        self._size -= 1
+        if not values:
+            del leaf.keys[index]
+            del leaf.values[index]
+            self._key_count -= 1
+        return True
+
+    def remove_key(self, key: Any) -> int:
+        """Remove every value stored under ``key``; returns how many."""
+        leaf = self._find_leaf(key)
+        index = _lower_bound(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return 0
+        removed = len(leaf.values[index])
+        del leaf.keys[index]
+        del leaf.values[index]
+        self._size -= removed
+        self._key_count -= 1
+        return removed
+
+    # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
 

@@ -19,3 +19,29 @@ class UnknownTableError(StorageError):
 
 class UnknownIndexError(StorageError):
     """A referenced index does not exist on the table."""
+
+
+class WriteConflictError(StorageError):
+    """A write could not be applied consistently.
+
+    Raised server-side when a delta's preconditions fail (an unknown
+    transaction id, a prepare against rows another in-flight transaction
+    already holds, or an op targeting a row that no longer exists) and
+    client-side when the two-phase apply cannot reach every live server.
+    Travels the wire typed (see ``repro.rmi.socket``).
+    """
+
+
+class StaleVersionError(WriteConflictError):
+    """A row version precondition failed: the server holds newer (or older)
+    rows than the write or read expected.  Carries enough context for
+    read-repair to know *which* rows diverged."""
+
+    def __init__(self, message: str, stale_pres=(), expected=None, found=None):
+        super().__init__(message)
+        #: pre numbers whose version check failed
+        self.stale_pres = tuple(stale_pres)
+        #: version the caller expected (per-pre mapping or single int)
+        self.expected = expected
+        #: version actually found
+        self.found = found

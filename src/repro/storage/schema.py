@@ -117,13 +117,23 @@ class TableSchema:
         return name in self._by_name
 
     def validate_row(self, row: Dict[str, Any]) -> Dict[str, Any]:
-        """Validate a row dict: unknown keys rejected, missing keys must be nullable."""
+        """Validate a row dict: unknown keys rejected, missing keys must be nullable.
+
+        A nullable column *absent* from the input stays absent from the
+        validated row (rather than materialising as ``None``), so optional
+        columns added to a schema later — the node table's ``version`` —
+        never change the serialised shape of rows that predate them.
+        """
         unknown = set(row) - set(self._by_name)
         if unknown:
             raise SchemaError("unknown columns for table %r: %r" % (self.name, sorted(unknown)))
         validated: Dict[str, Any] = {}
         for column in self.columns:
-            validated[column.name] = column.validate(row.get(column.name))
+            if column.name not in row:
+                if not column.nullable:
+                    raise SchemaError("column %r is not nullable" % column.name)
+                continue
+            validated[column.name] = column.validate(row[column.name])
         return validated
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics

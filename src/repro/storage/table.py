@@ -14,14 +14,18 @@ class Table:
 
     Rows are dictionaries validated against the table's
     :class:`~repro.storage.schema.TableSchema`; each row receives a stable
-    integer row id.  Index maintenance happens on insert (the workload is
-    bulk-load-then-query, like the prototype's encode step followed by the
-    query engines, so updates/deletes are deliberately out of scope).
+    integer row id.  The workload is bulk-load-then-serve — like the
+    prototype's encode step followed by the query engines — with a thin
+    mutation surface on top for the write path: :meth:`update_by` and
+    :meth:`delete_by` maintain every index, deletions leaving a tombstone
+    in the heap so existing row ids stay stable.
     """
 
     def __init__(self, schema: TableSchema, btree_order: int = 64):
         self.schema = schema
-        self._rows: List[Dict[str, Any]] = []
+        #: heap slots; a ``None`` slot is a tombstone left by delete_by
+        self._rows: List[Optional[Dict[str, Any]]] = []
+        self._tombstones = 0
         self._indexes: Dict[str, BPlusTree] = {}
         self._unique: Dict[str, bool] = {}
         self._btree_order = btree_order
@@ -37,6 +41,8 @@ class Table:
             return
         tree = BPlusTree(order=self._btree_order)
         for row_id, row in enumerate(self._rows):
+            if row is None:
+                continue
             key = row[column]
             if unique and tree.contains(key):
                 raise DuplicateKeyError(
@@ -102,17 +108,83 @@ class Table:
             count += 1
         return count
 
+    def _ids_for(self, column: str, value: Any) -> List[int]:
+        """Row ids matching a point predicate (indexed or scanned)."""
+        tree = self._indexes.get(column)
+        if tree is not None:
+            return list(tree.search(value))
+        self.schema.column(column)
+        return [
+            row_id
+            for row_id, row in enumerate(self._rows)
+            if row is not None and row[column] == value
+        ]
+
+    def update_by(self, column: str, value: Any, changes: Dict[str, Any]) -> int:
+        """Update every row with ``row[column] == value``; returns the count.
+
+        ``changes`` maps column names to new values (validated against the
+        schema).  Every index is maintained: a changed indexed key leaves
+        its old slot and enters the new one, with uniqueness re-checked.
+        """
+        updated = 0
+        for row_id in self._ids_for(column, value):
+            row = self._rows[row_id]
+            assert row is not None  # ids came from a live lookup
+            validated = {
+                name: self.schema.column(name).validate(new_value)
+                for name, new_value in changes.items()
+            }
+            for name, new_value in validated.items():
+                tree = self._indexes.get(name)
+                old_value = row.get(name)
+                if tree is None or old_value == new_value:
+                    continue
+                if self._unique.get(name) and tree.contains(new_value):
+                    raise DuplicateKeyError(
+                        "duplicate key %r for unique index %s.%s"
+                        % (new_value, self.schema.name, name)
+                    )
+                tree.remove(old_value, row_id)
+                tree.insert(new_value, row_id)
+            row.update(validated)
+            updated += 1
+        return updated
+
+    def delete_by(self, column: str, value: Any) -> int:
+        """Delete every row with ``row[column] == value``; returns the count.
+
+        The heap slot becomes a tombstone (row ids of surviving rows are
+        untouched); every index drops its entry for the dead row.
+        """
+        deleted = 0
+        for row_id in self._ids_for(column, value):
+            row = self._rows[row_id]
+            if row is None:
+                continue
+            for name, tree in self._indexes.items():
+                tree.remove(row.get(name), row_id)
+            self._rows[row_id] = None
+            self._tombstones += 1
+            deleted += 1
+        return deleted
+
     # ------------------------------------------------------------------
     # Access paths
     # ------------------------------------------------------------------
 
     def row(self, row_id: int) -> Dict[str, Any]:
-        """Fetch one row by its row id."""
-        return self._rows[row_id]
+        """Fetch one row by its row id (deleted rows raise)."""
+        row = self._rows[row_id]
+        if row is None:
+            raise LookupError("row %d of table %s was deleted" % (row_id, self.schema.name))
+        return row
 
     def scan(self, predicate: Optional[Callable[[Dict[str, Any]], bool]] = None) -> Iterator[Dict[str, Any]]:
         """Full table scan, optionally filtered by ``predicate``."""
         for row in self._rows:
+            if row is None:
+                continue
             if predicate is None or predicate(row):
                 yield row
 
@@ -126,7 +198,7 @@ class Table:
         if tree is not None:
             return [self._rows[row_id] for row_id in tree.search(value)]
         self.schema.column(column)
-        return [row for row in self._rows if row[column] == value]
+        return [row for row in self._rows if row is not None and row[column] == value]
 
     def range_lookup(
         self,
@@ -145,6 +217,8 @@ class Table:
         self.schema.column(column)
         matching = []
         for row in self._rows:
+            if row is None:
+                continue
             value = row[column]
             if low is not None and (value < low or (value == low and not include_low)):
                 continue
@@ -156,10 +230,10 @@ class Table:
             yield row
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._rows) - self._tombstones
 
     def __iter__(self) -> Iterator[Dict[str, Any]]:
-        return iter(self._rows)
+        return (row for row in self._rows if row is not None)
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -174,9 +248,11 @@ class Table:
         """
         total = 0
         for row in self._rows:
+            if row is None:
+                continue
             for column in self.schema.columns:
                 total += column.estimated_bytes(
-                    row[column.name], int_width=int_width, element_bytes=element_bytes
+                    row.get(column.name), int_width=int_width, element_bytes=element_bytes
                 )
         return total
 
@@ -184,8 +260,9 @@ class Table:
         """Approximate payload size contributed by a single column."""
         column = self.schema.column(column_name)
         return sum(
-            column.estimated_bytes(row[column_name], int_width=int_width, element_bytes=element_bytes)
+            column.estimated_bytes(row.get(column_name), int_width=int_width, element_bytes=element_bytes)
             for row in self._rows
+            if row is not None
         )
 
     def index_bytes(self, key_bytes: int = 8, pointer_bytes: int = 8) -> int:

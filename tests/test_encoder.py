@@ -180,7 +180,8 @@ class TestStats:
     def test_node_table_schema(self):
         schema = node_table_schema()
         assert schema.name == NODE_TABLE_NAME
-        assert schema.column_names() == ["pre", "post", "parent", "share"]
+        assert schema.column_names() == ["pre", "post", "parent", "share", "version"]
+        assert schema.column("version").nullable
 
     def test_custom_index_columns(self):
         xml = "<a><b/></a>"

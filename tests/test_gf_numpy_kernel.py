@@ -233,10 +233,10 @@ class TestPRGBlocks:
         # block-path entries may still be lazy array rows; a scalar read
         # normalises them and must return the exact memoised stream
         for key in list(scalar_prg._memo):
-            pre, count, lane = key
-            assert block_prg.elements(pre, count, lane) == scalar_prg.elements(
-                pre, count, lane
-            )
+            pre, count, lane, version = key
+            assert block_prg.elements(
+                pre, count, lane, version=version
+            ) == scalar_prg.elements(pre, count, lane, version=version)
             assert type(block_prg._memo[key]) is tuple
         assert block_prg._memo == scalar_prg._memo
 

@@ -80,7 +80,13 @@ class TestServerSeesNoPlaintext:
         """The stored rows consist of pre/post/parent integers and share
         coefficients — no tag names, no text."""
         table = small_database.encoded.node_table
-        assert sorted(table.schema.column_names()) == ["parent", "post", "pre", "share"]
+        assert sorted(table.schema.column_names()) == [
+            "parent",
+            "post",
+            "pre",
+            "share",
+            "version",
+        ]
         for row in table:
             assert isinstance(row["pre"], int)
             assert isinstance(row["post"], int)

@@ -52,7 +52,11 @@ class TestSchema:
 
     def test_nullable_column(self):
         schema = TableSchema("t", [Column("a", ColumnType.INTEGER), Column("b", ColumnType.TEXT, nullable=True)])
-        assert schema.validate_row({"a": 1})["b"] is None
+        # an absent nullable column stays absent (keeps serialised rows
+        # byte-identical when optional columns are added to a schema later)
+        assert "b" not in schema.validate_row({"a": 1})
+        # an explicit None is kept as None
+        assert schema.validate_row({"a": 1, "b": None})["b"] is None
 
     def test_type_validation(self):
         schema = node_schema()
